@@ -1,0 +1,67 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates (a laptop-scale version of) one table or figure
+of the paper, times it once with ``pytest-benchmark`` (``rounds=1`` -- these
+are experiments, not micro-benchmarks), prints the regenerated series and
+also writes them to ``benchmarks/results/<name>.txt`` so the artefacts
+survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+from repro.experiments import (
+    format_figure1_panel,
+    format_figure2_panel,
+    get_config,
+    run_panel,
+)
+from repro.experiments.runner import ExperimentPoint, average_points
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Dataset scale used by the benchmark suite.
+SCALE = "small"
+#: Projection dimensions swept (the paper's x-axis).
+K_VALUES = (3, 6, 9, 12, 15)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def save_result(name: str, text: str) -> Path:
+    """Print ``text`` and persist it under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print("\n" + text)
+    return path
+
+
+def run_panel_points(panel_name: str, *, num_trials: int = 1) -> List[ExperimentPoint]:
+    """Run one evaluation panel at benchmark scale and average its trials."""
+    config = get_config(panel_name, SCALE)
+    points = run_panel(config, k_values=K_VALUES, num_trials=num_trials)
+    return average_points(points)
+
+
+def figure_panel_text(panel_title: str, points: List[ExperimentPoint]) -> str:
+    """Format one panel for both figures (additive + relative error)."""
+    return (
+        format_figure1_panel(panel_title, points)
+        + "\n\n"
+        + format_figure2_panel(panel_title, points)
+    )
+
+
+def run_and_save_panel(benchmark, panel_name: str, panel_title: str) -> Dict[str, float]:
+    """The common body of the per-panel figure benchmarks."""
+    points = run_once(benchmark, lambda: run_panel_points(panel_name))
+    save_result(f"figure1_{panel_name}", figure_panel_text(panel_title, points))
+    worst_additive = max(p.additive_error for p in points)
+    assert worst_additive < 1.0, "additive error should stay well below the trivial bound"
+    return {"worst_additive_error": worst_additive}

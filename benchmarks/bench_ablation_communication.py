@@ -1,0 +1,45 @@
+"""Ablation A2: communication versus accuracy (Theorem 1's trade-off).
+
+Sweeps the number of sampled rows r and reports the measured additive error,
+the k^2/r prediction and the exact communication ratio -- the quantitative
+backbone of Figure 1.
+"""
+
+from benchmarks._harness import run_once, save_result
+from repro.core import DistributedPCA, predicted_additive_error
+from repro.datasets import low_rank_plus_noise
+from repro.distributed import LocalCluster, arbitrary_partition
+
+
+def test_ablation_communication_tradeoff(benchmark):
+    def run():
+        data = low_rank_plus_noise(1200, 64, 12, noise_level=0.2, seed=0)
+        cluster = LocalCluster(arbitrary_partition(data, 8, seed=1), name="tradeoff")
+        global_matrix = cluster.materialize_global()
+        k = 6
+        rows = []
+        for num_samples in (25, 50, 100, 200, 400, 800):
+            result = DistributedPCA(k=k, num_samples=num_samples, seed=2).fit(cluster)
+            report = result.evaluate(global_matrix)
+            rows.append(
+                (num_samples, predicted_additive_error(k, num_samples),
+                 report["additive_error"], result.communication_ratio)
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    lines = [
+        "Ablation A2: accuracy vs communication (k = 6, uniform sampler)",
+        f"{'rows r':>8}{'prediction k^2/r':>20}{'additive error':>18}{'comm ratio':>14}",
+    ]
+    for r, predicted, actual, ratio in rows:
+        lines.append(f"{r:>8}{predicted:>20.4f}{actual:>18.4f}{ratio:>14.4f}")
+    save_result("ablation_communication", "\n".join(lines))
+
+    errors = [actual for _, _, actual, _ in rows]
+    ratios = [ratio for _, _, _, ratio in rows]
+    # More communication monotonically improves accuracy (up to noise) and the
+    # measured error always beats the theoretical prediction.
+    assert errors[-1] < errors[0]
+    assert ratios[-1] > ratios[0]
+    assert all(actual <= predicted for _, predicted, actual, _ in rows)

@@ -1,0 +1,16 @@
+"""Figure 1 / Figure 2, panels "Caltech-101(P=1,2,5,20)" (E3).
+
+P-norm pooling of Caltech-101-like patch codes over 50 servers; rows are
+sampled with the generalized Z-sampler (l_{2/P} sampling on the summed
+powered counts).  One benchmark per pooling exponent P.
+"""
+
+import pytest
+
+from benchmarks._harness import run_and_save_panel
+
+
+@pytest.mark.parametrize("p", [1, 2, 5, 20])
+def test_figure1_caltech(benchmark, p):
+    stats = run_and_save_panel(benchmark, f"caltech_p{p}", f"Caltech-101(P={p})")
+    assert stats["worst_additive_error"] < 0.6

@@ -1,0 +1,15 @@
+"""Figure 1 / Figure 2, panel "ForestCover" (E1).
+
+Gaussian random Fourier features of Forest-Cover-like data, 10 servers,
+communication-ratio bounds {0.5, 0.25, 0.1}, k in {3, 6, 9, 12, 15}.
+Regenerates the additive-error series (with the k^2/r prediction) and the
+relative-error series.
+"""
+
+from benchmarks._harness import run_and_save_panel
+
+
+def test_figure1_forest_cover(benchmark):
+    stats = run_and_save_panel(benchmark, "forest_cover", "ForestCover")
+    # The paper's ForestCover panel stays well below 10^0 additive error.
+    assert stats["worst_additive_error"] < 0.3

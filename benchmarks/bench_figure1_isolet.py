@@ -1,0 +1,13 @@
+"""Figure 1 / Figure 2, panel "isolet" (E5): robust PCA with the Huber psi.
+
+isolet-like features with 50 corrupted entries, entrywise-partitioned over
+10 servers; the Huber psi-function clips the corruption and rows are sampled
+with the generalized Z-sampler.
+"""
+
+from benchmarks._harness import run_and_save_panel
+
+
+def test_figure1_isolet(benchmark):
+    stats = run_and_save_panel(benchmark, "isolet", "isolet")
+    assert stats["worst_additive_error"] < 0.6

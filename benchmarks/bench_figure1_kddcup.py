@@ -1,0 +1,12 @@
+"""Figure 1 / Figure 2, panel "KDDCUP99" (E2).
+
+Gaussian random Fourier features of KDDCUP99-like data, 50 servers,
+communication-ratio bounds {0.1, 0.05, 0.01}.
+"""
+
+from benchmarks._harness import run_and_save_panel
+
+
+def test_figure1_kddcup99(benchmark):
+    stats = run_and_save_panel(benchmark, "kddcup99", "KDDCUP99")
+    assert stats["worst_additive_error"] < 0.5

@@ -1,0 +1,14 @@
+"""Figure 1 / Figure 2, panels "Scenes(P=1,2,5,20)" (E4).
+
+P-norm pooling of Scenes-like patch codes over 10 servers.
+"""
+
+import pytest
+
+from benchmarks._harness import run_and_save_panel
+
+
+@pytest.mark.parametrize("p", [1, 2, 5, 20])
+def test_figure1_scenes(benchmark, p):
+    stats = run_and_save_panel(benchmark, f"scenes_p{p}", f"Scenes(P={p})")
+    assert stats["worst_additive_error"] < 0.6

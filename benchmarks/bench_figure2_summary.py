@@ -1,0 +1,29 @@
+"""Figure 2 cross-panel summary and the paper's qualitative checks (E6).
+
+Figure 2 plots the relative error of the same runs that produce Figure 1;
+this benchmark re-runs one representative panel per application (RFF,
+P-norm pooling, robust PCA), prints the relative-error series side by side
+and evaluates the qualitative claims the paper draws from the figures:
+the measured error beats the k^2/r prediction, more communication helps,
+and the RFF relative errors stay very close to 1.
+"""
+
+from benchmarks._harness import SCALE, K_VALUES, run_once, save_result
+from repro.experiments import format_figure2_panel, run_figure1
+from repro.experiments.report import qualitative_checks, summarize_results
+
+REPRESENTATIVE_PANELS = ["forest_cover", "caltech_p2", "scenes_p20", "isolet"]
+
+
+def test_figure2_relative_error_summary(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: run_figure1(REPRESENTATIVE_PANELS, scale=SCALE, k_values=K_VALUES, num_trials=1),
+    )
+    sections = [format_figure2_panel(panel, points) for panel, points in results.items()]
+    sections.append(summarize_results(results))
+    checks = qualitative_checks(results)
+    sections.append(f"qualitative checks: {checks}")
+    save_result("figure2_summary", "\n\n".join(sections))
+    assert checks["relative_error_close_to_one"]
+    assert checks["beats_prediction"]

@@ -1,0 +1,71 @@
+"""Lower-bound reductions of Section VII (E9): Theorems 4, 6 and 8.
+
+These are not figures in the paper, but they are half of its contribution.
+Each benchmark runs the constructive reduction with an exact relative-error
+rank-k solver over random promise instances and reports the decision
+accuracy together with the lower-bound magnitude the theorem implies for the
+instance size.
+"""
+
+from benchmarks._harness import run_once, save_result
+from repro.lowerbounds import (
+    DisjointnessReduction,
+    GapHammingReduction,
+    LInfinityReduction,
+    theorem4_bound_bits,
+    theorem6_bound_bits,
+    theorem8_bound_bits,
+)
+
+
+def test_theorem8_gap_hamming_reduction(benchmark):
+    reduction = GapHammingReduction(epsilon=0.08, k=2)
+    accuracy = run_once(benchmark, lambda: reduction.verify(trials=30, seed=0))
+    text = (
+        "Theorem 8 (Gap-Hamming-Distance reduction, f(x) = x)\n"
+        f"  epsilon = 0.08, instance length = {int(1 / 0.08**2)}\n"
+        f"  decision accuracy of a relative-error rank-k solver: {accuracy:.3f}\n"
+        f"  implied lower bound: Omega(1/eps^2) ~ {theorem8_bound_bits(0.08):.0f} bits"
+    )
+    save_result("lowerbound_theorem8", text)
+    assert accuracy >= 0.9
+
+
+def test_theorem6_disjointness_reduction(benchmark):
+    def run():
+        results = {}
+        for aggregation in ("max", "huber"):
+            reduction = DisjointnessReduction(16, 8, k=3, aggregation=aggregation)
+            results[aggregation] = reduction.verify(trials=16, seed=1)
+        return results
+
+    accuracies = run_once(benchmark, run)
+    text = (
+        "Theorem 6 (2-DISJ reduction, f = max or Huber psi)\n"
+        f"  instance length n*d = 128\n"
+        f"  decision accuracy (max):   {accuracies['max']:.3f}\n"
+        f"  decision accuracy (huber): {accuracies['huber']:.3f}\n"
+        f"  implied lower bound: Omega~(n d) = {theorem6_bound_bits(16, 8):.0f} bits"
+    )
+    save_result("lowerbound_theorem6", text)
+    assert min(accuracies.values()) >= 0.9
+
+
+def test_theorem4_linf_reduction(benchmark):
+    def run():
+        results = {}
+        for p in (1.5, 2.0, 3.0):
+            reduction = LInfinityReduction(16, 8, k=3, p=p)
+            results[p] = reduction.verify(trials=16, seed=2)
+        return results
+
+    accuracies = run_once(benchmark, run)
+    lines = ["Theorem 4 (L-infinity reduction, f(x) = |x|^p, p > 1)", "  instance length n*d = 128"]
+    for p, accuracy in accuracies.items():
+        lines.append(
+            f"  p = {p:g}: decision accuracy {accuracy:.3f}, "
+            f"implied bound ~ {theorem4_bound_bits(16, 8, p, 0.1):.2f} bits "
+            "(grows polynomially with n)"
+        )
+    save_result("lowerbound_theorem4", "\n".join(lines))
+    assert min(accuracies.values()) >= 0.9

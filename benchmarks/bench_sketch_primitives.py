@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the sketching substrate (true pytest-benchmark timings).
+
+Unlike the figure benchmarks (one-shot experiment regenerations), these run
+repeatedly and measure the throughput of the primitives a deployment would
+care about: CountSketch construction, sketching a local component, merging
+tables, point queries and the distributed HeavyHitters round-trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed.network import Network
+from repro.distributed.vector import DistributedVector
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.heavy_hitters import distributed_heavy_hitters
+
+DOMAIN = 50_000
+SUPPORT = 5_000
+
+
+@pytest.fixture(scope="module")
+def sparse_component(rng=None):
+    generator = np.random.default_rng(0)
+    indices = np.sort(generator.choice(DOMAIN, size=SUPPORT, replace=False)).astype(np.int64)
+    values = generator.normal(size=SUPPORT)
+    return indices, values
+
+
+@pytest.fixture(scope="module")
+def sketch():
+    return CountSketch(depth=5, width=256, domain=DOMAIN, seed=0)
+
+
+def test_countsketch_sketch_sparse(benchmark, sketch, sparse_component):
+    indices, values = sparse_component
+    table = benchmark(lambda: sketch.sketch(indices, values))
+    assert table.shape == (5, 256)
+
+
+def test_countsketch_point_queries(benchmark, sketch, sparse_component):
+    indices, values = sparse_component
+    table = sketch.sketch(indices, values)
+    query = np.arange(0, DOMAIN, 50, dtype=np.int64)
+    estimates = benchmark(lambda: sketch.estimate(table, query))
+    assert estimates.shape == query.shape
+
+
+def test_countsketch_merge(benchmark, sketch, sparse_component):
+    indices, values = sparse_component
+    tables = [sketch.sketch(indices, values * scale) for scale in (1.0, 2.0, 3.0, 4.0)]
+    merged = benchmark(lambda: CountSketch.merge(tables))
+    assert merged.shape == (5, 256)
+
+
+def test_distributed_heavy_hitters_round(benchmark):
+    generator = np.random.default_rng(1)
+    dense = generator.normal(size=DOMAIN) * 0.1
+    dense[generator.choice(DOMAIN, size=10, replace=False)] = 100.0
+
+    def build_vector():
+        parts = [generator.normal(scale=0.01, size=DOMAIN) for _ in range(3)]
+        parts.append(dense - np.sum(parts, axis=0))
+        network = Network(len(parts))
+        components = []
+        for vec in parts:
+            idx = np.nonzero(vec)[0].astype(np.int64)
+            components.append((idx, vec[idx]))
+        return DistributedVector(components, DOMAIN, network)
+
+    vector = build_vector()
+    result = benchmark.pedantic(
+        lambda: distributed_heavy_hitters(vector, b=16, seed=2), rounds=3, iterations=1
+    )
+    assert result.candidates.size >= 5

@@ -1,0 +1,20 @@
+"""Table I (E7): the psi-functions of the M-estimators used for robust PCA.
+
+Regenerates the table (Huber, L1-L2, "Fair"), augmented with a numerical
+verification that each squared psi satisfies property P -- the condition
+under which the generalized sampler, and hence the whole framework,
+applies to them.
+"""
+
+from benchmarks._harness import run_once, save_result
+from repro.experiments import format_table_i
+from repro.functions import FairPsi, HuberPsi, L1L2Psi
+from repro.functions.base import satisfies_property_p
+
+
+def test_table1_mestimators(benchmark):
+    text = run_once(benchmark, lambda: format_table_i(threshold=1.0, scale=1.0))
+    save_result("table1_mestimators", text)
+    assert "VIOLATED" not in text
+    for fn in (HuberPsi(1.0), L1L2Psi(), FairPsi(1.0)):
+        assert satisfies_property_p(fn, upper=50.0, num_points=501)

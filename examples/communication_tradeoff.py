@@ -1,0 +1,60 @@
+"""Communication / accuracy trade-off and the lower-bound reductions.
+
+Part 1 sweeps the number of sampled rows ``r`` and shows how the measured
+additive error tracks the ``k^2/r`` prediction while the communication ratio
+grows linearly -- the trade-off at the heart of Theorem 1.
+
+Part 2 runs the constructive lower-bound reductions of Section VII: an exact
+relative-error rank-``k`` solver decides Gap-Hamming-Distance, 2-DISJ and the
+``L_infinity`` promise problem through the paper's gadget matrices, which is
+why relative-error protocols cannot be communication-cheap.
+
+Run with::
+
+    python examples/communication_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DistributedPCA, LocalCluster, arbitrary_partition, predicted_additive_error
+from repro.lowerbounds import (
+    DisjointnessReduction,
+    GapHammingReduction,
+    LInfinityReduction,
+    theorem4_bound_bits,
+    theorem6_bound_bits,
+    theorem8_bound_bits,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(800, 24)) @ rng.normal(size=(24, 64)) + 0.2 * rng.normal(size=(800, 64))
+    cluster = LocalCluster(arbitrary_partition(data, 8, seed=1), name="tradeoff")
+    global_matrix = cluster.materialize_global()
+    k = 6
+
+    print("Part 1: accuracy vs communication (k = 6)")
+    print(f"{'rows r':>8}{'predicted k^2/r':>18}{'additive error':>18}{'comm ratio':>14}")
+    for num_samples in (40, 80, 160, 320, 640):
+        result = DistributedPCA(k=k, num_samples=num_samples, seed=3).fit(cluster)
+        report = result.evaluate(global_matrix)
+        print(f"{num_samples:>8}{predicted_additive_error(k, num_samples):>18.4f}"
+              f"{report['additive_error']:>18.4f}{result.communication_ratio:>14.3f}")
+
+    print("\nPart 2: lower-bound reductions (decision accuracy of a relative-error solver)")
+    ghd = GapHammingReduction(epsilon=0.1, k=2)
+    print(f"  Gap-Hamming  (Theorem 8): accuracy {ghd.verify(trials=20, seed=5):.2f}, "
+          f"lower bound ~ {theorem8_bound_bits(0.1):.0f} bits")
+    disj = DisjointnessReduction(num_rows=16, num_cols=8, k=3, aggregation="huber")
+    print(f"  2-DISJ/Huber (Theorem 6): accuracy {disj.verify(trials=10, seed=6):.2f}, "
+          f"lower bound ~ {theorem6_bound_bits(16, 8):.0f} bits")
+    linf = LInfinityReduction(num_rows=16, num_cols=8, k=3, p=2.0)
+    print(f"  L-infinity   (Theorem 4): accuracy {linf.verify(trials=10, seed=7):.2f}, "
+          f"lower bound ~ {theorem4_bound_bits(16, 8, 2.0, 0.1):.1f} bits")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""repro: Distributed low-rank approximation of implicit functions of a matrix.
+
+A reference reproduction of Woodruff & Zhong, *Distributed Low Rank
+Approximation of Implicit Functions of a Matrix* (ICDE 2016,
+arXiv:1601.07721).
+
+The public API is re-exported here; see the README for a quickstart and
+``DESIGN.md`` for the full system inventory.
+
+Typical usage::
+
+    import numpy as np
+    from repro import LocalCluster, DistributedPCA, arbitrary_partition
+
+    data = np.random.default_rng(0).normal(size=(500, 40))
+    cluster = LocalCluster(arbitrary_partition(data, num_servers=8, seed=1))
+    result = DistributedPCA(k=5, epsilon=0.25, seed=2).fit(cluster)
+    print(result.communication_ratio, result.evaluate(cluster.materialize_global()))
+"""
+
+from repro.core import (
+    DistributedPCA,
+    ExactNormSampler,
+    GeneralizedZRowSampler,
+    PCAResult,
+    RowSample,
+    RowSampler,
+    UniformRowSampler,
+    additive_error,
+    approximation_report,
+    practical_sample_count,
+    predicted_additive_error,
+    relative_error,
+    softmax_row_sampler,
+    theoretical_sample_count,
+)
+from repro.distributed import (
+    LocalCluster,
+    Network,
+    Server,
+    arbitrary_partition,
+    duplicate_records_partition,
+    entrywise_partition,
+    row_partition,
+)
+from repro.functions import (
+    FairPsi,
+    GeneralizedMeanFunction,
+    HuberPsi,
+    Identity,
+    L1L2Psi,
+    make_function,
+)
+from repro.kernels import RandomFourierFeatures, distributed_rff_cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # distributed substrate
+    "LocalCluster",
+    "Server",
+    "Network",
+    "row_partition",
+    "arbitrary_partition",
+    "entrywise_partition",
+    "duplicate_records_partition",
+    # core framework
+    "DistributedPCA",
+    "PCAResult",
+    "RowSampler",
+    "RowSample",
+    "UniformRowSampler",
+    "ExactNormSampler",
+    "GeneralizedZRowSampler",
+    "softmax_row_sampler",
+    "additive_error",
+    "relative_error",
+    "approximation_report",
+    "predicted_additive_error",
+    "practical_sample_count",
+    "theoretical_sample_count",
+    # functions
+    "Identity",
+    "GeneralizedMeanFunction",
+    "HuberPsi",
+    "L1L2Psi",
+    "FairPsi",
+    "make_function",
+    # kernels
+    "RandomFourierFeatures",
+    "distributed_rff_cluster",
+]

@@ -1,0 +1,60 @@
+"""Core framework: distributed additive-error low-rank approximation (Algorithm 1).
+
+The pipeline is the paper's Section III-IV:
+
+1. a :class:`~repro.core.samplers.RowSampler` draws ``r = Theta(k^2/eps^2)``
+   rows of the implicit global matrix with probability (approximately)
+   proportional to their squared norm, reporting approximate probabilities
+   ``Qhat``;
+2. the sampled rows are collected at the Central Processor and rescaled into
+   the matrix ``B`` with ``B_i = A_{j_i} / sqrt(r Qhat_{j_i})``
+   (:mod:`repro.core.fkv`);
+3. the top-``k`` right singular vectors of ``B`` give the projection
+   ``P = V V^T``, which is an additive-error rank-``k`` approximation of the
+   global matrix (Lemmas 1-3, Theorem 1).
+
+:class:`~repro.core.distributed_pca.DistributedPCA` orchestrates the three
+steps against a :class:`~repro.distributed.cluster.LocalCluster` and returns
+a :class:`~repro.core.result.PCAResult` carrying the projection and the
+exact communication bill.
+"""
+
+from repro.core.distributed_pca import DistributedPCA
+from repro.core.errors import (
+    additive_error,
+    approximation_report,
+    predicted_additive_error,
+    relative_error,
+)
+from repro.core.fkv import (
+    fkv_projection,
+    practical_sample_count,
+    theoretical_sample_count,
+)
+from repro.core.result import PCAResult
+from repro.core.samplers import (
+    ExactNormSampler,
+    GeneralizedZRowSampler,
+    RowSample,
+    RowSampler,
+    UniformRowSampler,
+    softmax_row_sampler,
+)
+
+__all__ = [
+    "DistributedPCA",
+    "PCAResult",
+    "RowSampler",
+    "RowSample",
+    "UniformRowSampler",
+    "ExactNormSampler",
+    "GeneralizedZRowSampler",
+    "softmax_row_sampler",
+    "fkv_projection",
+    "theoretical_sample_count",
+    "practical_sample_count",
+    "additive_error",
+    "relative_error",
+    "approximation_report",
+    "predicted_additive_error",
+]

@@ -1,0 +1,159 @@
+"""Algorithm 1: the distributed additive-error PCA framework.
+
+``DistributedPCA`` wires a :class:`~repro.core.samplers.RowSampler` into the
+Frieze-Kannan-Vempala estimator:
+
+1. the sampler draws ``r`` rows with (approximately reported)
+   probabilities ``Qhat``;
+2. every server ships its local copy of the sampled rows to the Central
+   Processor (unless the sampler already collected them), which sums them
+   and applies ``f``;
+3. the CP rescales the rows into ``B`` (``B_{i'} = A_{j_{i'}} /
+   sqrt(r Qhat_{j_{i'}})``) and outputs the projection onto the top-``k``
+   right singular vectors of ``B``.
+
+Per Theorem 1, repeating the procedure and keeping the run with maximum
+``||B P||_F^2`` boosts the constant success probability to ``1 - delta``
+with ``O(log 1/delta)`` repetitions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.fkv import fkv_projection, practical_sample_count
+from repro.core.result import PCAResult
+from repro.core.samplers import RowSample, RowSampler, UniformRowSampler
+from repro.distributed.cluster import LocalCluster
+from repro.utils.linalg import frobenius_norm_squared
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.validation import check_positive, check_rank
+
+
+class DistributedPCA:
+    """Compute an additive-error rank-``k`` projection of the implicit global matrix.
+
+    Parameters
+    ----------
+    k:
+        Target rank of the projection.
+    num_samples:
+        Number ``r`` of rows sampled per repetition.  When omitted it is
+        derived from ``epsilon`` as ``ceil(k^2 / epsilon^2)``
+        (:func:`~repro.core.fkv.practical_sample_count`).
+    epsilon:
+        Target additive error (only used to derive ``num_samples``).
+    sampler:
+        The row sampler; defaults to :class:`~repro.core.samplers.UniformRowSampler`.
+    repetitions:
+        Independent repetitions; the projection maximising ``||BP||_F^2`` is
+        returned (Theorem 1's success-probability boosting).
+    seed:
+        Randomness for sampling.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.distributed import LocalCluster, arbitrary_partition
+    >>> from repro.core import DistributedPCA
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.normal(size=(200, 20)) @ rng.normal(size=(20, 30))
+    >>> cluster = LocalCluster(arbitrary_partition(data, 4, seed=1))
+    >>> result = DistributedPCA(k=5, num_samples=120, seed=2).fit(cluster)
+    >>> result.projection.shape
+    (30, 30)
+    """
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        num_samples: Optional[int] = None,
+        epsilon: Optional[float] = None,
+        sampler: Optional[RowSampler] = None,
+        repetitions: int = 1,
+        seed: RandomState = None,
+    ) -> None:
+        self.k = check_rank(k, None, "k")
+        if num_samples is None:
+            if epsilon is None:
+                raise ValueError("provide either num_samples or epsilon")
+            epsilon = check_positive(epsilon, "epsilon")
+            num_samples = practical_sample_count(self.k, epsilon)
+        if num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+        self.num_samples = int(num_samples)
+        self.epsilon = epsilon
+        self.sampler = sampler if sampler is not None else UniformRowSampler()
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        self.repetitions = int(repetitions)
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # the protocol
+    # ------------------------------------------------------------------ #
+    def _collect_rows(self, cluster: LocalCluster, sample: RowSample) -> np.ndarray:
+        """Return the sampled global rows, collecting them from the servers if needed."""
+        if sample.global_rows is not None:
+            return sample.global_rows
+        unique_rows, inverse = np.unique(sample.row_indices, return_inverse=True)
+        collected = cluster.aggregate_rows(unique_rows, tag="pca:gather_rows")
+        return collected[inverse]
+
+    def fit(self, cluster: LocalCluster) -> PCAResult:
+        """Run the protocol against ``cluster`` and return the best projection found.
+
+        The returned :class:`~repro.core.result.PCAResult` carries the exact
+        number of words charged to the cluster's network by this call
+        (sampling plus row collection, over all repetitions).
+        """
+        if self.k > cluster.num_columns:
+            raise ValueError(
+                f"k={self.k} exceeds the number of columns {cluster.num_columns}"
+            )
+        network = cluster.network
+        words_before = network.total_words
+        repetition_rngs = spawn_rngs(self._rng, self.repetitions)
+
+        best: Optional[dict] = None
+        scores = []
+        for repetition in range(self.repetitions):
+            sample = self.sampler.sample_rows(
+                cluster, self.num_samples, seed=repetition_rngs[repetition]
+            )
+            rows = self._collect_rows(cluster, sample)
+            basis, projection, b_matrix = fkv_projection(
+                rows, sample.probabilities, self.k
+            )
+            score = frobenius_norm_squared(b_matrix @ projection)
+            scores.append(score)
+            if best is None or score > best["score"]:
+                best = {
+                    "score": score,
+                    "basis": basis,
+                    "projection": projection,
+                    "sample": sample,
+                }
+
+        assert best is not None  # repetitions >= 1
+        total_words = network.total_words - words_before
+        return PCAResult(
+            projection=best["projection"],
+            basis=best["basis"],
+            k=self.k,
+            num_samples=self.num_samples,
+            row_indices=best["sample"].row_indices,
+            communication_words=total_words,
+            input_words=cluster.total_input_words(),
+            sampler_name=self.sampler.name,
+            repetitions=self.repetitions,
+            score=best["score"],
+            metadata={
+                "repetition_scores": scores,
+                "sampler_is_oracle": self.sampler.is_oracle,
+                "sampler_metadata": best["sample"].metadata,
+            },
+        )

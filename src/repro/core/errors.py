@@ -1,0 +1,95 @@
+"""Approximation-error metrics used throughout the evaluation.
+
+The paper reports two quantities for a computed rank-``k`` projection ``P``:
+
+* the **additive error** ``(||A - AP||_F^2 - ||A - [A]_k||_F^2) / ||A||_F^2``
+  (Figure 1), which Theorem 1 bounds by ``O(eps)``;
+* the **relative error** ``||A - AP||_F^2 / ||A - [A]_k||_F^2`` (Figure 2).
+
+The theoretical prediction overlaid on Figure 1 is ``k^2 / r`` where ``r`` is
+the number of sampled rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.linalg import (
+    best_rank_k_error,
+    frobenius_norm_squared,
+)
+from repro.utils.validation import check_matrix, check_rank
+
+
+def residual_norm_squared(matrix: np.ndarray, projection: np.ndarray) -> float:
+    """Return ``||A - A P||_F^2`` for a projection matrix ``P``."""
+    a = check_matrix(matrix, "matrix")
+    p = check_matrix(projection, "projection")
+    if p.shape[0] != p.shape[1] or p.shape[0] != a.shape[1]:
+        raise ValueError(
+            f"projection must be a {a.shape[1]} x {a.shape[1]} matrix, got {p.shape}"
+        )
+    residual = a - a @ p
+    return frobenius_norm_squared(residual)
+
+
+def additive_error(matrix: np.ndarray, projection: np.ndarray, k: int) -> float:
+    """Return ``|  ||A-AP||_F^2 - ||A-[A]_k||_F^2  | / ||A||_F^2`` (Figure 1's metric)."""
+    a = check_matrix(matrix, "matrix")
+    k = check_rank(k, min(a.shape), "k")
+    achieved = residual_norm_squared(a, projection)
+    optimal = best_rank_k_error(a, k)
+    denom = frobenius_norm_squared(a)
+    if denom <= 0:
+        raise ValueError("matrix must be nonzero to measure additive error")
+    return abs(achieved - optimal) / denom
+
+
+def relative_error(matrix: np.ndarray, projection: np.ndarray, k: int) -> float:
+    """Return ``||A-AP||_F^2 / ||A-[A]_k||_F^2`` (Figure 2's metric).
+
+    When the best rank-``k`` error is (numerically) zero the ratio is
+    reported as ``inf`` unless the achieved error is also zero, in which
+    case it is ``1.0``.
+    """
+    a = check_matrix(matrix, "matrix")
+    k = check_rank(k, min(a.shape), "k")
+    achieved = residual_norm_squared(a, projection)
+    optimal = best_rank_k_error(a, k)
+    if optimal <= 1e-12 * frobenius_norm_squared(a):
+        return 1.0 if achieved <= 1e-12 * frobenius_norm_squared(a) else float("inf")
+    return achieved / optimal
+
+
+def predicted_additive_error(k: int, num_samples: int) -> float:
+    """The paper's theoretical prediction ``k^2 / r`` for the additive error."""
+    k = check_rank(k, None, "k")
+    if num_samples < 1:
+        raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+    return float(k * k) / float(num_samples)
+
+
+def approximation_report(
+    matrix: np.ndarray, projection: np.ndarray, k: int
+) -> Dict[str, float]:
+    """Return all error metrics for one (matrix, projection, k) triple."""
+    a = check_matrix(matrix, "matrix")
+    k = check_rank(k, min(a.shape), "k")
+    achieved = residual_norm_squared(a, projection)
+    optimal = best_rank_k_error(a, k)
+    total = frobenius_norm_squared(a)
+    additive = abs(achieved - optimal) / total if total > 0 else float("nan")
+    if optimal <= 1e-12 * total:
+        relative = 1.0 if achieved <= 1e-12 * total else float("inf")
+    else:
+        relative = achieved / optimal
+    return {
+        "residual_norm_squared": achieved,
+        "best_rank_k_norm_squared": optimal,
+        "frobenius_norm_squared": total,
+        "additive_error": additive,
+        "relative_error": relative,
+        "captured_fraction": 1.0 - achieved / total if total > 0 else float("nan"),
+    }

@@ -1,0 +1,91 @@
+"""Result object returned by :class:`~repro.core.distributed_pca.DistributedPCA`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.errors import approximation_report
+from repro.utils.linalg import is_projection_matrix, projection_rank
+
+
+@dataclass
+class PCAResult:
+    """The rank-``k`` projection computed by the distributed protocol, plus its bill.
+
+    Attributes
+    ----------
+    projection:
+        The ``d x d`` projection matrix ``P = V V^T``.
+    basis:
+        The ``d x k`` orthonormal basis ``V`` of the row space of ``P``.
+    k:
+        Target rank.
+    num_samples:
+        Number of rows sampled per repetition (``r``).
+    row_indices:
+        The sampled row indices of the best repetition.
+    communication_words:
+        Total words charged to the network during the protocol run
+        (sampling + row collection over all repetitions).
+    input_words:
+        Sum of the local data sizes (the ratio denominator).
+    sampler_name:
+        Name of the row sampler used.
+    repetitions:
+        Number of independent repetitions run (the best by ``||BP||_F^2`` kept).
+    score:
+        ``||B P||_F^2`` of the kept repetition.
+    metadata:
+        Additional diagnostics (per-repetition scores, sampler metadata, ...).
+    """
+
+    projection: np.ndarray
+    basis: np.ndarray
+    k: int
+    num_samples: int
+    row_indices: np.ndarray
+    communication_words: int
+    input_words: int
+    sampler_name: str = ""
+    repetitions: int = 1
+    score: float = 0.0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def communication_ratio(self) -> float:
+        """Communication divided by the total local data size."""
+        if self.input_words <= 0:
+            return float("nan")
+        return self.communication_words / self.input_words
+
+    @property
+    def rank(self) -> int:
+        """Numerical rank of the projection (should equal ``k``)."""
+        return projection_rank(self.projection)
+
+    def is_valid_projection(self, atol: float = 1e-6) -> bool:
+        """Check that the output is a genuine projection matrix of rank at most ``k``."""
+        return bool(
+            is_projection_matrix(self.projection, atol=atol) and self.rank <= self.k
+        )
+
+    def evaluate(self, global_matrix: np.ndarray, k: Optional[int] = None) -> Dict[str, float]:
+        """Return the additive/relative error report against ``global_matrix``.
+
+        The global matrix is an evaluation-only object (tests/experiments
+        obtain it via ``cluster.materialize_global()``).
+        """
+        return approximation_report(global_matrix, self.projection, k if k is not None else self.k)
+
+    def project(self, matrix: np.ndarray) -> np.ndarray:
+        """Return ``matrix @ P``, the rows projected onto the learned subspace."""
+        arr = np.asarray(matrix, dtype=float)
+        return arr @ self.projection
+
+    def reduce(self, matrix: np.ndarray) -> np.ndarray:
+        """Return the ``k``-dimensional coordinates ``matrix @ V`` (feature reduction)."""
+        arr = np.asarray(matrix, dtype=float)
+        return arr @ self.basis

@@ -1,0 +1,269 @@
+"""Row samplers: the pluggable component of Algorithm 1.
+
+Algorithm 1 needs a distributed sampler that (i) draws rows of the implicit
+global matrix with probability at least ``c |A_i|_2^2 / ||A||_F^2`` and (ii)
+reports a ``(1 +/- gamma)`` approximation of the actual sampling
+probability.  Different applications of the paper differ *only* in the
+sampler:
+
+* Gaussian random Fourier features have (nearly) equal row norms, so
+  :class:`UniformRowSampler` suffices and costs no communication
+  (Section VI-A);
+* softmax / generalized mean pooling and M-estimator ψ-functions use the
+  generalized Z-sampler machinery through
+  :class:`GeneralizedZRowSampler` (Sections VI-B and VI-C);
+* :class:`ExactNormSampler` is an oracle baseline that centralises the data
+  to sample from the exact squared-norm distribution -- used by tests and
+  ablations, never by a real protocol.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.distributed.cluster import LocalCluster
+from repro.distributed.vector import DistributedVector
+from repro.functions.base import EntrywiseFunction
+from repro.functions.softmax import GeneralizedMeanFunction
+from repro.sketch.z_sampler import ZSampler, ZSamplerConfig
+from repro.utils.linalg import row_norms_squared
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass
+class RowSample:
+    """The output of one sampling round.
+
+    Attributes
+    ----------
+    row_indices:
+        Length-``r`` array of sampled row indices (with replacement).
+    probabilities:
+        ``Qhat`` for each draw: the (approximately) reported probability
+        that a single draw of the sampler returns that row.
+    global_rows:
+        Optional ``r x d`` array of the sampled *global* rows
+        (``f`` already applied).  Samplers that had to collect the rows to
+        compute ``Qhat`` fill this in so Algorithm 1 does not pay for the
+        rows twice.
+    words_used:
+        Communication charged while sampling.
+    metadata:
+        Sampler-specific diagnostics (e.g. the Z-estimate).
+    """
+
+    row_indices: np.ndarray
+    probabilities: np.ndarray
+    global_rows: Optional[np.ndarray] = None
+    words_used: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.row_indices = np.asarray(self.row_indices, dtype=np.int64)
+        self.probabilities = np.asarray(self.probabilities, dtype=float)
+        if self.row_indices.shape != self.probabilities.shape:
+            raise ValueError("row_indices and probabilities must have the same length")
+        if np.any(self.probabilities <= 0):
+            raise ValueError("all reported probabilities must be strictly positive")
+        if self.global_rows is not None:
+            self.global_rows = np.asarray(self.global_rows, dtype=float)
+            if self.global_rows.shape[0] != self.row_indices.shape[0]:
+                raise ValueError("global_rows must have one row per sampled index")
+
+    @property
+    def num_samples(self) -> int:
+        """Number of draws ``r``."""
+        return int(self.row_indices.size)
+
+
+class RowSampler(abc.ABC):
+    """Interface of the distributed row sampler used by Algorithm 1."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "row_sampler"
+    #: True for evaluation-only samplers that centralise the data.
+    is_oracle: bool = False
+
+    @abc.abstractmethod
+    def sample_rows(
+        self, cluster: LocalCluster, count: int, seed: RandomState = None
+    ) -> RowSample:
+        """Draw ``count`` rows (with replacement) from ``cluster``'s global matrix."""
+
+
+class UniformRowSampler(RowSampler):
+    """Sample rows uniformly at random (``Qhat_i = 1/n``), with zero communication.
+
+    Valid whenever the global rows have (nearly) equal squared norms, which
+    is the case for Gaussian random Fourier features where every row norm
+    concentrates around ``d`` (Section VI-A).
+    """
+
+    name = "uniform"
+
+    def sample_rows(
+        self, cluster: LocalCluster, count: int, seed: RandomState = None
+    ) -> RowSample:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        rng = ensure_rng(seed)
+        n = cluster.num_rows
+        indices = rng.integers(0, n, size=count)
+        probabilities = np.full(count, 1.0 / n)
+        return RowSample(indices, probabilities, words_used=0)
+
+
+class ExactNormSampler(RowSampler):
+    """Oracle sampler from the exact distribution ``|A_i|_2^2 / ||A||_F^2``.
+
+    Centralises the global matrix (evaluation only, no communication is
+    charged); serves as the "perfect sampler" upper baseline in ablations
+    and as ground truth in tests of Algorithm 1's tolerance to approximate
+    probabilities.
+
+    Parameters
+    ----------
+    probability_noise:
+        Optional multiplicative distortion ``gamma``: reported probabilities
+        are ``Q_i * (1 + u)`` with ``u`` uniform in ``[-gamma, gamma]``,
+        exercising the approximate-probability analysis of Lemma 3.
+    """
+
+    name = "exact_norm"
+    is_oracle = True
+
+    def __init__(self, probability_noise: float = 0.0) -> None:
+        if probability_noise < 0 or probability_noise >= 1:
+            raise ValueError(
+                f"probability_noise must be in [0, 1), got {probability_noise}"
+            )
+        self.probability_noise = float(probability_noise)
+
+    def sample_rows(
+        self, cluster: LocalCluster, count: int, seed: RandomState = None
+    ) -> RowSample:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        rng = ensure_rng(seed)
+        global_matrix = cluster.materialize_global()
+        norms = row_norms_squared(global_matrix)
+        total = norms.sum()
+        if total <= 0:
+            raise ValueError("the global matrix is identically zero; cannot sample by norm")
+        probabilities = norms / total
+        indices = rng.choice(global_matrix.shape[0], size=count, p=probabilities)
+        reported = probabilities[indices]
+        if self.probability_noise > 0:
+            distortion = 1.0 + rng.uniform(
+                -self.probability_noise, self.probability_noise, size=count
+            )
+            reported = reported * distortion
+        return RowSample(
+            indices,
+            reported,
+            global_rows=global_matrix[indices],
+            words_used=0,
+            metadata={"exact_distribution": probabilities},
+        )
+
+
+class GeneralizedZRowSampler(RowSampler):
+    """Row sampling through the generalized (distributed) Z-sampler.
+
+    The row-sampling task is reduced to entry sampling (Section V): entries
+    of the flattened summed matrix are sampled with probability proportional
+    to ``z(sum_t A^t_{ij})`` where ``z`` is the entrywise function's sampling
+    weight (``~ f^2``); a sampled entry selects its whole row.  The reported
+    row probability is ``sum_j z(a_{ij}) / Zhat``, computed exactly by the
+    Central Processor from the collected summed row and the Z-estimator's
+    ``Zhat``.
+
+    Parameters
+    ----------
+    function:
+        The entrywise function ``f`` (supplies the weight ``z``).  When
+        omitted, the cluster's own function is used if it is an
+        :class:`~repro.functions.base.EntrywiseFunction`.
+    config:
+        Configuration of the underlying :class:`~repro.sketch.z_sampler.ZSampler`.
+    """
+
+    name = "generalized_z"
+
+    def __init__(
+        self,
+        function: Optional[EntrywiseFunction] = None,
+        config: Optional[ZSamplerConfig] = None,
+    ) -> None:
+        self._function = function
+        self._config = config or ZSamplerConfig()
+
+    def _resolve_function(self, cluster: LocalCluster) -> EntrywiseFunction:
+        if self._function is not None:
+            return self._function
+        if isinstance(cluster.function, EntrywiseFunction):
+            return cluster.function
+        raise TypeError(
+            "GeneralizedZRowSampler needs an EntrywiseFunction; pass one "
+            "explicitly or attach one to the cluster"
+        )
+
+    def sample_rows(
+        self, cluster: LocalCluster, count: int, seed: RandomState = None
+    ) -> RowSample:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        rng = ensure_rng(seed)
+        function = self._resolve_function(cluster)
+        network = cluster.network
+        words_before = network.total_words
+
+        vector = DistributedVector.from_cluster_entries(cluster)
+        z_sampler = ZSampler(function.sampling_weight, self._config, seed=rng)
+        draws = z_sampler.sample(vector, count)
+
+        d = cluster.num_columns
+        row_indices = draws.indices // d
+
+        # Collect the summed rows once (needed both for Qhat and for B).
+        unique_rows, inverse = np.unique(row_indices, return_inverse=True)
+        summed_rows = cluster.aggregate_rows(
+            unique_rows, tag="sampler:gather_rows", apply_function=False
+        )
+        weights = np.asarray(function.sampling_weight(summed_rows), dtype=float)
+        row_weight = weights.sum(axis=1)
+        z_total = draws.estimate.z_total
+        if z_total <= 0:
+            raise RuntimeError("Z-estimator reported a non-positive Zhat")
+        row_probabilities = np.clip(row_weight / z_total, 1e-300, None)
+
+        global_rows = np.asarray(function(summed_rows), dtype=float)
+        return RowSample(
+            row_indices=row_indices,
+            probabilities=row_probabilities[inverse],
+            global_rows=global_rows[inverse],
+            words_used=network.total_words - words_before,
+            metadata={
+                "z_estimate": draws.estimate,
+                "entry_indices": draws.indices,
+                "failures": draws.failures,
+            },
+        )
+
+
+def softmax_row_sampler(
+    p: float, config: Optional[ZSamplerConfig] = None
+) -> GeneralizedZRowSampler:
+    """Convenience factory: the sampler for softmax / ``GM_p`` aggregation.
+
+    Servers are expected to hold the locally transformed matrices
+    ``(1/s) |M^t|^p`` (see
+    :meth:`repro.functions.softmax.GeneralizedMeanFunction.build_cluster`);
+    the sampler then performs ``l_{2/p}`` sampling on their sum, which is the
+    paper's application of [14], [15].
+    """
+    return GeneralizedZRowSampler(GeneralizedMeanFunction(p), config)

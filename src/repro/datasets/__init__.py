@@ -1,0 +1,43 @@
+"""Synthetic dataset generators standing in for the paper's evaluation data.
+
+The paper evaluates on five datasets: Forest Cover and KDDCUP99 (expanded
+into Gaussian random Fourier features), Caltech-101 and Scenes (SIFT
+patches, a 256-word codebook and P-norm pooling) and isolet (robust PCA
+with 50 corrupted entries).  The raw datasets are not bundled here; instead
+each generator produces a synthetic matrix with the structural properties
+that drive the algorithms' behaviour (spectrum shape, row-norm profile,
+sparsity, and outlier pattern) at laptop scale.  The substitutions are
+documented in DESIGN.md.
+"""
+
+from repro.datasets.noise import inject_outliers
+from repro.datasets.pooling import (
+    PatchCodeDataset,
+    caltech_like_patch_codes,
+    pnorm_pooling_cluster,
+    scenes_like_patch_codes,
+)
+from repro.datasets.synthetic import (
+    clustered_gaussian,
+    low_rank_plus_noise,
+    power_law_rows,
+)
+from repro.datasets.uci_like import (
+    forest_cover_like,
+    isolet_like,
+    kddcup_like,
+)
+
+__all__ = [
+    "low_rank_plus_noise",
+    "power_law_rows",
+    "clustered_gaussian",
+    "forest_cover_like",
+    "kddcup_like",
+    "isolet_like",
+    "inject_outliers",
+    "PatchCodeDataset",
+    "caltech_like_patch_codes",
+    "scenes_like_patch_codes",
+    "pnorm_pooling_cluster",
+]

@@ -1,0 +1,171 @@
+"""P-norm pooling workloads (the Caltech-101 / Scenes experiments).
+
+The paper's methodology (Section VIII): densely extract SIFT descriptors,
+quantise each patch against a 256-word codebook into a 1-of-256 code,
+distribute the binary patch codes across servers, and have each server
+locally pool the codes of the same image; the global feature matrix is then
+obtained by pooling *across* servers with a P-norm (generalized mean) --
+average pooling for P=1, square-root pooling for P=2, approximate max
+pooling for P=5 and P=20.
+
+The generator below produces synthetic patch codes with the same structure:
+images are mixtures over a codebook with image-class-dependent topic
+distributions, each patch is a 1-of-V indicator, and patches are assigned to
+servers at random.  The resulting per-server pooled matrices are the raw
+local matrices ``M^t`` of the softmax application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.distributed.cluster import LocalCluster
+from repro.distributed.network import Network
+from repro.functions.softmax import GeneralizedMeanFunction
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_rank
+
+
+@dataclass
+class PatchCodeDataset:
+    """Synthetic 1-of-V patch codes grouped by image and assigned to servers.
+
+    Attributes
+    ----------
+    local_counts:
+        One ``num_images x codebook_size`` matrix per server: the count of
+        each codeword among the server's patches of each image, i.e. the
+        server's *locally pooled* (sum-pooled) codes.  These are the raw
+        matrices ``M^t`` fed to the P-norm pooling application.
+    codebook_size:
+        Number of visual words ``V``.
+    patches_per_image:
+        Average number of patches per image.
+    """
+
+    local_counts: List[np.ndarray]
+    codebook_size: int
+    patches_per_image: int
+
+    @property
+    def num_servers(self) -> int:
+        """Number of servers the patches were distributed over."""
+        return len(self.local_counts)
+
+    @property
+    def num_images(self) -> int:
+        """Number of images (rows of the pooled feature matrices)."""
+        return int(self.local_counts[0].shape[0])
+
+    def global_sum_pooled(self) -> np.ndarray:
+        """Return the sum-pooled global counts (evaluation helper)."""
+        return np.sum(self.local_counts, axis=0)
+
+
+def _generate_patch_codes(
+    num_images: int,
+    codebook_size: int,
+    num_classes: int,
+    patches_per_image: int,
+    num_servers: int,
+    topic_concentration: float,
+    seed: RandomState,
+) -> PatchCodeDataset:
+    """Shared generator behind the Caltech-like and Scenes-like datasets."""
+    rng = ensure_rng(seed)
+    # Each image class has a sparse distribution over the codebook (objects /
+    # scene types reuse a characteristic subset of visual words).
+    class_topics = rng.dirichlet(
+        np.full(codebook_size, topic_concentration), size=num_classes
+    )
+    image_classes = rng.integers(0, num_classes, size=num_images)
+    local_counts = [
+        np.zeros((num_images, codebook_size), dtype=float) for _ in range(num_servers)
+    ]
+    for image in range(num_images):
+        topic = class_topics[image_classes[image]]
+        count = max(1, int(rng.poisson(patches_per_image)))
+        words = rng.choice(codebook_size, size=count, p=topic)
+        servers = rng.integers(0, num_servers, size=count)
+        for word, server in zip(words, servers):
+            local_counts[server][image, word] += 1.0
+    return PatchCodeDataset(
+        local_counts=local_counts,
+        codebook_size=codebook_size,
+        patches_per_image=patches_per_image,
+    )
+
+
+def caltech_like_patch_codes(
+    num_images: int = 915,
+    codebook_size: int = 256,
+    *,
+    num_servers: int = 50,
+    num_classes: int = 101,
+    patches_per_image: int = 60,
+    seed: RandomState = None,
+) -> PatchCodeDataset:
+    """Return Caltech-101-like patch codes (object categories, 256-word codebook).
+
+    The original matrix is 9145 x 256 pooled over 101 object categories with
+    50 servers; the defaults keep the column count, class count and server
+    count while scaling the number of images down by ~10x.
+    """
+    num_images = check_rank(num_images, None, "num_images")
+    return _generate_patch_codes(
+        num_images,
+        codebook_size,
+        num_classes,
+        patches_per_image,
+        num_servers,
+        topic_concentration=0.05,
+        seed=seed,
+    )
+
+
+def scenes_like_patch_codes(
+    num_images: int = 897,
+    codebook_size: int = 256,
+    *,
+    num_servers: int = 10,
+    num_classes: int = 15,
+    patches_per_image: int = 60,
+    seed: RandomState = None,
+) -> PatchCodeDataset:
+    """Return Scenes-like patch codes (15 scene categories, 256-word codebook, 10 servers)."""
+    num_images = check_rank(num_images, None, "num_images")
+    return _generate_patch_codes(
+        num_images,
+        codebook_size,
+        num_classes,
+        patches_per_image,
+        num_servers,
+        topic_concentration=0.15,
+        seed=seed,
+    )
+
+
+def pnorm_pooling_cluster(
+    dataset: PatchCodeDataset,
+    p: float,
+    *,
+    network: Optional[Network] = None,
+    name: str = "",
+) -> LocalCluster:
+    """Build the softmax/GM_p cluster pooling ``dataset`` across servers with exponent ``p``.
+
+    Each server's raw matrix ``M^t`` is its locally pooled counts; the
+    cluster applies the local transform ``(1/s)|M^t|^p`` and the entrywise
+    function ``x^{1/p}``, so the implicit global matrix is the P-norm pooled
+    feature matrix (average pooling at ``p=1``, square-root pooling at
+    ``p=2``, approximate max pooling at large ``p``).
+    """
+    function = GeneralizedMeanFunction(p)
+    return function.build_cluster(
+        dataset.local_counts,
+        network=network,
+        name=name or f"pnorm_pooling[p={p:g}]",
+    )

@@ -1,0 +1,44 @@
+"""Simulated distributed substrate (servers, network, communication accounting).
+
+The paper's *generalized partition model* has ``s`` servers, each holding a
+local matrix ``A^t``, all communicating with server 1 (the Central
+Processor).  This package simulates that star topology in-process while
+keeping an exact account of every word exchanged, so experiments can bound
+the ratio of total communication to total input size exactly as the paper
+does.
+
+Main entry points
+-----------------
+:class:`~repro.distributed.cluster.LocalCluster`
+    Holds the ``s`` local matrices, the entrywise function ``f`` and the
+    accounting :class:`~repro.distributed.network.Network`; exposes the
+    primitive operations protocols need (gather rows, merge sketches,
+    request entries).
+:mod:`~repro.distributed.partition`
+    Ways to split a logically global matrix across servers (row partition,
+    arbitrary/linear partition, entrywise partition, duplicate records).
+"""
+
+from repro.distributed.cluster import LocalCluster
+from repro.distributed.message import Message, payload_word_count
+from repro.distributed.network import CommunicationLog, Network
+from repro.distributed.partition import (
+    arbitrary_partition,
+    duplicate_records_partition,
+    entrywise_partition,
+    row_partition,
+)
+from repro.distributed.server import Server
+
+__all__ = [
+    "LocalCluster",
+    "Server",
+    "Network",
+    "CommunicationLog",
+    "Message",
+    "payload_word_count",
+    "row_partition",
+    "arbitrary_partition",
+    "entrywise_partition",
+    "duplicate_records_partition",
+]

@@ -1,0 +1,275 @@
+"""The simulated cluster: ``s`` servers, a network, and an implicit global matrix.
+
+A :class:`LocalCluster` owns the local matrices ``A^1 ... A^s`` and the
+entrywise function ``f`` that defines the implicit global matrix
+``A_{ij} = f(sum_t A^t_{ij})``.  Protocols interact with the cluster through
+two kinds of operations:
+
+* **accounted operations** (``aggregate_rows``, ``aggregate_entries``,
+  ``gather_from_servers``) that move data to the Central Processor and are
+  charged to the cluster's :class:`~repro.distributed.network.Network`;
+* **evaluation-only operations** (``materialize_global``) that construct the
+  full global matrix centrally so tests and experiments can measure the true
+  approximation error.  These are never available to a real protocol and are
+  deliberately *not* charged to the network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.distributed.network import Network
+from repro.distributed.server import LocalMatrix, Server
+
+#: An entrywise function applied to numpy arrays (vectorised).
+EntrywiseCallable = Callable[[np.ndarray], np.ndarray]
+
+
+def _identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+class LocalCluster:
+    """In-process simulation of the generalized partition model.
+
+    Parameters
+    ----------
+    local_matrices:
+        Sequence of ``s`` local matrices, all of the same ``n x d`` shape
+        (dense ndarrays or scipy sparse matrices).
+    function:
+        Vectorised entrywise function ``f`` defining the global matrix.
+        Defaults to the identity.  Objects from :mod:`repro.functions` are
+        callables and can be passed directly.
+    network:
+        Existing :class:`Network` to charge communication to; a fresh one is
+        created when omitted.  Sharing a network across derived clusters
+        (see :meth:`transform_locally`) keeps a single running total.
+    name:
+        Optional label used in reports.
+    """
+
+    def __init__(
+        self,
+        local_matrices: Sequence[LocalMatrix],
+        function: Optional[EntrywiseCallable] = None,
+        *,
+        network: Optional[Network] = None,
+        name: str = "",
+        keep_messages: bool = False,
+    ) -> None:
+        if len(local_matrices) < 1:
+            raise ValueError("a cluster needs at least one server")
+        shapes = set()
+        for local in local_matrices:
+            if not sparse.issparse(local):
+                local = np.asarray(local)
+            if local.ndim != 2:
+                raise ValueError("every local matrix must be 2-dimensional")
+            shapes.add(tuple(local.shape))
+        if len(shapes) != 1:
+            raise ValueError(f"all local matrices must share one shape, got {sorted(shapes)}")
+        self._servers: List[Server] = [
+            Server(t, local) for t, local in enumerate(local_matrices)
+        ]
+        self._shape: Tuple[int, int] = self._servers[0].shape
+        self._function: EntrywiseCallable = function if function is not None else _identity
+        self._network = network if network is not None else Network(
+            len(self._servers), keep_messages=keep_messages
+        )
+        if self._network.num_servers != len(self._servers):
+            raise ValueError(
+                "network was created for a different number of servers: "
+                f"{self._network.num_servers} != {len(self._servers)}"
+            )
+        self._name = name
+        self._cached_sum: Optional[np.ndarray] = None
+        self._cached_global: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_servers(self) -> int:
+        """Number of servers ``s`` (server 0 is the Central Processor)."""
+        return len(self._servers)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Shape ``(n, d)`` of every local matrix and of the global matrix."""
+        return self._shape
+
+    @property
+    def num_rows(self) -> int:
+        """Number of data points ``n``."""
+        return self._shape[0]
+
+    @property
+    def num_columns(self) -> int:
+        """Dimensionality ``d`` of each data point."""
+        return self._shape[1]
+
+    @property
+    def servers(self) -> List[Server]:
+        """The simulated servers (index 0 is the Central Processor)."""
+        return self._servers
+
+    @property
+    def network(self) -> Network:
+        """The accounting network shared by all protocol runs on this cluster."""
+        return self._network
+
+    @property
+    def function(self) -> EntrywiseCallable:
+        """The entrywise function ``f`` defining the implicit global matrix."""
+        return self._function
+
+    @property
+    def name(self) -> str:
+        """Human-readable label of the cluster/workload."""
+        return self._name
+
+    def total_input_words(self) -> int:
+        """Sum of the local data sizes in words (denominator of the communication ratio)."""
+        return sum(server.stored_words() for server in self._servers)
+
+    # ------------------------------------------------------------------ #
+    # accounted distributed operations
+    # ------------------------------------------------------------------ #
+    def gather_from_servers(
+        self,
+        compute_local: Callable[[Server], object],
+        tag: str,
+    ) -> List[object]:
+        """Have every server compute a local payload and send it to the CP.
+
+        ``compute_local`` runs locally (free); the resulting payloads are
+        charged to the network, except the CP's own which never leaves the
+        machine.  Returns the payloads indexed by server.
+        """
+        payloads = [compute_local(server) for server in self._servers]
+        for t in range(1, self.num_servers):
+            self._network.send(t, 0, payloads[t], tag=tag)
+        return payloads
+
+    def broadcast_from_coordinator(self, payload: object, tag: str) -> object:
+        """Broadcast ``payload`` from the CP to all other servers (charged)."""
+        return self._network.broadcast(0, payload, tag=tag)
+
+    def aggregate_rows(
+        self,
+        indices: Sequence[int],
+        *,
+        tag: str = "gather_rows",
+        apply_function: bool = True,
+    ) -> np.ndarray:
+        """Collect rows of the implicit global matrix at the Central Processor.
+
+        Every worker sends its local rows for ``indices`` (``len(indices) * d``
+        words each); the CP adds its own local rows for free, sums them and
+        applies ``f`` entrywise (when ``apply_function``).
+
+        Returns
+        -------
+        numpy.ndarray of shape ``(len(indices), d)``
+        """
+        idx = np.asarray(indices, dtype=int)
+        if idx.ndim != 1:
+            raise ValueError("indices must be one-dimensional")
+        local_rows = self.gather_from_servers(
+            lambda server: server.local_rows(idx), tag=tag
+        )
+        total = np.sum(local_rows, axis=0)
+        if apply_function:
+            return np.asarray(self._function(total), dtype=float)
+        return np.asarray(total, dtype=float)
+
+    def aggregate_entries(
+        self,
+        flat_indices: Sequence[int],
+        *,
+        tag: str = "gather_entries",
+        apply_function: bool = True,
+    ) -> np.ndarray:
+        """Collect entries of the implicit global matrix (by flattened index) at the CP."""
+        idx = np.asarray(flat_indices, dtype=int)
+        if idx.ndim != 1:
+            raise ValueError("flat_indices must be one-dimensional")
+        local_values = self.gather_from_servers(
+            lambda server: server.local_entries(idx), tag=tag
+        )
+        total = np.sum(local_values, axis=0)
+        if apply_function:
+            return np.asarray(self._function(total), dtype=float)
+        return np.asarray(total, dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # evaluation-only operations (never charged)
+    # ------------------------------------------------------------------ #
+    def materialize_sum(self) -> np.ndarray:
+        """Return ``sum_t A^t`` as a dense matrix (evaluation only, cached)."""
+        if self._cached_sum is None:
+            total = np.zeros(self._shape, dtype=float)
+            for server in self._servers:
+                local = server.local_matrix
+                if sparse.issparse(local):
+                    total += np.asarray(local.todense(), dtype=float)
+                else:
+                    total += local
+            self._cached_sum = total
+        return self._cached_sum
+
+    def materialize_global(self) -> np.ndarray:
+        """Return the global matrix ``A = f(sum_t A^t)`` (evaluation only, cached).
+
+        This centralises all data and is only legitimate for measuring the
+        quality of a protocol's output; protocols must not call it.
+        """
+        if self._cached_global is None:
+            self._cached_global = np.asarray(
+                self._function(self.materialize_sum()), dtype=float
+            )
+        return self._cached_global
+
+    # ------------------------------------------------------------------ #
+    # derived clusters
+    # ------------------------------------------------------------------ #
+    def transform_locally(
+        self,
+        transform: Callable[[np.ndarray], np.ndarray],
+        *,
+        function: Optional[EntrywiseCallable] = None,
+        name: str = "",
+    ) -> "LocalCluster":
+        """Return a new cluster whose servers applied ``transform`` locally.
+
+        The new cluster shares this cluster's network so all communication is
+        accumulated in one place.  This models application-specific local
+        preprocessing, e.g. the softmax sampler where each server raises its
+        entries to the ``p``-th power before the generic machinery runs.
+        """
+        transformed = [server.transform(transform).local_matrix for server in self._servers]
+        return LocalCluster(
+            transformed,
+            function if function is not None else self._function,
+            network=self._network,
+            name=name or self._name,
+        )
+
+    def with_function(self, function: EntrywiseCallable, name: str = "") -> "LocalCluster":
+        """Return a cluster over the same local data with a different entrywise ``f``."""
+        return LocalCluster(
+            [server.local_matrix for server in self._servers],
+            function,
+            network=self._network,
+            name=name or self._name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"LocalCluster(name={self._name!r}, servers={self.num_servers}, "
+            f"shape={self._shape})"
+        )

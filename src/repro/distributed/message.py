@@ -1,0 +1,98 @@
+"""Messages exchanged between servers and their word-size accounting.
+
+The paper measures communication in *words*: one word holds one machine
+number (an entry of a matrix, an index, a hash seed, a counter).  The helper
+:func:`payload_word_count` maps arbitrary Python/numpy payloads to a word
+count using that convention, and :class:`Message` is the immutable record of
+one transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from numbers import Number
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+
+
+def payload_word_count(payload: Any) -> int:
+    """Return the number of machine words needed to transmit ``payload``.
+
+    Conventions
+    -----------
+    * a scalar (int, float, bool, numpy scalar) costs 1 word;
+    * a numpy array costs one word per element;
+    * a scipy sparse matrix costs two words per stored element (index and
+      value) plus one word for the shape -- the sparsity structure has to be
+      transmitted too;
+    * strings cost ``ceil(len/8)`` words (8 characters per word);
+    * ``None`` costs 0 words;
+    * containers (list/tuple/dict/set) cost the sum of their items plus one
+      word of framing per item for dicts (the key).
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, (bool, np.bool_)):
+        return 1
+    if isinstance(payload, (Number, np.generic)):
+        return 1
+    if isinstance(payload, np.ndarray):
+        return int(payload.size)
+    if sparse.issparse(payload):
+        return int(2 * payload.nnz + 1)
+    if isinstance(payload, str):
+        return (len(payload) + 7) // 8
+    if isinstance(payload, Mapping):
+        total = 0
+        for key, value in payload.items():
+            total += payload_word_count(key) + payload_word_count(value)
+        return total
+    if isinstance(payload, (Sequence, set, frozenset)):
+        return sum(payload_word_count(item) for item in payload)
+    if hasattr(payload, "word_count"):
+        return int(payload.word_count())
+    raise TypeError(
+        f"cannot compute word count for payload of type {type(payload).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class Message:
+    """One directed transfer of ``payload`` from ``sender`` to ``receiver``.
+
+    Attributes
+    ----------
+    sender, receiver:
+        Server indices (0-based); by convention server 0 is the Central
+        Processor.
+    payload:
+        The transmitted object.  Only used for delivering data inside the
+        simulation -- the accounting uses ``words``.
+    tag:
+        Human-readable label of the protocol step (e.g. ``"gather_rows"``),
+        used for per-phase communication breakdowns.
+    words:
+        Number of machine words, computed automatically when omitted.
+    """
+
+    sender: int
+    receiver: int
+    payload: Any
+    tag: str = ""
+    words: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.words < 0:
+            object.__setattr__(self, "words", payload_word_count(self.payload))
+
+    @property
+    def is_to_coordinator(self) -> bool:
+        """True if the message flows toward the Central Processor (server 0)."""
+        return self.receiver == 0
+
+    @property
+    def is_broadcast_leg(self) -> bool:
+        """True if the message flows from the Central Processor to a worker."""
+        return self.sender == 0

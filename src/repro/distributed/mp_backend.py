@@ -1,0 +1,173 @@
+"""Multiprocess execution of per-server local computations.
+
+The paper's experiments "use multiple processes to simulate multiple
+servers".  The in-process :class:`~repro.distributed.cluster.LocalCluster`
+is sufficient (and much faster) for correctness and communication
+accounting, but this module provides the same physical isolation when
+wanted: each server's local computation runs in its own OS process, so no
+shared memory can leak information between servers.
+
+Because worker processes receive their inputs by pickling, tasks must be
+*module-level callables* (no lambdas/closures); a few common tasks are
+provided and arbitrary ones can be passed as long as they are picklable.
+
+Example
+-------
+>>> from repro.distributed.mp_backend import MultiprocessBackend, local_row_norms_task
+>>> backend = MultiprocessBackend(processes=4)
+>>> per_server_norms = backend.map_servers(cluster, local_row_norms_task)
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.distributed.cluster import LocalCluster
+from repro.distributed.server import LocalMatrix
+
+#: A per-server task: receives the server's local matrix plus any extra
+#: arguments and returns a picklable result.
+ServerTask = Callable[..., Any]
+
+
+# --------------------------------------------------------------------------- #
+# predefined picklable tasks
+# --------------------------------------------------------------------------- #
+def local_row_norms_task(local_matrix: LocalMatrix) -> np.ndarray:
+    """Squared Euclidean norms of the server's local rows."""
+    if sparse.issparse(local_matrix):
+        squared = local_matrix.multiply(local_matrix)
+        return np.asarray(squared.sum(axis=1)).ravel()
+    arr = np.asarray(local_matrix, dtype=float)
+    return np.einsum("ij,ij->i", arr, arr)
+
+
+def local_rows_task(local_matrix: LocalMatrix, indices: Sequence[int]) -> np.ndarray:
+    """The server's local rows at ``indices`` as a dense block."""
+    idx = np.asarray(indices, dtype=int)
+    rows = local_matrix[idx]
+    if sparse.issparse(rows):
+        return np.asarray(rows.todense(), dtype=float)
+    return np.asarray(rows, dtype=float)
+
+
+def local_frobenius_task(local_matrix: LocalMatrix) -> float:
+    """Squared Frobenius norm of the server's local matrix."""
+    if sparse.issparse(local_matrix):
+        return float(local_matrix.multiply(local_matrix).sum())
+    arr = np.asarray(local_matrix, dtype=float)
+    return float(np.sum(arr * arr))
+
+
+def local_countsketch_task(
+    local_matrix: LocalMatrix,
+    depth: int,
+    width: int,
+    seed: int,
+) -> np.ndarray:
+    """CountSketch table of the server's flattened local matrix.
+
+    The hash seed is shared (broadcast by the coordinator), so every server
+    builds a compatible table; the coordinator merges them by addition.
+    """
+    from repro.sketch.countsketch import CountSketch
+
+    if sparse.issparse(local_matrix):
+        coo = local_matrix.tocoo()
+        flat = coo.row.astype(np.int64) * local_matrix.shape[1] + coo.col.astype(np.int64)
+        values = coo.data.astype(float)
+    else:
+        dense = np.asarray(local_matrix, dtype=float).ravel()
+        flat = np.nonzero(dense)[0].astype(np.int64)
+        values = dense[flat]
+    domain = int(local_matrix.shape[0] * local_matrix.shape[1])
+    sketch = CountSketch(depth, width, domain, seed=seed)
+    return sketch.sketch(flat, values)
+
+
+# --------------------------------------------------------------------------- #
+# backends
+# --------------------------------------------------------------------------- #
+class SerialBackend:
+    """Run per-server tasks in the current process (the default everywhere)."""
+
+    def map_servers(
+        self,
+        cluster: LocalCluster,
+        task: ServerTask,
+        args: Tuple = (),
+    ) -> List[Any]:
+        """Apply ``task(local_matrix, *args)`` for every server, in order."""
+        return [task(server.local_matrix, *args) for server in cluster.servers]
+
+
+class MultiprocessBackend:
+    """Run per-server tasks in separate OS processes.
+
+    Parameters
+    ----------
+    processes:
+        Number of worker processes; defaults to ``min(num_servers, os.cpu_count())``.
+
+    Notes
+    -----
+    Only the *local computation* is parallelised; communication accounting
+    stays with the caller (results returned here still have to be sent
+    through the cluster's :class:`~repro.distributed.network.Network` to be
+    charged).  ``task`` must be picklable (a module-level function).
+    """
+
+    def __init__(self, processes: Optional[int] = None) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self._processes = processes
+
+    def map_servers(
+        self,
+        cluster: LocalCluster,
+        task: ServerTask,
+        args: Tuple = (),
+    ) -> List[Any]:
+        """Apply ``task(local_matrix, *args)`` for every server in parallel."""
+        locals_ = [server.local_matrix for server in cluster.servers]
+        workers = self._processes or max(1, min(len(locals_), _default_process_count()))
+        if workers == 1 or len(locals_) == 1:
+            return [task(local, *args) for local in locals_]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(task, local, *args) for local in locals_]
+            return [future.result() for future in futures]
+
+
+def _default_process_count() -> int:
+    import os
+
+    return os.cpu_count() or 1
+
+
+def parallel_aggregate_rows(
+    cluster: LocalCluster,
+    indices: Sequence[int],
+    backend: Optional[MultiprocessBackend] = None,
+    *,
+    tag: str = "gather_rows",
+    apply_function: bool = True,
+) -> np.ndarray:
+    """Multiprocess variant of :meth:`LocalCluster.aggregate_rows`.
+
+    The per-server row extraction runs in worker processes; the results are
+    then charged to the cluster's network exactly as the serial version does
+    (the CP's own contribution stays free), summed and passed through ``f``.
+    """
+    backend = backend or MultiprocessBackend()
+    idx = np.asarray(indices, dtype=int)
+    local_rows = backend.map_servers(cluster, local_rows_task, args=(idx,))
+    for server in range(1, cluster.num_servers):
+        cluster.network.send(server, 0, local_rows[server], tag=tag)
+    total = np.sum(local_rows, axis=0)
+    if apply_function:
+        return np.asarray(cluster.function(total), dtype=float)
+    return np.asarray(total, dtype=float)

@@ -1,0 +1,197 @@
+"""Star-topology network with exact communication accounting.
+
+Every protocol in the library moves data through a :class:`Network` instance
+so that the total number of transmitted words is measured exactly.  The
+network does not copy payloads -- simulation fidelity is about *accounting*,
+not serialisation -- but it validates endpoints and keeps a structured log
+that experiments aggregate into the communication ratios reported in the
+paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.distributed.message import Message, payload_word_count
+
+#: Number of bytes per machine word used when converting to bytes.
+BYTES_PER_WORD = 8
+
+
+@dataclass
+class CommunicationLog:
+    """Aggregated view of the traffic recorded by a :class:`Network`."""
+
+    total_words: int
+    total_messages: int
+    words_by_tag: Dict[str, int]
+    words_to_coordinator: int
+    words_from_coordinator: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Total traffic in bytes (8 bytes per word)."""
+        return self.total_words * BYTES_PER_WORD
+
+    def ratio_to(self, input_words: int) -> float:
+        """Return total communication divided by ``input_words``.
+
+        This is the quantity the paper bounds ("the ratio of the amount of
+        total communication to the sum of local data sizes").
+        """
+        if input_words <= 0:
+            raise ValueError(f"input_words must be positive, got {input_words}")
+        return self.total_words / input_words
+
+
+class Network:
+    """Message log for a cluster of ``num_servers`` servers in a star topology.
+
+    Server ``0`` is the Central Processor (CP).  Any server may send to any
+    other server; per the paper, point-to-point messages between workers are
+    allowed but cost the same as routing through the CP up to constants, so
+    the simulation simply records them directly.
+    """
+
+    def __init__(self, num_servers: int, *, keep_messages: bool = False) -> None:
+        if num_servers < 1:
+            raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+        self._num_servers = num_servers
+        self._keep_messages = keep_messages
+        self._messages: List[Message] = []
+        self._total_words = 0
+        self._total_messages = 0
+        self._words_by_tag: Dict[str, int] = defaultdict(int)
+        self._words_to_coordinator = 0
+        self._words_from_coordinator = 0
+
+    @property
+    def num_servers(self) -> int:
+        """Number of servers attached to this network (including the CP)."""
+        return self._num_servers
+
+    @property
+    def total_words(self) -> int:
+        """Total number of words transferred so far."""
+        return self._total_words
+
+    @property
+    def total_messages(self) -> int:
+        """Total number of messages transferred so far."""
+        return self._total_messages
+
+    @property
+    def messages(self) -> List[Message]:
+        """The individual messages (only populated when ``keep_messages=True``)."""
+        return list(self._messages)
+
+    def _check_endpoint(self, server: int, name: str) -> None:
+        if not 0 <= server < self._num_servers:
+            raise ValueError(
+                f"{name} must be in [0, {self._num_servers - 1}], got {server}"
+            )
+
+    def send(self, sender: int, receiver: int, payload: Any, tag: str = "") -> Any:
+        """Record a transfer of ``payload`` and return the payload.
+
+        Self-messages (``sender == receiver``) are free: a server reading its
+        own memory does not communicate.
+        """
+        self._check_endpoint(sender, "sender")
+        self._check_endpoint(receiver, "receiver")
+        if sender == receiver:
+            return payload
+        message = Message(sender=sender, receiver=receiver, payload=payload, tag=tag)
+        self._record(message)
+        return payload
+
+    def charge(self, sender: int, receiver: int, words: int, tag: str = "") -> None:
+        """Record ``words`` of traffic without carrying an actual payload.
+
+        Useful for accounting protocol overheads (e.g. broadcasting a random
+        seed, an acknowledgement) where materialising the payload in the
+        simulation would be pointless.
+        """
+        self._check_endpoint(sender, "sender")
+        self._check_endpoint(receiver, "receiver")
+        if words < 0:
+            raise ValueError(f"words must be non-negative, got {words}")
+        if sender == receiver or words == 0:
+            return
+        message = Message(sender=sender, receiver=receiver, payload=None, tag=tag, words=words)
+        self._record(message)
+
+    def broadcast(self, sender: int, payload: Any, tag: str = "") -> Any:
+        """Send ``payload`` from ``sender`` to every other server; return the payload."""
+        for receiver in range(self._num_servers):
+            if receiver != sender:
+                self.send(sender, receiver, payload, tag=tag)
+        return payload
+
+    def gather(
+        self,
+        receiver: int,
+        payloads: Iterable[Any],
+        tag: str = "",
+        senders: Optional[Iterable[int]] = None,
+    ) -> List[Any]:
+        """Record one message per payload flowing into ``receiver``.
+
+        ``payloads`` is indexed by sender (0..s-1) unless ``senders`` is
+        given explicitly.  Returns the list of payloads in sender order.
+        """
+        payload_list = list(payloads)
+        if senders is None:
+            sender_list = list(range(len(payload_list)))
+        else:
+            sender_list = list(senders)
+        if len(sender_list) != len(payload_list):
+            raise ValueError("senders and payloads must have equal length")
+        collected = []
+        for sender, payload in zip(sender_list, payload_list):
+            collected.append(self.send(sender, receiver, payload, tag=tag))
+        return collected
+
+    def _record(self, message: Message) -> None:
+        self._total_words += message.words
+        self._total_messages += 1
+        if message.tag:
+            self._words_by_tag[message.tag] += message.words
+        if message.receiver == 0:
+            self._words_to_coordinator += message.words
+        if message.sender == 0:
+            self._words_from_coordinator += message.words
+        if self._keep_messages:
+            self._messages.append(message)
+
+    def snapshot(self) -> CommunicationLog:
+        """Return an immutable aggregate of the traffic so far."""
+        return CommunicationLog(
+            total_words=self._total_words,
+            total_messages=self._total_messages,
+            words_by_tag=dict(self._words_by_tag),
+            words_to_coordinator=self._words_to_coordinator,
+            words_from_coordinator=self._words_from_coordinator,
+        )
+
+    def reset(self) -> None:
+        """Clear all counters and logged messages."""
+        self._messages.clear()
+        self._total_words = 0
+        self._total_messages = 0
+        self._words_by_tag.clear()
+        self._words_to_coordinator = 0
+        self._words_from_coordinator = 0
+
+    def words_since(self, checkpoint: int) -> int:
+        """Return the number of words transferred since ``checkpoint`` (a prior ``total_words``)."""
+        if checkpoint > self._total_words:
+            raise ValueError("checkpoint is in the future of this network")
+        return self._total_words - checkpoint
+
+    @staticmethod
+    def payload_words(payload: Any) -> int:
+        """Expose :func:`payload_word_count` for callers sizing messages up-front."""
+        return payload_word_count(payload)

@@ -1,0 +1,178 @@
+"""Strategies for splitting a logically global matrix across ``s`` servers.
+
+The generalized partition model only requires that the global matrix is
+``A_{ij} = f(sum_t A^t_{ij})``; how the local matrices arise depends on the
+application.  This module provides the partition schemes used in the paper's
+motivation and evaluation:
+
+* :func:`row_partition` -- every data point (row) lives on exactly one
+  server (the classic row-partition model; local matrices are sparse).
+* :func:`arbitrary_partition` -- each entry is an arbitrary sum of per-server
+  shares (the linear "arbitrary partition model" of Kannan-Vempala-Woodruff).
+* :func:`entrywise_partition` -- every entry lives on exactly one server.
+* :func:`duplicate_records_partition` -- every server holds a noisy partial
+  copy of the data (the "hospital records" scenario motivating the
+  softmax/max aggregation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_matrix
+
+
+def _check_num_servers(num_servers: int) -> int:
+    if num_servers < 1:
+        raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+    return int(num_servers)
+
+
+def row_partition(
+    matrix: np.ndarray,
+    num_servers: int,
+    seed: RandomState = None,
+) -> List[sparse.csr_matrix]:
+    """Assign each row of ``matrix`` to exactly one server, uniformly at random.
+
+    Every local matrix has the full ``n x d`` shape but only the assigned rows
+    are (potentially) nonzero; with the identity ``f`` the sum across servers
+    recovers ``matrix`` exactly.
+
+    Returns
+    -------
+    list of scipy.sparse.csr_matrix
+        One local matrix per server.
+    """
+    arr = check_matrix(matrix, "matrix")
+    s = _check_num_servers(num_servers)
+    rng = ensure_rng(seed)
+    n, _ = arr.shape
+    assignment = rng.integers(0, s, size=n)
+    locals_: List[sparse.csr_matrix] = []
+    for t in range(s):
+        mask = assignment == t
+        local = sparse.csr_matrix(arr * mask[:, None])
+        locals_.append(local)
+    return locals_
+
+
+def arbitrary_partition(
+    matrix: np.ndarray,
+    num_servers: int,
+    seed: RandomState = None,
+    share_scale: float = 1.0,
+) -> List[np.ndarray]:
+    """Split ``matrix`` into ``num_servers`` dense additive shares.
+
+    The first ``s-1`` shares are independent Gaussian matrices with standard
+    deviation ``share_scale * std(matrix)`` and the last share is chosen so
+    the shares sum exactly to ``matrix``.  This realises the arbitrary
+    (linear) partition model: no individual server's data resembles the
+    global matrix.
+    """
+    arr = check_matrix(matrix, "matrix")
+    s = _check_num_servers(num_servers)
+    rng = ensure_rng(seed)
+    if s == 1:
+        return [arr.copy()]
+    scale = float(share_scale) * (float(np.std(arr)) + 1e-12)
+    shares = [rng.normal(0.0, scale, size=arr.shape) for _ in range(s - 1)]
+    last = arr - np.sum(shares, axis=0)
+    shares.append(last)
+    return shares
+
+
+def entrywise_partition(
+    matrix: np.ndarray,
+    num_servers: int,
+    seed: RandomState = None,
+) -> List[sparse.csr_matrix]:
+    """Assign each entry of ``matrix`` to exactly one server, uniformly at random.
+
+    This is the natural partition when different servers observe different
+    measurements of the same record (e.g. different hospitals holding
+    different indicator values for the same patient).
+    """
+    arr = check_matrix(matrix, "matrix")
+    s = _check_num_servers(num_servers)
+    rng = ensure_rng(seed)
+    assignment = rng.integers(0, s, size=arr.shape)
+    locals_: List[sparse.csr_matrix] = []
+    for t in range(s):
+        locals_.append(sparse.csr_matrix(arr * (assignment == t)))
+    return locals_
+
+
+def duplicate_records_partition(
+    matrix: np.ndarray,
+    num_servers: int,
+    seed: RandomState = None,
+    *,
+    observation_probability: float = 0.7,
+    noise_scale: float = 0.05,
+    nonnegative: bool = True,
+) -> List[np.ndarray]:
+    """Give each server a noisy, partially-observed copy of ``matrix``.
+
+    This models the paper's motivating "hospital records" example: each
+    hospital (server) observes each indicator of each person with probability
+    ``observation_probability``, possibly under-reporting it; the true value
+    is best recovered by the maximum (or a softmax) across servers rather
+    than a sum.
+
+    Observed entries equal ``matrix * (1 - u)`` where ``u`` is uniform on
+    ``[0, noise_scale]`` (servers may under-report, never over-report, so the
+    entrywise maximum approaches the truth from below).  Unobserved entries
+    are zero.  Every entry is guaranteed to be observed by at least one
+    server so the maximum is never vacuous.
+    """
+    arr = check_matrix(matrix, "matrix")
+    if nonnegative and np.any(arr < 0):
+        raise ValueError("duplicate_records_partition expects a non-negative matrix")
+    s = _check_num_servers(num_servers)
+    if not 0 < observation_probability <= 1:
+        raise ValueError(
+            f"observation_probability must be in (0, 1], got {observation_probability}"
+        )
+    if noise_scale < 0 or noise_scale >= 1:
+        raise ValueError(f"noise_scale must be in [0, 1), got {noise_scale}")
+    rng = ensure_rng(seed)
+    observed = rng.random(size=(s,) + arr.shape) < observation_probability
+    # Guarantee each entry is observed at least once: force a random server.
+    missing_everywhere = ~observed.any(axis=0)
+    if np.any(missing_everywhere):
+        forced = rng.integers(0, s, size=arr.shape)
+        for t in range(s):
+            observed[t] |= missing_everywhere & (forced == t)
+    locals_: List[np.ndarray] = []
+    for t in range(s):
+        attenuation = 1.0 - rng.random(size=arr.shape) * noise_scale
+        locals_.append(arr * attenuation * observed[t])
+    return locals_
+
+
+def exact_split_check(
+    matrix: np.ndarray,
+    locals_: List[np.ndarray],
+    *,
+    atol: float = 1e-8,
+) -> bool:
+    """Return True if the local matrices sum (entrywise) to ``matrix``.
+
+    A convenience for tests of the additive partition schemes
+    (:func:`row_partition`, :func:`arbitrary_partition`,
+    :func:`entrywise_partition`).
+    """
+    arr = check_matrix(matrix, "matrix")
+    total: Optional[np.ndarray] = None
+    for local in locals_:
+        dense = local.toarray() if sparse.issparse(local) else np.asarray(local, dtype=float)
+        total = dense if total is None else total + dense
+    if total is None:
+        return False
+    return bool(np.allclose(total, arr, atol=atol))

@@ -1,0 +1,168 @@
+"""A single simulated server holding one local matrix ``A^t``.
+
+Servers never see each other's data; everything a server exposes is a
+*local* computation over its own matrix (allowed to take polynomial time and
+linear space per the model).  Data only moves between servers through the
+:class:`~repro.distributed.network.Network`, which is owned by the cluster.
+
+Local matrices may be dense :class:`numpy.ndarray` or any
+:mod:`scipy.sparse` matrix; sparse storage is the natural representation for
+row-partitioned and entrywise-partitioned data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+
+LocalMatrix = Union[np.ndarray, sparse.spmatrix]
+
+
+class Server:
+    """One of the ``s`` servers in the generalized partition model.
+
+    Parameters
+    ----------
+    server_id:
+        Index of the server; ``0`` denotes the Central Processor.
+    local_matrix:
+        The ``n x d`` local matrix ``A^t`` (dense or scipy sparse).
+    """
+
+    def __init__(self, server_id: int, local_matrix: LocalMatrix) -> None:
+        if server_id < 0:
+            raise ValueError(f"server_id must be non-negative, got {server_id}")
+        if sparse.issparse(local_matrix):
+            local = local_matrix.tocsr()
+        else:
+            local = np.asarray(local_matrix, dtype=float)
+            if local.ndim != 2:
+                raise ValueError(
+                    f"local_matrix must be 2-dimensional, got ndim={local.ndim}"
+                )
+        self._server_id = server_id
+        self._local = local
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def server_id(self) -> int:
+        """Index of this server (0 is the Central Processor)."""
+        return self._server_id
+
+    @property
+    def is_coordinator(self) -> bool:
+        """True for server 0, the Central Processor."""
+        return self._server_id == 0
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Shape ``(n, d)`` of the local matrix."""
+        return tuple(self._local.shape)
+
+    @property
+    def local_matrix(self) -> LocalMatrix:
+        """The raw local matrix ``A^t`` (dense ndarray or CSR matrix)."""
+        return self._local
+
+    @property
+    def is_sparse(self) -> bool:
+        """True if the local matrix is stored in a sparse format."""
+        return sparse.issparse(self._local)
+
+    def stored_words(self) -> int:
+        """Number of machine words this server uses to store its local data.
+
+        Dense matrices cost one word per entry; sparse matrices cost two
+        words per stored nonzero (index + value) plus one for the shape.
+        The sum of this quantity over all servers is the denominator of the
+        communication ratio reported in the experiments.
+        """
+        if self.is_sparse:
+            return int(2 * self._local.nnz + 1)
+        return int(self._local.size)
+
+    # ------------------------------------------------------------------ #
+    # local computations (free: no communication)
+    # ------------------------------------------------------------------ #
+    def local_rows(self, indices: Sequence[int]) -> np.ndarray:
+        """Return the local rows ``A^t_{i}`` for ``i`` in ``indices`` as a dense array."""
+        idx = np.asarray(indices, dtype=int)
+        if idx.ndim != 1:
+            raise ValueError("indices must be one-dimensional")
+        n = self._local.shape[0]
+        if idx.size and (idx.min() < 0 or idx.max() >= n):
+            raise IndexError(f"row indices must be in [0, {n - 1}]")
+        rows = self._local[idx]
+        if sparse.issparse(rows):
+            return np.asarray(rows.todense(), dtype=float)
+        return np.asarray(rows, dtype=float)
+
+    def local_entries(self, flat_indices: Sequence[int]) -> np.ndarray:
+        """Return local entries at flattened (row-major) positions ``flat_indices``."""
+        idx = np.asarray(flat_indices, dtype=int)
+        n, d = self._local.shape
+        if idx.size and (idx.min() < 0 or idx.max() >= n * d):
+            raise IndexError(f"flat indices must be in [0, {n * d - 1}]")
+        rows, cols = np.divmod(idx, d)
+        if self.is_sparse:
+            values = np.asarray(self._local[rows, cols]).ravel()
+        else:
+            values = self._local[rows, cols]
+        return np.asarray(values, dtype=float)
+
+    def flat_dense(self) -> np.ndarray:
+        """Return the local matrix flattened row-major into a dense vector of length ``n*d``."""
+        if self.is_sparse:
+            return np.asarray(self._local.todense(), dtype=float).ravel()
+        return self._local.ravel().copy()
+
+    def flat_nonzero(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(flat_indices, values)`` of the nonzero local entries.
+
+        This is the natural iteration order for linear sketches: a sketch of
+        the flattened local vector only needs to touch the nonzeros.
+        """
+        if self.is_sparse:
+            coo = self._local.tocoo()
+            flat = coo.row.astype(np.int64) * self._local.shape[1] + coo.col.astype(np.int64)
+            order = np.argsort(flat)
+            return flat[order], coo.data[order].astype(float)
+        flat = self._local.ravel()
+        idx = np.nonzero(flat)[0]
+        return idx.astype(np.int64), flat[idx].astype(float)
+
+    def local_row_norms_squared(self) -> np.ndarray:
+        """Return the squared Euclidean norms of the local rows (a local statistic)."""
+        if self.is_sparse:
+            squared = self._local.multiply(self._local)
+            return np.asarray(squared.sum(axis=1)).ravel()
+        return np.einsum("ij,ij->i", self._local, self._local)
+
+    def transform(self, fn: Callable[[np.ndarray], np.ndarray]) -> "Server":
+        """Return a new server whose local matrix is ``fn`` applied entrywise.
+
+        ``fn`` must be a vectorised function (it receives either the dense
+        matrix or the sparse data array).  This models the local
+        preprocessing steps of the paper's applications, e.g. each server
+        raising its entries to the ``p``-th power for the softmax sampler.
+        Transforms of sparse matrices must satisfy ``fn(0) == 0``.
+        """
+        if self.is_sparse:
+            transformed = self._local.copy()
+            transformed.data = np.asarray(fn(transformed.data), dtype=float)
+            zero_image = float(np.asarray(fn(np.zeros(1)))[0])
+            if abs(zero_image) > 1e-12:
+                raise ValueError(
+                    "transform of a sparse local matrix must map 0 to 0; "
+                    f"got fn(0)={zero_image}"
+                )
+            return Server(self._server_id, transformed)
+        return Server(self._server_id, np.asarray(fn(self._local), dtype=float))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "sparse" if self.is_sparse else "dense"
+        return f"Server(id={self._server_id}, shape={self.shape}, {kind})"

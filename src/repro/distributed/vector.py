@@ -1,0 +1,191 @@
+"""Distributed vectors: ``a = sum_t a^t`` with each ``a^t`` held by one server.
+
+The generalized sampler of Section V operates on a vector that is only
+implicitly represented as the sum of per-server local vectors.  The class
+here stores each local vector sparsely as ``(indices, values)`` pairs,
+charges the shared :class:`~repro.distributed.network.Network` whenever data
+moves to the Central Processor, and supports the two operations the
+sketching protocols need:
+
+* *restriction* to a subset of coordinates (a free local operation, used for
+  the subsampling levels of Algorithm 3);
+* *collection* of exact summed values at a few coordinates (charged: every
+  server reports its local value).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributed.cluster import LocalCluster
+from repro.distributed.network import Network
+
+LocalComponent = Tuple[np.ndarray, np.ndarray]
+
+
+class DistributedVector:
+    """A length-``l`` vector implicitly represented as a sum of local vectors.
+
+    Parameters
+    ----------
+    local_components:
+        One ``(indices, values)`` pair per server; indices are positions in
+        ``[0, dimension)`` and may be empty.
+    dimension:
+        Length ``l`` of the global vector.
+    network:
+        Accounting network shared with the owning cluster.
+    """
+
+    def __init__(
+        self,
+        local_components: Sequence[LocalComponent],
+        dimension: int,
+        network: Network,
+    ) -> None:
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        if len(local_components) != network.num_servers:
+            raise ValueError(
+                "number of local components must equal the number of servers "
+                f"({len(local_components)} != {network.num_servers})"
+            )
+        cleaned: List[LocalComponent] = []
+        for indices, values in local_components:
+            idx = np.asarray(indices, dtype=np.int64)
+            val = np.asarray(values, dtype=float)
+            if idx.shape != val.shape or idx.ndim != 1:
+                raise ValueError("indices and values must be matching 1-D arrays")
+            if idx.size and (idx.min() < 0 or idx.max() >= dimension):
+                raise IndexError(f"indices must lie in [0, {dimension - 1}]")
+            cleaned.append((idx, val))
+        self._components = cleaned
+        self._dimension = int(dimension)
+        self._network = network
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_cluster_entries(cls, cluster: LocalCluster) -> "DistributedVector":
+        """Flatten every server's local matrix (row-major) into a distributed vector.
+
+        The resulting vector has dimension ``n * d`` and its implicit sum is
+        ``sum_t A^t`` flattened; applying the cluster's ``f`` entrywise to it
+        yields the flattened global matrix.
+        """
+        n, d = cluster.shape
+        components = [server.flat_nonzero() for server in cluster.servers]
+        return cls(components, n * d, cluster.network)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        """Length ``l`` of the global vector."""
+        return self._dimension
+
+    @property
+    def num_servers(self) -> int:
+        """Number of servers holding a component."""
+        return len(self._components)
+
+    @property
+    def network(self) -> Network:
+        """The shared accounting network."""
+        return self._network
+
+    def local_component(self, server: int) -> LocalComponent:
+        """Return server ``server``'s local ``(indices, values)`` pair."""
+        return self._components[server]
+
+    def support_size(self) -> int:
+        """Number of coordinates that are nonzero in at least one component."""
+        all_indices = [idx for idx, _ in self._components if idx.size]
+        if not all_indices:
+            return 0
+        return int(np.unique(np.concatenate(all_indices)).size)
+
+    # ------------------------------------------------------------------ #
+    # free local operations
+    # ------------------------------------------------------------------ #
+    def restrict(self, keep: Callable[[np.ndarray], np.ndarray]) -> "DistributedVector":
+        """Return the restriction ``v(S)`` of the vector to a coordinate subset.
+
+        ``keep`` is a vectorised predicate over coordinate indices
+        (e.g. a hash-based subsampling rule); every server applies it locally
+        to its own indices, so no communication is charged.
+        """
+        restricted: List[LocalComponent] = []
+        for idx, val in self._components:
+            if idx.size == 0:
+                restricted.append((idx, val))
+                continue
+            mask = np.asarray(keep(idx), dtype=bool)
+            restricted.append((idx[mask], val[mask]))
+        return DistributedVector(restricted, self._dimension, self._network)
+
+    def local_sketch_tables(self, sketcher) -> List[np.ndarray]:
+        """Have every server sketch its local component (free local computation)."""
+        return [
+            sketcher.sketch(idx, val) for idx, val in self._components
+        ]
+
+    # ------------------------------------------------------------------ #
+    # accounted operations
+    # ------------------------------------------------------------------ #
+    def merged_sketch(self, sketcher, tag: str = "sketch") -> np.ndarray:
+        """Sketch every local component and merge at the CP (charged).
+
+        Each worker sends its table (``depth * width`` words); the CP's own
+        table never crosses the network.  Because the sketch is linear, the
+        merged table is exactly the sketch of the summed vector.
+        """
+        tables = self.local_sketch_tables(sketcher)
+        for server in range(1, self.num_servers):
+            self._network.send(server, 0, tables[server], tag=tag)
+        return np.sum(tables, axis=0)
+
+    def collect(self, indices: Sequence[int], tag: str = "collect_entries") -> np.ndarray:
+        """Return the exact summed values at ``indices`` (charged: one word per server per index)."""
+        query = np.asarray(indices, dtype=np.int64)
+        if query.ndim != 1:
+            raise ValueError("indices must be one-dimensional")
+        if query.size == 0:
+            return np.zeros(0)
+        if query.min() < 0 or query.max() >= self._dimension:
+            raise IndexError(f"indices must lie in [0, {self._dimension - 1}]")
+        total = np.zeros(query.size, dtype=float)
+        for server, (idx, val) in enumerate(self._components):
+            local = np.zeros(query.size, dtype=float)
+            if idx.size:
+                # Local lookup of the requested positions in the sparse component.
+                order = np.argsort(idx)
+                sorted_idx = idx[order]
+                positions = np.searchsorted(sorted_idx, query)
+                positions = np.clip(positions, 0, sorted_idx.size - 1)
+                hit = sorted_idx[positions] == query
+                local[hit] = val[order][positions[hit]]
+            if server != 0:
+                self._network.send(server, 0, local, tag=tag)
+            total += local
+        return total
+
+    # ------------------------------------------------------------------ #
+    # evaluation-only operations
+    # ------------------------------------------------------------------ #
+    def exact_sum(self) -> np.ndarray:
+        """Materialise the dense summed vector (evaluation only, never charged)."""
+        dense = np.zeros(self._dimension, dtype=float)
+        for idx, val in self._components:
+            np.add.at(dense, idx, val)
+        return dense
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DistributedVector(dimension={self._dimension}, servers={self.num_servers}, "
+            f"support={self.support_size()})"
+        )

@@ -1,0 +1,51 @@
+"""Experiment harness reproducing the paper's evaluation (Section VIII).
+
+Figures 1 and 2 plot the additive and relative error against the projection
+dimension ``k in {3, 6, 9, 12, 15}`` for several bounds on the ratio of total
+communication to total input size, over eleven panels (two RFF datasets,
+four P-norm pooling settings per image dataset, and robust PCA on isolet).
+
+The harness mirrors that methodology:
+
+* :mod:`~repro.experiments.config` declares the panels and their parameters
+  (dataset stand-in, number of servers, communication ratios);
+* :mod:`~repro.experiments.workloads` builds the cluster and sampler for a
+  panel;
+* :mod:`~repro.experiments.runner` sweeps ``k`` and the ratio bounds,
+  measuring actual additive/relative error and the exact communication
+  ratio achieved;
+* :mod:`~repro.experiments.figures` and :mod:`~repro.experiments.report`
+  format the measured series the way the paper's figures present them,
+  including the ``k^2 / r`` theoretical prediction overlay.
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    figure1_configs,
+    get_config,
+    panel_names,
+)
+from repro.experiments.figures import (
+    format_figure1_panel,
+    format_figure2_panel,
+    run_figure1,
+    run_figure2,
+)
+from repro.experiments.runner import ExperimentPoint, run_panel
+from repro.experiments.tables import format_table_i
+from repro.experiments.workloads import build_workload
+
+__all__ = [
+    "ExperimentConfig",
+    "figure1_configs",
+    "panel_names",
+    "get_config",
+    "build_workload",
+    "ExperimentPoint",
+    "run_panel",
+    "run_figure1",
+    "run_figure2",
+    "format_figure1_panel",
+    "format_figure2_panel",
+    "format_table_i",
+]

@@ -1,0 +1,194 @@
+"""Experiment configurations: one per panel of Figures 1 and 2.
+
+The panel names, server counts and communication-ratio bounds follow the
+paper exactly; the dataset sizes are scaled to laptop size (``scale="small"``
+for tests and quick benchmarks, ``scale="paper"`` for the closest feasible
+pure-Python run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: The projection dimensions swept in Figures 1 and 2.
+DEFAULT_K_VALUES: Tuple[int, ...] = (3, 6, 9, 12, 15)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Declarative description of one evaluation panel.
+
+    Attributes
+    ----------
+    name:
+        Machine-friendly panel identifier (e.g. ``"caltech_p5"``).
+    panel:
+        The panel title as printed in the paper's figures
+        (e.g. ``"Caltech-101(P=5)"``).
+    application:
+        One of ``"rff"``, ``"pooling"``, ``"robust"``.
+    num_servers:
+        Number of servers ``s``.
+    ratios:
+        Bounds on (total communication) / (total input size), as in the paper.
+    k_values:
+        Projection dimensions to sweep.
+    dataset_params:
+        Parameters forwarded to the dataset generator (scaled sizes, etc.).
+    function_params:
+        Parameters of the entrywise function (pooling exponent ``p``,
+        Huber threshold, RFF feature count, ...).
+    num_trials:
+        Number of repeated runs averaged per point (the paper uses 5).
+    seed:
+        Base seed; trials use ``seed + trial``.
+    """
+
+    name: str
+    panel: str
+    application: str
+    num_servers: int
+    ratios: Tuple[float, ...]
+    k_values: Tuple[int, ...] = DEFAULT_K_VALUES
+    dataset_params: Dict[str, object] = field(default_factory=dict)
+    function_params: Dict[str, object] = field(default_factory=dict)
+    num_trials: int = 1
+    seed: int = 0
+
+
+def _rff_config(
+    name: str,
+    panel: str,
+    *,
+    num_servers: int,
+    ratios: Tuple[float, ...],
+    num_rows: int,
+    num_features: int,
+    scale: str,
+) -> ExperimentConfig:
+    scale_factor = {"small": 0.25, "medium": 1.0, "paper": 4.0}[scale]
+    rows = max(300, int(num_rows * scale_factor))
+    return ExperimentConfig(
+        name=name,
+        panel=panel,
+        application="rff",
+        num_servers=num_servers,
+        ratios=ratios,
+        dataset_params={"kind": name, "num_rows": rows},
+        function_params={"num_features": num_features},
+    )
+
+
+def _pooling_config(
+    name: str,
+    panel: str,
+    *,
+    kind: str,
+    p: float,
+    num_servers: int,
+    ratios: Tuple[float, ...],
+    num_images: int,
+    scale: str,
+) -> ExperimentConfig:
+    scale_factor = {"small": 0.3, "medium": 1.0, "paper": 3.0}[scale]
+    images = max(120, int(num_images * scale_factor))
+    return ExperimentConfig(
+        name=name,
+        panel=panel,
+        application="pooling",
+        num_servers=num_servers,
+        ratios=ratios,
+        dataset_params={"kind": kind, "num_images": images},
+        function_params={"p": p},
+    )
+
+
+def _robust_config(scale: str) -> ExperimentConfig:
+    scale_factor = {"small": 0.25, "medium": 1.0, "paper": 1.0}[scale]
+    rows = max(300, int(1559 * scale_factor))
+    cols = max(100, int(617 * scale_factor))
+    return ExperimentConfig(
+        name="isolet",
+        panel="isolet",
+        application="robust",
+        num_servers=10,
+        ratios=(0.5, 0.25, 0.1),
+        dataset_params={"num_rows": rows, "num_features": cols, "num_outliers": 50},
+        function_params={"threshold": 3.0},
+    )
+
+
+def figure1_configs(scale: str = "small") -> List[ExperimentConfig]:
+    """Return the eleven panel configurations of Figure 1 (and Figure 2).
+
+    Parameters
+    ----------
+    scale:
+        ``"small"`` (fast; tests and CI), ``"medium"`` (default benchmark
+        size) or ``"paper"`` (the closest feasible sizes for a pure-Python
+        laptop run).
+    """
+    if scale not in ("small", "medium", "paper"):
+        raise ValueError(f"scale must be 'small', 'medium' or 'paper', got {scale!r}")
+    configs: List[ExperimentConfig] = [
+        _rff_config(
+            "forest_cover",
+            "ForestCover",
+            num_servers=10,
+            ratios=(0.5, 0.25, 0.1),
+            num_rows=2000,
+            num_features=128,
+            scale=scale,
+        ),
+        _rff_config(
+            "kddcup99",
+            "KDDCUP99",
+            num_servers=50,
+            ratios=(0.1, 0.05, 0.01),
+            num_rows=4000,
+            num_features=50,
+            scale=scale,
+        ),
+    ]
+    for p in (1, 2, 5, 20):
+        configs.append(
+            _pooling_config(
+                f"caltech_p{p}",
+                f"Caltech-101(P={p})",
+                kind="caltech",
+                p=float(p),
+                num_servers=50,
+                ratios=(0.5, 0.25, 0.1),
+                num_images=900,
+                scale=scale,
+            )
+        )
+    for p in (1, 2, 5, 20):
+        configs.append(
+            _pooling_config(
+                f"scenes_p{p}",
+                f"Scenes(P={p})",
+                kind="scenes",
+                p=float(p),
+                num_servers=10,
+                ratios=(0.5, 0.25, 0.1),
+                num_images=880,
+                scale=scale,
+            )
+        )
+    configs.append(_robust_config(scale))
+    return configs
+
+
+def panel_names(scale: str = "small") -> List[str]:
+    """Return the panel identifiers in figure order."""
+    return [config.name for config in figure1_configs(scale)]
+
+
+def get_config(name: str, scale: str = "small") -> ExperimentConfig:
+    """Return one panel configuration by name."""
+    for config in figure1_configs(scale):
+        if config.name == name:
+            return config
+    raise KeyError(f"unknown panel {name!r}; available: {', '.join(panel_names(scale))}")

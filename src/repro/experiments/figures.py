@@ -1,0 +1,98 @@
+"""Regenerate the series of Figures 1 and 2 as text tables.
+
+Each figure panel plots error against ``k in {3,...,15}`` with one series per
+communication-ratio bound; Figure 1 uses the additive error (plus the
+``k^2/r`` prediction overlay), Figure 2 the relative error.  The functions
+here run the panels through the :mod:`~repro.experiments.runner` and format
+the same series as aligned text tables, which is what the benchmark harness
+prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.experiments.config import ExperimentConfig, figure1_configs, get_config
+from repro.experiments.runner import ExperimentPoint, average_points, run_panel
+
+
+def _series_by_ratio(points: List[ExperimentPoint]) -> Dict[float, List[ExperimentPoint]]:
+    series: Dict[float, List[ExperimentPoint]] = {}
+    for point in points:
+        series.setdefault(point.ratio_target, []).append(point)
+    for ratio in series:
+        series[ratio].sort(key=lambda p: p.k)
+    return series
+
+
+def format_figure1_panel(panel_title: str, points: List[ExperimentPoint]) -> str:
+    """Format one Figure-1 panel: additive error and prediction per ratio and k."""
+    series = _series_by_ratio(points)
+    k_values = sorted({point.k for point in points})
+    header = f"Figure 1 panel: {panel_title}  (additive error vs projection dimension)"
+    lines = [header, "-" * len(header)]
+    lines.append("series".ljust(28) + "".join(f"k={k}".rjust(12) for k in k_values))
+    for ratio in sorted(series, reverse=True):
+        row = series[ratio]
+        by_k = {point.k: point for point in row}
+        lines.append(
+            f"ratio {ratio:g}, prediction".ljust(28)
+            + "".join(f"{by_k[k].predicted_error:12.4g}" for k in k_values)
+        )
+        lines.append(
+            f"ratio {ratio:g}, actual result".ljust(28)
+            + "".join(f"{by_k[k].additive_error:12.4g}" for k in k_values)
+        )
+    return "\n".join(lines)
+
+
+def format_figure2_panel(panel_title: str, points: List[ExperimentPoint]) -> str:
+    """Format one Figure-2 panel: relative error per ratio and k."""
+    series = _series_by_ratio(points)
+    k_values = sorted({point.k for point in points})
+    header = f"Figure 2 panel: {panel_title}  (relative error vs projection dimension)"
+    lines = [header, "-" * len(header)]
+    lines.append("series".ljust(28) + "".join(f"k={k}".rjust(12) for k in k_values))
+    for ratio in sorted(series, reverse=True):
+        row = series[ratio]
+        by_k = {point.k: point for point in row}
+        lines.append(
+            f"ratio {ratio:g}, actual result".ljust(28)
+            + "".join(f"{by_k[k].relative_error:12.4f}" for k in k_values)
+        )
+    return "\n".join(lines)
+
+
+def run_figure1(
+    panels: Optional[Iterable[str]] = None,
+    *,
+    scale: str = "small",
+    k_values: Optional[Iterable[int]] = None,
+    num_trials: Optional[int] = None,
+) -> Dict[str, List[ExperimentPoint]]:
+    """Run (a subset of) Figure 1's panels and return the measured points per panel.
+
+    Figure 2 uses the same runs (relative error is recorded alongside the
+    additive error), so callers typically run this once and format both
+    figures from the result.
+    """
+    if panels is None:
+        configs: List[ExperimentConfig] = figure1_configs(scale)
+    else:
+        configs = [get_config(name, scale) for name in panels]
+    results: Dict[str, List[ExperimentPoint]] = {}
+    for config in configs:
+        points = run_panel(config, k_values=k_values, num_trials=num_trials)
+        results[config.panel] = average_points(points)
+    return results
+
+
+def run_figure2(
+    panels: Optional[Iterable[str]] = None,
+    *,
+    scale: str = "small",
+    k_values: Optional[Iterable[int]] = None,
+    num_trials: Optional[int] = None,
+) -> Dict[str, List[ExperimentPoint]]:
+    """Alias of :func:`run_figure1`: the same sweep records both error metrics."""
+    return run_figure1(panels, scale=scale, k_values=k_values, num_trials=num_trials)

@@ -1,0 +1,97 @@
+"""Plain-text / CSV reporting of experiment points."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.experiments.runner import ExperimentPoint
+
+_CSV_FIELDS = [
+    "panel",
+    "application",
+    "k",
+    "ratio_target",
+    "ratio_actual",
+    "num_samples",
+    "additive_error",
+    "relative_error",
+    "predicted_error",
+    "trial",
+]
+
+
+def points_to_csv(points: Iterable[ExperimentPoint], path: Union[str, Path]) -> Path:
+    """Write the measured points to ``path`` as CSV and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for point in points:
+            writer.writerow(point.as_dict())
+    return path
+
+
+def summarize_results(results: Dict[str, List[ExperimentPoint]]) -> str:
+    """Return a compact cross-panel summary (worst/typical additive error per ratio)."""
+    lines = ["Summary: additive error by panel and communication-ratio bound", ""]
+    lines.append(
+        f"{'panel':<22}{'ratio':>8}{'min add.err':>14}{'max add.err':>14}"
+        f"{'max rel.err':>14}{'rows r':>10}"
+    )
+    for panel, points in results.items():
+        ratios = sorted({p.ratio_target for p in points}, reverse=True)
+        for ratio in ratios:
+            subset = [p for p in points if p.ratio_target == ratio]
+            lines.append(
+                f"{panel:<22}{ratio:>8.3g}"
+                f"{min(p.additive_error for p in subset):>14.4g}"
+                f"{max(p.additive_error for p in subset):>14.4g}"
+                f"{max(p.relative_error for p in subset):>14.4f}"
+                f"{subset[0].num_samples:>10d}"
+            )
+    return "\n".join(lines)
+
+
+def qualitative_checks(results: Dict[str, List[ExperimentPoint]]) -> Dict[str, bool]:
+    """Evaluate the paper's qualitative claims on the measured points.
+
+    Returns a dict of named boolean checks:
+
+    * ``"beats_prediction"`` -- the measured additive error is below the
+      ``k^2/r`` prediction for the (large) majority of points ("our
+      algorithm performed better than its theoretical prediction");
+    * ``"more_communication_helps"`` -- for each panel and ``k``, the largest
+      ratio bound never does worse (beyond noise) than the smallest;
+    * ``"relative_error_close_to_one"`` -- relative errors stay below 2 for
+      the RFF panels (the paper's Figure 2 shows values within 1.005).
+    """
+    all_points = [p for points in results.values() for p in points]
+    if not all_points:
+        raise ValueError("no points to check")
+    beats = sum(1 for p in all_points if p.additive_error <= p.predicted_error)
+    beats_prediction = beats >= 0.7 * len(all_points)
+
+    helps = []
+    for points in results.values():
+        ratios = sorted({p.ratio_target for p in points})
+        if len(ratios) < 2:
+            continue
+        low, high = ratios[0], ratios[-1]
+        for k in sorted({p.k for p in points}):
+            low_err = [p.additive_error for p in points if p.ratio_target == low and p.k == k]
+            high_err = [p.additive_error for p in points if p.ratio_target == high and p.k == k]
+            if low_err and high_err:
+                helps.append(high_err[0] <= low_err[0] * 1.5 + 1e-3)
+    more_communication_helps = (sum(helps) >= 0.6 * len(helps)) if helps else True
+
+    rff_points = [p for p in all_points if p.application == "rff"]
+    relative_ok = all(p.relative_error < 2.0 for p in rff_points) if rff_points else True
+
+    return {
+        "beats_prediction": bool(beats_prediction),
+        "more_communication_helps": bool(more_communication_helps),
+        "relative_error_close_to_one": bool(relative_ok),
+    }

@@ -1,0 +1,166 @@
+"""Sweep runner: measure error versus projection dimension under a communication bound.
+
+For every (ratio, k) pair the runner:
+
+1. builds a fresh workload (cluster + sampler) for the trial seed;
+2. derives the number of sampled rows ``r`` from the communication budget
+   (``ratio * total input words``), reserving part of the budget for the
+   sampler when it is the generalized Z-sampler -- this is the paper's
+   "we adjust some parameters ... to guarantee the ratio";
+3. runs Algorithm 1 and records the *measured* additive error, relative
+   error, communication ratio and the theoretical prediction ``k^2 / r``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.distributed_pca import DistributedPCA
+from repro.core.errors import predicted_additive_error
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workloads import Workload, build_workload
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("experiments.runner")
+
+#: Fraction of the communication budget reserved for the Z-sampler's
+#: sketching/estimation phase (the rest pays for shipping sampled rows).
+SAMPLER_BUDGET_FRACTION = 0.5
+
+
+@dataclass
+class ExperimentPoint:
+    """One measured point of Figures 1 / 2."""
+
+    panel: str
+    application: str
+    k: int
+    ratio_target: float
+    ratio_actual: float
+    num_samples: int
+    additive_error: float
+    relative_error: float
+    predicted_error: float
+    trial: int
+
+    def as_dict(self) -> dict:
+        """Return the point as a plain dictionary (for CSV export)."""
+        return asdict(self)
+
+
+def plan_num_samples(
+    workload: Workload,
+    ratio: float,
+    max_k: int,
+    *,
+    reserve_fraction: float = SAMPLER_BUDGET_FRACTION,
+) -> int:
+    """Choose the number of sampled rows ``r`` fitting the communication budget.
+
+    The dominant cost of Algorithm 1 is shipping the sampled rows:
+    ``r * d * (s - 1)`` words.  When the sampler itself communicates
+    (Z-sampler applications), ``reserve_fraction`` of the budget is left for
+    it.  The result is floored at ``max_k + 1`` so the SVD of ``B`` is
+    meaningful for every swept ``k``.
+    """
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    cluster = workload.cluster
+    budget_words = ratio * cluster.total_input_words()
+    if workload.sampler_uses_communication:
+        budget_words *= 1.0 - reserve_fraction
+    words_per_row = cluster.num_columns * max(1, cluster.num_servers - 1)
+    num_samples = int(budget_words // words_per_row)
+    return max(max_k + 1, num_samples)
+
+
+def run_panel(
+    config: ExperimentConfig,
+    *,
+    ratios: Optional[Iterable[float]] = None,
+    k_values: Optional[Iterable[int]] = None,
+    num_trials: Optional[int] = None,
+) -> List[ExperimentPoint]:
+    """Run one panel of the evaluation and return all measured points.
+
+    Parameters
+    ----------
+    config:
+        The panel configuration.
+    ratios, k_values, num_trials:
+        Optional overrides of the configured sweep (useful for quick tests).
+    """
+    ratios = tuple(ratios) if ratios is not None else config.ratios
+    k_values = tuple(k_values) if k_values is not None else config.k_values
+    trials = int(num_trials) if num_trials is not None else config.num_trials
+    if trials < 1:
+        raise ValueError("num_trials must be >= 1")
+
+    points: List[ExperimentPoint] = []
+    for trial in range(trials):
+        workload = build_workload(config, seed=config.seed + trial)
+        cluster = workload.cluster
+        global_matrix = cluster.materialize_global()
+        max_k = max(k_values)
+        for ratio in ratios:
+            num_samples = plan_num_samples(workload, ratio, max_k)
+            for k in k_values:
+                protocol = DistributedPCA(
+                    k=k,
+                    num_samples=num_samples,
+                    sampler=workload.sampler,
+                    seed=config.seed * 1_000_003 + trial * 101 + k,
+                )
+                result = protocol.fit(cluster)
+                report = result.evaluate(global_matrix, k)
+                point = ExperimentPoint(
+                    panel=config.panel,
+                    application=config.application,
+                    k=k,
+                    ratio_target=float(ratio),
+                    ratio_actual=float(result.communication_ratio),
+                    num_samples=num_samples,
+                    additive_error=float(report["additive_error"]),
+                    relative_error=float(report["relative_error"]),
+                    predicted_error=predicted_additive_error(k, num_samples),
+                    trial=trial,
+                )
+                points.append(point)
+                _LOGGER.debug(
+                    "%s ratio=%.3g k=%d r=%d additive=%.4g relative=%.4g",
+                    config.panel,
+                    ratio,
+                    k,
+                    num_samples,
+                    point.additive_error,
+                    point.relative_error,
+                )
+    return points
+
+
+def average_points(points: List[ExperimentPoint]) -> List[ExperimentPoint]:
+    """Average trials of the same (panel, ratio, k) point (as the paper's 5-run mean)."""
+    groups: dict = {}
+    for point in points:
+        key = (point.panel, point.ratio_target, point.k)
+        groups.setdefault(key, []).append(point)
+    averaged: List[ExperimentPoint] = []
+    for (panel, ratio, k), members in sorted(groups.items()):
+        averaged.append(
+            ExperimentPoint(
+                panel=panel,
+                application=members[0].application,
+                k=k,
+                ratio_target=ratio,
+                ratio_actual=float(np.mean([m.ratio_actual for m in members])),
+                num_samples=int(np.mean([m.num_samples for m in members])),
+                additive_error=float(np.mean([m.additive_error for m in members])),
+                relative_error=float(np.mean([m.relative_error for m in members])),
+                predicted_error=float(np.mean([m.predicted_error for m in members])),
+                trial=-1,
+            )
+        )
+    return averaged

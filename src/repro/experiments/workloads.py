@@ -1,0 +1,144 @@
+"""Build the cluster + sampler pair for each evaluation panel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.samplers import GeneralizedZRowSampler, RowSampler, UniformRowSampler
+from repro.datasets.noise import inject_outliers
+from repro.datasets.pooling import (
+    caltech_like_patch_codes,
+    pnorm_pooling_cluster,
+    scenes_like_patch_codes,
+)
+from repro.datasets.uci_like import forest_cover_like, isolet_like, kddcup_like
+from repro.distributed.cluster import LocalCluster
+from repro.distributed.partition import entrywise_partition, row_partition
+from repro.experiments.config import ExperimentConfig
+from repro.functions.mestimators import HuberPsi
+from repro.kernels.rff import RandomFourierFeatures, distributed_rff_cluster
+from repro.sketch.z_heavy_hitters import ZHeavyHittersParams
+from repro.sketch.z_sampler import ZSamplerConfig
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass
+class Workload:
+    """A panel instantiated as a cluster plus the sampler Algorithm 1 should use."""
+
+    cluster: LocalCluster
+    sampler: RowSampler
+    #: True when the sampler itself consumes communication (the Z-sampler);
+    #: the budget planner then reserves part of the ratio for it.
+    sampler_uses_communication: bool
+    description: str = ""
+
+
+def _default_z_config() -> ZSamplerConfig:
+    """Communication-frugal Z-sampler parameters used by the evaluation runs."""
+    return ZSamplerConfig(
+        epsilon=0.3,
+        hh_params=ZHeavyHittersParams(b=8.0, repetitions=1, num_buckets=8, width_factor=3.0),
+        max_levels=8,
+        min_level_count=2,
+    )
+
+
+def _build_rff_workload(config: ExperimentConfig, seed: RandomState) -> Workload:
+    rng = ensure_rng(seed)
+    kind = config.dataset_params.get("kind", "forest_cover")
+    num_rows = int(config.dataset_params.get("num_rows", 1000))
+    num_features = int(config.function_params.get("num_features", 64))
+    if kind == "kddcup99":
+        raw = kddcup_like(num_rows, seed=rng)
+    else:
+        raw = forest_cover_like(num_rows, seed=rng)
+    # "We randomly distributed the original data to different servers": a row
+    # partition of the raw data; each server then projects locally with the
+    # shared random feature map.
+    raw_locals = [
+        np.asarray(local.todense()) if sparse.issparse(local) else local
+        for local in row_partition(raw, config.num_servers, seed=rng)
+    ]
+    features = RandomFourierFeatures(raw.shape[1], num_features, bandwidth=1.0, seed=rng)
+    cluster = distributed_rff_cluster(raw_locals, features, name=config.panel)
+    return Workload(
+        cluster=cluster,
+        sampler=UniformRowSampler(),
+        sampler_uses_communication=False,
+        description=f"{config.panel}: Gaussian RFF of {kind}-like data "
+        f"({num_rows} x {num_features}, s={config.num_servers})",
+    )
+
+
+def _build_pooling_workload(config: ExperimentConfig, seed: RandomState) -> Workload:
+    rng = ensure_rng(seed)
+    kind = config.dataset_params.get("kind", "caltech")
+    num_images = int(config.dataset_params.get("num_images", 300))
+    p = float(config.function_params.get("p", 2.0))
+    if kind == "scenes":
+        dataset = scenes_like_patch_codes(
+            num_images, num_servers=config.num_servers, seed=rng
+        )
+    else:
+        dataset = caltech_like_patch_codes(
+            num_images, num_servers=config.num_servers, seed=rng
+        )
+    cluster = pnorm_pooling_cluster(dataset, p, name=config.panel)
+    sampler = GeneralizedZRowSampler(config=_default_z_config())
+    return Workload(
+        cluster=cluster,
+        sampler=sampler,
+        sampler_uses_communication=True,
+        description=f"{config.panel}: P-norm pooling (P={p:g}) of {kind}-like patch codes "
+        f"({num_images} images, s={config.num_servers})",
+    )
+
+
+def _build_robust_workload(config: ExperimentConfig, seed: RandomState) -> Workload:
+    rng = ensure_rng(seed)
+    num_rows = int(config.dataset_params.get("num_rows", 400))
+    num_features = int(config.dataset_params.get("num_features", 150))
+    num_outliers = int(config.dataset_params.get("num_outliers", 50))
+    threshold = float(config.function_params.get("threshold", 3.0))
+    clean = isolet_like(num_rows, num_features, seed=rng)
+    corrupted, _ = inject_outliers(clean, num_outliers, magnitude=1e4, seed=rng)
+    # "We arbitrarily partitioned the matrix into different servers": each
+    # entry lives on one server, so no server can tell locally whether an
+    # entry is abnormally large relative to the global picture.
+    locals_ = entrywise_partition(corrupted, config.num_servers, seed=rng)
+    cluster = LocalCluster(locals_, HuberPsi(threshold), name=config.panel)
+    sampler = GeneralizedZRowSampler(config=_default_z_config())
+    return Workload(
+        cluster=cluster,
+        sampler=sampler,
+        sampler_uses_communication=True,
+        description=f"{config.panel}: robust PCA with Huber psi (threshold={threshold:g}) "
+        f"on isolet-like data ({num_rows} x {num_features}, {num_outliers} outliers, "
+        f"s={config.num_servers})",
+    )
+
+
+def build_workload(config: ExperimentConfig, seed: Optional[RandomState] = None) -> Workload:
+    """Instantiate the cluster and sampler for ``config``.
+
+    Parameters
+    ----------
+    config:
+        Panel configuration (see :func:`repro.experiments.config.figure1_configs`).
+    seed:
+        Overrides ``config.seed`` when given (the runner passes
+        ``config.seed + trial``).
+    """
+    effective_seed = config.seed if seed is None else seed
+    if config.application == "rff":
+        return _build_rff_workload(config, effective_seed)
+    if config.application == "pooling":
+        return _build_pooling_workload(config, effective_seed)
+    if config.application == "robust":
+        return _build_robust_workload(config, effective_seed)
+    raise ValueError(f"unknown application {config.application!r}")

@@ -1,0 +1,48 @@
+"""Entrywise functions ``f`` and their sampling-weight functions ``z``.
+
+The implicit global matrix is ``A_{ij} = f(sum_t A^t_{ij})`` for a scalar
+function ``f`` known to all servers.  Algorithm 1 needs to sample rows with
+probability roughly proportional to their squared norm, which reduces to
+sampling entries with probability proportional to ``z(x)`` where ``z`` is any
+function with ``z(x)/c <= f(x)^2 <= c z(x)`` that satisfies the paper's
+property **P** (Section V):
+
+* ``z`` is continuous with ``z(0) = 0``;
+* ``z`` is non-decreasing in ``|x|``;
+* ``x^2 / z(x)`` is non-decreasing in ``|x|``.
+
+Every concrete function in this package exposes both ``f`` (``__call__``)
+and ``z`` (:meth:`~repro.functions.base.EntrywiseFunction.sampling_weight`),
+plus the constant ``c`` relating them.
+"""
+
+from repro.functions.base import (
+    EntrywiseFunction,
+    property_p_violations,
+    satisfies_property_p,
+)
+from repro.functions.identity import Identity
+from repro.functions.maximum import entrywise_max, max_aggregation_error
+from repro.functions.mestimators import FairPsi, HuberPsi, L1L2Psi, TABLE_I_FUNCTIONS
+from repro.functions.power import AbsolutePower, SignedPower
+from repro.functions.registry import available_functions, make_function
+from repro.functions.softmax import GeneralizedMeanFunction, generalized_mean
+
+__all__ = [
+    "EntrywiseFunction",
+    "satisfies_property_p",
+    "property_p_violations",
+    "Identity",
+    "AbsolutePower",
+    "SignedPower",
+    "GeneralizedMeanFunction",
+    "generalized_mean",
+    "entrywise_max",
+    "max_aggregation_error",
+    "HuberPsi",
+    "L1L2Psi",
+    "FairPsi",
+    "TABLE_I_FUNCTIONS",
+    "make_function",
+    "available_functions",
+]

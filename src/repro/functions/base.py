@@ -1,0 +1,145 @@
+"""Base class for entrywise functions and the property-P verifier."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Tuple
+
+import numpy as np
+
+
+class EntrywiseFunction(abc.ABC):
+    """A scalar function ``f`` applied entrywise to the summed local matrices.
+
+    Subclasses implement :meth:`apply`; the base class provides vectorised
+    calling, the default sampling weight ``z(x) = f(x)^2`` and the distortion
+    constant ``c`` (which is 1 whenever ``z`` is exactly ``f^2``).
+
+    Instances are callables, so they can be passed directly as the
+    ``function`` argument of :class:`repro.distributed.LocalCluster`.
+    """
+
+    #: Short machine-readable name (used by the registry and reports).
+    name: str = "entrywise"
+
+    @abc.abstractmethod
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Apply ``f`` elementwise to ``x`` (must be vectorised)."""
+
+    def __call__(self, x) -> np.ndarray:
+        arr = np.asarray(x, dtype=float)
+        return np.asarray(self.apply(arr), dtype=float)
+
+    def sampling_weight(self, x) -> np.ndarray:
+        """Return ``z(x)``, the weight used by the generalized sampler.
+
+        The default is ``f(x)^2`` which always brackets itself with ``c = 1``.
+        Subclasses may override with a simpler surrogate as long as
+        ``z/c <= f^2 <= c z`` for :meth:`weight_distortion`'s ``c``.
+        """
+        fx = self(x)
+        return fx * fx
+
+    def weight_distortion(self) -> float:
+        """Return the constant ``c >= 1`` with ``z(x)/c <= f(x)^2 <= c z(x)``."""
+        return 1.0
+
+    def preserves_zero(self) -> bool:
+        """True if ``f(0) == 0`` (required for sparse local matrices)."""
+        return bool(np.isclose(float(self(np.zeros(1))[0]), 0.0))
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def property_p_violations(
+    weight_fn,
+    sample_points: np.ndarray,
+    *,
+    rtol: float = 1e-9,
+) -> List[Tuple[float, float, str]]:
+    """Check property **P** of a weight function ``z`` on a grid of points.
+
+    Property P requires, for ``|x1| >= |x2|``:
+
+    * ``x1^2 / z(x1) >= x2^2 / z(x2)``;
+    * ``z(x1) >= z(x2)``;
+    * and ``z(0) = 0``.
+
+    Parameters
+    ----------
+    weight_fn:
+        Either an :class:`EntrywiseFunction` (its ``sampling_weight`` is
+        checked) or a plain vectorised callable ``z``.
+    sample_points:
+        1-D array of points to check pairwise (sorted internally by ``|x|``).
+
+    Returns
+    -------
+    list of (x_small, x_large, reason)
+        Violating pairs; empty when the property holds on the grid.
+    """
+    if isinstance(weight_fn, EntrywiseFunction):
+        z = weight_fn.sampling_weight
+    else:
+        z = weight_fn
+    points = np.asarray(sample_points, dtype=float).ravel()
+    violations: List[Tuple[float, float, str]] = []
+
+    z_zero = float(np.asarray(z(np.zeros(1)), dtype=float).ravel()[0])
+    if not np.isclose(z_zero, 0.0, atol=1e-12):
+        violations.append((0.0, 0.0, f"z(0) = {z_zero} != 0"))
+
+    order = np.argsort(np.abs(points))
+    sorted_points = points[order]
+    z_values = np.asarray(z(sorted_points), dtype=float).ravel()
+    if np.any(z_values < -1e-12):
+        bad = sorted_points[z_values < -1e-12][0]
+        violations.append((float(bad), float(bad), "z takes a negative value"))
+
+    # Ratio x^2 / z(x); treat z == 0 carefully (only allowed at x == 0).
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(z_values > 0, sorted_points**2 / z_values, 0.0)
+
+    tolerance = 1 + rtol
+    for i in range(1, len(sorted_points)):
+        x_small, x_large = sorted_points[i - 1], sorted_points[i]
+        if z_values[i] * tolerance < z_values[i - 1]:
+            violations.append(
+                (float(x_small), float(x_large), "z is not non-decreasing in |x|")
+            )
+        if z_values[i - 1] > 0 and z_values[i] > 0:
+            if ratios[i] * tolerance < ratios[i - 1]:
+                violations.append(
+                    (float(x_small), float(x_large), "x^2/z(x) is not non-decreasing in |x|")
+                )
+        if z_values[i] == 0 and abs(x_large) > 1e-12:
+            violations.append(
+                (float(x_small), float(x_large), "z vanishes at a nonzero point")
+            )
+    return violations
+
+
+def satisfies_property_p(
+    weight_fn,
+    *,
+    lower: float = 0.0,
+    upper: float = 100.0,
+    num_points: int = 2001,
+    include_negative: bool = True,
+) -> bool:
+    """Return True if property **P** holds for ``weight_fn`` on a dense grid.
+
+    This is a numerical verification on ``num_points`` points in
+    ``[lower, upper]`` (and their negatives when ``include_negative``); it is
+    used by tests and by :class:`~repro.core.samplers.GeneralizedZSampler`
+    to guard against functions the framework does not support.
+    """
+    grid = np.linspace(lower, upper, num_points)
+    if include_negative:
+        grid = np.concatenate([-grid[::-1], grid])
+    return not property_p_violations(weight_fn, grid)

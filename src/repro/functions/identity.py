@@ -1,0 +1,28 @@
+"""Identity entrywise function (the classic arbitrary partition model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.base import EntrywiseFunction
+
+
+class Identity(EntrywiseFunction):
+    """``f(x) = x``: the global matrix is simply the sum of the local matrices.
+
+    With the identity the generalized partition model degenerates to the
+    linear "arbitrary partition model" of prior work; it is the baseline
+    against which the implicit-function machinery is compared.
+    """
+
+    name = "identity"
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=float)
+
+    def sampling_weight(self, x) -> np.ndarray:
+        arr = np.asarray(x, dtype=float)
+        return arr * arr
+
+    def describe(self) -> str:
+        return "f(x) = x"

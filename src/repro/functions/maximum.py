@@ -1,0 +1,47 @@
+"""Entrywise maximum aggregation (the hard case motivating the softmax).
+
+The paper's Theorem 6 shows that computing a *relative*-error low-rank
+approximation when the global matrix is the entrywise maximum of the local
+matrices requires ``~ n d`` bits of communication -- essentially sending all
+the data.  The softmax (generalized mean with large ``p``) is the tractable
+surrogate.  This module provides the exact maximum aggregation as a ground
+truth for experiments, plus the error incurred by replacing it with ``GM_p``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.functions.softmax import generalized_mean
+
+
+def entrywise_max(local_matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Return the entrywise maximum of the absolute values of the local matrices."""
+    if len(local_matrices) == 0:
+        raise ValueError("need at least one local matrix")
+    stack = np.abs(np.stack([np.asarray(m, dtype=float) for m in local_matrices], axis=0))
+    return stack.max(axis=0)
+
+
+def max_aggregation_error(
+    local_matrices: Sequence[np.ndarray], p: float
+) -> dict:
+    """Quantify how well ``GM_p`` approximates the entrywise maximum.
+
+    Returns a dict with the maximum absolute gap, the mean relative gap and
+    the Frobenius-norm relative gap between ``max_t |M^t|`` and
+    ``GM_p(|M^1|,...,|M^s|)``.
+    """
+    stack = np.abs(np.stack([np.asarray(m, dtype=float) for m in local_matrices], axis=0))
+    true_max = stack.max(axis=0)
+    gm = generalized_mean(stack, p, axis=0)
+    gap = true_max - gm
+    denom = np.where(true_max > 0, true_max, 1.0)
+    fro_true = np.linalg.norm(true_max)
+    return {
+        "max_abs_gap": float(np.max(gap)),
+        "mean_relative_gap": float(np.mean(gap / denom)),
+        "frobenius_relative_gap": float(np.linalg.norm(gap) / (fro_true if fro_true > 0 else 1.0)),
+    }

@@ -1,0 +1,112 @@
+"""ψ-functions of M-estimators (Table I of the paper): Huber, L1-L2, "Fair".
+
+Applying such a ψ entrywise to the (summed) data caps the influence of
+hugely corrupted entries, giving a form of robust PCA.  All three functions
+have at most quadratic growth and their squares satisfy property P, so the
+generalized sampler applies (Section VI-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.base import EntrywiseFunction
+from repro.utils.validation import check_positive
+
+
+class HuberPsi(EntrywiseFunction):
+    """Huber ψ-function: ``ψ(x) = x`` for ``|x| <= k`` and ``k sgn(x)`` beyond.
+
+    Entries smaller than the threshold are preserved exactly; larger entries
+    are clipped to ``±k``, removing the leverage of corrupted measurements.
+
+    Parameters
+    ----------
+    threshold:
+        The clipping threshold ``k > 0`` (Table I's ``k``).
+    """
+
+    name = "huber"
+
+    def __init__(self, threshold: float = 1.0) -> None:
+        self.threshold = check_positive(threshold, "threshold")
+        self.name = f"huber[k={self.threshold:g}]"
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return np.clip(x, -self.threshold, self.threshold)
+
+    def sampling_weight(self, x) -> np.ndarray:
+        clipped = np.clip(np.asarray(x, dtype=float), -self.threshold, self.threshold)
+        return clipped * clipped
+
+    def describe(self) -> str:
+        return f"Huber psi: x if |x| <= {self.threshold:g} else {self.threshold:g} sgn(x)"
+
+
+class L1L2Psi(EntrywiseFunction):
+    """L1-L2 ψ-function: ``ψ(x) = x / sqrt(1 + x^2 / 2)``.
+
+    Behaves like the identity near zero and grows like ``sqrt(2) sgn(x)`` for
+    huge ``|x|`` -- a smooth soft clipping.
+    """
+
+    name = "l1_l2"
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        arr = np.asarray(x, dtype=float)
+        return arr / np.sqrt(1.0 + arr * arr / 2.0)
+
+    def describe(self) -> str:
+        return "L1-L2 psi: x / sqrt(1 + x^2/2)"
+
+
+class FairPsi(EntrywiseFunction):
+    """"Fair" ψ-function: ``ψ(x) = x / (1 + |x| / c)``.
+
+    Parameters
+    ----------
+    scale:
+        The scale parameter ``c > 0`` of Table I.  ψ saturates at ``±c``.
+    """
+
+    name = "fair"
+
+    def __init__(self, scale: float = 1.0) -> None:
+        self.scale = check_positive(scale, "scale")
+        self.name = f"fair[c={self.scale:g}]"
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        arr = np.asarray(x, dtype=float)
+        return arr / (1.0 + np.abs(arr) / self.scale)
+
+    def describe(self) -> str:
+        return f"Fair psi: x / (1 + |x|/{self.scale:g})"
+
+
+#: The three ψ-functions listed in Table I, with their default parameters.
+TABLE_I_FUNCTIONS = {
+    "huber": HuberPsi,
+    "l1_l2": L1L2Psi,
+    "fair": FairPsi,
+}
+
+
+def table_i_rows(threshold: float = 1.0, scale: float = 1.0) -> list[dict]:
+    """Return the content of Table I as structured rows (name, formula, example values).
+
+    Used by the ``bench_table1_mestimators`` benchmark to regenerate the
+    table alongside a numerical sanity panel.
+    """
+    functions = [HuberPsi(threshold), L1L2Psi(), FairPsi(scale)]
+    probe = np.array([-10.0, -1.0, -0.1, 0.0, 0.1, 1.0, 10.0])
+    rows = []
+    for fn in functions:
+        rows.append(
+            {
+                "name": fn.name,
+                "formula": fn.describe(),
+                "probe_points": probe.tolist(),
+                "values": [float(v) for v in fn(probe)],
+            }
+        )
+    return rows

@@ -1,0 +1,72 @@
+"""Power functions ``f(x) = |x|^p`` and ``f(x) = sgn(x) |x|^p``.
+
+These appear in two roles in the paper:
+
+* as the implicit function studied by the lower bounds (Theorems 4 and 8,
+  ``f(x) = x^p`` / ``|x|^p``);
+* as the *inverse* step of the softmax (generalized mean) application, where
+  each server locally raises entries to the ``p``-th power and the global
+  function is ``f(x) = x^{1/p}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.functions.base import EntrywiseFunction
+from repro.utils.validation import check_positive
+
+
+class AbsolutePower(EntrywiseFunction):
+    """``f(x) = |x|^p`` for ``p > 0``.
+
+    The sampling weight is ``z(x) = |x|^{2p}`` which satisfies property P for
+    every ``p >= 1`` (and for ``p in (0, 1)`` as well, since both ``z`` and
+    ``x^2/z = |x|^{2-2p}``... the latter is only non-decreasing when
+    ``p <= 1``; both regimes are covered because ``2p <= 2`` or the ratio is
+    constant at ``p = 1``).  For ``p > 1`` the ratio ``x^2/z`` is
+    *decreasing*, so property P fails -- which matches the paper's lower
+    bound telling us fast-growing ``f`` cannot be handled with relative
+    error; the additive-error framework still applies through the exact or
+    uniform samplers.
+    """
+
+    name = "abs_power"
+
+    def __init__(self, exponent: float) -> None:
+        self.exponent = check_positive(exponent, "exponent")
+        self.name = f"abs_power[p={self.exponent:g}]"
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return np.abs(x) ** self.exponent
+
+    def sampling_weight(self, x) -> np.ndarray:
+        return np.abs(np.asarray(x, dtype=float)) ** (2.0 * self.exponent)
+
+    def describe(self) -> str:
+        return f"f(x) = |x|^{self.exponent:g}"
+
+
+class SignedPower(EntrywiseFunction):
+    """``f(x) = sgn(x) |x|^p`` for ``p > 0`` (odd extension of the power map).
+
+    Used for the softmax application with ``p = 1/P``: servers hold
+    ``(1/s) |M^t|^P`` locally and the global function recovers
+    ``GM_P(|M^1|, ..., |M^s|)`` entrywise up to the arithmetic/geometric mean
+    factor discussed in Section VI-B.
+    """
+
+    name = "signed_power"
+
+    def __init__(self, exponent: float) -> None:
+        self.exponent = check_positive(exponent, "exponent")
+        self.name = f"signed_power[p={self.exponent:g}]"
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return np.sign(x) * np.abs(x) ** self.exponent
+
+    def sampling_weight(self, x) -> np.ndarray:
+        return np.abs(np.asarray(x, dtype=float)) ** (2.0 * self.exponent)
+
+    def describe(self) -> str:
+        return f"f(x) = sgn(x) |x|^{self.exponent:g}"

@@ -1,0 +1,71 @@
+"""Registry mapping function names to factories.
+
+Experiment configurations refer to entrywise functions by name (plus keyword
+parameters); the registry turns those references into concrete
+:class:`~repro.functions.base.EntrywiseFunction` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.functions.base import EntrywiseFunction
+from repro.functions.identity import Identity
+from repro.functions.mestimators import FairPsi, HuberPsi, L1L2Psi
+from repro.functions.power import AbsolutePower, SignedPower
+from repro.functions.softmax import GeneralizedMeanFunction
+
+_FACTORIES: Dict[str, Callable[..., EntrywiseFunction]] = {
+    "identity": Identity,
+    "abs_power": AbsolutePower,
+    "signed_power": SignedPower,
+    "generalized_mean": GeneralizedMeanFunction,
+    "softmax": GeneralizedMeanFunction,
+    "huber": HuberPsi,
+    "l1_l2": L1L2Psi,
+    "fair": FairPsi,
+}
+
+
+def available_functions() -> List[str]:
+    """Return the sorted list of registered function names."""
+    return sorted(_FACTORIES)
+
+
+def make_function(name: str, **kwargs) -> EntrywiseFunction:
+    """Instantiate the entrywise function registered under ``name``.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_functions` (case-insensitive).
+    **kwargs:
+        Passed to the function's constructor (e.g. ``p=20`` for the softmax,
+        ``threshold=2.0`` for Huber).
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not registered.
+    """
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown entrywise function {name!r}; available: {', '.join(available_functions())}"
+        )
+    return _FACTORIES[key](**kwargs)
+
+
+def register_function(name: str, factory: Callable[..., EntrywiseFunction]) -> None:
+    """Register a custom entrywise function factory under ``name``.
+
+    Raises
+    ------
+    ValueError
+        If the name is already taken (overwriting silently would make
+        experiment configs ambiguous).
+    """
+    key = name.lower()
+    if key in _FACTORIES:
+        raise ValueError(f"function name {name!r} is already registered")
+    _FACTORIES[key] = factory

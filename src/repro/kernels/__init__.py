@@ -1,0 +1,25 @@
+"""Gaussian RBF kernel and its random Fourier feature (RFF) expansion.
+
+Section VI-A of the paper: the Gaussian kernel
+``K(x, y) = exp(-|x - y|^2 / 2)`` admits the Rahimi-Recht random feature
+approximation ``phi(x) ~ sqrt(2) cos(Z x + b)`` with ``Z`` Gaussian and ``b``
+uniform on ``[0, 2*pi]``.  Every expanded row has squared norm concentrated
+around the number of features, so uniform row sampling is a valid
+``l_2^2``-sampler for the expanded matrix and the distributed PCA framework
+applies with zero sampling communication.
+"""
+
+from repro.kernels.rbf import gaussian_kernel_matrix, gaussian_kernel_value
+from repro.kernels.rff import (
+    RandomFourierFeatures,
+    distributed_rff_cluster,
+    rff_row_norm_concentration,
+)
+
+__all__ = [
+    "gaussian_kernel_value",
+    "gaussian_kernel_matrix",
+    "RandomFourierFeatures",
+    "distributed_rff_cluster",
+    "rff_row_norm_concentration",
+]

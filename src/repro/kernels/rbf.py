@@ -1,0 +1,36 @@
+"""Exact Gaussian RBF kernel (the object the random features approximate)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_positive
+
+
+def gaussian_kernel_value(x: np.ndarray, y: np.ndarray, bandwidth: float = 1.0) -> float:
+    """Return ``K(x, y) = exp(-|x - y|_2^2 / (2 sigma^2))`` for two vectors."""
+    bandwidth = check_positive(bandwidth, "bandwidth")
+    diff = np.asarray(x, dtype=float) - np.asarray(y, dtype=float)
+    return float(np.exp(-float(diff @ diff) / (2.0 * bandwidth * bandwidth)))
+
+
+def gaussian_kernel_matrix(
+    points: np.ndarray,
+    other: np.ndarray | None = None,
+    bandwidth: float = 1.0,
+) -> np.ndarray:
+    """Return the Gram matrix ``K[i, j] = K(points_i, other_j)``.
+
+    With ``other`` omitted the kernel matrix of ``points`` against itself is
+    returned.  Used by tests to check that inner products of random Fourier
+    features approximate the exact kernel.
+    """
+    bandwidth = check_positive(bandwidth, "bandwidth")
+    a = check_matrix(points, "points")
+    b = a if other is None else check_matrix(other, "other")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("points and other must have the same dimensionality")
+    sq_a = np.sum(a * a, axis=1)[:, None]
+    sq_b = np.sum(b * b, axis=1)[None, :]
+    sq_dist = np.maximum(sq_a + sq_b - 2.0 * a @ b.T, 0.0)
+    return np.exp(-sq_dist / (2.0 * bandwidth * bandwidth))

@@ -1,0 +1,47 @@
+"""Communication lower bounds for relative-error protocols (Section VII).
+
+The paper shows that *relative*-error approximate PCA of an implicit
+``f``-transformed matrix is communication-expensive through reductions from
+three classical two-party problems:
+
+* ``L_infinity`` promise problem -> Theorem 4: ``f(x) = Omega(|x|^p)``,
+  ``p > 1`` needs ``~ n^{1-1/p} d^{1-4/p}`` bits;
+* two-party set disjointness (2-DISJ) -> Theorem 6: ``f = max`` or the
+  Huber ψ needs ``~ n d`` bits;
+* Gap-Hamming-Distance (GHD) -> Theorem 8: ``f(x) = x^p`` needs
+  ``Omega(1/eps^2)`` bits.
+
+This package contains instance generators for the three promise problems
+(:mod:`~repro.lowerbounds.problems`) and *constructive* implementations of
+the reductions (:mod:`~repro.lowerbounds.reductions`): the gadget matrices
+are built exactly as in the proofs and the decision procedures are run
+against an exact rank-``k`` solver, so tests and benchmarks can verify
+empirically that solving relative-error PCA on the gadgets solves the
+underlying hard problem.
+"""
+
+from repro.lowerbounds.problems import (
+    disjointness_instance,
+    gap_hamming_instance,
+    linf_instance,
+)
+from repro.lowerbounds.reductions import (
+    DisjointnessReduction,
+    GapHammingReduction,
+    LInfinityReduction,
+    theorem4_bound_bits,
+    theorem6_bound_bits,
+    theorem8_bound_bits,
+)
+
+__all__ = [
+    "linf_instance",
+    "disjointness_instance",
+    "gap_hamming_instance",
+    "LInfinityReduction",
+    "DisjointnessReduction",
+    "GapHammingReduction",
+    "theorem4_bound_bits",
+    "theorem6_bound_bits",
+    "theorem8_bound_bits",
+]

@@ -1,0 +1,116 @@
+"""Instance generators for the hard two-party promise problems of Section VII."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_rank
+
+
+def linf_instance(
+    length: int,
+    bound: int,
+    *,
+    has_far_coordinate: bool,
+    seed: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return an instance of the ``L_infinity`` promise problem (Theorem 5 of [23]).
+
+    Alice gets ``x`` and Bob gets ``y``, both with entries in ``{0, ..., B}``;
+    either ``|x_i - y_i| <= 1`` everywhere, or there is exactly one
+    coordinate with ``|x_i - y_i| = B``.
+
+    Parameters
+    ----------
+    length:
+        Vector length ``m``.
+    bound:
+        The gap ``B`` (>= 2).
+    has_far_coordinate:
+        Which side of the promise to generate.
+    """
+    length = check_rank(length, None, "length")
+    if bound < 2:
+        raise ValueError(f"bound must be >= 2, got {bound}")
+    rng = ensure_rng(seed)
+    x = rng.integers(0, bound + 1, size=length)
+    offsets = rng.integers(-1, 2, size=length)
+    y = np.clip(x + offsets, 0, bound)
+    if has_far_coordinate:
+        position = int(rng.integers(0, length))
+        if rng.random() < 0.5:
+            x[position], y[position] = bound, 0
+        else:
+            x[position], y[position] = 0, bound
+    return x.astype(np.int64), y.astype(np.int64)
+
+
+def disjointness_instance(
+    length: int,
+    *,
+    intersecting: bool,
+    density: float = 0.25,
+    seed: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return a 2-DISJ promise instance (Theorem 7 / Razborov).
+
+    Either there is exactly one coordinate where both binary vectors are 1,
+    or the supports are disjoint.
+    """
+    length = check_rank(length, None, "length")
+    if not 0 < density < 1:
+        raise ValueError(f"density must be in (0, 1), got {density}")
+    rng = ensure_rng(seed)
+    x = (rng.random(length) < density).astype(np.int64)
+    y = (rng.random(length) < density).astype(np.int64)
+    # Remove all accidental intersections to satisfy the promise.
+    both = np.nonzero(x & y)[0]
+    y[both] = 0
+    if intersecting:
+        position = int(rng.integers(0, length))
+        x[position] = 1
+        y[position] = 1
+    return x, y
+
+
+def gap_hamming_instance(
+    epsilon: float,
+    *,
+    positive_correlation: bool,
+    seed: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return a Gap-Hamming-style promise instance used by Theorem 8.
+
+    The vectors live in ``{-1, +1}^{1/eps^2}`` and their inner product is
+    promised to be either ``> 2/eps`` (``positive_correlation=True``) or
+    ``< -2/eps``.
+
+    Notes
+    -----
+    The construction flips just enough coordinates of a random ``x`` to
+    guarantee the promised inner-product gap exactly.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    length = max(4, int(round(1.0 / (epsilon * epsilon))))
+    rng = ensure_rng(seed)
+    x = (rng.integers(0, 2, size=length) * 2 - 1).astype(np.int64)
+    threshold = 2.0 / epsilon
+    # <x, y> = length - 2 * (#disagreements), so the inner product always has
+    # the same parity as ``length``; pick the closest achievable value that
+    # strictly clears the promised gap.
+    target = int(np.floor(threshold)) + 1
+    if (length - target) % 2 != 0:
+        target += 1
+    target = min(target, length)
+    if not positive_correlation:
+        target = -target
+    disagreements = (length - target) // 2
+    disagreements = int(np.clip(disagreements, 0, length))
+    y = x.copy()
+    flip = rng.choice(length, size=disagreements, replace=False)
+    y[flip] *= -1
+    return x, y

@@ -1,0 +1,433 @@
+"""Constructive reductions behind the lower bounds of Section VII.
+
+Each reduction builds the gadget matrices of the corresponding proof and
+runs the decision procedure with a pluggable rank-``k`` "protocol" (by
+default the exact truncated SVD, i.e. a perfect relative-error solver).
+Tests and the ``bench_lowerbounds`` benchmark verify empirically that the
+decision procedures solve the underlying hard communication problems, which
+is precisely the content of Theorems 4, 6 and 8: any low-communication
+relative-error protocol would violate the known lower bounds for
+``L_infinity``, 2-DISJ and Gap-Hamming-Distance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.lowerbounds.problems import (
+    disjointness_instance,
+    gap_hamming_instance,
+    linf_instance,
+)
+from repro.utils.linalg import svd_rank_k_projection
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.validation import check_positive, check_rank
+
+#: A rank-k solver: maps (matrix, k) to a d x d projection matrix.
+RankKSolver = Callable[[np.ndarray, int], np.ndarray]
+
+
+def exact_rank_k_solver(matrix: np.ndarray, k: int) -> np.ndarray:
+    """The default "protocol": an exact relative-error rank-``k`` projection."""
+    _, projection = svd_rank_k_projection(matrix, k)
+    return projection
+
+
+# --------------------------------------------------------------------------- #
+# closed-form lower bound magnitudes
+# --------------------------------------------------------------------------- #
+def theorem4_bound_bits(n: int, d: int, p: float, epsilon: float) -> float:
+    """Theorem 4: ``Omega~((1+eps)^{-2/p} n^{1-1/p} d^{1-4/p})`` bits for ``f = Omega(|x|^p)``."""
+    n = check_rank(n, None, "n")
+    d = check_rank(d, None, "d")
+    p = check_positive(p, "p")
+    epsilon = check_positive(epsilon, "epsilon")
+    return (1.0 + epsilon) ** (-2.0 / p) * n ** (1.0 - 1.0 / p) * d ** (1.0 - 4.0 / p)
+
+
+def theorem6_bound_bits(n: int, d: int) -> float:
+    """Theorem 6: ``Omega~(n d)`` bits for ``f = max`` or the Huber ψ-function."""
+    return float(check_rank(n, None, "n") * check_rank(d, None, "d"))
+
+
+def theorem8_bound_bits(epsilon: float) -> float:
+    """Theorem 8: ``Omega(1/eps^2)`` bits for ``f(x) = x^p``."""
+    epsilon = check_positive(epsilon, "epsilon")
+    return 1.0 / (epsilon * epsilon)
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 8: Gap-Hamming-Distance reduction
+# --------------------------------------------------------------------------- #
+class GapHammingReduction:
+    """The reduction of Theorem 8: relative-error PCA decides Gap-Hamming.
+
+    Alice and Bob hold ``x, y in {-1,+1}^{1/eps^2}`` with the promise
+    ``<x,y> > 2/eps`` or ``<x,y> < -2/eps``.  They build the
+    ``(1/eps^2 + k) x (k+1)`` gadgets of the proof, obtain a relative-error
+    rank-``k`` projection ``P`` of ``A = A^1 + A^2`` and look at
+    ``v = u/|u|`` where ``u`` is the first row of ``I - P``: the proof shows
+    ``v_1^2 < (1+eps)/2`` exactly in the positively correlated case.
+
+    Parameters
+    ----------
+    epsilon:
+        The gap parameter (vector length is ``~ 1/eps^2``).
+    k:
+        Rank used by the gadget (>= 1).
+    solver:
+        Rank-``k`` solver standing in for the hypothetical low-communication
+        protocol; defaults to the exact SVD.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 0.1,
+        k: int = 2,
+        solver: Optional[RankKSolver] = None,
+    ) -> None:
+        self.epsilon = check_positive(epsilon, "epsilon")
+        if self.epsilon >= 1:
+            raise ValueError("epsilon must be < 1")
+        self.k = check_rank(k, None, "k")
+        self.solver = solver if solver is not None else exact_rank_k_solver
+
+    def build_matrices(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return Alice's and Bob's gadget matrices ``A^1`` and ``A^2``."""
+        x = np.asarray(x, dtype=float).ravel()
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape != y.shape:
+            raise ValueError("x and y must have the same length")
+        m = x.size
+        eps = self.epsilon
+        k = self.k
+        a1 = np.zeros((m + k, k + 1))
+        a2 = np.zeros((m + k, k + 1))
+        a1[:m, 0] = x * eps
+        a2[:m, 0] = y * eps
+        a1[m, 1] = math.sqrt(2.0)
+        for j in range(2, k + 1):
+            a1[m + j - 1, j] = math.sqrt(2.0 * (1.0 + eps)) / eps
+        return a1, a2
+
+    def decide(self, x: np.ndarray, y: np.ndarray) -> bool:
+        """Return ``True`` when the protocol concludes ``<x,y> > 2/eps``."""
+        a1, a2 = self.build_matrices(x, y)
+        a = a1 + a2
+        projection = self.solver(a, self.k)
+        identity = np.eye(a.shape[1])
+        u = (identity - projection)[0]
+        norm = np.linalg.norm(u)
+        if norm <= 1e-12:
+            # P did not remove the first direction at all: the x+y column is
+            # entirely captured, which only happens when it is large.
+            return True
+        v = u / norm
+        return bool(v[0] ** 2 < 0.5 * (1.0 + self.epsilon))
+
+    def verify(self, trials: int = 20, seed: RandomState = None) -> float:
+        """Return the empirical decision accuracy over random promise instances."""
+        if trials < 1:
+            raise ValueError("trials must be >= 1")
+        rng = ensure_rng(seed)
+        rngs = spawn_rngs(rng, trials)
+        correct = 0
+        for trial in range(trials):
+            positive = trial % 2 == 0
+            x, y = gap_hamming_instance(
+                self.epsilon, positive_correlation=positive, seed=rngs[trial]
+            )
+            if self.decide(x, y) == positive:
+                correct += 1
+        return correct / trials
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 6: 2-DISJ reduction (f = max or the Huber psi)
+# --------------------------------------------------------------------------- #
+class DisjointnessReduction:
+    """The reduction of Theorem 6: relative-error PCA for ``max``/Huber decides 2-DISJ.
+
+    The players hold binary vectors of length ``n * d`` with the promise
+    that the supports either intersect in exactly one coordinate or not at
+    all.  Bits are flipped and arranged into ``n x d`` matrices; the global
+    gadget has rank at most ``k`` and the *unique* zero entry (if any) marks
+    the intersection, so an exact (relative-error) rank-``k`` projection
+    reveals its column and the players recurse on that column until the
+    intersection is pinned down.
+
+    Parameters
+    ----------
+    num_rows, num_cols:
+        Shape ``n x d`` of the arranged bit matrix (instance length is
+        ``n * d``).
+    k:
+        Gadget rank (>= 3 so the identity block is non-empty).
+    aggregation:
+        ``"max"`` for ``A_{ij} = max(A^1_{ij}, A^2_{ij})`` or ``"huber"``
+        for ``A_{ij} = psi(A^1_{ij} + A^2_{ij})`` with the Huber psi
+        normalised as in the proof (``psi(0)=0, psi(1)=psi(2)=1``).
+    solver:
+        Rank-``k`` solver; defaults to the exact SVD.
+    """
+
+    def __init__(
+        self,
+        num_rows: int,
+        num_cols: int,
+        k: int = 3,
+        aggregation: str = "max",
+        solver: Optional[RankKSolver] = None,
+        max_rounds: int = 32,
+    ) -> None:
+        self.num_rows = check_rank(num_rows, None, "num_rows")
+        self.num_cols = check_rank(num_cols, None, "num_cols")
+        self.k = check_rank(k, None, "k")
+        if self.k < 3:
+            raise ValueError("the disjointness gadget needs k >= 3")
+        if aggregation not in ("max", "huber"):
+            raise ValueError("aggregation must be 'max' or 'huber'")
+        self.aggregation = aggregation
+        self.solver = solver if solver is not None else exact_rank_k_solver
+        self.max_rounds = int(max_rounds)
+
+    @property
+    def instance_length(self) -> int:
+        """Length ``n * d`` of the binary instance this reduction expects."""
+        return self.num_rows * self.num_cols
+
+    def _aggregate(self, a1: np.ndarray, a2: np.ndarray) -> np.ndarray:
+        if self.aggregation == "max":
+            return np.maximum(a1, a2)
+        # Huber psi with threshold 1 on the sum: psi(0)=0, psi(1)=psi(2)=1.
+        return np.clip(a1 + a2, 0.0, 1.0)
+
+    def build_matrices(
+        self, block1: np.ndarray, block2: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Embed the (flipped) bit blocks into the rank-``k`` gadget of the proof."""
+        rows, cols = block1.shape
+        k = self.k
+        total_rows = rows + 1 + (k - 2)
+        total_cols = cols + (k - 2)
+        a1 = np.zeros((total_rows, total_cols))
+        a2 = np.zeros((total_rows, total_cols))
+        a1[:rows, :cols] = block1
+        a2[:rows, :cols] = block2
+        a1[rows, :cols] = 1.0
+        a1[rows + 1:, cols:] = np.eye(k - 2)
+        return a1, a2
+
+    def _find_marked_column(self, projection: np.ndarray, cols: int, atol: float) -> Optional[int]:
+        """Return ``l`` such that the complement indicator ``(e-bar_l, 0)`` is fixed by ``P``."""
+        total_cols = projection.shape[0]
+        for col in range(cols):
+            vector = np.ones(total_cols)
+            vector[col] = 0.0
+            vector[cols:] = 0.0
+            if np.allclose(vector @ projection, vector, atol=atol):
+                return col
+        return None
+
+    def decide(self, x: np.ndarray, y: np.ndarray, *, atol: float = 1e-6) -> bool:
+        """Return ``True`` when the protocol concludes the supports intersect."""
+        x = np.asarray(x, dtype=float).ravel()
+        y = np.asarray(y, dtype=float).ravel()
+        if x.size != self.instance_length or y.size != self.instance_length:
+            raise ValueError(
+                f"instances must have length {self.instance_length}, got {x.size}"
+            )
+        # Flip the bits: the unique "both 1" coordinate becomes the unique
+        # "both 0" coordinate, which is the only zero of the aggregated gadget.
+        block1 = (1.0 - x).reshape(self.num_rows, self.num_cols)
+        block2 = (1.0 - y).reshape(self.num_rows, self.num_cols)
+        d = self.num_cols
+        for _ in range(self.max_rounds):
+            a1, a2 = self.build_matrices(block1, block2)
+            aggregated = self._aggregate(a1, a2)
+            projection = self.solver(aggregated, self.k)
+            marked = self._find_marked_column(projection, d, atol)
+            if marked is None:
+                return False
+            # Recurse on the marked column, rearranged into a ceil(nr/d) x d
+            # block.  Padding uses 1 (the flipped value of an original 0) so
+            # no spurious intersection is introduced.
+            column1 = block1[:, marked]
+            column2 = block2[:, marked]
+            new_rows = int(math.ceil(column1.size / d))
+            padded1 = np.ones(new_rows * d)
+            padded2 = np.ones(new_rows * d)
+            padded1[: column1.size] = column1
+            padded2[: column2.size] = column2
+            block1 = padded1.reshape(new_rows, d)
+            block2 = padded2.reshape(new_rows, d)
+            zeros2 = np.argwhere(block2 == 0.0)
+            if zeros2.shape[0] == 1:
+                i, j = zeros2[0]
+                return bool(block1[i, j] == 0.0)
+            if zeros2.shape[0] == 0:
+                return False
+            if block1.size <= d:
+                # Nothing left to split: check directly for a joint zero.
+                return bool(np.any((block1 == 0.0) & (block2 == 0.0)))
+        raise RuntimeError("disjointness reduction did not terminate; increase max_rounds")
+
+    def verify(self, trials: int = 10, seed: RandomState = None) -> float:
+        """Return the empirical decision accuracy over random promise instances."""
+        if trials < 1:
+            raise ValueError("trials must be >= 1")
+        rng = ensure_rng(seed)
+        rngs = spawn_rngs(rng, trials)
+        correct = 0
+        for trial in range(trials):
+            intersecting = trial % 2 == 0
+            x, y = disjointness_instance(
+                self.instance_length, intersecting=intersecting, seed=rngs[trial]
+            )
+            if self.decide(x, y) == intersecting:
+                correct += 1
+        return correct / trials
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 4: L-infinity reduction (f = |x|^p, p > 1)
+# --------------------------------------------------------------------------- #
+class LInfinityReduction:
+    """The reduction of Theorem 4: relative-error PCA for ``|x|^p`` decides ``L_infinity``.
+
+    Alice holds ``x`` and Bob ``-y`` arranged as ``n x d`` blocks; the gadget
+    appends a ``B I_{k-1}`` block so that a coordinate with
+    ``|x_i - y_i| = B`` produces an entry ``B^p`` that forces its column into
+    the top-``k`` row space.  Ranking the coordinate directions by
+    ``|e_j P|_2`` therefore reveals the column of the far coordinate; the
+    players recurse on that column until a single candidate entry remains
+    and check it directly.
+
+    Parameters
+    ----------
+    num_rows, num_cols:
+        Shape of the arranged instance (length is ``n * d``).
+    k:
+        Gadget rank (>= 2).
+    p:
+        Growth exponent of ``f(x) = |x|^p`` (must be > 1).
+    epsilon:
+        Relative-error parameter of the hypothetical protocol.
+    solver:
+        Rank-``k`` solver; defaults to the exact SVD.
+    """
+
+    def __init__(
+        self,
+        num_rows: int,
+        num_cols: int,
+        k: int = 3,
+        p: float = 2.0,
+        epsilon: float = 0.1,
+        solver: Optional[RankKSolver] = None,
+        max_rounds: int = 32,
+    ) -> None:
+        self.num_rows = check_rank(num_rows, None, "num_rows")
+        self.num_cols = check_rank(num_cols, None, "num_cols")
+        self.k = check_rank(k, None, "k")
+        if self.k < 2:
+            raise ValueError("the L-infinity gadget needs k >= 2")
+        self.p = check_positive(p, "p")
+        if self.p <= 1:
+            raise ValueError("Theorem 4 requires p > 1")
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.solver = solver if solver is not None else exact_rank_k_solver
+        self.max_rounds = int(max_rounds)
+
+    @property
+    def instance_length(self) -> int:
+        """Length ``n * d`` of the instances this reduction expects."""
+        return self.num_rows * self.num_cols
+
+    def gap_bound(self) -> int:
+        """The promise gap ``B = ceil((2 (1+eps)^2 n d^4)^{1/(2p)})`` of the proof."""
+        value = 2.0 * (1.0 + self.epsilon) ** 2 * self.num_rows * self.num_cols**4
+        return max(2, int(math.ceil(value ** (1.0 / (2.0 * self.p)))))
+
+    def build_matrices(
+        self, block1: np.ndarray, block2: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Embed Alice's and Bob's blocks into the gadget with the ``B I_{k-1}`` tail."""
+        rows, cols = block1.shape
+        k = self.k
+        bound = self.gap_bound()
+        a1 = np.zeros((rows + k - 1, cols + k - 1))
+        a2 = np.zeros((rows + k - 1, cols + k - 1))
+        a1[:rows, :cols] = block1
+        a2[:rows, :cols] = block2
+        a1[rows:, cols:] = bound * np.eye(k - 1)
+        return a1, a2
+
+    def _marked_column(self, projection: np.ndarray, cols: int) -> Optional[int]:
+        """Return the first-``d`` column ranked among the top-``k`` by ``|e_j P|_2``."""
+        norms = np.linalg.norm(projection, axis=1)  # |e_j P|_2 for every direction j
+        order = np.argsort(-norms)
+        for rank, direction in enumerate(order):
+            if rank >= self.k:
+                break
+            if direction < cols:
+                return int(direction)
+        return None
+
+    def decide(self, x: np.ndarray, y: np.ndarray) -> bool:
+        """Return ``True`` when the protocol concludes a far coordinate exists."""
+        x = np.asarray(x, dtype=float).ravel()
+        y = np.asarray(y, dtype=float).ravel()
+        if x.size != self.instance_length or y.size != self.instance_length:
+            raise ValueError(
+                f"instances must have length {self.instance_length}, got {x.size}"
+            )
+        bound = self.gap_bound()
+        block1 = x.reshape(self.num_rows, self.num_cols)
+        block2 = (-y).reshape(self.num_rows, self.num_cols)
+        d = self.num_cols
+        for _ in range(self.max_rounds):
+            a1, a2 = self.build_matrices(block1, block2)
+            aggregated = np.abs(a1 + a2) ** self.p
+            projection = self.solver(aggregated, self.k)
+            marked = self._marked_column(projection, d)
+            if marked is None:
+                return False
+            column1 = block1[:, marked]
+            column2 = block2[:, marked]
+            if column1.size == 1:
+                return bool(abs(column1[0] + column2[0]) >= bound)
+            new_rows = int(math.ceil(column1.size / d))
+            padded1 = np.zeros(new_rows * d)
+            padded2 = np.zeros(new_rows * d)
+            padded1[: column1.size] = column1
+            padded2[: column2.size] = column2
+            block1 = padded1.reshape(new_rows, d)
+            block2 = padded2.reshape(new_rows, d)
+            if block1.size <= d:
+                # Single row left: check the candidate entries directly.
+                diffs = np.abs(block1 + block2)
+                return bool(np.any(diffs >= bound))
+        raise RuntimeError("L-infinity reduction did not terminate; increase max_rounds")
+
+    def verify(self, trials: int = 10, seed: RandomState = None) -> float:
+        """Return the empirical decision accuracy over random promise instances."""
+        if trials < 1:
+            raise ValueError("trials must be >= 1")
+        rng = ensure_rng(seed)
+        rngs = spawn_rngs(rng, trials)
+        correct = 0
+        for trial in range(trials):
+            far = trial % 2 == 0
+            x, y = linf_instance(
+                self.instance_length,
+                self.gap_bound(),
+                has_far_coordinate=far,
+                seed=rngs[trial],
+            )
+            if self.decide(x, y) == far:
+                correct += 1
+        return correct / trials

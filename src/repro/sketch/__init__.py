@@ -1,0 +1,49 @@
+"""Sketching and sampling substrate (Algorithms 2-4 of the paper).
+
+The generalized sampler is assembled bottom-up:
+
+* :mod:`repro.sketch.hashing` -- k-wise independent hash families over a
+  Mersenne-prime field (pairwise hashing for bucketing, 4-wise for
+  CountSketch signs, higher independence for the subsampling hash ``g``).
+* :mod:`repro.sketch.countsketch` -- the mergeable linear CountSketch of
+  Charikar, Chen and Farach-Colton, used as the ``HeavyHitters`` primitive.
+* :mod:`repro.sketch.heavy_hitters` -- the distributed ``HeavyHitters``
+  protocol: every server sketches its local component, the Central Processor
+  merges the (linear) sketches and extracts candidates.
+* :mod:`repro.sketch.z_heavy_hitters` -- Algorithm 2 (``Z-HeavyHitters``):
+  pairwise-independent bucketing so that coordinates heavy in ``Z(v)`` become
+  heavy in ``F_2`` within their bucket.
+* :mod:`repro.sketch.z_estimator` -- Algorithm 3 (``Z-estimator``):
+  level-set size estimation via geometric subsampling, yielding an estimate
+  of ``Z(a)`` and of every contributing class size.
+* :mod:`repro.sketch.z_sampler` -- Algorithm 4 (``Z-sampler``): samples a
+  coordinate with probability approximately ``z(a_i)/Z(a)``, including the
+  coordinate-injection step for "growing" classes.
+* :mod:`repro.sketch.exact` -- centralized reference samplers used by tests
+  and ablations.
+"""
+
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.exact import exact_z_distribution, exact_z_sample
+from repro.sketch.hashing import KWiseHash, PairwiseHash, SignHash, SubsampleHash
+from repro.sketch.heavy_hitters import HeavyHittersResult, distributed_heavy_hitters
+from repro.sketch.z_estimator import ZEstimate, ZEstimator
+from repro.sketch.z_heavy_hitters import z_heavy_hitters
+from repro.sketch.z_sampler import ZSampler, ZSamplerConfig
+
+__all__ = [
+    "PairwiseHash",
+    "KWiseHash",
+    "SignHash",
+    "SubsampleHash",
+    "CountSketch",
+    "distributed_heavy_hitters",
+    "HeavyHittersResult",
+    "z_heavy_hitters",
+    "ZEstimator",
+    "ZEstimate",
+    "ZSampler",
+    "ZSamplerConfig",
+    "exact_z_distribution",
+    "exact_z_sample",
+]

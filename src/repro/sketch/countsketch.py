@@ -1,0 +1,141 @@
+"""CountSketch: the mergeable linear sketch behind ``HeavyHitters``.
+
+The streaming algorithm of Charikar, Chen and Farach-Colton maintains a
+``depth x width`` table; coordinate ``j`` contributes ``sigma_r(j) * v_j`` to
+bucket ``h_r(j)`` in every row ``r``.  Point queries return the median over
+rows of ``sigma_r(j) * table[r, h_r(j)]``, and the median of the per-row sums
+of squares estimates ``F_2 = |v|_2^2``.
+
+Because the table is a *linear* function of the vector, a distributed sum
+``v = sum_t v^t`` can be sketched by having each server sketch its own
+component and summing the tables at the Central Processor -- exactly the
+observation the paper uses to port the streaming algorithm to the
+distributed setting ("because it provides a linear sketch, it can be easily
+converted into a distributed protocol").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.sketch.hashing import KWiseHash, SignHash
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+
+
+class CountSketch:
+    """A seeded CountSketch over coordinates ``[0, domain)``.
+
+    The object only holds the hash functions (the "random seeds" a
+    coordinator broadcasts); tables are produced by :meth:`sketch` and are
+    plain ``numpy`` arrays so they can be shipped through the network and
+    merged by addition.
+
+    Parameters
+    ----------
+    depth:
+        Number of independent rows (repetitions); the failure probability
+        decays exponentially in ``depth``.
+    width:
+        Number of buckets per row; point-query error is ``O(|v|_2 / sqrt(width))``.
+    domain:
+        Size of the coordinate universe.
+    seed:
+        Seed for the bucket and sign hashes.
+    """
+
+    def __init__(self, depth: int, width: int, domain: int, seed: RandomState = None) -> None:
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if domain < 1:
+            raise ValueError(f"domain must be >= 1, got {domain}")
+        self.depth = int(depth)
+        self.width = int(width)
+        self.domain = int(domain)
+        rngs = spawn_rngs(ensure_rng(seed), 2 * self.depth)
+        self._bucket_hashes = [KWiseHash(2, self.width, rngs[2 * r]) for r in range(self.depth)]
+        self._sign_hashes = [SignHash(rngs[2 * r + 1]) for r in range(self.depth)]
+
+    # ------------------------------------------------------------------ #
+    # sketching and merging
+    # ------------------------------------------------------------------ #
+    def empty_table(self) -> np.ndarray:
+        """Return an all-zero table of the right shape."""
+        return np.zeros((self.depth, self.width), dtype=float)
+
+    def sketch(self, indices: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Sketch a sparse vector given as ``(indices, values)``."""
+        idx = np.asarray(indices, dtype=np.int64)
+        val = np.asarray(values, dtype=float)
+        if idx.shape != val.shape:
+            raise ValueError("indices and values must have the same shape")
+        table = self.empty_table()
+        if idx.size == 0:
+            return table
+        if idx.min() < 0 or idx.max() >= self.domain:
+            raise IndexError(f"indices must lie in [0, {self.domain - 1}]")
+        for r in range(self.depth):
+            buckets = self._bucket_hashes[r](idx)
+            signs = self._sign_hashes[r](idx)
+            np.add.at(table[r], buckets, signs * val)
+        return table
+
+    def sketch_dense(self, vector: np.ndarray) -> np.ndarray:
+        """Sketch a dense vector of length ``domain``."""
+        vec = np.asarray(vector, dtype=float)
+        if vec.shape != (self.domain,):
+            raise ValueError(f"vector must have shape ({self.domain},), got {vec.shape}")
+        idx = np.nonzero(vec)[0]
+        return self.sketch(idx, vec[idx])
+
+    @staticmethod
+    def merge(tables: Sequence[np.ndarray]) -> np.ndarray:
+        """Merge tables of the same sketch by addition (linearity)."""
+        if len(tables) == 0:
+            raise ValueError("need at least one table to merge")
+        return np.sum(tables, axis=0)
+
+    def table_word_count(self) -> int:
+        """Words a server transmits when sending one table."""
+        return self.depth * self.width
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def estimate(self, table: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Point-query estimates ``v_j`` for every ``j`` in ``indices``."""
+        idx = np.asarray(indices, dtype=np.int64)
+        table = np.asarray(table, dtype=float)
+        if table.shape != (self.depth, self.width):
+            raise ValueError("table shape does not match this sketch")
+        estimates = np.empty((self.depth, idx.size), dtype=float)
+        for r in range(self.depth):
+            buckets = self._bucket_hashes[r](idx)
+            signs = self._sign_hashes[r](idx)
+            estimates[r] = signs * table[r, buckets]
+        return np.median(estimates, axis=0)
+
+    def estimate_all(self, table: np.ndarray, block: int = 1 << 18) -> np.ndarray:
+        """Point-query estimates for the entire domain (processed in blocks)."""
+        out = np.empty(self.domain, dtype=float)
+        for start in range(0, self.domain, block):
+            stop = min(start + block, self.domain)
+            out[start:stop] = self.estimate(table, np.arange(start, stop, dtype=np.int64))
+        return out
+
+    def f2_estimate(self, table: np.ndarray) -> float:
+        """Estimate ``|v|_2^2`` as the median over rows of the per-row sum of squares."""
+        table = np.asarray(table, dtype=float)
+        if table.shape != (self.depth, self.width):
+            raise ValueError("table shape does not match this sketch")
+        return float(np.median(np.sum(table * table, axis=1)))
+
+    def seed_word_count(self) -> int:
+        """Words needed to broadcast the hash seeds defining this sketch."""
+        total = 0
+        for bucket_hash, sign_hash in zip(self._bucket_hashes, self._sign_hashes):
+            total += bucket_hash.word_count() + sign_hash.word_count()
+        return total

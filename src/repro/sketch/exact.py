@@ -1,0 +1,78 @@
+"""Centralized reference samplers (evaluation only).
+
+These helpers materialise the summed vector and compute the exact
+``z``-sampling distribution.  They are used by tests to measure how close the
+distributed :class:`~repro.sketch.z_sampler.ZSampler` comes to the ideal
+distribution, and by ablation benchmarks as the "perfect sampler" baseline.
+They never touch the network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.distributed.vector import DistributedVector
+from repro.utils.rng import RandomState, ensure_rng
+
+WeightFunction = Callable[[np.ndarray], np.ndarray]
+
+
+def exact_z_distribution(
+    vector: DistributedVector, weight_fn: WeightFunction
+) -> np.ndarray:
+    """Return the exact distribution ``p_i = z(a_i) / Z(a)`` over all coordinates.
+
+    Raises
+    ------
+    ValueError
+        If all weights are zero (the distribution is undefined).
+    """
+    summed = vector.exact_sum()
+    weights = np.asarray(weight_fn(summed), dtype=float)
+    if np.any(weights < 0):
+        raise ValueError("weight function returned negative weights")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("all z-weights are zero; the sampling distribution is undefined")
+    return weights / total
+
+
+def exact_z_sample(
+    vector: DistributedVector,
+    weight_fn: WeightFunction,
+    count: int,
+    seed: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw ``count`` coordinates from the exact z-distribution.
+
+    Returns
+    -------
+    (indices, probabilities)
+        Coordinates drawn with replacement and their exact probabilities.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = ensure_rng(seed)
+    distribution = exact_z_distribution(vector, weight_fn)
+    indices = rng.choice(distribution.size, size=count, p=distribution)
+    return indices.astype(np.int64), distribution[indices]
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Return the total variation distance between two distributions."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have the same shape")
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def empirical_distribution(indices: np.ndarray, dimension: int) -> np.ndarray:
+    """Return the empirical distribution of drawn ``indices`` over ``[0, dimension)``."""
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size == 0:
+        raise ValueError("need at least one drawn index")
+    counts = np.bincount(idx, minlength=dimension).astype(float)
+    return counts / counts.sum()

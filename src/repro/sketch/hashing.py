@@ -1,0 +1,136 @@
+"""k-wise independent hash families over the Mersenne prime field 2^31 - 1.
+
+All hash functions here are *seeded objects*: a hash is fully determined by
+its coefficient vector, which is what a coordinator would broadcast to the
+servers (a handful of words).  Evaluation is vectorised over numpy arrays of
+keys using 64-bit arithmetic: with the prime ``p = 2^31 - 1`` every
+intermediate product fits in an unsigned 64-bit word, so hashing millions of
+coordinates is a handful of vectorised passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+#: The Mersenne prime 2^31 - 1; larger than any coordinate index used in the
+#: experiments while keeping products of two residues inside uint64.
+MERSENNE_PRIME = (1 << 31) - 1
+
+
+def _polynomial_hash(keys: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
+    """Evaluate ``sum_j c_j x^j mod p`` (Horner's rule) with vectorised uint64 arithmetic."""
+    keys_mod = (np.asarray(keys, dtype=np.uint64) % np.uint64(MERSENNE_PRIME))
+    result = np.zeros(keys_mod.shape, dtype=np.uint64)
+    prime = np.uint64(MERSENNE_PRIME)
+    for coefficient in coefficients[::-1]:
+        result = (result * keys_mod + np.uint64(int(coefficient))) % prime
+    return result
+
+
+class KWiseHash:
+    """A k-wise independent hash ``h: [domain] -> [range_size]``.
+
+    Implemented as a random degree-``(k-1)`` polynomial over the field
+    ``GF(2^31 - 1)`` reduced modulo ``range_size``.
+
+    Parameters
+    ----------
+    independence:
+        The independence parameter ``k`` (>= 1).
+    range_size:
+        Size of the output range; outputs are in ``[0, range_size)``.
+    seed:
+        Seed or generator used to draw the coefficients.
+    """
+
+    def __init__(self, independence: int, range_size: int, seed: RandomState = None) -> None:
+        if independence < 1:
+            raise ValueError(f"independence must be >= 1, got {independence}")
+        if range_size < 1:
+            raise ValueError(f"range_size must be >= 1, got {range_size}")
+        rng = ensure_rng(seed)
+        self.independence = int(independence)
+        self.range_size = int(range_size)
+        coefficients = rng.integers(0, MERSENNE_PRIME, size=self.independence, dtype=np.int64)
+        # Ensure the leading coefficient is nonzero so the polynomial has full degree.
+        if self.independence > 1 and coefficients[-1] == 0:
+            coefficients[-1] = 1
+        self.coefficients = coefficients
+
+    def __call__(self, keys) -> np.ndarray:
+        keys_arr = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        hashed = _polynomial_hash(keys_arr, self.coefficients)
+        return (hashed % np.uint64(self.range_size)).astype(np.int64)
+
+    def word_count(self) -> int:
+        """Words needed to broadcast this hash (its coefficient vector)."""
+        return self.independence
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"KWiseHash(k={self.independence}, range={self.range_size})"
+
+
+class PairwiseHash(KWiseHash):
+    """Convenience subclass: a pairwise (2-wise) independent hash."""
+
+    def __init__(self, range_size: int, seed: RandomState = None) -> None:
+        super().__init__(2, range_size, seed)
+
+
+class SignHash:
+    """A 4-wise independent sign hash ``sigma: [domain] -> {-1, +1}`` (CountSketch signs)."""
+
+    def __init__(self, seed: RandomState = None) -> None:
+        self._hash = KWiseHash(4, 2, seed)
+
+    def __call__(self, keys) -> np.ndarray:
+        return self._hash(keys) * 2 - 1
+
+    def word_count(self) -> int:
+        """Words needed to broadcast this hash."""
+        return self._hash.word_count()
+
+
+class SubsampleHash:
+    """The subsampling hash ``g`` of Algorithm 3.
+
+    ``g`` maps coordinates to ``[0, domain_scale)`` with high independence;
+    level ``j`` keeps coordinates with ``g(i) < domain_scale / 2^j``, i.e.
+    each level subsamples at rate ``2^{-j}``.  ``g`` doubles as the
+    tie-breaking min-hash used by Algorithm 4 to pick one member of the
+    chosen class uniformly.
+    """
+
+    def __init__(
+        self,
+        domain_scale: int,
+        independence: int = 16,
+        seed: RandomState = None,
+    ) -> None:
+        if domain_scale < 2:
+            raise ValueError(f"domain_scale must be >= 2, got {domain_scale}")
+        self.domain_scale = int(domain_scale)
+        self._hash = KWiseHash(independence, self.domain_scale, seed)
+
+    def __call__(self, keys) -> np.ndarray:
+        return self._hash(keys)
+
+    def level_predicate(self, level: int):
+        """Return a vectorised predicate keeping coordinates at subsample level ``level``.
+
+        Level 0 keeps everything; level ``j`` keeps a ``2^{-j}`` fraction.
+        """
+        if level < 0:
+            raise ValueError(f"level must be >= 0, got {level}")
+        threshold = max(1, self.domain_scale >> level)
+
+        def keep(indices: np.ndarray) -> np.ndarray:
+            return self(indices) < threshold
+
+        return keep
+
+    def word_count(self) -> int:
+        """Words needed to broadcast this hash."""
+        return self._hash.word_count()

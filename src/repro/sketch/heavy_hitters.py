@@ -1,0 +1,137 @@
+"""Distributed ``HeavyHitters``: find coordinates with ``v_j^2 >= |v|_2^2 / B``.
+
+This is the protocol the paper calls ``HeavyHitters(v, B, delta)`` (Section
+V-B), built from the CountSketch of [21]: every server sketches its local
+component of ``v``, the Central Processor merges the (linear) tables, and all
+coordinates whose point-query estimate squared clears the (estimated)
+``F_2 / B`` threshold are reported.  Communication is
+``O(s * B * polylog)`` words -- each worker ships one table plus the hash
+seeds broadcast by the CP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.distributed.vector import DistributedVector
+from repro.sketch.countsketch import CountSketch
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass
+class HeavyHittersResult:
+    """Output of one :func:`distributed_heavy_hitters` invocation."""
+
+    #: Candidate coordinates (indices into the distributed vector).
+    candidates: np.ndarray
+    #: CountSketch point-query estimates of the candidates' values.
+    estimates: np.ndarray
+    #: Estimate of ``|v|_2^2`` from the merged sketch.
+    f2_estimate: float
+    #: Words of communication charged by this invocation.
+    words_used: int
+
+
+def _sketch_dimensions(b: float, delta: float, width_factor: float) -> tuple[int, int]:
+    """Choose (depth, width) from the heaviness threshold ``B`` and failure prob ``delta``."""
+    depth = max(3, int(math.ceil(math.log2(max(2.0, 1.0 / delta)))))
+    depth = min(depth, 11)
+    width = max(8, int(math.ceil(width_factor * b)))
+    return depth, width
+
+
+def distributed_heavy_hitters(
+    vector: DistributedVector,
+    b: float,
+    delta: float = 0.05,
+    *,
+    seed: RandomState = None,
+    candidate_indices: Optional[np.ndarray] = None,
+    width_factor: float = 6.0,
+    max_candidates: Optional[int] = None,
+    tag: str = "heavy_hitters",
+) -> HeavyHittersResult:
+    """Report all coordinates ``j`` with ``v_j^2 >= |v|_2^2 / B`` (w.h.p.).
+
+    Parameters
+    ----------
+    vector:
+        The implicitly summed vector ``v = sum_t v^t``.
+    b:
+        Heaviness threshold ``B``; a coordinate is heavy when its squared
+        value is at least a ``1/B`` fraction of ``F_2``.
+    delta:
+        Target failure probability; controls the sketch depth.
+    seed:
+        Randomness for the sketch hashes (conceptually drawn by the CP and
+        broadcast; the broadcast is charged to the network).
+    candidate_indices:
+        Coordinates eligible to be reported.  When the caller already knows
+        the relevant sub-universe (e.g. one bucket of Algorithm 2), passing
+        it avoids querying the full domain.  Defaults to the whole domain.
+    width_factor:
+        Sketch width as a multiple of ``B``.
+    max_candidates:
+        Cap on the number of reported candidates (the largest estimates are
+        kept).  Defaults to ``4 * B``.
+    tag:
+        Network accounting tag.
+
+    Returns
+    -------
+    HeavyHittersResult
+    """
+    if b <= 0:
+        raise ValueError(f"b must be positive, got {b}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    rng = ensure_rng(seed)
+    depth, width = _sketch_dimensions(b, delta, width_factor)
+    sketch = CountSketch(depth, width, vector.dimension, seed=rng)
+
+    network = vector.network
+    words_before = network.total_words
+    # The CP broadcasts the hash seeds so every server sketches consistently.
+    seed_words = sketch.seed_word_count()
+    for server in range(1, vector.num_servers):
+        network.charge(0, server, seed_words, tag=f"{tag}:seeds")
+    merged = vector.merged_sketch(sketch, tag=f"{tag}:tables")
+
+    f2 = sketch.f2_estimate(merged)
+    if candidate_indices is None:
+        query = np.arange(vector.dimension, dtype=np.int64)
+    else:
+        query = np.unique(np.asarray(candidate_indices, dtype=np.int64))
+    if query.size == 0:
+        return HeavyHittersResult(
+            candidates=np.zeros(0, dtype=np.int64),
+            estimates=np.zeros(0),
+            f2_estimate=f2,
+            words_used=network.total_words - words_before,
+        )
+    estimates = sketch.estimate(merged, query)
+
+    if f2 <= 0:
+        heavy_mask = np.zeros(query.size, dtype=bool)
+    else:
+        heavy_mask = estimates * estimates >= f2 / float(b)
+    candidates = query[heavy_mask]
+    candidate_estimates = estimates[heavy_mask]
+
+    cap = int(max_candidates) if max_candidates is not None else max(1, int(4 * b))
+    if candidates.size > cap:
+        keep = np.argsort(-np.abs(candidate_estimates))[:cap]
+        keep.sort()
+        candidates = candidates[keep]
+        candidate_estimates = candidate_estimates[keep]
+
+    return HeavyHittersResult(
+        candidates=candidates,
+        estimates=candidate_estimates,
+        f2_estimate=f2,
+        words_used=network.total_words - words_before,
+    )

@@ -1,0 +1,225 @@
+"""``Z-estimator`` (Algorithm 3): estimate ``Z(a)`` and the level-set sizes.
+
+Coordinates are grouped into geometric classes
+``S_i(a) = { j : z(a_j) in [(1+eps)^i, (1+eps)^{i+1}) }``.  A class whose
+contribution to ``Z(a)`` is non-negligible is either made of few, very heavy
+coordinates -- which ``Z-HeavyHitters`` finds directly -- or it is large, in
+which case subsampling the coordinates at rate ``2^{-j}`` leaves some of its
+members *heavy among the survivors*, so they are found at that level and the
+class size is estimated as ``2^j`` times the survivor count.
+
+The estimator returns the estimate ``Zhat`` of ``Z(a)``, the per-class size
+estimates ``shat_i``, and the *List* of recovered coordinates with their
+exact summed values (collected from the servers), which Algorithm 4 samples
+from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.distributed.vector import DistributedVector
+from repro.sketch.hashing import SubsampleHash
+from repro.sketch.z_heavy_hitters import ZHeavyHittersParams, z_heavy_hitters
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+
+#: A vectorised weight function ``z`` (e.g. ``fn.sampling_weight`` of an
+#: :class:`~repro.functions.base.EntrywiseFunction`).
+WeightFunction = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class ZEstimate:
+    """Output of the Z-estimator.
+
+    Attributes
+    ----------
+    z_total:
+        ``Zhat``, the estimate of ``Z(a) = sum_i z(a_i)``.
+    class_sizes:
+        ``shat_i`` for every recovered class index ``i``.
+    class_members:
+        Recovered coordinate indices per class (a subset of the class).
+    member_values:
+        Exact summed value ``a_p`` for every recovered coordinate ``p``.
+    epsilon:
+        The geometric base ``1 + epsilon`` used for the classes.
+    words_used:
+        Communication charged while producing this estimate.
+    """
+
+    z_total: float
+    class_sizes: Dict[int, float]
+    class_members: Dict[int, np.ndarray]
+    member_values: Dict[int, float]
+    epsilon: float
+    words_used: int
+    levels_used: int = 0
+    subsample_hash: Optional[SubsampleHash] = field(default=None, repr=False)
+
+    def class_of(self, weight: float) -> int:
+        """Return the class index of a coordinate with ``z``-weight ``weight``."""
+        if weight <= 0:
+            raise ValueError("class_of is only defined for positive weights")
+        return int(math.floor(math.log(weight) / math.log1p(self.epsilon)))
+
+    def class_contribution(self, index: int) -> float:
+        """Return ``shat_i (1+eps)^i``, the estimated contribution of class ``index``."""
+        return self.class_sizes.get(index, 0.0) * (1.0 + self.epsilon) ** index
+
+    def recovered_coordinates(self) -> np.ndarray:
+        """Return all recovered coordinates (the paper's *List*)."""
+        if not self.class_members:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(list(self.class_members.values())))
+
+
+class ZEstimator:
+    """Distributed estimator of ``Z(a)`` and the level-set sizes (Algorithm 3).
+
+    Parameters
+    ----------
+    weight_fn:
+        The vectorised weight function ``z`` (must satisfy property P).
+    epsilon:
+        Geometric class resolution; classes are powers of ``1 + epsilon``.
+    hh_params:
+        Parameters of the inner ``Z-HeavyHitters`` invocations.
+    num_levels:
+        Number of subsampling levels ``j``; ``None`` selects
+        ``ceil(log2(dimension))`` capped at ``max_levels``.
+    max_levels:
+        Upper bound on the automatically selected number of levels.
+    min_level_count:
+        A level-``j`` survivor count for a class is only trusted when at
+        least this many members were recovered (the paper's
+        ``4 C^2 eps^-2 log(l)`` threshold, at a practical magnitude).
+    seed:
+        Randomness for hashes.
+    """
+
+    def __init__(
+        self,
+        weight_fn: WeightFunction,
+        *,
+        epsilon: float = 0.25,
+        hh_params: Optional[ZHeavyHittersParams] = None,
+        num_levels: Optional[int] = None,
+        max_levels: int = 12,
+        min_level_count: int = 4,
+        seed: RandomState = None,
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self._weight_fn = weight_fn
+        self._epsilon = float(epsilon)
+        self._hh_params = hh_params or ZHeavyHittersParams()
+        self._num_levels = num_levels
+        self._max_levels = int(max_levels)
+        self._min_level_count = int(min_level_count)
+        self._rng = ensure_rng(seed)
+
+    @property
+    def epsilon(self) -> float:
+        """Geometric class resolution."""
+        return self._epsilon
+
+    def _class_index(self, weights: np.ndarray) -> np.ndarray:
+        """Vectorised class index ``floor(log_{1+eps} z)`` for positive weights."""
+        return np.floor(np.log(weights) / math.log1p(self._epsilon)).astype(int)
+
+    def _resolve_levels(self, dimension: int) -> int:
+        if self._num_levels is not None:
+            if self._num_levels < 0:
+                raise ValueError("num_levels must be non-negative")
+            return int(self._num_levels)
+        return int(min(self._max_levels, max(1, math.ceil(math.log2(dimension + 1)))))
+
+    def estimate(self, vector: DistributedVector, *, tag: str = "z_estimator") -> ZEstimate:
+        """Run Algorithm 3 on ``vector`` and return a :class:`ZEstimate`."""
+        network = vector.network
+        words_before = network.total_words
+        levels = self._resolve_levels(vector.dimension)
+        rngs = spawn_rngs(self._rng, levels + 2)
+
+        class_sizes: Dict[int, float] = {}
+        class_members: Dict[int, list] = {}
+        member_values: Dict[int, float] = {}
+
+        def register(indices: np.ndarray, values: np.ndarray, level: int) -> None:
+            """Classify newly recovered coordinates and fold them into the level counts."""
+            weights = np.asarray(self._weight_fn(values), dtype=float)
+            positive = weights > 0
+            if not np.any(positive):
+                return
+            idx = indices[positive]
+            vals = values[positive]
+            classes = self._class_index(weights[positive])
+            for coordinate, value, klass in zip(idx, vals, classes):
+                member_values[int(coordinate)] = float(value)
+                class_members.setdefault(int(klass), []).append(int(coordinate))
+            # Per-class survivor counts at this level.
+            for klass in np.unique(classes):
+                count = int(np.sum(classes == klass))
+                if level == 0:
+                    estimate = float(count)
+                else:
+                    if count < self._min_level_count:
+                        continue
+                    estimate = float(count) * (2.0**level)
+                current = class_sizes.get(int(klass), 0.0)
+                class_sizes[int(klass)] = max(current, estimate)
+
+        # ---- line 5-6: global Z-HeavyHitters + exact verification -------- #
+        direct = z_heavy_hitters(
+            vector, self._hh_params, seed=rngs[0], tag=f"{tag}:direct"
+        )
+        if direct.size:
+            direct_values = vector.collect(direct, tag=f"{tag}:verify")
+            register(direct, direct_values, level=0)
+
+        # ---- lines 7-13: subsampling levels ------------------------------ #
+        subsample = SubsampleHash(
+            domain_scale=max(2, vector.dimension), seed=rngs[1]
+        )
+        for server in range(1, vector.num_servers):
+            network.charge(0, server, subsample.word_count(), tag=f"{tag}:seeds")
+        for level in range(1, levels + 1):
+            restricted = vector.restrict(subsample.level_predicate(level))
+            survivors = z_heavy_hitters(
+                restricted,
+                self._hh_params,
+                seed=rngs[1 + level],
+                tag=f"{tag}:level{level}",
+            )
+            if survivors.size == 0:
+                continue
+            values = vector.collect(survivors, tag=f"{tag}:verify")
+            register(survivors, values, level=level)
+
+        members_arrays = {
+            klass: np.array(sorted(set(coords)), dtype=np.int64)
+            for klass, coords in class_members.items()
+        }
+        # Never report a class size smaller than the number of distinct
+        # members actually recovered.
+        for klass, coords in members_arrays.items():
+            class_sizes[klass] = max(class_sizes.get(klass, 0.0), float(coords.size))
+
+        z_total = sum(
+            size * (1.0 + self._epsilon) ** klass for klass, size in class_sizes.items()
+        )
+        return ZEstimate(
+            z_total=float(z_total),
+            class_sizes=class_sizes,
+            class_members=members_arrays,
+            member_values=member_values,
+            epsilon=self._epsilon,
+            words_used=network.total_words - words_before,
+            levels_used=levels,
+            subsample_hash=subsample,
+        )

@@ -1,0 +1,174 @@
+"""``Z-HeavyHitters`` (Algorithm 2): coordinates heavy in ``Z(v) = sum_i z(v_i)``.
+
+A coordinate ``j`` with ``z(v_j) >= Z(v) / B`` need not be heavy in
+``F_2 = |v|_2^2`` -- a few much larger coordinates can drown it.  Algorithm 2
+fixes this by hashing the coordinates into buckets with a pairwise
+independent hash: with constant probability no two ``Z``-heavy coordinates
+collide, and inside its bucket a ``Z``-heavy coordinate *is* ``F_2``-heavy
+(property P transfers heaviness from ``z`` to squares once the larger
+coordinates are hashed away).  Running ``HeavyHitters`` on every bucket and
+taking the union therefore reports all ``Z``-heavy coordinates with
+probability ``1 - delta`` after ``O(log 1/delta)`` repetitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.distributed.vector import DistributedVector
+from repro.sketch.hashing import PairwiseHash
+from repro.sketch.heavy_hitters import distributed_heavy_hitters
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+
+
+@dataclass
+class ZHeavyHittersParams:
+    """Practical knobs of Algorithm 2.
+
+    The paper's constants (``4 B^2`` buckets, ``20 log(1/delta)``
+    repetitions) are worst-case; the defaults here keep the protocol's
+    structure while letting experiments trade accuracy against the
+    communication budget, exactly as the authors do in Section VIII
+    ("we will adjust some parameters ... to guarantee the ratio").
+    """
+
+    #: Heaviness threshold ``B``: report coordinates with ``z(v_j) >= Z(v)/B``.
+    b: float = 16.0
+    #: Failure probability per invocation.
+    delta: float = 0.05
+    #: Number of independent bucketing repetitions (paper: ``20 log(1/delta)``).
+    repetitions: int = 2
+    #: Number of hash buckets (paper: ``4 B^2``); ``None`` selects
+    #: ``min(4 B^2, 32)``.
+    num_buckets: Optional[int] = None
+    #: Width of each per-bucket CountSketch as a multiple of ``B``.
+    width_factor: float = 4.0
+    #: Cap on reported candidates per bucket.
+    max_candidates_per_bucket: Optional[int] = None
+
+    def resolved_buckets(self) -> int:
+        """Return the bucket count, applying the default rule when unset."""
+        if self.num_buckets is not None:
+            if self.num_buckets < 1:
+                raise ValueError("num_buckets must be >= 1")
+            return int(self.num_buckets)
+        return int(min(max(2, 4 * self.b * self.b), 32))
+
+
+def _split_components_by_bucket(
+    vector: DistributedVector,
+    bucket_hash: PairwiseHash,
+    num_buckets: int,
+) -> list[list[tuple[np.ndarray, np.ndarray]]]:
+    """Partition every server's local component into per-bucket components.
+
+    One hash evaluation per server: this is the free local computation each
+    server performs after receiving the broadcast seed.
+    Returns ``splits[bucket][server] = (indices, values)``.
+    """
+    splits: list[list[tuple[np.ndarray, np.ndarray]]] = [
+        [] for _ in range(num_buckets)
+    ]
+    for server in range(vector.num_servers):
+        idx, val = vector.local_component(server)
+        if idx.size == 0:
+            for bucket in range(num_buckets):
+                splits[bucket].append((idx, val))
+            continue
+        assignment = bucket_hash(idx)
+        order = np.argsort(assignment, kind="stable")
+        sorted_assignment = assignment[order]
+        sorted_idx = idx[order]
+        sorted_val = val[order]
+        boundaries = np.searchsorted(sorted_assignment, np.arange(num_buckets + 1))
+        for bucket in range(num_buckets):
+            lo, hi = boundaries[bucket], boundaries[bucket + 1]
+            splits[bucket].append((sorted_idx[lo:hi], sorted_val[lo:hi]))
+    return splits
+
+
+def z_heavy_hitters(
+    vector: DistributedVector,
+    params: Optional[ZHeavyHittersParams] = None,
+    *,
+    seed: RandomState = None,
+    tag: str = "z_heavy_hitters",
+) -> np.ndarray:
+    """Return candidate coordinates with ``z(v_j) >= Z(v) / B`` (Algorithm 2).
+
+    The returned indices are *candidates*: the caller (Algorithm 3) collects
+    their exact summed values from the servers and applies ``z`` itself, so
+    false positives only cost a little verification communication while false
+    negatives are what the bucketing repetitions guard against.
+
+    Parameters
+    ----------
+    vector:
+        The implicitly summed vector.
+    params:
+        Practical parameters; defaults to :class:`ZHeavyHittersParams`.
+    seed:
+        Randomness for the bucketing hash and the per-bucket sketches.
+    tag:
+        Network accounting tag prefix.
+    """
+    params = params or ZHeavyHittersParams()
+    rng = ensure_rng(seed)
+    repetitions = max(1, int(params.repetitions))
+    num_buckets = params.resolved_buckets()
+    rngs = spawn_rngs(rng, repetitions * (num_buckets + 1))
+
+    network = vector.network
+    collected: list[np.ndarray] = []
+    domain = np.arange(vector.dimension, dtype=np.int64)
+
+    for t in range(repetitions):
+        bucket_hash = PairwiseHash(num_buckets, rngs[t * (num_buckets + 1)])
+        # The CP broadcasts the bucket-hash seed (a couple of words per server).
+        for server in range(1, vector.num_servers):
+            network.charge(0, server, bucket_hash.word_count(), tag=f"{tag}:seeds")
+        # The bucket assignment is a deterministic function of the broadcast
+        # seed; servers restrict their local components and the CP learns
+        # which coordinates may appear in each bucket, all as free local work.
+        domain_assignment = bucket_hash(domain)
+        splits = _split_components_by_bucket(vector, bucket_hash, num_buckets)
+        for bucket in range(num_buckets):
+            in_bucket = domain[domain_assignment == bucket]
+            if in_bucket.size == 0:
+                continue
+            restricted = DistributedVector(splits[bucket], vector.dimension, network)
+            result = distributed_heavy_hitters(
+                restricted,
+                params.b,
+                params.delta,
+                seed=rngs[t * (num_buckets + 1) + 1 + bucket],
+                candidate_indices=in_bucket,
+                width_factor=params.width_factor,
+                max_candidates=params.max_candidates_per_bucket,
+                tag=f"{tag}:bucket",
+            )
+            if result.candidates.size:
+                collected.append(result.candidates)
+
+    if not collected:
+        return np.zeros(0, dtype=np.int64)
+    return np.unique(np.concatenate(collected))
+
+
+def recommended_b(epsilon: float, dimension: int) -> float:
+    """Return a practically scaled heaviness threshold ``B``.
+
+    The paper sets ``B = 40 eps^-4 T^3 log l`` with ``T = O(log(l)/eps)``,
+    which is astronomically conservative.  The scaling retained here keeps
+    the qualitative dependence -- ``B`` grows as ``epsilon`` shrinks and as
+    the dimension grows -- at practically usable magnitudes.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if dimension < 1:
+        raise ValueError(f"dimension must be >= 1, got {dimension}")
+    return max(4.0, math.log2(dimension + 1) / epsilon)

@@ -1,0 +1,219 @@
+"""``Z-sampler`` (Algorithm 4): sample coordinates with probability ~ ``z(a_i)/Z(a)``.
+
+Algorithm 4 first runs the :class:`~repro.sketch.z_estimator.ZEstimator`,
+then (i) picks a class ``i*`` with probability proportional to its estimated
+contribution ``shat_i (1+eps)^i`` and (ii) outputs a uniformly random
+recovered member of that class (the paper uses the min-hash ``g`` as the
+uniform tie-breaker among survivors).  Optionally, "growing" classes are
+padded with *injected* virtual coordinates so that every considered class
+contributes; drawing an injected coordinate yields FAIL and the draw is
+retried, exactly as in the paper.
+
+The sampler reports, for every drawn coordinate, an estimate ``Qhat`` of the
+probability that a single draw returns it -- this is what Algorithm 1 needs
+to scale the sampled rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.distributed.vector import DistributedVector
+from repro.sketch.z_estimator import ZEstimate, ZEstimator
+from repro.sketch.z_heavy_hitters import ZHeavyHittersParams
+from repro.utils.rng import RandomState, ensure_rng
+
+WeightFunction = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class ZSamplerConfig:
+    """Configuration of the Z-sampler and its inner estimator."""
+
+    #: Geometric class resolution (the ``1 + eps`` base of the level sets).
+    epsilon: float = 0.25
+    #: Parameters of the inner Z-HeavyHitters invocations.
+    hh_params: ZHeavyHittersParams = field(default_factory=ZHeavyHittersParams)
+    #: Number of subsampling levels; ``None`` selects ``ceil(log2 l)`` (capped).
+    num_levels: Optional[int] = None
+    #: Cap for automatically selected levels.
+    max_levels: int = 12
+    #: Minimum survivors needed to trust a level-j class-size estimate.
+    min_level_count: int = 4
+    #: Enable the paper's coordinate-injection step for growing classes.
+    use_injection: bool = False
+    #: Number of retries when an injected coordinate (FAIL) is drawn.
+    max_retries: int = 16
+
+
+@dataclass
+class SampleDraws:
+    """Result of drawing ``count`` coordinates from the Z-sampler."""
+
+    #: Drawn coordinate indices (with replacement), length ``count``.
+    indices: np.ndarray
+    #: ``Qhat`` for each draw: estimated probability a single draw returns it.
+    probabilities: np.ndarray
+    #: Exact summed values ``a_p`` of the drawn coordinates.
+    values: np.ndarray
+    #: The underlying estimate of ``Z(a)`` and the level sets.
+    estimate: ZEstimate
+    #: Number of FAIL events (injected coordinates drawn and retried).
+    failures: int = 0
+
+
+class ZSampler:
+    """Distributed sampler for ``Pr[i] ~ z(a_i) / Z(a)`` (Algorithm 4).
+
+    Parameters
+    ----------
+    weight_fn:
+        The vectorised weight function ``z``.
+    config:
+        :class:`ZSamplerConfig`; defaults are tuned for laptop-scale runs.
+    seed:
+        Randomness for hashes and for the class/member draws.
+    """
+
+    def __init__(
+        self,
+        weight_fn: WeightFunction,
+        config: Optional[ZSamplerConfig] = None,
+        *,
+        seed: RandomState = None,
+    ) -> None:
+        self._weight_fn = weight_fn
+        self._config = config or ZSamplerConfig()
+        self._rng = ensure_rng(seed)
+        self._estimator = ZEstimator(
+            weight_fn,
+            epsilon=self._config.epsilon,
+            hh_params=self._config.hh_params,
+            num_levels=self._config.num_levels,
+            max_levels=self._config.max_levels,
+            min_level_count=self._config.min_level_count,
+            seed=self._rng,
+        )
+
+    @property
+    def config(self) -> ZSamplerConfig:
+        """The sampler configuration."""
+        return self._config
+
+    def estimate(self, vector: DistributedVector) -> ZEstimate:
+        """Run the inner Z-estimator once (Algorithm 3)."""
+        return self._estimator.estimate(vector)
+
+    # ------------------------------------------------------------------ #
+    # coordinate injection (Section V-D)
+    # ------------------------------------------------------------------ #
+    def _injected_counts(self, estimate: ZEstimate) -> Dict[int, float]:
+        """Return the number of virtual coordinates injected into each growing class.
+
+        A class is *growing* when its representative weight ``(1+eps)^i`` is
+        small relative to ``Zhat``; the paper injects
+        ``ceil(eps Zhat / (5 T (1+eps)^i))`` coordinates of exactly that
+        weight so the class is guaranteed to contribute.  Injected
+        coordinates only exist virtually here: drawing one produces FAIL.
+        """
+        if not self._config.use_injection or estimate.z_total <= 0:
+            return {}
+        eps = estimate.epsilon
+        t_param = max(1.0, math.log(max(2.0, len(estimate.class_sizes) + 1)) / eps)
+        threshold = estimate.z_total / (5.0 * t_param / eps)
+        injected: Dict[int, float] = {}
+        for klass in estimate.class_sizes:
+            representative = (1.0 + eps) ** klass
+            if representative <= threshold:
+                injected[klass] = math.ceil(
+                    eps * estimate.z_total / (5.0 * t_param * representative)
+                )
+        return injected
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def sample(
+        self,
+        vector: DistributedVector,
+        count: int,
+        *,
+        estimate: Optional[ZEstimate] = None,
+    ) -> SampleDraws:
+        """Draw ``count`` coordinates (with replacement) from the z-distribution.
+
+        A single Z-estimate is computed (or reused when passed explicitly)
+        and all draws are made from it; this matches how Algorithm 1 invokes
+        the sampler ``r`` times while the underlying sketching protocol is
+        run once, and keeps the sampling communication independent of ``r``.
+
+        Raises
+        ------
+        RuntimeError
+            If the estimator recovered no coordinate at all (the vector is
+            identically zero or the sketch parameters are far too small).
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        est = estimate if estimate is not None else self.estimate(vector)
+        classes = [k for k, members in est.class_members.items() if members.size > 0]
+        if not classes:
+            raise RuntimeError(
+                "Z-sampler recovered no coordinates; increase the sketch budget "
+                "(hh_params.b / num_buckets / repetitions) or check that the "
+                "vector is nonzero"
+            )
+        eps = est.epsilon
+        injected = self._injected_counts(est)
+        real_sizes = np.array([est.class_sizes[k] for k in classes], dtype=float)
+        injected_sizes = np.array([injected.get(k, 0.0) for k in classes], dtype=float)
+        contributions = (real_sizes + injected_sizes) * np.power(1.0 + eps, classes)
+        total = contributions.sum()
+        z_reference = est.z_total if est.z_total > 0 else total
+
+        indices: List[int] = []
+        probabilities: List[float] = []
+        values: List[float] = []
+        failures = 0
+        class_probs = contributions / total
+        for _ in range(count):
+            drawn_class = None
+            for _ in range(max(1, self._config.max_retries)):
+                position = int(self._rng.choice(len(classes), p=class_probs))
+                klass = classes[position]
+                n_real = real_sizes[position]
+                n_injected = injected_sizes[position]
+                if n_injected > 0:
+                    # FAIL with probability (#injected / class size): the drawn
+                    # coordinate was one of the virtual injected ones.
+                    if self._rng.random() < n_injected / (n_real + n_injected):
+                        failures += 1
+                        continue
+                drawn_class = klass
+                break
+            if drawn_class is None:
+                # All retries hit injected coordinates; fall back to a
+                # non-injected class drawn from the real contributions only.
+                real_contribution = real_sizes * np.power(1.0 + eps, classes)
+                drawn_class = classes[
+                    int(self._rng.choice(len(classes), p=real_contribution / real_contribution.sum()))
+                ]
+            members = est.class_members[drawn_class]
+            coordinate = int(members[int(self._rng.integers(members.size))])
+            value = est.member_values[coordinate]
+            weight = float(np.asarray(self._weight_fn(np.array([value])), dtype=float)[0])
+            indices.append(coordinate)
+            values.append(value)
+            probabilities.append(weight / z_reference if z_reference > 0 else 1.0 / len(members))
+
+        return SampleDraws(
+            indices=np.asarray(indices, dtype=np.int64),
+            probabilities=np.asarray(probabilities, dtype=float),
+            values=np.asarray(values, dtype=float),
+            estimate=est,
+            failures=failures,
+        )

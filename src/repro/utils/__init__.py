@@ -1,0 +1,44 @@
+"""Utility helpers shared across the :mod:`repro` package.
+
+The utilities are intentionally small and dependency free: seeded random
+number generator management (:mod:`repro.utils.rng`), argument validation
+(:mod:`repro.utils.validation`), a tiny structured logger
+(:mod:`repro.utils.logging`) and dense linear-algebra helpers
+(:mod:`repro.utils.linalg`).
+"""
+
+from repro.utils.linalg import (
+    best_rank_k,
+    column_space_projector,
+    frobenius_norm_squared,
+    projection_from_basis,
+    row_norms_squared,
+    top_k_right_singular_vectors,
+)
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_matrix,
+    check_positive,
+    check_probability_vector,
+    check_rank,
+    check_vector,
+)
+
+__all__ = [
+    "RandomState",
+    "ensure_rng",
+    "spawn_rngs",
+    "get_logger",
+    "check_matrix",
+    "check_vector",
+    "check_positive",
+    "check_rank",
+    "check_probability_vector",
+    "best_rank_k",
+    "frobenius_norm_squared",
+    "row_norms_squared",
+    "top_k_right_singular_vectors",
+    "projection_from_basis",
+    "column_space_projector",
+]

@@ -1,0 +1,162 @@
+"""Dense linear-algebra helpers used throughout the library.
+
+These are thin, well-tested wrappers around :mod:`numpy.linalg` /
+:mod:`scipy.linalg` that encode the conventions used in the paper:
+
+* ``[A]_k`` -- the best rank-``k`` approximation given by the truncated SVD;
+* ``P = V V^T`` -- a ``d x d`` projection matrix onto the span of the top
+  ``k`` right singular vectors;
+* squared Frobenius norms and squared row norms, which drive the sampling
+  distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_rank
+
+
+def frobenius_norm_squared(matrix: np.ndarray) -> float:
+    """Return ``||matrix||_F^2``."""
+    arr = np.asarray(matrix, dtype=float)
+    return float(np.sum(arr * arr))
+
+
+def row_norms_squared(matrix: np.ndarray) -> np.ndarray:
+    """Return the vector of squared Euclidean row norms ``|A_i|_2^2``."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"matrix must be 2-dimensional, got ndim={arr.ndim}")
+    return np.einsum("ij,ij->i", arr, arr)
+
+
+def top_k_right_singular_vectors(matrix: np.ndarray, k: int) -> np.ndarray:
+    """Return a ``d x k`` orthonormal basis of the top-``k`` right singular space.
+
+    Parameters
+    ----------
+    matrix:
+        An ``n x d`` matrix.
+    k:
+        Number of singular vectors, ``1 <= k <= d``.
+    """
+    arr = check_matrix(matrix, "matrix")
+    k = check_rank(k, arr.shape[1], "k")
+    # Full (thin) SVD is adequate at the sizes used in the experiments and
+    # avoids convergence issues of iterative solvers on nearly-degenerate
+    # spectra.
+    _, _, vt = np.linalg.svd(arr, full_matrices=False)
+    return vt[:k].T.copy()
+
+
+def projection_from_basis(basis: np.ndarray) -> np.ndarray:
+    """Return the projection matrix ``V V^T`` for an orthonormal basis ``V`` (d x k)."""
+    v = np.asarray(basis, dtype=float)
+    if v.ndim != 2:
+        raise ValueError("basis must be 2-dimensional (d x k)")
+    return v @ v.T
+
+
+def best_rank_k(matrix: np.ndarray, k: int) -> np.ndarray:
+    """Return ``[A]_k``, the best rank-``k`` approximation of ``matrix``.
+
+    Computed through the truncated SVD: ``[A]_k = U_k diag(s_k) V_k^T``.
+    """
+    arr = check_matrix(matrix, "matrix")
+    k = check_rank(k, min(arr.shape), "k")
+    u, s, vt = np.linalg.svd(arr, full_matrices=False)
+    return (u[:, :k] * s[:k]) @ vt[:k]
+
+
+def best_rank_k_error(matrix: np.ndarray, k: int) -> float:
+    """Return ``||A - [A]_k||_F^2`` directly from the singular values.
+
+    Faster and numerically cleaner than materialising ``[A]_k``.
+    """
+    arr = check_matrix(matrix, "matrix")
+    k = check_rank(k, None, "k")
+    s = np.linalg.svd(arr, compute_uv=False)
+    if k >= s.size:
+        return 0.0
+    tail = s[k:]
+    return float(np.sum(tail * tail))
+
+
+def column_space_projector(matrix: np.ndarray) -> np.ndarray:
+    """Return the orthogonal projector onto the column space of ``matrix``."""
+    arr = check_matrix(matrix, "matrix")
+    q, _ = np.linalg.qr(arr)
+    return q @ q.T
+
+
+def is_projection_matrix(p: np.ndarray, *, atol: float = 1e-8) -> bool:
+    """Return True if ``p`` is (numerically) a symmetric idempotent matrix."""
+    arr = np.asarray(p, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        return False
+    symmetric = np.allclose(arr, arr.T, atol=atol)
+    idempotent = np.allclose(arr @ arr, arr, atol=atol)
+    return bool(symmetric and idempotent)
+
+
+def projection_rank(p: np.ndarray, *, atol: float = 1e-6) -> int:
+    """Return the rank of a projection matrix (the number of unit eigenvalues)."""
+    arr = np.asarray(p, dtype=float)
+    eigvals = np.linalg.eigvalsh((arr + arr.T) / 2.0)
+    return int(np.sum(eigvals > 0.5))
+
+
+def orthonormal_columns(matrix: np.ndarray, *, atol: float = 1e-8) -> bool:
+    """Return True if the columns of ``matrix`` are orthonormal."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2:
+        return False
+    gram = arr.T @ arr
+    return bool(np.allclose(gram, np.eye(arr.shape[1]), atol=atol))
+
+
+def scaled_row_sample_matrix(
+    rows: np.ndarray, probabilities: np.ndarray
+) -> np.ndarray:
+    """Build the FKV estimator matrix ``B`` from sampled rows and probabilities.
+
+    Row ``i`` of the result is ``rows[i] / sqrt(r * probabilities[i])`` where
+    ``r`` is the number of sampled rows, so that ``E[B^T B] = A^T A`` when the
+    rows were drawn with probabilities ``probabilities``.
+    """
+    rows = check_matrix(rows, "rows")
+    probs = np.asarray(probabilities, dtype=float)
+    if probs.ndim != 1 or probs.shape[0] != rows.shape[0]:
+        raise ValueError("probabilities must be a vector with one entry per sampled row")
+    if np.any(probs <= 0):
+        raise ValueError("sampling probabilities must be strictly positive")
+    r = rows.shape[0]
+    scale = 1.0 / np.sqrt(r * probs)
+    return rows * scale[:, None]
+
+
+def spectral_norm(matrix: np.ndarray) -> float:
+    """Return the spectral (operator 2-) norm of ``matrix``."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(np.linalg.norm(arr, ord=2))
+
+
+def gram_difference_norm(a: np.ndarray, b: np.ndarray) -> float:
+    """Return ``||A^T A - B^T B||_F`` (the quantity controlled by Lemma 3)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("a and b must have the same number of columns")
+    diff = a.T @ a - b.T @ b
+    return float(np.linalg.norm(diff, ord="fro"))
+
+
+def svd_rank_k_projection(matrix: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(V, P)`` where ``V`` is the top-``k`` right singular basis and ``P = V V^T``."""
+    v = top_k_right_singular_vectors(matrix, k)
+    return v, projection_from_basis(v)

@@ -1,0 +1,37 @@
+"""Minimal logging helpers.
+
+The library uses the standard :mod:`logging` module; this wrapper only
+centralises the logger name prefix and a library-wide default format so that
+examples and benchmark harnesses produce uniform output.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_PREFIX = "repro"
+_DEFAULT_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a library logger named ``repro.<name>``.
+
+    The logger is not configured with handlers; applications control output
+    via :func:`configure_logging` or the standard logging API.
+    """
+    if name.startswith(_PREFIX):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_PREFIX}.{name}")
+
+
+def configure_logging(level: int = logging.INFO) -> None:
+    """Attach a basic stream handler to the library root logger.
+
+    Safe to call multiple times; subsequent calls only adjust the level.
+    """
+    root = logging.getLogger(_PREFIX)
+    root.setLevel(level)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_DEFAULT_FORMAT))
+        root.addHandler(handler)

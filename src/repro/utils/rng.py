@@ -1,0 +1,106 @@
+"""Random number generator management.
+
+All stochastic components of the library accept either an integer seed, a
+:class:`numpy.random.Generator`, or ``None`` (fresh entropy).  Protocol code
+frequently needs several *independent* streams -- e.g. one per simulated
+server -- which :func:`spawn_rngs` provides deterministically from a parent
+generator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+#: Anything acceptable as a source of randomness.
+RandomState = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an integer seed, a ``SeedSequence`` or an
+        existing ``Generator`` (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:
+    """Create ``count`` statistically independent generators.
+
+    The streams are derived from a single :class:`numpy.random.SeedSequence`
+    so the whole family is reproducible from one seed.
+
+    Parameters
+    ----------
+    seed:
+        Parent seed; see :func:`ensure_rng`.
+    count:
+        Number of independent generators to produce.
+
+    Returns
+    -------
+    list of numpy.random.Generator
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by drawing fresh seed material from the generator.
+        seeds = seed.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def random_signs(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Return a vector of ``size`` independent Rademacher (+/-1) signs."""
+    return rng.integers(0, 2, size=size) * 2 - 1
+
+
+def sample_without_replacement(
+    rng: np.random.Generator, population: int, count: int
+) -> np.ndarray:
+    """Sample ``count`` distinct indices from ``range(population)``."""
+    if count > population:
+        raise ValueError(
+            f"cannot sample {count} items from a population of {population} without replacement"
+        )
+    return rng.choice(population, size=count, replace=False)
+
+
+def choice_from_weights(
+    rng: np.random.Generator,
+    weights: Sequence[float],
+    size: Optional[int] = None,
+) -> Union[int, np.ndarray]:
+    """Draw indices with probability proportional to non-negative ``weights``.
+
+    Raises
+    ------
+    ValueError
+        If the weights are all zero or any weight is negative.
+    """
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 1:
+        raise ValueError("weights must be one-dimensional")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    p = w / total
+    if size is None:
+        return int(rng.choice(len(w), p=p))
+    return rng.choice(len(w), size=size, p=p)

@@ -1,0 +1,103 @@
+"""Argument validation helpers.
+
+Each helper raises :class:`ValueError` (or :class:`TypeError`) with a message
+naming the offending argument, and returns the validated / converted value so
+callers can write ``x = check_matrix(x, "x")``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def check_matrix(
+    value,
+    name: str = "matrix",
+    *,
+    allow_empty: bool = False,
+    dtype=float,
+) -> np.ndarray:
+    """Validate that ``value`` is a finite 2-D array and return it as ndarray."""
+    arr = np.asarray(value, dtype=dtype)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+    if not allow_empty and arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    return arr
+
+
+def check_vector(
+    value,
+    name: str = "vector",
+    *,
+    allow_empty: bool = False,
+    dtype=float,
+) -> np.ndarray:
+    """Validate that ``value`` is a finite 1-D array and return it as ndarray."""
+    arr = np.asarray(value, dtype=dtype)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got ndim={arr.ndim}")
+    if not allow_empty and arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    return arr
+
+
+def check_positive(value, name: str = "value", *, strict: bool = True) -> float:
+    """Validate that ``value`` is a positive (or non-negative) real number."""
+    if not np.isscalar(value) or isinstance(value, (bool, np.bool_)):
+        raise TypeError(f"{name} must be a real scalar, got {value!r}")
+    val = float(value)
+    if not np.isfinite(val):
+        raise ValueError(f"{name} must be finite, got {val}")
+    if strict and val <= 0:
+        raise ValueError(f"{name} must be > 0, got {val}")
+    if not strict and val < 0:
+        raise ValueError(f"{name} must be >= 0, got {val}")
+    return val
+
+
+def check_rank(k, d: Optional[int] = None, name: str = "k") -> int:
+    """Validate a target rank ``k`` (positive integer, at most ``d`` if given)."""
+    if isinstance(k, (bool, np.bool_)):
+        raise TypeError(f"{name} must be an integer, got bool")
+    if not float(k).is_integer():
+        raise TypeError(f"{name} must be an integer, got {k!r}")
+    k_int = int(k)
+    if k_int < 1:
+        raise ValueError(f"{name} must be >= 1, got {k_int}")
+    if d is not None and k_int > d:
+        raise ValueError(f"{name} must be <= {d} (matrix width), got {k_int}")
+    return k_int
+
+
+def check_probability_vector(value, name: str = "probabilities") -> np.ndarray:
+    """Validate a vector of probabilities summing (approximately) to one."""
+    p = check_vector(value, name)
+    if np.any(p < 0):
+        raise ValueError(f"{name} must be non-negative")
+    total = p.sum()
+    if not np.isclose(total, 1.0, rtol=1e-6, atol=1e-8):
+        raise ValueError(f"{name} must sum to 1, got {total}")
+    return p
+
+
+def check_same_shape(a: np.ndarray, b: np.ndarray, name_a: str = "a", name_b: str = "b") -> None:
+    """Raise if two arrays differ in shape."""
+    if a.shape != b.shape:
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same shape, got {a.shape} vs {b.shape}"
+        )
+
+
+def check_fraction(value, name: str = "fraction") -> float:
+    """Validate a number in the open interval (0, 1]."""
+    val = check_positive(value, name)
+    if val > 1:
+        raise ValueError(f"{name} must be in (0, 1], got {val}")
+    return val

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import LocalCluster, arbitrary_partition, entrywise_partition
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def low_rank_matrix(rng):
+    """A 120 x 30 matrix with a dominant rank-5 component plus small noise."""
+    signal = rng.normal(size=(120, 5)) @ rng.normal(size=(5, 30))
+    return signal + 0.05 * rng.normal(size=(120, 30))
+
+
+@pytest.fixture
+def small_matrix(rng):
+    """A generic small dense matrix."""
+    return rng.normal(size=(40, 12))
+
+
+@pytest.fixture
+def identity_cluster(low_rank_matrix):
+    """A 4-server cluster in the arbitrary partition model with f = identity."""
+    return LocalCluster(arbitrary_partition(low_rank_matrix, 4, seed=7), name="identity")
+
+
+@pytest.fixture
+def sparse_cluster(low_rank_matrix):
+    """A 4-server cluster in the entrywise partition model (sparse locals)."""
+    return LocalCluster(entrywise_partition(low_rank_matrix, 4, seed=11), name="sparse")
+
+
+def make_cluster(matrix, num_servers=4, seed=0, function=None, partition="arbitrary"):
+    """Helper used by tests that need custom clusters."""
+    if partition == "arbitrary":
+        locals_ = arbitrary_partition(matrix, num_servers, seed=seed)
+    elif partition == "entrywise":
+        locals_ = entrywise_partition(matrix, num_servers, seed=seed)
+    else:
+        raise ValueError(f"unknown partition {partition!r}")
+    return LocalCluster(locals_, function)

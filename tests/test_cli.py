@@ -1,0 +1,76 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure1_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.scale == "small"
+        assert args.trials == 1
+        assert args.panels is None
+
+    def test_figure_panel_and_k_arguments(self):
+        args = build_parser().parse_args(
+            ["figure2", "--panels", "forest_cover", "isolet", "--k", "3", "9"]
+        )
+        assert args.panels == ["forest_cover", "isolet"]
+        assert args.k == [3, 9]
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "--scale", "enormous"])
+
+
+class TestCommands:
+    def test_list_panels(self, capsys):
+        assert main(["list-panels"]) == 0
+        out = capsys.readouterr().out
+        assert "forest_cover" in out
+        assert "isolet" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "huber" in out
+
+    def test_lowerbounds(self, capsys):
+        assert main(["lowerbounds", "--trials", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 8" in out
+        assert "Theorem 6" in out
+        assert "Theorem 4" in out
+
+    def test_figure1_single_panel(self, capsys, tmp_path):
+        csv_path = tmp_path / "points.csv"
+        exit_code = main(
+            [
+                "figure1",
+                "--panels",
+                "forest_cover",
+                "--k",
+                "3",
+                "6",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 1 panel: ForestCover" in out
+        assert "prediction" in out
+        assert csv_path.exists()
+        assert csv_path.read_text().startswith("panel,")
+
+    def test_figure2_single_panel(self, capsys):
+        assert main(["figure2", "--panels", "forest_cover", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2 panel: ForestCover" in out
+        assert "relative error" in out

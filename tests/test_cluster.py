@@ -1,0 +1,160 @@
+"""Tests for repro.distributed.cluster."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import LocalCluster, arbitrary_partition, entrywise_partition
+from repro.distributed.network import Network
+from repro.functions import HuberPsi, Identity
+
+
+class TestConstruction:
+    def test_basic_properties(self, identity_cluster, low_rank_matrix):
+        assert identity_cluster.num_servers == 4
+        assert identity_cluster.shape == low_rank_matrix.shape
+        assert identity_cluster.num_rows == low_rank_matrix.shape[0]
+        assert identity_cluster.num_columns == low_rank_matrix.shape[1]
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(ValueError):
+            LocalCluster([])
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            LocalCluster([rng.normal(size=(3, 4)), rng.normal(size=(4, 3))])
+
+    def test_rejects_1d_locals(self):
+        with pytest.raises(ValueError):
+            LocalCluster([np.zeros(5)])
+
+    def test_network_created_automatically(self, identity_cluster):
+        assert isinstance(identity_cluster.network, Network)
+        assert identity_cluster.network.num_servers == 4
+
+    def test_mismatched_network_raises(self, low_rank_matrix):
+        with pytest.raises(ValueError):
+            LocalCluster(
+                arbitrary_partition(low_rank_matrix, 3, seed=0), network=Network(5)
+            )
+
+    def test_total_input_words_dense(self, identity_cluster, low_rank_matrix):
+        assert identity_cluster.total_input_words() == 4 * low_rank_matrix.size
+
+    def test_total_input_words_sparse_smaller(self, sparse_cluster, low_rank_matrix):
+        # An entrywise split of a dense matrix stores each entry once (plus
+        # index overhead) so the total is about 2x the entries, not 4x.
+        assert sparse_cluster.total_input_words() < 3 * low_rank_matrix.size
+
+
+class TestMaterialization:
+    def test_identity_sum(self, identity_cluster, low_rank_matrix):
+        np.testing.assert_allclose(
+            identity_cluster.materialize_global(), low_rank_matrix, atol=1e-8
+        )
+
+    def test_sum_vs_global_with_function(self, low_rank_matrix):
+        cluster = LocalCluster(
+            arbitrary_partition(low_rank_matrix, 3, seed=1), HuberPsi(0.5)
+        )
+        summed = cluster.materialize_sum()
+        np.testing.assert_allclose(summed, low_rank_matrix, atol=1e-8)
+        np.testing.assert_allclose(
+            cluster.materialize_global(), np.clip(low_rank_matrix, -0.5, 0.5), atol=1e-8
+        )
+
+    def test_materialization_cached(self, identity_cluster):
+        first = identity_cluster.materialize_global()
+        second = identity_cluster.materialize_global()
+        assert first is second
+
+    def test_materialization_not_charged(self, identity_cluster):
+        before = identity_cluster.network.total_words
+        identity_cluster.materialize_global()
+        assert identity_cluster.network.total_words == before
+
+
+class TestAggregateRows:
+    def test_values_match_global(self, identity_cluster, low_rank_matrix):
+        rows = identity_cluster.aggregate_rows([0, 5, 5, 17])
+        np.testing.assert_allclose(rows, low_rank_matrix[[0, 5, 5, 17]], atol=1e-8)
+
+    def test_function_applied(self, low_rank_matrix):
+        cluster = LocalCluster(
+            arbitrary_partition(low_rank_matrix, 3, seed=1), HuberPsi(0.3)
+        )
+        rows = cluster.aggregate_rows([2, 4])
+        np.testing.assert_allclose(rows, np.clip(low_rank_matrix[[2, 4]], -0.3, 0.3), atol=1e-8)
+
+    def test_function_skipped_when_requested(self, low_rank_matrix):
+        cluster = LocalCluster(
+            arbitrary_partition(low_rank_matrix, 3, seed=1), HuberPsi(0.3)
+        )
+        rows = cluster.aggregate_rows([2, 4], apply_function=False)
+        np.testing.assert_allclose(rows, low_rank_matrix[[2, 4]], atol=1e-8)
+
+    def test_communication_charged(self, identity_cluster, low_rank_matrix):
+        before = identity_cluster.network.total_words
+        identity_cluster.aggregate_rows([1, 2, 3])
+        used = identity_cluster.network.total_words - before
+        # 3 workers (CP is free) x 3 rows x d words.
+        assert used == 3 * 3 * low_rank_matrix.shape[1]
+
+    def test_sparse_cluster_cheaper(self, sparse_cluster):
+        before = sparse_cluster.network.total_words
+        sparse_cluster.aggregate_rows([1, 2, 3])
+        used = sparse_cluster.network.total_words - before
+        # Dense rows are shipped even for sparse locals (the gather payload is
+        # a dense row block), so the cost matches the dense case.
+        assert used == 3 * 3 * sparse_cluster.num_columns
+
+    def test_invalid_indices_shape(self, identity_cluster):
+        with pytest.raises(ValueError):
+            identity_cluster.aggregate_rows([[1, 2]])
+
+
+class TestAggregateEntries:
+    def test_values_match_global(self, identity_cluster, low_rank_matrix):
+        flat = [0, 13, 77]
+        values = identity_cluster.aggregate_entries(flat)
+        np.testing.assert_allclose(values, low_rank_matrix.ravel()[flat], atol=1e-8)
+
+    def test_communication_charged(self, identity_cluster):
+        before = identity_cluster.network.total_words
+        identity_cluster.aggregate_entries([0, 1, 2, 3])
+        assert identity_cluster.network.total_words - before == 3 * 4
+
+
+class TestDerivedClusters:
+    def test_transform_locally(self, low_rank_matrix):
+        cluster = LocalCluster(arbitrary_partition(low_rank_matrix, 3, seed=1))
+        doubled = cluster.transform_locally(lambda x: 2 * x)
+        np.testing.assert_allclose(
+            doubled.materialize_sum(), 2 * low_rank_matrix, atol=1e-8
+        )
+
+    def test_transform_shares_network(self, identity_cluster):
+        derived = identity_cluster.transform_locally(lambda x: x)
+        assert derived.network is identity_cluster.network
+
+    def test_with_function(self, identity_cluster, low_rank_matrix):
+        clipped = identity_cluster.with_function(HuberPsi(0.2))
+        np.testing.assert_allclose(
+            clipped.materialize_global(), np.clip(low_rank_matrix, -0.2, 0.2), atol=1e-8
+        )
+
+    def test_with_function_shares_network(self, identity_cluster):
+        derived = identity_cluster.with_function(Identity())
+        assert derived.network is identity_cluster.network
+
+    def test_gather_from_servers_charges_workers_only(self, identity_cluster):
+        before = identity_cluster.network.total_words
+        payloads = identity_cluster.gather_from_servers(
+            lambda server: np.zeros(5), tag="test"
+        )
+        assert len(payloads) == 4
+        assert identity_cluster.network.total_words - before == 3 * 5
+
+    def test_broadcast_from_coordinator(self, identity_cluster):
+        before = identity_cluster.network.total_words
+        identity_cluster.broadcast_from_coordinator(np.zeros(7), tag="bcast")
+        assert identity_cluster.network.total_words - before == 3 * 7

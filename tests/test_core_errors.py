@@ -1,0 +1,111 @@
+"""Tests for repro.core.errors."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    additive_error,
+    approximation_report,
+    predicted_additive_error,
+    relative_error,
+    residual_norm_squared,
+)
+from repro.utils.linalg import svd_rank_k_projection
+
+
+class TestResidualNorm:
+    def test_zero_for_full_projection(self, small_matrix):
+        d = small_matrix.shape[1]
+        assert residual_norm_squared(small_matrix, np.eye(d)) == pytest.approx(0.0)
+
+    def test_full_for_zero_projection(self, small_matrix):
+        d = small_matrix.shape[1]
+        assert residual_norm_squared(small_matrix, np.zeros((d, d))) == pytest.approx(
+            float(np.sum(small_matrix**2))
+        )
+
+    def test_wrong_projection_shape_raises(self, small_matrix):
+        with pytest.raises(ValueError):
+            residual_norm_squared(small_matrix, np.eye(3))
+
+
+class TestAdditiveError:
+    def test_zero_for_optimal_projection(self, low_rank_matrix):
+        _, projection = svd_rank_k_projection(low_rank_matrix, 5)
+        assert additive_error(low_rank_matrix, projection, 5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_random_projection(self, low_rank_matrix, rng):
+        basis, _ = np.linalg.qr(rng.normal(size=(low_rank_matrix.shape[1], 5)))
+        projection = basis @ basis.T
+        assert additive_error(low_rank_matrix, projection, 5) > 0
+
+    def test_at_most_one(self, low_rank_matrix):
+        d = low_rank_matrix.shape[1]
+        assert additive_error(low_rank_matrix, np.zeros((d, d)), 3) <= 1.0
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(ValueError):
+            additive_error(np.zeros((5, 4)), np.eye(4), 2)
+
+
+class TestRelativeError:
+    def test_one_for_optimal_projection(self, low_rank_matrix):
+        _, projection = svd_rank_k_projection(low_rank_matrix, 4)
+        assert relative_error(low_rank_matrix, projection, 4) == pytest.approx(1.0)
+
+    def test_at_least_one(self, low_rank_matrix, rng):
+        basis, _ = np.linalg.qr(rng.normal(size=(low_rank_matrix.shape[1], 4)))
+        projection = basis @ basis.T
+        assert relative_error(low_rank_matrix, projection, 4) >= 1.0 - 1e-9
+
+    def test_exactly_low_rank_matrix(self, rng):
+        """When A has rank <= k the optimal error is 0; a perfect projection
+        reports 1.0 and an imperfect one reports infinity."""
+        exact = rng.normal(size=(30, 3)) @ rng.normal(size=(3, 10))
+        _, perfect = svd_rank_k_projection(exact, 3)
+        assert relative_error(exact, perfect, 3) == 1.0
+        assert relative_error(exact, np.zeros((10, 10)), 3) == float("inf")
+
+
+class TestPrediction:
+    def test_formula(self):
+        assert predicted_additive_error(3, 100) == pytest.approx(0.09)
+        assert predicted_additive_error(15, 100) == pytest.approx(2.25)
+
+    def test_monotone_in_k(self):
+        assert predicted_additive_error(6, 50) > predicted_additive_error(3, 50)
+
+    def test_monotone_in_r(self):
+        assert predicted_additive_error(5, 200) < predicted_additive_error(5, 50)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            predicted_additive_error(3, 0)
+        with pytest.raises(ValueError):
+            predicted_additive_error(0, 10)
+
+
+class TestApproximationReport:
+    def test_keys(self, low_rank_matrix):
+        _, projection = svd_rank_k_projection(low_rank_matrix, 4)
+        report = approximation_report(low_rank_matrix, projection, 4)
+        assert {
+            "residual_norm_squared",
+            "best_rank_k_norm_squared",
+            "frobenius_norm_squared",
+            "additive_error",
+            "relative_error",
+            "captured_fraction",
+        } == set(report)
+
+    def test_consistency_between_metrics(self, low_rank_matrix, rng):
+        basis, _ = np.linalg.qr(rng.normal(size=(low_rank_matrix.shape[1], 4)))
+        projection = basis @ basis.T
+        report = approximation_report(low_rank_matrix, projection, 4)
+        assert report["additive_error"] == pytest.approx(
+            additive_error(low_rank_matrix, projection, 4)
+        )
+        assert report["relative_error"] == pytest.approx(
+            relative_error(low_rank_matrix, projection, 4)
+        )
+        assert 0.0 <= report["captured_fraction"] <= 1.0

@@ -1,0 +1,93 @@
+"""Tests for the Frieze-Kannan-Vempala sampling step (Section III)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import additive_error
+from repro.core.fkv import (
+    fkv_projection,
+    gram_estimate,
+    practical_sample_count,
+    theoretical_sample_count,
+)
+from repro.utils.linalg import is_projection_matrix, projection_rank, row_norms_squared
+
+
+class TestSampleCounts:
+    def test_theoretical_constant(self):
+        assert theoretical_sample_count(1, 1.0, 1.0) == 1440
+
+    def test_theoretical_scaling(self):
+        assert theoretical_sample_count(2, 0.5) == pytest.approx(1440 * 4 / 0.25, abs=1)
+
+    def test_practical_smaller_than_theoretical(self):
+        assert practical_sample_count(5, 0.2) < theoretical_sample_count(5, 0.2)
+
+    def test_practical_at_least_k_plus_one(self):
+        assert practical_sample_count(10, 10.0) == 11
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            practical_sample_count(0, 0.5)
+        with pytest.raises(ValueError):
+            theoretical_sample_count(3, -1.0)
+
+
+class TestFKVProjection:
+    def _norm_sample(self, matrix, count, rng):
+        norms = row_norms_squared(matrix)
+        probs = norms / norms.sum()
+        idx = rng.choice(matrix.shape[0], size=count, p=probs)
+        return matrix[idx], probs[idx]
+
+    def test_output_shapes_and_validity(self, low_rank_matrix, rng):
+        rows, probs = self._norm_sample(low_rank_matrix, 80, rng)
+        basis, projection, b_matrix = fkv_projection(rows, probs, 5)
+        d = low_rank_matrix.shape[1]
+        assert basis.shape == (d, 5)
+        assert projection.shape == (d, d)
+        assert b_matrix.shape == (80, d)
+        assert is_projection_matrix(projection)
+        assert projection_rank(projection) == 5
+
+    def test_lemma2_additive_error_bound(self, low_rank_matrix, rng):
+        """With enough samples the FKV projection achieves small additive error."""
+        rows, probs = self._norm_sample(low_rank_matrix, 400, rng)
+        _, projection, _ = fkv_projection(rows, probs, 5)
+        assert additive_error(low_rank_matrix, projection, 5) < 0.1
+
+    def test_more_samples_help(self, low_rank_matrix):
+        errors = []
+        for count in (20, 500):
+            rng = np.random.default_rng(0)
+            rows, probs = self._norm_sample(low_rank_matrix, count, rng)
+            _, projection, _ = fkv_projection(rows, probs, 5)
+            errors.append(additive_error(low_rank_matrix, projection, 5))
+        assert errors[1] <= errors[0]
+
+    def test_tolerates_approximate_probabilities(self, low_rank_matrix, rng):
+        """Lemma 3: scaling by (1 +/- gamma)-approximate probabilities still works."""
+        rows, probs = self._norm_sample(low_rank_matrix, 400, rng)
+        noisy = probs * (1.0 + rng.uniform(-0.3, 0.3, size=probs.size))
+        _, projection, _ = fkv_projection(rows, noisy, 5)
+        assert additive_error(low_rank_matrix, projection, 5) < 0.15
+
+    def test_k_larger_than_columns_raises(self, low_rank_matrix, rng):
+        rows, probs = self._norm_sample(low_rank_matrix, 40, rng)
+        with pytest.raises(ValueError):
+            fkv_projection(rows, probs, low_rank_matrix.shape[1] + 1)
+
+
+class TestGramEstimate:
+    def test_concentrates_around_true_gram(self, low_rank_matrix, rng):
+        norms = row_norms_squared(low_rank_matrix)
+        probs = norms / norms.sum()
+        estimates = []
+        for seed in range(20):
+            local = np.random.default_rng(seed)
+            idx = local.choice(low_rank_matrix.shape[0], size=300, p=probs)
+            estimates.append(gram_estimate(low_rank_matrix[idx], probs[idx]))
+        mean_estimate = np.mean(estimates, axis=0)
+        target = low_rank_matrix.T @ low_rank_matrix
+        rel = np.linalg.norm(mean_estimate - target, "fro") / np.linalg.norm(target, "fro")
+        assert rel < 0.1

@@ -1,0 +1,72 @@
+"""Tests for the PCAResult object."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedPCA, PCAResult
+from repro.utils.linalg import svd_rank_k_projection
+
+
+@pytest.fixture
+def fitted_result(identity_cluster):
+    return DistributedPCA(k=4, num_samples=60, seed=0).fit(identity_cluster)
+
+
+class TestPCAResult:
+    def test_projection_is_valid(self, fitted_result):
+        assert fitted_result.is_valid_projection()
+        assert fitted_result.rank == 4
+
+    def test_communication_ratio(self, fitted_result):
+        assert fitted_result.communication_ratio == pytest.approx(
+            fitted_result.communication_words / fitted_result.input_words
+        )
+
+    def test_communication_ratio_nan_for_zero_input(self, low_rank_matrix):
+        basis, projection = svd_rank_k_projection(low_rank_matrix, 2)
+        result = PCAResult(
+            projection=projection,
+            basis=basis,
+            k=2,
+            num_samples=10,
+            row_indices=np.arange(10),
+            communication_words=5,
+            input_words=0,
+        )
+        assert np.isnan(result.communication_ratio)
+
+    def test_evaluate_matches_direct_metrics(self, fitted_result, identity_cluster):
+        report = fitted_result.evaluate(identity_cluster.materialize_global())
+        assert report["additive_error"] >= 0
+        assert report["relative_error"] >= 1.0 - 1e-9
+
+    def test_evaluate_with_other_k(self, fitted_result, identity_cluster):
+        # Evaluating a rank-4 projection against the best rank-2 baseline can
+        # legitimately give a relative error below 1; it just has to be finite
+        # and consistent with the additive metric.
+        report = fitted_result.evaluate(identity_cluster.materialize_global(), k=2)
+        assert np.isfinite(report["relative_error"])
+        assert report["relative_error"] > 0
+
+    def test_project_shape(self, fitted_result, identity_cluster):
+        global_matrix = identity_cluster.materialize_global()
+        projected = fitted_result.project(global_matrix)
+        assert projected.shape == global_matrix.shape
+        # Projecting twice changes nothing (idempotence).
+        np.testing.assert_allclose(fitted_result.project(projected), projected, atol=1e-8)
+
+    def test_reduce_shape(self, fitted_result, identity_cluster):
+        reduced = fitted_result.reduce(identity_cluster.materialize_global())
+        assert reduced.shape == (identity_cluster.num_rows, 4)
+
+    def test_reduce_then_expand_equals_project(self, fitted_result, identity_cluster):
+        global_matrix = identity_cluster.materialize_global()
+        np.testing.assert_allclose(
+            fitted_result.reduce(global_matrix) @ fitted_result.basis.T,
+            fitted_result.project(global_matrix),
+            atol=1e-8,
+        )
+
+    def test_metadata_present(self, fitted_result):
+        assert "repetition_scores" in fitted_result.metadata
+        assert fitted_result.sampler_name == "uniform"

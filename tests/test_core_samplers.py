@@ -1,0 +1,184 @@
+"""Tests for the row samplers used by Algorithm 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.samplers import (
+    ExactNormSampler,
+    GeneralizedZRowSampler,
+    RowSample,
+    UniformRowSampler,
+    softmax_row_sampler,
+)
+from repro.distributed import LocalCluster, entrywise_partition
+from repro.functions import GeneralizedMeanFunction, HuberPsi, Identity
+from repro.sketch.z_heavy_hitters import ZHeavyHittersParams
+from repro.sketch.z_sampler import ZSamplerConfig
+from repro.utils.linalg import row_norms_squared
+
+
+def z_config():
+    return ZSamplerConfig(
+        hh_params=ZHeavyHittersParams(b=8, repetitions=1, num_buckets=8),
+        max_levels=6,
+        min_level_count=2,
+    )
+
+
+class TestRowSampleDataclass:
+    def test_valid_sample(self):
+        sample = RowSample(np.array([0, 1]), np.array([0.5, 0.5]))
+        assert sample.num_samples == 2
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            RowSample(np.array([0, 1]), np.array([0.5]))
+
+    def test_nonpositive_probability_raises(self):
+        with pytest.raises(ValueError):
+            RowSample(np.array([0]), np.array([0.0]))
+
+    def test_global_rows_length_checked(self):
+        with pytest.raises(ValueError):
+            RowSample(np.array([0, 1]), np.array([0.5, 0.5]), global_rows=np.zeros((1, 3)))
+
+
+class TestUniformRowSampler:
+    def test_probabilities_are_one_over_n(self, identity_cluster):
+        sample = UniformRowSampler().sample_rows(identity_cluster, 20, seed=0)
+        np.testing.assert_allclose(sample.probabilities, 1.0 / identity_cluster.num_rows)
+
+    def test_no_communication(self, identity_cluster):
+        before = identity_cluster.network.total_words
+        UniformRowSampler().sample_rows(identity_cluster, 50, seed=0)
+        assert identity_cluster.network.total_words == before
+
+    def test_indices_in_range(self, identity_cluster):
+        sample = UniformRowSampler().sample_rows(identity_cluster, 100, seed=1)
+        assert sample.row_indices.min() >= 0
+        assert sample.row_indices.max() < identity_cluster.num_rows
+
+    def test_invalid_count(self, identity_cluster):
+        with pytest.raises(ValueError):
+            UniformRowSampler().sample_rows(identity_cluster, 0)
+
+    def test_deterministic_given_seed(self, identity_cluster):
+        a = UniformRowSampler().sample_rows(identity_cluster, 10, seed=3)
+        b = UniformRowSampler().sample_rows(identity_cluster, 10, seed=3)
+        np.testing.assert_array_equal(a.row_indices, b.row_indices)
+
+
+class TestExactNormSampler:
+    def test_probabilities_proportional_to_norms(self, identity_cluster, low_rank_matrix):
+        sample = ExactNormSampler().sample_rows(identity_cluster, 30, seed=0)
+        norms = row_norms_squared(low_rank_matrix)
+        expected = norms / norms.sum()
+        np.testing.assert_allclose(sample.probabilities, expected[sample.row_indices], rtol=1e-6)
+
+    def test_heavy_rows_drawn_more_often(self, rng):
+        data = rng.normal(size=(50, 10)) * 0.01
+        data[7] = 100.0  # one dominant row
+        cluster = LocalCluster([data])
+        sample = ExactNormSampler().sample_rows(cluster, 200, seed=1)
+        assert np.mean(sample.row_indices == 7) > 0.9
+
+    def test_global_rows_provided(self, identity_cluster, low_rank_matrix):
+        sample = ExactNormSampler().sample_rows(identity_cluster, 10, seed=2)
+        np.testing.assert_allclose(
+            sample.global_rows, low_rank_matrix[sample.row_indices], atol=1e-8
+        )
+
+    def test_probability_noise(self, identity_cluster):
+        sampler = ExactNormSampler(probability_noise=0.2)
+        sample = sampler.sample_rows(identity_cluster, 50, seed=3)
+        exact = sample.metadata["exact_distribution"][sample.row_indices]
+        ratio = sample.probabilities / exact
+        assert np.all(ratio >= 0.8 - 1e-9)
+        assert np.all(ratio <= 1.2 + 1e-9)
+
+    def test_is_marked_oracle(self):
+        assert ExactNormSampler().is_oracle
+        assert not UniformRowSampler().is_oracle
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            ExactNormSampler(probability_noise=1.0)
+
+    def test_zero_matrix_raises(self):
+        cluster = LocalCluster([np.zeros((5, 4))])
+        with pytest.raises(ValueError):
+            ExactNormSampler().sample_rows(cluster, 3)
+
+
+class TestGeneralizedZRowSampler:
+    @pytest.fixture
+    def huber_cluster(self, rng):
+        data = rng.normal(size=(60, 20)) * 0.5
+        data[5, 3] = 1e4  # a corrupted entry the Huber weight will cap
+        return LocalCluster(entrywise_partition(data, 3, seed=0), HuberPsi(2.0))
+
+    def test_sample_shape_and_rows_provided(self, huber_cluster):
+        sampler = GeneralizedZRowSampler(config=z_config())
+        sample = sampler.sample_rows(huber_cluster, 25, seed=0)
+        assert sample.num_samples == 25
+        assert sample.global_rows.shape == (25, huber_cluster.num_columns)
+        assert sample.words_used > 0
+
+    def test_global_rows_match_function_of_sum(self, huber_cluster):
+        sampler = GeneralizedZRowSampler(config=z_config())
+        sample = sampler.sample_rows(huber_cluster, 15, seed=1)
+        global_matrix = huber_cluster.materialize_global()
+        np.testing.assert_allclose(
+            sample.global_rows, global_matrix[sample.row_indices], atol=1e-6
+        )
+
+    def test_probabilities_approximate_row_weight_share(self, huber_cluster):
+        sampler = GeneralizedZRowSampler(config=z_config())
+        sample = sampler.sample_rows(huber_cluster, 20, seed=2)
+        function = huber_cluster.function
+        summed = huber_cluster.materialize_sum()
+        weights = function.sampling_weight(summed).sum(axis=1)
+        true_share = weights[sample.row_indices] / weights.sum()
+        # Qhat is the row weight over Zhat; Zhat is a constant-factor estimate.
+        ratio = sample.probabilities / true_share
+        assert np.all(ratio > 0.2)
+        assert np.all(ratio < 5.0)
+
+    def test_explicit_function_overrides_cluster(self, rng):
+        data = np.abs(rng.normal(size=(40, 10)))
+        cluster = LocalCluster(entrywise_partition(data, 2, seed=1), Identity())
+        sampler = GeneralizedZRowSampler(HuberPsi(1.0), config=z_config())
+        sample = sampler.sample_rows(cluster, 10, seed=3)
+        assert sample.num_samples == 10
+
+    def test_missing_function_raises(self, rng):
+        # The cluster's default function is a plain callable, not an
+        # EntrywiseFunction, so the sampler cannot derive a weight from it.
+        data = rng.normal(size=(20, 5))
+        cluster = LocalCluster(entrywise_partition(data, 2, seed=2))
+        sampler = GeneralizedZRowSampler(config=z_config())
+        with pytest.raises(TypeError):
+            sampler.sample_rows(cluster, 5, seed=0)
+
+    def test_invalid_count(self, huber_cluster):
+        with pytest.raises(ValueError):
+            GeneralizedZRowSampler(config=z_config()).sample_rows(huber_cluster, 0)
+
+
+class TestSoftmaxRowSampler:
+    def test_factory_returns_gm_sampler(self):
+        sampler = softmax_row_sampler(5.0)
+        assert isinstance(sampler, GeneralizedZRowSampler)
+
+    def test_end_to_end_on_gm_cluster(self, rng):
+        raw_locals = [np.abs(rng.normal(size=(40, 12))) for _ in range(4)]
+        fn = GeneralizedMeanFunction(5.0)
+        cluster = fn.build_cluster(raw_locals)
+        sampler = softmax_row_sampler(5.0, z_config())
+        sample = sampler.sample_rows(cluster, 15, seed=0)
+        assert sample.num_samples == 15
+        np.testing.assert_allclose(
+            sample.global_rows,
+            cluster.materialize_global()[sample.row_indices],
+            atol=1e-6,
+        )

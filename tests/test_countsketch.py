@@ -1,0 +1,127 @@
+"""Tests for repro.sketch.countsketch."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.countsketch import CountSketch
+
+
+@pytest.fixture
+def sketch():
+    return CountSketch(depth=5, width=64, domain=500, seed=0)
+
+
+@pytest.fixture
+def sparse_vector(rng):
+    vector = np.zeros(500)
+    support = rng.choice(500, size=40, replace=False)
+    vector[support] = rng.normal(size=40) * 3
+    return vector
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CountSketch(0, 8, 10)
+        with pytest.raises(ValueError):
+            CountSketch(3, 0, 10)
+        with pytest.raises(ValueError):
+            CountSketch(3, 8, 0)
+
+    def test_table_shape(self, sketch):
+        assert sketch.empty_table().shape == (5, 64)
+
+    def test_word_counts(self, sketch):
+        assert sketch.table_word_count() == 5 * 64
+        assert sketch.seed_word_count() > 0
+
+
+class TestSketching:
+    def test_sketch_of_zero_vector_is_zero(self, sketch):
+        table = sketch.sketch(np.array([], dtype=int), np.array([]))
+        assert np.all(table == 0)
+
+    def test_dense_and_sparse_agree(self, sketch, sparse_vector):
+        idx = np.nonzero(sparse_vector)[0]
+        table_sparse = sketch.sketch(idx, sparse_vector[idx])
+        table_dense = sketch.sketch_dense(sparse_vector)
+        np.testing.assert_allclose(table_sparse, table_dense)
+
+    def test_linearity(self, sketch, rng):
+        """sketch(u + v) = sketch(u) + sketch(v): the property enabling distribution."""
+        u = rng.normal(size=500)
+        v = rng.normal(size=500)
+        np.testing.assert_allclose(
+            sketch.sketch_dense(u + v),
+            sketch.sketch_dense(u) + sketch.sketch_dense(v),
+            atol=1e-9,
+        )
+
+    def test_scaling(self, sketch, sparse_vector):
+        np.testing.assert_allclose(
+            sketch.sketch_dense(3.0 * sparse_vector),
+            3.0 * sketch.sketch_dense(sparse_vector),
+            atol=1e-9,
+        )
+
+    def test_merge(self, sketch, rng):
+        parts = [rng.normal(size=500) for _ in range(4)]
+        merged = CountSketch.merge([sketch.sketch_dense(p) for p in parts])
+        np.testing.assert_allclose(merged, sketch.sketch_dense(np.sum(parts, axis=0)), atol=1e-9)
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            CountSketch.merge([])
+
+    def test_out_of_domain_raises(self, sketch):
+        with pytest.raises(IndexError):
+            sketch.sketch(np.array([600]), np.array([1.0]))
+
+    def test_mismatched_lengths_raise(self, sketch):
+        with pytest.raises(ValueError):
+            sketch.sketch(np.array([1, 2]), np.array([1.0]))
+
+    def test_wrong_dense_shape_raises(self, sketch):
+        with pytest.raises(ValueError):
+            sketch.sketch_dense(np.zeros(10))
+
+
+class TestQueries:
+    def test_point_query_recovers_dominant_coordinate(self, rng):
+        sketch = CountSketch(depth=7, width=128, domain=1000, seed=1)
+        vector = rng.normal(size=1000) * 0.2
+        vector[123] = 50.0
+        table = sketch.sketch_dense(vector)
+        estimate = sketch.estimate(table, np.array([123]))[0]
+        assert estimate == pytest.approx(50.0, rel=0.1)
+
+    def test_point_query_error_bounded(self, rng):
+        sketch = CountSketch(depth=7, width=256, domain=2000, seed=2)
+        vector = rng.normal(size=2000)
+        table = sketch.sketch_dense(vector)
+        estimates = sketch.estimate(table, np.arange(2000))
+        errors = np.abs(estimates - vector)
+        # CountSketch error is O(|v|_2 / sqrt(width)) per coordinate.
+        bound = 4 * np.linalg.norm(vector) / np.sqrt(256)
+        assert np.percentile(errors, 95) < bound
+
+    def test_estimate_all_matches_estimate(self, sketch, sparse_vector):
+        table = sketch.sketch_dense(sparse_vector)
+        all_estimates = sketch.estimate_all(table, block=100)
+        direct = sketch.estimate(table, np.arange(500))
+        np.testing.assert_allclose(all_estimates, direct)
+
+    def test_f2_estimate(self, rng):
+        sketch = CountSketch(depth=9, width=512, domain=3000, seed=3)
+        vector = rng.normal(size=3000)
+        table = sketch.sketch_dense(vector)
+        f2 = float(np.sum(vector**2))
+        assert sketch.f2_estimate(table) == pytest.approx(f2, rel=0.25)
+
+    def test_estimate_table_shape_mismatch(self, sketch):
+        with pytest.raises(ValueError):
+            sketch.estimate(np.zeros((2, 2)), np.array([0]))
+
+    def test_f2_table_shape_mismatch(self, sketch):
+        with pytest.raises(ValueError):
+            sketch.f2_estimate(np.zeros((2, 2)))

@@ -1,0 +1,182 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    caltech_like_patch_codes,
+    clustered_gaussian,
+    forest_cover_like,
+    inject_outliers,
+    isolet_like,
+    kddcup_like,
+    low_rank_plus_noise,
+    pnorm_pooling_cluster,
+    power_law_rows,
+    scenes_like_patch_codes,
+)
+from repro.functions.softmax import generalized_mean
+from repro.utils.linalg import row_norms_squared
+
+
+class TestLowRankPlusNoise:
+    def test_shape(self):
+        assert low_rank_plus_noise(50, 20, 5, seed=0).shape == (50, 20)
+
+    def test_spectrum_dominated_by_signal_rank(self):
+        data = low_rank_plus_noise(200, 60, 6, noise_level=0.05, seed=1)
+        s = np.linalg.svd(data, compute_uv=False)
+        assert s[5] / s[0] > 3 * s[6] / s[0]
+
+    def test_noise_level_zero_gives_exact_rank(self):
+        data = low_rank_plus_noise(40, 30, 4, noise_level=0.0, seed=2)
+        assert np.linalg.matrix_rank(data, tol=1e-8) == 4
+
+    def test_deterministic(self):
+        np.testing.assert_allclose(
+            low_rank_plus_noise(20, 10, 3, seed=5), low_rank_plus_noise(20, 10, 3, seed=5)
+        )
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            low_rank_plus_noise(10, 10, 2, singular_value_decay=1.5)
+
+
+class TestPowerLawRows:
+    def test_heavy_tailed_row_norms(self):
+        data = power_law_rows(300, 20, exponent=1.5, seed=0)
+        norms = np.sort(row_norms_squared(data))[::-1]
+        # The top 10% of rows carry most of the Frobenius mass.
+        assert norms[:30].sum() > 0.75 * norms.sum()
+
+    def test_shape(self):
+        assert power_law_rows(40, 7, seed=1).shape == (40, 7)
+
+
+class TestClusteredGaussian:
+    def test_shape(self):
+        assert clustered_gaussian(100, 10, 4, seed=0).shape == (100, 10)
+
+    def test_cluster_structure_visible_in_spectrum(self):
+        data = clustered_gaussian(400, 30, 5, cluster_spread=0.1, center_scale=5.0, seed=1)
+        centered = data - data.mean(axis=0)
+        s = np.linalg.svd(centered, compute_uv=False)
+        # ~4 directions separate 5 clusters; they dominate the within-cluster noise.
+        assert s[3] > 5 * s[5]
+
+
+class TestUciLike:
+    def test_forest_cover_shape_and_standardisation(self):
+        data = forest_cover_like(500, seed=0)
+        assert data.shape == (500, 54)
+        np.testing.assert_allclose(data.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_kddcup_shape_and_standardisation(self):
+        data = kddcup_like(600, seed=0)
+        assert data.shape == (600, 41)
+        np.testing.assert_allclose(data.std(axis=0), 1.0, atol=1e-6)
+
+    def test_kddcup_imbalance(self):
+        """Most rows belong to one dominant cluster."""
+        data = kddcup_like(800, normal_fraction=0.85, seed=1)
+        centered = data - data.mean(axis=0)
+        s = np.linalg.svd(centered, compute_uv=False)
+        assert s[0] > s[10]
+
+    def test_isolet_shape_and_spectrum(self):
+        data = isolet_like(400, 150, signal_rank=20, seed=0)
+        assert data.shape == (400, 150)
+        s = np.linalg.svd(data, compute_uv=False)
+        # Meaningful decay in the first ~20 singular values (rank 3..15 PCA is sensible).
+        assert s[15] > 0.05 * s[0]
+        assert s[30] < 0.6 * s[0]
+
+    def test_invalid_normal_fraction(self):
+        with pytest.raises(ValueError):
+            kddcup_like(100, normal_fraction=1.5)
+
+
+class TestInjectOutliers:
+    def test_number_and_magnitude(self, small_matrix):
+        corrupted, positions = inject_outliers(small_matrix, 10, magnitude=1e5, seed=0)
+        assert positions.size == 10
+        assert np.all(np.abs(corrupted.flat[positions]) == 1e5)
+
+    def test_original_untouched(self, small_matrix):
+        copy = small_matrix.copy()
+        inject_outliers(small_matrix, 5, seed=0)
+        np.testing.assert_array_equal(small_matrix, copy)
+
+    def test_unaffected_entries_preserved(self, small_matrix):
+        corrupted, positions = inject_outliers(small_matrix, 5, seed=1)
+        mask = np.ones(small_matrix.size, dtype=bool)
+        mask[positions] = False
+        np.testing.assert_allclose(corrupted.flat[mask], small_matrix.flat[mask])
+
+    def test_relative_magnitude(self, small_matrix):
+        corrupted, positions = inject_outliers(
+            small_matrix, 3, magnitude=100.0, relative=True, seed=2
+        )
+        expected = 100.0 * np.max(np.abs(small_matrix))
+        assert np.all(np.abs(corrupted.flat[positions]) == pytest.approx(expected))
+
+    def test_too_many_outliers_raises(self, small_matrix):
+        with pytest.raises(ValueError):
+            inject_outliers(small_matrix, small_matrix.size + 1)
+
+    def test_zero_outliers(self, small_matrix):
+        corrupted, positions = inject_outliers(small_matrix, 0, seed=0)
+        assert positions.size == 0
+        np.testing.assert_array_equal(corrupted, small_matrix)
+
+
+class TestPatchCodes:
+    def test_caltech_structure(self):
+        ds = caltech_like_patch_codes(num_images=80, num_servers=6, seed=0)
+        assert ds.num_servers == 6
+        assert ds.num_images == 80
+        assert ds.codebook_size == 256
+        for local in ds.local_counts:
+            assert local.shape == (80, 256)
+            assert np.all(local >= 0)
+            assert np.all(local == np.round(local))
+
+    def test_every_image_has_patches(self):
+        ds = scenes_like_patch_codes(num_images=60, num_servers=5, seed=1)
+        totals = ds.global_sum_pooled().sum(axis=1)
+        assert np.all(totals >= 1)
+
+    def test_scenes_defaults_differ_from_caltech(self):
+        caltech = caltech_like_patch_codes(num_images=50, seed=0)
+        scenes = scenes_like_patch_codes(num_images=50, seed=0)
+        assert caltech.num_servers == 50
+        assert scenes.num_servers == 10
+
+    def test_codebook_reuse_within_class(self):
+        """Images reuse a characteristic subset of codewords, giving the pooled
+        matrix meaningful low-rank structure."""
+        ds = caltech_like_patch_codes(num_images=150, num_servers=5, num_classes=8, seed=2)
+        pooled = ds.global_sum_pooled()
+        s = np.linalg.svd(pooled, compute_uv=False)
+        energy_top10 = np.sum(s[:10] ** 2) / np.sum(s**2)
+        assert energy_top10 > 0.5
+
+
+class TestPnormPoolingCluster:
+    @pytest.mark.parametrize("p", [1.0, 2.0, 20.0])
+    def test_global_matrix_is_gm_of_locals(self, p):
+        ds = caltech_like_patch_codes(num_images=40, num_servers=4, seed=0)
+        cluster = pnorm_pooling_cluster(ds, p)
+        expected = generalized_mean(np.stack(ds.local_counts), p, axis=0)
+        np.testing.assert_allclose(cluster.materialize_global(), expected, atol=1e-8)
+
+    def test_average_pooling_matches_mean(self):
+        ds = scenes_like_patch_codes(num_images=30, num_servers=3, seed=1)
+        cluster = pnorm_pooling_cluster(ds, 1.0)
+        np.testing.assert_allclose(
+            cluster.materialize_global(), np.mean(ds.local_counts, axis=0), atol=1e-8
+        )
+
+    def test_cluster_server_count(self):
+        ds = caltech_like_patch_codes(num_images=25, num_servers=7, seed=2)
+        assert pnorm_pooling_cluster(ds, 2.0).num_servers == 7

@@ -1,0 +1,159 @@
+"""Integration tests for Algorithm 1 (DistributedPCA) across samplers and functions."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistributedPCA,
+    ExactNormSampler,
+    GeneralizedZRowSampler,
+    UniformRowSampler,
+    practical_sample_count,
+)
+from repro.distributed import LocalCluster, arbitrary_partition, entrywise_partition, row_partition
+from repro.functions import HuberPsi
+from repro.sketch.z_heavy_hitters import ZHeavyHittersParams
+from repro.sketch.z_sampler import ZSamplerConfig
+
+
+def z_config():
+    return ZSamplerConfig(
+        hh_params=ZHeavyHittersParams(b=8, repetitions=1, num_buckets=8),
+        max_levels=6,
+        min_level_count=2,
+    )
+
+
+class TestConstruction:
+    def test_requires_samples_or_epsilon(self):
+        with pytest.raises(ValueError):
+            DistributedPCA(k=3)
+
+    def test_epsilon_derives_sample_count(self):
+        pca = DistributedPCA(k=3, epsilon=0.3)
+        assert pca.num_samples == practical_sample_count(3, 0.3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DistributedPCA(k=0, num_samples=10)
+        with pytest.raises(ValueError):
+            DistributedPCA(k=2, num_samples=0)
+        with pytest.raises(ValueError):
+            DistributedPCA(k=2, num_samples=10, repetitions=0)
+
+    def test_k_larger_than_columns_rejected_at_fit(self, identity_cluster):
+        pca = DistributedPCA(k=identity_cluster.num_columns + 1, num_samples=10)
+        with pytest.raises(ValueError):
+            pca.fit(identity_cluster)
+
+
+class TestTheorem1AdditiveError:
+    """Theorem 1: the output is an O(eps) additive-error approximation."""
+
+    def test_exact_sampler_additive_error(self, identity_cluster):
+        result = DistributedPCA(
+            k=5, num_samples=300, sampler=ExactNormSampler(), seed=0
+        ).fit(identity_cluster)
+        report = result.evaluate(identity_cluster.materialize_global())
+        assert report["additive_error"] < 0.05
+
+    def test_noisy_probabilities_still_work(self, identity_cluster):
+        """Lemma 3's tolerance of (1 +/- gamma)-approximate probabilities."""
+        result = DistributedPCA(
+            k=5,
+            num_samples=300,
+            sampler=ExactNormSampler(probability_noise=0.3),
+            seed=0,
+        ).fit(identity_cluster)
+        report = result.evaluate(identity_cluster.materialize_global())
+        assert report["additive_error"] < 0.08
+
+    def test_error_decreases_with_samples(self, identity_cluster):
+        errors = []
+        for num_samples in (15, 400):
+            result = DistributedPCA(
+                k=5, num_samples=num_samples, sampler=ExactNormSampler(), seed=1
+            ).fit(identity_cluster)
+            errors.append(
+                result.evaluate(identity_cluster.materialize_global())["additive_error"]
+            )
+        assert errors[1] < errors[0]
+
+    def test_repetitions_never_hurt_much(self, identity_cluster):
+        single = DistributedPCA(k=4, num_samples=60, seed=2).fit(identity_cluster)
+        boosted = DistributedPCA(k=4, num_samples=60, repetitions=4, seed=2).fit(
+            identity_cluster
+        )
+        global_matrix = identity_cluster.materialize_global()
+        err_single = single.evaluate(global_matrix)["additive_error"]
+        err_boosted = boosted.evaluate(global_matrix)["additive_error"]
+        assert err_boosted <= err_single + 0.05
+        assert len(boosted.metadata["repetition_scores"]) == 4
+
+
+class TestCommunicationAccounting:
+    def test_row_collection_cost(self, identity_cluster):
+        """Without sampler communication, the bill is r x d x (s-1) words for
+        unique sampled rows (duplicates are collected once)."""
+        result = DistributedPCA(k=3, num_samples=40, seed=0).fit(identity_cluster)
+        d = identity_cluster.num_columns
+        workers = identity_cluster.num_servers - 1
+        unique_rows = np.unique(result.row_indices).size
+        assert result.communication_words == unique_rows * d * workers
+
+    def test_more_samples_more_communication(self, identity_cluster):
+        small = DistributedPCA(k=3, num_samples=20, seed=0).fit(identity_cluster)
+        large = DistributedPCA(k=3, num_samples=100, seed=0).fit(identity_cluster)
+        assert large.communication_words > small.communication_words
+
+    def test_repetitions_multiply_communication(self, identity_cluster):
+        one = DistributedPCA(k=3, num_samples=30, seed=3).fit(identity_cluster)
+        three = DistributedPCA(k=3, num_samples=30, repetitions=3, seed=3).fit(
+            identity_cluster
+        )
+        assert three.communication_words > 2 * one.communication_words
+
+    def test_input_words_recorded(self, identity_cluster):
+        result = DistributedPCA(k=3, num_samples=10, seed=0).fit(identity_cluster)
+        assert result.input_words == identity_cluster.total_input_words()
+
+
+class TestAcrossPartitionModels:
+    @pytest.mark.parametrize("partition", [arbitrary_partition, row_partition, entrywise_partition])
+    def test_identity_function_all_partitions(self, low_rank_matrix, partition):
+        cluster = LocalCluster(partition(low_rank_matrix, 4, seed=0))
+        result = DistributedPCA(
+            k=5, num_samples=250, sampler=ExactNormSampler(), seed=1
+        ).fit(cluster)
+        report = result.evaluate(low_rank_matrix)
+        assert report["additive_error"] < 0.08
+
+
+class TestGeneralizedPartitionWithFunction:
+    def test_huber_cluster_with_z_sampler(self, rng):
+        data = rng.normal(size=(80, 24)) @ np.eye(24) * 0.5
+        data[rng.integers(0, 80, 5), rng.integers(0, 24, 5)] = 1e4
+        cluster = LocalCluster(entrywise_partition(data, 4, seed=0), HuberPsi(2.0))
+        sampler = GeneralizedZRowSampler(config=z_config())
+        result = DistributedPCA(k=4, num_samples=80, sampler=sampler, seed=2).fit(cluster)
+        report = result.evaluate(cluster.materialize_global())
+        assert report["additive_error"] < 0.35
+        assert result.is_valid_projection()
+
+    def test_uniform_sampler_name_recorded(self, identity_cluster):
+        result = DistributedPCA(
+            k=3, num_samples=20, sampler=UniformRowSampler(), seed=0
+        ).fit(identity_cluster)
+        assert result.sampler_name == "uniform"
+
+
+class TestDeterminism:
+    def test_same_seed_same_projection(self, identity_cluster):
+        a = DistributedPCA(k=4, num_samples=50, seed=11).fit(identity_cluster)
+        b = DistributedPCA(k=4, num_samples=50, seed=11).fit(identity_cluster)
+        np.testing.assert_allclose(a.projection, b.projection)
+
+    def test_different_seed_different_rows(self, identity_cluster):
+        a = DistributedPCA(k=4, num_samples=50, seed=1).fit(identity_cluster)
+        b = DistributedPCA(k=4, num_samples=50, seed=2).fit(identity_cluster)
+        assert not np.array_equal(a.row_indices, b.row_indices)

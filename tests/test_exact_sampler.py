@@ -1,0 +1,83 @@
+"""Tests for the centralized reference samplers in repro.sketch.exact."""
+
+import numpy as np
+import pytest
+
+from repro.functions import HuberPsi
+from repro.sketch.exact import (
+    empirical_distribution,
+    exact_z_distribution,
+    exact_z_sample,
+    total_variation_distance,
+)
+from tests.test_vector import make_vector
+
+
+@pytest.fixture
+def vector(rng):
+    dense = np.zeros(50)
+    dense[[1, 10, 30]] = [2.0, -4.0, 1.0]
+    parts = [dense * 0.4, dense * 0.6]
+    return make_vector(parts)
+
+
+class TestExactDistribution:
+    def test_distribution_sums_to_one(self, vector):
+        p = exact_z_distribution(vector, lambda x: np.asarray(x) ** 2)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_proportional_to_weight(self, vector):
+        p = exact_z_distribution(vector, lambda x: np.asarray(x) ** 2)
+        assert p[10] == pytest.approx(16.0 / 21.0)
+        assert p[1] == pytest.approx(4.0 / 21.0)
+
+    def test_huber_weight(self, vector):
+        huber = HuberPsi(3.0)
+        p = exact_z_distribution(vector, huber.sampling_weight)
+        # -4 is clipped to weight 9.
+        assert p[10] == pytest.approx(9.0 / (9.0 + 4.0 + 1.0))
+
+    def test_all_zero_raises(self):
+        zero = make_vector([np.zeros(10), np.zeros(10)])
+        with pytest.raises(ValueError):
+            exact_z_distribution(zero, lambda x: np.asarray(x) ** 2)
+
+    def test_negative_weight_raises(self, vector):
+        with pytest.raises(ValueError):
+            exact_z_distribution(vector, lambda x: -np.abs(np.asarray(x)))
+
+
+class TestExactSample:
+    def test_sample_shapes(self, vector):
+        idx, probs = exact_z_sample(vector, lambda x: np.asarray(x) ** 2, 40, seed=0)
+        assert idx.shape == (40,)
+        assert probs.shape == (40,)
+
+    def test_only_supported_coordinates(self, vector):
+        idx, _ = exact_z_sample(vector, lambda x: np.asarray(x) ** 2, 200, seed=1)
+        assert set(np.unique(idx)).issubset({1, 10, 30})
+
+    def test_invalid_count(self, vector):
+        with pytest.raises(ValueError):
+            exact_z_sample(vector, lambda x: np.asarray(x) ** 2, 0)
+
+
+class TestDistanceHelpers:
+    def test_tv_zero_for_identical(self):
+        p = np.array([0.25, 0.75])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_tv_one_for_disjoint(self):
+        assert total_variation_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_tv_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.ones(2) / 2, np.ones(3) / 3)
+
+    def test_empirical_distribution(self):
+        emp = empirical_distribution(np.array([0, 0, 1, 2]), 4)
+        np.testing.assert_allclose(emp, [0.5, 0.25, 0.25, 0.0])
+
+    def test_empirical_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_distribution(np.array([], dtype=int), 4)

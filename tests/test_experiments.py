@@ -1,0 +1,231 @@
+"""Tests for the experiment harness (configs, workloads, runner, figures, report)."""
+
+import numpy as np
+import pytest
+
+from repro.core.samplers import GeneralizedZRowSampler, UniformRowSampler
+from repro.experiments import (
+    ExperimentConfig,
+    build_workload,
+    figure1_configs,
+    format_figure1_panel,
+    format_figure2_panel,
+    format_table_i,
+    get_config,
+    panel_names,
+    run_figure1,
+    run_panel,
+)
+from repro.experiments.report import points_to_csv, qualitative_checks, summarize_results
+from repro.experiments.runner import ExperimentPoint, average_points, plan_num_samples
+
+
+class TestConfigs:
+    def test_eleven_panels(self):
+        configs = figure1_configs("small")
+        assert len(configs) == 11
+
+    def test_panel_titles_match_paper(self):
+        titles = {c.panel for c in figure1_configs("small")}
+        assert "ForestCover" in titles
+        assert "KDDCUP99" in titles
+        assert "Caltech-101(P=20)" in titles
+        assert "Scenes(P=5)" in titles
+        assert "isolet" in titles
+
+    def test_server_counts_match_paper(self):
+        by_name = {c.name: c for c in figure1_configs("small")}
+        assert by_name["forest_cover"].num_servers == 10
+        assert by_name["kddcup99"].num_servers == 50
+        assert by_name["caltech_p1"].num_servers == 50
+        assert by_name["scenes_p1"].num_servers == 10
+        assert by_name["isolet"].num_servers == 10
+
+    def test_ratio_bounds_match_paper(self):
+        by_name = {c.name: c for c in figure1_configs("small")}
+        assert by_name["kddcup99"].ratios == (0.1, 0.05, 0.01)
+        assert by_name["forest_cover"].ratios == (0.5, 0.25, 0.1)
+
+    def test_default_k_sweep(self):
+        assert figure1_configs("small")[0].k_values == (3, 6, 9, 12, 15)
+
+    def test_scales_change_sizes(self):
+        small = get_config("forest_cover", "small")
+        paper = get_config("forest_cover", "paper")
+        assert paper.dataset_params["num_rows"] > small.dataset_params["num_rows"]
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            figure1_configs("huge")
+
+    def test_unknown_panel_raises(self):
+        with pytest.raises(KeyError):
+            get_config("imagenet")
+
+    def test_panel_names_order(self):
+        names = panel_names("small")
+        assert names[0] == "forest_cover"
+        assert names[-1] == "isolet"
+
+
+class TestWorkloads:
+    def test_rff_workload_uses_uniform_sampler(self):
+        config = get_config("forest_cover", "small")
+        workload = build_workload(config, seed=0)
+        assert isinstance(workload.sampler, UniformRowSampler)
+        assert not workload.sampler_uses_communication
+        assert workload.cluster.num_servers == 10
+
+    def test_pooling_workload_uses_z_sampler(self):
+        config = get_config("scenes_p2", "small")
+        workload = build_workload(config, seed=0)
+        assert isinstance(workload.sampler, GeneralizedZRowSampler)
+        assert workload.sampler_uses_communication
+        assert workload.cluster.num_columns == 256
+
+    def test_robust_workload_contains_outliers(self):
+        config = get_config("isolet", "small")
+        workload = build_workload(config, seed=0)
+        summed = workload.cluster.materialize_sum()
+        assert np.max(np.abs(summed)) > 1e3
+        clipped = workload.cluster.materialize_global()
+        assert np.max(np.abs(clipped)) <= config.function_params["threshold"] + 1e-9
+
+    def test_unknown_application_raises(self):
+        config = ExperimentConfig(
+            name="x", panel="x", application="mystery", num_servers=2, ratios=(0.5,)
+        )
+        with pytest.raises(ValueError):
+            build_workload(config)
+
+    def test_seed_changes_data(self):
+        config = get_config("forest_cover", "small")
+        a = build_workload(config, seed=0).cluster.materialize_global()
+        b = build_workload(config, seed=1).cluster.materialize_global()
+        assert not np.allclose(a, b)
+
+
+class TestPlanNumSamples:
+    def test_scales_with_ratio(self):
+        config = get_config("forest_cover", "small")
+        workload = build_workload(config, seed=0)
+        low = plan_num_samples(workload, 0.1, 15)
+        high = plan_num_samples(workload, 0.5, 15)
+        assert high > low
+
+    def test_floor_at_max_k_plus_one(self):
+        config = get_config("forest_cover", "small")
+        workload = build_workload(config, seed=0)
+        assert plan_num_samples(workload, 1e-9, 15) == 16
+
+    def test_reserves_budget_for_z_sampler(self):
+        config = get_config("scenes_p1", "small")
+        workload = build_workload(config, seed=0)
+        with_reserve = plan_num_samples(workload, 0.5, 15)
+        without_reserve = plan_num_samples(workload, 0.5, 15, reserve_fraction=0.0)
+        assert with_reserve < without_reserve
+
+    def test_invalid_ratio(self):
+        config = get_config("forest_cover", "small")
+        workload = build_workload(config, seed=0)
+        with pytest.raises(ValueError):
+            plan_num_samples(workload, 0.0, 5)
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def forest_points(self):
+        config = get_config("forest_cover", "small")
+        return run_panel(config, ratios=(0.5, 0.1), k_values=(3, 9), num_trials=1)
+
+    def test_point_grid_complete(self, forest_points):
+        assert len(forest_points) == 4
+        assert {(p.ratio_target, p.k) for p in forest_points} == {
+            (0.5, 3), (0.5, 9), (0.1, 3), (0.1, 9)
+        }
+
+    def test_errors_are_finite_and_positive(self, forest_points):
+        for point in forest_points:
+            assert np.isfinite(point.additive_error)
+            assert point.additive_error >= 0
+            assert point.relative_error >= 1.0 - 1e-6
+
+    def test_measured_ratio_close_to_target(self, forest_points):
+        for point in forest_points:
+            assert point.ratio_actual <= point.ratio_target * 1.5 + 0.05
+
+    def test_prediction_recorded(self, forest_points):
+        for point in forest_points:
+            assert point.predicted_error == pytest.approx(point.k**2 / point.num_samples)
+
+    def test_figure1_shape_more_communication_helps(self, forest_points):
+        """The paper's headline qualitative claim on the RFF panels."""
+        for k in (3, 9):
+            high = next(p for p in forest_points if p.ratio_target == 0.5 and p.k == k)
+            low = next(p for p in forest_points if p.ratio_target == 0.1 and p.k == k)
+            assert high.additive_error <= low.additive_error * 1.5 + 1e-3
+
+    def test_actual_error_beats_prediction(self, forest_points):
+        beats = sum(p.additive_error <= p.predicted_error for p in forest_points)
+        assert beats >= 3
+
+    def test_invalid_trials(self):
+        config = get_config("forest_cover", "small")
+        with pytest.raises(ValueError):
+            run_panel(config, num_trials=0)
+
+
+class TestAveragingAndReport:
+    def _fake_points(self):
+        return [
+            ExperimentPoint("P", "rff", 3, 0.5, 0.4, 100, 0.02, 1.1, 0.09, trial=0),
+            ExperimentPoint("P", "rff", 3, 0.5, 0.5, 100, 0.04, 1.3, 0.09, trial=1),
+            ExperimentPoint("P", "rff", 6, 0.5, 0.45, 100, 0.05, 1.2, 0.36, trial=0),
+        ]
+
+    def test_average_points(self):
+        averaged = average_points(self._fake_points())
+        assert len(averaged) == 2
+        merged = next(p for p in averaged if p.k == 3)
+        assert merged.additive_error == pytest.approx(0.03)
+        assert merged.trial == -1
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = points_to_csv(self._fake_points(), tmp_path / "points.csv")
+        content = path.read_text().strip().splitlines()
+        assert content[0].startswith("panel,")
+        assert len(content) == 4
+
+    def test_summary_contains_panels(self):
+        text = summarize_results({"P": self._fake_points()})
+        assert "P" in text
+        assert "ratio" in text
+
+    def test_qualitative_checks_structure(self):
+        checks = qualitative_checks({"P": self._fake_points()})
+        assert set(checks) == {
+            "beats_prediction",
+            "more_communication_helps",
+            "relative_error_close_to_one",
+        }
+
+    def test_qualitative_checks_empty_raises(self):
+        with pytest.raises(ValueError):
+            qualitative_checks({"P": []})
+
+
+class TestFigureFormatting:
+    def test_run_figure1_and_format(self):
+        results = run_figure1(["forest_cover"], scale="small", k_values=(3, 6), num_trials=1)
+        assert "ForestCover" in results
+        text1 = format_figure1_panel("ForestCover", results["ForestCover"])
+        assert "prediction" in text1
+        assert "k=3" in text1 and "k=6" in text1
+        text2 = format_figure2_panel("ForestCover", results["ForestCover"])
+        assert "relative error" in text2
+
+    def test_table_i_text(self):
+        text = format_table_i()
+        assert "Huber" in text or "huber" in text
+        assert "holds" in text
+        assert "VIOLATED" not in text

@@ -1,0 +1,93 @@
+"""Tests for repro.functions.base (property P verification and the base class)."""
+
+import numpy as np
+import pytest
+
+from repro.functions import (
+    FairPsi,
+    GeneralizedMeanFunction,
+    HuberPsi,
+    Identity,
+    L1L2Psi,
+)
+from repro.functions.base import property_p_violations, satisfies_property_p
+from repro.functions.power import AbsolutePower
+
+
+class TestPropertyPOfPaperFunctions:
+    """Section V / VI: which weight functions the generalized sampler supports."""
+
+    def test_identity_satisfies_p(self):
+        assert satisfies_property_p(Identity())
+
+    def test_huber_satisfies_p(self):
+        assert satisfies_property_p(HuberPsi(1.0))
+        assert satisfies_property_p(HuberPsi(5.0))
+
+    def test_l1_l2_satisfies_p(self):
+        assert satisfies_property_p(L1L2Psi())
+
+    def test_fair_satisfies_p(self):
+        assert satisfies_property_p(FairPsi(1.0))
+        assert satisfies_property_p(FairPsi(3.0))
+
+    def test_generalized_mean_satisfies_p(self):
+        # The GM application only ever sees non-negative summed entries
+        # (locals are (1/s)|M^t|^p), so property P is required on x >= 0.
+        for p in (1.0, 2.0, 5.0, 20.0):
+            assert satisfies_property_p(
+                GeneralizedMeanFunction(p), lower=0.0, include_negative=False
+            )
+
+    def test_subquadratic_power_satisfies_p(self):
+        assert satisfies_property_p(AbsolutePower(1.0))
+        assert satisfies_property_p(AbsolutePower(0.5))
+
+    def test_superquadratic_power_violates_p(self):
+        """f = |x|^p for p > 1 gives z = |x|^{2p}; x^2/z is then decreasing."""
+        assert not satisfies_property_p(AbsolutePower(2.0))
+        assert not satisfies_property_p(AbsolutePower(3.0))
+
+
+class TestPropertyPViolations:
+    def test_reports_nonzero_at_zero(self):
+        violations = property_p_violations(lambda x: np.asarray(x) * 0 + 1.0, np.linspace(0, 5, 10))
+        assert any("z(0)" in reason for _, _, reason in violations)
+
+    def test_reports_decreasing_z(self):
+        violations = property_p_violations(
+            lambda x: np.where(np.abs(np.asarray(x)) > 0, 1.0 / (np.abs(np.asarray(x)) + 1), 0.0),
+            np.linspace(0.1, 5, 20),
+        )
+        assert violations
+
+    def test_reports_negative_weight(self):
+        violations = property_p_violations(lambda x: -np.abs(np.asarray(x)), np.linspace(0, 2, 5))
+        assert any("negative" in reason for _, _, reason in violations)
+
+    def test_clean_function_has_no_violations(self):
+        assert property_p_violations(lambda x: np.asarray(x) ** 2, np.linspace(-3, 3, 50)) == []
+
+
+class TestEntrywiseFunctionInterface:
+    def test_call_vectorises(self):
+        fn = HuberPsi(1.0)
+        out = fn([[0.5, 2.0], [-3.0, 0.0]])
+        assert out.shape == (2, 2)
+        np.testing.assert_allclose(out, [[0.5, 1.0], [-1.0, 0.0]])
+
+    def test_default_sampling_weight_is_square(self):
+        fn = L1L2Psi()
+        x = np.linspace(-3, 3, 11)
+        np.testing.assert_allclose(fn.sampling_weight(x), fn(x) ** 2)
+
+    def test_weight_distortion_default(self):
+        assert Identity().weight_distortion() == 1.0
+
+    def test_preserves_zero(self):
+        assert HuberPsi(1.0).preserves_zero()
+        assert Identity().preserves_zero()
+
+    def test_describe_returns_string(self):
+        for fn in (Identity(), HuberPsi(2.0), FairPsi(), L1L2Psi()):
+            assert isinstance(fn.describe(), str) and fn.describe()

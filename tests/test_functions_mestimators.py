@@ -1,0 +1,112 @@
+"""Tests for the M-estimator psi-functions (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.functions import FairPsi, HuberPsi, L1L2Psi, TABLE_I_FUNCTIONS
+from repro.functions.mestimators import table_i_rows
+
+
+class TestHuberPsi:
+    def test_identity_below_threshold(self):
+        fn = HuberPsi(2.0)
+        x = np.array([-1.5, 0.0, 1.9])
+        np.testing.assert_allclose(fn(x), x)
+
+    def test_clipped_above_threshold(self):
+        fn = HuberPsi(2.0)
+        np.testing.assert_allclose(fn([5.0, -7.0, 1e6]), [2.0, -2.0, 2.0])
+
+    def test_continuous_at_threshold(self):
+        fn = HuberPsi(1.5)
+        assert fn([1.5 - 1e-9])[0] == pytest.approx(fn([1.5 + 1e-9])[0], abs=1e-6)
+
+    def test_odd(self):
+        fn = HuberPsi(1.0)
+        x = np.linspace(-5, 5, 21)
+        np.testing.assert_allclose(fn(-x), -fn(x))
+
+    def test_paper_normalisation(self):
+        """The Theorem 6 proof uses psi(0)=0, psi(1)=psi(2)=1 (threshold 1)."""
+        fn = HuberPsi(1.0)
+        np.testing.assert_allclose(fn([0.0, 1.0, 2.0]), [0.0, 1.0, 1.0])
+
+    def test_sampling_weight_capped(self):
+        fn = HuberPsi(3.0)
+        np.testing.assert_allclose(fn.sampling_weight([2.0, 10.0]), [4.0, 9.0])
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            HuberPsi(0.0)
+
+    def test_neutralises_outliers(self, rng):
+        """Clipping removes the Frobenius dominance of corrupted entries."""
+        clean = rng.normal(size=(30, 20))
+        corrupted = clean.copy()
+        corrupted[0, 0] = 1e6
+        clipped = HuberPsi(3.0)(corrupted)
+        assert np.abs(clipped).max() <= 3.0
+        # Away from the corrupted entry, clipping the corrupted matrix equals
+        # clipping the clean one; the corrupted entry itself is capped at 3.
+        expected = np.clip(clean, -3, 3)
+        expected[0, 0] = 3.0
+        np.testing.assert_allclose(clipped, expected)
+
+
+class TestL1L2Psi:
+    def test_formula(self):
+        fn = L1L2Psi()
+        x = np.array([0.0, 1.0, -2.0])
+        np.testing.assert_allclose(fn(x), x / np.sqrt(1 + x**2 / 2))
+
+    def test_bounded_by_sqrt2(self):
+        fn = L1L2Psi()
+        assert np.all(np.abs(fn(np.linspace(-1e4, 1e4, 101))) < np.sqrt(2) + 1e-9)
+
+    def test_approximately_linear_near_zero(self):
+        fn = L1L2Psi()
+        x = np.array([1e-4, -1e-4])
+        np.testing.assert_allclose(fn(x), x, rtol=1e-6)
+
+    def test_odd(self):
+        fn = L1L2Psi()
+        x = np.linspace(-3, 3, 13)
+        np.testing.assert_allclose(fn(-x), -fn(x))
+
+
+class TestFairPsi:
+    def test_formula(self):
+        fn = FairPsi(2.0)
+        x = np.array([1.0, -4.0])
+        np.testing.assert_allclose(fn(x), x / (1 + np.abs(x) / 2.0))
+
+    def test_saturates_at_scale(self):
+        fn = FairPsi(3.0)
+        assert abs(fn([1e8])[0] - 3.0) < 1e-4
+
+    def test_odd(self):
+        fn = FairPsi(1.0)
+        x = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(fn(-x), -fn(x))
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            FairPsi(-1.0)
+
+
+class TestTableI:
+    def test_registry_contains_all_three(self):
+        assert set(TABLE_I_FUNCTIONS) == {"huber", "l1_l2", "fair"}
+
+    def test_rows_structure(self):
+        rows = table_i_rows()
+        assert len(rows) == 3
+        for row in rows:
+            assert {"name", "formula", "probe_points", "values"} <= set(row)
+            assert len(row["values"]) == len(row["probe_points"])
+
+    def test_rows_respect_parameters(self):
+        rows = table_i_rows(threshold=2.0, scale=5.0)
+        huber_row = next(r for r in rows if r["name"].startswith("huber"))
+        # psi(10) is clipped at the threshold 2.
+        assert huber_row["values"][-1] == pytest.approx(2.0)

@@ -1,0 +1,66 @@
+"""Tests for the identity and power entrywise functions."""
+
+import numpy as np
+import pytest
+
+from repro.functions import Identity
+from repro.functions.power import AbsolutePower, SignedPower
+
+
+class TestIdentity:
+    def test_values(self):
+        fn = Identity()
+        x = np.array([-2.0, 0.0, 3.5])
+        np.testing.assert_allclose(fn(x), x)
+
+    def test_sampling_weight(self):
+        fn = Identity()
+        np.testing.assert_allclose(fn.sampling_weight([-2.0, 3.0]), [4.0, 9.0])
+
+
+class TestAbsolutePower:
+    def test_square(self):
+        fn = AbsolutePower(2.0)
+        np.testing.assert_allclose(fn([-2.0, 3.0]), [4.0, 9.0])
+
+    def test_square_root(self):
+        fn = AbsolutePower(0.5)
+        np.testing.assert_allclose(fn([4.0, 9.0]), [2.0, 3.0])
+
+    def test_always_nonnegative(self):
+        fn = AbsolutePower(3.0)
+        assert np.all(fn(np.linspace(-5, 5, 21)) >= 0)
+
+    def test_sampling_weight_is_2p_power(self):
+        fn = AbsolutePower(1.5)
+        x = np.array([0.5, 2.0])
+        np.testing.assert_allclose(fn.sampling_weight(x), np.abs(x) ** 3.0)
+
+    def test_rejects_nonpositive_exponent(self):
+        with pytest.raises(ValueError):
+            AbsolutePower(0.0)
+        with pytest.raises(ValueError):
+            AbsolutePower(-1.0)
+
+    def test_name_contains_exponent(self):
+        assert "2" in AbsolutePower(2.0).name
+
+
+class TestSignedPower:
+    def test_preserves_sign(self):
+        fn = SignedPower(0.5)
+        out = fn([-4.0, 4.0])
+        assert out[0] < 0 < out[1]
+        np.testing.assert_allclose(np.abs(out), [2.0, 2.0])
+
+    def test_odd_function(self):
+        fn = SignedPower(3.0)
+        x = np.linspace(-2, 2, 9)
+        np.testing.assert_allclose(fn(-x), -fn(x))
+
+    def test_zero_maps_to_zero(self):
+        assert SignedPower(2.0)([0.0])[0] == 0.0
+
+    def test_rejects_nonpositive_exponent(self):
+        with pytest.raises(ValueError):
+            SignedPower(-2.0)

@@ -1,0 +1,53 @@
+"""Tests for the entrywise-function registry."""
+
+import pytest
+
+from repro.functions import available_functions, make_function
+from repro.functions.base import EntrywiseFunction
+from repro.functions.mestimators import HuberPsi
+from repro.functions.registry import register_function
+from repro.functions.softmax import GeneralizedMeanFunction
+
+
+class TestMakeFunction:
+    def test_all_registered_names_instantiable(self):
+        defaults = {"abs_power": {"exponent": 2.0},
+                    "signed_power": {"exponent": 2.0},
+                    "generalized_mean": {"p": 2.0},
+                    "softmax": {"p": 2.0}}
+        for name in available_functions():
+            fn = make_function(name, **defaults.get(name, {}))
+            assert isinstance(fn, EntrywiseFunction)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_function("HUBER"), HuberPsi)
+
+    def test_kwargs_forwarded(self):
+        fn = make_function("huber", threshold=4.5)
+        assert fn.threshold == 4.5
+
+    def test_softmax_alias(self):
+        fn = make_function("softmax", p=5.0)
+        assert isinstance(fn, GeneralizedMeanFunction)
+        assert fn.p == 5.0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown"):
+            make_function("does_not_exist")
+
+
+class TestRegisterFunction:
+    def test_register_and_use(self):
+        class Cubed(EntrywiseFunction):
+            name = "cubed_test_fn"
+
+            def apply(self, x):
+                return x**3
+
+        register_function("cubed_test_fn", Cubed)
+        assert "cubed_test_fn" in available_functions()
+        assert isinstance(make_function("cubed_test_fn"), Cubed)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_function("huber", HuberPsi)

@@ -1,0 +1,113 @@
+"""Tests for the softmax / generalized mean application (Section VI-B)."""
+
+import numpy as np
+import pytest
+
+from repro.functions import GeneralizedMeanFunction, entrywise_max, generalized_mean
+from repro.functions.maximum import max_aggregation_error
+
+
+class TestGeneralizedMeanScalar:
+    def test_p1_is_mean_of_abs(self):
+        values = np.array([[1.0, -2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(
+            generalized_mean(values, 1.0, axis=0), [2.0, 3.0]
+        )
+
+    def test_large_p_approaches_max(self):
+        values = np.array([[1.0, 5.0], [4.0, 2.0], [2.0, 3.0]])
+        gm = generalized_mean(values, 50.0, axis=0)
+        np.testing.assert_allclose(gm, [4.0, 5.0], rtol=0.05)
+
+    def test_monotone_in_p(self):
+        """GM_p is non-decreasing in p (power mean inequality)."""
+        rng = np.random.default_rng(0)
+        values = np.abs(rng.normal(size=(6, 20))) + 0.1
+        previous = generalized_mean(values, 1.0, axis=0)
+        for p in (2.0, 5.0, 10.0, 20.0):
+            current = generalized_mean(values, p, axis=0)
+            assert np.all(current >= previous - 1e-9)
+            previous = current
+
+    def test_bounded_by_max(self):
+        rng = np.random.default_rng(1)
+        values = np.abs(rng.normal(size=(5, 30)))
+        for p in (1.0, 3.0, 10.0):
+            assert np.all(generalized_mean(values, p, axis=0) <= values.max(axis=0) + 1e-12)
+
+    def test_rejects_nonpositive_p(self):
+        with pytest.raises(ValueError):
+            generalized_mean(np.ones((2, 2)), 0.0)
+
+
+class TestGeneralizedMeanFunction:
+    def test_rejects_p_below_one(self):
+        with pytest.raises(ValueError):
+            GeneralizedMeanFunction(0.5)
+
+    def test_apply_is_p_th_root(self):
+        fn = GeneralizedMeanFunction(2.0)
+        np.testing.assert_allclose(fn([4.0, 9.0]), [2.0, 3.0])
+
+    def test_negative_inputs_clamped(self):
+        fn = GeneralizedMeanFunction(2.0)
+        assert fn([-1e-9])[0] == 0.0
+
+    def test_sampling_weight(self):
+        fn = GeneralizedMeanFunction(4.0)
+        x = np.array([16.0])
+        np.testing.assert_allclose(fn.sampling_weight(x), [16.0 ** 0.5])
+
+    def test_local_transform(self):
+        fn = GeneralizedMeanFunction(3.0)
+        raw = np.array([[2.0, -1.0]])
+        np.testing.assert_allclose(fn.local_transform(raw, 4), [[8.0 / 4.0, 1.0 / 4.0]])
+
+    def test_cluster_realises_gm(self, rng):
+        """f(sum of transformed locals) equals GM_p of the raw locals."""
+        raw_locals = [np.abs(rng.normal(size=(15, 8))) for _ in range(5)]
+        for p in (1.0, 2.0, 5.0, 20.0):
+            fn = GeneralizedMeanFunction(p)
+            cluster = fn.build_cluster(raw_locals)
+            np.testing.assert_allclose(
+                cluster.materialize_global(),
+                fn.aggregate_reference(raw_locals),
+                atol=1e-8,
+            )
+
+    def test_large_p_cluster_close_to_max(self, rng):
+        raw_locals = [np.abs(rng.normal(size=(10, 6))) + 0.05 for _ in range(4)]
+        fn = GeneralizedMeanFunction(20.0)
+        cluster = fn.build_cluster(raw_locals)
+        true_max = entrywise_max(raw_locals)
+        gm = cluster.materialize_global()
+        assert np.linalg.norm(gm - true_max) / np.linalg.norm(true_max) < 0.2
+
+    def test_max_approximation_gap_decreases_with_p(self, rng):
+        raw_locals = [np.abs(rng.normal(size=(12, 10))) for _ in range(6)]
+        gap_small_p = GeneralizedMeanFunction(2.0).max_approximation_gap(raw_locals)
+        gap_large_p = GeneralizedMeanFunction(30.0).max_approximation_gap(raw_locals)
+        assert gap_large_p < gap_small_p
+
+
+class TestMaxAggregation:
+    def test_entrywise_max(self):
+        locals_ = [np.array([[1.0, -5.0]]), np.array([[3.0, 2.0]])]
+        np.testing.assert_allclose(entrywise_max(locals_), [[3.0, 5.0]])
+
+    def test_entrywise_max_empty_raises(self):
+        with pytest.raises(ValueError):
+            entrywise_max([])
+
+    def test_error_metrics_shrink_with_p(self, rng):
+        locals_ = [np.abs(rng.normal(size=(20, 10))) for _ in range(5)]
+        err_p2 = max_aggregation_error(locals_, 2.0)
+        err_p20 = max_aggregation_error(locals_, 20.0)
+        assert err_p20["frobenius_relative_gap"] < err_p2["frobenius_relative_gap"]
+        assert err_p20["mean_relative_gap"] < err_p2["mean_relative_gap"]
+
+    def test_zero_gap_for_identical_locals(self, rng):
+        m = np.abs(rng.normal(size=(5, 5)))
+        err = max_aggregation_error([m, m, m], 20.0)
+        # GM_p of identical values equals the value itself for every p.
+        assert err["max_abs_gap"] == pytest.approx(0.0, abs=1e-9)

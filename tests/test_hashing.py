@@ -1,0 +1,118 @@
+"""Tests for repro.sketch.hashing."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.hashing import (
+    MERSENNE_PRIME,
+    KWiseHash,
+    PairwiseHash,
+    SignHash,
+    SubsampleHash,
+)
+
+
+class TestKWiseHash:
+    def test_output_range(self):
+        h = KWiseHash(4, 17, seed=0)
+        values = h(np.arange(1000))
+        assert values.min() >= 0
+        assert values.max() < 17
+
+    def test_deterministic(self):
+        h = KWiseHash(3, 100, seed=5)
+        np.testing.assert_array_equal(h(np.arange(50)), h(np.arange(50)))
+
+    def test_different_seeds_differ(self):
+        a = KWiseHash(2, 1000, seed=1)(np.arange(200))
+        b = KWiseHash(2, 1000, seed=2)(np.arange(200))
+        assert not np.array_equal(a, b)
+
+    def test_scalar_input(self):
+        h = KWiseHash(2, 10, seed=0)
+        out = h(7)
+        assert out.shape == (1,)
+
+    def test_roughly_uniform(self):
+        h = KWiseHash(2, 4, seed=3)
+        values = h(np.arange(20000))
+        counts = np.bincount(values, minlength=4)
+        assert counts.min() > 0.8 * 20000 / 4
+
+    def test_pairwise_collision_rate(self):
+        """Pairwise independence: collision probability ~ 1/range."""
+        range_size = 64
+        h = PairwiseHash(range_size, seed=7)
+        keys = np.arange(2000)
+        values = h(keys)
+        collisions = 0
+        pairs = 0
+        rng = np.random.default_rng(0)
+        for _ in range(4000):
+            i, j = rng.integers(0, len(keys), size=2)
+            if i == j:
+                continue
+            pairs += 1
+            collisions += values[i] == values[j]
+        rate = collisions / pairs
+        assert rate < 3.0 / range_size
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KWiseHash(0, 10)
+        with pytest.raises(ValueError):
+            KWiseHash(2, 0)
+
+    def test_word_count(self):
+        assert KWiseHash(5, 10, seed=0).word_count() == 5
+
+    def test_prime_is_large_enough(self):
+        assert MERSENNE_PRIME > 2**30
+
+
+class TestSignHash:
+    def test_values(self):
+        s = SignHash(seed=0)
+        values = s(np.arange(500))
+        assert set(np.unique(values)).issubset({-1, 1})
+
+    def test_balanced(self):
+        s = SignHash(seed=1)
+        values = s(np.arange(20000))
+        assert abs(values.mean()) < 0.05
+
+    def test_deterministic(self):
+        s = SignHash(seed=2)
+        np.testing.assert_array_equal(s(np.arange(100)), s(np.arange(100)))
+
+
+class TestSubsampleHash:
+    def test_level_zero_keeps_everything(self):
+        g = SubsampleHash(1024, seed=0)
+        keep = g.level_predicate(0)
+        assert keep(np.arange(500)).all()
+
+    def test_levels_are_nested(self):
+        g = SubsampleHash(1 << 16, seed=1)
+        keys = np.arange(5000)
+        previous = g.level_predicate(0)(keys)
+        for level in range(1, 8):
+            current = g.level_predicate(level)(keys)
+            # Anything surviving level j survives level j-1 too.
+            assert np.all(previous[current])
+            previous = current
+
+    def test_subsampling_rate(self):
+        g = SubsampleHash(1 << 20, seed=2)
+        keys = np.arange(40000)
+        for level in (1, 2, 3):
+            fraction = g.level_predicate(level)(keys).mean()
+            assert fraction == pytest.approx(2.0**-level, rel=0.3)
+
+    def test_negative_level_raises(self):
+        with pytest.raises(ValueError):
+            SubsampleHash(100, seed=0).level_predicate(-1)
+
+    def test_small_domain_raises(self):
+        with pytest.raises(ValueError):
+            SubsampleHash(1)

@@ -1,0 +1,81 @@
+"""Tests for the distributed HeavyHitters protocol."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.heavy_hitters import distributed_heavy_hitters
+from tests.test_vector import make_vector
+
+
+def split_across_servers(vector, num_servers, rng):
+    """Split a dense vector additively into per-server dense vectors."""
+    parts = [rng.normal(scale=0.01, size=vector.size) for _ in range(num_servers - 1)]
+    parts.append(vector - np.sum(parts, axis=0))
+    return parts
+
+
+class TestDistributedHeavyHitters:
+    def test_finds_single_dominant_coordinate(self, rng):
+        dense = rng.normal(size=400) * 0.1
+        dense[37] = 100.0
+        vector = make_vector(split_across_servers(dense, 4, rng))
+        result = distributed_heavy_hitters(vector, b=10, seed=0)
+        assert 37 in result.candidates
+
+    def test_finds_all_heavy_coordinates(self, rng):
+        dense = rng.normal(size=600) * 0.05
+        heavy = [10, 200, 450]
+        dense[heavy] = [40.0, -35.0, 50.0]
+        vector = make_vector(split_across_servers(dense, 3, rng))
+        result = distributed_heavy_hitters(vector, b=20, seed=1)
+        assert set(heavy) <= set(result.candidates.tolist())
+
+    def test_no_heavy_coordinates_few_candidates(self, rng):
+        dense = rng.normal(size=500)
+        vector = make_vector(split_across_servers(dense, 3, rng))
+        result = distributed_heavy_hitters(vector, b=4, seed=2, max_candidates=16)
+        assert result.candidates.size <= 16
+
+    def test_zero_vector(self):
+        vector = make_vector([np.zeros(100), np.zeros(100)])
+        result = distributed_heavy_hitters(vector, b=10, seed=0)
+        assert result.candidates.size == 0
+
+    def test_candidate_indices_restriction(self, rng):
+        dense = np.zeros(300)
+        dense[5] = 10.0
+        dense[250] = 12.0
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        result = distributed_heavy_hitters(
+            vector, b=10, seed=3, candidate_indices=np.arange(100)
+        )
+        assert 5 in result.candidates
+        assert 250 not in result.candidates
+
+    def test_communication_charged_and_reported(self, rng):
+        dense = rng.normal(size=200)
+        vector = make_vector(split_across_servers(dense, 4, rng))
+        before = vector.network.total_words
+        result = distributed_heavy_hitters(vector, b=8, seed=4)
+        used = vector.network.total_words - before
+        assert used > 0
+        assert result.words_used == used
+
+    def test_f2_estimate_reported(self, rng):
+        dense = rng.normal(size=300)
+        vector = make_vector(split_across_servers(dense, 3, rng))
+        result = distributed_heavy_hitters(vector, b=8, seed=5)
+        assert result.f2_estimate == pytest.approx(float(np.sum(dense**2)), rel=0.5)
+
+    def test_invalid_parameters(self, rng):
+        vector = make_vector([np.ones(10)])
+        with pytest.raises(ValueError):
+            distributed_heavy_hitters(vector, b=0)
+        with pytest.raises(ValueError):
+            distributed_heavy_hitters(vector, b=4, delta=1.5)
+
+    def test_max_candidates_cap(self, rng):
+        dense = rng.normal(size=400) + 5.0
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        result = distributed_heavy_hitters(vector, b=400, seed=6, max_candidates=7)
+        assert result.candidates.size <= 7

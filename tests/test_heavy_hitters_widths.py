@@ -1,0 +1,61 @@
+"""Additional coverage for HeavyHitters parameter selection and edge behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.heavy_hitters import _sketch_dimensions, distributed_heavy_hitters
+from tests.test_heavy_hitters import split_across_servers
+from tests.test_vector import make_vector
+
+
+class TestSketchDimensions:
+    def test_width_scales_with_b(self):
+        _, narrow = _sketch_dimensions(4, 0.05, 6.0)
+        _, wide = _sketch_dimensions(64, 0.05, 6.0)
+        assert wide > narrow
+
+    def test_depth_scales_with_delta(self):
+        shallow, _ = _sketch_dimensions(8, 0.25, 6.0)
+        deep, _ = _sketch_dimensions(8, 1e-4, 6.0)
+        assert deep >= shallow
+
+    def test_depth_capped(self):
+        depth, _ = _sketch_dimensions(8, 1e-12, 6.0)
+        assert depth <= 11
+
+    def test_minimum_width(self):
+        _, width = _sketch_dimensions(0.5, 0.1, 1.0)
+        assert width >= 8
+
+
+class TestHeavyHittersEdgeCases:
+    def test_single_server_vector(self, rng):
+        dense = rng.normal(size=150) * 0.1
+        dense[11] = 60.0
+        vector = make_vector([dense])
+        result = distributed_heavy_hitters(vector, b=10, seed=0)
+        # A single-server vector needs no table transfer at all.
+        assert result.words_used == 0
+        assert 11 in result.candidates
+
+    def test_empty_candidate_restriction(self, rng):
+        dense = rng.normal(size=100)
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        result = distributed_heavy_hitters(
+            vector, b=8, seed=1, candidate_indices=np.array([], dtype=np.int64)
+        )
+        assert result.candidates.size == 0
+
+    def test_wider_sketch_no_fewer_true_positives(self, rng):
+        dense = rng.normal(size=400) * 0.3
+        heavy = [17, 200, 350]
+        dense[heavy] = [25.0, -30.0, 28.0]
+        found = {}
+        for width_factor in (2.0, 10.0):
+            vector = make_vector(split_across_servers(dense, 3, rng))
+            result = distributed_heavy_hitters(
+                vector, b=30, seed=2, width_factor=width_factor
+            )
+            found[width_factor] = len(set(heavy) & set(result.candidates.tolist()))
+        assert found[10.0] >= found[2.0]
+        assert found[10.0] == 3

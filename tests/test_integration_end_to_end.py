@@ -1,0 +1,167 @@
+"""End-to-end integration tests: the paper's three applications at small scale.
+
+Each test runs the complete pipeline -- dataset generation, partitioning /
+local transformation, distributed sampling, Algorithm 1, evaluation against
+the centrally materialised global matrix -- and asserts the qualitative
+claims of the evaluation section.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedPCA, ExactNormSampler, GeneralizedZRowSampler
+from repro.core.errors import predicted_additive_error
+from repro.datasets import (
+    caltech_like_patch_codes,
+    forest_cover_like,
+    inject_outliers,
+    isolet_like,
+    pnorm_pooling_cluster,
+)
+from repro.distributed import LocalCluster, entrywise_partition, row_partition
+from repro.functions import HuberPsi
+from repro.kernels import RandomFourierFeatures, distributed_rff_cluster
+from repro.sketch.z_heavy_hitters import ZHeavyHittersParams
+from repro.sketch.z_sampler import ZSamplerConfig
+from repro.utils.linalg import best_rank_k, frobenius_norm_squared
+
+
+def z_config():
+    return ZSamplerConfig(
+        hh_params=ZHeavyHittersParams(b=8, repetitions=1, num_buckets=8),
+        max_levels=8,
+        min_level_count=2,
+    )
+
+
+class TestRFFApplication:
+    """Section VI-A / Figure 1 panels 1-2 at miniature scale."""
+
+    @pytest.fixture(scope="class")
+    def rff_cluster(self):
+        raw = forest_cover_like(num_rows=600, seed=0)
+        raw_locals = [np.asarray(m.todense()) for m in row_partition(raw, 8, seed=1)]
+        features = RandomFourierFeatures(raw.shape[1], 64, bandwidth=1.5, seed=2)
+        return distributed_rff_cluster(raw_locals, features)
+
+    def test_additive_error_small_and_below_prediction(self, rff_cluster):
+        k, r = 6, 200
+        result = DistributedPCA(k=k, num_samples=r, seed=3).fit(rff_cluster)
+        report = result.evaluate(rff_cluster.materialize_global())
+        assert report["additive_error"] < 0.1
+        assert report["additive_error"] < predicted_additive_error(k, r)
+
+    def test_communication_is_sublinear_in_input(self, rff_cluster):
+        result = DistributedPCA(k=6, num_samples=120, seed=4).fit(rff_cluster)
+        assert result.communication_ratio < 0.5
+
+    def test_relative_error_close_to_one(self, rff_cluster):
+        result = DistributedPCA(k=3, num_samples=250, seed=5).fit(rff_cluster)
+        report = result.evaluate(rff_cluster.materialize_global())
+        assert report["relative_error"] < 1.2
+
+
+class TestPoolingApplication:
+    """Section VI-B / Figure 1 Caltech & Scenes panels at miniature scale."""
+
+    @pytest.fixture(scope="class")
+    def patch_codes(self):
+        return caltech_like_patch_codes(num_images=150, num_servers=8, seed=0)
+
+    @pytest.mark.parametrize("p", [1.0, 2.0, 20.0])
+    def test_pnorm_pooling_pca(self, patch_codes, p):
+        cluster = pnorm_pooling_cluster(patch_codes, p)
+        sampler = GeneralizedZRowSampler(config=z_config())
+        result = DistributedPCA(k=6, num_samples=60, sampler=sampler, seed=1).fit(cluster)
+        report = result.evaluate(cluster.materialize_global())
+        assert report["additive_error"] < 0.3
+        assert result.is_valid_projection()
+
+    def test_z_sampler_competitive_with_oracle(self, patch_codes):
+        """The distributed sampler should land within a modest factor of the
+        exact-norm oracle on the same workload."""
+        cluster = pnorm_pooling_cluster(patch_codes, 2.0)
+        global_matrix = cluster.materialize_global()
+        oracle = DistributedPCA(
+            k=6, num_samples=60, sampler=ExactNormSampler(), seed=2
+        ).fit(cluster)
+        distributed = DistributedPCA(
+            k=6, num_samples=60, sampler=GeneralizedZRowSampler(config=z_config()), seed=2
+        ).fit(cluster)
+        oracle_error = oracle.evaluate(global_matrix)["additive_error"]
+        distributed_error = distributed.evaluate(global_matrix)["additive_error"]
+        assert distributed_error < oracle_error + 0.15
+
+
+class TestRobustPCAApplication:
+    """Section VI-C / Figure 1 isolet panel at miniature scale."""
+
+    @pytest.fixture(scope="class")
+    def corrupted_setup(self):
+        clean = isolet_like(num_rows=300, num_features=80, seed=0)
+        corrupted, positions = inject_outliers(clean, 30, magnitude=1e4, seed=1)
+        locals_ = entrywise_partition(corrupted, 6, seed=2)
+        threshold = 3.0 * float(np.std(clean))
+        return clean, corrupted, locals_, threshold
+
+    def test_huber_pca_recovers_clean_subspace(self, corrupted_setup):
+        clean, corrupted, locals_, threshold = corrupted_setup
+        k = 6
+
+        def captured_clean_energy(projection):
+            return frobenius_norm_squared(clean @ projection) / frobenius_norm_squared(
+                best_rank_k(clean, k)
+            )
+
+        robust_cluster = LocalCluster(locals_, HuberPsi(threshold))
+        robust = DistributedPCA(
+            k=k, num_samples=150, sampler=GeneralizedZRowSampler(config=z_config()), seed=3
+        ).fit(robust_cluster)
+
+        naive_cluster = LocalCluster(locals_)
+        naive = DistributedPCA(
+            k=k, num_samples=150, sampler=ExactNormSampler(), seed=3
+        ).fit(naive_cluster)
+
+        assert captured_clean_energy(robust.projection) > captured_clean_energy(naive.projection)
+        assert captured_clean_energy(robust.projection) > 0.5
+
+    def test_huber_threshold_caps_global_matrix(self, corrupted_setup):
+        _, corrupted, locals_, threshold = corrupted_setup
+        cluster = LocalCluster(locals_, HuberPsi(threshold))
+        assert np.max(np.abs(cluster.materialize_global())) <= threshold + 1e-9
+
+    def test_additive_error_against_psi_matrix(self, corrupted_setup):
+        _, _, locals_, threshold = corrupted_setup
+        cluster = LocalCluster(locals_, HuberPsi(threshold))
+        result = DistributedPCA(
+            k=6, num_samples=150, sampler=GeneralizedZRowSampler(config=z_config()), seed=4
+        ).fit(cluster)
+        report = result.evaluate(cluster.materialize_global())
+        assert report["additive_error"] < 0.25
+
+
+class TestHospitalScenario:
+    """The paper's motivating example: per-hospital partial records aggregated
+    by softmax across servers."""
+
+    def test_gm_cluster_pca_close_to_pca_of_true_records(self, rng):
+        from repro.distributed import duplicate_records_partition
+        from repro.functions import GeneralizedMeanFunction
+
+        truth = np.abs(rng.normal(size=(200, 30))) + 0.1
+        truth[:, :5] *= 6.0  # a few dominant indicators
+        locals_ = duplicate_records_partition(truth, 5, seed=0, noise_scale=0.05)
+        fn = GeneralizedMeanFunction(20.0)
+        cluster = fn.build_cluster(locals_)
+        result = DistributedPCA(
+            k=5,
+            num_samples=120,
+            sampler=GeneralizedZRowSampler(config=z_config()),
+            seed=1,
+        ).fit(cluster)
+        # The projection learned from the softmax aggregation captures most of
+        # the energy of the *true* records.
+        captured = frobenius_norm_squared(truth @ result.projection)
+        optimal = frobenius_norm_squared(best_rank_k(truth, 5))
+        assert captured / optimal > 0.8

@@ -1,0 +1,131 @@
+"""Tests for the Gaussian kernel and random Fourier features (Section VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedPCA
+from repro.distributed import row_partition
+from repro.kernels import (
+    RandomFourierFeatures,
+    distributed_rff_cluster,
+    gaussian_kernel_matrix,
+    gaussian_kernel_value,
+    rff_row_norm_concentration,
+)
+from repro.kernels.rff import CosineFeatureFunction
+
+
+class TestGaussianKernel:
+    def test_value_of_identical_points(self):
+        x = np.array([1.0, -2.0, 0.5])
+        assert gaussian_kernel_value(x, x) == pytest.approx(1.0)
+
+    def test_value_decreases_with_distance(self):
+        x = np.zeros(3)
+        near = gaussian_kernel_value(x, np.array([0.1, 0.0, 0.0]))
+        far = gaussian_kernel_value(x, np.array([3.0, 0.0, 0.0]))
+        assert near > far
+
+    def test_bandwidth_effect(self):
+        x = np.zeros(2)
+        y = np.ones(2)
+        assert gaussian_kernel_value(x, y, bandwidth=5.0) > gaussian_kernel_value(x, y, bandwidth=0.5)
+
+    def test_matrix_symmetric_with_unit_diagonal(self, rng):
+        points = rng.normal(size=(20, 4))
+        gram = gaussian_kernel_matrix(points)
+        np.testing.assert_allclose(gram, gram.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(gram), 1.0)
+
+    def test_matrix_positive_semidefinite(self, rng):
+        points = rng.normal(size=(15, 3))
+        gram = gaussian_kernel_matrix(points)
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() > -1e-9
+
+    def test_cross_matrix_shape(self, rng):
+        a = rng.normal(size=(6, 3))
+        b = rng.normal(size=(9, 3))
+        assert gaussian_kernel_matrix(a, b).shape == (6, 9)
+
+    def test_dimension_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            gaussian_kernel_matrix(rng.normal(size=(4, 3)), rng.normal(size=(4, 5)))
+
+
+class TestRandomFourierFeatures:
+    def test_transform_shape_and_range(self, rng):
+        features = RandomFourierFeatures(5, 40, seed=0)
+        out = features.transform(rng.normal(size=(30, 5)))
+        assert out.shape == (30, 40)
+        assert np.all(np.abs(out) <= np.sqrt(2.0) + 1e-12)
+
+    def test_kernel_approximation(self, rng):
+        """E[phi(x)^T phi(y) / d] = K(x, y): check the empirical average."""
+        features = RandomFourierFeatures(4, 3000, bandwidth=1.0, seed=1)
+        x = rng.normal(size=4)
+        y = rng.normal(size=4) * 0.5
+        estimate = features.kernel_estimate(x, y)
+        exact = gaussian_kernel_value(x, y)
+        assert estimate == pytest.approx(exact, abs=0.08)
+
+    def test_wrong_dimension_raises(self, rng):
+        features = RandomFourierFeatures(5, 10, seed=0)
+        with pytest.raises(ValueError):
+            features.transform(rng.normal(size=(3, 4)))
+
+    def test_parameter_word_count(self):
+        features = RandomFourierFeatures(5, 10, seed=0)
+        assert features.parameter_word_count() == 5 * 10 + 10
+
+    def test_row_norm_concentration(self, rng):
+        """Section VI-A: every expanded row has squared norm ~ d."""
+        features = RandomFourierFeatures(8, 200, seed=2)
+        expanded = features.transform(rng.normal(size=(100, 8)))
+        stats = rff_row_norm_concentration(expanded)
+        assert 0.6 < stats["min_ratio"]
+        assert stats["max_ratio"] < 1.6
+        assert stats["mean_ratio"] == pytest.approx(1.0, abs=0.15)
+
+
+class TestDistributedRFFCluster:
+    def test_global_matrix_is_expansion_of_sum(self, rng):
+        raw = rng.normal(size=(60, 6))
+        raw_locals = [np.asarray(m.todense()) for m in row_partition(raw, 3, seed=0)]
+        features = RandomFourierFeatures(6, 32, seed=1)
+        cluster = distributed_rff_cluster(raw_locals, features)
+        np.testing.assert_allclose(
+            cluster.materialize_global(), features.transform(raw), atol=1e-8
+        )
+
+    def test_function_is_cosine(self, rng):
+        raw_locals = [rng.normal(size=(10, 4))]
+        features = RandomFourierFeatures(4, 8, seed=0)
+        cluster = distributed_rff_cluster(raw_locals, features)
+        assert isinstance(cluster.function, CosineFeatureFunction)
+
+    def test_broadcast_charged(self, rng):
+        raw = rng.normal(size=(20, 4))
+        raw_locals = [np.asarray(m.todense()) for m in row_partition(raw, 4, seed=0)]
+        features = RandomFourierFeatures(4, 8, seed=0)
+        cluster = distributed_rff_cluster(raw_locals, features)
+        assert cluster.network.total_words == 3  # one seed word per worker
+
+    def test_broadcast_charge_optional(self, rng):
+        raw_locals = [rng.normal(size=(10, 4))]
+        features = RandomFourierFeatures(4, 8, seed=0)
+        cluster = distributed_rff_cluster(raw_locals, features, charge_broadcast=False)
+        assert cluster.network.total_words == 0
+
+    def test_uniform_sampling_pca_end_to_end(self, rng):
+        """The full Section VI-A pipeline: RFF expansion + uniform sampling PCA."""
+        raw = np.vstack(
+            [rng.normal(loc=c, scale=0.3, size=(40, 5)) for c in (-2.0, 0.0, 2.0)]
+        )
+        raw_locals = [np.asarray(m.todense()) for m in row_partition(raw, 5, seed=0)]
+        features = RandomFourierFeatures(5, 64, bandwidth=2.0, seed=1)
+        cluster = distributed_rff_cluster(raw_locals, features)
+        result = DistributedPCA(k=6, num_samples=90, seed=2).fit(cluster)
+        report = result.evaluate(cluster.materialize_global())
+        assert report["additive_error"] < 0.12
+        assert result.communication_ratio < 1.0

@@ -1,0 +1,89 @@
+"""Tests for the hard-problem instance generators (Section VII)."""
+
+import numpy as np
+import pytest
+
+from repro.lowerbounds.problems import (
+    disjointness_instance,
+    gap_hamming_instance,
+    linf_instance,
+)
+
+
+class TestLInfInstance:
+    def test_promise_no_far_coordinate(self):
+        x, y = linf_instance(200, 10, has_far_coordinate=False, seed=0)
+        assert np.max(np.abs(x - y)) <= 1
+
+    def test_promise_with_far_coordinate(self):
+        x, y = linf_instance(200, 10, has_far_coordinate=True, seed=1)
+        gaps = np.abs(x - y)
+        assert np.sum(gaps >= 10) == 1
+        assert np.max(gaps[gaps < 10]) <= 1
+
+    def test_value_range(self):
+        x, y = linf_instance(100, 7, has_far_coordinate=True, seed=2)
+        for vec in (x, y):
+            assert vec.min() >= 0
+            assert vec.max() <= 7
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            linf_instance(10, 1, has_far_coordinate=False)
+
+    def test_deterministic(self):
+        a = linf_instance(50, 5, has_far_coordinate=True, seed=3)
+        b = linf_instance(50, 5, has_far_coordinate=True, seed=3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+
+class TestDisjointnessInstance:
+    def test_disjoint_case(self):
+        x, y = disjointness_instance(300, intersecting=False, seed=0)
+        assert np.sum(x & y) == 0
+
+    def test_intersecting_case_unique(self):
+        x, y = disjointness_instance(300, intersecting=True, seed=1)
+        assert np.sum(x & y) == 1
+
+    def test_binary_values(self):
+        x, y = disjointness_instance(100, intersecting=True, seed=2)
+        assert set(np.unique(x)).issubset({0, 1})
+        assert set(np.unique(y)).issubset({0, 1})
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            disjointness_instance(10, intersecting=True, density=0.0)
+
+    def test_nontrivial_supports(self):
+        x, y = disjointness_instance(400, intersecting=False, density=0.3, seed=3)
+        assert x.sum() > 0
+        assert y.sum() > 0
+
+
+class TestGapHammingInstance:
+    def test_positive_correlation_case(self):
+        x, y = gap_hamming_instance(0.1, positive_correlation=True, seed=0)
+        assert int(x @ y) > 2 / 0.1
+
+    def test_negative_correlation_case(self):
+        x, y = gap_hamming_instance(0.1, positive_correlation=False, seed=1)
+        assert int(x @ y) < -2 / 0.1
+
+    def test_length_scales_with_epsilon(self):
+        x_fine, _ = gap_hamming_instance(0.05, positive_correlation=True, seed=2)
+        x_coarse, _ = gap_hamming_instance(0.2, positive_correlation=True, seed=2)
+        assert x_fine.size > x_coarse.size
+        assert x_fine.size == pytest.approx(1 / 0.05**2, rel=0.1)
+
+    def test_values_are_signs(self):
+        x, y = gap_hamming_instance(0.15, positive_correlation=True, seed=3)
+        assert set(np.unique(x)).issubset({-1, 1})
+        assert set(np.unique(y)).issubset({-1, 1})
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            gap_hamming_instance(0.0, positive_correlation=True)
+        with pytest.raises(ValueError):
+            gap_hamming_instance(1.5, positive_correlation=True)

@@ -1,0 +1,163 @@
+"""Tests for the constructive lower-bound reductions (Theorems 4, 6 and 8)."""
+
+import numpy as np
+import pytest
+
+from repro.lowerbounds.problems import (
+    disjointness_instance,
+    gap_hamming_instance,
+    linf_instance,
+)
+from repro.lowerbounds.reductions import (
+    DisjointnessReduction,
+    GapHammingReduction,
+    LInfinityReduction,
+    exact_rank_k_solver,
+    theorem4_bound_bits,
+    theorem6_bound_bits,
+    theorem8_bound_bits,
+)
+from repro.utils.linalg import is_projection_matrix
+
+
+class TestBoundFormulas:
+    def test_theorem4_grows_with_n(self):
+        assert theorem4_bound_bits(10_000, 64, 2.0, 0.1) > theorem4_bound_bits(100, 64, 2.0, 0.1)
+
+    def test_theorem6_is_nd(self):
+        assert theorem6_bound_bits(100, 50) == 5000
+
+    def test_theorem8_grows_as_epsilon_shrinks(self):
+        assert theorem8_bound_bits(0.01) > theorem8_bound_bits(0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            theorem8_bound_bits(0.0)
+        with pytest.raises(ValueError):
+            theorem4_bound_bits(0, 10, 2.0, 0.1)
+
+
+class TestExactSolver:
+    def test_returns_projection(self, small_matrix):
+        projection = exact_rank_k_solver(small_matrix, 3)
+        assert is_projection_matrix(projection)
+
+
+class TestGapHammingReduction:
+    def test_gadget_shapes(self):
+        reduction = GapHammingReduction(epsilon=0.2, k=3)
+        x, y = gap_hamming_instance(0.2, positive_correlation=True, seed=0)
+        a1, a2 = reduction.build_matrices(x, y)
+        assert a1.shape == (x.size + 3, 4)
+        assert a2.shape == a1.shape
+
+    def test_gadget_column_zero_holds_inputs(self):
+        reduction = GapHammingReduction(epsilon=0.2, k=2)
+        x, y = gap_hamming_instance(0.2, positive_correlation=True, seed=1)
+        a1, a2 = reduction.build_matrices(x, y)
+        np.testing.assert_allclose(a1[: x.size, 0], x * 0.2)
+        np.testing.assert_allclose(a2[: y.size, 0], y * 0.2)
+
+    def test_decides_positive_case(self):
+        reduction = GapHammingReduction(epsilon=0.1, k=2)
+        x, y = gap_hamming_instance(0.1, positive_correlation=True, seed=2)
+        assert reduction.decide(x, y) is True
+
+    def test_decides_negative_case(self):
+        reduction = GapHammingReduction(epsilon=0.1, k=2)
+        x, y = gap_hamming_instance(0.1, positive_correlation=False, seed=3)
+        assert reduction.decide(x, y) is False
+
+    @pytest.mark.parametrize("epsilon", [0.08, 0.1, 0.15])
+    def test_high_accuracy_across_epsilon(self, epsilon):
+        reduction = GapHammingReduction(epsilon=epsilon, k=2)
+        assert reduction.verify(trials=12, seed=4) >= 0.9
+
+    def test_accuracy_with_larger_k(self):
+        assert GapHammingReduction(epsilon=0.1, k=4).verify(trials=10, seed=5) >= 0.9
+
+    def test_mismatched_inputs_raise(self):
+        reduction = GapHammingReduction(epsilon=0.2, k=2)
+        with pytest.raises(ValueError):
+            reduction.build_matrices(np.ones(10), np.ones(11))
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            GapHammingReduction(epsilon=1.5)
+
+
+class TestDisjointnessReduction:
+    def test_instance_length(self):
+        assert DisjointnessReduction(8, 4).instance_length == 32
+
+    def test_gadget_rank_at_most_k(self):
+        reduction = DisjointnessReduction(8, 4, k=3)
+        x, y = disjointness_instance(32, intersecting=True, seed=0)
+        block1 = (1.0 - x).reshape(8, 4)
+        block2 = (1.0 - y).reshape(8, 4)
+        a1, a2 = reduction.build_matrices(block1, block2)
+        aggregated = np.maximum(a1, a2)
+        assert np.linalg.matrix_rank(aggregated) <= 3
+
+    def test_decides_intersecting_max(self):
+        reduction = DisjointnessReduction(10, 5, k=3, aggregation="max")
+        x, y = disjointness_instance(50, intersecting=True, seed=1)
+        assert reduction.decide(x, y) is True
+
+    def test_decides_disjoint_max(self):
+        reduction = DisjointnessReduction(10, 5, k=3, aggregation="max")
+        x, y = disjointness_instance(50, intersecting=False, seed=2)
+        assert reduction.decide(x, y) is False
+
+    @pytest.mark.parametrize("aggregation", ["max", "huber"])
+    def test_accuracy_both_aggregations(self, aggregation):
+        reduction = DisjointnessReduction(12, 6, k=3, aggregation=aggregation)
+        assert reduction.verify(trials=10, seed=3) >= 0.9
+
+    def test_wrong_instance_length_raises(self):
+        reduction = DisjointnessReduction(4, 4)
+        with pytest.raises(ValueError):
+            reduction.decide(np.zeros(10), np.zeros(10))
+
+    def test_k_must_be_at_least_three(self):
+        with pytest.raises(ValueError):
+            DisjointnessReduction(4, 4, k=2)
+
+    def test_invalid_aggregation(self):
+        with pytest.raises(ValueError):
+            DisjointnessReduction(4, 4, aggregation="median")
+
+
+class TestLInfinityReduction:
+    def test_gap_bound_positive(self):
+        reduction = LInfinityReduction(16, 8, k=3, p=2.0)
+        assert reduction.gap_bound() >= 2
+
+    def test_gap_bound_shrinks_with_p(self):
+        coarse = LInfinityReduction(64, 8, k=3, p=1.5).gap_bound()
+        fine = LInfinityReduction(64, 8, k=3, p=4.0).gap_bound()
+        assert fine <= coarse
+
+    def test_decides_far_instance(self):
+        reduction = LInfinityReduction(16, 8, k=3, p=2.0)
+        x, y = linf_instance(128, reduction.gap_bound(), has_far_coordinate=True, seed=0)
+        assert reduction.decide(x, y) is True
+
+    def test_decides_near_instance(self):
+        reduction = LInfinityReduction(16, 8, k=3, p=2.0)
+        x, y = linf_instance(128, reduction.gap_bound(), has_far_coordinate=False, seed=1)
+        assert reduction.decide(x, y) is False
+
+    @pytest.mark.parametrize("p", [1.5, 2.0, 3.0])
+    def test_accuracy_across_p(self, p):
+        reduction = LInfinityReduction(16, 8, k=3, p=p)
+        assert reduction.verify(trials=10, seed=2) >= 0.9
+
+    def test_p_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            LInfinityReduction(8, 4, p=1.0)
+
+    def test_wrong_instance_length(self):
+        reduction = LInfinityReduction(8, 4)
+        with pytest.raises(ValueError):
+            reduction.decide(np.zeros(10), np.zeros(10))

@@ -1,0 +1,75 @@
+"""Tests for repro.distributed.message (word accounting of payloads)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.distributed.message import Message, payload_word_count
+
+
+class TestPayloadWordCount:
+    def test_none_is_free(self):
+        assert payload_word_count(None) == 0
+
+    def test_scalar_is_one_word(self):
+        assert payload_word_count(3.14) == 1
+        assert payload_word_count(7) == 1
+        assert payload_word_count(np.float64(1.0)) == 1
+        assert payload_word_count(True) == 1
+
+    def test_array_costs_size(self):
+        assert payload_word_count(np.zeros((3, 4))) == 12
+        assert payload_word_count(np.zeros(7)) == 7
+
+    def test_sparse_costs_two_per_nnz(self):
+        mat = sparse.csr_matrix(np.eye(5))
+        assert payload_word_count(mat) == 2 * 5 + 1
+
+    def test_string_costs_eighth(self):
+        assert payload_word_count("abcdefgh") == 1
+        assert payload_word_count("abcdefghi") == 2
+        assert payload_word_count("") == 0
+
+    def test_list_sums_items(self):
+        assert payload_word_count([1, 2.0, np.zeros(3)]) == 5
+
+    def test_dict_includes_keys(self):
+        assert payload_word_count({"k": 1.0}) == 1 + 1
+
+    def test_tuple(self):
+        assert payload_word_count((np.ones(2), np.ones(3))) == 5
+
+    def test_unknown_type_raises(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            payload_word_count(Opaque())
+
+    def test_object_with_word_count_method(self):
+        class Sized:
+            def word_count(self):
+                return 9
+
+        assert payload_word_count(Sized()) == 9
+
+
+class TestMessage:
+    def test_word_count_computed(self):
+        msg = Message(sender=1, receiver=0, payload=np.zeros(10))
+        assert msg.words == 10
+
+    def test_explicit_word_count_respected(self):
+        msg = Message(sender=1, receiver=0, payload=None, words=5)
+        assert msg.words == 5
+
+    def test_direction_flags(self):
+        to_cp = Message(sender=2, receiver=0, payload=1)
+        from_cp = Message(sender=0, receiver=2, payload=1)
+        assert to_cp.is_to_coordinator and not to_cp.is_broadcast_leg
+        assert from_cp.is_broadcast_leg and not from_cp.is_to_coordinator
+
+    def test_frozen(self):
+        msg = Message(sender=1, receiver=0, payload=1)
+        with pytest.raises(AttributeError):
+            msg.sender = 2

@@ -1,0 +1,101 @@
+"""Tests for the multiprocess execution backend."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.mp_backend import (
+    MultiprocessBackend,
+    SerialBackend,
+    local_countsketch_task,
+    local_frobenius_task,
+    local_row_norms_task,
+    local_rows_task,
+    parallel_aggregate_rows,
+)
+from repro.sketch.countsketch import CountSketch
+from repro.utils.linalg import frobenius_norm_squared
+
+
+class TestPredefinedTasks:
+    def test_row_norms_dense_and_sparse_agree(self, sparse_cluster, identity_cluster):
+        for cluster in (sparse_cluster, identity_cluster):
+            for server in cluster.servers:
+                np.testing.assert_allclose(
+                    local_row_norms_task(server.local_matrix),
+                    server.local_row_norms_squared(),
+                    atol=1e-9,
+                )
+
+    def test_local_rows_task(self, identity_cluster):
+        server = identity_cluster.servers[1]
+        np.testing.assert_allclose(
+            local_rows_task(server.local_matrix, [0, 3]), server.local_rows([0, 3])
+        )
+
+    def test_frobenius_task(self, identity_cluster):
+        server = identity_cluster.servers[2]
+        assert local_frobenius_task(server.local_matrix) == pytest.approx(
+            frobenius_norm_squared(np.asarray(server.local_matrix))
+        )
+
+    def test_countsketch_task_matches_direct_sketch(self, sparse_cluster):
+        server = sparse_cluster.servers[1]
+        table = local_countsketch_task(server.local_matrix, depth=3, width=16, seed=7)
+        n, d = server.shape
+        sketch = CountSketch(3, 16, n * d, seed=7)
+        np.testing.assert_allclose(table, sketch.sketch_dense(server.flat_dense()), atol=1e-9)
+
+
+class TestBackends:
+    def test_serial_backend_order(self, identity_cluster):
+        results = SerialBackend().map_servers(identity_cluster, local_frobenius_task)
+        assert len(results) == identity_cluster.num_servers
+
+    def test_multiprocess_matches_serial(self, identity_cluster):
+        serial = SerialBackend().map_servers(identity_cluster, local_row_norms_task)
+        parallel = MultiprocessBackend(processes=2).map_servers(
+            identity_cluster, local_row_norms_task
+        )
+        for a, b in zip(serial, parallel):
+            np.testing.assert_allclose(a, b)
+
+    def test_single_process_shortcut(self, identity_cluster):
+        results = MultiprocessBackend(processes=1).map_servers(
+            identity_cluster, local_frobenius_task
+        )
+        assert len(results) == identity_cluster.num_servers
+
+    def test_invalid_process_count(self):
+        with pytest.raises(ValueError):
+            MultiprocessBackend(processes=0)
+
+    def test_task_arguments_forwarded(self, identity_cluster):
+        results = MultiprocessBackend(processes=2).map_servers(
+            identity_cluster, local_rows_task, args=(np.array([1, 2]),)
+        )
+        assert all(block.shape == (2, identity_cluster.num_columns) for block in results)
+
+
+class TestParallelAggregateRows:
+    def test_matches_serial_aggregate(self, identity_cluster, low_rank_matrix):
+        rows = parallel_aggregate_rows(
+            identity_cluster, [0, 5, 9], backend=MultiprocessBackend(processes=2)
+        )
+        np.testing.assert_allclose(rows, low_rank_matrix[[0, 5, 9]], atol=1e-8)
+
+    def test_charges_network_like_serial(self, identity_cluster):
+        before = identity_cluster.network.total_words
+        parallel_aggregate_rows(
+            identity_cluster, [1, 2], backend=MultiprocessBackend(processes=2)
+        )
+        used = identity_cluster.network.total_words - before
+        assert used == (identity_cluster.num_servers - 1) * 2 * identity_cluster.num_columns
+
+    def test_apply_function_false(self, sparse_cluster, low_rank_matrix):
+        rows = parallel_aggregate_rows(
+            sparse_cluster,
+            [3],
+            backend=MultiprocessBackend(processes=2),
+            apply_function=False,
+        )
+        np.testing.assert_allclose(rows, low_rank_matrix[[3]], atol=1e-8)

@@ -1,0 +1,144 @@
+"""Tests for repro.distributed.network."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.network import BYTES_PER_WORD, Network
+
+
+class TestNetworkBasics:
+    def test_requires_at_least_one_server(self):
+        with pytest.raises(ValueError):
+            Network(0)
+
+    def test_initial_counters_zero(self):
+        net = Network(3)
+        assert net.total_words == 0
+        assert net.total_messages == 0
+
+    def test_send_counts_words(self):
+        net = Network(3)
+        net.send(1, 0, np.zeros(10))
+        assert net.total_words == 10
+        assert net.total_messages == 1
+
+    def test_send_returns_payload(self):
+        net = Network(2)
+        payload = np.arange(4)
+        assert net.send(1, 0, payload) is payload
+
+    def test_self_message_is_free(self):
+        net = Network(2)
+        net.send(1, 1, np.zeros(100))
+        assert net.total_words == 0
+        assert net.total_messages == 0
+
+    def test_invalid_endpoints_raise(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.send(2, 0, 1.0)
+        with pytest.raises(ValueError):
+            net.send(0, -1, 1.0)
+
+    def test_charge(self):
+        net = Network(2)
+        net.charge(0, 1, 17, tag="seeds")
+        assert net.total_words == 17
+
+    def test_charge_zero_words_no_message(self):
+        net = Network(2)
+        net.charge(0, 1, 0)
+        assert net.total_messages == 0
+
+    def test_charge_negative_raises(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.charge(0, 1, -1)
+
+
+class TestBroadcastGather:
+    def test_broadcast_charges_all_but_sender(self):
+        net = Network(5)
+        net.broadcast(0, np.zeros(3), tag="b")
+        assert net.total_messages == 4
+        assert net.total_words == 12
+
+    def test_gather_counts_all_senders(self):
+        net = Network(3)
+        collected = net.gather(0, [np.zeros(2), np.zeros(2), np.zeros(2)], tag="g")
+        assert len(collected) == 3
+        # Sender 0 -> 0 is a free self-message.
+        assert net.total_words == 4
+
+    def test_gather_with_explicit_senders(self):
+        net = Network(4)
+        net.gather(0, [np.zeros(5), np.zeros(5)], senders=[2, 3])
+        assert net.total_words == 10
+
+    def test_gather_length_mismatch_raises(self):
+        net = Network(3)
+        with pytest.raises(ValueError):
+            net.gather(0, [1.0], senders=[1, 2])
+
+
+class TestAccounting:
+    def test_words_by_tag(self):
+        net = Network(3)
+        net.send(1, 0, np.zeros(5), tag="alpha")
+        net.send(2, 0, np.zeros(7), tag="beta")
+        net.send(1, 0, np.zeros(2), tag="alpha")
+        snapshot = net.snapshot()
+        assert snapshot.words_by_tag == {"alpha": 7, "beta": 7}
+
+    def test_direction_counters(self):
+        net = Network(3)
+        net.send(1, 0, np.zeros(4))
+        net.send(0, 2, np.zeros(6))
+        snapshot = net.snapshot()
+        assert snapshot.words_to_coordinator == 4
+        assert snapshot.words_from_coordinator == 6
+
+    def test_snapshot_ratio(self):
+        net = Network(2)
+        net.send(1, 0, np.zeros(50))
+        assert net.snapshot().ratio_to(200) == pytest.approx(0.25)
+
+    def test_ratio_rejects_zero_input(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.snapshot().ratio_to(0)
+
+    def test_total_bytes(self):
+        net = Network(2)
+        net.send(1, 0, np.zeros(3))
+        assert net.snapshot().total_bytes == 3 * BYTES_PER_WORD
+
+    def test_reset(self):
+        net = Network(2, keep_messages=True)
+        net.send(1, 0, np.zeros(3))
+        net.reset()
+        assert net.total_words == 0
+        assert net.messages == []
+
+    def test_words_since_checkpoint(self):
+        net = Network(2)
+        net.send(1, 0, np.zeros(3))
+        checkpoint = net.total_words
+        net.send(1, 0, np.zeros(8))
+        assert net.words_since(checkpoint) == 8
+
+    def test_words_since_future_raises(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.words_since(10)
+
+    def test_keep_messages_flag(self):
+        net = Network(2, keep_messages=True)
+        net.send(1, 0, np.zeros(3), tag="x")
+        assert len(net.messages) == 1
+        assert net.messages[0].tag == "x"
+
+    def test_messages_not_kept_by_default(self):
+        net = Network(2)
+        net.send(1, 0, np.zeros(3))
+        assert net.messages == []

@@ -1,0 +1,140 @@
+"""Tests for repro.distributed.partition."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.distributed.partition import (
+    arbitrary_partition,
+    duplicate_records_partition,
+    entrywise_partition,
+    exact_split_check,
+    row_partition,
+)
+from repro.functions.softmax import generalized_mean
+
+
+class TestRowPartition:
+    def test_sum_recovers_matrix(self, small_matrix):
+        locals_ = row_partition(small_matrix, 5, seed=0)
+        assert exact_split_check(small_matrix, locals_)
+
+    def test_returns_sparse(self, small_matrix):
+        locals_ = row_partition(small_matrix, 3, seed=0)
+        assert all(sparse.issparse(m) for m in locals_)
+
+    def test_each_row_on_one_server(self, small_matrix):
+        locals_ = row_partition(small_matrix, 4, seed=1)
+        nonzero_rows = np.zeros(small_matrix.shape[0])
+        for local in locals_:
+            dense = np.asarray(local.todense())
+            nonzero_rows += (np.abs(dense).sum(axis=1) > 0).astype(int)
+        # A row with all-zero data may be "nowhere", but never on two servers.
+        assert np.all(nonzero_rows <= 1)
+
+    def test_single_server(self, small_matrix):
+        locals_ = row_partition(small_matrix, 1, seed=0)
+        np.testing.assert_allclose(np.asarray(locals_[0].todense()), small_matrix)
+
+    def test_invalid_server_count(self, small_matrix):
+        with pytest.raises(ValueError):
+            row_partition(small_matrix, 0)
+
+
+class TestArbitraryPartition:
+    def test_sum_recovers_matrix(self, small_matrix):
+        locals_ = arbitrary_partition(small_matrix, 6, seed=0)
+        assert exact_split_check(small_matrix, locals_)
+
+    def test_shares_are_dense(self, small_matrix):
+        locals_ = arbitrary_partition(small_matrix, 3, seed=0)
+        assert all(isinstance(m, np.ndarray) for m in locals_)
+
+    def test_single_server_copy(self, small_matrix):
+        locals_ = arbitrary_partition(small_matrix, 1, seed=0)
+        np.testing.assert_allclose(locals_[0], small_matrix)
+        assert locals_[0] is not small_matrix
+
+    def test_shares_look_nothing_like_original(self, low_rank_matrix):
+        """The individual shares should not reveal the low-rank structure."""
+        locals_ = arbitrary_partition(low_rank_matrix, 3, seed=0, share_scale=2.0)
+        s = np.linalg.svd(low_rank_matrix, compute_uv=False)
+        share_s = np.linalg.svd(locals_[0], compute_uv=False)
+        original_decay = s[5] / s[0]
+        share_decay = share_s[5] / share_s[0]
+        assert share_decay > original_decay * 5
+
+    def test_determinism(self, small_matrix):
+        a = arbitrary_partition(small_matrix, 4, seed=9)
+        b = arbitrary_partition(small_matrix, 4, seed=9)
+        for x, y in zip(a, b):
+            np.testing.assert_allclose(x, y)
+
+
+class TestEntrywisePartition:
+    def test_sum_recovers_matrix(self, small_matrix):
+        locals_ = entrywise_partition(small_matrix, 4, seed=0)
+        assert exact_split_check(small_matrix, locals_)
+
+    def test_supports_are_disjoint(self, small_matrix):
+        locals_ = entrywise_partition(small_matrix, 4, seed=0)
+        coverage = np.zeros(small_matrix.shape)
+        for local in locals_:
+            coverage += (np.abs(np.asarray(local.todense())) > 0).astype(int)
+        assert np.all(coverage <= 1)
+
+    def test_sparse_output(self, small_matrix):
+        locals_ = entrywise_partition(small_matrix, 2, seed=0)
+        assert all(sparse.issparse(m) for m in locals_)
+
+
+class TestDuplicateRecordsPartition:
+    @pytest.fixture
+    def nonneg(self, rng):
+        return np.abs(rng.normal(size=(25, 8))) + 0.1
+
+    def test_every_entry_observed_somewhere(self, nonneg):
+        locals_ = duplicate_records_partition(nonneg, 4, seed=0)
+        observed = np.zeros(nonneg.shape, dtype=bool)
+        for local in locals_:
+            observed |= local > 0
+        assert observed.all()
+
+    def test_observations_never_exceed_truth(self, nonneg):
+        locals_ = duplicate_records_partition(nonneg, 4, seed=0, noise_scale=0.1)
+        for local in locals_:
+            assert np.all(local <= nonneg + 1e-12)
+
+    def test_max_approaches_truth(self, nonneg):
+        locals_ = duplicate_records_partition(nonneg, 6, seed=0, noise_scale=0.05)
+        recovered = np.max(locals_, axis=0)
+        assert np.all(recovered >= nonneg * 0.95 - 1e-12)
+
+    def test_gm_large_p_close_to_truth(self, nonneg):
+        """The motivating scenario: GM_p across servers ~ the true value."""
+        locals_ = duplicate_records_partition(nonneg, 5, seed=0, noise_scale=0.05)
+        gm = generalized_mean(np.stack(locals_), p=20, axis=0)
+        relative_gap = np.abs(gm - nonneg) / nonneg
+        assert np.median(relative_gap) < 0.25
+
+    def test_rejects_negative_matrix(self, rng):
+        with pytest.raises(ValueError):
+            duplicate_records_partition(rng.normal(size=(5, 5)), 3)
+
+    def test_invalid_probability(self, nonneg):
+        with pytest.raises(ValueError):
+            duplicate_records_partition(nonneg, 3, observation_probability=0.0)
+
+    def test_invalid_noise(self, nonneg):
+        with pytest.raises(ValueError):
+            duplicate_records_partition(nonneg, 3, noise_scale=1.0)
+
+
+class TestExactSplitCheck:
+    def test_detects_bad_split(self, small_matrix):
+        locals_ = arbitrary_partition(small_matrix, 3, seed=0)
+        locals_[0] = locals_[0] + 1.0
+        assert not exact_split_check(small_matrix, locals_)
+
+    def test_empty_list(self, small_matrix):
+        assert not exact_split_check(small_matrix, [])

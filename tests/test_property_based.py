@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) for the core invariants of the library."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.errors import additive_error, relative_error
+from repro.distributed.message import payload_word_count
+from repro.distributed.network import Network
+from repro.distributed.partition import (
+    arbitrary_partition,
+    entrywise_partition,
+    exact_split_check,
+    row_partition,
+)
+from repro.functions import FairPsi, HuberPsi, L1L2Psi, generalized_mean
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.hashing import KWiseHash
+from repro.utils.linalg import (
+    best_rank_k_error,
+    frobenius_norm_squared,
+    is_projection_matrix,
+    projection_from_basis,
+    row_norms_squared,
+    svd_rank_k_projection,
+    top_k_right_singular_vectors,
+)
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+finite_floats = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+def small_matrices(min_rows=2, max_rows=12, min_cols=2, max_cols=8):
+    return st.tuples(
+        st.integers(min_rows, max_rows), st.integers(min_cols, max_cols)
+    ).flatmap(lambda shape: arrays(np.float64, shape, elements=finite_floats))
+
+
+small_vectors = st.lists(finite_floats, min_size=1, max_size=40).map(np.array)
+
+
+# --------------------------------------------------------------------------- #
+# linear algebra invariants
+# --------------------------------------------------------------------------- #
+class TestLinalgProperties:
+    @given(small_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_row_norms_sum_to_frobenius(self, matrix):
+        assert np.isclose(
+            row_norms_squared(matrix).sum(), frobenius_norm_squared(matrix), rtol=1e-9, atol=1e-6
+        )
+
+    @given(small_matrices(min_rows=3, min_cols=3), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_svd_projection_is_projection_of_rank_k(self, matrix, k):
+        k = min(k, min(matrix.shape))
+        basis, projection = svd_rank_k_projection(matrix, k)
+        assert is_projection_matrix(projection, atol=1e-6)
+        assert basis.shape == (matrix.shape[1], k)
+
+    @given(small_matrices(min_rows=4, min_cols=4), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_best_rank_k_error_decreases_in_k(self, matrix, k):
+        k = min(k, min(matrix.shape) - 1)
+        assert best_rank_k_error(matrix, k + 1) <= best_rank_k_error(matrix, k) + 1e-8
+
+    @given(small_matrices(min_rows=4, min_cols=4), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_projection_never_increases_frobenius_norm(self, matrix, k):
+        k = min(k, matrix.shape[1])
+        v = top_k_right_singular_vectors(matrix, k)
+        projected = matrix @ projection_from_basis(v)
+        total = frobenius_norm_squared(matrix)
+        assert frobenius_norm_squared(projected) <= total * (1 + 1e-9) + 1e-6
+
+    @given(small_matrices(min_rows=4, min_cols=4), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_pythagorean_theorem(self, matrix, k):
+        """||A||_F^2 = ||AP||_F^2 + ||A - AP||_F^2 for any projection P."""
+        k = min(k, matrix.shape[1])
+        _, projection = svd_rank_k_projection(matrix, k)
+        total = frobenius_norm_squared(matrix)
+        captured = frobenius_norm_squared(matrix @ projection)
+        residual = frobenius_norm_squared(matrix - matrix @ projection)
+        assert np.isclose(total, captured + residual, rtol=1e-6, atol=1e-4)
+
+    @given(small_matrices(min_rows=4, min_cols=4), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_error_metrics_bounds(self, matrix, k):
+        if frobenius_norm_squared(matrix) < 1e-12:
+            return
+        k = min(k, min(matrix.shape))
+        _, projection = svd_rank_k_projection(matrix, k)
+        assert additive_error(matrix, projection, k) <= 1e-6
+        rel = relative_error(matrix, projection, k)
+        assert rel == 1.0 or np.isclose(rel, 1.0, rtol=1e-6) or rel == float("inf")
+
+
+# --------------------------------------------------------------------------- #
+# partition invariants
+# --------------------------------------------------------------------------- #
+class TestPartitionProperties:
+    @given(small_matrices(min_rows=3, min_cols=3), st.integers(1, 6), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_partition_sums_exactly(self, matrix, servers, seed):
+        locals_ = arbitrary_partition(matrix, servers, seed=seed)
+        assert len(locals_) == servers
+        assert exact_split_check(matrix, locals_, atol=1e-6)
+
+    @given(small_matrices(min_rows=3, min_cols=3), st.integers(1, 6), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_row_partition_sums_exactly(self, matrix, servers, seed):
+        locals_ = row_partition(matrix, servers, seed=seed)
+        assert exact_split_check(matrix, locals_, atol=1e-8)
+
+    @given(small_matrices(min_rows=3, min_cols=3), st.integers(1, 6), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_entrywise_partition_sums_exactly(self, matrix, servers, seed):
+        locals_ = entrywise_partition(matrix, servers, seed=seed)
+        assert exact_split_check(matrix, locals_, atol=1e-8)
+
+
+# --------------------------------------------------------------------------- #
+# entrywise function invariants
+# --------------------------------------------------------------------------- #
+class TestFunctionProperties:
+    @given(small_vectors, st.floats(0.1, 10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_huber_is_bounded_and_odd(self, values, threshold):
+        fn = HuberPsi(threshold)
+        out = fn(values)
+        assert np.all(np.abs(out) <= threshold + 1e-12)
+        np.testing.assert_allclose(fn(-values), -out, atol=1e-9)
+
+    @given(small_vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_l1l2_bounded_by_sqrt2(self, values):
+        out = L1L2Psi()(values)
+        assert np.all(np.abs(out) < np.sqrt(2) + 1e-9)
+
+    @given(small_vectors, st.floats(0.1, 10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_fair_bounded_by_scale(self, values, scale):
+        out = FairPsi(scale)(values)
+        assert np.all(np.abs(out) <= scale + 1e-9)
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(2, 6), st.integers(1, 10)),
+            elements=st.floats(0.0, 100.0, allow_nan=False),
+        ),
+        st.floats(1.0, 30.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_generalized_mean_between_mean_and_max(self, values, p):
+        gm = generalized_mean(values, p, axis=0)
+        mean = np.mean(values, axis=0)
+        maximum = np.max(values, axis=0)
+        assert np.all(gm >= mean - 1e-8)
+        assert np.all(gm <= maximum + 1e-8)
+
+    @given(small_vectors, st.floats(0.1, 10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_psi_functions_shrink_magnitude(self, values, parameter):
+        """Every Table-I psi satisfies |psi(x)| <= |x| (influence capping)."""
+        for fn in (HuberPsi(parameter), L1L2Psi(), FairPsi(parameter)):
+            assert np.all(np.abs(fn(values)) <= np.abs(values) + 1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# sketching invariants
+# --------------------------------------------------------------------------- #
+class TestSketchProperties:
+    @given(
+        st.lists(finite_floats, min_size=4, max_size=64),
+        st.lists(finite_floats, min_size=4, max_size=64),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_countsketch_linearity(self, u_values, v_values, seed):
+        size = min(len(u_values), len(v_values))
+        u = np.array(u_values[:size])
+        v = np.array(v_values[:size])
+        sketch = CountSketch(depth=3, width=16, domain=size, seed=seed)
+        np.testing.assert_allclose(
+            sketch.sketch_dense(u + v),
+            sketch.sketch_dense(u) + sketch.sketch_dense(v),
+            rtol=1e-9,
+            atol=1e-6,
+        )
+
+    @given(st.integers(1, 5), st.integers(2, 64), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_kwise_hash_range(self, independence, range_size, seed):
+        h = KWiseHash(independence, range_size, seed=seed)
+        values = h(np.arange(200))
+        assert values.min() >= 0
+        assert values.max() < range_size
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_countsketch_f2_nonnegative(self, seed):
+        sketch = CountSketch(depth=3, width=8, domain=32, seed=seed)
+        rng = np.random.default_rng(seed)
+        table = sketch.sketch_dense(rng.normal(size=32))
+        assert sketch.f2_estimate(table) >= 0
+
+
+# --------------------------------------------------------------------------- #
+# communication accounting invariants
+# --------------------------------------------------------------------------- #
+class TestNetworkProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 50)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_total_words_is_sum_of_messages(self, transfers):
+        net = Network(4)
+        expected = 0
+        for sender, receiver, size in transfers:
+            net.send(sender, receiver, np.zeros(size))
+            if sender != receiver:
+                expected += size
+        assert net.total_words == expected
+
+    @given(st.lists(st.one_of(st.floats(allow_nan=False, allow_infinity=False),
+                              st.integers(-1000, 1000)), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_payload_word_count_nonnegative_and_additive(self, items):
+        total = payload_word_count(items)
+        assert total == sum(payload_word_count(item) for item in items)
+        assert total >= 0

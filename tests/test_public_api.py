@@ -1,0 +1,95 @@
+"""Tests of the top-level public API surface and the example scripts."""
+
+import importlib
+import pathlib
+import runpy
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_symbols_exist(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert hasattr(repro, name), f"{name} listed in __all__ but missing"
+
+    def test_all_public_objects_are_documented(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            obj = getattr(repro, name)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"{name} has no docstring"
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.distributed",
+            "repro.functions",
+            "repro.sketch",
+            "repro.core",
+            "repro.kernels",
+            "repro.lowerbounds",
+            "repro.datasets",
+            "repro.experiments",
+            "repro.utils",
+        ],
+    )
+    def test_subpackages_importable_and_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__
+        assert module.__all__
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.distributed",
+            "repro.functions",
+            "repro.sketch",
+            "repro.core",
+            "repro.kernels",
+            "repro.lowerbounds",
+            "repro.datasets",
+            "repro.experiments",
+            "repro.utils",
+        ],
+    )
+    def test_subpackage_all_entries_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+class TestExamples:
+    def test_all_examples_present(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "rff_pca.py",
+            "pooling_pca.py",
+            "robust_pca.py",
+            "communication_tradeoff.py",
+        } <= names
+
+    def test_examples_have_module_docstrings(self):
+        for path in EXAMPLES_DIR.glob("*.py"):
+            first_nonempty = next(
+                line for line in path.read_text().splitlines() if line.strip()
+            )
+            assert first_nonempty.startswith('"""'), f"{path.name} lacks a docstring"
+
+    def test_quickstart_runs(self, capsys):
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "additive error" in out
+        assert "communication" in out

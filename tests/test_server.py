@@ -1,0 +1,137 @@
+"""Tests for repro.distributed.server."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.distributed.server import Server
+
+
+@pytest.fixture
+def dense_server(rng):
+    return Server(1, rng.normal(size=(20, 6)))
+
+
+@pytest.fixture
+def sparse_server(rng):
+    dense = rng.normal(size=(20, 6))
+    dense[dense < 0.5] = 0.0
+    return Server(2, sparse.csr_matrix(dense))
+
+
+class TestServerBasics:
+    def test_shape(self, dense_server):
+        assert dense_server.shape == (20, 6)
+
+    def test_coordinator_flag(self, rng):
+        assert Server(0, rng.normal(size=(2, 2))).is_coordinator
+        assert not Server(1, rng.normal(size=(2, 2))).is_coordinator
+
+    def test_negative_id_raises(self):
+        with pytest.raises(ValueError):
+            Server(-1, np.zeros((2, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            Server(0, np.zeros(5))
+
+    def test_sparse_flag(self, dense_server, sparse_server):
+        assert not dense_server.is_sparse
+        assert sparse_server.is_sparse
+
+    def test_stored_words_dense(self, dense_server):
+        assert dense_server.stored_words() == 120
+
+    def test_stored_words_sparse(self, sparse_server):
+        assert sparse_server.stored_words() == 2 * sparse_server.local_matrix.nnz + 1
+
+
+class TestLocalRows:
+    def test_dense_rows(self, dense_server):
+        rows = dense_server.local_rows([0, 3, 3])
+        np.testing.assert_allclose(rows[0], dense_server.local_matrix[0])
+        np.testing.assert_allclose(rows[1], rows[2])
+
+    def test_sparse_rows_dense_output(self, sparse_server):
+        rows = sparse_server.local_rows([1, 2])
+        assert isinstance(rows, np.ndarray)
+        assert rows.shape == (2, 6)
+
+    def test_out_of_range_raises(self, dense_server):
+        with pytest.raises(IndexError):
+            dense_server.local_rows([25])
+
+    def test_2d_indices_raise(self, dense_server):
+        with pytest.raises(ValueError):
+            dense_server.local_rows([[1, 2]])
+
+
+class TestLocalEntries:
+    def test_matches_flat(self, dense_server):
+        flat = dense_server.local_matrix.ravel()
+        values = dense_server.local_entries([0, 7, 119])
+        np.testing.assert_allclose(values, flat[[0, 7, 119]])
+
+    def test_sparse_entries(self, sparse_server):
+        dense = np.asarray(sparse_server.local_matrix.todense())
+        values = sparse_server.local_entries([5, 50])
+        np.testing.assert_allclose(values, dense.ravel()[[5, 50]])
+
+    def test_out_of_range_raises(self, dense_server):
+        with pytest.raises(IndexError):
+            dense_server.local_entries([200])
+
+
+class TestFlatViews:
+    def test_flat_dense_roundtrip(self, dense_server):
+        np.testing.assert_allclose(
+            dense_server.flat_dense(), dense_server.local_matrix.ravel()
+        )
+
+    def test_flat_nonzero_consistent_dense(self, dense_server):
+        idx, values = dense_server.flat_nonzero()
+        reconstructed = np.zeros(120)
+        reconstructed[idx] = values
+        np.testing.assert_allclose(reconstructed, dense_server.flat_dense())
+
+    def test_flat_nonzero_consistent_sparse(self, sparse_server):
+        idx, values = sparse_server.flat_nonzero()
+        reconstructed = np.zeros(120)
+        reconstructed[idx] = values
+        np.testing.assert_allclose(reconstructed, sparse_server.flat_dense())
+
+    def test_flat_nonzero_sorted(self, sparse_server):
+        idx, _ = sparse_server.flat_nonzero()
+        assert np.all(np.diff(idx) > 0)
+
+
+class TestRowNorms:
+    def test_dense_matches_manual(self, dense_server):
+        manual = (dense_server.local_matrix**2).sum(axis=1)
+        np.testing.assert_allclose(dense_server.local_row_norms_squared(), manual)
+
+    def test_sparse_matches_dense(self, sparse_server):
+        dense = np.asarray(sparse_server.local_matrix.todense())
+        np.testing.assert_allclose(
+            sparse_server.local_row_norms_squared(), (dense**2).sum(axis=1)
+        )
+
+
+class TestTransform:
+    def test_dense_transform(self, dense_server):
+        squared = dense_server.transform(lambda x: x**2)
+        np.testing.assert_allclose(squared.local_matrix, dense_server.local_matrix**2)
+
+    def test_sparse_transform_preserving_zero(self, sparse_server):
+        cubed = sparse_server.transform(lambda x: x**3)
+        dense = np.asarray(sparse_server.local_matrix.todense())
+        np.testing.assert_allclose(np.asarray(cubed.local_matrix.todense()), dense**3)
+
+    def test_sparse_transform_not_preserving_zero_raises(self, sparse_server):
+        with pytest.raises(ValueError):
+            sparse_server.transform(lambda x: x + 1.0)
+
+    def test_transform_returns_new_server(self, dense_server):
+        out = dense_server.transform(lambda x: x)
+        assert out is not dense_server
+        assert out.server_id == dense_server.server_id

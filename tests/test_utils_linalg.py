@@ -1,0 +1,168 @@
+"""Tests for repro.utils.linalg."""
+
+import numpy as np
+import pytest
+
+from repro.utils.linalg import (
+    best_rank_k,
+    best_rank_k_error,
+    column_space_projector,
+    frobenius_norm_squared,
+    gram_difference_norm,
+    is_projection_matrix,
+    orthonormal_columns,
+    projection_from_basis,
+    projection_rank,
+    row_norms_squared,
+    scaled_row_sample_matrix,
+    spectral_norm,
+    svd_rank_k_projection,
+    top_k_right_singular_vectors,
+)
+
+
+class TestNorms:
+    def test_frobenius_matches_numpy(self, small_matrix):
+        assert frobenius_norm_squared(small_matrix) == pytest.approx(
+            np.linalg.norm(small_matrix, "fro") ** 2
+        )
+
+    def test_frobenius_zero_matrix(self):
+        assert frobenius_norm_squared(np.zeros((3, 4))) == 0.0
+
+    def test_row_norms_sum_to_frobenius(self, small_matrix):
+        assert row_norms_squared(small_matrix).sum() == pytest.approx(
+            frobenius_norm_squared(small_matrix)
+        )
+
+    def test_row_norms_shape(self, small_matrix):
+        assert row_norms_squared(small_matrix).shape == (small_matrix.shape[0],)
+
+    def test_row_norms_rejects_vector(self):
+        with pytest.raises(ValueError):
+            row_norms_squared(np.ones(5))
+
+    def test_spectral_norm_of_identity(self):
+        assert spectral_norm(np.eye(4)) == pytest.approx(1.0)
+
+    def test_spectral_le_frobenius(self, small_matrix):
+        assert spectral_norm(small_matrix) <= np.sqrt(frobenius_norm_squared(small_matrix)) + 1e-9
+
+
+class TestTopKSingularVectors:
+    def test_orthonormal(self, low_rank_matrix):
+        v = top_k_right_singular_vectors(low_rank_matrix, 5)
+        assert orthonormal_columns(v)
+
+    def test_shape(self, low_rank_matrix):
+        v = top_k_right_singular_vectors(low_rank_matrix, 3)
+        assert v.shape == (low_rank_matrix.shape[1], 3)
+
+    def test_k_too_large_raises(self, small_matrix):
+        with pytest.raises(ValueError):
+            top_k_right_singular_vectors(small_matrix, small_matrix.shape[1] + 1)
+
+    def test_captures_dominant_direction(self):
+        rng = np.random.default_rng(0)
+        direction = rng.normal(size=10)
+        direction /= np.linalg.norm(direction)
+        data = np.outer(rng.normal(size=50), direction)
+        v = top_k_right_singular_vectors(data, 1)
+        assert abs(float(v[:, 0] @ direction)) == pytest.approx(1.0, abs=1e-8)
+
+
+class TestProjection:
+    def test_projection_from_basis_is_projection(self, low_rank_matrix):
+        v = top_k_right_singular_vectors(low_rank_matrix, 4)
+        p = projection_from_basis(v)
+        assert is_projection_matrix(p)
+
+    def test_projection_rank_equals_k(self, low_rank_matrix):
+        v, p = svd_rank_k_projection(low_rank_matrix, 4)
+        assert projection_rank(p) == 4
+        assert v.shape[1] == 4
+
+    def test_is_projection_rejects_non_square(self):
+        assert not is_projection_matrix(np.ones((2, 3)))
+
+    def test_is_projection_rejects_non_idempotent(self):
+        assert not is_projection_matrix(2 * np.eye(3))
+
+    def test_identity_is_projection(self):
+        assert is_projection_matrix(np.eye(5))
+
+    def test_column_space_projector(self, small_matrix):
+        p = column_space_projector(small_matrix[:, :3])
+        assert is_projection_matrix(p)
+        # It must fix the columns it was built from.
+        np.testing.assert_allclose(p @ small_matrix[:, :3], small_matrix[:, :3], atol=1e-8)
+
+
+class TestBestRankK:
+    def test_exact_for_low_rank(self, rng):
+        exact = rng.normal(size=(30, 4)) @ rng.normal(size=(4, 20))
+        approx = best_rank_k(exact, 4)
+        np.testing.assert_allclose(approx, exact, atol=1e-8)
+
+    def test_error_matches_singular_values(self, small_matrix):
+        s = np.linalg.svd(small_matrix, compute_uv=False)
+        for k in (1, 3, 5):
+            assert best_rank_k_error(small_matrix, k) == pytest.approx(np.sum(s[k:] ** 2))
+
+    def test_error_zero_when_k_exceeds_rank(self, rng):
+        exact = rng.normal(size=(20, 3)) @ rng.normal(size=(3, 10))
+        assert best_rank_k_error(exact, 9) == pytest.approx(0.0, abs=1e-8)
+
+    def test_best_rank_k_is_optimal(self, low_rank_matrix):
+        """No projection of the same rank does better (Eckart-Young)."""
+        k = 3
+        optimal = best_rank_k_error(low_rank_matrix, k)
+        rng = np.random.default_rng(5)
+        random_basis, _ = np.linalg.qr(rng.normal(size=(low_rank_matrix.shape[1], k)))
+        random_proj = random_basis @ random_basis.T
+        random_error = frobenius_norm_squared(low_rank_matrix - low_rank_matrix @ random_proj)
+        assert optimal <= random_error + 1e-9
+
+
+class TestScaledRowSampleMatrix:
+    def test_scaling(self):
+        rows = np.array([[2.0, 0.0], [0.0, 3.0]])
+        probs = np.array([0.5, 0.25])
+        b = scaled_row_sample_matrix(rows, probs)
+        np.testing.assert_allclose(b[0], rows[0] / np.sqrt(2 * 0.5))
+        np.testing.assert_allclose(b[1], rows[1] / np.sqrt(2 * 0.25))
+
+    def test_unbiased_gram_estimate(self, low_rank_matrix, rng):
+        """E[B^T B] ~ A^T A when rows are drawn with the reported probabilities."""
+        norms = row_norms_squared(low_rank_matrix)
+        probs = norms / norms.sum()
+        estimates = []
+        for seed in range(30):
+            local_rng = np.random.default_rng(seed)
+            idx = local_rng.choice(low_rank_matrix.shape[0], size=200, p=probs)
+            b = scaled_row_sample_matrix(low_rank_matrix[idx], probs[idx])
+            estimates.append(b.T @ b)
+        mean_estimate = np.mean(estimates, axis=0)
+        target = low_rank_matrix.T @ low_rank_matrix
+        assert np.linalg.norm(mean_estimate - target, "fro") / np.linalg.norm(target, "fro") < 0.1
+
+    def test_zero_probability_raises(self):
+        with pytest.raises(ValueError):
+            scaled_row_sample_matrix(np.ones((2, 2)), np.array([0.0, 1.0]))
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            scaled_row_sample_matrix(np.ones((2, 2)), np.array([1.0]))
+
+
+class TestGramDifference:
+    def test_zero_for_identical(self, small_matrix):
+        assert gram_difference_norm(small_matrix, small_matrix) == pytest.approx(0.0)
+
+    def test_positive_for_different(self, small_matrix):
+        other = small_matrix + 1.0
+        assert gram_difference_norm(small_matrix, other) > 0
+
+    def test_column_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            gram_difference_norm(np.ones((2, 3)), np.ones((2, 4)))

@@ -1,0 +1,36 @@
+"""Tests for the logging helpers."""
+
+import logging
+
+from repro.utils.logging import configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_prefixes_library_name(self):
+        logger = get_logger("sampling")
+        assert logger.name == "repro.sampling"
+
+    def test_already_prefixed_name_unchanged(self):
+        logger = get_logger("repro.core.pca")
+        assert logger.name == "repro.core.pca"
+
+    def test_same_name_returns_same_logger(self):
+        assert get_logger("x") is get_logger("x")
+
+
+class TestConfigureLogging:
+    def test_attaches_single_handler(self):
+        root = logging.getLogger("repro")
+        original_handlers = list(root.handlers)
+        try:
+            root.handlers.clear()
+            configure_logging(logging.DEBUG)
+            configure_logging(logging.WARNING)
+            assert len(root.handlers) == 1
+            assert root.level == logging.WARNING
+        finally:
+            root.handlers[:] = original_handlers
+
+    def test_library_loggers_propagate_to_root(self):
+        child = get_logger("experiments.runner")
+        assert child.propagate

@@ -1,0 +1,118 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    choice_from_weights,
+    ensure_rng,
+    random_signs,
+    sample_without_replacement,
+    spawn_rngs,
+)
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(3)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_streams_are_independent(self):
+        streams = spawn_rngs(0, 3)
+        draws = [s.random(10) for s in streams]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_deterministic_from_seed(self):
+        a = [s.random(4) for s in spawn_rngs(9, 3)]
+        b = [s.random(4) for s in spawn_rngs(9, 3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(0)
+        streams = spawn_rngs(gen, 2)
+        assert len(streams) == 2
+        assert all(isinstance(s, np.random.Generator) for s in streams)
+
+
+class TestRandomSigns:
+    def test_values_are_plus_minus_one(self):
+        signs = random_signs(ensure_rng(0), 100)
+        assert set(np.unique(signs)).issubset({-1, 1})
+
+    def test_roughly_balanced(self):
+        signs = random_signs(ensure_rng(0), 10000)
+        assert abs(signs.mean()) < 0.05
+
+
+class TestSampleWithoutReplacement:
+    def test_distinct(self):
+        sample = sample_without_replacement(ensure_rng(0), 50, 20)
+        assert len(set(sample.tolist())) == 20
+
+    def test_range(self):
+        sample = sample_without_replacement(ensure_rng(0), 10, 10)
+        assert sorted(sample.tolist()) == list(range(10))
+
+    def test_too_many_raises(self):
+        with pytest.raises(ValueError):
+            sample_without_replacement(ensure_rng(0), 5, 6)
+
+
+class TestChoiceFromWeights:
+    def test_single_draw_in_range(self):
+        idx = choice_from_weights(ensure_rng(0), [1.0, 2.0, 3.0])
+        assert idx in {0, 1, 2}
+
+    def test_zero_weight_never_drawn(self):
+        rng = ensure_rng(0)
+        draws = choice_from_weights(rng, [0.0, 1.0, 0.0], size=200)
+        assert set(np.unique(draws)) == {1}
+
+    def test_proportionality(self):
+        rng = ensure_rng(0)
+        draws = choice_from_weights(rng, [1.0, 9.0], size=20000)
+        frequency = np.mean(draws == 1)
+        assert 0.85 < frequency < 0.95
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            choice_from_weights(ensure_rng(0), [1.0, -1.0])
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            choice_from_weights(ensure_rng(0), [0.0, 0.0])
+
+    def test_non_vector_raises(self):
+        with pytest.raises(ValueError):
+            choice_from_weights(ensure_rng(0), [[1.0, 2.0]])

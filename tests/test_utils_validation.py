@@ -1,0 +1,156 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_matrix,
+    check_positive,
+    check_probability_vector,
+    check_rank,
+    check_same_shape,
+    check_vector,
+)
+
+
+class TestCheckMatrix:
+    def test_accepts_2d(self):
+        out = check_matrix([[1.0, 2.0], [3.0, 4.0]])
+        assert out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_matrix([1.0, 2.0])
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_matrix([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_matrix([[np.inf, 1.0]])
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_matrix(np.zeros((0, 3)))
+
+    def test_allows_empty_when_requested(self):
+        out = check_matrix(np.zeros((0, 3)), allow_empty=True)
+        assert out.shape == (0, 3)
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="my_matrix"):
+            check_matrix([1.0], name="my_matrix")
+
+
+class TestCheckVector:
+    def test_accepts_1d(self):
+        out = check_vector([1, 2, 3])
+        assert out.dtype == float
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_vector([[1, 2]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_vector([np.nan])
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5) == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0.0, strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, strict=False)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True)
+
+    def test_rejects_non_scalar(self):
+        with pytest.raises(TypeError):
+            check_positive([1.0])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(np.inf)
+
+
+class TestCheckRank:
+    def test_accepts_int(self):
+        assert check_rank(3) == 3
+
+    def test_accepts_integer_float(self):
+        assert check_rank(4.0) == 4
+
+    def test_rejects_fractional(self):
+        with pytest.raises(TypeError):
+            check_rank(2.5)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_rank(0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_rank(True)
+
+    def test_respects_upper_bound(self):
+        with pytest.raises(ValueError):
+            check_rank(10, d=5)
+
+    def test_upper_bound_inclusive(self):
+        assert check_rank(5, d=5) == 5
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_valid(self):
+        p = check_probability_vector([0.25, 0.75])
+        np.testing.assert_allclose(p.sum(), 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([-0.1, 1.1])
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([0.3, 0.3])
+
+
+class TestCheckSameShape:
+    def test_same_shape_passes(self):
+        check_same_shape(np.zeros((2, 3)), np.ones((2, 3)))
+
+    def test_different_shape_raises(self):
+        with pytest.raises(ValueError):
+            check_same_shape(np.zeros((2, 3)), np.zeros((3, 2)))
+
+
+class TestCheckFraction:
+    def test_accepts_half(self):
+        assert check_fraction(0.5) == 0.5
+
+    def test_accepts_one(self):
+        assert check_fraction(1.0) == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.5)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0)

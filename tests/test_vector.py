@@ -1,0 +1,121 @@
+"""Tests for repro.distributed.vector (DistributedVector)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import LocalCluster, entrywise_partition
+from repro.distributed.network import Network
+from repro.distributed.vector import DistributedVector
+from repro.sketch.countsketch import CountSketch
+
+
+def make_vector(local_dense_vectors, network=None):
+    """Build a DistributedVector from dense per-server vectors."""
+    dimension = len(local_dense_vectors[0])
+    network = network or Network(len(local_dense_vectors))
+    components = []
+    for vec in local_dense_vectors:
+        vec = np.asarray(vec, dtype=float)
+        idx = np.nonzero(vec)[0]
+        components.append((idx, vec[idx]))
+    return DistributedVector(components, dimension, network)
+
+
+@pytest.fixture
+def simple_vector():
+    return make_vector(
+        [
+            [1.0, 0.0, 2.0, 0.0, 0.0, 0.0],
+            [0.0, 3.0, -1.0, 0.0, 0.0, 0.5],
+            [0.0, 0.0, 0.0, 0.0, 4.0, 0.0],
+        ]
+    )
+
+
+class TestConstruction:
+    def test_dimension_and_servers(self, simple_vector):
+        assert simple_vector.dimension == 6
+        assert simple_vector.num_servers == 3
+
+    def test_exact_sum(self, simple_vector):
+        np.testing.assert_allclose(
+            simple_vector.exact_sum(), [1.0, 3.0, 1.0, 0.0, 4.0, 0.5]
+        )
+
+    def test_support_size(self, simple_vector):
+        assert simple_vector.support_size() == 5
+
+    def test_mismatched_components_raise(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            DistributedVector([(np.array([0]), np.array([1.0]))], 4, net)
+
+    def test_out_of_range_index_raises(self):
+        net = Network(1)
+        with pytest.raises(IndexError):
+            DistributedVector([(np.array([10]), np.array([1.0]))], 4, net)
+
+    def test_invalid_dimension(self):
+        net = Network(1)
+        with pytest.raises(ValueError):
+            DistributedVector([(np.array([], dtype=int), np.array([]))], 0, net)
+
+    def test_from_cluster_entries(self, low_rank_matrix):
+        cluster = LocalCluster(entrywise_partition(low_rank_matrix, 3, seed=0))
+        vector = DistributedVector.from_cluster_entries(cluster)
+        assert vector.dimension == low_rank_matrix.size
+        np.testing.assert_allclose(
+            vector.exact_sum(), low_rank_matrix.ravel(), atol=1e-8
+        )
+
+
+class TestRestrict:
+    def test_restriction_zeroes_out_rest(self, simple_vector):
+        restricted = simple_vector.restrict(lambda idx: idx < 3)
+        expected = np.array([1.0, 3.0, 1.0, 0.0, 0.0, 0.0])
+        np.testing.assert_allclose(restricted.exact_sum(), expected)
+
+    def test_restriction_is_free(self, simple_vector):
+        before = simple_vector.network.total_words
+        simple_vector.restrict(lambda idx: idx % 2 == 0)
+        assert simple_vector.network.total_words == before
+
+    def test_empty_restriction(self, simple_vector):
+        restricted = simple_vector.restrict(lambda idx: np.zeros(idx.shape, dtype=bool))
+        np.testing.assert_allclose(restricted.exact_sum(), np.zeros(6))
+
+
+class TestCollect:
+    def test_values_match_sum(self, simple_vector):
+        values = simple_vector.collect([0, 2, 5])
+        np.testing.assert_allclose(values, [1.0, 1.0, 0.5])
+
+    def test_collect_zero_coordinate(self, simple_vector):
+        np.testing.assert_allclose(simple_vector.collect([3]), [0.0])
+
+    def test_communication_cost(self, simple_vector):
+        before = simple_vector.network.total_words
+        simple_vector.collect([0, 1, 2])
+        # Two worker servers each send 3 values.
+        assert simple_vector.network.total_words - before == 2 * 3
+
+    def test_empty_query(self, simple_vector):
+        assert simple_vector.collect([]).size == 0
+
+    def test_out_of_range_raises(self, simple_vector):
+        with pytest.raises(IndexError):
+            simple_vector.collect([6])
+
+
+class TestMergedSketch:
+    def test_merged_sketch_equals_sketch_of_sum(self, simple_vector):
+        sketch = CountSketch(depth=3, width=8, domain=6, seed=0)
+        merged = simple_vector.merged_sketch(sketch)
+        direct = sketch.sketch_dense(simple_vector.exact_sum())
+        np.testing.assert_allclose(merged, direct, atol=1e-10)
+
+    def test_sketch_communication(self, simple_vector):
+        sketch = CountSketch(depth=3, width=8, domain=6, seed=0)
+        before = simple_vector.network.total_words
+        simple_vector.merged_sketch(sketch)
+        assert simple_vector.network.total_words - before == 2 * 3 * 8

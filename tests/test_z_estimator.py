@@ -1,0 +1,121 @@
+"""Tests for the Z-estimator (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.functions import HuberPsi, Identity
+from repro.sketch.z_estimator import ZEstimator
+from repro.sketch.z_heavy_hitters import ZHeavyHittersParams
+from tests.test_heavy_hitters import split_across_servers
+from tests.test_vector import make_vector
+
+
+def default_estimator(weight_fn, **kwargs):
+    params = kwargs.pop("hh_params", ZHeavyHittersParams(b=16, repetitions=1, num_buckets=8))
+    return ZEstimator(weight_fn, hh_params=params, seed=kwargs.pop("seed", 0), **kwargs)
+
+
+class TestZEstimate:
+    def test_z_total_on_concentrated_vector(self, rng):
+        """When a few coordinates carry nearly all the weight, Zhat is accurate."""
+        dense = np.zeros(400)
+        dense[[7, 90, 333]] = [50.0, -70.0, 40.0]
+        dense[rng.choice(400, 30, replace=False)] += rng.normal(scale=0.01, size=30)
+        vector = make_vector(split_across_servers(dense, 3, rng))
+        weight = Identity().sampling_weight
+        estimate = default_estimator(weight).estimate(vector)
+        true_z = weight(dense).sum()
+        assert estimate.z_total == pytest.approx(true_z, rel=0.35)
+
+    def test_z_total_order_of_magnitude_on_spread_vector(self, rng):
+        """With weight spread over many coordinates the level-set estimation
+        must still land within a small constant factor of the truth."""
+        dense = np.zeros(512)
+        support = rng.choice(512, size=256, replace=False)
+        dense[support] = rng.uniform(1.0, 2.0, size=256)
+        vector = make_vector(split_across_servers(dense, 4, rng))
+        weight = Identity().sampling_weight
+        estimator = default_estimator(
+            weight, hh_params=ZHeavyHittersParams(b=16, repetitions=2, num_buckets=16)
+        )
+        estimate = estimator.estimate(vector)
+        true_z = weight(dense).sum()
+        assert 0.2 * true_z <= estimate.z_total <= 3.0 * true_z
+
+    def test_class_sizes_never_exceed_truth_wildly(self, rng):
+        dense = np.zeros(256)
+        dense[:64] = 2.0  # one class of size exactly 64
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        weight = Identity().sampling_weight
+        estimator = default_estimator(
+            weight, hh_params=ZHeavyHittersParams(b=16, repetitions=2, num_buckets=16)
+        )
+        estimate = estimator.estimate(vector)
+        klass = estimate.class_of(4.0)  # z = 2^2
+        assert estimate.class_sizes.get(klass, 0.0) <= 64 * 2.5
+
+    def test_member_values_are_exact(self, rng):
+        dense = np.zeros(200)
+        dense[[5, 30]] = [10.0, -20.0]
+        vector = make_vector(split_across_servers(dense, 3, rng))
+        estimate = default_estimator(Identity().sampling_weight).estimate(vector)
+        for coordinate, value in estimate.member_values.items():
+            assert value == pytest.approx(dense[coordinate], abs=1e-6)
+
+    def test_recovered_coordinates_subset_of_support(self, rng):
+        dense = np.zeros(300)
+        support = rng.choice(300, size=20, replace=False)
+        dense[support] = rng.uniform(5, 10, size=20)
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        estimate = default_estimator(Identity().sampling_weight).estimate(vector)
+        recovered = set(estimate.recovered_coordinates().tolist())
+        # All recovered coordinates carry genuinely nonzero weight.
+        assert all(abs(dense[c]) > 1e-3 for c in recovered)
+
+    def test_huber_weight_declasses_outliers(self, rng):
+        """Under the Huber weight, enormous entries fall into the same class
+        as entries at the clipping threshold."""
+        huber = HuberPsi(2.0)
+        dense = np.zeros(256)
+        dense[0] = 1e6
+        dense[1] = 2.5
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        estimate = default_estimator(huber.sampling_weight).estimate(vector)
+        if 0 in estimate.member_values and 1 in estimate.member_values:
+            class_outlier = estimate.class_of(float(huber.sampling_weight(np.array([1e6]))[0]))
+            class_capped = estimate.class_of(float(huber.sampling_weight(np.array([2.5]))[0]))
+            assert class_outlier == class_capped
+
+    def test_words_used_reported(self, rng):
+        dense = rng.normal(size=128)
+        vector = make_vector(split_across_servers(dense, 3, rng))
+        before = vector.network.total_words
+        estimate = default_estimator(Identity().sampling_weight).estimate(vector)
+        assert estimate.words_used == vector.network.total_words - before
+        assert estimate.words_used > 0
+
+    def test_num_levels_zero_uses_only_direct_pass(self, rng):
+        dense = np.zeros(128)
+        dense[3] = 40.0
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        estimator = ZEstimator(
+            Identity().sampling_weight,
+            hh_params=ZHeavyHittersParams(b=8, repetitions=1, num_buckets=4),
+            num_levels=0,
+            seed=0,
+        )
+        estimate = estimator.estimate(vector)
+        assert estimate.levels_used == 0
+        assert 3 in estimate.member_values
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            ZEstimator(Identity().sampling_weight, epsilon=0.0)
+
+    def test_class_of_rejects_nonpositive(self, rng):
+        dense = np.zeros(64)
+        dense[1] = 5.0
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        estimate = default_estimator(Identity().sampling_weight).estimate(vector)
+        with pytest.raises(ValueError):
+            estimate.class_of(0.0)

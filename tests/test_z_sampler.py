@@ -1,0 +1,157 @@
+"""Tests for the Z-sampler (Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro.functions import HuberPsi, Identity
+from repro.sketch.exact import (
+    empirical_distribution,
+    exact_z_distribution,
+    total_variation_distance,
+)
+from repro.sketch.z_heavy_hitters import ZHeavyHittersParams
+from repro.sketch.z_sampler import ZSampler, ZSamplerConfig
+from tests.test_heavy_hitters import split_across_servers
+from tests.test_vector import make_vector
+
+
+def small_config(**overrides):
+    defaults = dict(
+        epsilon=0.25,
+        hh_params=ZHeavyHittersParams(b=16, repetitions=2, num_buckets=8),
+        max_levels=8,
+        min_level_count=2,
+    )
+    defaults.update(overrides)
+    return ZSamplerConfig(**defaults)
+
+
+class TestZSamplerBasics:
+    def test_sample_count_and_types(self, rng):
+        dense = np.zeros(200)
+        dense[[3, 40, 150]] = [30.0, 20.0, -25.0]
+        vector = make_vector(split_across_servers(dense, 3, rng))
+        sampler = ZSampler(Identity().sampling_weight, small_config(), seed=0)
+        draws = sampler.sample(vector, 25)
+        assert draws.indices.shape == (25,)
+        assert draws.probabilities.shape == (25,)
+        assert draws.values.shape == (25,)
+        assert np.all(draws.probabilities > 0)
+        assert np.all(draws.probabilities <= 1.0 + 1e-9)
+
+    def test_sampled_values_are_exact(self, rng):
+        dense = np.zeros(150)
+        dense[[10, 60]] = [15.0, -12.0]
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        sampler = ZSampler(Identity().sampling_weight, small_config(), seed=1)
+        draws = sampler.sample(vector, 10)
+        for idx, value in zip(draws.indices, draws.values):
+            assert value == pytest.approx(dense[idx], abs=1e-6)
+
+    def test_invalid_count(self, rng):
+        dense = np.zeros(50)
+        dense[1] = 5.0
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        sampler = ZSampler(Identity().sampling_weight, small_config(), seed=0)
+        with pytest.raises(ValueError):
+            sampler.sample(vector, 0)
+
+    def test_zero_vector_raises(self):
+        vector = make_vector([np.zeros(64), np.zeros(64)])
+        sampler = ZSampler(Identity().sampling_weight, small_config(), seed=0)
+        with pytest.raises(RuntimeError):
+            sampler.sample(vector, 5)
+
+    def test_estimate_reuse(self, rng):
+        dense = np.zeros(100)
+        dense[[4, 9]] = [10.0, 20.0]
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        sampler = ZSampler(Identity().sampling_weight, small_config(), seed=0)
+        estimate = sampler.estimate(vector)
+        before = vector.network.total_words
+        draws = sampler.sample(vector, 30, estimate=estimate)
+        # Reusing the estimate avoids re-running the sketching protocol.
+        assert vector.network.total_words == before
+        assert draws.estimate is estimate
+
+
+class TestZSamplerDistribution:
+    def test_concentrated_distribution_matches_exact(self, rng):
+        """When a handful of coordinates carry the z-mass, the sampler's
+        empirical distribution is close to the exact one in TV distance."""
+        dense = np.zeros(300)
+        heavy = np.array([5, 77, 150, 260])
+        dense[heavy] = [40.0, 25.0, -35.0, 20.0]
+        vector = make_vector(split_across_servers(dense, 3, rng))
+        weight = Identity().sampling_weight
+        sampler = ZSampler(weight, small_config(), seed=3)
+        draws = sampler.sample(vector, 2000)
+        exact = exact_z_distribution(vector, weight)
+        empirical = empirical_distribution(draws.indices, vector.dimension)
+        assert total_variation_distance(exact, empirical) < 0.25
+
+    def test_heavier_coordinates_sampled_more(self, rng):
+        dense = np.zeros(200)
+        dense[10] = 100.0
+        dense[20] = 10.0
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        sampler = ZSampler(Identity().sampling_weight, small_config(), seed=4)
+        draws = sampler.sample(vector, 500)
+        count_heavy = int(np.sum(draws.indices == 10))
+        count_light = int(np.sum(draws.indices == 20))
+        assert count_heavy > count_light
+
+    def test_huber_weight_flattens_outlier_dominance(self, rng):
+        """Under the Huber weight a single enormous entry must NOT absorb all
+        the samples (as it would under the squared-value weight)."""
+        dense = np.zeros(256)
+        dense[0] = 1e5
+        others = np.arange(50, 150)
+        dense[others] = 3.0
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        huber = HuberPsi(2.0)
+        sampler = ZSampler(
+            huber.sampling_weight,
+            small_config(hh_params=ZHeavyHittersParams(b=64, repetitions=2, num_buckets=16)),
+            seed=5,
+        )
+        draws = sampler.sample(vector, 400)
+        fraction_outlier = np.mean(draws.indices == 0)
+        # The outlier carries weight 4 out of ~404, i.e. about 1%.
+        assert fraction_outlier < 0.2
+
+    def test_reported_probability_tracks_weight(self, rng):
+        dense = np.zeros(128)
+        dense[[7, 90]] = [50.0, 5.0]
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        weight = Identity().sampling_weight
+        sampler = ZSampler(weight, small_config(), seed=6)
+        draws = sampler.sample(vector, 200)
+        z_total = weight(dense).sum()
+        for idx, prob in zip(draws.indices, draws.probabilities):
+            true_probability = weight(dense[idx : idx + 1])[0] / z_total
+            assert prob == pytest.approx(true_probability, rel=0.6)
+
+
+class TestCoordinateInjection:
+    def test_injection_enabled_still_samples(self, rng):
+        dense = np.zeros(200)
+        dense[rng.choice(200, 40, replace=False)] = rng.uniform(1, 3, size=40)
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        sampler = ZSampler(
+            Identity().sampling_weight, small_config(use_injection=True), seed=7
+        )
+        draws = sampler.sample(vector, 50)
+        assert draws.indices.shape == (50,)
+        # Injected (virtual) coordinates are never returned.
+        assert np.all(dense[draws.indices] != 0)
+
+    def test_failures_counted_with_injection(self, rng):
+        dense = np.zeros(200)
+        dense[rng.choice(200, 60, replace=False)] = rng.uniform(0.5, 1.5, size=60)
+        vector = make_vector(split_across_servers(dense, 2, rng))
+        sampler = ZSampler(
+            Identity().sampling_weight, small_config(use_injection=True), seed=8
+        )
+        draws = sampler.sample(vector, 100)
+        assert draws.failures >= 0
