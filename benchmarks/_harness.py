@@ -9,6 +9,7 @@ survive the run.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Dict, List
 
@@ -39,6 +40,25 @@ def save_result(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print("\n" + text)
+    return path
+
+
+def save_json(name: str, payload: dict, *, write_root: bool = True) -> Path:
+    """Persist machine-readable benchmark results.
+
+    The file is written under ``benchmarks/results/`` and, when
+    ``write_root`` is set, also at the repo root (uppercase ``BENCH_*``
+    files are tracked artefacts that give future PRs a perf trajectory to
+    regress against -- only overwrite them deliberately).
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path = RESULTS_DIR / name
+    path.write_text(text)
+    if write_root:
+        path = Path(__file__).parent.parent / name
+        path.write_text(text)
+    print(f"\nwrote {path}")
     return path
 
 

@@ -182,6 +182,13 @@ class GeneralizedZRowSampler(RowSampler):
     Central Processor from the collected summed row and the Z-estimator's
     ``Zhat``.
 
+    The underlying sketch stack runs on the fused (vectorized) engine by
+    default; because batching is a local-compute optimization, the words
+    charged per network tag -- including ``sampler:gather_rows`` and the
+    estimator's per-bucket sketch traffic -- are bit-for-bit identical to
+    the naive reference engine (asserted by
+    ``tests/test_vectorized_equivalence.py``).
+
     Parameters
     ----------
     function:

@@ -210,15 +210,24 @@ class LocalCluster:
     # evaluation-only operations (never charged)
     # ------------------------------------------------------------------ #
     def materialize_sum(self) -> np.ndarray:
-        """Return ``sum_t A^t`` as a dense matrix (evaluation only, cached)."""
+        """Return ``sum_t A^t`` as a dense matrix (evaluation only, cached).
+
+        Sparse components are summed sparsely and densified once at the end,
+        so a cluster of ``s`` sparse servers allocates one dense matrix
+        instead of ``s``.
+        """
         if self._cached_sum is None:
             total = np.zeros(self._shape, dtype=float)
+            sparse_total = None
             for server in self._servers:
                 local = server.local_matrix
                 if sparse.issparse(local):
-                    total += np.asarray(local.todense(), dtype=float)
+                    part = local.astype(float)
+                    sparse_total = part if sparse_total is None else sparse_total + part
                 else:
                     total += local
+            if sparse_total is not None:
+                total += np.asarray(sparse_total.todense(), dtype=float)
             self._cached_sum = total
         return self._cached_sum
 

@@ -128,6 +128,27 @@ class DistributedVector:
             restricted.append((idx[mask], val[mask]))
         return DistributedVector(restricted, self._dimension, self._network)
 
+    def restrict_by_masks(self, masks: Sequence[np.ndarray]) -> "DistributedVector":
+        """Return the restriction given one precomputed boolean mask per server.
+
+        Equivalent to :meth:`restrict` with a predicate, but lets callers
+        that already evaluated an expensive hash over every server's indices
+        (e.g. the subsample hash ``g`` of Algorithm 3, shared across all
+        levels) derive the restriction without re-evaluating it.
+        """
+        if len(masks) != self.num_servers:
+            raise ValueError("need exactly one mask per server")
+        restricted: List[LocalComponent] = []
+        for (idx, val), mask in zip(self._components, masks):
+            if idx.size == 0:
+                restricted.append((idx, val))
+                continue
+            keep_mask = np.asarray(mask, dtype=bool)
+            if keep_mask.shape != idx.shape:
+                raise ValueError("mask shape must match the server's index array")
+            restricted.append((idx[keep_mask], val[keep_mask]))
+        return DistributedVector(restricted, self._dimension, self._network)
+
     def local_sketch_tables(self, sketcher) -> List[np.ndarray]:
         """Have every server sketch its local component (free local computation)."""
         return [

@@ -21,12 +21,20 @@ The generalized sampler is assembled bottom-up:
   coordinate-injection step for "growing" classes.
 * :mod:`repro.sketch.exact` -- centralized reference samplers used by tests
   and ablations.
+* :mod:`repro.sketch.engine` -- switch between the fused (vectorized,
+  default) execution engine and the retained naive reference engine; both
+  produce bit-for-bit identical results and communication.
 """
 
-from repro.sketch.countsketch import CountSketch
+from repro.sketch.countsketch import BatchedCountSketch, CountSketch
+from repro.sketch.engine import fused_enabled, naive_reference, set_fused
 from repro.sketch.exact import exact_z_distribution, exact_z_sample
 from repro.sketch.hashing import KWiseHash, PairwiseHash, SignHash, SubsampleHash
-from repro.sketch.heavy_hitters import HeavyHittersResult, distributed_heavy_hitters
+from repro.sketch.heavy_hitters import (
+    HeavyHittersResult,
+    distributed_heavy_hitters,
+    heavy_hitters_from_tables,
+)
 from repro.sketch.z_estimator import ZEstimate, ZEstimator
 from repro.sketch.z_heavy_hitters import z_heavy_hitters
 from repro.sketch.z_sampler import ZSampler, ZSamplerConfig
@@ -37,7 +45,9 @@ __all__ = [
     "SignHash",
     "SubsampleHash",
     "CountSketch",
+    "BatchedCountSketch",
     "distributed_heavy_hitters",
+    "heavy_hitters_from_tables",
     "HeavyHittersResult",
     "z_heavy_hitters",
     "ZEstimator",
@@ -46,4 +56,7 @@ __all__ = [
     "ZSamplerConfig",
     "exact_z_distribution",
     "exact_z_sample",
+    "fused_enabled",
+    "naive_reference",
+    "set_fused",
 ]

@@ -12,6 +12,16 @@ component and summing the tables at the Central Processor -- exactly the
 observation the paper uses to port the streaming algorithm to the
 distributed setting ("because it provides a linear sketch, it can be easily
 converted into a distributed protocol").
+
+Two numerically identical execution engines are provided (see
+:mod:`repro.sketch.engine`): the default *fused* engine evaluates all
+``depth`` bucket/sign hashes as stacked ``(depth, nnz)`` arrays in one
+Horner pass and builds the table with a single scatter-add over
+flattened ``row * width + bucket`` keys; the retained *naive* engine is the
+original per-row loop, used as the reference baseline in tests and
+benchmarks.  :class:`BatchedCountSketch` extends the fused path across a
+whole family of sketches (one per bucket of Algorithm 2) so a server's
+component is sketched into all per-bucket tables in one pass.
 """
 
 from __future__ import annotations
@@ -20,8 +30,81 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.sketch.hashing import KWiseHash, SignHash
+from repro.sketch import engine
+from repro.sketch.hashing import (
+    KWiseHash,
+    SignHash,
+    _mersenne_exact,
+    _mersenne_fold,
+    _reduced_keys,
+    gathered_polynomial_hash,
+    range_reduce,
+)
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+
+
+#: Default upper bound (bytes) on the per-instance domain hash caches.
+DEFAULT_CACHE_BYTE_LIMIT = 256 * 1024 * 1024
+
+
+def _scratch_buffers(
+    scratch: dict, count: int, depth: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return reusable ``(int64, int8, float64)`` gather/weight buffers.
+
+    The hot loops (one sketch per server, one estimate per block) hit the
+    same handful of query sizes repeatedly; reusing buffers avoids tens of
+    MB of allocation + page faulting per call.  The pool is cleared when it
+    accumulates more than a handful of distinct sizes.
+    """
+    buffers = scratch.get(count)
+    if buffers is None:
+        if len(scratch) >= 8:
+            scratch.clear()
+        buffers = (
+            np.empty((count, depth), dtype=np.int64),
+            np.empty((count, depth), dtype=np.int8),
+            np.empty((count, depth), dtype=np.float64),
+        )
+        scratch[count] = buffers
+    return buffers
+
+
+def _median_of_three(a, b, c) -> np.ndarray:
+    """Exact median of three same-shape arrays via a min/max network."""
+    return np.maximum(np.minimum(a, b), np.minimum(np.maximum(a, b), c))
+
+
+def _median_of_five(columns) -> np.ndarray:
+    """Exact median of five same-shape arrays via a min/max network."""
+    c0, c1, c2, c3, c4 = columns
+    lo01, hi01 = np.minimum(c0, c1), np.maximum(c0, c1)
+    lo23, hi23 = np.minimum(c2, c3), np.maximum(c2, c3)
+    # The overall min and max of the first four cannot be the median of
+    # five; the median is the median of the two middle values and c4.
+    mid1 = np.maximum(lo01, lo23)
+    mid2 = np.minimum(hi01, hi23)
+    return _median_of_three(mid1, mid2, c4)
+
+
+def _row_median(estimates: np.ndarray) -> np.ndarray:
+    """Median along the last axis of a coordinate-major ``(n, depth)`` array.
+
+    Depths 3 and 5 (the common CountSketch depths) use exact min/max
+    selection networks; other depths use a small-row ``np.sort`` plus middle
+    pick.  Both are bit-for-bit identical to ``np.median(..., axis=1)`` (for
+    even depth the mean of the two middle elements is ``(a + b) * 0.5``,
+    exactly what ``np.median`` computes) while substantially faster.
+    """
+    depth = estimates.shape[1]
+    if depth == 3:
+        return _median_of_three(estimates[:, 0], estimates[:, 1], estimates[:, 2])
+    if depth == 5:
+        return _median_of_five([estimates[:, r] for r in range(5)])
+    ordered = np.sort(estimates, axis=1)
+    if depth % 2:
+        return np.ascontiguousarray(ordered[:, depth // 2])
+    return (ordered[:, depth // 2 - 1] + ordered[:, depth // 2]) * 0.5
 
 
 class CountSketch:
@@ -45,6 +128,10 @@ class CountSketch:
         Seed for the bucket and sign hashes.
     """
 
+    #: Upper bound (bytes) on the per-instance domain hash cache; instances
+    #: whose ``depth x domain`` tables would exceed it never build one.
+    CACHE_BYTE_LIMIT = DEFAULT_CACHE_BYTE_LIMIT
+
     def __init__(self, depth: int, width: int, domain: int, seed: RandomState = None) -> None:
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
@@ -58,6 +145,88 @@ class CountSketch:
         rngs = spawn_rngs(ensure_rng(seed), 2 * self.depth)
         self._bucket_hashes = [KWiseHash(2, self.width, rngs[2 * r]) for r in range(self.depth)]
         self._sign_hashes = [SignHash(rngs[2 * r + 1]) for r in range(self.depth)]
+        # Stacked coefficient matrices for the fused engine: one Horner pass
+        # evaluates all rows' hashes at once, bit-identically to the per-row
+        # KWiseHash evaluations above.
+        self._bucket_coeffs = np.stack(
+            [h.coefficients for h in self._bucket_hashes]
+        ).astype(np.uint64)
+        self._sign_coeffs = np.stack(
+            [h._hash.coefficients for h in self._sign_hashes]
+        ).astype(np.uint64)
+        # Lazy domain-wide hash cache (fused engine only): once this instance
+        # has hashed at least ``domain`` coordinates in total, hashing the
+        # whole domain once and serving every later call by gather is cheaper
+        # than re-evaluating the polynomials.  Stored coordinate-major so a
+        # gather of coordinates reads contiguous rows: ``_flat_cache[j, r]``
+        # is the flattened table cell ``r * width + h_r(j)`` and
+        # ``_sign_cache[j, r]`` is ``sigma_r(j)`` as int8.
+        self._flat_cache: np.ndarray | None = None
+        self._sign_cache: np.ndarray | None = None
+        self._hashed_elements = 0
+        # Reusable gather/weight scratch buffers keyed by query size.
+        self._scratch: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------ #
+    # fused hash evaluation
+    # ------------------------------------------------------------------ #
+    def hash_all_rows(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(buckets, signs)`` of shape ``(depth, len(indices))`` in one pass.
+
+        The pairwise bucket polynomials and 4-wise sign polynomials of all
+        rows are evaluated together in power basis, sharing one key
+        reduction and one set of key powers; outputs are bit-for-bit
+        identical to evaluating each row's :class:`KWiseHash` separately.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        x = _reduced_keys(idx)
+        bc, sc = self._bucket_coeffs, self._sign_coeffs
+        bucket_acc = bc[:, 0:1] + bc[:, 1:2] * x
+        buckets = range_reduce(
+            _mersenne_exact(_mersenne_fold(bucket_acc)), self.width
+        ).astype(np.int64)
+        x2 = _mersenne_fold(x * x)
+        x3 = _mersenne_fold(x2 * x)
+        sign_acc = sc[:, 0:1] + sc[:, 1:2] * x + sc[:, 2:3] * x2 + sc[:, 3:4] * x3
+        sign_bits = (_mersenne_exact(_mersenne_fold(sign_acc)) & np.uint64(1)).astype(
+            np.int64
+        )
+        return buckets, sign_bits * 2 - 1
+
+    def _cache_allowed(self) -> bool:
+        return self.depth * self.domain * 9 <= self.CACHE_BYTE_LIMIT
+
+    def _build_domain_cache(self) -> None:
+        buckets, signs = self.hash_all_rows(np.arange(self.domain, dtype=np.int64))
+        rows = np.arange(self.depth, dtype=np.int64)[:, None]
+        self._flat_cache = np.ascontiguousarray((rows * self.width + buckets).T)
+        self._sign_cache = np.ascontiguousarray(signs.T.astype(np.int8))
+
+    def _scratch_for(self, count: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return _scratch_buffers(self._scratch, count, self.depth)
+
+    def _fused_keys(self, idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return coordinate-major ``(flat_cells, signs)`` of shape ``(len(idx), depth)``.
+
+        The returned arrays may be reused scratch buffers -- callers must
+        consume them before the next call on this sketch.  Indices must lie
+        in ``[0, domain)``.
+        """
+        self._hashed_elements += idx.size
+        if (
+            self._flat_cache is None
+            and self._cache_allowed()
+            and self._hashed_elements >= self.domain
+        ):
+            self._build_domain_cache()
+        if self._flat_cache is not None:
+            flat_keys, signs, _ = self._scratch_for(idx.size)
+            np.take(self._flat_cache, idx, axis=0, out=flat_keys, mode="clip")
+            np.take(self._sign_cache, idx, axis=0, out=signs, mode="clip")
+            return flat_keys, signs
+        buckets, signs = self.hash_all_rows(idx)
+        rows = np.arange(self.depth, dtype=np.int64)[:, None]
+        return (rows * self.width + buckets).T, signs.T
 
     # ------------------------------------------------------------------ #
     # sketching and merging
@@ -72,11 +241,28 @@ class CountSketch:
         val = np.asarray(values, dtype=float)
         if idx.shape != val.shape:
             raise ValueError("indices and values must have the same shape")
-        table = self.empty_table()
         if idx.size == 0:
-            return table
+            return self.empty_table()
         if idx.min() < 0 or idx.max() >= self.domain:
             raise IndexError(f"indices must lie in [0, {self.domain - 1}]")
+        if not engine.fused_enabled():
+            return self._sketch_naive(idx, val)
+        # Coordinate-major scatter-add: within any table cell the additions
+        # happen in coordinate order, exactly as the per-row naive loop, so
+        # the resulting table is bit-for-bit identical.
+        flat_keys, signs = self._fused_keys(idx)
+        if self._flat_cache is not None:
+            weights = self._scratch_for(idx.size)[2]
+            np.multiply(signs, val[:, None], out=weights)
+        else:
+            weights = signs * val[:, None]
+        table = np.zeros(self.depth * self.width, dtype=float)
+        np.add.at(table, flat_keys.ravel(), weights.ravel())
+        return table.reshape(self.depth, self.width)
+
+    def _sketch_naive(self, idx: np.ndarray, val: np.ndarray) -> np.ndarray:
+        """Reference implementation: one ``np.add.at`` pass per row."""
+        table = self.empty_table()
         for r in range(self.depth):
             buckets = self._bucket_hashes[r](idx)
             signs = self._sign_hashes[r](idx)
@@ -111,6 +297,22 @@ class CountSketch:
         table = np.asarray(table, dtype=float)
         if table.shape != (self.depth, self.width):
             raise ValueError("table shape does not match this sketch")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.domain):
+            raise IndexError(f"indices must lie in [0, {self.domain - 1}]")
+        if not engine.fused_enabled():
+            return self._estimate_naive(table, idx)
+        flat_table = np.ascontiguousarray(table).ravel()
+        flat_keys, signs = self._fused_keys(idx)
+        if self._flat_cache is not None:
+            estimates = self._scratch_for(idx.size)[2]
+            np.take(flat_table, flat_keys, out=estimates, mode="clip")
+            np.multiply(estimates, signs, out=estimates)
+            return _row_median(estimates)
+        estimates = signs * flat_table[flat_keys]
+        return _row_median(estimates)
+
+    def _estimate_naive(self, table: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Reference implementation: one gather per row."""
         estimates = np.empty((self.depth, idx.size), dtype=float)
         for r in range(self.depth):
             buckets = self._bucket_hashes[r](idx)
@@ -120,6 +322,26 @@ class CountSketch:
 
     def estimate_all(self, table: np.ndarray, block: int = 1 << 18) -> np.ndarray:
         """Point-query estimates for the entire domain (processed in blocks)."""
+        if engine.fused_enabled() and self._cache_allowed():
+            table = np.asarray(table, dtype=float)
+            if table.shape != (self.depth, self.width):
+                raise ValueError("table shape does not match this sketch")
+            if self._flat_cache is None:
+                self._hashed_elements += self.domain
+                self._build_domain_cache()
+            # Column slices of the cache are views: estimating the whole
+            # domain costs one gather + median per block, no hashing at all.
+            flat_table = np.ascontiguousarray(table).ravel()
+            out = np.empty(self.domain, dtype=float)
+            for start in range(0, self.domain, block):
+                stop = min(start + block, self.domain)
+                estimates = self._scratch_for(stop - start)[2]
+                np.take(
+                    flat_table, self._flat_cache[start:stop], out=estimates, mode="clip"
+                )
+                np.multiply(estimates, self._sign_cache[start:stop], out=estimates)
+                out[start:stop] = _row_median(estimates)
+            return out
         out = np.empty(self.domain, dtype=float)
         for start in range(0, self.domain, block):
             stop = min(start + block, self.domain)
@@ -139,3 +361,180 @@ class CountSketch:
         for bucket_hash, sign_hash in zip(self._bucket_hashes, self._sign_hashes):
             total += bucket_hash.word_count() + sign_hash.word_count()
         return total
+
+
+class BatchedCountSketch:
+    """A stacked family of same-shape CountSketches, one per hash bucket.
+
+    Algorithm 2 sketches every bucket's sub-vector with an *independent*
+    CountSketch.  The naive protocol therefore makes ``num_buckets`` passes
+    over each server's component; this class makes **one**: every
+    coordinate's bucket assignment selects which member sketch's hash
+    coefficients apply to it (a gather inside the shared Horner pass), and a
+    single scatter-add over ``(bucket, row, cell)`` keys builds all the
+    per-bucket tables as one ``(num_buckets, depth, width)`` array.
+
+    The member sketches are ordinary :class:`CountSketch` objects (each
+    constructed from its own seed, exactly as the naive protocol would), so
+    per-bucket tables, estimates and word counts are bit-for-bit identical
+    to sketching each bucket separately.
+
+    When the bucket partition of the domain is known (Algorithm 2 hashes the
+    domain once per repetition anyway), :meth:`build_domain_cache` evaluates
+    every coordinate's *own bucket's* hashes once and stores them
+    coordinate-major; all per-server sketches and all per-bucket point
+    queries then reduce to gathers, so the hash polynomials are evaluated
+    exactly once per repetition no matter how many servers or queries follow.
+    """
+
+    #: Upper bound (bytes) on the domain hash cache (see CountSketch).
+    CACHE_BYTE_LIMIT = DEFAULT_CACHE_BYTE_LIMIT
+
+    def __init__(self, sketches: Sequence[CountSketch]) -> None:
+        if len(sketches) == 0:
+            raise ValueError("need at least one member sketch")
+        depths = {s.depth for s in sketches}
+        widths = {s.width for s in sketches}
+        domains = {s.domain for s in sketches}
+        if len(depths) != 1 or len(widths) != 1 or len(domains) != 1:
+            raise ValueError("all member sketches must share (depth, width, domain)")
+        self.sketches = list(sketches)
+        self.num_buckets = len(self.sketches)
+        self.depth = self.sketches[0].depth
+        self.width = self.sketches[0].width
+        self.domain = self.sketches[0].domain
+        # (num_buckets, depth, k) coefficient tensors for the gathered pass.
+        self._bucket_coeffs = np.stack([s._bucket_coeffs for s in self.sketches])
+        self._sign_coeffs = np.stack([s._sign_coeffs for s in self.sketches])
+        # Domain-wide cache of each coordinate's own-bucket hash values:
+        # ``_flat_cache[j, r] = r * width + h^{(bucket_of_j)}_r(j)`` (the cell
+        # within that bucket's member table), the matching int8 signs, and
+        # the sign-encoded doubled cells used by point queries.
+        self._flat_cache: np.ndarray | None = None
+        self._sign_cache: np.ndarray | None = None
+        self._signed_cell_cache: np.ndarray | None = None
+        self._scratch: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    def build_domain_cache(self, bucket_members: Sequence[np.ndarray]) -> bool:
+        """Precompute every coordinate's own-bucket hash values in one pass.
+
+        ``bucket_members[b]`` lists the domain coordinates assigned to bucket
+        ``b`` (a partition of ``[0, domain)``).  Each bucket's member sketch
+        hashes its coordinates with the fast stacked Horner pass and the
+        results are scattered into one coordinate-major cache.  Returns False
+        (and builds nothing) when the cache would exceed ``CACHE_BYTE_LIMIT``.
+        """
+        if self.depth * self.domain * 17 > self.CACHE_BYTE_LIMIT:
+            return False
+        covered = np.zeros(self.domain, dtype=bool)
+        for coords in bucket_members:
+            covered[np.asarray(coords, dtype=np.int64)] = True
+        if not covered.all():
+            raise ValueError(
+                "bucket_members must partition the whole domain "
+                f"(covered {int(covered.sum())} of {self.domain} coordinates)"
+            )
+        flat = np.empty((self.domain, self.depth), dtype=np.int64)
+        sign = np.empty((self.domain, self.depth), dtype=np.int8)
+        row_offsets = np.arange(self.depth, dtype=np.int64)[:, None] * self.width
+        for bucket, coords in enumerate(bucket_members):
+            if coords.size == 0:
+                continue
+            buckets, signs = self.sketches[bucket].hash_all_rows(coords)
+            flat[coords] = (row_offsets + buckets).T
+            sign[coords] = signs.T.astype(np.int8)
+        self._flat_cache = flat
+        self._sign_cache = sign
+        # 2*cell for positive sign, 2*cell + 1 for negative: an index into a
+        # doubled ``(table, -table)`` array, making point queries one gather.
+        self._signed_cell_cache = 2 * flat + (sign < 0)
+        return True
+
+    def _scratch_for(self, count: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return _scratch_buffers(self._scratch, count, self.depth)
+
+    @classmethod
+    def from_seeds(
+        cls, num_buckets: int, depth: int, width: int, domain: int, seeds: Sequence
+    ) -> "BatchedCountSketch":
+        """Build one member sketch per bucket from per-bucket seeds."""
+        if len(seeds) != num_buckets:
+            raise ValueError("need exactly one seed per bucket")
+        return cls([CountSketch(depth, width, domain, seed=s) for s in seeds])
+
+    def empty_tables(self) -> np.ndarray:
+        """Return an all-zero ``(num_buckets, depth, width)`` table stack."""
+        return np.zeros((self.num_buckets, self.depth, self.width), dtype=float)
+
+    def sketch_assigned(
+        self, indices: np.ndarray, values: np.ndarray, assignment: np.ndarray
+    ) -> np.ndarray:
+        """Sketch ``(indices, values)`` into every bucket's table in one pass.
+
+        ``assignment[i]`` is the bucket of ``indices[i]``; coordinate ``i``
+        contributes only to table ``assignment[i]``, hashed by that bucket's
+        own CountSketch.  Returns a ``(num_buckets, depth, width)`` array.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        val = np.asarray(values, dtype=float)
+        assign = np.asarray(assignment, dtype=np.int64)
+        if idx.shape != val.shape or idx.shape != assign.shape:
+            raise ValueError("indices, values and assignment must have the same shape")
+        if idx.size == 0:
+            return self.empty_tables()
+        if idx.min() < 0 or idx.max() >= self.domain:
+            raise IndexError(f"indices must lie in [0, {self.domain - 1}]")
+        if assign.min() < 0 or assign.max() >= self.num_buckets:
+            raise IndexError("assignment out of range")
+        table_words = self.depth * self.width
+        if self._flat_cache is not None:
+            # Cached path: the per-coordinate hash values are gathers; only
+            # the stacked-table offset of the assigned bucket is computed.
+            flat_keys, signs, weights = self._scratch_for(idx.size)
+            np.take(self._flat_cache, idx, axis=0, out=flat_keys, mode="clip")
+            flat_keys += (assign * table_words)[:, None]
+            np.take(self._sign_cache, idx, axis=0, out=signs, mode="clip")
+            np.multiply(signs, val[:, None], out=weights)
+        else:
+            buckets = (
+                gathered_polynomial_hash(idx, self._bucket_coeffs, assign)
+                % np.uint64(self.width)
+            ).astype(np.int64)
+            sign_bits = (
+                gathered_polynomial_hash(idx, self._sign_coeffs, assign) % np.uint64(2)
+            ).astype(np.int64) * 2 - 1
+            rows = np.arange(self.depth, dtype=np.int64)[:, None]
+            flat_keys = (assign * table_words)[None, :] + rows * self.width + buckets
+            flat_keys = flat_keys.T
+            weights = (sign_bits * val).T
+        tables = np.zeros(self.num_buckets * table_words, dtype=float)
+        np.add.at(tables, flat_keys.ravel(), weights.ravel())
+        return tables.reshape(self.num_buckets, self.depth, self.width)
+
+    def estimate_member(
+        self, bucket: int, table: np.ndarray, indices: np.ndarray
+    ) -> np.ndarray:
+        """Point-query bucket ``bucket``'s merged table at ``indices``.
+
+        Identical to ``self.sketches[bucket].estimate(table, indices)`` but
+        served from the domain cache when one was built; ``indices`` must be
+        coordinates assigned to that bucket.
+        """
+        if self._flat_cache is None:
+            return self.sketches[bucket].estimate(table, indices)
+        idx = np.asarray(indices, dtype=np.int64)
+        table = np.asarray(table, dtype=float)
+        if table.shape != (self.depth, self.width):
+            raise ValueError("table shape does not match this sketch")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.domain):
+            raise IndexError(f"indices must lie in [0, {self.domain - 1}]")
+        # The signed-cell cache encodes the sign in the cell index against a
+        # doubled table holding ``(table[c], -table[c])`` pairs, so one
+        # gather replaces gather-sign + gather-cell + multiply.
+        doubled = np.empty(2 * self.depth * self.width, dtype=float)
+        doubled[0::2] = np.ascontiguousarray(table).ravel()
+        doubled[1::2] = -doubled[0::2]
+        flat_keys, _, estimates = self._scratch_for(idx.size)
+        np.take(self._signed_cell_cache, idx, axis=0, out=flat_keys, mode="clip")
+        np.take(doubled, flat_keys, out=estimates, mode="clip")
+        return _row_median(estimates)

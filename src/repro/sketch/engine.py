@@ -1,0 +1,47 @@
+"""Global switch between the fused (vectorized) and naive sketch engines.
+
+The sketch layer has two numerically *identical* implementations of every
+hot primitive:
+
+* the **fused** engine (the default): hash evaluations batched across
+  CountSketch rows and buckets, tables built with a single scatter-add
+  over flattened cell keys, subsample-hash values cached across levels,
+  draws vectorised;
+* the **naive** engine: the original per-row / per-bucket / per-level
+  Python loops, retained as an executable reference.
+
+Both engines consume randomness only while *constructing* hash objects --
+evaluation never touches an RNG -- so for a fixed seed they build the same
+hash functions, produce bit-for-bit identical tables, candidates and
+estimates, and therefore charge exactly the same communication per tag.
+The equivalence tests in ``tests/test_vectorized_equivalence.py`` assert
+this; the benchmarks use the naive engine as the speedup baseline.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_FUSED_ENABLED = True
+
+
+def fused_enabled() -> bool:
+    """Return True when the fused (vectorized) engine is active."""
+    return _FUSED_ENABLED
+
+
+def set_fused(enabled: bool) -> None:
+    """Globally enable or disable the fused engine."""
+    global _FUSED_ENABLED
+    _FUSED_ENABLED = bool(enabled)
+
+
+@contextmanager
+def naive_reference():
+    """Context manager running the enclosed code on the naive reference engine."""
+    previous = _FUSED_ENABLED
+    set_fused(False)
+    try:
+        yield
+    finally:
+        set_fused(previous)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sketch import engine
 from repro.utils.rng import RandomState, ensure_rng
 
 #: The Mersenne prime 2^31 - 1; larger than any coordinate index used in the
@@ -27,6 +28,123 @@ def _polynomial_hash(keys: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
     for coefficient in coefficients[::-1]:
         result = (result * keys_mod + np.uint64(int(coefficient))) % prime
     return result
+
+
+def _mersenne_fold(values: np.ndarray) -> np.ndarray:
+    """Partially reduce ``values`` (any uint64) modulo ``p = 2^31 - 1``.
+
+    Two shift-and-add folds exploit ``2^31 = 1 (mod p)``: the result is
+    congruent to ``values`` and bounded by ``p + 8`` (for inputs < 2^64;
+    inputs < 2^62 fold to at most ``p + 1``), small enough both for
+    :func:`_mersenne_exact` (which accepts ``[0, 2p)``) and for the next
+    multiply-accumulate: callers may defer folding across at most three
+    ``< 2^62`` monomials plus one previously folded term before the uint64
+    accumulator could overflow.  This replaces the hardware division of
+    ``%`` with a handful of cheap vector ops.
+    """
+    prime = np.uint64(MERSENNE_PRIME)
+    folded = (values & prime) + (values >> np.uint64(31))
+    return (folded & prime) + (folded >> np.uint64(31))
+
+
+def _mersenne_exact(values: np.ndarray) -> np.ndarray:
+    """Finish a folded reduction: map values in ``[0, 2p)`` to ``[0, p)``."""
+    prime = np.uint64(MERSENNE_PRIME)
+    return np.where(values >= prime, values - prime, values)
+
+
+def _reduced_keys(keys: np.ndarray) -> np.ndarray:
+    """Return ``keys mod p`` as a ``(1, n)`` uint64 row using fold reduction."""
+    flat = np.asarray(keys, dtype=np.uint64).reshape(1, -1)
+    return _mersenne_exact(_mersenne_fold(flat))
+
+
+def range_reduce(values: np.ndarray, range_size: int) -> np.ndarray:
+    """Map exact field residues into ``[0, range_size)``.
+
+    A power-of-two range uses a bitmask instead of hardware division;
+    identical to ``values % range_size`` in either case.
+    """
+    size = np.uint64(range_size)
+    if range_size & (range_size - 1) == 0:
+        return values & (size - np.uint64(1))
+    return values % size
+
+
+def stacked_polynomial_hash(keys: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
+    """Evaluate a whole *family* of polynomial hashes over ``keys`` in one pass.
+
+    ``coefficients`` has shape ``(num_hashes, k)`` -- one degree-``(k-1)``
+    polynomial per row -- and the result has shape ``(num_hashes, len(keys))``.
+    Horner's rule runs once with the coefficient column broadcast across the
+    key axis and the modulus computed by Mersenne fold reduction, so the
+    result of every ``(hash, key)`` pair is bit-for-bit identical to the
+    per-hash :func:`_polynomial_hash` evaluation while avoiding both the
+    per-hash Python loop and the hardware division of ``%``.
+    """
+    coeffs = np.asarray(coefficients, dtype=np.uint64)
+    if coeffs.ndim != 2:
+        raise ValueError("coefficients must have shape (num_hashes, k)")
+    keys_mod = _reduced_keys(keys)
+    k = coeffs.shape[1]
+    if k == 1:
+        constants = _mersenne_exact(_mersenne_fold(coeffs[:, :1]))
+        return np.broadcast_to(
+            constants, (coeffs.shape[0], keys_mod.shape[1])
+        ).copy()
+    # Power-basis evaluation: precompute x^j (shared by every hash in the
+    # family) and defer reduction -- up to three O(2^62) monomials fit in a
+    # uint64 accumulator before a fold is needed, so evaluating a degree-3
+    # polynomial costs three multiply-adds and ONE reduction instead of a
+    # fold per Horner step.  The final canonical reduce makes the outputs
+    # bit-for-bit equal to :func:`_polynomial_hash`.
+    power = keys_mod
+    acc = coeffs[:, 0:1] + coeffs[:, 1:2] * power
+    pending = 1
+    for j in range(2, k):
+        power = _mersenne_fold(power * keys_mod)
+        if pending == 3:
+            acc = _mersenne_fold(acc)
+            pending = 0
+        acc = acc + coeffs[:, j : j + 1] * power
+        pending += 1
+    return _mersenne_exact(_mersenne_fold(acc))
+
+
+def gathered_polynomial_hash(
+    keys: np.ndarray, coefficients: np.ndarray, selector: np.ndarray
+) -> np.ndarray:
+    """Evaluate per-key-*selected* hash families over ``keys`` in one pass.
+
+    ``coefficients`` has shape ``(num_families, num_hashes, k)`` and
+    ``selector`` assigns each key to one family; key ``i`` is hashed by all
+    ``num_hashes`` polynomials of family ``selector[i]``.  Returns an array of
+    shape ``(num_hashes, len(keys))``.  This is the batched-bucket primitive:
+    Algorithm 2 sketches every bucket's sub-vector with that bucket's own
+    CountSketch hashes, and the gather lets one Horner pass serve all buckets
+    without a Python loop over them.
+    """
+    coeffs = np.asarray(coefficients, dtype=np.uint64)
+    if coeffs.ndim != 3:
+        raise ValueError("coefficients must have shape (num_families, num_hashes, k)")
+    sel = np.asarray(selector, dtype=np.int64)
+    keys_mod = _reduced_keys(keys)
+    k = coeffs.shape[2]
+    if k == 1:
+        return _mersenne_exact(_mersenne_fold(np.ascontiguousarray(coeffs[sel, :, 0].T)))
+    # Power-basis evaluation with per-key coefficient gathers (each key uses
+    # its family's c_j); see stacked_polynomial_hash for the fold schedule.
+    power = keys_mod
+    acc = coeffs[sel, :, 0].T + coeffs[sel, :, 1].T * power
+    pending = 1
+    for j in range(2, k):
+        power = _mersenne_fold(power * keys_mod)
+        if pending == 3:
+            acc = _mersenne_fold(acc)
+            pending = 0
+        acc = acc + coeffs[sel, :, j].T * power
+        pending += 1
+    return _mersenne_exact(_mersenne_fold(acc))
 
 
 class KWiseHash:
@@ -61,6 +179,11 @@ class KWiseHash:
 
     def __call__(self, keys) -> np.ndarray:
         keys_arr = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        if engine.fused_enabled():
+            # Same polynomial, evaluated with Mersenne fold reduction instead
+            # of hardware division -- bit-for-bit identical outputs.
+            hashed = stacked_polynomial_hash(keys_arr, self.coefficients[None, :])[0]
+            return range_reduce(hashed, self.range_size).astype(np.int64)
         hashed = _polynomial_hash(keys_arr, self.coefficients)
         return (hashed % np.uint64(self.range_size)).astype(np.int64)
 
@@ -117,14 +240,25 @@ class SubsampleHash:
     def __call__(self, keys) -> np.ndarray:
         return self._hash(keys)
 
+    def level_threshold(self, level: int) -> int:
+        """Return the survival threshold of level ``level``.
+
+        A coordinate survives level ``j`` iff ``g(i) < domain_scale / 2^j``;
+        exposing the threshold lets callers that cached ``g`` over their
+        coordinates derive *every* level's survivor mask by comparing the
+        cached values, instead of re-evaluating the degree-16 polynomial
+        once per level.
+        """
+        if level < 0:
+            raise ValueError(f"level must be >= 0, got {level}")
+        return max(1, self.domain_scale >> level)
+
     def level_predicate(self, level: int):
         """Return a vectorised predicate keeping coordinates at subsample level ``level``.
 
         Level 0 keeps everything; level ``j`` keeps a ``2^{-j}`` fraction.
         """
-        if level < 0:
-            raise ValueError(f"level must be >= 0, got {level}")
-        threshold = max(1, self.domain_scale >> level)
+        threshold = self.level_threshold(level)
 
         def keep(indices: np.ndarray) -> np.ndarray:
             return self(indices) < threshold

@@ -44,6 +44,95 @@ def _sketch_dimensions(b: float, delta: float, width_factor: float) -> tuple[int
     return depth, width
 
 
+def _select_heavy(
+    sketch: CountSketch,
+    merged: np.ndarray,
+    b: float,
+    query: np.ndarray,
+    max_candidates: Optional[int],
+    estimate_fn=None,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Extract the heavy candidates of ``query`` from a merged table.
+
+    Shared between :func:`distributed_heavy_hitters` (which also moves the
+    tables) and :func:`heavy_hitters_from_tables` (which receives tables the
+    batched engine already built); returns ``(candidates, estimates, f2)``.
+    ``estimate_fn(merged, query)`` overrides the point-query implementation
+    (used by the batched engine to serve estimates from its hash cache); it
+    must return exactly what ``sketch.estimate`` would.
+    """
+    f2 = sketch.f2_estimate(merged)
+    if query.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0), f2
+    if estimate_fn is None:
+        estimates = sketch.estimate(merged, query)
+    else:
+        estimates = estimate_fn(merged, query)
+
+    if f2 <= 0:
+        heavy_mask = np.zeros(query.size, dtype=bool)
+    else:
+        heavy_mask = estimates * estimates >= f2 / float(b)
+    candidates = query[heavy_mask]
+    candidate_estimates = estimates[heavy_mask]
+
+    cap = int(max_candidates) if max_candidates is not None else max(1, int(4 * b))
+    if candidates.size > cap:
+        keep = np.argsort(-np.abs(candidate_estimates))[:cap]
+        keep.sort()
+        candidates = candidates[keep]
+        candidate_estimates = candidate_estimates[keep]
+    return candidates, candidate_estimates, f2
+
+
+def heavy_hitters_from_tables(
+    sketch: CountSketch,
+    per_server_tables,
+    network,
+    b: float,
+    *,
+    candidate_indices: np.ndarray,
+    max_candidates: Optional[int] = None,
+    tag: str = "heavy_hitters",
+    estimate_fn=None,
+    assume_unique: bool = False,
+) -> HeavyHittersResult:
+    """Run the ``HeavyHitters`` protocol on locally pre-built tables.
+
+    The batched Z-HeavyHitters engine sketches every bucket's sub-vector in
+    one pass per server; this entry point performs the *protocol* part for
+    one bucket -- broadcast the seeds, ship each worker's table to the CP,
+    merge and extract candidates -- charging exactly the words the
+    table-building :func:`distributed_heavy_hitters` would charge.
+
+    ``per_server_tables`` is one ``(depth, width)`` table per server
+    (server 0 is the CP, whose table never crosses the network).
+    """
+    if b <= 0:
+        raise ValueError(f"b must be positive, got {b}")
+    num_servers = len(per_server_tables)
+    words_before = network.total_words
+    seed_words = sketch.seed_word_count()
+    for server in range(1, num_servers):
+        network.charge(0, server, seed_words, tag=f"{tag}:seeds")
+    for server in range(1, num_servers):
+        network.send(server, 0, per_server_tables[server], tag=f"{tag}:tables")
+    merged = np.sum(per_server_tables, axis=0)
+
+    query = np.asarray(candidate_indices, dtype=np.int64)
+    if not assume_unique:
+        query = np.unique(query)
+    candidates, candidate_estimates, f2 = _select_heavy(
+        sketch, merged, b, query, max_candidates, estimate_fn
+    )
+    return HeavyHittersResult(
+        candidates=candidates,
+        estimates=candidate_estimates,
+        f2_estimate=f2,
+        words_used=network.total_words - words_before,
+    )
+
+
 def distributed_heavy_hitters(
     vector: DistributedVector,
     b: float,
@@ -101,34 +190,13 @@ def distributed_heavy_hitters(
         network.charge(0, server, seed_words, tag=f"{tag}:seeds")
     merged = vector.merged_sketch(sketch, tag=f"{tag}:tables")
 
-    f2 = sketch.f2_estimate(merged)
     if candidate_indices is None:
         query = np.arange(vector.dimension, dtype=np.int64)
     else:
         query = np.unique(np.asarray(candidate_indices, dtype=np.int64))
-    if query.size == 0:
-        return HeavyHittersResult(
-            candidates=np.zeros(0, dtype=np.int64),
-            estimates=np.zeros(0),
-            f2_estimate=f2,
-            words_used=network.total_words - words_before,
-        )
-    estimates = sketch.estimate(merged, query)
-
-    if f2 <= 0:
-        heavy_mask = np.zeros(query.size, dtype=bool)
-    else:
-        heavy_mask = estimates * estimates >= f2 / float(b)
-    candidates = query[heavy_mask]
-    candidate_estimates = estimates[heavy_mask]
-
-    cap = int(max_candidates) if max_candidates is not None else max(1, int(4 * b))
-    if candidates.size > cap:
-        keep = np.argsort(-np.abs(candidate_estimates))[:cap]
-        keep.sort()
-        candidates = candidates[keep]
-        candidate_estimates = candidate_estimates[keep]
-
+    candidates, candidate_estimates, f2 = _select_heavy(
+        sketch, merged, b, query, max_candidates
+    )
     return HeavyHittersResult(
         candidates=candidates,
         estimates=candidate_estimates,

@@ -12,6 +12,11 @@ The estimator returns the estimate ``Zhat`` of ``Z(a)``, the per-class size
 estimates ``shat_i``, and the *List* of recovered coordinates with their
 exact summed values (collected from the servers), which Algorithm 4 samples
 from.
+
+Under the fused engine the degree-16 subsample polynomial ``g`` is
+evaluated once per server and every level's survivor mask is derived by
+thresholding the cached values; the naive reference engine re-evaluates
+``g`` per level (see :mod:`repro.sketch.engine`).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.distributed.vector import DistributedVector
+from repro.sketch import engine
 from repro.sketch.hashing import SubsampleHash
 from repro.sketch.z_heavy_hitters import ZHeavyHittersParams, z_heavy_hitters
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
@@ -188,8 +194,25 @@ class ZEstimator:
         )
         for server in range(1, vector.num_servers):
             network.charge(0, server, subsample.word_count(), tag=f"{tag}:seeds")
+        # Fused engine: evaluate the degree-16 polynomial g once per server
+        # and derive every level's survivor mask by thresholding the cached
+        # values; the naive engine re-evaluates g per level (reference).
+        cached_g: Optional[list] = None
+        if engine.fused_enabled():
+            cached_g = []
+            for server in range(vector.num_servers):
+                idx, _ = vector.local_component(server)
+                cached_g.append(
+                    subsample(idx) if idx.size else np.zeros(0, dtype=np.int64)
+                )
         for level in range(1, levels + 1):
-            restricted = vector.restrict(subsample.level_predicate(level))
+            if cached_g is not None:
+                threshold = subsample.level_threshold(level)
+                restricted = vector.restrict_by_masks(
+                    [g < threshold for g in cached_g]
+                )
+            else:
+                restricted = vector.restrict(subsample.level_predicate(level))
             survivors = z_heavy_hitters(
                 restricted,
                 self._hh_params,

@@ -9,6 +9,15 @@ collide, and inside its bucket a ``Z``-heavy coordinate *is* ``F_2``-heavy
 coordinates are hashed away).  Running ``HeavyHitters`` on every bucket and
 taking the union therefore reports all ``Z``-heavy coordinates with
 probability ``1 - delta`` after ``O(log 1/delta)`` repetitions.
+
+The default (fused) engine hashes the domain **once** per repetition and
+reuses the assignment for both the candidate lists and every server's local
+split, then sketches each server's component into *all* per-bucket
+CountSketch tables in a single :class:`~repro.sketch.countsketch.BatchedCountSketch`
+pass -- one pass per server per repetition instead of
+``repetitions x num_buckets`` restricted-sketch passes.  The naive per-bucket
+protocol is retained (engine switch) as the reference; both charge
+bit-for-bit identical communication because batching is free local work.
 """
 
 from __future__ import annotations
@@ -20,8 +29,14 @@ from typing import Optional
 import numpy as np
 
 from repro.distributed.vector import DistributedVector
+from repro.sketch import engine
+from repro.sketch.countsketch import BatchedCountSketch, CountSketch
 from repro.sketch.hashing import PairwiseHash
-from repro.sketch.heavy_hitters import distributed_heavy_hitters
+from repro.sketch.heavy_hitters import (
+    _sketch_dimensions,
+    distributed_heavy_hitters,
+    heavy_hitters_from_tables,
+)
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
 
 
@@ -61,14 +76,16 @@ class ZHeavyHittersParams:
 
 def _split_components_by_bucket(
     vector: DistributedVector,
-    bucket_hash: PairwiseHash,
+    domain_assignment: np.ndarray,
     num_buckets: int,
 ) -> list[list[tuple[np.ndarray, np.ndarray]]]:
     """Partition every server's local component into per-bucket components.
 
-    One hash evaluation per server: this is the free local computation each
-    server performs after receiving the broadcast seed.
-    Returns ``splits[bucket][server] = (indices, values)``.
+    The bucket of each local coordinate is *looked up* in the already
+    evaluated ``domain_assignment`` (the assignment is a deterministic
+    function of the broadcast seed, so this is free local work and the hash
+    is never evaluated twice).  Returns ``splits[bucket][server] =
+    (indices, values)``.
     """
     splits: list[list[tuple[np.ndarray, np.ndarray]]] = [
         [] for _ in range(num_buckets)
@@ -79,7 +96,7 @@ def _split_components_by_bucket(
             for bucket in range(num_buckets):
                 splits[bucket].append((idx, val))
             continue
-        assignment = bucket_hash(idx)
+        assignment = domain_assignment[idx]
         order = np.argsort(assignment, kind="stable")
         sorted_assignment = assignment[order]
         sorted_idx = idx[order]
@@ -89,6 +106,21 @@ def _split_components_by_bucket(
             lo, hi = boundaries[bucket], boundaries[bucket + 1]
             splits[bucket].append((sorted_idx[lo:hi], sorted_val[lo:hi]))
     return splits
+
+
+def _bucket_slices(domain_assignment: np.ndarray, num_buckets: int):
+    """Return per-bucket sorted coordinate arrays from one assignment pass."""
+    keys = domain_assignment
+    if num_buckets <= 256:
+        # One-byte keys let the stable argsort radix-sort a single digit.
+        keys = keys.astype(np.uint8)
+    order = np.argsort(keys, kind="stable")
+    sorted_assignment = domain_assignment[order]
+    boundaries = np.searchsorted(sorted_assignment, np.arange(num_buckets + 1))
+    return [
+        order[boundaries[bucket] : boundaries[bucket + 1]]
+        for bucket in range(num_buckets)
+    ]
 
 
 def z_heavy_hitters(
@@ -125,6 +157,11 @@ def z_heavy_hitters(
     network = vector.network
     collected: list[np.ndarray] = []
     domain = np.arange(vector.dimension, dtype=np.int64)
+    fused = engine.fused_enabled()
+    if fused:
+        if not 0 < params.delta < 1:
+            raise ValueError(f"delta must be in (0, 1), got {params.delta}")
+        depth, width = _sketch_dimensions(params.b, params.delta, params.width_factor)
 
     for t in range(repetitions):
         bucket_hash = PairwiseHash(num_buckets, rngs[t * (num_buckets + 1)])
@@ -132,24 +169,73 @@ def z_heavy_hitters(
         for server in range(1, vector.num_servers):
             network.charge(0, server, bucket_hash.word_count(), tag=f"{tag}:seeds")
         # The bucket assignment is a deterministic function of the broadcast
-        # seed; servers restrict their local components and the CP learns
-        # which coordinates may appear in each bucket, all as free local work.
+        # seed, evaluated once and reused for both the domain-side candidate
+        # lists and every server's local split (free local work).
         domain_assignment = bucket_hash(domain)
-        splits = _split_components_by_bucket(vector, bucket_hash, num_buckets)
-        for bucket in range(num_buckets):
-            in_bucket = domain[domain_assignment == bucket]
-            if in_bucket.size == 0:
-                continue
-            restricted = DistributedVector(splits[bucket], vector.dimension, network)
-            result = distributed_heavy_hitters(
-                restricted,
-                params.b,
-                params.delta,
+
+        if not fused:
+            splits = _split_components_by_bucket(vector, domain_assignment, num_buckets)
+            for bucket in range(num_buckets):
+                in_bucket = domain[domain_assignment == bucket]
+                if in_bucket.size == 0:
+                    continue
+                restricted = DistributedVector(splits[bucket], vector.dimension, network)
+                result = distributed_heavy_hitters(
+                    restricted,
+                    params.b,
+                    params.delta,
+                    seed=rngs[t * (num_buckets + 1) + 1 + bucket],
+                    candidate_indices=in_bucket,
+                    width_factor=params.width_factor,
+                    max_candidates=params.max_candidates_per_bucket,
+                    tag=f"{tag}:bucket",
+                )
+                if result.candidates.size:
+                    collected.append(result.candidates)
+            continue
+
+        # Fused path: one batched-sketch pass per server covers all buckets,
+        # and one domain-wide hash evaluation serves every server's sketch
+        # and every bucket's point queries of this repetition.
+        sketches = [
+            CountSketch(
+                depth, width, vector.dimension,
                 seed=rngs[t * (num_buckets + 1) + 1 + bucket],
-                candidate_indices=in_bucket,
-                width_factor=params.width_factor,
+            )
+            for bucket in range(num_buckets)
+        ]
+        batched = BatchedCountSketch(sketches)
+        in_buckets = _bucket_slices(domain_assignment, num_buckets)
+        cached = batched.build_domain_cache(in_buckets)
+        server_tables = []
+        for server in range(vector.num_servers):
+            idx, val = vector.local_component(server)
+            if idx.size == 0:
+                server_tables.append(batched.empty_tables())
+            else:
+                server_tables.append(
+                    batched.sketch_assigned(idx, val, domain_assignment[idx])
+                )
+        for bucket in range(num_buckets):
+            if in_buckets[bucket].size == 0:
+                continue
+            estimate_fn = None
+            if cached:
+                estimate_fn = (
+                    lambda merged, query, b=bucket: batched.estimate_member(
+                        b, merged, query
+                    )
+                )
+            result = heavy_hitters_from_tables(
+                sketches[bucket],
+                [tables[bucket] for tables in server_tables],
+                network,
+                params.b,
+                candidate_indices=in_buckets[bucket],
                 max_candidates=params.max_candidates_per_bucket,
                 tag=f"{tag}:bucket",
+                estimate_fn=estimate_fn,
+                assume_unique=True,
             )
             if result.candidates.size:
                 collected.append(result.candidates)

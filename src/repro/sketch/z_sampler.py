@@ -12,13 +12,27 @@ retried, exactly as in the paper.
 The sampler reports, for every drawn coordinate, an estimate ``Qhat`` of the
 probability that a single draw returns it -- this is what Algorithm 1 needs
 to scale the sampled rows.
+
+Draws are vectorised: the class of every draw comes from one batched
+``rng.choice``, injected-FAIL rejection is resolved in batched rounds over
+the still-pending draws, members are picked with one batched
+bounded-integer draw against a concatenated member table, and ``Qhat`` uses
+a single batched ``weight_fn`` evaluation over all drawn values.  The one
+remaining Python-level loop is the O(count) exact-value dict lookup for
+the drawn coordinates (kept deliberately: counts are small in Algorithm 1,
+and pre-materialising all recovered members' values would cost more).  Unlike
+the sketch layer, the draw phase has no naive/fused switch -- it runs
+vectorised under both engines, so for a fixed seed the draws (and hence
+the rows gathered by Algorithm 1) are identical across engines.  Note the
+batched RNG consumption differs from the original per-draw loop, so draw
+sequences are not reproducible against pre-refactor seeds.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -174,44 +188,67 @@ class ZSampler:
         contributions = (real_sizes + injected_sizes) * np.power(1.0 + eps, classes)
         total = contributions.sum()
         z_reference = est.z_total if est.z_total > 0 else total
-
-        indices: List[int] = []
-        probabilities: List[float] = []
-        values: List[float] = []
-        failures = 0
         class_probs = contributions / total
-        for _ in range(count):
-            drawn_class = None
-            for _ in range(max(1, self._config.max_retries)):
-                position = int(self._rng.choice(len(classes), p=class_probs))
-                klass = classes[position]
-                n_real = real_sizes[position]
-                n_injected = injected_sizes[position]
-                if n_injected > 0:
-                    # FAIL with probability (#injected / class size): the drawn
-                    # coordinate was one of the virtual injected ones.
-                    if self._rng.random() < n_injected / (n_real + n_injected):
-                        failures += 1
-                        continue
-                drawn_class = klass
+
+        # ---- class draw: one batched choice per rejection round ---------- #
+        # Drawing an injected (virtual) coordinate yields FAIL and the draw
+        # is retried; rounds are vectorised over all still-pending draws.
+        num_classes = len(classes)
+        drawn_pos = np.full(count, -1, dtype=np.int64)
+        pending = np.arange(count)
+        failures = 0
+        any_injection = bool(np.any(injected_sizes > 0))
+        for _ in range(max(1, self._config.max_retries)):
+            if pending.size == 0:
                 break
-            if drawn_class is None:
-                # All retries hit injected coordinates; fall back to a
-                # non-injected class drawn from the real contributions only.
-                real_contribution = real_sizes * np.power(1.0 + eps, classes)
-                drawn_class = classes[
-                    int(self._rng.choice(len(classes), p=real_contribution / real_contribution.sum()))
-                ]
-            members = est.class_members[drawn_class]
-            coordinate = int(members[int(self._rng.integers(members.size))])
-            value = est.member_values[coordinate]
-            weight = float(np.asarray(self._weight_fn(np.array([value])), dtype=float)[0])
-            indices.append(coordinate)
-            values.append(value)
-            probabilities.append(weight / z_reference if z_reference > 0 else 1.0 / len(members))
+            positions = self._rng.choice(num_classes, size=pending.size, p=class_probs)
+            if not any_injection:
+                drawn_pos[pending] = positions
+                pending = pending[:0]
+                break
+            fail = np.zeros(positions.size, dtype=bool)
+            at_risk = injected_sizes[positions] > 0
+            if np.any(at_risk):
+                # FAIL with probability (#injected / class size): the drawn
+                # coordinate was one of the virtual injected ones.
+                fail_probability = injected_sizes[positions[at_risk]] / (
+                    real_sizes[positions[at_risk]] + injected_sizes[positions[at_risk]]
+                )
+                fail[at_risk] = self._rng.random(int(at_risk.sum())) < fail_probability
+            failures += int(fail.sum())
+            succeeded = ~fail
+            drawn_pos[pending[succeeded]] = positions[succeeded]
+            pending = pending[fail]
+        if pending.size:
+            # All retries hit injected coordinates; fall back to a
+            # non-injected class drawn from the real contributions only.
+            real_contribution = real_sizes * np.power(1.0 + eps, classes)
+            drawn_pos[pending] = self._rng.choice(
+                num_classes,
+                size=pending.size,
+                p=real_contribution / real_contribution.sum(),
+            )
+
+        # ---- member pick: one batched bounded-integer draw --------------- #
+        member_arrays = [est.class_members[k] for k in classes]
+        member_counts = np.array([m.size for m in member_arrays], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(member_counts[:-1])))
+        concat_members = np.concatenate(member_arrays)
+        picks = self._rng.integers(0, member_counts[drawn_pos])
+        coordinates = concat_members[offsets[drawn_pos] + picks]
+        values = np.array(
+            [est.member_values[int(c)] for c in coordinates], dtype=float
+        )
+
+        # ---- Qhat: one batched weight evaluation over all draws ---------- #
+        weights = np.asarray(self._weight_fn(values), dtype=float)
+        if z_reference > 0:
+            probabilities = weights / z_reference
+        else:
+            probabilities = 1.0 / member_counts[drawn_pos].astype(float)
 
         return SampleDraws(
-            indices=np.asarray(indices, dtype=np.int64),
+            indices=np.asarray(coordinates, dtype=np.int64),
             probabilities=np.asarray(probabilities, dtype=float),
             values=np.asarray(values, dtype=float),
             estimate=est,
