@@ -31,7 +31,8 @@ from repro.distributed.network import Network
 from repro.distributed.vector import DistributedVector
 from repro.functions import Identity
 from repro.sketch import engine
-from repro.sketch.countsketch import CountSketch
+from repro.sketch.countsketch import BatchedCountSketch, CountSketch
+from repro.sketch.hashing import PairwiseHash, SubsampleHash
 from repro.sketch.heavy_hitters import distributed_heavy_hitters
 from repro.sketch.z_heavy_hitters import ZHeavyHittersParams, z_heavy_hitters
 from repro.sketch.z_sampler import ZSamplerConfig
@@ -110,7 +111,11 @@ try:
             "countsketch_sketch",
             "countsketch_estimate_all",
             "countsketch_estimate",
+            "build_domain_cache",
             "z_heavy_hitters",
+            "z_heavy_hitters_multiprocess",
+            "vector_collect",
+            "vector_restrict",
             "sampler_sample_rows",
         }
         # Only the large CountSketch cases have enough margin (~10x) to
@@ -149,6 +154,21 @@ def _timed_pair(fn, repeats: int = 3) -> dict:
     }
 
 
+def _timed_pair_fns(fused_fn, naive_fn, repeats: int = 3) -> dict:
+    """Time distinct fused/naive callables (same logical work, two engines)."""
+    fused_fn()
+    fused = _best_of(fused_fn, repeats)
+    with engine.naive_reference():
+        naive = _best_of(naive_fn, repeats)
+    return {
+        "fused_seconds": fused,
+        "naive_seconds": naive,
+        "fused_ops_per_sec": 1.0 / fused,
+        "naive_ops_per_sec": 1.0 / naive,
+        "speedup": naive / fused,
+    }
+
+
 def _sampler_cluster(n: int = 2000, d: int = 50, servers: int = 4) -> LocalCluster:
     generator = np.random.default_rng(0)
     total = generator.normal(size=(n, d)) * 0.1
@@ -158,16 +178,30 @@ def _sampler_cluster(n: int = 2000, d: int = 50, servers: int = 4) -> LocalClust
     return LocalCluster(parts, Identity())
 
 
-def _zhh_vector(dim: int = 50_000, servers: int = 4) -> DistributedVector:
+def _zhh_vector(
+    dim: int = 50_000, servers: int = 4, support: int | None = None
+) -> DistributedVector:
     generator = np.random.default_rng(7)
-    dense = generator.normal(size=dim) * 0.05
-    dense[generator.choice(dim, size=30, replace=False)] = 100.0
-    parts = [generator.normal(scale=0.01, size=dim) for _ in range(servers - 1)]
-    parts.append(dense - np.sum(parts, axis=0))
     components = []
-    for vec in parts:
-        idx = np.nonzero(vec)[0].astype(np.int64)
-        components.append((idx, vec[idx]))
+    heavy = generator.choice(dim, size=30, replace=False)
+    for server in range(servers):
+        if support is None:
+            vec = generator.normal(size=dim) * 0.05
+            idx = np.nonzero(vec)[0].astype(np.int64)
+            values = vec[idx]
+        else:
+            idx = np.sort(
+                generator.choice(dim, size=support, replace=False)
+            ).astype(np.int64)
+            values = generator.normal(size=support) * 0.05
+        if server == 0:
+            extra = np.setdiff1d(heavy, idx)
+            idx = np.concatenate((idx, extra))
+            values = np.concatenate((values, np.zeros(extra.size)))
+            order = np.argsort(idx)
+            idx, values = idx[order], values[order]
+            values[np.isin(idx, heavy)] = 100.0
+        components.append((idx, values))
     return DistributedVector(components, dim, Network(servers))
 
 
@@ -200,13 +234,71 @@ def emit_speedup_json(write_root: bool = True) -> dict:
         **_timed_pair(lambda: sketch.estimate(table, query)),
     }
 
-    # Z-HeavyHitters (Algorithm 2), one full invocation.
+    # Batched domain-cache build at 1M-coordinate scale: the blocked fused
+    # builder vs computing the same cache with the naive engine's per-bucket
+    # per-row scalar hashing.
+    num_buckets = 16
+    cache_sketches = [
+        CountSketch(depth=5, width=64, domain=LARGE_DOMAIN, seed=200 + b)
+        for b in range(num_buckets)
+    ]
+    cache_batched = BatchedCountSketch(cache_sketches)
+    cache_assignment = PairwiseHash(num_buckets, seed=6)(
+        np.arange(LARGE_DOMAIN, dtype=np.int64)
+    )
+    results["build_domain_cache"] = {
+        "domain": LARGE_DOMAIN,
+        "num_buckets": num_buckets,
+        "depth": 5,
+        **_timed_pair_fns(
+            lambda: cache_batched.build_domain_cache(cache_assignment),
+            lambda: cache_batched.build_domain_cache_reference(cache_assignment),
+        ),
+    }
+
+    # Z-HeavyHitters (Algorithm 2), one full invocation at 1M-coordinate scale.
     params = ZHeavyHittersParams(b=16, repetitions=2, num_buckets=16)
-    vector = _zhh_vector()
+    vector = _zhh_vector(dim=LARGE_DOMAIN, support=200_000)
     results["z_heavy_hitters"] = {
         "dimension": vector.dimension,
         "servers": vector.num_servers,
+        "support_per_server": 200_000,
         **_timed_pair(lambda: z_heavy_hitters(vector, params, seed=5), repeats=2),
+    }
+
+    # The same invocation with per-server sketching in worker processes
+    # (opt-in multiprocessing path; results are bit-for-bit identical).  The
+    # single-process side was just measured by the entry above.
+    single = results["z_heavy_hitters"]["fused_seconds"]
+    with engine.multiprocess_execution(processes=4):
+        z_heavy_hitters(vector, params, seed=5)  # warm the pool
+        multi = _best_of(lambda: z_heavy_hitters(vector, params, seed=5), repeats=2)
+    results["z_heavy_hitters_multiprocess"] = {
+        "dimension": vector.dimension,
+        "servers": vector.num_servers,
+        "processes": 4,
+        "single_process_seconds": single,
+        "multiprocess_seconds": multi,
+        "speedup_vs_single_process": single / multi,
+    }
+
+    # DistributedVector.collect / restrict at 1M-coordinate scale.
+    collect_query = np.sort(
+        generator.choice(LARGE_DOMAIN, size=5_000, replace=False)
+    ).astype(np.int64)
+    results["vector_collect"] = {
+        "dimension": vector.dimension,
+        "servers": vector.num_servers,
+        "queries": collect_query.size,
+        **_timed_pair(lambda: vector.collect(collect_query, tag="bench"), repeats=2),
+    }
+    subsample = SubsampleHash(domain_scale=LARGE_DOMAIN, seed=8)
+    results["vector_restrict"] = {
+        "dimension": vector.dimension,
+        "servers": vector.num_servers,
+        **_timed_pair(
+            lambda: vector.restrict(subsample.level_predicate(2)), repeats=2
+        ),
     }
 
     # End-to-end generalized Z-row-sampler (estimator + draws + gathers).
@@ -245,7 +337,37 @@ def emit_speedup_json(write_root: bool = True) -> dict:
     return payload
 
 
+#: Entries measured at the 1M-coordinate scale that must stay at least this
+#: much faster than the naive engine; the script exits nonzero otherwise so
+#: CI catches a fused-engine performance regression.
+SPEEDUP_FLOOR = 2.0
+GATED_ENTRIES = (
+    "countsketch_sketch",
+    "countsketch_estimate_all",
+    "build_domain_cache",
+    "z_heavy_hitters",
+)
+
+
 if __name__ == "__main__":
     payload = emit_speedup_json()
+    failures = []
     for name, entry in payload["results"].items():
-        print(f"{name}: {entry['speedup']:.1f}x ({entry['naive_seconds']:.3f}s -> {entry['fused_seconds']:.3f}s)")
+        if "speedup" in entry:
+            print(
+                f"{name}: {entry['speedup']:.1f}x "
+                f"({entry['naive_seconds']:.3f}s -> {entry['fused_seconds']:.3f}s)"
+            )
+        else:
+            print(
+                f"{name}: {entry['speedup_vs_single_process']:.2f}x vs single process "
+                f"({entry['single_process_seconds']:.3f}s -> "
+                f"{entry['multiprocess_seconds']:.3f}s)"
+            )
+    for name in GATED_ENTRIES:
+        speedup = payload["results"][name]["speedup"]
+        if speedup < SPEEDUP_FLOOR:
+            failures.append(f"{name}: {speedup:.2f}x < {SPEEDUP_FLOOR}x")
+    if failures:
+        print("FUSED ENGINE BELOW SPEEDUP FLOOR: " + "; ".join(failures))
+        sys.exit(1)

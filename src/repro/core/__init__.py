@@ -21,6 +21,8 @@ exact communication bill.
 
 from repro.core.distributed_pca import DistributedPCA
 from repro.core.errors import (
+    DimensionMismatchError,
+    ReproError,
     additive_error,
     approximation_report,
     predicted_additive_error,
@@ -42,6 +44,8 @@ from repro.core.samplers import (
 )
 
 __all__ = [
+    "ReproError",
+    "DimensionMismatchError",
     "DistributedPCA",
     "PCAResult",
     "RowSampler",

@@ -1,4 +1,4 @@
-"""Approximation-error metrics used throughout the evaluation.
+"""Approximation-error metrics and the library's exception types.
 
 The paper reports two quantities for a computed rank-``k`` projection ``P``:
 
@@ -8,6 +8,11 @@ The paper reports two quantities for a computed rank-``k`` projection ``P``:
 
 The theoretical prediction overlaid on Figure 1 is ``k^2 / r`` where ``r`` is
 the number of sampled rows.
+
+The exception hierarchy lives here too: distributed containers validate their
+inputs eagerly and raise :class:`DimensionMismatchError` with a message
+naming the offending server, instead of letting a later numpy broadcast or
+fancy-index blow up far from the construction site.
 """
 
 from __future__ import annotations
@@ -21,6 +26,23 @@ from repro.utils.linalg import (
     frobenius_norm_squared,
 )
 from repro.utils.validation import check_matrix, check_rank
+
+
+class ReproError(Exception):
+    """Base class of every exception raised deliberately by this library."""
+
+
+class DimensionMismatchError(ReproError, ValueError, IndexError):
+    """Servers disagree about the shape/dimension of the shared object.
+
+    Raised when a :class:`~repro.distributed.cluster.LocalCluster`'s local
+    matrices have unequal shapes, when a
+    :class:`~repro.distributed.vector.DistributedVector`'s components do not
+    line up with the network's server count or hold coordinates outside the
+    declared dimension, and by per-server mask/payload validation.  Subclasses
+    both ``ValueError`` and ``IndexError`` so pre-existing callers catching
+    either keep working.
+    """
 
 
 def residual_norm_squared(matrix: np.ndarray, projection: np.ndarray) -> float:

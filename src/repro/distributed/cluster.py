@@ -61,17 +61,27 @@ class LocalCluster:
         name: str = "",
         keep_messages: bool = False,
     ) -> None:
+        from repro.core.errors import DimensionMismatchError
+
         if len(local_matrices) < 1:
             raise ValueError("a cluster needs at least one server")
-        shapes = set()
+        shapes = []
         for local in local_matrices:
             if not sparse.issparse(local):
                 local = np.asarray(local)
             if local.ndim != 2:
                 raise ValueError("every local matrix must be 2-dimensional")
-            shapes.add(tuple(local.shape))
-        if len(shapes) != 1:
-            raise ValueError(f"all local matrices must share one shape, got {sorted(shapes)}")
+            shapes.append(tuple(local.shape))
+        if len(set(shapes)) != 1:
+            mismatched = [
+                f"server {t}: {shape}"
+                for t, shape in enumerate(shapes)
+                if shape != shapes[0]
+            ]
+            raise DimensionMismatchError(
+                "all local matrices must share one shape, got "
+                f"{shapes[0]} on server 0 but " + ", ".join(mismatched)
+            )
         self._servers: List[Server] = [
             Server(t, local) for t, local in enumerate(local_matrices)
         ]
@@ -81,7 +91,7 @@ class LocalCluster:
             len(self._servers), keep_messages=keep_messages
         )
         if self._network.num_servers != len(self._servers):
-            raise ValueError(
+            raise DimensionMismatchError(
                 "network was created for a different number of servers: "
                 f"{self._network.num_servers} != {len(self._servers)}"
             )

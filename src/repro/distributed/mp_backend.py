@@ -89,6 +89,50 @@ def local_countsketch_task(
     return sketch.sketch(flat, values)
 
 
+def batched_component_sketch_task(
+    indices: np.ndarray,
+    values: np.ndarray,
+    assignment: np.ndarray,
+    bucket_coeffs: np.ndarray,
+    sign_coeffs: np.ndarray,
+    num_buckets: int,
+    depth: int,
+    width: int,
+) -> np.ndarray:
+    """Worker-side batched CountSketch of one server's sparse component.
+
+    Receives only what a real coordinator broadcasts -- the hash coefficient
+    tensors -- plus the server's own data, and reproduces the cache-free
+    fused kernel bit-for-bit (see
+    :func:`repro.sketch.countsketch.batched_sketch_uncached`).
+    """
+    from repro.sketch.countsketch import batched_sketch_uncached
+
+    if indices.size == 0:
+        return np.zeros((num_buckets, depth, width), dtype=float)
+    return batched_sketch_uncached(
+        indices, values, assignment,
+        bucket_coeffs, sign_coeffs, num_buckets, depth, width,
+    )
+
+
+def polynomial_hash_values_task(
+    indices: np.ndarray, coefficients: np.ndarray, range_size: int
+) -> np.ndarray:
+    """Worker-side evaluation of one k-wise polynomial hash over ``indices``.
+
+    Bit-for-bit identical to
+    :class:`repro.sketch.hashing.KWiseHash.__call__` under the fused engine
+    (which itself equals the naive ``%``-division evaluation).
+    """
+    from repro.sketch.hashing import range_reduce, stacked_polynomial_hash
+
+    if indices.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    hashed = stacked_polynomial_hash(indices, coefficients[None, :])[0]
+    return range_reduce(hashed, range_size).astype(np.int64)
+
+
 # --------------------------------------------------------------------------- #
 # backends
 # --------------------------------------------------------------------------- #
@@ -146,6 +190,79 @@ def _default_process_count() -> int:
     import os
 
     return os.cpu_count() or 1
+
+
+class SketchProcessPool:
+    """Persistent worker pool for the sketch layer's per-server computation.
+
+    Installed through :func:`repro.sketch.engine.multiprocess_execution`
+    (opt-in), after which the fused Z-pipeline protocols run each server's
+    local sketching / hash evaluation in a worker process.  Workers receive
+    only the server's own data plus the hash coefficients the coordinator
+    would broadcast, so the physical isolation of
+    :class:`MultiprocessBackend` is preserved; outputs are bit-for-bit
+    identical to in-process execution and all communication accounting stays
+    in the calling process, unchanged.
+
+    Parameters
+    ----------
+    processes:
+        Number of worker processes; defaults to ``os.cpu_count()``.
+    """
+
+    def __init__(self, processes: Optional[int] = None) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self._processes = processes
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._processes or _default_process_count()
+            )
+        return self._executor
+
+    def starmap(self, task: ServerTask, payloads: Sequence[Tuple]) -> List[Any]:
+        """Apply ``task(*payload)`` for every payload, preserving order."""
+        if len(payloads) <= 1:
+            return [task(*payload) for payload in payloads]
+        pool = self._pool()
+        futures = [pool.submit(task, *payload) for payload in payloads]
+        return [future.result() for future in futures]
+
+    def batched_sketches(self, vector, batched, assignment: np.ndarray) -> List[np.ndarray]:
+        """All servers' ``(num_buckets, depth, width)`` table stacks, one worker each."""
+        bucket_coeffs, sign_coeffs = batched.broadcast_coefficients()
+        payloads = []
+        for server in range(vector.num_servers):
+            idx, val = vector.local_component(server)
+            payloads.append((
+                idx,
+                val,
+                assignment[idx] if idx.size else idx,
+                bucket_coeffs,
+                sign_coeffs,
+                batched.num_buckets,
+                batched.depth,
+                batched.width,
+            ))
+        return self.starmap(batched_component_sketch_task, payloads)
+
+    def subsample_values(self, vector, subsample) -> List[np.ndarray]:
+        """Every server's subsample-hash values ``g(idx)``, one worker each."""
+        coefficients = subsample.coefficients
+        payloads = []
+        for server in range(vector.num_servers):
+            idx, _ = vector.local_component(server)
+            payloads.append((idx, coefficients, subsample.domain_scale))
+        return self.starmap(polynomial_hash_values_task, payloads)
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
 
 
 def parallel_aggregate_rows(

@@ -25,6 +25,25 @@ from repro.distributed.network import Network
 LocalComponent = Tuple[np.ndarray, np.ndarray]
 
 
+def _dimension_error(message: str) -> Exception:
+    """Build a :class:`repro.core.errors.DimensionMismatchError` lazily.
+
+    Imported at raise time because ``repro.core`` transitively imports this
+    module.
+    """
+    from repro.core.errors import DimensionMismatchError
+
+    return DimensionMismatchError(message)
+
+
+def _fused_enabled() -> bool:
+    """Whether the fused engine is active (deferred import: the sketch
+    package transitively imports this module)."""
+    from repro.sketch import engine
+
+    return engine.fused_enabled()
+
+
 class DistributedVector:
     """A length-``l`` vector implicitly represented as a sum of local vectors.
 
@@ -48,22 +67,32 @@ class DistributedVector:
         if dimension < 1:
             raise ValueError(f"dimension must be >= 1, got {dimension}")
         if len(local_components) != network.num_servers:
-            raise ValueError(
+            raise _dimension_error(
                 "number of local components must equal the number of servers "
                 f"({len(local_components)} != {network.num_servers})"
             )
         cleaned: List[LocalComponent] = []
-        for indices, values in local_components:
+        for server, (indices, values) in enumerate(local_components):
             idx = np.asarray(indices, dtype=np.int64)
             val = np.asarray(values, dtype=float)
             if idx.shape != val.shape or idx.ndim != 1:
-                raise ValueError("indices and values must be matching 1-D arrays")
+                raise _dimension_error(
+                    f"server {server}: indices and values must be matching 1-D "
+                    f"arrays, got shapes {idx.shape} and {val.shape}"
+                )
             if idx.size and (idx.min() < 0 or idx.max() >= dimension):
-                raise IndexError(f"indices must lie in [0, {dimension - 1}]")
+                raise _dimension_error(
+                    f"server {server} holds coordinates outside the declared "
+                    f"dimension: indices must lie in [0, {dimension - 1}]"
+                )
             cleaned.append((idx, val))
         self._components = cleaned
         self._dimension = int(dimension)
         self._network = network
+        # Lazy cross-server caches for the fused collect/restrict paths; the
+        # components are immutable, so these are built at most once.
+        self._concat_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._lookup_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -112,13 +141,52 @@ class DistributedVector:
     # ------------------------------------------------------------------ #
     # free local operations
     # ------------------------------------------------------------------ #
+    def _concat_indices(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (all components' indices concatenated, per-server offsets)."""
+        if self._concat_cache is None:
+            sizes = [idx.size for idx, _ in self._components]
+            offsets = np.concatenate(
+                ([0], np.cumsum(np.asarray(sizes, dtype=np.int64)))
+            )
+            nonempty = [idx for idx, _ in self._components if idx.size]
+            concat = (
+                np.concatenate(nonempty) if nonempty else np.zeros(0, dtype=np.int64)
+            )
+            self._concat_cache = (concat, offsets)
+        return self._concat_cache
+
+    def _split_by_mask(self, mask: np.ndarray) -> "DistributedVector":
+        """Build the restriction from one concatenated boolean keep-mask."""
+        _, offsets = self._concat_indices()
+        restricted: List[LocalComponent] = []
+        for server, (idx, val) in enumerate(self._components):
+            if idx.size == 0:
+                restricted.append((idx, val))
+                continue
+            keep_mask = mask[offsets[server] : offsets[server + 1]]
+            restricted.append((idx[keep_mask], val[keep_mask]))
+        return DistributedVector(restricted, self._dimension, self._network)
+
     def restrict(self, keep: Callable[[np.ndarray], np.ndarray]) -> "DistributedVector":
         """Return the restriction ``v(S)`` of the vector to a coordinate subset.
 
-        ``keep`` is a vectorised predicate over coordinate indices
-        (e.g. a hash-based subsampling rule); every server applies it locally
-        to its own indices, so no communication is charged.
+        ``keep`` is a vectorised *elementwise* predicate over coordinate
+        indices (e.g. a hash-based subsampling rule); restriction is free
+        local work, so no communication is charged.  The fused engine
+        evaluates the predicate once over every server's indices
+        concatenated -- one hash pass instead of one per server -- and the
+        naive reference evaluates it per server; both produce identical
+        components because the predicate is elementwise.
         """
+        if _fused_enabled():
+            concat, _ = self._concat_indices()
+            mask = np.asarray(keep(concat), dtype=bool)
+            if mask.shape != concat.shape:
+                raise _dimension_error(
+                    "keep predicate must return one boolean per coordinate, "
+                    f"got shape {mask.shape} for {concat.shape[0]} coordinates"
+                )
+            return self._split_by_mask(mask)
         restricted: List[LocalComponent] = []
         for idx, val in self._components:
             if idx.size == 0:
@@ -137,15 +205,21 @@ class DistributedVector:
         levels) derive the restriction without re-evaluating it.
         """
         if len(masks) != self.num_servers:
-            raise ValueError("need exactly one mask per server")
+            raise _dimension_error(
+                f"need exactly one mask per server ({len(masks)} masks for "
+                f"{self.num_servers} servers)"
+            )
         restricted: List[LocalComponent] = []
-        for (idx, val), mask in zip(self._components, masks):
+        for server, ((idx, val), mask) in enumerate(zip(self._components, masks)):
             if idx.size == 0:
                 restricted.append((idx, val))
                 continue
             keep_mask = np.asarray(mask, dtype=bool)
             if keep_mask.shape != idx.shape:
-                raise ValueError("mask shape must match the server's index array")
+                raise _dimension_error(
+                    f"server {server}: mask shape {keep_mask.shape} must match "
+                    f"the server's index array shape {idx.shape}"
+                )
             restricted.append((idx[keep_mask], val[keep_mask]))
         return DistributedVector(restricted, self._dimension, self._network)
 
@@ -170,26 +244,98 @@ class DistributedVector:
             self._network.send(server, 0, tables[server], tag=tag)
         return np.sum(tables, axis=0)
 
+    @staticmethod
+    def _sorted_coalesced(idx: np.ndarray, val: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the component sorted by coordinate, duplicates summed.
+
+        A coordinate repeated within one component contributes the *sum* of
+        its values everywhere else (``exact_sum``, every sketch's
+        scatter-add), so point lookups must see the same.
+        """
+        order = np.argsort(idx)
+        sorted_idx = idx[order]
+        sorted_val = val[order]
+        if sorted_idx.size > 1 and np.any(sorted_idx[1:] == sorted_idx[:-1]):
+            sorted_idx, starts = np.unique(sorted_idx, return_index=True)
+            sorted_val = np.add.reduceat(sorted_val, starts)
+        return sorted_idx, sorted_val
+
+    def _lookup_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the composite-key lookup table ``(keys, values)``.
+
+        ``keys[k] = server * dimension + coordinate`` over every server's
+        indices sorted within the server (duplicates coalesced by addition);
+        because segments are ordered by server the concatenation is globally
+        sorted, so one ``np.searchsorted`` resolves all servers' point
+        lookups at once.  Built lazily once per vector (the components are
+        immutable).
+        """
+        if self._lookup_cache is None:
+            key_parts: List[np.ndarray] = []
+            value_parts: List[np.ndarray] = []
+            for server, (idx, val) in enumerate(self._components):
+                if idx.size == 0:
+                    continue
+                sorted_idx, sorted_val = self._sorted_coalesced(idx, val)
+                key_parts.append(server * self._dimension + sorted_idx)
+                value_parts.append(sorted_val)
+            if key_parts:
+                self._lookup_cache = (
+                    np.concatenate(key_parts), np.concatenate(value_parts)
+                )
+            else:
+                self._lookup_cache = (
+                    np.zeros(0, dtype=np.int64), np.zeros(0, dtype=float)
+                )
+        return self._lookup_cache
+
     def collect(self, indices: Sequence[int], tag: str = "collect_entries") -> np.ndarray:
-        """Return the exact summed values at ``indices`` (charged: one word per server per index)."""
+        """Return the exact summed values at ``indices`` (charged: one word per server per index).
+
+        The fused engine resolves every server's sparse lookups with a single
+        binary search against a cached composite-key table (coordinate keys
+        offset by ``server * dimension``); the naive reference re-sorts and
+        searches each component per call.  Values, charged words and the
+        payload per server are bit-for-bit identical.
+        """
         query = np.asarray(indices, dtype=np.int64)
         if query.ndim != 1:
             raise ValueError("indices must be one-dimensional")
         if query.size == 0:
             return np.zeros(0)
         if query.min() < 0 or query.max() >= self._dimension:
-            raise IndexError(f"indices must lie in [0, {self._dimension - 1}]")
+            raise _dimension_error(
+                f"indices must lie in [0, {self._dimension - 1}]"
+            )
+        if _fused_enabled():
+            keys, values = self._lookup_arrays()
+            local = np.zeros((self.num_servers, query.size), dtype=float)
+            if keys.size:
+                query_keys = (
+                    np.arange(self.num_servers, dtype=np.int64)[:, None]
+                    * self._dimension
+                    + query[None, :]
+                )
+                positions = np.searchsorted(keys, query_keys)
+                np.minimum(positions, keys.size - 1, out=positions)
+                hit = keys[positions] == query_keys
+                local[hit] = values[positions[hit]]
+            total = np.zeros(query.size, dtype=float)
+            for server in range(self.num_servers):
+                if server != 0:
+                    self._network.send(server, 0, local[server], tag=tag)
+                total += local[server]
+            return total
         total = np.zeros(query.size, dtype=float)
         for server, (idx, val) in enumerate(self._components):
             local = np.zeros(query.size, dtype=float)
             if idx.size:
                 # Local lookup of the requested positions in the sparse component.
-                order = np.argsort(idx)
-                sorted_idx = idx[order]
+                sorted_idx, sorted_val = self._sorted_coalesced(idx, val)
                 positions = np.searchsorted(sorted_idx, query)
                 positions = np.clip(positions, 0, sorted_idx.size - 1)
                 hit = sorted_idx[positions] == query
-                local[hit] = val[order][positions[hit]]
+                local[hit] = sorted_val[positions[hit]]
             if server != 0:
                 self._network.send(server, 0, local, tag=tag)
             total += local

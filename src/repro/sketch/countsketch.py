@@ -70,6 +70,39 @@ def _scratch_buffers(
     return buffers
 
 
+def batched_sketch_uncached(
+    idx: np.ndarray,
+    val: np.ndarray,
+    assign: np.ndarray,
+    bucket_coeffs: np.ndarray,
+    sign_coeffs: np.ndarray,
+    num_buckets: int,
+    depth: int,
+    width: int,
+) -> np.ndarray:
+    """Build all per-bucket CountSketch tables of one component in one pass.
+
+    This is the cache-free kernel of :meth:`BatchedCountSketch.sketch_assigned`
+    as a module-level function so multiprocessing workers can run it from the
+    broadcast hash coefficients alone (see
+    :mod:`repro.distributed.mp_backend`); outputs are bit-for-bit identical
+    to the cached path.  Inputs are assumed validated by the caller.
+    """
+    table_words = depth * width
+    buckets = (
+        gathered_polynomial_hash(idx, bucket_coeffs, assign) % np.uint64(width)
+    ).astype(np.int64)
+    sign_bits = (
+        gathered_polynomial_hash(idx, sign_coeffs, assign) % np.uint64(2)
+    ).astype(np.int64) * 2 - 1
+    rows = np.arange(depth, dtype=np.int64)[:, None]
+    flat_keys = ((assign * table_words)[None, :] + rows * width + buckets).T
+    weights = (sign_bits * val).T
+    tables = np.zeros(num_buckets * table_words, dtype=float)
+    np.add.at(tables, flat_keys.ravel(), weights.ravel())
+    return tables.reshape(num_buckets, depth, width)
+
+
 def _median_of_three(a, b, c) -> np.ndarray:
     """Exact median of three same-shape arrays via a min/max network."""
     return np.maximum(np.minimum(a, b), np.minimum(np.maximum(a, b), c))
@@ -415,43 +448,156 @@ class BatchedCountSketch:
         self._signed_cell_cache: np.ndarray | None = None
         self._scratch: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
-    def build_domain_cache(self, bucket_members: Sequence[np.ndarray]) -> bool:
+    def _domain_assignment(self, assignment_or_members) -> np.ndarray:
+        """Normalise :meth:`build_domain_cache` input to a ``(domain,)`` assignment.
+
+        Accepts either the per-coordinate bucket assignment itself or the
+        legacy per-bucket member lists (a partition of ``[0, domain)``).
+        """
+        if (
+            isinstance(assignment_or_members, np.ndarray)
+            and assignment_or_members.ndim == 1
+            and assignment_or_members.dtype != object
+        ):
+            if assignment_or_members.shape != (self.domain,):
+                raise ValueError(
+                    "assignment must hold one bucket per domain coordinate: "
+                    f"expected shape ({self.domain},), got "
+                    f"{assignment_or_members.shape}"
+                )
+            assign = assignment_or_members.astype(np.int64, copy=False)
+            if assign.size and (assign.min() < 0 or assign.max() >= self.num_buckets):
+                raise ValueError("assignment buckets out of range")
+            return assign
+        members = list(assignment_or_members)
+        if len(members) != self.num_buckets:
+            raise ValueError(
+                f"need exactly one member list per bucket "
+                f"({len(members)} lists for {self.num_buckets} buckets)"
+            )
+        assign = np.full(self.domain, -1, dtype=np.int64)
+        for bucket, coords in enumerate(members):
+            assign[np.asarray(coords, dtype=np.int64)] = bucket
+        if assign.min() < 0:
+            covered = int(np.sum(assign >= 0))
+            raise ValueError(
+                "bucket_members must partition the whole domain "
+                f"(covered {covered} of {self.domain} coordinates)"
+            )
+        return assign
+
+    #: Coordinates per block of the domain-cache builder.  Blocks of ~64k
+    #: keep every intermediate in L2/L3; full-domain arrays would spill the
+    #: whole pass to DRAM and run ~2x slower.
+    CACHE_BUILD_BLOCK = 1 << 16
+
+    def build_domain_cache(self, assignment) -> bool:
         """Precompute every coordinate's own-bucket hash values in one pass.
 
-        ``bucket_members[b]`` lists the domain coordinates assigned to bucket
-        ``b`` (a partition of ``[0, domain)``).  Each bucket's member sketch
-        hashes its coordinates with the fast stacked Horner pass and the
-        results are scattered into one coordinate-major cache.  Returns False
-        (and builds nothing) when the cache would exceed ``CACHE_BYTE_LIMIT``.
+        ``assignment`` is either the ``(domain,)`` bucket of every coordinate
+        (Algorithm 2 evaluates it once per repetition anyway) or the legacy
+        per-bucket member lists.  The builder never iterates over buckets:
+        per cache-resident block of coordinates, each coordinate's *own*
+        member-sketch coefficients are fetched with one tiny-table gather per
+        (row, monomial) and the polynomials evaluated by Mersenne-fold
+        power-basis arithmetic, bit-for-bit identical to hashing every
+        bucket's coordinates with that bucket's :class:`CountSketch` (see
+        :meth:`build_domain_cache_reference`).  Returns False (and builds
+        nothing) when the cache would exceed ``CACHE_BYTE_LIMIT``.
         """
         if self.depth * self.domain * 17 > self.CACHE_BYTE_LIMIT:
             return False
-        covered = np.zeros(self.domain, dtype=bool)
-        for coords in bucket_members:
-            covered[np.asarray(coords, dtype=np.int64)] = True
-        if not covered.all():
-            raise ValueError(
-                "bucket_members must partition the whole domain "
-                f"(covered {int(covered.sum())} of {self.domain} coordinates)"
-            )
+        assign = self._domain_assignment(assignment)
+        # Per-row 1-D coefficient tables (num_buckets entries each): gathers
+        # from these hit numpy's fast contiguous path, and the per-key
+        # coefficient traffic stays a cache-resident table lookup instead of
+        # a (domain, depth)-sized fancy index.
+        bucket_tables = [
+            [np.ascontiguousarray(self._bucket_coeffs[:, r, j]) for r in range(self.depth)]
+            for j in range(2)
+        ]
+        sign_tables = [
+            [np.ascontiguousarray(self._sign_coeffs[:, r, j]) for r in range(self.depth)]
+            for j in range(4)
+        ]
         flat = np.empty((self.domain, self.depth), dtype=np.int64)
         sign = np.empty((self.domain, self.depth), dtype=np.int8)
-        row_offsets = np.arange(self.depth, dtype=np.int64)[:, None] * self.width
-        for bucket, coords in enumerate(bucket_members):
-            if coords.size == 0:
-                continue
-            buckets, signs = self.sketches[bucket].hash_all_rows(coords)
-            flat[coords] = (row_offsets + buckets).T
-            sign[coords] = signs.T.astype(np.int8)
+        domain_keys = np.arange(self.domain, dtype=np.uint64)
+        one = np.uint64(1)
+        block = max(1, int(self.CACHE_BUILD_BLOCK))
+        for start in range(0, self.domain, block):
+            stop = min(start + block, self.domain)
+            selector = assign[start:stop]
+            x = _mersenne_exact(_mersenne_fold(domain_keys[start:stop]))
+            x2 = _mersenne_fold(x * x)
+            x3 = _mersenne_fold(x2 * x)
+            for row in range(self.depth):
+                acc = bucket_tables[0][row][selector] + bucket_tables[1][row][selector] * x
+                flat[start:stop, row] = np.uint64(row * self.width) + range_reduce(
+                    _mersenne_exact(_mersenne_fold(acc)), self.width
+                )
+                acc = sign_tables[0][row][selector] + sign_tables[1][row][selector] * x
+                acc += sign_tables[2][row][selector] * x2
+                acc += sign_tables[3][row][selector] * x3
+                sign[start:stop, row] = (
+                    (_mersenne_exact(_mersenne_fold(acc)) & one).astype(np.int8) << 1
+                ) - 1
         self._flat_cache = flat
         self._sign_cache = sign
-        # 2*cell for positive sign, 2*cell + 1 for negative: an index into a
-        # doubled ``(table, -table)`` array, making point queries one gather.
-        self._signed_cell_cache = 2 * flat + (sign < 0)
+        # The signed-cell encoding used by point queries is derived lazily on
+        # first use (see _signed_cells); sketching does not need it.
+        self._signed_cell_cache = None
         return True
+
+    def _signed_cells(self) -> np.ndarray:
+        """Return (building lazily) the signed-cell point-query encoding.
+
+        ``2*cell`` for positive sign, ``2*cell + 1`` for negative: an index
+        into a doubled ``(table, -table)`` array, making point queries one
+        gather.  Requires a built domain cache.
+        """
+        if self._signed_cell_cache is None:
+            if self._flat_cache is None:
+                raise ValueError("signed cells need a built domain cache")
+            self._signed_cell_cache = 2 * self._flat_cache + (self._sign_cache < 0)
+        return self._signed_cell_cache
+
+    def build_domain_cache_reference(self, assignment) -> tuple[np.ndarray, np.ndarray]:
+        """Reference domain-cache construction: per-bucket, per-row hash loops.
+
+        Returns ``(flat, sign)`` computed with each member sketch's scalar
+        :class:`~repro.sketch.hashing.KWiseHash` evaluations (honouring the
+        active engine), exactly the work the pre-batched implementation did.
+        Used by the equivalence tests and as the benchmark baseline for the
+        fused :meth:`build_domain_cache`; never called on the hot path.
+        """
+        assign = self._domain_assignment(assignment)
+        flat = np.empty((self.domain, self.depth), dtype=np.int64)
+        sign = np.empty((self.domain, self.depth), dtype=np.int8)
+        for bucket in range(self.num_buckets):
+            coords = np.flatnonzero(assign == bucket)
+            if coords.size == 0:
+                continue
+            member = self.sketches[bucket]
+            for row in range(self.depth):
+                flat[coords, row] = (
+                    row * self.width + member._bucket_hashes[row](coords)
+                )
+                sign[coords, row] = member._sign_hashes[row](coords).astype(np.int8)
+        return flat, sign
 
     def _scratch_for(self, count: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         return _scratch_buffers(self._scratch, count, self.depth)
+
+    def broadcast_coefficients(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the ``(bucket, sign)`` coefficient tensors of every member.
+
+        This is exactly what a coordinator broadcasts to the servers: shapes
+        ``(num_buckets, depth, 2)`` and ``(num_buckets, depth, 4)``.  Worker
+        processes rebuild the member hashes from these alone (see
+        :mod:`repro.distributed.mp_backend`).
+        """
+        return self._bucket_coeffs, self._sign_coeffs
 
     @classmethod
     def from_seeds(
@@ -496,17 +642,11 @@ class BatchedCountSketch:
             np.take(self._sign_cache, idx, axis=0, out=signs, mode="clip")
             np.multiply(signs, val[:, None], out=weights)
         else:
-            buckets = (
-                gathered_polynomial_hash(idx, self._bucket_coeffs, assign)
-                % np.uint64(self.width)
-            ).astype(np.int64)
-            sign_bits = (
-                gathered_polynomial_hash(idx, self._sign_coeffs, assign) % np.uint64(2)
-            ).astype(np.int64) * 2 - 1
-            rows = np.arange(self.depth, dtype=np.int64)[:, None]
-            flat_keys = (assign * table_words)[None, :] + rows * self.width + buckets
-            flat_keys = flat_keys.T
-            weights = (sign_bits * val).T
+            return batched_sketch_uncached(
+                idx, val, assign,
+                self._bucket_coeffs, self._sign_coeffs,
+                self.num_buckets, self.depth, self.width,
+            )
         tables = np.zeros(self.num_buckets * table_words, dtype=float)
         np.add.at(tables, flat_keys.ravel(), weights.ravel())
         return tables.reshape(self.num_buckets, self.depth, self.width)
@@ -535,6 +675,6 @@ class BatchedCountSketch:
         doubled[0::2] = np.ascontiguousarray(table).ravel()
         doubled[1::2] = -doubled[0::2]
         flat_keys, _, estimates = self._scratch_for(idx.size)
-        np.take(self._signed_cell_cache, idx, axis=0, out=flat_keys, mode="clip")
+        np.take(self._signed_cells(), idx, axis=0, out=flat_keys, mode="clip")
         np.take(doubled, flat_keys, out=estimates, mode="clip")
         return _row_median(estimates)

@@ -45,3 +45,51 @@ def naive_reference():
         yield
     finally:
         set_fused(previous)
+
+
+# --------------------------------------------------------------------------- #
+# opt-in multiprocessing execution
+# --------------------------------------------------------------------------- #
+_PARALLEL_POOL = None
+
+
+def parallel_pool():
+    """Return the active :class:`~repro.distributed.mp_backend.SketchProcessPool`.
+
+    ``None`` (the default) means all per-server local computation runs in the
+    current process.  When a pool is active, the fused protocols dispatch
+    per-server sketching and hash evaluation to worker processes; results and
+    communication accounting are bit-for-bit identical to the in-process
+    engine because workers rebuild the hash functions from the exact
+    coefficient arrays the coordinator would broadcast.
+    """
+    return _PARALLEL_POOL
+
+
+def set_parallel_pool(pool) -> None:
+    """Install (or with ``None`` remove) the per-server worker pool."""
+    global _PARALLEL_POOL
+    _PARALLEL_POOL = pool
+
+
+@contextmanager
+def multiprocess_execution(processes: int | None = None):
+    """Run the enclosed code with per-server work in worker processes.
+
+    The pool is created on entry and torn down on exit; nesting restores the
+    previous pool.  Results are identical to single-process execution (the
+    engine selection -- fused or naive -- is orthogonal and untouched), but
+    note the workers recompute hash values rather than sharing the
+    coordinator's domain caches, so this pays off once per-server components
+    are large enough to dominate the fork/pickle overhead.
+    """
+    from repro.distributed.mp_backend import SketchProcessPool
+
+    previous = _PARALLEL_POOL
+    pool = SketchProcessPool(processes)
+    set_parallel_pool(pool)
+    try:
+        yield pool
+    finally:
+        set_parallel_pool(previous)
+        pool.close()

@@ -71,30 +71,19 @@ def range_reduce(values: np.ndarray, range_size: int) -> np.ndarray:
     return values % size
 
 
-def stacked_polynomial_hash(keys: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
-    """Evaluate a whole *family* of polynomial hashes over ``keys`` in one pass.
+#: Keys per block of the stacked/gathered evaluators.  High-degree
+#: power-basis evaluation keeps several ``x^j`` arrays live; blocks of ~32k
+#: keys hold them all in L2, where a single full-length pass over hundreds of
+#: thousands of keys would stream every intermediate through DRAM and lose
+#: to the naive per-step ``%`` Horner loop.
+HASH_BLOCK = 1 << 15
 
-    ``coefficients`` has shape ``(num_hashes, k)`` -- one degree-``(k-1)``
-    polynomial per row -- and the result has shape ``(num_hashes, len(keys))``.
-    Horner's rule runs once with the coefficient column broadcast across the
-    key axis and the modulus computed by Mersenne fold reduction, so the
-    result of every ``(hash, key)`` pair is bit-for-bit identical to the
-    per-hash :func:`_polynomial_hash` evaluation while avoiding both the
-    per-hash Python loop and the hardware division of ``%``.
-    """
-    coeffs = np.asarray(coefficients, dtype=np.uint64)
-    if coeffs.ndim != 2:
-        raise ValueError("coefficients must have shape (num_hashes, k)")
-    keys_mod = _reduced_keys(keys)
+
+def _stacked_block(keys_mod: np.ndarray, coeffs: np.ndarray) -> np.ndarray:
+    """Power-basis family evaluation of one block (see stacked_polynomial_hash)."""
     k = coeffs.shape[1]
-    if k == 1:
-        constants = _mersenne_exact(_mersenne_fold(coeffs[:, :1]))
-        return np.broadcast_to(
-            constants, (coeffs.shape[0], keys_mod.shape[1])
-        ).copy()
-    # Power-basis evaluation: precompute x^j (shared by every hash in the
-    # family) and defer reduction -- up to three O(2^62) monomials fit in a
-    # uint64 accumulator before a fold is needed, so evaluating a degree-3
+    # Defer reduction: up to three O(2^62) monomials fit in a uint64
+    # accumulator before a fold is needed, so evaluating a degree-3
     # polynomial costs three multiply-adds and ONE reduction instead of a
     # fold per Horner step.  The final canonical reduce makes the outputs
     # bit-for-bit equal to :func:`_polynomial_hash`.
@@ -109,6 +98,39 @@ def stacked_polynomial_hash(keys: np.ndarray, coefficients: np.ndarray) -> np.nd
         acc = acc + coeffs[:, j : j + 1] * power
         pending += 1
     return _mersenne_exact(_mersenne_fold(acc))
+
+
+def stacked_polynomial_hash(keys: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
+    """Evaluate a whole *family* of polynomial hashes over ``keys`` in one pass.
+
+    ``coefficients`` has shape ``(num_hashes, k)`` -- one degree-``(k-1)``
+    polynomial per row -- and the result has shape ``(num_hashes, len(keys))``.
+    The power basis ``x^j`` is computed once and shared by every hash in the
+    family, with the modulus computed by Mersenne fold reduction, so the
+    result of every ``(hash, key)`` pair is bit-for-bit identical to the
+    per-hash :func:`_polynomial_hash` evaluation while avoiding both the
+    per-hash Python loop and the hardware division of ``%``.  Long key
+    arrays are processed in cache-resident blocks (an elementwise function
+    commutes with slicing, so outputs are unchanged).
+    """
+    coeffs = np.asarray(coefficients, dtype=np.uint64)
+    if coeffs.ndim != 2:
+        raise ValueError("coefficients must have shape (num_hashes, k)")
+    keys_mod = _reduced_keys(keys)
+    k = coeffs.shape[1]
+    if k == 1:
+        constants = _mersenne_exact(_mersenne_fold(coeffs[:, :1]))
+        return np.broadcast_to(
+            constants, (coeffs.shape[0], keys_mod.shape[1])
+        ).copy()
+    count = keys_mod.shape[1]
+    if count <= HASH_BLOCK:
+        return _stacked_block(keys_mod, coeffs)
+    out = np.empty((coeffs.shape[0], count), dtype=np.uint64)
+    for start in range(0, count, HASH_BLOCK):
+        stop = min(start + HASH_BLOCK, count)
+        out[:, start:stop] = _stacked_block(keys_mod[:, start:stop], coeffs)
+    return out
 
 
 def gathered_polynomial_hash(
@@ -132,19 +154,30 @@ def gathered_polynomial_hash(
     k = coeffs.shape[2]
     if k == 1:
         return _mersenne_exact(_mersenne_fold(np.ascontiguousarray(coeffs[sel, :, 0].T)))
-    # Power-basis evaluation with per-key coefficient gathers (each key uses
-    # its family's c_j); see stacked_polynomial_hash for the fold schedule.
-    power = keys_mod
-    acc = coeffs[sel, :, 0].T + coeffs[sel, :, 1].T * power
-    pending = 1
-    for j in range(2, k):
-        power = _mersenne_fold(power * keys_mod)
-        if pending == 3:
-            acc = _mersenne_fold(acc)
-            pending = 0
-        acc = acc + coeffs[sel, :, j].T * power
-        pending += 1
-    return _mersenne_exact(_mersenne_fold(acc))
+
+    def block(keys_block: np.ndarray, sel_block: np.ndarray) -> np.ndarray:
+        # Power-basis evaluation with per-key coefficient gathers (each key
+        # uses its family's c_j); see _stacked_block for the fold schedule.
+        power = keys_block
+        acc = coeffs[sel_block, :, 0].T + coeffs[sel_block, :, 1].T * power
+        pending = 1
+        for j in range(2, k):
+            power = _mersenne_fold(power * keys_block)
+            if pending == 3:
+                acc = _mersenne_fold(acc)
+                pending = 0
+            acc = acc + coeffs[sel_block, :, j].T * power
+            pending += 1
+        return _mersenne_exact(_mersenne_fold(acc))
+
+    count = keys_mod.shape[1]
+    if count <= HASH_BLOCK:
+        return block(keys_mod, sel)
+    out = np.empty((coeffs.shape[1], count), dtype=np.uint64)
+    for start in range(0, count, HASH_BLOCK):
+        stop = min(start + HASH_BLOCK, count)
+        out[:, start:stop] = block(keys_mod[:, start:stop], sel[start:stop])
+    return out
 
 
 class KWiseHash:
@@ -236,6 +269,11 @@ class SubsampleHash:
             raise ValueError(f"domain_scale must be >= 2, got {domain_scale}")
         self.domain_scale = int(domain_scale)
         self._hash = KWiseHash(independence, self.domain_scale, seed)
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """The polynomial coefficients a coordinator broadcasts for ``g``."""
+        return self._hash.coefficients
 
     def __call__(self, keys) -> np.ndarray:
         return self._hash(keys)

@@ -18,7 +18,7 @@ from typing import Optional
 import numpy as np
 
 from repro.distributed.vector import DistributedVector
-from repro.sketch.countsketch import CountSketch
+from repro.sketch.countsketch import CountSketch, _row_median
 from repro.utils.rng import RandomState, ensure_rng
 
 
@@ -131,6 +131,106 @@ def heavy_hitters_from_tables(
         f2_estimate=f2,
         words_used=network.total_words - words_before,
     )
+
+
+def heavy_hitters_from_stacked_tables(
+    batched,
+    per_server_stacks,
+    network,
+    b: float,
+    *,
+    bucket_queries,
+    max_candidates: Optional[int] = None,
+    tag: str = "heavy_hitters",
+) -> list:
+    """Run the per-bucket ``HeavyHitters`` protocol for *all* buckets at once.
+
+    ``per_server_stacks`` is one ``(num_buckets, depth, width)`` table stack
+    per server (the output of
+    :meth:`~repro.sketch.countsketch.BatchedCountSketch.sketch_assigned`) and
+    ``bucket_queries[bucket]`` the sorted coordinates eligible in that
+    bucket.  The merge, the ``F_2`` estimates, the point queries (served from
+    ``batched``'s domain cache, which must be built) and the heaviness
+    thresholding are each one vectorised pass over every bucket together,
+    replacing the per-bucket :func:`heavy_hitters_from_tables` loop; the
+    communication charged per tag is bit-for-bit what that loop charges.
+    Returns one candidate array per bucket (empty buckets stay empty).
+
+    ``b`` must be positive and ``batched`` must hold a domain cache; callers
+    without a cache fall back to the per-bucket protocol.
+    """
+    if b <= 0:
+        raise ValueError(f"b must be positive, got {b}")
+    if batched._flat_cache is None:
+        raise ValueError("heavy_hitters_from_stacked_tables needs a domain cache")
+    num_servers = len(per_server_stacks)
+    num_buckets = batched.num_buckets
+    depth, width = batched.depth, batched.width
+    table_words = depth * width
+
+    # Protocol accounting, identical per tag to the per-bucket loop: for
+    # every non-empty bucket the CP broadcasts that bucket's seeds and every
+    # worker ships its table.  (The loops below move O(s * buckets) words of
+    # bookkeeping, not data -- the data path is the vectorised merge.)
+    for bucket in range(num_buckets):
+        if bucket_queries[bucket].size == 0:
+            continue
+        seed_words = batched.sketches[bucket].seed_word_count()
+        for server in range(1, num_servers):
+            network.charge(0, server, seed_words, tag=f"{tag}:seeds")
+        for server in range(1, num_servers):
+            network.send(
+                server, 0, per_server_stacks[server][bucket], tag=f"{tag}:tables"
+            )
+
+    # One merge over all buckets; one F_2 estimate per bucket row-median.
+    merged = np.sum(np.stack(per_server_stacks), axis=0)
+    f2 = np.median(np.sum(merged * merged, axis=2), axis=1)
+
+    # Point-query every bucket's eligible coordinates in one gather against a
+    # doubled ``(table, -table)`` array covering the whole bucket stack.
+    nonempty = [bucket for bucket in range(num_buckets) if bucket_queries[bucket].size]
+    if not nonempty:
+        return [np.zeros(0, dtype=np.int64) for _ in range(num_buckets)]
+    query = np.concatenate([bucket_queries[bucket] for bucket in nonempty])
+    query_bucket = np.repeat(
+        np.asarray(nonempty, dtype=np.int64),
+        [bucket_queries[bucket].size for bucket in nonempty],
+    )
+    doubled = np.empty(2 * num_buckets * table_words, dtype=float)
+    doubled[0::2] = merged.ravel()
+    doubled[1::2] = -doubled[0::2]
+    signed_cells = batched._signed_cells()
+    estimates = np.empty(query.size, dtype=float)
+    block = 1 << 18
+    for start in range(0, query.size, block):
+        stop = min(start + block, query.size)
+        cells = (
+            signed_cells[query[start:stop]]
+            + (2 * table_words * query_bucket[start:stop])[:, None]
+        )
+        estimates[start:stop] = _row_median(doubled[cells])
+
+    f2_of_query = f2[query_bucket]
+    heavy_mask = (f2_of_query > 0) & (
+        estimates * estimates >= f2_of_query / float(b)
+    )
+
+    cap = int(max_candidates) if max_candidates is not None else max(1, int(4 * b))
+    results = [np.zeros(0, dtype=np.int64) for _ in range(num_buckets)]
+    start = 0
+    for bucket in nonempty:
+        stop = start + bucket_queries[bucket].size
+        mask = heavy_mask[start:stop]
+        candidates = bucket_queries[bucket][mask]
+        if candidates.size > cap:
+            candidate_estimates = estimates[start:stop][mask]
+            keep = np.argsort(-np.abs(candidate_estimates))[:cap]
+            keep.sort()
+            candidates = candidates[keep]
+        results[bucket] = candidates
+        start = stop
+    return results
 
 
 def distributed_heavy_hitters(

@@ -157,7 +157,14 @@ class ZEstimator:
         member_values: Dict[int, float] = {}
 
         def register(indices: np.ndarray, values: np.ndarray, level: int) -> None:
-            """Classify newly recovered coordinates and fold them into the level counts."""
+            """Classify newly recovered coordinates and fold them into the level counts.
+
+            The fused engine classifies the whole batch at C speed: one dict
+            bulk-update for the exact values, one stable class sort splitting
+            the coordinates into per-class extends, and the survivor counts
+            from a single ``np.unique``.  The naive reference retains the
+            original per-coordinate loop; both produce identical dicts.
+            """
             weights = np.asarray(self._weight_fn(values), dtype=float)
             positive = weights > 0
             if not np.any(positive):
@@ -165,6 +172,38 @@ class ZEstimator:
             idx = indices[positive]
             vals = values[positive]
             classes = self._class_index(weights[positive])
+            if engine.fused_enabled():
+                member_values.update(zip(idx.tolist(), vals.tolist()))
+                # One stable sort yields everything np.unique would: group
+                # starts, sorted class ids, counts, and (because the sort is
+                # stable) each group's first original position.
+                order = np.argsort(classes, kind="stable")
+                sorted_classes = classes[order]
+                sorted_idx = idx[order]
+                starts = np.flatnonzero(
+                    np.concatenate(([True], sorted_classes[1:] != sorted_classes[:-1]))
+                )
+                uniq = sorted_classes[starts]
+                first_seen = order[starts]
+                bounds = np.concatenate((starts, [sorted_classes.size]))
+                counts = np.diff(bounds)
+                # Dict insertion order is observable downstream (the sampler
+                # iterates ``class_members``), so classes are inserted in
+                # first-encounter order and ``class_sizes`` updated in sorted
+                # order, exactly as the naive per-coordinate loop does.
+                for slot in np.argsort(first_seen).tolist():
+                    class_members.setdefault(int(uniq[slot]), []).extend(
+                        sorted_idx[bounds[slot] : bounds[slot + 1]].tolist()
+                    )
+                for klass, count in zip(uniq.tolist(), counts.tolist()):
+                    if level == 0:
+                        estimate = float(count)
+                    else:
+                        if count < self._min_level_count:
+                            continue
+                        estimate = float(count) * (2.0**level)
+                    class_sizes[klass] = max(class_sizes.get(klass, 0.0), estimate)
+                return
             for coordinate, value, klass in zip(idx, vals, classes):
                 member_values[int(coordinate)] = float(value)
                 class_members.setdefault(int(klass), []).append(int(coordinate))
@@ -199,12 +238,16 @@ class ZEstimator:
         # values; the naive engine re-evaluates g per level (reference).
         cached_g: Optional[list] = None
         if engine.fused_enabled():
-            cached_g = []
-            for server in range(vector.num_servers):
-                idx, _ = vector.local_component(server)
-                cached_g.append(
-                    subsample(idx) if idx.size else np.zeros(0, dtype=np.int64)
-                )
+            pool = engine.parallel_pool()
+            if pool is not None and vector.num_servers > 1:
+                cached_g = pool.subsample_values(vector, subsample)
+            else:
+                cached_g = []
+                for server in range(vector.num_servers):
+                    idx, _ = vector.local_component(server)
+                    cached_g.append(
+                        subsample(idx) if idx.size else np.zeros(0, dtype=np.int64)
+                    )
         for level in range(1, levels + 1):
             if cached_g is not None:
                 threshold = subsample.level_threshold(level)

@@ -35,6 +35,7 @@ from repro.sketch.hashing import PairwiseHash
 from repro.sketch.heavy_hitters import (
     _sketch_dimensions,
     distributed_heavy_hitters,
+    heavy_hitters_from_stacked_tables,
     heavy_hitters_from_tables,
 )
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
@@ -206,26 +207,43 @@ def z_heavy_hitters(
         ]
         batched = BatchedCountSketch(sketches)
         in_buckets = _bucket_slices(domain_assignment, num_buckets)
-        cached = batched.build_domain_cache(in_buckets)
-        server_tables = []
-        for server in range(vector.num_servers):
-            idx, val = vector.local_component(server)
-            if idx.size == 0:
-                server_tables.append(batched.empty_tables())
-            else:
-                server_tables.append(
-                    batched.sketch_assigned(idx, val, domain_assignment[idx])
-                )
+        cached = batched.build_domain_cache(domain_assignment)
+        pool = engine.parallel_pool()
+        if pool is not None and vector.num_servers > 1:
+            # Opt-in multiprocessing: every server's batched sketch runs in a
+            # worker process from the broadcast hash coefficients alone; the
+            # tables come back to the CP and are accounted exactly as the
+            # in-process path accounts them.
+            server_tables = pool.batched_sketches(vector, batched, domain_assignment)
+        else:
+            server_tables = []
+            for server in range(vector.num_servers):
+                idx, val = vector.local_component(server)
+                if idx.size == 0:
+                    server_tables.append(batched.empty_tables())
+                else:
+                    server_tables.append(
+                        batched.sketch_assigned(idx, val, domain_assignment[idx])
+                    )
+        if cached:
+            # One vectorised merge + F_2 + point-query + threshold pass over
+            # every bucket together.
+            per_bucket = heavy_hitters_from_stacked_tables(
+                batched,
+                server_tables,
+                network,
+                params.b,
+                bucket_queries=in_buckets,
+                max_candidates=params.max_candidates_per_bucket,
+                tag=f"{tag}:bucket",
+            )
+            collected.extend(c for c in per_bucket if c.size)
+            continue
+        # No domain cache (domain beyond CACHE_BYTE_LIMIT): per-bucket
+        # protocol on the already batched tables.
         for bucket in range(num_buckets):
             if in_buckets[bucket].size == 0:
                 continue
-            estimate_fn = None
-            if cached:
-                estimate_fn = (
-                    lambda merged, query, b=bucket: batched.estimate_member(
-                        b, merged, query
-                    )
-                )
             result = heavy_hitters_from_tables(
                 sketches[bucket],
                 [tables[bucket] for tables in server_tables],
@@ -234,7 +252,6 @@ def z_heavy_hitters(
                 candidate_indices=in_buckets[bucket],
                 max_candidates=params.max_candidates_per_bucket,
                 tag=f"{tag}:bucket",
-                estimate_fn=estimate_fn,
                 assume_unique=True,
             )
             if result.candidates.size:

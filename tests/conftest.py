@@ -1,11 +1,50 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the statistical-verification harness.
+
+The heavier distribution tests (marked ``statistical``) draw tens of
+thousands of samples; they are fully seeded and deterministic but cost
+seconds, so tier-1 runs deselect them by default.  Pass ``--statistical``
+to run them (and to scale the lighter always-on checks up to their full
+draw counts).
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 import pytest
+from scipy import stats
 
 from repro.distributed import LocalCluster, arbitrary_partition, entrywise_partition
+from repro.distributed.network import Network
+from repro.distributed.vector import DistributedVector
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--statistical",
+        action="store_true",
+        default=False,
+        help="run the heavy seeded distribution tests (marked 'statistical') "
+        "and scale the light ones up to their full draw counts",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "statistical: heavy seeded distribution checks, deselected unless "
+        "--statistical is passed",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--statistical"):
+        return
+    skip = pytest.mark.skip(reason="needs --statistical")
+    for item in items:
+        if "statistical" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture
@@ -48,3 +87,120 @@ def make_cluster(matrix, num_servers=4, seed=0, function=None, partition="arbitr
     else:
         raise ValueError(f"unknown partition {partition!r}")
     return LocalCluster(locals_, function)
+
+
+def make_distributed_vector(dense, num_servers=3, seed=99):
+    """Split a dense vector into a DistributedVector over a fresh network.
+
+    Each of the first ``num_servers - 1`` servers holds small noise and the
+    last holds the remainder, so the implicit sum is exactly ``dense``.
+    """
+    dense = np.asarray(dense, dtype=float)
+    rng = np.random.default_rng(seed)
+    parts = [rng.normal(scale=0.01, size=dense.size) for _ in range(num_servers - 1)]
+    parts.append(dense - np.sum(parts, axis=0))
+    components = []
+    for vec in parts:
+        idx = np.nonzero(vec)[0].astype(np.int64)
+        components.append((idx, vec[idx]))
+    return DistributedVector(components, dense.size, Network(num_servers))
+
+
+# --------------------------------------------------------------------------- #
+# statistical-verification harness
+# --------------------------------------------------------------------------- #
+@dataclass
+class DistributionCheck:
+    """Outcome of comparing empirical draw counts with exact probabilities."""
+
+    p_value: float
+    tv_distance: float
+    total_draws: int
+
+
+class DistributionChecker:
+    """Seeded chi-square / total-variation checks on empirical draws.
+
+    Shared by the sampler acceptance tests so fused, naive and
+    multiprocessing paths are all validated with identical statistics.
+    """
+
+    def __init__(self, min_expected: float = 5.0) -> None:
+        self._min_expected = min_expected
+
+    def check(self, drawn, support, probabilities) -> DistributionCheck:
+        """Compare draws (values in ``support``) against exact probabilities.
+
+        Bins with expected count below ``min_expected`` are pooled into one
+        bin so the chi-square approximation stays valid.
+        """
+        drawn = np.asarray(drawn)
+        support = np.asarray(support)
+        probabilities = np.asarray(probabilities, dtype=float)
+        if support.size != probabilities.size:
+            raise ValueError("support and probabilities must align")
+        if not np.isclose(probabilities.sum(), 1.0, atol=1e-9):
+            raise ValueError(
+                f"probabilities must sum to 1, got {probabilities.sum()}"
+            )
+        total = drawn.size
+        order = np.argsort(support)
+        sorted_support = support[order]
+        positions = np.searchsorted(sorted_support, drawn)
+        np.minimum(positions, sorted_support.size - 1, out=positions)
+        outside = sorted_support[positions] != drawn
+        if outside.any():
+            raise AssertionError(
+                f"draw {drawn[outside][0]} outside the expected support"
+            )
+        counts = np.zeros(support.size, dtype=float)
+        np.add.at(counts, order[positions], 1.0)
+
+        expected = probabilities * total
+        tv = 0.5 * float(np.abs(counts / total - probabilities).sum())
+
+        # Pool low-expectation bins for a valid chi-square approximation.
+        small = expected < self._min_expected
+        if small.all():
+            raise ValueError("all bins below the chi-square expectation floor")
+        obs = np.concatenate((counts[~small], [counts[small].sum()]))
+        exp = np.concatenate((expected[~small], [expected[small].sum()]))
+        if exp[-1] == 0:
+            obs, exp = obs[:-1], exp[:-1]
+        _, p_value = stats.chisquare(obs, exp)
+        return DistributionCheck(
+            p_value=float(p_value), tv_distance=tv, total_draws=int(total)
+        )
+
+    def assert_matches(
+        self,
+        drawn,
+        support,
+        probabilities,
+        *,
+        min_p_value: float = 1e-3,
+        max_tv: float = 0.1,
+    ) -> DistributionCheck:
+        """Assert the empirical distribution matches within tolerance."""
+        result = self.check(drawn, support, probabilities)
+        assert result.p_value >= min_p_value, (
+            f"chi-square rejects: p={result.p_value:.2e} < {min_p_value} "
+            f"over {result.total_draws} draws"
+        )
+        assert result.tv_distance <= max_tv, (
+            f"TV distance {result.tv_distance:.4f} > {max_tv} "
+            f"over {result.total_draws} draws"
+        )
+        return result
+
+
+@pytest.fixture
+def distribution_checker():
+    """The shared chi-square / TV-distance checker."""
+    return DistributionChecker()
+
+
+@pytest.fixture
+def statistical_draws(request):
+    """Number of sampler draws: heavier when --statistical is passed."""
+    return 60_000 if request.config.getoption("--statistical") else 12_000

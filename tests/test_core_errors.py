@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core.errors import (
+    DimensionMismatchError,
+    ReproError,
     additive_error,
     approximation_report,
     predicted_additive_error,
@@ -11,6 +13,59 @@ from repro.core.errors import (
     residual_norm_squared,
 )
 from repro.utils.linalg import svd_rank_k_projection
+
+
+class TestExceptionHierarchy:
+    def test_dimension_mismatch_is_catchable_as_legacy_types(self):
+        """Pre-existing callers catch ValueError or IndexError; the dedicated
+        exception must keep satisfying both."""
+        assert issubclass(DimensionMismatchError, ReproError)
+        assert issubclass(DimensionMismatchError, ValueError)
+        assert issubclass(DimensionMismatchError, IndexError)
+
+    def test_cluster_shape_mismatch_raises_dimension_error(self):
+        from repro.distributed.cluster import LocalCluster
+
+        with pytest.raises(DimensionMismatchError, match="server 1: \\(4, 3\\)"):
+            LocalCluster([np.zeros((3, 4)), np.zeros((4, 3))])
+
+    def test_cluster_network_size_mismatch_raises_dimension_error(self):
+        from repro.distributed.cluster import LocalCluster
+        from repro.distributed.network import Network
+
+        with pytest.raises(DimensionMismatchError, match="different number"):
+            LocalCluster([np.zeros((2, 2))], network=Network(3))
+
+    def test_vector_component_count_mismatch_raises_dimension_error(self):
+        from repro.distributed.network import Network
+        from repro.distributed.vector import DistributedVector
+
+        with pytest.raises(DimensionMismatchError, match="number of servers"):
+            DistributedVector([(np.array([0]), np.array([1.0]))], 4, Network(2))
+
+    def test_vector_out_of_dimension_names_the_server(self):
+        """Regression: a server holding coordinates beyond the declared
+        dimension must fail at construction with a message naming it, not
+        deep inside a later numpy gather."""
+        from repro.distributed.network import Network
+        from repro.distributed.vector import DistributedVector
+
+        components = [
+            (np.array([0, 1]), np.array([1.0, 2.0])),
+            (np.array([9]), np.array([3.0])),
+        ]
+        with pytest.raises(DimensionMismatchError, match="server 1"):
+            DistributedVector(components, 6, Network(2))
+
+    def test_vector_mask_shape_mismatch_raises_dimension_error(self):
+        from repro.distributed.network import Network
+        from repro.distributed.vector import DistributedVector
+
+        vector = DistributedVector(
+            [(np.array([0, 2]), np.array([1.0, 2.0]))], 4, Network(1)
+        )
+        with pytest.raises(DimensionMismatchError, match="server 0"):
+            vector.restrict_by_masks([np.ones(5, dtype=bool)])
 
 
 class TestResidualNorm:

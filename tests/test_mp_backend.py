@@ -6,13 +6,19 @@ import pytest
 from repro.distributed.mp_backend import (
     MultiprocessBackend,
     SerialBackend,
+    SketchProcessPool,
+    batched_component_sketch_task,
     local_countsketch_task,
     local_frobenius_task,
     local_row_norms_task,
     local_rows_task,
     parallel_aggregate_rows,
+    polynomial_hash_values_task,
 )
-from repro.sketch.countsketch import CountSketch
+from repro.distributed.network import Network
+from repro.distributed.vector import DistributedVector
+from repro.sketch.countsketch import BatchedCountSketch, CountSketch
+from repro.sketch.hashing import KWiseHash, SubsampleHash
 from repro.utils.linalg import frobenius_norm_squared
 
 
@@ -99,3 +105,83 @@ class TestParallelAggregateRows:
             apply_function=False,
         )
         np.testing.assert_allclose(rows, low_rank_matrix[[3]], atol=1e-8)
+
+
+class TestSketchProcessPool:
+    def make_vector(self, dimension=500, servers=3, seed=5):
+        rng = np.random.default_rng(seed)
+        components = []
+        for _ in range(servers):
+            idx = np.sort(rng.choice(dimension, size=120, replace=False)).astype(
+                np.int64
+            )
+            components.append((idx, rng.normal(size=120)))
+        return DistributedVector(components, dimension, Network(servers))
+
+    def make_batched(self, dimension=500, num_buckets=4):
+        sketches = [CountSketch(3, 32, dimension, seed=900 + b) for b in range(num_buckets)]
+        return BatchedCountSketch(sketches)
+
+    def test_worker_sketch_task_matches_in_process(self):
+        vector = self.make_vector()
+        batched = self.make_batched()
+        rng = np.random.default_rng(6)
+        assignment = rng.integers(0, batched.num_buckets, size=vector.dimension)
+        idx, val = vector.local_component(1)
+        direct = batched.sketch_assigned(idx, val, assignment[idx])
+        from_task = batched_component_sketch_task(
+            idx, val, assignment[idx].astype(np.int64),
+            batched._bucket_coeffs, batched._sign_coeffs,
+            batched.num_buckets, batched.depth, batched.width,
+        )
+        np.testing.assert_array_equal(direct, from_task)
+
+    def test_worker_hash_task_matches_kwise_hash(self):
+        hash_fn = KWiseHash(16, 997, seed=8)
+        keys = np.arange(400, dtype=np.int64)
+        np.testing.assert_array_equal(
+            polynomial_hash_values_task(keys, hash_fn.coefficients, 997),
+            hash_fn(keys),
+        )
+        assert polynomial_hash_values_task(
+            np.zeros(0, dtype=np.int64), hash_fn.coefficients, 997
+        ).size == 0
+
+    def test_pool_batched_sketches_match_serial(self):
+        vector = self.make_vector()
+        batched = self.make_batched()
+        rng = np.random.default_rng(9)
+        assignment = rng.integers(0, batched.num_buckets, size=vector.dimension)
+        expected = []
+        for server in range(vector.num_servers):
+            idx, val = vector.local_component(server)
+            expected.append(batched.sketch_assigned(idx, val, assignment[idx]))
+        pool = SketchProcessPool(processes=2)
+        try:
+            results = pool.batched_sketches(vector, batched, assignment)
+        finally:
+            pool.close()
+        for got, want in zip(results, expected):
+            np.testing.assert_array_equal(got, want)
+
+    def test_pool_subsample_values_match_serial(self):
+        vector = self.make_vector()
+        subsample = SubsampleHash(domain_scale=500, seed=10)
+        pool = SketchProcessPool(processes=2)
+        try:
+            results = pool.subsample_values(vector, subsample)
+        finally:
+            pool.close()
+        for server in range(vector.num_servers):
+            idx, _ = vector.local_component(server)
+            np.testing.assert_array_equal(results[server], subsample(idx))
+
+    def test_pool_close_is_idempotent(self):
+        pool = SketchProcessPool(processes=1)
+        assert pool.starmap(local_frobenius_task, [(np.ones((2, 2)),)]) == [4.0]
+        pool.close()
+        pool.close()
+
+    def test_invalid_process_count(self):
+        with pytest.raises(ValueError):
+            SketchProcessPool(processes=0)

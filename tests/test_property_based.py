@@ -15,8 +15,20 @@ from repro.distributed.partition import (
     row_partition,
 )
 from repro.functions import FairPsi, HuberPsi, L1L2Psi, generalized_mean
+from repro.sketch import engine
 from repro.sketch.countsketch import CountSketch
-from repro.sketch.hashing import KWiseHash
+from repro.sketch.hashing import (
+    MERSENNE_PRIME,
+    KWiseHash,
+    PairwiseHash,
+    SignHash,
+    SubsampleHash,
+    _mersenne_exact,
+    _mersenne_fold,
+    _polynomial_hash,
+    gathered_polynomial_hash,
+    stacked_polynomial_hash,
+)
 from repro.utils.linalg import (
     best_rank_k_error,
     frobenius_norm_squared,
@@ -210,6 +222,134 @@ class TestSketchProperties:
         rng = np.random.default_rng(seed)
         table = sketch.sketch_dense(rng.normal(size=32))
         assert sketch.f2_estimate(table) >= 0
+
+
+# --------------------------------------------------------------------------- #
+# Mersenne-fold hash family invariants
+# --------------------------------------------------------------------------- #
+class TestMersenneHashFamilyProperties:
+    """Range bounds, fold congruences, stacked/scalar agreement and
+    pairwise-independence empirics of the ``GF(2^31 - 1)`` hash substrate."""
+
+    @given(
+        st.lists(st.integers(0, 2**63 - 1), min_size=1, max_size=64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mersenne_fold_is_congruent_and_bounded(self, raw_values):
+        values = np.array(raw_values, dtype=np.uint64)
+        folded = _mersenne_fold(values)
+        assert np.all(folded <= np.uint64(MERSENNE_PRIME + 8))
+        np.testing.assert_array_equal(
+            folded % np.uint64(MERSENNE_PRIME), values % np.uint64(MERSENNE_PRIME)
+        )
+        exact = _mersenne_exact(_mersenne_fold(values))
+        assert np.all(exact < np.uint64(MERSENNE_PRIME))
+        np.testing.assert_array_equal(exact, values % np.uint64(MERSENNE_PRIME))
+
+    @given(
+        st.lists(st.integers(0, 2**31 - 2), min_size=1, max_size=40),
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.integers(0, 2**32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stacked_agrees_with_scalar_evaluation(
+        self, raw_keys, num_hashes, degree_plus_one, seed
+    ):
+        """One stacked Horner pass == per-polynomial %-division evaluation."""
+        keys = np.array(raw_keys, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        coeffs = rng.integers(
+            0, MERSENNE_PRIME, size=(num_hashes, degree_plus_one), dtype=np.int64
+        )
+        reference = np.stack([_polynomial_hash(keys, c) for c in coeffs])
+        np.testing.assert_array_equal(
+            stacked_polynomial_hash(keys, coeffs), reference
+        )
+
+    @given(
+        st.lists(st.integers(0, 2**31 - 2), min_size=1, max_size=24),
+        st.integers(2, 5),
+        st.integers(0, 2**32),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_gathered_agrees_with_selected_family(self, raw_keys, families, seed):
+        """Per-key family gather == evaluating each key's own family alone."""
+        keys = np.array(raw_keys, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        coeffs = rng.integers(
+            0, MERSENNE_PRIME, size=(families, 3, 4), dtype=np.int64
+        )
+        selector = rng.integers(0, families, size=keys.size)
+        gathered = gathered_polynomial_hash(keys, coeffs, selector)
+        for family in range(families):
+            member = selector == family
+            if not member.any():
+                continue
+            np.testing.assert_array_equal(
+                gathered[:, member],
+                stacked_polynomial_hash(keys[member], coeffs[family]),
+            )
+
+    @given(
+        st.integers(1, 6),
+        st.sampled_from([2, 3, 8, 100, 1024, 12345]),
+        st.integers(0, 2**32),
+        st.lists(st.integers(0, 2**31 - 2), min_size=1, max_size=32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_kwise_hash_outputs_bounded_under_both_engines(
+        self, independence, range_size, seed, raw_keys
+    ):
+        keys = np.array(raw_keys, dtype=np.int64)
+        hash_fn = KWiseHash(independence, range_size, seed=seed)
+        fused = hash_fn(keys)
+        assert fused.min() >= 0 and fused.max() < range_size
+        with engine.naive_reference():
+            naive = hash_fn(keys)
+        np.testing.assert_array_equal(fused, naive)
+
+    @given(st.integers(0, 2**31 - 2), st.integers(0, 2**31 - 2))
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    def test_pairwise_independence_collision_empirics(self, x, y):
+        """Over a family of seeded pairwise hashes, any two distinct keys
+        collide with frequency ~ 1/m (here m=8; 256 seeds, ~5 sigma slack).
+
+        Derandomised so the empirical counts are fully deterministic.
+        """
+        if x == y:
+            y = (y + 1) % (2**31 - 2)
+        keys = np.array([x, y], dtype=np.int64)
+        range_size = 8
+        collisions = 0
+        for seed in range(256):
+            out = PairwiseHash(range_size, seed=seed)(keys)
+            collisions += int(out[0] == out[1])
+        frequency = collisions / 256
+        assert abs(frequency - 1.0 / range_size) < 0.11
+
+    @given(st.integers(0, 2**31 - 2))
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    def test_sign_hash_is_balanced_over_the_family(self, key):
+        """sigma(key) in {-1, +1}, with mean ~ 0 across 256 seeded hashes."""
+        keys = np.array([key], dtype=np.int64)
+        total = 0
+        for seed in range(256):
+            sign = int(SignHash(seed=seed)(keys)[0])
+            assert sign in (-1, 1)
+            total += sign
+        assert abs(total) / 256 < 0.2
+
+    @given(st.integers(1, 30), st.integers(0, 2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_subsample_levels_nest(self, level, seed):
+        """Level j+1 survivors are a subset of level j survivors."""
+        subsample = SubsampleHash(domain_scale=4096, seed=seed)
+        keys = np.arange(512, dtype=np.int64)
+        level = min(level, 12)
+        outer = subsample.level_predicate(level)(keys)
+        inner = subsample.level_predicate(level + 1)(keys)
+        assert np.all(outer[inner])
 
 
 # --------------------------------------------------------------------------- #

@@ -17,7 +17,16 @@ from repro.distributed.vector import DistributedVector
 from repro.core.samplers import GeneralizedZRowSampler
 from repro.functions import HuberPsi, Identity
 from repro.sketch import engine
-from repro.sketch.countsketch import BatchedCountSketch, CountSketch, _row_median
+from repro.sketch.countsketch import (
+    BatchedCountSketch,
+    CountSketch,
+    _row_median,
+    batched_sketch_uncached,
+)
+from repro.sketch.heavy_hitters import (
+    heavy_hitters_from_stacked_tables,
+    heavy_hitters_from_tables,
+)
 from repro.sketch.hashing import (
     KWiseHash,
     SubsampleHash,
@@ -179,6 +188,303 @@ class TestCountSketchEquivalence:
             with engine.naive_reference():
                 reference = sketches[bucket].estimate(tables[bucket], query)
             np.testing.assert_array_equal(cached, reference)
+
+
+class TestBatchedDomainCacheEquivalence:
+    """The one-pass gathered domain cache vs per-bucket/per-row reference."""
+
+    def make_batched(self, domain=4000, num_buckets=6, seed_base=300):
+        sketches = [
+            CountSketch(5, 64, domain, seed=seed_base + b) for b in range(num_buckets)
+        ]
+        return BatchedCountSketch(sketches)
+
+    def test_cache_matches_per_bucket_reference(self):
+        rng = np.random.default_rng(30)
+        batched = self.make_batched()
+        assignment = rng.integers(0, batched.num_buckets, size=batched.domain)
+        assert batched.build_domain_cache(assignment)
+        flat_ref, sign_ref = batched.build_domain_cache_reference(assignment)
+        np.testing.assert_array_equal(batched._flat_cache, flat_ref)
+        np.testing.assert_array_equal(batched._sign_cache, sign_ref)
+
+    def test_cache_matches_reference_under_naive_engine(self):
+        """The reference builder uses scalar %-division hashing under the
+        naive engine; the gathered pass must still agree bit-for-bit."""
+        rng = np.random.default_rng(31)
+        batched = self.make_batched(num_buckets=4)
+        assignment = rng.integers(0, 4, size=batched.domain)
+        assert batched.build_domain_cache(assignment)
+        with engine.naive_reference():
+            flat_ref, sign_ref = batched.build_domain_cache_reference(assignment)
+        np.testing.assert_array_equal(batched._flat_cache, flat_ref)
+        np.testing.assert_array_equal(batched._sign_cache, sign_ref)
+
+    def test_member_list_input_equals_assignment_input(self):
+        rng = np.random.default_rng(32)
+        assignment = rng.integers(0, 6, size=4000)
+        members = [np.flatnonzero(assignment == b) for b in range(6)]
+        by_assignment = self.make_batched()
+        by_members = self.make_batched()
+        assert by_assignment.build_domain_cache(assignment)
+        assert by_members.build_domain_cache(members)
+        np.testing.assert_array_equal(
+            by_assignment._flat_cache, by_members._flat_cache
+        )
+        np.testing.assert_array_equal(
+            by_assignment._sign_cache, by_members._sign_cache
+        )
+        np.testing.assert_array_equal(
+            by_assignment._signed_cells(), by_members._signed_cells()
+        )
+
+    def test_partial_member_lists_rejected(self):
+        batched = self.make_batched(domain=100, num_buckets=2)
+        with pytest.raises(ValueError, match="partition"):
+            batched.build_domain_cache([np.arange(10), np.arange(20, 40)])
+
+    def test_uncached_kernel_matches_cached_sketch(self):
+        rng = np.random.default_rng(33)
+        batched = self.make_batched()
+        assignment = rng.integers(0, batched.num_buckets, size=batched.domain)
+        assert batched.build_domain_cache(assignment)
+        idx = np.sort(
+            rng.choice(batched.domain, size=1200, replace=False)
+        ).astype(np.int64)
+        val = rng.normal(size=1200)
+        cached_tables = batched.sketch_assigned(idx, val, assignment[idx])
+        uncached_tables = batched_sketch_uncached(
+            idx, val, assignment[idx].astype(np.int64),
+            batched._bucket_coeffs, batched._sign_coeffs,
+            batched.num_buckets, batched.depth, batched.width,
+        )
+        np.testing.assert_array_equal(cached_tables, uncached_tables)
+
+
+class TestStackedHeavyHittersEquivalence:
+    """Cross-bucket vectorised merge/threshold vs the per-bucket protocol."""
+
+    def run_both(self, max_candidates=None, seed=34, support=1500):
+        rng = np.random.default_rng(seed)
+        domain, num_buckets, servers = 3000, 5, 3
+        sketches = [CountSketch(5, 64, domain, seed=700 + b) for b in range(num_buckets)]
+        batched = BatchedCountSketch(sketches)
+        assignment = rng.integers(0, num_buckets, size=domain)
+        queries = [np.flatnonzero(assignment == b) for b in range(num_buckets)]
+        assert batched.build_domain_cache(assignment)
+
+        idx = np.sort(rng.choice(domain, size=support, replace=False)).astype(np.int64)
+        val = rng.normal(size=support)
+        val[rng.choice(support, size=8, replace=False)] = 90.0
+        splits = np.array_split(np.arange(support), servers)
+        stacks = [
+            batched.sketch_assigned(idx[s], val[s], assignment[idx[s]])
+            for s in splits
+        ]
+
+        stacked_net = Network(servers)
+        stacked = heavy_hitters_from_stacked_tables(
+            batched, stacks, stacked_net, 16.0,
+            bucket_queries=queries, max_candidates=max_candidates,
+        )
+
+        looped_net = Network(servers)
+        looped = []
+        for bucket in range(num_buckets):
+            if queries[bucket].size == 0:
+                looped.append(np.zeros(0, dtype=np.int64))
+                continue
+            result = heavy_hitters_from_tables(
+                sketches[bucket],
+                [stack[bucket] for stack in stacks],
+                looped_net,
+                16.0,
+                candidate_indices=queries[bucket],
+                max_candidates=max_candidates,
+                estimate_fn=lambda merged, q, b=bucket: batched.estimate_member(
+                    b, merged, q
+                ),
+                assume_unique=True,
+            )
+            looped.append(result.candidates)
+        return stacked, looped, stacked_net, looped_net
+
+    def test_candidates_identical(self):
+        stacked, looped, _, _ = self.run_both()
+        assert len(stacked) == len(looped)
+        for got, expected in zip(stacked, looped):
+            np.testing.assert_array_equal(got, expected)
+
+    def test_candidate_cap_identical(self):
+        stacked, looped, _, _ = self.run_both(max_candidates=2)
+        for got, expected in zip(stacked, looped):
+            np.testing.assert_array_equal(got, expected)
+            assert got.size <= 2
+
+    def test_words_per_tag_identical(self):
+        _, _, stacked_net, looped_net = self.run_both()
+        assert (
+            stacked_net.snapshot().words_by_tag == looped_net.snapshot().words_by_tag
+        )
+        assert stacked_net.total_messages == looped_net.total_messages
+
+    def test_requires_domain_cache(self):
+        sketches = [CountSketch(3, 16, 100, seed=b) for b in range(2)]
+        batched = BatchedCountSketch(sketches)
+        with pytest.raises(ValueError, match="domain cache"):
+            heavy_hitters_from_stacked_tables(
+                batched,
+                [batched.empty_tables()],
+                Network(1),
+                8.0,
+                bucket_queries=[np.arange(50), np.arange(50, 100)],
+            )
+
+
+class TestVectorOperationEquivalence:
+    """Fused collect/restrict vs the per-server naive reference."""
+
+    def test_collect_identical_values_and_words(self):
+        rng = np.random.default_rng(35)
+        dense = rng.normal(size=700)
+        dense[rng.choice(700, size=200, replace=False)] = 0.0
+        query = np.unique(rng.choice(700, size=120))
+
+        fused_vec = make_vector(dense)
+        fused_values = fused_vec.collect(query, tag="verify")
+        naive_vec = make_vector(dense)
+        with engine.naive_reference():
+            naive_values = naive_vec.collect(query, tag="verify")
+
+        np.testing.assert_array_equal(fused_values, naive_values)
+        assert (
+            fused_vec.network.snapshot().words_by_tag
+            == naive_vec.network.snapshot().words_by_tag
+        )
+        # Exactness against the dense sum (collect is an exact operation).
+        np.testing.assert_allclose(fused_values, dense[query], atol=1e-9)
+
+    def test_collect_repeated_queries_reuse_cache(self):
+        rng = np.random.default_rng(36)
+        dense = rng.normal(size=400)
+        vector = make_vector(dense)
+        first = vector.collect(np.arange(0, 400, 7), tag="verify")
+        assert vector._lookup_cache is not None
+        again = vector.collect(np.arange(0, 400, 7), tag="verify")
+        np.testing.assert_array_equal(first, again)
+
+    def test_collect_sums_duplicate_component_indices(self):
+        """A coordinate repeated within one component contributes its summed
+        value to exact_sum and every sketch; collect must agree (regression:
+        both paths used to return only the first duplicate's value)."""
+        components = [
+            (np.array([3, 3, 5]), np.array([1.0, 2.0, 4.0])),
+            (np.array([5]), np.array([0.5])),
+        ]
+        fused_vec = DistributedVector(components, 10, Network(2))
+        fused_values = fused_vec.collect([3, 5])
+        naive_vec = DistributedVector(components, 10, Network(2))
+        with engine.naive_reference():
+            naive_values = naive_vec.collect([3, 5])
+        np.testing.assert_array_equal(fused_values, naive_values)
+        np.testing.assert_array_equal(
+            fused_values, fused_vec.exact_sum()[[3, 5]]
+        )
+
+    def test_collect_all_empty_servers(self):
+        vector = DistributedVector(
+            [(np.zeros(0, dtype=np.int64), np.zeros(0))] * 2, 50, Network(2)
+        )
+        np.testing.assert_array_equal(vector.collect([3, 7]), np.zeros(2))
+
+    def test_restrict_identical_components(self):
+        rng = np.random.default_rng(37)
+        dense = rng.normal(size=900)
+        subsample = SubsampleHash(domain_scale=900, seed=38)
+        for level in (1, 2, 4):
+            fused_vec = make_vector(dense)
+            fused_r = fused_vec.restrict(subsample.level_predicate(level))
+            naive_vec = make_vector(dense)
+            with engine.naive_reference():
+                naive_r = naive_vec.restrict(subsample.level_predicate(level))
+            for server in range(fused_r.num_servers):
+                idx_f, val_f = fused_r.local_component(server)
+                idx_n, val_n = naive_r.local_component(server)
+                np.testing.assert_array_equal(idx_f, idx_n)
+                np.testing.assert_array_equal(val_f, val_n)
+
+    def test_restrict_rejects_misshapen_predicate(self):
+        vector = make_vector(np.ones(40))
+        with pytest.raises(ValueError, match="one boolean per coordinate"):
+            vector.restrict(lambda idx: np.ones(3, dtype=bool))
+
+
+class TestRegisterEquivalence:
+    """Vectorised coordinate classification vs the per-coordinate loop."""
+
+    def test_class_members_content_and_insertion_order(self):
+        rng = np.random.default_rng(39)
+        dense = np.zeros(1024)
+        dense[rng.choice(1024, size=60, replace=False)] = rng.uniform(
+            1.0, 200.0, size=60
+        )
+        weight = HuberPsi(2.0).sampling_weight
+        params = ZHeavyHittersParams(b=16, repetitions=2, num_buckets=8)
+
+        fused = ZEstimator(weight, hh_params=params, seed=40).estimate(
+            make_vector(dense)
+        )
+        with engine.naive_reference():
+            naive = ZEstimator(weight, hh_params=params, seed=40).estimate(
+                make_vector(dense)
+            )
+
+        # Insertion order is observable by the sampler: both the key order
+        # and per-class member arrays must match, not just the dict content.
+        assert list(fused.class_members) == list(naive.class_members)
+        assert list(fused.class_sizes) == list(naive.class_sizes)
+        for klass in fused.class_members:
+            np.testing.assert_array_equal(
+                fused.class_members[klass], naive.class_members[klass]
+            )
+        assert fused.member_values == naive.member_values
+        assert fused.class_sizes == naive.class_sizes
+
+
+class TestMultiprocessEquivalence:
+    """The opt-in worker-pool path vs single-process fused execution."""
+
+    def test_sampler_identical_draws_and_words(self):
+        rng = np.random.default_rng(41)
+        dense = np.zeros(600)
+        dense[rng.choice(600, size=25, replace=False)] = rng.uniform(5, 40, size=25)
+        config = ZSamplerConfig(
+            hh_params=ZHeavyHittersParams(b=16, repetitions=2, num_buckets=8)
+        )
+
+        single_vec = make_vector(dense)
+        single = ZSampler(Identity().sampling_weight, config, seed=42).sample(
+            single_vec, 30
+        )
+        mp_vec = make_vector(dense)
+        with engine.multiprocess_execution(processes=2):
+            multi = ZSampler(Identity().sampling_weight, config, seed=42).sample(
+                mp_vec, 30
+            )
+
+        np.testing.assert_array_equal(single.indices, multi.indices)
+        np.testing.assert_array_equal(single.probabilities, multi.probabilities)
+        np.testing.assert_array_equal(single.values, multi.values)
+        assert (
+            single_vec.network.snapshot().words_by_tag
+            == mp_vec.network.snapshot().words_by_tag
+        )
+
+    def test_pool_restored_after_context(self):
+        assert engine.parallel_pool() is None
+        with engine.multiprocess_execution(processes=2) as pool:
+            assert engine.parallel_pool() is pool
+        assert engine.parallel_pool() is None
 
 
 class TestProtocolEquivalence:
