@@ -32,6 +32,38 @@ class ReproError(Exception):
     """Base class of every exception raised deliberately by this library."""
 
 
+class SketchCompatibilityError(ReproError, ValueError):
+    """Two sketch states cannot be merged.
+
+    Merging CountSketch (or batched / heavy-hitter) state is only linear --
+    tables add -- when both sides were built from the *same* hash
+    coefficients over the same ``(depth, width, domain)`` geometry.  Raised
+    by the merge layer of :mod:`repro.runtime.state` when the coefficients
+    or shapes disagree, instead of silently adding incompatible tables.
+    """
+
+
+class WireFormatError(ReproError, ValueError):
+    """A byte buffer is not a valid wire-format frame.
+
+    Raised by :mod:`repro.runtime.wire` on bad magic, an unsupported wire
+    version, truncated buffers, unknown type codes, or payloads outside the
+    codec's domain (e.g. non-ASCII strings, integers beyond 64 bits).
+    """
+
+
+class WireAccountingError(ReproError, AssertionError):
+    """Real wire traffic disagrees with the simulated word accounting.
+
+    Raised by
+    :meth:`repro.distributed.network.TransportNetwork.verify_wire_accounting`
+    when, for any tag, the bytes actually moved through the transport's
+    data plane differ from ``BYTES_PER_WORD`` times the words charged to the
+    accounting network -- the invariant that keeps simulated and real runs
+    mutually auditable.
+    """
+
+
 class DimensionMismatchError(ReproError, ValueError, IndexError):
     """Servers disagree about the shape/dimension of the shared object.
 

@@ -29,6 +29,13 @@ from scipy import sparse
 from repro.distributed.cluster import LocalCluster
 from repro.distributed.server import LocalMatrix
 
+try:  # shared-memory domain caches (used when the platform provides them)
+    from multiprocessing import resource_tracker as _resource_tracker
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - shared_memory is stdlib on 3.8+
+    _resource_tracker = None
+    _shared_memory = None
+
 #: A per-server task: receives the server's local matrix plus any extra
 #: arguments and returns a picklable result.
 ServerTask = Callable[..., Any]
@@ -114,6 +121,139 @@ def batched_component_sketch_task(
         indices, values, assignment,
         bucket_coeffs, sign_coeffs, num_buckets, depth, width,
     )
+
+
+# Worker-process cache of attached shared-memory segments, keyed by segment
+# name.  Keeping the attachment (and its numpy view) alive across tasks is
+# what lets every task of one repetition -- and the several tasks a worker
+# serves when servers outnumber processes -- reuse one mapping of the
+# coordinator's domain cache and per-server components instead of
+# re-receiving megabytes of pickled arrays per task.
+_WORKER_SHM_CACHE: dict = {}
+_WORKER_SHM_CACHE_LIMIT = 16
+
+
+def _attach_shared_array(name: str, shape: tuple, dtype_name: str) -> np.ndarray:
+    """Return a read-view of the named shared segment (cached across tasks)."""
+    cached = _WORKER_SHM_CACHE.get(name)
+    if cached is not None:
+        return cached[1]
+    while len(_WORKER_SHM_CACHE) >= _WORKER_SHM_CACHE_LIMIT:
+        oldest = next(iter(_WORKER_SHM_CACHE))
+        old_shm, old_array = _WORKER_SHM_CACHE.pop(oldest)
+        del old_array  # drop the buffer view before unmapping
+        try:
+            old_shm.close()
+        except BufferError:  # pragma: no cover - a caller kept a view alive
+            pass
+    shm = _shared_memory.SharedMemory(name=name)
+    if _resource_tracker is not None:
+        try:
+            import multiprocessing
+
+            # Under spawn every child runs its own resource tracker, which
+            # would log a spurious "leaked shared_memory" warning (and try to
+            # unlink) for an attachment the creator manages deliberately --
+            # unregister it.  Under fork the tracker process is shared with
+            # the creator, whose own registration must stay in place.
+            if multiprocessing.get_start_method(allow_none=True) not in (None, "fork"):
+                _resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    array = np.ndarray(shape, dtype=np.dtype(dtype_name), buffer=shm.buf)
+    _WORKER_SHM_CACHE[name] = (shm, array)
+    return array
+
+
+def domain_cache_range_task(
+    bucket_coeffs: np.ndarray,
+    sign_coeffs: np.ndarray,
+    assign_slab: np.ndarray,
+    start: int,
+    stop: int,
+    width: int,
+    depth: int,
+    domain: int,
+    flat_name: str,
+    sign_name: str,
+    block: int,
+) -> int:
+    """Worker-side slab of a batched domain-cache build, written to shared memory.
+
+    Runs the elementwise kernel
+    :func:`repro.sketch.countsketch.build_domain_cache_range` over
+    coordinates ``[start, stop)``, writing straight into the shared output
+    arrays -- no result pickling, and the pages this worker writes are warm
+    for its later sketch gathers.
+    """
+    from repro.sketch.countsketch import build_domain_cache_range
+
+    flat_out = _attach_shared_array(flat_name, (domain, depth), "int64")
+    sign_out = _attach_shared_array(sign_name, (domain, depth), "int8")
+    build_domain_cache_range(
+        bucket_coeffs,
+        sign_coeffs,
+        assign_slab,
+        start,
+        stop,
+        width,
+        flat_out,
+        sign_out,
+        block,
+    )
+    return stop - start
+
+
+def batched_component_sketch_shared_task(
+    idx_name: str,
+    val_name: str,
+    count: int,
+    bucket_hash_coeffs: np.ndarray,
+    flat_name: str,
+    sign_name: str,
+    domain: int,
+    num_buckets: int,
+    depth: int,
+    width: int,
+) -> np.ndarray:
+    """Worker-side batched sketch served entirely from shared memory.
+
+    The server's component (published once per vector) and the repetition's
+    domain-hash cache (built slab-wise by the workers themselves) are both
+    attached by name; the only per-task payload is the repetition's
+    pairwise bucket-hash coefficients, which the worker evaluates over its
+    own indices -- bit-for-bit equal to indexing the coordinator's
+    domain-wide assignment.  Reproduces the cached
+    :meth:`~repro.sketch.countsketch.BatchedCountSketch.sketch_assigned`
+    path exactly.
+    """
+    table_words = depth * width
+    tables = np.zeros(num_buckets * table_words, dtype=float)
+    if count:
+        from repro.sketch.hashing import range_reduce, stacked_polynomial_hash
+
+        indices = _attach_shared_array(idx_name, (count,), "int64")
+        values = _attach_shared_array(val_name, (count,), "float64")
+        flat_cache = _attach_shared_array(flat_name, (domain, depth), "int64")
+        sign_cache = _attach_shared_array(sign_name, (domain, depth), "int8")
+        assignment = range_reduce(
+            stacked_polynomial_hash(indices, bucket_hash_coeffs[None, :])[0],
+            num_buckets,
+        ).astype(np.int64)
+        flat_keys = flat_cache[indices] + (assignment * table_words)[:, None]
+        weights = sign_cache[indices] * values[:, None]
+        np.add.at(tables, flat_keys.ravel(), weights.ravel())
+    return tables.reshape(num_buckets, depth, width)
+
+
+def subsample_values_shared_task(
+    idx_name: str, count: int, coefficients: np.ndarray, range_size: int
+) -> np.ndarray:
+    """Worker-side subsample-hash evaluation over a shared component."""
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    indices = _attach_shared_array(idx_name, (count,), "int64")
+    return polynomial_hash_values_task(indices, coefficients, range_size)
 
 
 def polynomial_hash_values_task(
@@ -231,8 +371,154 @@ class SketchProcessPool:
         futures = [pool.submit(task, *payload) for payload in payloads]
         return [future.result() for future in futures]
 
-    def batched_sketches(self, vector, batched, assignment: np.ndarray) -> List[np.ndarray]:
-        """All servers' ``(num_buckets, depth, width)`` table stacks, one worker each."""
+    @staticmethod
+    def _publish_shared(array: np.ndarray):
+        """Copy ``array`` into a fresh shared segment and return the handle."""
+        segment = _shared_memory.SharedMemory(create=True, size=array.nbytes)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        return segment
+
+    @staticmethod
+    def _release_segments(segments) -> None:
+        """Close and unlink published segments (idempotent per segment)."""
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - a view outlived the owner
+                pass
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+    def _shared_ok(self, vector) -> bool:
+        return _shared_memory is not None and vector.num_servers > 1
+
+    def _shared_components(self, vector) -> List[Tuple[str, str, int]]:
+        """Publish every server's ``(indices, values)`` to shared memory once.
+
+        The published names are cached on the vector itself (components are
+        immutable), so the repetitions of Algorithm 2 and every subsampling
+        level stop re-pickling megabytes of component data per task; the
+        segments are unlinked when the vector is garbage collected.
+        """
+        cached = getattr(vector, "_mp_shared_components", None)
+        if cached is not None:
+            return cached[1]
+        import weakref
+
+        segments: List = []
+        names: List[Tuple[str, str, int]] = []
+        for server in range(vector.num_servers):
+            idx, val = vector.local_component(server)
+            if idx.size == 0:
+                names.append(("", "", 0))
+                continue
+            idx_segment = self._publish_shared(np.ascontiguousarray(idx))
+            val_segment = self._publish_shared(np.ascontiguousarray(val))
+            segments.extend((idx_segment, val_segment))
+            names.append((idx_segment.name, val_segment.name, int(idx.size)))
+        weakref.finalize(vector, self._release_segments, segments)
+        vector._mp_shared_components = (segments, names)
+        return names
+
+    def build_domain_cache_shared(self, batched, assign: np.ndarray) -> bool:
+        """Build a batched domain cache slab-parallel, directly in shared memory.
+
+        Called from
+        :meth:`~repro.sketch.countsketch.BatchedCountSketch.build_domain_cache`
+        when this pool is installed.  The domain splits into one contiguous
+        slab per process; each worker runs the (elementwise, hence
+        bit-identical) blocked kernel over its slab and writes straight into
+        the shared ``(flat, sign)`` arrays -- so the dominant serial cost of
+        a repetition parallelises and the cache pages are already mapped in
+        every worker for the sketch gathers that follow.  Returns False (and
+        builds nothing) when shared memory is unavailable, leaving the
+        caller on the serial path.
+        """
+        if _shared_memory is None:
+            return False
+        processes = self._processes or _default_process_count()
+        if processes < 2:
+            return False
+        domain, depth, width = batched.domain, batched.depth, batched.width
+        flat_segment = _shared_memory.SharedMemory(create=True, size=domain * depth * 8)
+        sign_segment = _shared_memory.SharedMemory(create=True, size=domain * depth)
+        try:
+            slabs = min(processes, domain)
+            bounds = np.linspace(0, domain, slabs + 1, dtype=np.int64)
+            payloads = []
+            for slab in range(slabs):
+                start, stop = int(bounds[slab]), int(bounds[slab + 1])
+                if start == stop:
+                    continue
+                payloads.append((
+                    batched._bucket_coeffs,
+                    batched._sign_coeffs,
+                    assign[start:stop],
+                    start,
+                    stop,
+                    width,
+                    depth,
+                    domain,
+                    flat_segment.name,
+                    sign_segment.name,
+                    batched.CACHE_BUILD_BLOCK,
+                ))
+            self.starmap(domain_cache_range_task, payloads)
+        except Exception:
+            self._release_segments([flat_segment, sign_segment])
+            raise
+        import weakref
+
+        batched._flat_cache = np.ndarray((domain, depth), dtype=np.int64, buffer=flat_segment.buf)
+        batched._sign_cache = np.ndarray((domain, depth), dtype=np.int8, buffer=sign_segment.buf)
+        batched._signed_cell_cache = None
+        batched._shm_cache_names = (flat_segment.name, sign_segment.name)
+        # The cache arrays alias the segments; keep them mapped until the
+        # batched family itself is collected.
+        weakref.finalize(batched, self._release_segments, [flat_segment, sign_segment])
+        return True
+
+    def batched_sketches(
+        self, vector, batched, assignment: np.ndarray, *, bucket_hash=None
+    ) -> List[np.ndarray]:
+        """All servers' ``(num_buckets, depth, width)`` table stacks, one worker each.
+
+        With shared memory available, the per-task payload shrinks to the
+        repetition's pairwise bucket-hash coefficients: components and the
+        domain cache are attached by name (see :meth:`_shared_components`
+        and :meth:`build_domain_cache_shared`) and each worker evaluates the
+        bucket hash over its own indices -- bit-for-bit identical to the
+        in-process cached path.  Otherwise the original coefficient-broadcast
+        kernel runs from pickled payloads.
+        """
+        cache_names = getattr(batched, "_shm_cache_names", None)
+        if (
+            self._shared_ok(vector)
+            and cache_names is not None
+            and bucket_hash is not None
+            and getattr(batched, "_flat_cache", None) is not None
+        ):
+            flat_name, sign_name = cache_names
+            coefficients = np.asarray(bucket_hash.coefficients, dtype=np.int64)
+            payloads = [
+                (
+                    idx_name,
+                    val_name,
+                    count,
+                    coefficients,
+                    flat_name,
+                    sign_name,
+                    batched.domain,
+                    batched.num_buckets,
+                    batched.depth,
+                    batched.width,
+                )
+                for idx_name, val_name, count in self._shared_components(vector)
+            ]
+            return self.starmap(batched_component_sketch_shared_task, payloads)
         bucket_coeffs, sign_coeffs = batched.broadcast_coefficients()
         payloads = []
         for server in range(vector.num_servers):
@@ -252,6 +538,12 @@ class SketchProcessPool:
     def subsample_values(self, vector, subsample) -> List[np.ndarray]:
         """Every server's subsample-hash values ``g(idx)``, one worker each."""
         coefficients = subsample.coefficients
+        if self._shared_ok(vector):
+            payloads = [
+                (idx_name, count, coefficients, subsample.domain_scale)
+                for idx_name, _, count in self._shared_components(vector)
+            ]
+            return self.starmap(subsample_values_shared_task, payloads)
         payloads = []
         for server in range(vector.num_servers):
             idx, _ = vector.local_component(server)

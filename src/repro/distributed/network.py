@@ -195,3 +195,96 @@ class Network:
     def payload_words(payload: Any) -> int:
         """Expose :func:`payload_word_count` for callers sizing messages up-front."""
         return payload_word_count(payload)
+
+
+class TransportNetwork(Network):
+    """The accounting network's transport-backed twin.
+
+    Used by :mod:`repro.runtime.service` when the protocol runs over a real
+    transport: the protocol code keeps charging *words* through the
+    inherited :class:`Network` interface exactly as in the simulation, while
+    the runtime records the bytes each tagged wire section actually moved
+    (via :meth:`record_frame`).  The two ledgers are mutually auditing:
+    :meth:`verify_wire_accounting` asserts that for every tag the data plane
+    carried exactly ``BYTES_PER_WORD`` bytes per charged word -- the
+    invariant that makes simulated communication ratios and real traffic
+    directly comparable.
+
+    Framing (length prefixes, ops, metadata, request parameters the
+    simulation never charges) is tracked separately as control overhead and
+    deliberately excluded from the word comparison, mirroring how the
+    paper's word model ignores protocol headers.
+    """
+
+    def __init__(self, num_servers: int, *, keep_messages: bool = False) -> None:
+        super().__init__(num_servers, keep_messages=keep_messages)
+        self._data_bytes_by_tag: Dict[str, int] = defaultdict(int)
+        self._overhead_bytes = 0
+        self._frames = 0
+
+    def record_frame(self, data_sections, overhead_bytes: int) -> None:
+        """Record one transported frame's tagged data sections and overhead."""
+        for tag, nbytes in data_sections:
+            self._data_bytes_by_tag[tag] += int(nbytes)
+        self._overhead_bytes += int(overhead_bytes)
+        self._frames += 1
+
+    @property
+    def data_bytes_by_tag(self) -> Dict[str, int]:
+        """Actually transmitted data-plane bytes per tag."""
+        return dict(self._data_bytes_by_tag)
+
+    @property
+    def total_data_bytes(self) -> int:
+        """Total data-plane bytes moved through the transport."""
+        return sum(self._data_bytes_by_tag.values())
+
+    @property
+    def control_overhead_bytes(self) -> int:
+        """Framing + control bytes (never charged in the word model)."""
+        return self._overhead_bytes
+
+    @property
+    def frames_transported(self) -> int:
+        """Number of wire frames recorded."""
+        return self._frames
+
+    def reset(self) -> None:
+        """Clear the word counters and the byte ledger."""
+        super().reset()
+        self._data_bytes_by_tag.clear()
+        self._overhead_bytes = 0
+        self._frames = 0
+
+    def verify_wire_accounting(self) -> Dict[str, int]:
+        """Assert data bytes equal ``BYTES_PER_WORD * words`` for every tag.
+
+        Returns the per-tag byte ledger on success; raises
+        :class:`~repro.core.errors.WireAccountingError` naming every
+        mismatched tag otherwise.
+        """
+        from repro.core.errors import WireAccountingError
+
+        snapshot = self.snapshot()
+        mismatches = []
+        tags = set(snapshot.words_by_tag) | set(self._data_bytes_by_tag)
+        for tag in sorted(tags):
+            expected = snapshot.words_by_tag.get(tag, 0) * BYTES_PER_WORD
+            actual = self._data_bytes_by_tag.get(tag, 0)
+            if expected != actual:
+                mismatches.append(
+                    f"tag {tag!r}: {actual} bytes on the wire vs "
+                    f"{expected} expected ({snapshot.words_by_tag.get(tag, 0)} words)"
+                )
+        expected_total = snapshot.total_words * BYTES_PER_WORD
+        if self.total_data_bytes != expected_total:
+            mismatches.append(
+                f"total: {self.total_data_bytes} bytes on the wire vs "
+                f"{expected_total} expected ({snapshot.total_words} words)"
+            )
+        if mismatches:
+            raise WireAccountingError(
+                "wire traffic disagrees with the simulated word accounting: "
+                + "; ".join(mismatches)
+            )
+        return self.data_bytes_by_tag

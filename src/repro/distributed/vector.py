@@ -25,6 +25,45 @@ from repro.distributed.network import Network
 LocalComponent = Tuple[np.ndarray, np.ndarray]
 
 
+def lookup_sorted(
+    sorted_idx: np.ndarray, sorted_val: np.ndarray, query: np.ndarray
+) -> np.ndarray:
+    """Values of a sorted, coalesced sparse component at ``query`` (0 on miss).
+
+    The one binary-search lookup shared by every point-collection path:
+    the in-process :meth:`DistributedVector.collect`, the runtime worker's
+    ``collect`` op and the coordinator's own component.
+    """
+    values = np.zeros(query.size, dtype=float)
+    if sorted_idx.size and query.size:
+        positions = np.searchsorted(sorted_idx, query)
+        np.clip(positions, 0, sorted_idx.size - 1, out=positions)
+        hit = sorted_idx[positions] == query
+        values[hit] = sorted_val[positions[hit]]
+    return values
+
+
+class SubsampleRestrictor:
+    """Per-server cache of the subsample hash ``g`` with level restriction.
+
+    Built by :meth:`DistributedVector.subsample_restrictor`; holding the
+    cached ``g`` values next to the vector keeps the "evaluate once,
+    threshold per level" contract of Algorithm 3 in one place, and gives
+    transport-backed vectors a seam where the cache lives *worker-side*
+    instead of being shipped to the coordinator.
+    """
+
+    def __init__(self, vector: "DistributedVector", subsample, cached_g) -> None:
+        self._vector = vector
+        self._subsample = subsample
+        self._cached_g = cached_g
+
+    def restrict(self, level: int) -> "DistributedVector":
+        """Return the restriction to level-``level`` survivors (free local work)."""
+        threshold = self._subsample.level_threshold(level)
+        return self._vector.restrict_by_masks([g < threshold for g in self._cached_g])
+
+
 def _dimension_error(message: str) -> Exception:
     """Build a :class:`repro.core.errors.DimensionMismatchError` lazily.
 
@@ -148,23 +187,52 @@ class DistributedVector:
             offsets = np.concatenate(
                 ([0], np.cumsum(np.asarray(sizes, dtype=np.int64)))
             )
-            nonempty = [idx for idx, _ in self._components if idx.size]
+            nonempty_idx = [idx for idx, _ in self._components if idx.size]
+            nonempty_val = [val for idx, val in self._components if idx.size]
             concat = (
-                np.concatenate(nonempty) if nonempty else np.zeros(0, dtype=np.int64)
+                np.concatenate(nonempty_idx)
+                if nonempty_idx
+                else np.zeros(0, dtype=np.int64)
             )
-            self._concat_cache = (concat, offsets)
-        return self._concat_cache
+            concat_val = (
+                np.concatenate(nonempty_val) if nonempty_val else np.zeros(0, dtype=float)
+            )
+            self._concat_cache = (concat, offsets, concat_val)
+        return self._concat_cache[0], self._concat_cache[1]
 
     def _split_by_mask(self, mask: np.ndarray) -> "DistributedVector":
-        """Build the restriction from one concatenated boolean keep-mask."""
-        _, offsets = self._concat_indices()
+        """Build the restriction from one concatenated boolean keep-mask.
+
+        The kept indices/values of *all* servers are compressed into two
+        preallocated arrays in one boolean-mask pass each; per-server
+        components are then zero-copy views at the mask-count boundaries.
+        The old implementation sliced the mask per server and fancy-indexed
+        each component separately, allocating ``2s`` arrays and touching the
+        mask twice -- the restriction step was allocation-bound (ROADMAP
+        noted ~1.2x on `restrict`).
+        """
+        concat_idx, offsets = self._concat_indices()
+        concat_val = self._concat_cache[2]
+        # Per-server output sizes from the mask counts (SIMD popcounts over
+        # mask slices), then one compress pass into each preallocated buffer.
+        bounds = np.zeros(self.num_servers + 1, dtype=np.int64)
+        for server in range(self.num_servers):
+            bounds[server + 1] = bounds[server] + np.count_nonzero(
+                mask[offsets[server] : offsets[server + 1]]
+            )
+        kept_idx = np.empty(int(bounds[-1]), dtype=np.int64)
+        kept_val = np.empty(int(bounds[-1]), dtype=float)
+        np.compress(mask, concat_idx, out=kept_idx)
+        np.compress(mask, concat_val, out=kept_val)
         restricted: List[LocalComponent] = []
         for server, (idx, val) in enumerate(self._components):
             if idx.size == 0:
                 restricted.append((idx, val))
                 continue
-            keep_mask = mask[offsets[server] : offsets[server + 1]]
-            restricted.append((idx[keep_mask], val[keep_mask]))
+            restricted.append(
+                (kept_idx[bounds[server] : bounds[server + 1]],
+                 kept_val[bounds[server] : bounds[server + 1]])
+            )
         return DistributedVector(restricted, self._dimension, self._network)
 
     def restrict(self, keep: Callable[[np.ndarray], np.ndarray]) -> "DistributedVector":
@@ -209,25 +277,86 @@ class DistributedVector:
                 f"need exactly one mask per server ({len(masks)} masks for "
                 f"{self.num_servers} servers)"
             )
-        restricted: List[LocalComponent] = []
-        for server, ((idx, val), mask) in enumerate(zip(self._components, masks)):
-            if idx.size == 0:
-                restricted.append((idx, val))
-                continue
+        cleaned_masks: List[np.ndarray] = []
+        for server, ((idx, _), mask) in enumerate(zip(self._components, masks)):
             keep_mask = np.asarray(mask, dtype=bool)
             if keep_mask.shape != idx.shape:
                 raise _dimension_error(
                     f"server {server}: mask shape {keep_mask.shape} must match "
                     f"the server's index array shape {idx.shape}"
                 )
-            restricted.append((idx[keep_mask], val[keep_mask]))
-        return DistributedVector(restricted, self._dimension, self._network)
+            if idx.size:
+                cleaned_masks.append(keep_mask)
+        concat_mask = (
+            np.concatenate(cleaned_masks)
+            if cleaned_masks
+            else np.zeros(0, dtype=bool)
+        )
+        return self._split_by_mask(concat_mask)
 
     def local_sketch_tables(self, sketcher) -> List[np.ndarray]:
         """Have every server sketch its local component (free local computation)."""
         return [
             sketcher.sketch(idx, val) for idx, val in self._components
         ]
+
+    def batched_sketch_tables(
+        self,
+        batched,
+        domain_assignment: np.ndarray,
+        *,
+        bucket_hash=None,
+        nonempty_buckets: Optional[Sequence[int]] = None,
+        tag: str = "",
+    ) -> List[np.ndarray]:
+        """Every server's ``(num_buckets, depth, width)`` table stack (free local work).
+
+        This is the per-server execution seam of Algorithm 2: the in-process
+        vector runs each server's batched sketch locally (dispatching to the
+        opt-in worker pool when one is installed), while transport-backed
+        vectors (:class:`repro.runtime.service.RemoteVector`) override it to
+        ship the broadcast coefficients to real workers and receive the
+        stacks back over the wire.  ``bucket_hash``, ``nonempty_buckets``
+        and ``tag`` describe the broadcast a real coordinator would make;
+        the local implementation does not need them because it already holds
+        every component.
+        """
+        from repro.sketch import engine
+
+        pool = engine.parallel_pool()
+        if pool is not None and self.num_servers > 1:
+            return pool.batched_sketches(
+                self, batched, domain_assignment, bucket_hash=bucket_hash
+            )
+        tables: List[np.ndarray] = []
+        for idx, val in self._components:
+            if idx.size == 0:
+                tables.append(batched.empty_tables())
+            else:
+                tables.append(batched.sketch_assigned(idx, val, domain_assignment[idx]))
+        return tables
+
+    def subsample_restrictor(self, subsample, *, tag: str = "") -> "SubsampleRestrictor":
+        """Cache the subsample hash ``g`` per server and return a level restrictor.
+
+        Algorithm 3 evaluates the degree-16 polynomial ``g`` once per server
+        and derives every level's survivor mask by thresholding the cached
+        values.  The returned object's :meth:`SubsampleRestrictor.restrict`
+        yields the level-``j`` restriction without re-evaluating ``g``.
+        Transport-backed vectors override this to broadcast the coefficients
+        so each worker caches its own values locally.
+        """
+        from repro.sketch import engine
+
+        pool = engine.parallel_pool()
+        if pool is not None and self.num_servers > 1:
+            cached_g = pool.subsample_values(self, subsample)
+        else:
+            cached_g = [
+                subsample(idx) if idx.size else np.zeros(0, dtype=np.int64)
+                for idx, _ in self._components
+            ]
+        return SubsampleRestrictor(self, subsample, cached_g)
 
     # ------------------------------------------------------------------ #
     # accounted operations
@@ -328,14 +457,8 @@ class DistributedVector:
             return total
         total = np.zeros(query.size, dtype=float)
         for server, (idx, val) in enumerate(self._components):
-            local = np.zeros(query.size, dtype=float)
-            if idx.size:
-                # Local lookup of the requested positions in the sparse component.
-                sorted_idx, sorted_val = self._sorted_coalesced(idx, val)
-                positions = np.searchsorted(sorted_idx, query)
-                positions = np.clip(positions, 0, sorted_idx.size - 1)
-                hit = sorted_idx[positions] == query
-                local[hit] = sorted_val[positions[hit]]
+            # Local lookup of the requested positions in the sparse component.
+            local = lookup_sorted(*self._sorted_coalesced(idx, val), query)
             if server != 0:
                 self._network.send(server, 0, local, tag=tag)
             total += local

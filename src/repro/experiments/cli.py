@@ -63,7 +63,53 @@ def build_parser() -> argparse.ArgumentParser:
     lower.add_argument("--trials", type=int, default=10)
 
     subparsers.add_parser("list-panels", help="list the available evaluation panels")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve one worker's shard of the runtime workload over asyncio TCP",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    serve.add_argument(
+        "--server", type=int, required=True,
+        help="this worker's server index (1..num-servers-1; 0 is the coordinator)",
+    )
+    _add_runtime_workload_args(serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="run Z-sampling as the coordinator against running workers",
+    )
+    submit.add_argument(
+        "--workers", nargs="+", required=True, metavar="HOST:PORT",
+        help="one host:port per worker, in server order (servers 1..s-1)",
+    )
+    submit.add_argument("--draws", type=int, default=16, help="sample size")
+    submit.add_argument(
+        "--function", default="identity",
+        help="entrywise function supplying the sampling weight z (see repro.functions)",
+    )
+    submit.add_argument(
+        "--sample-seed", type=int, default=0, help="seed of the sampling run"
+    )
+    submit.add_argument(
+        "--verify-local", action="store_true",
+        help="rerun the same seed on an in-process simulation and assert "
+        "bit-identical draws, estimates and per-tag word counts",
+    )
+    submit.add_argument(
+        "--shutdown", action="store_true", help="stop the workers afterwards"
+    )
+    _add_runtime_workload_args(submit)
     return parser
+
+
+def _add_runtime_workload_args(sub: argparse.ArgumentParser) -> None:
+    """Shared parameters pinning down the deterministic runtime workload."""
+    sub.add_argument("--num-servers", type=int, default=4, help="total servers incl. the coordinator")
+    sub.add_argument("--dimension", type=int, default=20_000)
+    sub.add_argument("--support", type=int, default=2_000, help="nonzeros per server")
+    sub.add_argument("--seed", type=int, default=0, help="workload partition seed")
 
 
 def _run_figures(args: argparse.Namespace, which: str) -> str:
@@ -101,6 +147,115 @@ def _run_lowerbounds(trials: int) -> str:
     return "\n".join(lines)
 
 
+def _runtime_components(args: argparse.Namespace):
+    from repro.experiments.workloads import runtime_vector_components
+
+    return runtime_vector_components(
+        args.num_servers, args.dimension, args.support, seed=args.seed
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.service import WorkerService
+    from repro.runtime.transport import WorkerServer
+
+    if not 1 <= args.server < args.num_servers:
+        raise SystemExit(
+            f"--server must be in [1, {args.num_servers - 1}] (0 is the coordinator)"
+        )
+    indices, values = _runtime_components(args)[args.server]
+    worker = WorkerService(
+        indices, values, args.dimension, name=f"server-{args.server}"
+    )
+    server = WorkerServer(
+        worker.handle_frame,
+        host=args.host,
+        port=args.port,
+        stop_check=lambda: worker.shutdown_requested,
+    )
+    host, port = server.start()
+    print(
+        f"serving server {args.server}/{args.num_servers - 1} "
+        f"({indices.size} nonzeros of dimension {args.dimension}) on {host}:{port}",
+        flush=True,
+    )
+    try:
+        server.wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive convenience
+        server.stop()
+    return 0
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.distributed.network import Network
+    from repro.distributed.vector import DistributedVector
+    from repro.functions import make_function
+    from repro.runtime.service import CoordinatorService
+    from repro.runtime.transport import TcpTransport
+    from repro.sketch.z_sampler import ZSampler
+
+    if len(args.workers) != args.num_servers - 1:
+        raise SystemExit(
+            f"need exactly {args.num_servers - 1} workers for "
+            f"--num-servers {args.num_servers}, got {len(args.workers)}"
+        )
+    components = _runtime_components(args)
+    weight_fn = make_function(args.function).sampling_weight
+    transports = []
+    for address in args.workers:
+        host, _, port = address.rpartition(":")
+        transports.append(TcpTransport(host or "127.0.0.1", int(port)))
+    coordinator = CoordinatorService(transports, args.dimension, components[0])
+    try:
+        draws = coordinator.sample(
+            weight_fn, args.draws, seed=args.sample_seed
+        )
+        log = coordinator.network.snapshot()
+        coordinator.verify_wire_accounting()
+        lines = [
+            f"drew {draws.indices.size} coordinates (Zhat={draws.estimate.z_total:.6g})",
+            "  draws: " + " ".join(str(i) for i in draws.indices.tolist()),
+            f"  communication: {log.total_words} words = {log.total_bytes} bytes "
+            f"over {coordinator.network.frames_transported} frames "
+            f"(+{coordinator.network.control_overhead_bytes} control bytes)",
+            "  per tag:",
+        ]
+        for tag in sorted(log.words_by_tag):
+            lines.append(
+                f"    {tag}: {log.words_by_tag[tag]} words = "
+                f"{coordinator.network.data_bytes_by_tag[tag]} bytes"
+            )
+        lines.append("  wire audit: data bytes == 8 x charged words for every tag")
+        if args.verify_local:
+            network = Network(args.num_servers)
+            vector = DistributedVector(components, args.dimension, network)
+            local_draws = ZSampler(weight_fn, seed=args.sample_seed).sample(
+                vector, args.draws
+            )
+            identical = (
+                np.array_equal(draws.indices, local_draws.indices)
+                and np.array_equal(draws.probabilities, local_draws.probabilities)
+                and network.snapshot().words_by_tag == log.words_by_tag
+            )
+            lines.append(
+                "  local replay: "
+                + ("bit-identical draws, probabilities and per-tag words"
+                   if identical else "MISMATCH against the in-process simulation")
+            )
+            if not identical:
+                print("\n".join(lines))
+                return 1
+        print("\n".join(lines))
+        if args.shutdown:
+            coordinator.shutdown_workers()
+            print("workers asked to shut down")
+    finally:
+        coordinator.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro``; returns the process exit code."""
     parser = build_parser()
@@ -117,6 +272,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "lowerbounds":
         print(_run_lowerbounds(args.trials))
         return 0
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -23,7 +23,7 @@ from repro.functions.mestimators import HuberPsi
 from repro.kernels.rff import RandomFourierFeatures, distributed_rff_cluster
 from repro.sketch.z_heavy_hitters import ZHeavyHittersParams
 from repro.sketch.z_sampler import ZSamplerConfig
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
 
 
 @dataclass
@@ -121,6 +121,48 @@ def _build_robust_workload(config: ExperimentConfig, seed: RandomState) -> Workl
         f"on isolet-like data ({num_rows} x {num_features}, {num_outliers} outliers, "
         f"s={config.num_servers})",
     )
+
+
+def runtime_vector_components(
+    num_servers: int,
+    dimension: int,
+    support: int,
+    seed: RandomState = 0,
+    *,
+    num_heavy: int = 8,
+) -> list:
+    """Deterministic per-server components for the runtime serve/submit demo.
+
+    Every invocation with the same ``(num_servers, dimension, support, seed)``
+    produces the same partition, so independently started workers (the
+    ``serve`` command) and the coordinator (``submit``) agree on the global
+    vector without any data exchange.  Values are small integers (plus a few
+    large "heavy" coordinates on server 0), keeping sketch-table additions
+    exact so merged shards are bit-identical to single-pass sketching.
+
+    Returns one ``(indices, values)`` pair per server; server 0 is the
+    coordinator's own component.
+    """
+    if num_servers < 1:
+        raise ValueError(f"num_servers must be >= 1, got {num_servers}")
+    if not 0 < support <= dimension:
+        raise ValueError("support must be in (0, dimension]")
+    rngs = spawn_rngs(seed, num_servers + 1)
+    heavy = np.sort(rngs[0].choice(dimension, size=min(num_heavy, dimension), replace=False))
+    components = []
+    for server in range(num_servers):
+        rng = rngs[server + 1]
+        idx = np.sort(rng.choice(dimension, size=support, replace=False)).astype(np.int64)
+        values = rng.integers(-5, 6, size=support).astype(float)
+        if server == 0:
+            extra = np.setdiff1d(heavy, idx)
+            idx = np.concatenate((idx, extra))
+            values = np.concatenate((values, np.zeros(extra.size)))
+            order = np.argsort(idx)
+            idx, values = idx[order], values[order]
+            values[np.isin(idx, heavy)] = 100.0
+        components.append((idx, values))
+    return components
 
 
 def build_workload(config: ExperimentConfig, seed: Optional[RandomState] = None) -> Workload:

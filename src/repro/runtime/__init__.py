@@ -1,0 +1,55 @@
+"""Wire-format and runtime subsystem: serializable, mergeable, servable sketches.
+
+Three layers (see the README's *Runtime* section):
+
+* :mod:`repro.runtime.wire` -- versioned binary codec whose data section is
+  exactly ``BYTES_PER_WORD`` bytes per accounted word;
+* :mod:`repro.runtime.state` -- serializable sketch state with associative,
+  coefficient-checked ``merge``;
+* :mod:`repro.runtime.transport` / :mod:`repro.runtime.service` -- pluggable
+  transports (in-memory loopback, asyncio TCP) and the coordinator/worker
+  pair running the Z-sampling pipeline over them, byte-audited against the
+  simulated word accounting.
+"""
+
+from repro.runtime.service import CoordinatorService, RemoteVector, WorkerService
+from repro.runtime.state import (
+    BatchedSketchState,
+    CountSketchState,
+    HeavyHitterSummary,
+    ZEstimateState,
+)
+from repro.runtime.transport import (
+    LoopbackTransport,
+    TcpTransport,
+    Transport,
+    WorkerServer,
+)
+from repro.runtime.wire import (
+    WIRE_VERSION,
+    decode_frame,
+    encode_frame,
+    from_bytes,
+    to_bytes,
+    wire_word_count,
+)
+
+__all__ = [
+    "WIRE_VERSION",
+    "to_bytes",
+    "from_bytes",
+    "wire_word_count",
+    "encode_frame",
+    "decode_frame",
+    "CountSketchState",
+    "BatchedSketchState",
+    "HeavyHitterSummary",
+    "ZEstimateState",
+    "Transport",
+    "LoopbackTransport",
+    "TcpTransport",
+    "WorkerServer",
+    "WorkerService",
+    "CoordinatorService",
+    "RemoteVector",
+]

@@ -1,0 +1,587 @@
+"""Coordinator/worker services running the Z-pipeline over a real transport.
+
+The simulated protocols (``z_heavy_hitters``, ``ZEstimator``, ``ZSampler``)
+execute every server's local work in one process and only *account* the
+traffic.  The services here run the **same protocol code** with the
+per-server work behind a transport:
+
+* a :class:`WorkerService` owns one server's sparse component and answers
+  the coordinator's wire frames -- caching the subsample hash ``g``,
+  sketching its (possibly level-restricted) component into the broadcast
+  per-bucket CountSketch family, and looking up exact values;
+* a :class:`RemoteVector` is a :class:`~repro.distributed.vector.DistributedVector`
+  whose per-server seams (:meth:`batched_sketch_tables`,
+  :meth:`subsample_restrictor`, :meth:`collect`) talk to the workers over a
+  pluggable :class:`~repro.runtime.transport.Transport` instead of touching
+  local components;
+* a :class:`CoordinatorService` holds server 0's own component (the
+  Central Processor stores data too; its traffic is free, exactly as in the
+  simulation) and runs Algorithm 2 / 3 / 4 end-to-end.
+
+Because the coordinator draws every hash seed and RNG stream exactly as the
+in-process run does, a same-seed :class:`~repro.distributed.cluster.LocalCluster`
+simulation produces **bit-identical** candidates, estimates, draws and
+per-tag word counts -- and the transport's data plane carries exactly
+``BYTES_PER_WORD`` bytes per accounted word (checked by
+:meth:`~repro.distributed.network.TransportNetwork.verify_wire_accounting`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import DimensionMismatchError, ReproError
+from repro.distributed.network import TransportNetwork
+from repro.distributed.vector import DistributedVector, lookup_sorted
+from repro.runtime import wire
+from repro.runtime.transport import Transport
+from repro.sketch import engine
+from repro.sketch.countsketch import batched_sketch_uncached
+from repro.sketch.hashing import KWiseHash, SubsampleHash
+from repro.sketch.z_estimator import ZEstimate, ZEstimator
+from repro.sketch.z_heavy_hitters import ZHeavyHittersParams, z_heavy_hitters
+from repro.sketch.z_sampler import SampleDraws, ZSampler, ZSamplerConfig
+from repro.utils.rng import RandomState
+
+
+class WorkerProtocolError(ReproError, RuntimeError):
+    """A worker answered a frame with an error or an unexpected shape."""
+
+
+def _rpc_encoded(
+    network: TransportNetwork,
+    transport: Transport,
+    op: str,
+    frame: bytes,
+    sections,
+    overhead: int,
+):
+    """Ship one pre-encoded frame and account both directions."""
+    network.record_frame(sections, overhead)
+    reply = wire.decode_frame(transport.request(frame))
+    network.record_frame(reply.data_sections, reply.overhead_bytes)
+    if reply.op == "error":
+        raise WorkerProtocolError(
+            f"worker failed op {op!r}: {reply.meta.get('type', 'Error')}: "
+            f"{reply.meta.get('message', '')}"
+        )
+    return reply
+
+
+def _rpc(network: TransportNetwork, transport: Transport, op: str, meta=None, entries=()):
+    """One accounted request/reply round-trip with a worker."""
+    frame, sections, overhead = wire.encode_frame_with_stats(op, meta, entries)
+    return _rpc_encoded(network, transport, op, frame, sections, overhead)
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+class WorkerService:
+    """One server's component plus the frame handlers that serve it.
+
+    The service is transport-agnostic: :meth:`handle_frame` maps one encoded
+    request frame to one encoded reply frame, and both the in-memory
+    loopback and the TCP server deliver frames to it unchanged.
+    """
+
+    #: Maximum number of cached subsample-hash value arrays.
+    MAX_SUBSAMPLE_CACHES = 4
+
+    def __init__(
+        self,
+        indices: np.ndarray,
+        values: np.ndarray,
+        dimension: int,
+        *,
+        name: str = "",
+    ) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        val = np.asarray(values, dtype=float)
+        if idx.shape != val.shape or idx.ndim != 1:
+            raise DimensionMismatchError(
+                "worker component indices and values must be matching 1-D arrays"
+            )
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        if idx.size and (idx.min() < 0 or idx.max() >= dimension):
+            raise DimensionMismatchError(
+                f"worker holds coordinates outside [0, {dimension - 1}]"
+            )
+        self._idx = idx
+        self._val = val
+        self._dimension = int(dimension)
+        self._name = name
+        self._sorted_idx, self._sorted_val = DistributedVector._sorted_coalesced(idx, val)
+        self._subsample_g: dict[int, np.ndarray] = {}
+        self.shutdown_requested = False
+
+    # ------------------------------------------------------------------ #
+    # frame dispatch
+    # ------------------------------------------------------------------ #
+    def handle_frame(self, frame_bytes: bytes) -> bytes:
+        """Answer one request frame (errors travel back as ``error`` frames)."""
+        try:
+            frame = wire.decode_frame(frame_bytes)
+            handler = getattr(self, f"_op_{frame.op}", None)
+            if handler is None:
+                raise WorkerProtocolError(f"unknown op {frame.op!r}")
+            return handler(frame)
+        except Exception as exc:  # noqa: BLE001 - faults must reach the coordinator
+            return wire.encode_frame(
+                "error", {"type": type(exc).__name__, "message": str(exc)}
+            )
+
+    def _restricted_component(self, meta: dict) -> Tuple[np.ndarray, np.ndarray]:
+        threshold = meta.get("threshold")
+        if threshold is None:
+            return self._idx, self._val
+        token = meta.get("token")
+        g = self._subsample_g.get(token)
+        if g is None:
+            raise WorkerProtocolError(
+                f"no cached subsample values for token {token!r}; "
+                "send a 'subsample' frame first"
+            )
+        mask = g < int(threshold)
+        return self._idx[mask], self._val[mask]
+
+    # ------------------------------------------------------------------ #
+    # ops
+    # ------------------------------------------------------------------ #
+    def _op_hello(self, frame) -> bytes:
+        return wire.encode_frame(
+            "hello",
+            {
+                "dimension": self._dimension,
+                "support": int(self._idx.size),
+                "name": self._name,
+            },
+        )
+
+    def _op_subsample(self, frame) -> bytes:
+        """Cache the subsample hash ``g`` over the local component."""
+        meta = frame.meta
+        coefficients = np.asarray(frame.entry(0), dtype=np.int64)
+        subsample = SubsampleHash.from_coefficients(int(meta["domain_scale"]), coefficients)
+        token = int(meta["token"])
+        if len(self._subsample_g) >= self.MAX_SUBSAMPLE_CACHES:
+            self._subsample_g.pop(next(iter(self._subsample_g)))
+        self._subsample_g[token] = (
+            subsample(self._idx) if self._idx.size else np.zeros(0, dtype=np.int64)
+        )
+        return wire.encode_frame("ack", {"cached": int(self._idx.size)})
+
+    def _op_sketch(self, frame) -> bytes:
+        """Sketch the (restricted) component into the broadcast bucket family.
+
+        The reply's table stack covers only the occupied buckets the
+        coordinator named (the simulation neither ships nor charges tables
+        for buckets no domain coordinate hashes into), bit-for-bit equal to
+        the corresponding slices of a full
+        :meth:`~repro.sketch.countsketch.BatchedCountSketch.sketch_assigned`
+        stack.
+        """
+        meta = frame.meta
+        num_buckets = int(meta["num_buckets"])
+        depth, width = int(meta["depth"]), int(meta["width"])
+        nonempty = np.asarray(meta["nonempty"], dtype=np.int64)
+        bucket_hash = KWiseHash.from_coefficients(
+            np.asarray(frame.entry(0), dtype=np.int64), num_buckets
+        )
+        member_bucket, member_sign = frame.entry(1)
+        idx, val = self._restricted_component(meta)
+        if idx.size == 0:
+            stack = np.zeros((nonempty.size, depth, width), dtype=float)
+        else:
+            assignment = bucket_hash(idx)
+            compact = np.searchsorted(nonempty, assignment)
+            if np.any(nonempty[np.minimum(compact, nonempty.size - 1)] != assignment):
+                raise WorkerProtocolError(
+                    "local coordinates hash into a bucket the coordinator "
+                    "declared empty -- bucket hash coefficients disagree"
+                )
+            stack = batched_sketch_uncached(
+                idx,
+                val,
+                compact,
+                np.asarray(member_bucket, dtype=np.uint64),
+                np.asarray(member_sign, dtype=np.uint64),
+                nonempty.size,
+                depth,
+                width,
+            )
+        return wire.encode_frame("tables", {}, [(meta["tables_tag"], stack)])
+
+    def _op_collect(self, frame) -> bytes:
+        """Exact local values at the queried coordinates (always unrestricted)."""
+        query = np.asarray(frame.entry(0), dtype=np.int64)
+        values = lookup_sorted(self._sorted_idx, self._sorted_val, query)
+        return wire.encode_frame("values", {}, [(frame.meta["tag"], values)])
+
+    def _op_shutdown(self, frame) -> bytes:
+        self.shutdown_requested = True
+        return wire.encode_frame("ack", {"shutdown": True})
+
+
+# --------------------------------------------------------------------------- #
+# coordinator side
+# --------------------------------------------------------------------------- #
+class RemoteVector(DistributedVector):
+    """A distributed vector whose worker components live behind transports.
+
+    Server 0's component is held locally (the coordinator is the Central
+    Processor and stores data like any server); servers ``1..s-1`` are
+    reachable only through their :class:`~repro.runtime.transport.Transport`.
+    The per-server seams of :class:`DistributedVector` are overridden to
+    broadcast the hash coefficients the simulation charges and to receive
+    the workers' tables/values as tagged wire sections, so the inherited
+    protocol code runs unmodified.
+    """
+
+    def __init__(
+        self,
+        transports: Sequence[Transport],
+        dimension: int,
+        network: TransportNetwork,
+        local_component: Tuple[np.ndarray, np.ndarray],
+        *,
+        restriction: Optional[Tuple[int, int]] = None,
+        token_counter: Optional[itertools.count] = None,
+    ) -> None:
+        empty = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=float))
+        components = [local_component] + [empty] * len(transports)
+        super().__init__(components, dimension, network)
+        self._transports = list(transports)
+        self._restriction = restriction
+        self._token_counter = token_counter if token_counter is not None else itertools.count()
+        self._local_g: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _call(self, worker: int, op: str, meta=None, entries=()):
+        return _rpc(self._network, self._transports[worker], op, meta, entries)
+
+    def _sketch_meta(self) -> dict:
+        if self._restriction is None:
+            return {"token": None, "threshold": None}
+        token, threshold = self._restriction
+        return {"token": token, "threshold": threshold}
+
+    # ------------------------------------------------------------------ #
+    # seams
+    # ------------------------------------------------------------------ #
+    def batched_sketch_tables(
+        self,
+        batched,
+        domain_assignment: np.ndarray,
+        *,
+        bucket_hash=None,
+        nonempty_buckets=None,
+        tag: str = "",
+    ) -> List[np.ndarray]:
+        if bucket_hash is None or nonempty_buckets is None:
+            raise ValueError(
+                "remote sketching needs the broadcast bucket hash and the "
+                "occupied-bucket list"
+            )
+        nonempty = np.asarray(list(nonempty_buckets), dtype=np.int64)
+        tables: List[np.ndarray] = []
+        idx, val = self._components[0]
+        if idx.size == 0:
+            tables.append(batched.empty_tables())
+        else:
+            tables.append(batched.sketch_assigned(idx, val, domain_assignment[idx]))
+        bucket_coeffs, sign_coeffs = batched.broadcast_coefficients()
+        compact_bucket = np.ascontiguousarray(bucket_coeffs[nonempty])
+        compact_sign = np.ascontiguousarray(sign_coeffs[nonempty])
+        meta = {
+            **self._sketch_meta(),
+            "num_buckets": batched.num_buckets,
+            "depth": batched.depth,
+            "width": batched.width,
+            "nonempty": [int(bucket) for bucket in nonempty],
+            "tables_tag": f"{tag}:bucket:tables",
+        }
+        entries = [
+            (f"{tag}:seeds", np.asarray(bucket_hash.coefficients, dtype=np.int64)),
+            (f"{tag}:bucket:seeds", (compact_bucket, compact_sign)),
+        ]
+        # The broadcast is identical for every worker: encode it once.
+        frame, sections, overhead = wire.encode_frame_with_stats("sketch", meta, entries)
+        expected = (nonempty.size, batched.depth, batched.width)
+        for worker in range(len(self._transports)):
+            reply = _rpc_encoded(
+                self._network, self._transports[worker], "sketch",
+                frame, sections, overhead,
+            )
+            compact_stack = np.asarray(reply.entry(0), dtype=float)
+            if compact_stack.shape != expected:
+                raise WorkerProtocolError(
+                    f"worker {worker + 1} returned a stack of shape "
+                    f"{compact_stack.shape}, expected {expected}"
+                )
+            full = np.zeros((batched.num_buckets, batched.depth, batched.width))
+            full[nonempty] = compact_stack
+            tables.append(full)
+        return tables
+
+    def subsample_restrictor(self, subsample, *, tag: str = ""):
+        token = next(self._token_counter)
+        coefficients = np.asarray(subsample.coefficients, dtype=np.int64)
+        meta = {"token": token, "domain_scale": int(subsample.domain_scale)}
+        frame, sections, overhead = wire.encode_frame_with_stats(
+            "subsample", meta, [(f"{tag}:seeds", coefficients)]
+        )
+        for worker in range(len(self._transports)):
+            _rpc_encoded(
+                self._network, self._transports[worker], "subsample",
+                frame, sections, overhead,
+            )
+        idx, _ = self._components[0]
+        self._local_g[token] = (
+            subsample(idx) if idx.size else np.zeros(0, dtype=np.int64)
+        )
+        return _RemoteRestrictor(self, subsample, token)
+
+    def _restricted_clone(self, token: int, threshold: int) -> "RemoteVector":
+        idx, val = self._components[0]
+        g = self._local_g[token]
+        mask = g < threshold
+        clone = RemoteVector(
+            self._transports,
+            self._dimension,
+            self._network,
+            (idx[mask], val[mask]),
+            restriction=(token, int(threshold)),
+            token_counter=self._token_counter,
+        )
+        return clone
+
+    def collect(self, indices: Sequence[int], tag: str = "collect_entries") -> np.ndarray:
+        if self._restriction is not None:
+            # Workers deliberately answer collect over their full component
+            # (the protocols only ever verify exact values on the base
+            # vector); summing that with a restricted local component would
+            # silently produce a hybrid no simulation computes.
+            raise NotImplementedError(
+                "collect on a level-restricted remote vector is not "
+                "supported; collect on the base vector instead"
+            )
+        query = np.asarray(indices, dtype=np.int64)
+        if query.ndim != 1:
+            raise ValueError("indices must be one-dimensional")
+        if query.size == 0:
+            return np.zeros(0)
+        if query.min() < 0 or query.max() >= self._dimension:
+            raise DimensionMismatchError(
+                f"indices must lie in [0, {self._dimension - 1}]"
+            )
+        total = np.zeros(query.size, dtype=float)
+        idx, val = self._components[0]
+        total += lookup_sorted(*self._sorted_coalesced(idx, val), query)
+        for worker in range(len(self._transports)):
+            reply = self._call(worker, "collect", {"tag": tag}, [(None, query)])
+            values = np.asarray(reply.entry(0), dtype=float)
+            if values.shape != query.shape:
+                raise WorkerProtocolError(
+                    f"worker {worker + 1} returned {values.shape[0] if values.ndim else 0} "
+                    f"values for {query.size} queried coordinates"
+                )
+            self._network.send(worker + 1, 0, values, tag=tag)
+            total += values
+        return total
+
+    # ------------------------------------------------------------------ #
+    # operations that would need the remote raw data
+    # ------------------------------------------------------------------ #
+    def local_component(self, server: int):
+        if server == 0:
+            return self._components[0]
+        raise NotImplementedError(
+            f"server {server}'s component lives behind a transport; remote "
+            "vectors only expose per-server work through the protocol seams"
+        )
+
+    def restrict(self, keep):
+        raise NotImplementedError(
+            "remote vectors restrict through subsample_restrictor(); "
+            "arbitrary predicates would require shipping the raw components"
+        )
+
+    def restrict_by_masks(self, masks):
+        raise NotImplementedError(
+            "remote vectors restrict through subsample_restrictor()"
+        )
+
+    def support_size(self) -> int:
+        raise NotImplementedError(
+            "the union support is not observable without collecting every "
+            "worker's coordinates"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"RemoteVector(dimension={self._dimension}, "
+            f"workers={len(self._transports)}, restricted={self._restriction is not None})"
+        )
+
+
+class _RemoteRestrictor:
+    """Level restrictor over worker-side cached subsample values."""
+
+    def __init__(self, vector: RemoteVector, subsample, token: int) -> None:
+        self._vector = vector
+        self._subsample = subsample
+        self._token = token
+
+    def restrict(self, level: int) -> RemoteVector:
+        return self._vector._restricted_clone(
+            self._token, self._subsample.level_threshold(level)
+        )
+
+
+class CoordinatorService:
+    """The Central Processor of a transport-backed cluster.
+
+    Parameters
+    ----------
+    transports:
+        One :class:`~repro.runtime.transport.Transport` per worker (servers
+        ``1..s-1`` in protocol order).
+    dimension:
+        Length of the implicitly summed vector.
+    local_component:
+        Server 0's own sparse component (defaults to empty -- a pure
+        coordinator).
+    handshake:
+        Verify every worker agrees on ``dimension`` at construction.
+    """
+
+    def __init__(
+        self,
+        transports: Sequence[Transport],
+        dimension: int,
+        local_component: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        *,
+        keep_messages: bool = False,
+        handshake: bool = True,
+    ) -> None:
+        self._transports = list(transports)
+        self._dimension = int(dimension)
+        if local_component is None:
+            local_component = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=float))
+        self._local = (
+            np.asarray(local_component[0], dtype=np.int64),
+            np.asarray(local_component[1], dtype=float),
+        )
+        self._network = TransportNetwork(
+            len(self._transports) + 1, keep_messages=keep_messages
+        )
+        self._token_counter = itertools.count()
+        if handshake:
+            for worker, transport in enumerate(self._transports):
+                reply = _rpc(self._network, transport, "hello")
+                remote_dimension = int(reply.meta.get("dimension", -1))
+                if remote_dimension != self._dimension:
+                    raise DimensionMismatchError(
+                        f"worker {worker + 1} serves dimension {remote_dimension}, "
+                        f"coordinator expects {self._dimension}"
+                    )
+
+    @property
+    def network(self) -> TransportNetwork:
+        """The twin network accounting both words and wire bytes."""
+        return self._network
+
+    @property
+    def num_servers(self) -> int:
+        """Workers plus the coordinator itself."""
+        return len(self._transports) + 1
+
+    def _require_fused(self) -> None:
+        if not engine.fused_enabled():
+            raise RuntimeError(
+                "the runtime services require the fused engine (the naive "
+                "reference engine iterates per-bucket restricted vectors, "
+                "which would ship raw components)"
+            )
+
+    def vector(self) -> RemoteVector:
+        """A fresh transport-backed view of the implicitly summed vector."""
+        return RemoteVector(
+            self._transports,
+            self._dimension,
+            self._network,
+            self._local,
+            token_counter=self._token_counter,
+        )
+
+    # ------------------------------------------------------------------ #
+    # protocol entry points
+    # ------------------------------------------------------------------ #
+    def z_heavy_hitters(
+        self,
+        params: Optional[ZHeavyHittersParams] = None,
+        *,
+        seed: RandomState = None,
+        tag: str = "z_heavy_hitters",
+    ) -> np.ndarray:
+        """Run Algorithm 2 over the transports (same-seed identical to local)."""
+        self._require_fused()
+        return z_heavy_hitters(self.vector(), params, seed=seed, tag=tag)
+
+    def estimate(
+        self,
+        weight_fn,
+        *,
+        config: Optional[ZSamplerConfig] = None,
+        seed: RandomState = None,
+    ) -> ZEstimate:
+        """Run Algorithm 3 (the Z-estimator) over the transports."""
+        self._require_fused()
+        config = config or ZSamplerConfig()
+        estimator = ZEstimator(
+            weight_fn,
+            epsilon=config.epsilon,
+            hh_params=config.hh_params,
+            num_levels=config.num_levels,
+            max_levels=config.max_levels,
+            min_level_count=config.min_level_count,
+            seed=seed,
+        )
+        return estimator.estimate(self.vector())
+
+    def sample(
+        self,
+        weight_fn,
+        count: int,
+        *,
+        config: Optional[ZSamplerConfig] = None,
+        seed: RandomState = None,
+    ) -> SampleDraws:
+        """Run Algorithm 4 (Z-sampling) end-to-end over the transports."""
+        self._require_fused()
+        sampler = ZSampler(weight_fn, config, seed=seed)
+        return sampler.sample(self.vector(), count)
+
+    # ------------------------------------------------------------------ #
+    # accounting and lifecycle
+    # ------------------------------------------------------------------ #
+    def verify_wire_accounting(self):
+        """Assert real bytes equal 8x the charged words for every tag."""
+        return self._network.verify_wire_accounting()
+
+    def shutdown_workers(self) -> None:
+        """Ask every worker to stop serving (their servers stop accepting)."""
+        for transport in self._transports:
+            _rpc(self._network, transport, "shutdown")
+
+    def close(self) -> None:
+        """Close every transport (idempotent)."""
+        for transport in self._transports:
+            transport.close()

@@ -1,0 +1,592 @@
+"""Serializable, mergeable sketch state (the runtime's unit of exchange).
+
+A sketch *object* (hash functions + caches) and a sketch *table* (the numpy
+array a server ships) are deliberately separate in the sketch layer.  The
+state classes here bind the two back together for the wire: hash
+coefficients + table travel as one value that can be
+
+* **serialised** -- ``to_bytes`` / ``from_bytes`` round-trip exactly through
+  :mod:`repro.runtime.wire`;
+* **merged** -- CountSketch tables are linear in the input, so the sketch of
+  ``v + w`` is the entrywise sum of the sketches of ``v`` and ``w``.
+  :meth:`CountSketchState.merge` implements exactly that addition after
+  verifying both sides share the same hash coefficients and geometry;
+  mismatched coefficients raise
+  :class:`~repro.core.errors.SketchCompatibilityError` instead of silently
+  adding incomparable tables.
+
+Merge contract
+--------------
+``merge`` is plain table addition.  For shards of a data stream (time
+slices, server subsets) the merged table equals the table of the
+concatenated input up to float-addition associativity; when the additions
+are exact -- integer-weighted streams, the classic frequency-sketch setting
+-- the merged table is **bit-identical** to sketching the concatenation in
+one pass (asserted by ``tests/test_runtime_wire.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import SketchCompatibilityError, WireFormatError
+from repro.runtime import wire
+
+
+def _as_uint64(array: np.ndarray, shape: tuple, name: str) -> np.ndarray:
+    out = np.asarray(array, dtype=np.uint64)
+    if out.shape != shape:
+        raise ValueError(f"{name} must have shape {shape}, got {out.shape}")
+    return out
+
+
+def _check_label(buf_label: object, expected: str) -> None:
+    if buf_label != expected:
+        raise WireFormatError(
+            f"buffer does not hold a {expected} state (found {buf_label!r})"
+        )
+
+
+@dataclass(eq=False)
+class CountSketchState:
+    """Hash coefficients + one table of a single CountSketch."""
+
+    depth: int
+    width: int
+    domain: int
+    bucket_coeffs: np.ndarray  #: ``(depth, 2)`` uint64
+    sign_coeffs: np.ndarray  #: ``(depth, 4)`` uint64
+    table: np.ndarray  #: ``(depth, width)`` float64
+
+    _LABEL = "countsketch-state"
+
+    def __post_init__(self) -> None:
+        self.depth, self.width, self.domain = int(self.depth), int(self.width), int(self.domain)
+        self.bucket_coeffs = _as_uint64(self.bucket_coeffs, (self.depth, 2), "bucket_coeffs")
+        self.sign_coeffs = _as_uint64(self.sign_coeffs, (self.depth, 4), "sign_coeffs")
+        self.table = np.asarray(self.table, dtype=float)
+        if self.table.shape != (self.depth, self.width):
+            raise ValueError(
+                f"table must have shape ({self.depth}, {self.width}), got {self.table.shape}"
+            )
+
+    # -------------------------------------------------------------- #
+    # merging
+    # -------------------------------------------------------------- #
+    def compatible_with(self, other: "CountSketchState") -> bool:
+        """True when both states came from the same hash functions and geometry."""
+        return (
+            isinstance(other, CountSketchState)
+            and (self.depth, self.width, self.domain)
+            == (other.depth, other.width, other.domain)
+            and np.array_equal(self.bucket_coeffs, other.bucket_coeffs)
+            and np.array_equal(self.sign_coeffs, other.sign_coeffs)
+        )
+
+    def require_compatible(self, other: "CountSketchState") -> None:
+        if not isinstance(other, CountSketchState):
+            raise SketchCompatibilityError(
+                f"cannot merge CountSketchState with {type(other).__name__}"
+            )
+        if (self.depth, self.width, self.domain) != (other.depth, other.width, other.domain):
+            raise SketchCompatibilityError(
+                "sketch geometries differ: "
+                f"(depth={self.depth}, width={self.width}, domain={self.domain}) vs "
+                f"(depth={other.depth}, width={other.width}, domain={other.domain})"
+            )
+        if not np.array_equal(self.bucket_coeffs, other.bucket_coeffs) or not np.array_equal(
+            self.sign_coeffs, other.sign_coeffs
+        ):
+            raise SketchCompatibilityError(
+                "hash coefficients differ: tables sketched by different hash "
+                "functions are not comparable and must not be added"
+            )
+
+    def merge(self, other: "CountSketchState") -> "CountSketchState":
+        """Return the merged state (tables add; coefficients must match)."""
+        self.require_compatible(other)
+        return CountSketchState(
+            depth=self.depth,
+            width=self.width,
+            domain=self.domain,
+            bucket_coeffs=self.bucket_coeffs,
+            sign_coeffs=self.sign_coeffs,
+            table=self.table + other.table,
+        )
+
+    @classmethod
+    def merge_all(cls, states: Sequence["CountSketchState"]) -> "CountSketchState":
+        """Left-fold merge of one or more states."""
+        if len(states) == 0:
+            raise ValueError("need at least one state to merge")
+        merged = states[0]
+        for state in states[1:]:
+            merged = merged.merge(state)
+        return merged
+
+    # -------------------------------------------------------------- #
+    # conversions
+    # -------------------------------------------------------------- #
+    def make_sketch(self):
+        """Rebuild a :class:`~repro.sketch.countsketch.CountSketch` for queries."""
+        from repro.sketch.countsketch import CountSketch
+
+        return CountSketch.from_coefficients(
+            self.bucket_coeffs.astype(np.int64),
+            self.sign_coeffs.astype(np.int64),
+            self.domain,
+            self.width,
+        )
+
+    def word_count(self) -> int:
+        """Wire words of this state (coefficients + table + geometry)."""
+        return 3 + self.bucket_coeffs.size + self.sign_coeffs.size + self.table.size
+
+    def equals(self, other: "CountSketchState") -> bool:
+        """Exact (bitwise) equality of every field -- used by round-trip tests."""
+        return self.compatible_with(other) and np.array_equal(
+            self.table, other.table, equal_nan=True
+        )
+
+    def _as_payload(self) -> tuple:
+        return (
+            self._LABEL,
+            self.depth,
+            self.width,
+            self.domain,
+            self.bucket_coeffs,
+            self.sign_coeffs,
+            self.table,
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialise with the versioned wire codec."""
+        return wire.to_bytes(self._as_payload())
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "CountSketchState":
+        """Exact inverse of :meth:`to_bytes`."""
+        payload = wire.from_bytes(buf)
+        _check_label(payload[0], cls._LABEL)
+        _, depth, width, domain, bucket, sign, table = payload
+        return cls(depth, width, domain, bucket, sign, table)
+
+
+@dataclass(eq=False)
+class BatchedSketchState:
+    """Coefficient tensors + table stack of a whole per-bucket sketch family."""
+
+    num_buckets: int
+    depth: int
+    width: int
+    domain: int
+    bucket_coeffs: np.ndarray  #: ``(num_buckets, depth, 2)`` uint64
+    sign_coeffs: np.ndarray  #: ``(num_buckets, depth, 4)`` uint64
+    tables: np.ndarray  #: ``(num_buckets, depth, width)`` float64
+
+    _LABEL = "batched-sketch-state"
+
+    def __post_init__(self) -> None:
+        self.num_buckets = int(self.num_buckets)
+        self.depth, self.width, self.domain = int(self.depth), int(self.width), int(self.domain)
+        self.bucket_coeffs = _as_uint64(
+            self.bucket_coeffs, (self.num_buckets, self.depth, 2), "bucket_coeffs"
+        )
+        self.sign_coeffs = _as_uint64(
+            self.sign_coeffs, (self.num_buckets, self.depth, 4), "sign_coeffs"
+        )
+        self.tables = np.asarray(self.tables, dtype=float)
+        if self.tables.shape != (self.num_buckets, self.depth, self.width):
+            raise ValueError(
+                f"tables must have shape ({self.num_buckets}, {self.depth}, "
+                f"{self.width}), got {self.tables.shape}"
+            )
+
+    def compatible_with(self, other: "BatchedSketchState") -> bool:
+        """True when both families share coefficients and geometry."""
+        return (
+            isinstance(other, BatchedSketchState)
+            and (self.num_buckets, self.depth, self.width, self.domain)
+            == (other.num_buckets, other.depth, other.width, other.domain)
+            and np.array_equal(self.bucket_coeffs, other.bucket_coeffs)
+            and np.array_equal(self.sign_coeffs, other.sign_coeffs)
+        )
+
+    def require_compatible(self, other: "BatchedSketchState") -> None:
+        if not isinstance(other, BatchedSketchState):
+            raise SketchCompatibilityError(
+                f"cannot merge BatchedSketchState with {type(other).__name__}"
+            )
+        if (self.num_buckets, self.depth, self.width, self.domain) != (
+            other.num_buckets,
+            other.depth,
+            other.width,
+            other.domain,
+        ):
+            raise SketchCompatibilityError(
+                "batched sketch geometries differ: "
+                f"({self.num_buckets}, {self.depth}, {self.width}, {self.domain}) vs "
+                f"({other.num_buckets}, {other.depth}, {other.width}, {other.domain})"
+            )
+        if not np.array_equal(self.bucket_coeffs, other.bucket_coeffs) or not np.array_equal(
+            self.sign_coeffs, other.sign_coeffs
+        ):
+            raise SketchCompatibilityError(
+                "hash coefficients differ between the batched families"
+            )
+
+    def merge(self, other: "BatchedSketchState") -> "BatchedSketchState":
+        """Return the merged family state (table stacks add)."""
+        self.require_compatible(other)
+        return BatchedSketchState(
+            num_buckets=self.num_buckets,
+            depth=self.depth,
+            width=self.width,
+            domain=self.domain,
+            bucket_coeffs=self.bucket_coeffs,
+            sign_coeffs=self.sign_coeffs,
+            tables=self.tables + other.tables,
+        )
+
+    @classmethod
+    def merge_all(cls, states: Sequence["BatchedSketchState"]) -> "BatchedSketchState":
+        """Left-fold merge of one or more family states."""
+        if len(states) == 0:
+            raise ValueError("need at least one state to merge")
+        merged = states[0]
+        for state in states[1:]:
+            merged = merged.merge(state)
+        return merged
+
+    def member_state(self, bucket: int) -> CountSketchState:
+        """Return bucket ``bucket``'s member as a standalone state."""
+        if not 0 <= bucket < self.num_buckets:
+            raise IndexError(f"bucket must be in [0, {self.num_buckets - 1}]")
+        return CountSketchState(
+            depth=self.depth,
+            width=self.width,
+            domain=self.domain,
+            bucket_coeffs=self.bucket_coeffs[bucket],
+            sign_coeffs=self.sign_coeffs[bucket],
+            table=self.tables[bucket],
+        )
+
+    def make_sketch(self):
+        """Rebuild the :class:`~repro.sketch.countsketch.BatchedCountSketch`."""
+        from repro.sketch.countsketch import BatchedCountSketch
+
+        return BatchedCountSketch.from_coefficients(
+            self.bucket_coeffs.astype(np.int64),
+            self.sign_coeffs.astype(np.int64),
+            self.domain,
+            self.width,
+        )
+
+    def word_count(self) -> int:
+        """Wire words of this state (coefficients + tables + geometry)."""
+        return 4 + self.bucket_coeffs.size + self.sign_coeffs.size + self.tables.size
+
+    def equals(self, other: "BatchedSketchState") -> bool:
+        """Exact equality of every field -- used by round-trip tests."""
+        return self.compatible_with(other) and np.array_equal(
+            self.tables, other.tables, equal_nan=True
+        )
+
+    def _as_payload(self) -> tuple:
+        return (
+            self._LABEL,
+            self.num_buckets,
+            self.depth,
+            self.width,
+            self.domain,
+            self.bucket_coeffs,
+            self.sign_coeffs,
+            self.tables,
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialise with the versioned wire codec."""
+        return wire.to_bytes(self._as_payload())
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "BatchedSketchState":
+        """Exact inverse of :meth:`to_bytes`."""
+        payload = wire.from_bytes(buf)
+        _check_label(payload[0], cls._LABEL)
+        _, num_buckets, depth, width, domain, bucket, sign, tables = payload
+        return cls(num_buckets, depth, width, domain, bucket, sign, tables)
+
+
+@dataclass(eq=False)
+class HeavyHitterSummary:
+    """A shardable heavy-hitters result: linear sketch state + candidates.
+
+    ``state`` is the merged CountSketch of the shard and ``candidates`` /
+    ``estimates`` the coordinates that cleared ``F_2 / b`` on that shard.
+    Merging keeps the *linear* part exact (tables add) and re-extracts the
+    candidate set from the merged table over the union of both shards'
+    candidates; call :meth:`extract` with an explicit candidate universe to
+    re-derive candidates over any sub-universe of interest (a coordinate
+    light in every shard but heavy in the union is only found that way).
+    """
+
+    state: CountSketchState
+    b: float
+    candidates: np.ndarray
+    estimates: np.ndarray
+    f2_estimate: float
+
+    _LABEL = "heavy-hitter-summary"
+
+    def __post_init__(self) -> None:
+        self.b = float(self.b)
+        if self.b <= 0:
+            raise ValueError(f"b must be positive, got {self.b}")
+        self.candidates = np.asarray(self.candidates, dtype=np.int64)
+        self.estimates = np.asarray(self.estimates, dtype=float)
+        if self.candidates.shape != self.estimates.shape or self.candidates.ndim != 1:
+            raise ValueError("candidates and estimates must be matching 1-D arrays")
+        self.f2_estimate = float(self.f2_estimate)
+
+    @classmethod
+    def build(
+        cls,
+        sketch,
+        table: np.ndarray,
+        b: float,
+        candidate_indices: Optional[np.ndarray] = None,
+        max_candidates: Optional[int] = None,
+    ) -> "HeavyHitterSummary":
+        """Extract a summary from a sketch + table over ``candidate_indices``."""
+        from repro.sketch.heavy_hitters import _select_heavy
+
+        if candidate_indices is None:
+            query = np.arange(sketch.domain, dtype=np.int64)
+        else:
+            query = np.unique(np.asarray(candidate_indices, dtype=np.int64))
+        candidates, estimates, f2 = _select_heavy(sketch, np.asarray(table, dtype=float), b, query, max_candidates)
+        return cls(
+            state=sketch.export_state(table),
+            b=b,
+            candidates=candidates,
+            estimates=estimates,
+            f2_estimate=f2,
+        )
+
+    def extract(
+        self,
+        candidate_indices: Optional[np.ndarray] = None,
+        max_candidates: Optional[int] = None,
+    ) -> "HeavyHitterSummary":
+        """Re-derive candidates from this summary's table over a fresh universe."""
+        return HeavyHitterSummary.build(
+            self.state.make_sketch(),
+            self.state.table,
+            self.b,
+            candidate_indices=candidate_indices,
+            max_candidates=max_candidates,
+        )
+
+    def merge(self, other: "HeavyHitterSummary") -> "HeavyHitterSummary":
+        """Merge two shard summaries (exact linear merge + candidate re-extraction)."""
+        if not isinstance(other, HeavyHitterSummary):
+            raise SketchCompatibilityError(
+                f"cannot merge HeavyHitterSummary with {type(other).__name__}"
+            )
+        if self.b != other.b:
+            raise SketchCompatibilityError(
+                f"heaviness thresholds differ: b={self.b} vs b={other.b}"
+            )
+        merged_state = self.state.merge(other.state)
+        union = np.union1d(self.candidates, other.candidates)
+        sketch = merged_state.make_sketch()
+        from repro.sketch.heavy_hitters import _select_heavy
+
+        candidates, estimates, f2 = _select_heavy(
+            sketch, merged_state.table, self.b, union, None
+        )
+        return HeavyHitterSummary(
+            state=merged_state,
+            b=self.b,
+            candidates=candidates,
+            estimates=estimates,
+            f2_estimate=f2,
+        )
+
+    def word_count(self) -> int:
+        """Wire words of this summary."""
+        return self.state.word_count() + 2 + self.candidates.size + self.estimates.size
+
+    def equals(self, other: "HeavyHitterSummary") -> bool:
+        """Exact equality of every field -- used by round-trip tests."""
+        return (
+            self.state.equals(other.state)
+            and self.b == other.b
+            and np.array_equal(self.candidates, other.candidates)
+            and np.array_equal(self.estimates, other.estimates, equal_nan=True)
+            and self.f2_estimate == other.f2_estimate
+        )
+
+    def _as_payload(self) -> tuple:
+        return (
+            self._LABEL,
+            self.state._as_payload(),
+            self.b,
+            self.candidates,
+            self.estimates,
+            self.f2_estimate,
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialise with the versioned wire codec."""
+        return wire.to_bytes(self._as_payload())
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "HeavyHitterSummary":
+        """Exact inverse of :meth:`to_bytes`."""
+        payload = wire.from_bytes(buf)
+        _check_label(payload[0], cls._LABEL)
+        _, state_payload, b, candidates, estimates, f2 = payload
+        _check_label(state_payload[0], CountSketchState._LABEL)
+        state = CountSketchState(*state_payload[1:])
+        return cls(state, b, candidates, estimates, f2)
+
+
+@dataclass(eq=False)
+class ZEstimateState:
+    """Serializable snapshot of a :class:`~repro.sketch.z_estimator.ZEstimate`."""
+
+    z_total: float
+    epsilon: float
+    words_used: int
+    levels_used: int
+    class_sizes: Dict[int, float]
+    class_members: Dict[int, np.ndarray]
+    member_values: Dict[int, float]
+    subsample_domain_scale: Optional[int] = None
+    subsample_coefficients: Optional[np.ndarray] = None
+
+    _LABEL = "z-estimate-state"
+
+    @classmethod
+    def from_estimate(cls, estimate) -> "ZEstimateState":
+        """Snapshot ``estimate`` (see :meth:`ZEstimate.export_state`)."""
+        subsample = estimate.subsample_hash
+        return cls(
+            z_total=float(estimate.z_total),
+            epsilon=float(estimate.epsilon),
+            words_used=int(estimate.words_used),
+            levels_used=int(estimate.levels_used),
+            class_sizes={int(k): float(v) for k, v in estimate.class_sizes.items()},
+            class_members={
+                int(k): np.asarray(v, dtype=np.int64)
+                for k, v in estimate.class_members.items()
+            },
+            member_values={int(k): float(v) for k, v in estimate.member_values.items()},
+            subsample_domain_scale=(
+                int(subsample.domain_scale) if subsample is not None else None
+            ),
+            subsample_coefficients=(
+                np.asarray(subsample.coefficients, dtype=np.int64)
+                if subsample is not None
+                else None
+            ),
+        )
+
+    def to_estimate(self):
+        """Rebuild an equivalent :class:`~repro.sketch.z_estimator.ZEstimate`."""
+        from repro.sketch.hashing import SubsampleHash
+        from repro.sketch.z_estimator import ZEstimate
+
+        subsample = None
+        if self.subsample_coefficients is not None:
+            subsample = SubsampleHash.from_coefficients(
+                self.subsample_domain_scale, self.subsample_coefficients
+            )
+        return ZEstimate(
+            z_total=self.z_total,
+            class_sizes=dict(self.class_sizes),
+            class_members={k: v.copy() for k, v in self.class_members.items()},
+            member_values=dict(self.member_values),
+            epsilon=self.epsilon,
+            words_used=self.words_used,
+            levels_used=self.levels_used,
+            subsample_hash=subsample,
+        )
+
+    def equals(self, other: "ZEstimateState") -> bool:
+        """Exact equality of every field -- used by round-trip tests."""
+        if not isinstance(other, ZEstimateState):
+            return False
+        if (
+            self.z_total != other.z_total
+            or self.epsilon != other.epsilon
+            or self.words_used != other.words_used
+            or self.levels_used != other.levels_used
+            or self.class_sizes != other.class_sizes
+            or self.member_values != other.member_values
+            or self.subsample_domain_scale != other.subsample_domain_scale
+        ):
+            return False
+        if set(self.class_members) != set(other.class_members):
+            return False
+        if any(
+            not np.array_equal(self.class_members[k], other.class_members[k])
+            for k in self.class_members
+        ):
+            return False
+        if (self.subsample_coefficients is None) != (other.subsample_coefficients is None):
+            return False
+        return self.subsample_coefficients is None or np.array_equal(
+            self.subsample_coefficients, other.subsample_coefficients
+        )
+
+    def _as_payload(self) -> tuple:
+        return (
+            self._LABEL,
+            self.z_total,
+            self.epsilon,
+            self.words_used,
+            self.levels_used,
+            self.class_sizes,
+            self.class_members,
+            self.member_values,
+            self.subsample_domain_scale,
+            self.subsample_coefficients,
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialise with the versioned wire codec."""
+        return wire.to_bytes(self._as_payload())
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "ZEstimateState":
+        """Exact inverse of :meth:`to_bytes`."""
+        payload = wire.from_bytes(buf)
+        _check_label(payload[0], cls._LABEL)
+        (
+            _,
+            z_total,
+            epsilon,
+            words_used,
+            levels_used,
+            class_sizes,
+            class_members,
+            member_values,
+            domain_scale,
+            coefficients,
+        ) = payload
+        return cls(
+            z_total=z_total,
+            epsilon=epsilon,
+            words_used=words_used,
+            levels_used=levels_used,
+            class_sizes=class_sizes,
+            class_members=class_members,
+            member_values=member_values,
+            subsample_domain_scale=domain_scale,
+            subsample_coefficients=coefficients,
+        )

@@ -1,0 +1,238 @@
+"""Pluggable transports: how coordinator frames reach a worker and back.
+
+A :class:`Transport` is one coordinator-side channel to a single worker
+with blocking request/reply semantics -- exactly the shape of the star
+topology the paper assumes (every protocol message either flows to or from
+the Central Processor).  Two implementations are provided:
+
+* :class:`LoopbackTransport` -- calls the worker's frame handler in
+  process.  Zero I/O, used by tests and by deployments that co-locate
+  workers; the byte accounting is identical to the TCP path because frames
+  are still fully encoded and decoded.
+* :class:`TcpTransport` / :class:`WorkerServer` -- an asyncio TCP
+  client/server pair moving length-prefixed frames over real sockets.
+
+The framing on the socket is an 8-byte big-endian length prefix followed by
+one :mod:`repro.runtime.wire` frame.  The prefix is transport overhead (it
+is never part of the word accounting, like TCP/IP headers themselves).
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+import threading
+from typing import Callable, Optional, Tuple
+
+from repro.core.errors import WireFormatError
+
+#: Upper bound on one frame; guards against garbage length prefixes.
+MAX_FRAME_BYTES = 1 << 31
+
+#: Bytes of the length prefix on the socket.
+LENGTH_PREFIX_BYTES = 8
+
+#: A worker-side frame handler: one encoded request in, one encoded reply out.
+FrameHandler = Callable[[bytes], bytes]
+
+
+class Transport(abc.ABC):
+    """One coordinator-side channel to a single worker (request/reply)."""
+
+    @abc.abstractmethod
+    def request(self, frame: bytes) -> bytes:
+        """Deliver ``frame`` to the worker and return its reply frame."""
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+
+class LoopbackTransport(Transport):
+    """In-memory transport: the worker's handler runs in the calling process.
+
+    Frames are passed as immutable ``bytes`` exactly as a socket would
+    deliver them, so encoding, decoding and byte accounting behave
+    identically to the TCP transport.
+    """
+
+    def __init__(self, handler: FrameHandler) -> None:
+        self._handler = handler
+        self._closed = False
+
+    def request(self, frame: bytes) -> bytes:
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        return bytes(self._handler(bytes(frame)))
+
+    def close(self) -> None:
+        self._closed = True
+
+
+def _prefix(frame: bytes) -> bytes:
+    if len(frame) > MAX_FRAME_BYTES:
+        raise WireFormatError(
+            f"frame of {len(frame)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return len(frame).to_bytes(LENGTH_PREFIX_BYTES, "big")
+
+
+class TcpTransport(Transport):
+    """Asyncio TCP client speaking length-prefixed wire frames.
+
+    The transport owns a private event loop so the (synchronous) protocol
+    code can issue blocking requests; one connection is opened eagerly at
+    construction and reused for every request.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self._timeout = float(timeout)
+        self._loop = asyncio.new_event_loop()
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader, self._writer = self._run(
+            asyncio.wait_for(asyncio.open_connection(host, port), self._timeout)
+        )
+
+    def _run(self, coroutine):
+        return self._loop.run_until_complete(coroutine)
+
+    async def _roundtrip(self, frame: bytes) -> bytes:
+        self._writer.write(_prefix(frame) + frame)
+        await self._writer.drain()
+        header = await self._reader.readexactly(LENGTH_PREFIX_BYTES)
+        length = int.from_bytes(header, "big")
+        if length > MAX_FRAME_BYTES:
+            raise WireFormatError(f"peer announced an oversized {length}-byte frame")
+        return await self._reader.readexactly(length)
+
+    def request(self, frame: bytes) -> bytes:
+        if self._writer is None:
+            raise RuntimeError("transport is closed")
+        try:
+            return self._run(asyncio.wait_for(self._roundtrip(frame), self._timeout))
+        except Exception:
+            # A timed-out or failed round-trip may leave a half-read reply in
+            # the stream; the next request would read the previous op's
+            # answer.  Poison the connection instead of desynchronizing.
+            self.close()
+            raise
+
+    def close(self) -> None:
+        if self._writer is not None:
+            writer, self._writer, self._reader = self._writer, None, None
+            try:
+                writer.close()
+                self._run(writer.wait_closed())
+            except (ConnectionError, OSError):
+                pass
+        if not self._loop.is_closed():
+            self._loop.close()
+
+
+class WorkerServer:
+    """Asyncio TCP server exposing one frame handler to remote coordinators.
+
+    ``start()`` binds the socket on a background thread and returns the
+    bound ``(host, port)`` (``port=0`` picks a free port); ``wait()`` blocks
+    until the server stops -- either via :meth:`stop` or, when
+    ``stop_check`` returns True after a request (e.g. the worker saw a
+    ``shutdown`` op), on its own.
+    """
+
+    def __init__(
+        self,
+        handler: FrameHandler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        stop_check: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self._handler = handler
+        self._host = host
+        self._port = int(port)
+        self._stop_check = stop_check
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    async def _serve_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(LENGTH_PREFIX_BYTES)
+                length = int.from_bytes(header, "big")
+                if length > MAX_FRAME_BYTES:
+                    raise WireFormatError(
+                        f"peer announced an oversized {length}-byte frame"
+                    )
+                frame = await reader.readexactly(length)
+                reply = self._handler(frame)
+                writer.write(_prefix(reply) + reply)
+                await writer.drain()
+                if self._stop_check is not None and self._stop_check():
+                    self._loop.call_soon(self._loop.stop)
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # peer went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(self._serve_client, self._host, self._port)
+            )
+        except BaseException as exc:  # bind failures surface in start()
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            loop.close()
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve on a background thread; return ``(host, port)``."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self._host, self._port
+
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        return self._port
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        """Block until the server thread exits."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def stop(self) -> None:
+        """Stop the event loop and join the server thread (idempotent)."""
+        if self._loop is not None and not self._loop.is_closed():
+            try:
+                # Also valid before run_forever() starts: the callback is
+                # queued and executed as soon as the loop runs, closing the
+                # start()/stop() race window.
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            except RuntimeError:  # pragma: no cover - loop closed concurrently
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)

@@ -1,0 +1,491 @@
+"""Versioned binary wire format for the runtime subsystem.
+
+The simulated :class:`~repro.distributed.network.Network` measures traffic
+in *words* (8 bytes each, ``BYTES_PER_WORD``) without ever serialising a
+payload.  This module is the missing half: a compact, versioned binary
+codec whose **data section is exactly 8 bytes per word** of the existing
+:func:`~repro.distributed.message.payload_word_count` convention, so the
+bytes a real transport moves and the words the simulation charges stay
+mutually auditable (``data bytes == 8 * words``, asserted per tag by
+:meth:`~repro.distributed.network.TransportNetwork.verify_wire_accounting`).
+
+Two encodings are provided:
+
+* **payloads** -- :func:`to_bytes` / :func:`from_bytes` round-trip the
+  payload types the protocols actually ship (numpy arrays of the common
+  dtypes, scipy sparse matrices, scalars, ASCII strings, containers, and
+  :class:`~repro.distributed.message.Message`).  Every element is widened
+  to a little-endian 8-byte word on the wire; the original dtype is
+  restored from a one-byte framing code, so round-trips are exact.
+* **frames** -- :func:`encode_frame` / :func:`decode_frame` wrap an
+  operation name, a small metadata dict and a list of *tagged* payload
+  entries into one transport message.  Tagged entries are the data plane
+  (their body bytes are attributed to the tag's byte ledger); the op,
+  metadata, tags and untagged entries are the control plane, counted as
+  framing overhead.
+
+Framing (magic, version, type codes, dtype codes, shapes, container
+counts) is deliberately *not* part of the word accounting: the paper's
+model charges machine numbers, not protocol headers.  :func:`wire_word_count`
+returns the word count of the data section and is asserted equal to
+``payload_word_count`` for every payload in the codec's domain.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from numbers import Number
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.errors import WireFormatError
+from repro.distributed.message import Message, payload_word_count
+
+#: First bytes of every wire buffer.
+WIRE_MAGIC = b"RPRW"
+#: Version of the wire format emitted by this module.
+WIRE_VERSION = 1
+#: Bytes per machine word on the wire (matches the accounting convention).
+BYTES_PER_WORD = 8
+
+#: Kind byte after the version: a standalone payload or a transport frame.
+_KIND_PAYLOAD = 0
+_KIND_FRAME = 1
+
+# Node type codes.
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_SCALAR = 5
+_T_ARRAY = 6
+_T_SPARSE = 7
+_T_STR = 8
+_T_LIST = 9
+_T_TUPLE = 10
+_T_SET = 11
+_T_FROZENSET = 12
+_T_DICT = 13
+_T_MESSAGE = 14
+
+#: Supported array/scalar dtypes: code -> (dtype, widened wire dtype).
+_DTYPES: dict[int, tuple[np.dtype, np.dtype]] = {
+    0: (np.dtype(np.float64), np.dtype("<f8")),
+    1: (np.dtype(np.float32), np.dtype("<f8")),
+    2: (np.dtype(np.int64), np.dtype("<i8")),
+    3: (np.dtype(np.int32), np.dtype("<i8")),
+    4: (np.dtype(np.int16), np.dtype("<i8")),
+    5: (np.dtype(np.int8), np.dtype("<i8")),
+    6: (np.dtype(np.uint64), np.dtype("<u8")),
+    7: (np.dtype(np.uint32), np.dtype("<u8")),
+    8: (np.dtype(np.uint16), np.dtype("<u8")),
+    9: (np.dtype(np.uint8), np.dtype("<u8")),
+    10: (np.dtype(np.bool_), np.dtype("<u8")),
+}
+_DTYPE_CODES = {dtype: code for code, (dtype, _) in _DTYPES.items()}
+
+_SPARSE_FORMATS = ("csr", "csc", "coo")
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+class _Encoder:
+    """Accumulates the encoded buffer and counts data-section bytes."""
+
+    def __init__(self) -> None:
+        self.buf = bytearray()
+        self.data_bytes = 0
+
+    def frame(self, data: bytes) -> None:
+        """Append framing bytes (headers; never counted as data)."""
+        self.buf += data
+
+    def body(self, data: bytes) -> None:
+        """Append data-section bytes (counted toward the word accounting)."""
+        self.buf += data
+        self.data_bytes += len(data)
+
+
+def _encode_array_body(enc: _Encoder, array: np.ndarray, wide: np.dtype) -> None:
+    enc.body(np.ascontiguousarray(array).astype(wide, copy=False).tobytes())
+
+
+def _encode_str(enc: _Encoder, text: str) -> None:
+    if not text.isascii():
+        raise WireFormatError(
+            "wire strings must be ASCII (the word convention counts 8 "
+            f"characters per word); got {text!r}"
+        )
+    raw = text.encode("ascii")
+    words = (len(raw) + 7) // 8
+    enc.frame(struct.pack("<BI", _T_STR, len(raw)))
+    enc.body(raw + b"\x00" * (words * 8 - len(raw)))
+
+
+def _encode_node(enc: _Encoder, payload: Any) -> None:
+    if payload is None:
+        enc.frame(struct.pack("<B", _T_NONE))
+        return
+    if isinstance(payload, bool):
+        enc.frame(struct.pack("<B", _T_TRUE if payload else _T_FALSE))
+        enc.body(struct.pack("<q", 1 if payload else 0))
+        return
+    if isinstance(payload, np.generic):
+        code = _DTYPE_CODES.get(payload.dtype)
+        if code is None:
+            raise WireFormatError(f"unsupported scalar dtype {payload.dtype}")
+        enc.frame(struct.pack("<BB", _T_SCALAR, code))
+        _encode_array_body(enc, np.asarray(payload).reshape(1), _DTYPES[code][1])
+        return
+    if isinstance(payload, int):
+        if not _INT64_MIN <= payload <= _INT64_MAX:
+            raise WireFormatError(f"integer {payload} does not fit one 64-bit word")
+        enc.frame(struct.pack("<B", _T_INT))
+        enc.body(struct.pack("<q", payload))
+        return
+    if isinstance(payload, float):
+        enc.frame(struct.pack("<B", _T_FLOAT))
+        enc.body(struct.pack("<d", payload))
+        return
+    if isinstance(payload, Number):
+        raise WireFormatError(f"unsupported numeric type {type(payload).__name__}")
+    if isinstance(payload, np.ndarray):
+        code = _DTYPE_CODES.get(payload.dtype)
+        if code is None:
+            raise WireFormatError(f"unsupported array dtype {payload.dtype}")
+        if payload.ndim > 255:
+            raise WireFormatError("arrays may have at most 255 dimensions")
+        enc.frame(struct.pack("<BBB", _T_ARRAY, code, payload.ndim))
+        enc.frame(struct.pack(f"<{payload.ndim}Q", *payload.shape))
+        _encode_array_body(enc, payload, _DTYPES[code][1])
+        return
+    if sparse.issparse(payload):
+        if payload.format not in _SPARSE_FORMATS:
+            matrix = payload.tocoo()
+        else:
+            matrix = payload
+        fmt = _SPARSE_FORMATS.index(matrix.format if matrix.format in _SPARSE_FORMATS else "coo")
+        coo = matrix.tocoo()
+        rows, cols = coo.shape
+        if rows >= (1 << 32) or cols >= (1 << 32):
+            raise WireFormatError("sparse shapes must fit 32 bits per side")
+        value_code = _DTYPE_CODES.get(coo.data.dtype)
+        if value_code is None:
+            raise WireFormatError(f"unsupported sparse value dtype {coo.data.dtype}")
+        enc.frame(struct.pack("<BBBQ", _T_SPARSE, fmt, value_code, coo.nnz))
+        # Body: one packed shape word + (flat index, value) per stored element
+        # = 2 * nnz + 1 words, the payload_word_count convention for sparse.
+        enc.body(struct.pack("<Q", (rows << 32) | cols))
+        flat = coo.row.astype(np.int64) * np.int64(cols) + coo.col.astype(np.int64)
+        _encode_array_body(enc, flat, np.dtype("<i8"))
+        _encode_array_body(enc, coo.data, _DTYPES[value_code][1])
+        return
+    if isinstance(payload, str):
+        _encode_str(enc, payload)
+        return
+    if isinstance(payload, Message):
+        if not 0 <= payload.sender < (1 << 32) or not 0 <= payload.receiver < (1 << 32):
+            raise WireFormatError("message endpoints must fit 32 bits")
+        enc.frame(struct.pack("<BIIq", _T_MESSAGE, payload.sender, payload.receiver, payload.words))
+        tag_raw = payload.tag.encode("ascii", errors="strict")
+        if len(tag_raw) >= (1 << 16):
+            raise WireFormatError("message tags must be shorter than 65536 bytes")
+        enc.frame(struct.pack("<H", len(tag_raw)) + tag_raw)
+        _encode_node(enc, payload.payload)
+        return
+    if isinstance(payload, Mapping):
+        items = list(payload.items())
+        enc.frame(struct.pack("<BI", _T_DICT, len(items)))
+        for key, value in items:
+            _encode_node(enc, key)
+            _encode_node(enc, value)
+        return
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        codes = {list: _T_LIST, tuple: _T_TUPLE, set: _T_SET, frozenset: _T_FROZENSET}
+        items = list(payload)
+        enc.frame(struct.pack("<BI", codes[type(payload)], len(items)))
+        for item in items:
+            _encode_node(enc, item)
+        return
+    if isinstance(payload, Sequence):
+        items = list(payload)
+        enc.frame(struct.pack("<BI", _T_LIST, len(items)))
+        for item in items:
+            _encode_node(enc, item)
+        return
+    raise WireFormatError(f"cannot encode payload of type {type(payload).__name__}")
+
+
+class _Decoder:
+    """Cursor over an encoded buffer, counting data-section bytes read."""
+
+    def __init__(self, buf: bytes) -> None:
+        self.buf = buf
+        self.pos = 0
+        self.data_bytes = 0
+
+    def take(self, count: int, *, data: bool = False) -> bytes:
+        if self.pos + count > len(self.buf):
+            raise WireFormatError("truncated wire buffer")
+        chunk = self.buf[self.pos : self.pos + count]
+        self.pos += count
+        if data:
+            self.data_bytes += count
+        return chunk
+
+    def unpack(self, fmt: str) -> tuple:
+        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+
+
+def _decode_array_body(dec: _Decoder, count: int, code: int, shape=None) -> np.ndarray:
+    dtype, wide = _DTYPES[code]
+    raw = dec.take(count * 8, data=True)
+    array = np.frombuffer(raw, dtype=wide, count=count).astype(dtype)
+    if shape is not None:
+        array = array.reshape(shape)
+    return array
+
+
+def _decode_node(dec: _Decoder) -> Any:
+    (code,) = dec.unpack("<B")
+    if code == _T_NONE:
+        return None
+    if code in (_T_FALSE, _T_TRUE):
+        dec.take(8, data=True)
+        return code == _T_TRUE
+    if code == _T_INT:
+        (value,) = struct.unpack("<q", dec.take(8, data=True))
+        return value
+    if code == _T_FLOAT:
+        (value,) = struct.unpack("<d", dec.take(8, data=True))
+        return value
+    if code == _T_SCALAR:
+        (dtype_code,) = dec.unpack("<B")
+        if dtype_code not in _DTYPES:
+            raise WireFormatError(f"unknown dtype code {dtype_code}")
+        return _decode_array_body(dec, 1, dtype_code)[0]
+    if code == _T_ARRAY:
+        dtype_code, ndim = dec.unpack("<BB")
+        if dtype_code not in _DTYPES:
+            raise WireFormatError(f"unknown dtype code {dtype_code}")
+        shape = dec.unpack(f"<{ndim}Q") if ndim else ()
+        count = 1
+        for side in shape:
+            count *= side
+        return _decode_array_body(dec, count, dtype_code, shape)
+    if code == _T_SPARSE:
+        fmt, value_code, nnz = dec.unpack("<BBQ")
+        if fmt >= len(_SPARSE_FORMATS) or value_code not in _DTYPES:
+            raise WireFormatError("unknown sparse format or dtype code")
+        (packed_shape,) = struct.unpack("<Q", dec.take(8, data=True))
+        rows, cols = packed_shape >> 32, packed_shape & 0xFFFFFFFF
+        flat = _decode_array_body(dec, nnz, _DTYPE_CODES[np.dtype(np.int64)])
+        values = _decode_array_body(dec, nnz, value_code)
+        if cols == 0:
+            row_idx = np.zeros(0, dtype=np.int64)
+            col_idx = np.zeros(0, dtype=np.int64)
+        else:
+            row_idx, col_idx = np.divmod(flat, np.int64(cols))
+        matrix = sparse.coo_matrix((values, (row_idx, col_idx)), shape=(rows, cols))
+        return matrix.asformat(_SPARSE_FORMATS[fmt])
+    if code == _T_STR:
+        (length,) = dec.unpack("<I")
+        words = (length + 7) // 8
+        raw = dec.take(words * 8, data=True)
+        return raw[:length].decode("ascii")
+    if code == _T_MESSAGE:
+        sender, receiver, words = dec.unpack("<IIq")
+        (tag_length,) = dec.unpack("<H")
+        tag = dec.take(tag_length).decode("ascii")
+        payload = _decode_node(dec)
+        return Message(sender=sender, receiver=receiver, payload=payload, tag=tag, words=words)
+    if code in (_T_LIST, _T_TUPLE, _T_SET, _T_FROZENSET, _T_DICT):
+        (count,) = dec.unpack("<I")
+        if code == _T_DICT:
+            return {
+                _decode_node(dec): _decode_node(dec) for _ in range(count)
+            }
+        items = [_decode_node(dec) for _ in range(count)]
+        if code == _T_LIST:
+            return items
+        if code == _T_TUPLE:
+            return tuple(items)
+        if code == _T_SET:
+            return set(items)
+        return frozenset(items)
+    raise WireFormatError(f"unknown wire type code {code}")
+
+
+def _header(kind: int) -> bytes:
+    return WIRE_MAGIC + struct.pack("<HB", WIRE_VERSION, kind)
+
+
+def _check_header(dec: _Decoder, expected_kind: int) -> None:
+    magic = dec.take(4)
+    if magic != WIRE_MAGIC:
+        raise WireFormatError(f"bad wire magic {magic!r}")
+    version, kind = dec.unpack("<HB")
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version} (this build speaks {WIRE_VERSION})"
+        )
+    if kind != expected_kind:
+        raise WireFormatError(f"expected wire kind {expected_kind}, got {kind}")
+
+
+# --------------------------------------------------------------------------- #
+# public payload API
+# --------------------------------------------------------------------------- #
+def to_bytes(payload: Any) -> bytes:
+    """Serialise ``payload`` into a versioned, self-describing buffer."""
+    enc = _Encoder()
+    enc.frame(_header(_KIND_PAYLOAD))
+    _encode_node(enc, payload)
+    return bytes(enc.buf)
+
+
+def from_bytes(buf: bytes) -> Any:
+    """Decode a buffer produced by :func:`to_bytes` (exact round-trip)."""
+    dec = _Decoder(bytes(buf))
+    _check_header(dec, _KIND_PAYLOAD)
+    payload = _decode_node(dec)
+    if dec.pos != len(dec.buf):
+        raise WireFormatError(
+            f"trailing bytes after payload ({len(dec.buf) - dec.pos} unread)"
+        )
+    return payload
+
+
+def wire_word_count(payload: Any) -> int:
+    """Words of the payload's wire data section (8 bytes each).
+
+    Identical to :func:`~repro.distributed.message.payload_word_count` on
+    that function's whole domain -- the codec encodes exactly one 8-byte
+    word per accounted word.  For a :class:`Message` the count covers the
+    carried payload (the ``words`` field is accounting metadata and travels
+    as framing).
+    """
+    if isinstance(payload, Message):
+        return payload_word_count(payload.payload)
+    return payload_word_count(payload)
+
+
+def payload_data_bytes(payload: Any) -> int:
+    """Bytes of the payload's wire data section (``8 * wire_word_count``)."""
+    enc = _Encoder()
+    _encode_node(enc, payload)
+    return enc.data_bytes
+
+
+# --------------------------------------------------------------------------- #
+# transport frames
+# --------------------------------------------------------------------------- #
+#: A tagged payload section: the tag attributes the section's data bytes to
+#: the network accounting ledger; ``None`` marks control payloads (request
+#: parameters the simulation never charges).
+Entry = Tuple[Optional[str], Any]
+
+
+@dataclass
+class DecodedFrame:
+    """One decoded transport frame plus its byte-accounting breakdown."""
+
+    op: str
+    meta: dict
+    entries: List[Entry]
+    #: ``(tag, data_bytes)`` per *tagged* entry, in entry order.
+    data_sections: List[Tuple[str, int]] = field(default_factory=list)
+    total_bytes: int = 0
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes of the tagged data plane."""
+        return sum(nbytes for _, nbytes in self.data_sections)
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Framing + control bytes (everything that is not tagged data)."""
+        return self.total_bytes - self.data_bytes
+
+    def entry(self, index: int = 0) -> Any:
+        """Return the payload of entry ``index``."""
+        return self.entries[index][1]
+
+
+def encode_frame_with_stats(
+    op: str, meta: Optional[Mapping] = None, entries: Sequence[Entry] = ()
+) -> Tuple[bytes, List[Tuple[str, int]], int]:
+    """Encode one frame and return ``(bytes, data_sections, overhead_bytes)``.
+
+    ``data_sections`` attributes each tagged entry's data-plane bytes to its
+    tag (what a byte ledger records); ``overhead_bytes`` is everything else
+    in the frame -- op, metadata, tags, untagged control payloads, framing.
+    """
+    enc = _Encoder()
+    enc.frame(_header(_KIND_FRAME))
+    _encode_str(enc, op)
+    _encode_node(enc, dict(meta or {}))
+    entry_list = list(entries)
+    enc.frame(struct.pack("<I", len(entry_list)))
+    sections: List[Tuple[str, int]] = []
+    for tag, payload in entry_list:
+        if tag is None:
+            enc.frame(struct.pack("<B", 0))
+        else:
+            enc.frame(struct.pack("<B", 1))
+            _encode_str(enc, tag)
+        before = enc.data_bytes
+        _encode_node(enc, payload)
+        if tag is not None:
+            sections.append((tag, enc.data_bytes - before))
+    data_bytes = sum(nbytes for _, nbytes in sections)
+    return bytes(enc.buf), sections, len(enc.buf) - data_bytes
+
+
+def encode_frame(op: str, meta: Optional[Mapping] = None, entries: Sequence[Entry] = ()) -> bytes:
+    """Encode one transport frame (op + metadata + tagged payload entries)."""
+    return encode_frame_with_stats(op, meta, entries)[0]
+
+
+def decode_frame(buf: bytes) -> DecodedFrame:
+    """Decode one transport frame, attributing data bytes per tagged entry."""
+    dec = _Decoder(bytes(buf))
+    _check_header(dec, _KIND_FRAME)
+    op = _decode_node(dec)
+    meta = _decode_node(dec)
+    if not isinstance(op, str) or not isinstance(meta, dict):
+        raise WireFormatError("malformed frame header")
+    (count,) = dec.unpack("<I")
+    entries: List[Entry] = []
+    sections: List[Tuple[str, int]] = []
+    for _ in range(count):
+        (has_tag,) = dec.unpack("<B")
+        tag = _decode_node(dec) if has_tag else None
+        if has_tag and not isinstance(tag, str):
+            raise WireFormatError("entry tags must be strings")
+        before = dec.data_bytes
+        payload = _decode_node(dec)
+        if tag is not None:
+            sections.append((tag, dec.data_bytes - before))
+        entries.append((tag, payload))
+    if dec.pos != len(dec.buf):
+        raise WireFormatError(
+            f"trailing bytes after frame ({len(dec.buf) - dec.pos} unread)"
+        )
+    return DecodedFrame(
+        op=op,
+        meta=meta,
+        entries=entries,
+        data_sections=sections,
+        total_bytes=len(dec.buf),
+    )
+
+
+def frame_stats(buf: bytes) -> DecodedFrame:
+    """Decode ``buf`` purely for accounting (alias of :func:`decode_frame`)."""
+    return decode_frame(buf)

@@ -26,7 +26,7 @@ component is sketched into all per-bucket tables in one pass.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -101,6 +101,61 @@ def batched_sketch_uncached(
     tables = np.zeros(num_buckets * table_words, dtype=float)
     np.add.at(tables, flat_keys.ravel(), weights.ravel())
     return tables.reshape(num_buckets, depth, width)
+
+
+def build_domain_cache_range(
+    bucket_coeffs: np.ndarray,
+    sign_coeffs: np.ndarray,
+    assign: np.ndarray,
+    start: int,
+    stop: int,
+    width: int,
+    flat_out: np.ndarray,
+    sign_out: np.ndarray,
+    block: int,
+) -> None:
+    """Fill rows ``[start, stop)`` of a batched domain cache in place.
+
+    The blocked tiny-table-gather kernel of
+    :meth:`BatchedCountSketch.build_domain_cache` as a module-level function
+    over an arbitrary coordinate range: every operation is elementwise per
+    coordinate, so any partition of the domain into ranges (e.g. one slab
+    per worker process writing into shared memory, see
+    :meth:`repro.distributed.mp_backend.SketchProcessPool.build_domain_cache_shared`)
+    produces bit-identical ``(flat, sign)`` arrays.  ``assign`` holds the
+    bucket of coordinates ``start..stop-1`` (i.e. it is already sliced to
+    the range); outputs are written to ``flat_out[start:stop]`` /
+    ``sign_out[start:stop]``.
+    """
+    depth = bucket_coeffs.shape[1]
+    bucket_tables = [
+        [np.ascontiguousarray(bucket_coeffs[:, r, j]) for r in range(depth)]
+        for j in range(2)
+    ]
+    sign_tables = [
+        [np.ascontiguousarray(sign_coeffs[:, r, j]) for r in range(depth)]
+        for j in range(4)
+    ]
+    one = np.uint64(1)
+    block = max(1, int(block))
+    for lo in range(start, stop, block):
+        hi = min(lo + block, stop)
+        selector = assign[lo - start : hi - start]
+        keys = np.arange(lo, hi, dtype=np.uint64)
+        x = _mersenne_exact(_mersenne_fold(keys))
+        x2 = _mersenne_fold(x * x)
+        x3 = _mersenne_fold(x2 * x)
+        for row in range(depth):
+            acc = bucket_tables[0][row][selector] + bucket_tables[1][row][selector] * x
+            flat_out[lo:hi, row] = np.uint64(row * width) + range_reduce(
+                _mersenne_exact(_mersenne_fold(acc)), width
+            )
+            acc = sign_tables[0][row][selector] + sign_tables[1][row][selector] * x
+            acc += sign_tables[2][row][selector] * x2
+            acc += sign_tables[3][row][selector] * x3
+            sign_out[lo:hi, row] = (
+                (_mersenne_exact(_mersenne_fold(acc)) & one).astype(np.int8) << 1
+            ) - 1
 
 
 def _median_of_three(a, b, c) -> np.ndarray:
@@ -199,6 +254,76 @@ class CountSketch:
         self._hashed_elements = 0
         # Reusable gather/weight scratch buffers keyed by query size.
         self._scratch: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    @classmethod
+    def from_coefficients(
+        cls, bucket_coeffs: np.ndarray, sign_coeffs: np.ndarray, domain: int, width: int
+    ) -> "CountSketch":
+        """Rebuild a sketch from broadcast hash coefficients (no RNG involved).
+
+        This is the worker-side constructor of the runtime subsystem: a
+        coordinator broadcasts the ``(depth, 2)`` bucket and ``(depth, 4)``
+        sign coefficient matrices (``seed_word_count()`` words) and every
+        receiver rebuilds a sketch that hashes, sketches and estimates
+        bit-for-bit identically to the original.
+        """
+        from repro.sketch.hashing import MERSENNE_PRIME
+
+        bucket = np.asarray(bucket_coeffs, dtype=np.int64)
+        sign = np.asarray(sign_coeffs, dtype=np.int64)
+        if bucket.ndim != 2 or bucket.shape[1] != 2:
+            raise ValueError(f"bucket coefficients must have shape (depth, 2), got {bucket.shape}")
+        if sign.shape != (bucket.shape[0], 4):
+            raise ValueError(
+                f"sign coefficients must have shape ({bucket.shape[0]}, 4), got {sign.shape}"
+            )
+        for name, coeffs in (("bucket", bucket), ("sign", sign)):
+            if coeffs.min() < 0 or coeffs.max() >= MERSENNE_PRIME:
+                raise ValueError(f"{name} coefficients must lie in [0, {MERSENNE_PRIME - 1}]")
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if domain < 1:
+            raise ValueError(f"domain must be >= 1, got {domain}")
+        sketch = cls.__new__(cls)
+        sketch.depth = int(bucket.shape[0])
+        sketch.width = int(width)
+        sketch.domain = int(domain)
+        sketch._bucket_hashes = [
+            KWiseHash.from_coefficients(bucket[r], sketch.width) for r in range(sketch.depth)
+        ]
+        sketch._sign_hashes = [SignHash.from_coefficients(sign[r]) for r in range(sketch.depth)]
+        sketch._bucket_coeffs = bucket.astype(np.uint64)
+        sketch._sign_coeffs = sign.astype(np.uint64)
+        sketch._flat_cache = None
+        sketch._sign_cache = None
+        sketch._hashed_elements = 0
+        sketch._scratch = {}
+        return sketch
+
+    def export_state(self, table: Optional[np.ndarray] = None):
+        """Return this sketch's wire state (coefficients + a table).
+
+        The returned :class:`repro.runtime.state.CountSketchState` pairs the
+        hash coefficients (what a coordinator broadcasts) with one sketched
+        table (what a server ships back), making the pair serializable with
+        :mod:`repro.runtime.wire` and mergeable across shards.  ``table``
+        defaults to an empty table.
+        """
+        from repro.runtime.state import CountSketchState
+
+        if table is None:
+            table = self.empty_table()
+        table = np.asarray(table, dtype=float)
+        if table.shape != (self.depth, self.width):
+            raise ValueError("table shape does not match this sketch")
+        return CountSketchState(
+            depth=self.depth,
+            width=self.width,
+            domain=self.domain,
+            bucket_coeffs=self._bucket_coeffs.copy(),
+            sign_coeffs=self._sign_coeffs.copy(),
+            table=table.copy(),
+        )
 
     # ------------------------------------------------------------------ #
     # fused hash evaluation
@@ -508,40 +633,29 @@ class BatchedCountSketch:
         if self.depth * self.domain * 17 > self.CACHE_BYTE_LIMIT:
             return False
         assign = self._domain_assignment(assignment)
-        # Per-row 1-D coefficient tables (num_buckets entries each): gathers
-        # from these hit numpy's fast contiguous path, and the per-key
-        # coefficient traffic stays a cache-resident table lookup instead of
-        # a (domain, depth)-sized fancy index.
-        bucket_tables = [
-            [np.ascontiguousarray(self._bucket_coeffs[:, r, j]) for r in range(self.depth)]
-            for j in range(2)
-        ]
-        sign_tables = [
-            [np.ascontiguousarray(self._sign_coeffs[:, r, j]) for r in range(self.depth)]
-            for j in range(4)
-        ]
+        pool = engine.parallel_pool()
+        if pool is not None and getattr(pool, "build_domain_cache_shared", None) is not None:
+            # Opt-in multiprocessing: the domain is split into one slab per
+            # worker, each writing its rows of the cache directly into
+            # shared memory (the kernel is elementwise per coordinate, so
+            # the result is bit-identical to the serial build); the shared
+            # segments then serve every worker's sketch gathers without a
+            # per-repetition copy.
+            if pool.build_domain_cache_shared(self, assign):
+                return True
         flat = np.empty((self.domain, self.depth), dtype=np.int64)
         sign = np.empty((self.domain, self.depth), dtype=np.int8)
-        domain_keys = np.arange(self.domain, dtype=np.uint64)
-        one = np.uint64(1)
-        block = max(1, int(self.CACHE_BUILD_BLOCK))
-        for start in range(0, self.domain, block):
-            stop = min(start + block, self.domain)
-            selector = assign[start:stop]
-            x = _mersenne_exact(_mersenne_fold(domain_keys[start:stop]))
-            x2 = _mersenne_fold(x * x)
-            x3 = _mersenne_fold(x2 * x)
-            for row in range(self.depth):
-                acc = bucket_tables[0][row][selector] + bucket_tables[1][row][selector] * x
-                flat[start:stop, row] = np.uint64(row * self.width) + range_reduce(
-                    _mersenne_exact(_mersenne_fold(acc)), self.width
-                )
-                acc = sign_tables[0][row][selector] + sign_tables[1][row][selector] * x
-                acc += sign_tables[2][row][selector] * x2
-                acc += sign_tables[3][row][selector] * x3
-                sign[start:stop, row] = (
-                    (_mersenne_exact(_mersenne_fold(acc)) & one).astype(np.int8) << 1
-                ) - 1
+        build_domain_cache_range(
+            self._bucket_coeffs,
+            self._sign_coeffs,
+            assign,
+            0,
+            self.domain,
+            self.width,
+            flat,
+            sign,
+            self.CACHE_BUILD_BLOCK,
+        )
         self._flat_cache = flat
         self._sign_cache = sign
         # The signed-cell encoding used by point queries is derived lazily on
@@ -607,6 +721,59 @@ class BatchedCountSketch:
         if len(seeds) != num_buckets:
             raise ValueError("need exactly one seed per bucket")
         return cls([CountSketch(depth, width, domain, seed=s) for s in seeds])
+
+    @classmethod
+    def from_coefficients(
+        cls,
+        bucket_coeffs: np.ndarray,
+        sign_coeffs: np.ndarray,
+        domain: int,
+        width: int,
+    ) -> "BatchedCountSketch":
+        """Rebuild the whole member family from broadcast coefficient tensors.
+
+        ``bucket_coeffs``/``sign_coeffs`` are exactly what
+        :meth:`broadcast_coefficients` returns -- shapes
+        ``(num_buckets, depth, 2)`` and ``(num_buckets, depth, 4)``; the
+        rebuilt family hashes and sketches bit-for-bit identically to the
+        coordinator's original.
+        """
+        bucket = np.asarray(bucket_coeffs, dtype=np.int64)
+        sign = np.asarray(sign_coeffs, dtype=np.int64)
+        if bucket.ndim != 3 or sign.ndim != 3 or bucket.shape[0] != sign.shape[0]:
+            raise ValueError(
+                "coefficient tensors must have shapes (num_buckets, depth, 2) "
+                f"and (num_buckets, depth, 4), got {bucket.shape} and {sign.shape}"
+            )
+        return cls(
+            [
+                CountSketch.from_coefficients(bucket[b], sign[b], domain, width)
+                for b in range(bucket.shape[0])
+            ]
+        )
+
+    def export_state(self, tables: Optional[np.ndarray] = None):
+        """Return the family's wire state (coefficient tensors + table stack).
+
+        See :class:`repro.runtime.state.BatchedSketchState`; ``tables``
+        defaults to an all-zero stack.
+        """
+        from repro.runtime.state import BatchedSketchState
+
+        if tables is None:
+            tables = self.empty_tables()
+        tables = np.asarray(tables, dtype=float)
+        if tables.shape != (self.num_buckets, self.depth, self.width):
+            raise ValueError("tables shape does not match this family")
+        return BatchedSketchState(
+            num_buckets=self.num_buckets,
+            depth=self.depth,
+            width=self.width,
+            domain=self.domain,
+            bucket_coeffs=self._bucket_coeffs.copy(),
+            sign_coeffs=self._sign_coeffs.copy(),
+            tables=tables.copy(),
+        )
 
     def empty_tables(self) -> np.ndarray:
         """Return an all-zero ``(num_buckets, depth, width)`` table stack."""

@@ -210,6 +210,25 @@ class KWiseHash:
             coefficients[-1] = 1
         self.coefficients = coefficients
 
+    @classmethod
+    def from_coefficients(cls, coefficients: np.ndarray, range_size: int) -> "KWiseHash":
+        """Rebuild a hash from an explicit coefficient vector.
+
+        This is the receiving side of a seed broadcast: a worker that was
+        handed the coefficient words reconstructs a hash that evaluates
+        bit-for-bit identically to the coordinator's original.
+        """
+        coeffs = np.asarray(coefficients, dtype=np.int64)
+        if coeffs.ndim != 1 or coeffs.size < 1:
+            raise ValueError("coefficients must be a non-empty 1-D array")
+        if coeffs.min() < 0 or coeffs.max() >= MERSENNE_PRIME:
+            raise ValueError(f"coefficients must lie in [0, {MERSENNE_PRIME - 1}]")
+        hash_fn = cls.__new__(cls)
+        hash_fn.independence = int(coeffs.size)
+        hash_fn.range_size = int(range_size)
+        hash_fn.coefficients = coeffs.copy()
+        return hash_fn
+
     def __call__(self, keys) -> np.ndarray:
         keys_arr = np.atleast_1d(np.asarray(keys, dtype=np.int64))
         if engine.fused_enabled():
@@ -241,6 +260,13 @@ class SignHash:
     def __init__(self, seed: RandomState = None) -> None:
         self._hash = KWiseHash(4, 2, seed)
 
+    @classmethod
+    def from_coefficients(cls, coefficients: np.ndarray) -> "SignHash":
+        """Rebuild a sign hash from its broadcast coefficient vector."""
+        sign = cls.__new__(cls)
+        sign._hash = KWiseHash.from_coefficients(coefficients, 2)
+        return sign
+
     def __call__(self, keys) -> np.ndarray:
         return self._hash(keys) * 2 - 1
 
@@ -269,6 +295,18 @@ class SubsampleHash:
             raise ValueError(f"domain_scale must be >= 2, got {domain_scale}")
         self.domain_scale = int(domain_scale)
         self._hash = KWiseHash(independence, self.domain_scale, seed)
+
+    @classmethod
+    def from_coefficients(
+        cls, domain_scale: int, coefficients: np.ndarray
+    ) -> "SubsampleHash":
+        """Rebuild ``g`` worker-side from the broadcast coefficient vector."""
+        if domain_scale < 2:
+            raise ValueError(f"domain_scale must be >= 2, got {domain_scale}")
+        subsample = cls.__new__(cls)
+        subsample.domain_scale = int(domain_scale)
+        subsample._hash = KWiseHash.from_coefficients(coefficients, domain_scale)
+        return subsample
 
     @property
     def coefficients(self) -> np.ndarray:

@@ -83,6 +83,18 @@ class ZEstimate:
             return np.zeros(0, dtype=np.int64)
         return np.unique(np.concatenate(list(self.class_members.values())))
 
+    def export_state(self):
+        """Return the serializable wire state of this estimate.
+
+        The returned :class:`repro.runtime.state.ZEstimateState` round-trips
+        through :mod:`repro.runtime.wire` (``from_bytes(to_bytes(x))``) and
+        rebuilds an equivalent :class:`ZEstimate` with
+        :meth:`~repro.runtime.state.ZEstimateState.to_estimate`.
+        """
+        from repro.runtime.state import ZEstimateState
+
+        return ZEstimateState.from_estimate(self)
+
 
 class ZEstimator:
     """Distributed estimator of ``Z(a)`` and the level-set sizes (Algorithm 3).
@@ -235,25 +247,15 @@ class ZEstimator:
             network.charge(0, server, subsample.word_count(), tag=f"{tag}:seeds")
         # Fused engine: evaluate the degree-16 polynomial g once per server
         # and derive every level's survivor mask by thresholding the cached
-        # values; the naive engine re-evaluates g per level (reference).
-        cached_g: Optional[list] = None
+        # values (the cache stays with the vector -- worker-side for a
+        # transport-backed vector); the naive engine re-evaluates g per
+        # level (reference).
+        restrictor = None
         if engine.fused_enabled():
-            pool = engine.parallel_pool()
-            if pool is not None and vector.num_servers > 1:
-                cached_g = pool.subsample_values(vector, subsample)
-            else:
-                cached_g = []
-                for server in range(vector.num_servers):
-                    idx, _ = vector.local_component(server)
-                    cached_g.append(
-                        subsample(idx) if idx.size else np.zeros(0, dtype=np.int64)
-                    )
+            restrictor = vector.subsample_restrictor(subsample, tag=tag)
         for level in range(1, levels + 1):
-            if cached_g is not None:
-                threshold = subsample.level_threshold(level)
-                restricted = vector.restrict_by_masks(
-                    [g < threshold for g in cached_g]
-                )
+            if restrictor is not None:
+                restricted = restrictor.restrict(level)
             else:
                 restricted = vector.restrict(subsample.level_predicate(level))
             survivors = z_heavy_hitters(

@@ -208,23 +208,17 @@ def z_heavy_hitters(
         batched = BatchedCountSketch(sketches)
         in_buckets = _bucket_slices(domain_assignment, num_buckets)
         cached = batched.build_domain_cache(domain_assignment)
-        pool = engine.parallel_pool()
-        if pool is not None and vector.num_servers > 1:
-            # Opt-in multiprocessing: every server's batched sketch runs in a
-            # worker process from the broadcast hash coefficients alone; the
-            # tables come back to the CP and are accounted exactly as the
-            # in-process path accounts them.
-            server_tables = pool.batched_sketches(vector, batched, domain_assignment)
-        else:
-            server_tables = []
-            for server in range(vector.num_servers):
-                idx, val = vector.local_component(server)
-                if idx.size == 0:
-                    server_tables.append(batched.empty_tables())
-                else:
-                    server_tables.append(
-                        batched.sketch_assigned(idx, val, domain_assignment[idx])
-                    )
+        # Per-server execution seam: the in-process vector sketches every
+        # component locally (dispatching to the opt-in worker pool when one
+        # is installed); a transport-backed RemoteVector ships the broadcast
+        # coefficients to real workers and receives the stacks back.
+        server_tables = vector.batched_sketch_tables(
+            batched,
+            domain_assignment,
+            bucket_hash=bucket_hash,
+            nonempty_buckets=[b for b in range(num_buckets) if in_buckets[b].size],
+            tag=tag,
+        )
         if cached:
             # One vectorised merge + F_2 + point-query + threshold pass over
             # every bucket together.

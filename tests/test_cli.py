@@ -74,3 +74,81 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 2 panel: ForestCover" in out
         assert "relative error" in out
+
+
+class TestRuntimeCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--server", "1"])
+        assert args.server == 1
+        assert args.num_servers == 4
+        assert args.port == 0
+
+    def test_submit_parser(self):
+        args = build_parser().parse_args(
+            ["submit", "--workers", "h:1", "h:2", "h:3", "--draws", "5"]
+        )
+        assert args.workers == ["h:1", "h:2", "h:3"]
+        assert args.draws == 5
+        assert args.function == "identity"
+
+    def test_serve_rejects_coordinator_index(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--server", "0"])
+
+    def test_submit_rejects_wrong_worker_count(self):
+        with pytest.raises(SystemExit):
+            main(["submit", "--workers", "h:1", "--num-servers", "4"])
+
+    def test_submit_against_tcp_workers(self, capsys):
+        from repro.experiments.workloads import runtime_vector_components
+        from repro.runtime.service import WorkerService
+        from repro.runtime.transport import WorkerServer
+
+        num_servers, dimension, support, seed = 3, 2000, 300, 4
+        components = runtime_vector_components(
+            num_servers, dimension, support, seed=seed
+        )
+        workers = [
+            WorkerService(idx, val, dimension) for idx, val in components[1:]
+        ]
+        servers = [
+            WorkerServer(
+                worker.handle_frame,
+                stop_check=lambda worker=worker: worker.shutdown_requested,
+            )
+            for worker in workers
+        ]
+        try:
+            addresses = [server.start() for server in servers]
+            exit_code = main(
+                [
+                    "submit",
+                    "--workers",
+                    *[f"{host}:{port}" for host, port in addresses],
+                    "--num-servers", str(num_servers),
+                    "--dimension", str(dimension),
+                    "--support", str(support),
+                    "--seed", str(seed),
+                    "--draws", "6",
+                    "--verify-local",
+                    "--shutdown",
+                ]
+            )
+            out = capsys.readouterr().out
+            assert exit_code == 0
+            assert "bit-identical draws" in out
+            assert "wire audit" in out
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_runtime_workload_is_deterministic(self):
+        from repro.experiments.workloads import runtime_vector_components
+
+        first = runtime_vector_components(3, 1000, 100, seed=9)
+        second = runtime_vector_components(3, 1000, 100, seed=9)
+        for (idx_a, val_a), (idx_b, val_b) in zip(first, second):
+            import numpy as np
+
+            np.testing.assert_array_equal(idx_a, idx_b)
+            np.testing.assert_array_equal(val_a, val_b)

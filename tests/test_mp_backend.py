@@ -185,3 +185,103 @@ class TestSketchProcessPool:
     def test_invalid_process_count(self):
         with pytest.raises(ValueError):
             SketchProcessPool(processes=0)
+
+
+class TestSharedMemoryCaches:
+    """Shared-memory domain caches and component publishing (bit-identical)."""
+
+    DOMAIN = 700
+
+    def make_vector(self, servers=3, seed=15):
+        rng = np.random.default_rng(seed)
+        components = []
+        for _ in range(servers):
+            idx = np.sort(rng.choice(self.DOMAIN, size=150, replace=False)).astype(
+                np.int64
+            )
+            components.append((idx, rng.normal(size=150)))
+        return DistributedVector(components, self.DOMAIN, Network(servers))
+
+    def make_batched(self, num_buckets=4, seed_base=700):
+        sketches = [
+            CountSketch(3, 16, self.DOMAIN, seed=seed_base + b)
+            for b in range(num_buckets)
+        ]
+        return BatchedCountSketch(sketches)
+
+    def test_pool_built_domain_cache_is_bit_identical(self):
+        rng = np.random.default_rng(16)
+        assignment = rng.integers(0, 4, size=self.DOMAIN)
+        serial = self.make_batched()
+        assert serial.build_domain_cache(assignment)
+        pooled = self.make_batched()
+        pool = SketchProcessPool(processes=2)
+        try:
+            assert pool.build_domain_cache_shared(pooled, assignment.astype(np.int64))
+        finally:
+            pool.close()
+        np.testing.assert_array_equal(pooled._flat_cache, serial._flat_cache)
+        np.testing.assert_array_equal(pooled._sign_cache, serial._sign_cache)
+        assert getattr(pooled, "_shm_cache_names", None) is not None
+
+    def test_fully_shared_sketch_path_matches_serial(self):
+        from repro.sketch.hashing import PairwiseHash
+
+        vector = self.make_vector()
+        rng = np.random.default_rng(17)
+        bucket_hash = PairwiseHash(4, rng)
+        assignment = bucket_hash(np.arange(self.DOMAIN, dtype=np.int64))
+        serial_batched = self.make_batched()
+        serial_batched.build_domain_cache(assignment)
+        expected = []
+        for server in range(vector.num_servers):
+            idx, val = vector.local_component(server)
+            expected.append(serial_batched.sketch_assigned(idx, val, assignment[idx]))
+
+        pooled_batched = self.make_batched()
+        pool = SketchProcessPool(processes=2)
+        try:
+            assert pool.build_domain_cache_shared(pooled_batched, assignment)
+            results = pool.batched_sketches(
+                vector, pooled_batched, assignment, bucket_hash=bucket_hash
+            )
+            # Component segments are published once and reused.
+            names_first = pool._shared_components(vector)
+            names_second = pool._shared_components(vector)
+            assert names_first is names_second
+            repeat = pool.batched_sketches(
+                vector, pooled_batched, assignment, bucket_hash=bucket_hash
+            )
+        finally:
+            pool.close()
+        for server in range(vector.num_servers):
+            np.testing.assert_array_equal(results[server], expected[server])
+            np.testing.assert_array_equal(repeat[server], expected[server])
+
+    def test_subsample_values_shared_path(self):
+        vector = self.make_vector()
+        subsample = SubsampleHash(domain_scale=self.DOMAIN, seed=18)
+        pool = SketchProcessPool(processes=2)
+        try:
+            results = pool.subsample_values(vector, subsample)
+        finally:
+            pool.close()
+        for server in range(vector.num_servers):
+            idx, _ = vector.local_component(server)
+            np.testing.assert_array_equal(results[server], subsample(idx))
+
+    def test_empty_component_round_trips(self):
+        empty = (np.zeros(0, dtype=np.int64), np.zeros(0))
+        rng = np.random.default_rng(19)
+        idx = np.sort(rng.choice(self.DOMAIN, size=50, replace=False)).astype(np.int64)
+        vector = DistributedVector(
+            [empty, (idx, rng.normal(size=50))], self.DOMAIN, Network(2)
+        )
+        subsample = SubsampleHash(domain_scale=self.DOMAIN, seed=20)
+        pool = SketchProcessPool(processes=2)
+        try:
+            results = pool.subsample_values(vector, subsample)
+        finally:
+            pool.close()
+        assert results[0].size == 0
+        np.testing.assert_array_equal(results[1], subsample(idx))

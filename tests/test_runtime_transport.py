@@ -1,0 +1,275 @@
+"""Transport + services: loopback/TCP runs vs the simulated LocalCluster run.
+
+The load-bearing assertions: a transport-backed Z-sampling run must produce
+**bit-identical** draws, probabilities, values and Z-estimates to the
+same-seed in-process simulation, charge **identical** per-tag word counts,
+and move exactly ``BYTES_PER_WORD`` bytes of data plane per charged word.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DimensionMismatchError, WireAccountingError
+from repro.distributed.network import BYTES_PER_WORD, Network, TransportNetwork
+from repro.distributed.vector import DistributedVector
+from repro.runtime.service import (
+    CoordinatorService,
+    WorkerProtocolError,
+    WorkerService,
+    _rpc,
+)
+from repro.runtime.transport import LoopbackTransport, TcpTransport, WorkerServer
+from repro.sketch.z_heavy_hitters import ZHeavyHittersParams, z_heavy_hitters
+from repro.sketch.z_sampler import ZSampler, ZSamplerConfig
+
+
+def make_components(seed=42, dim=4000, servers=4, support=600):
+    rng = np.random.default_rng(seed)
+    components = []
+    heavy = rng.choice(dim, size=10, replace=False)
+    for server in range(servers):
+        idx = np.sort(rng.choice(dim, size=support, replace=False)).astype(np.int64)
+        val = rng.integers(-5, 6, size=support).astype(float)
+        if server == 0:
+            extra = np.setdiff1d(heavy, idx)
+            idx = np.concatenate((idx, extra))
+            val = np.concatenate((val, np.zeros(extra.size)))
+            order = np.argsort(idx)
+            idx, val = idx[order], val[order]
+            val[np.isin(idx, heavy)] = 100.0
+        components.append((idx, val))
+    return dim, components
+
+
+def make_config():
+    return ZSamplerConfig(
+        hh_params=ZHeavyHittersParams(b=8, repetitions=1, num_buckets=8),
+        max_levels=5,
+    )
+
+
+def weight_fn(values):
+    return np.abs(values)
+
+
+def loopback_coordinator(dim, components, **kwargs):
+    workers = [WorkerService(idx, val, dim) for idx, val in components[1:]]
+    transports = [LoopbackTransport(worker.handle_frame) for worker in workers]
+    return CoordinatorService(transports, dim, components[0], **kwargs), workers
+
+
+def assert_same_draws(draws_a, draws_b):
+    np.testing.assert_array_equal(draws_a.indices, draws_b.indices)
+    np.testing.assert_array_equal(draws_a.probabilities, draws_b.probabilities)
+    np.testing.assert_array_equal(draws_a.values, draws_b.values)
+    assert draws_a.estimate.z_total == draws_b.estimate.z_total
+    assert draws_a.estimate.class_sizes == draws_b.estimate.class_sizes
+    assert draws_a.estimate.member_values == draws_b.estimate.member_values
+    assert draws_a.estimate.words_used == draws_b.estimate.words_used
+
+
+class TestLoopbackEquivalence:
+    def test_sampling_matches_simulation_exactly(self):
+        dim, components = make_components()
+        config = make_config()
+
+        network = Network(len(components))
+        vector = DistributedVector(components, dim, network)
+        simulated = ZSampler(weight_fn, config, seed=7).sample(vector, 20)
+        simulated_log = network.snapshot()
+
+        coordinator, _ = loopback_coordinator(dim, components)
+        remote = coordinator.sample(weight_fn, 20, config=config, seed=7)
+        remote_log = coordinator.network.snapshot()
+
+        assert_same_draws(simulated, remote)
+        assert remote_log.words_by_tag == simulated_log.words_by_tag
+        assert remote_log.total_words == simulated_log.total_words
+
+    def test_wire_bytes_are_eight_per_word(self):
+        dim, components = make_components(seed=1)
+        coordinator, _ = loopback_coordinator(dim, components)
+        coordinator.sample(weight_fn, 10, config=make_config(), seed=3)
+        ledger = coordinator.verify_wire_accounting()
+        log = coordinator.network.snapshot()
+        assert coordinator.network.total_data_bytes == BYTES_PER_WORD * log.total_words
+        for tag, words in log.words_by_tag.items():
+            assert ledger[tag] == BYTES_PER_WORD * words
+        # Control traffic exists but is tracked separately from the data plane.
+        assert coordinator.network.control_overhead_bytes > 0
+
+    def test_z_heavy_hitters_matches_simulation(self):
+        dim, components = make_components(seed=9)
+        params = ZHeavyHittersParams(b=8, repetitions=2, num_buckets=8)
+
+        network = Network(len(components))
+        vector = DistributedVector(components, dim, network)
+        simulated = z_heavy_hitters(vector, params, seed=11)
+
+        coordinator, _ = loopback_coordinator(dim, components)
+        remote = coordinator.z_heavy_hitters(params, seed=11)
+        np.testing.assert_array_equal(simulated, remote)
+        assert coordinator.network.snapshot().words_by_tag == network.snapshot().words_by_tag
+        coordinator.verify_wire_accounting()
+
+    def test_estimate_matches_simulation(self):
+        dim, components = make_components(seed=13)
+        config = make_config()
+
+        network = Network(len(components))
+        vector = DistributedVector(components, dim, network)
+        from repro.sketch.z_estimator import ZEstimator
+
+        estimator = ZEstimator(
+            weight_fn,
+            epsilon=config.epsilon,
+            hh_params=config.hh_params,
+            max_levels=config.max_levels,
+            min_level_count=config.min_level_count,
+            seed=21,
+        )
+        simulated = estimator.estimate(vector)
+
+        coordinator, _ = loopback_coordinator(dim, components)
+        remote = coordinator.estimate(weight_fn, config=config, seed=21)
+        assert remote.z_total == simulated.z_total
+        assert remote.class_sizes == simulated.class_sizes
+        assert remote.words_used == simulated.words_used
+
+    def test_naive_engine_is_rejected(self):
+        from repro.sketch import engine
+
+        dim, components = make_components(seed=2, servers=2)
+        coordinator, _ = loopback_coordinator(dim, components)
+        with engine.naive_reference():
+            with pytest.raises(RuntimeError, match="fused"):
+                coordinator.sample(weight_fn, 5, seed=0)
+
+    def test_dimension_mismatch_handshake(self):
+        dim, components = make_components(seed=3, servers=2)
+        worker = WorkerService(*components[1], dim * 2)
+        with pytest.raises(DimensionMismatchError, match="dimension"):
+            CoordinatorService(
+                [LoopbackTransport(worker.handle_frame)], dim, components[0]
+            )
+
+    def test_worker_error_surfaces(self):
+        dim, components = make_components(seed=4, servers=2)
+        coordinator, _ = loopback_coordinator(dim, components)
+        with pytest.raises(WorkerProtocolError, match="unknown op"):
+            _rpc(coordinator.network, coordinator._transports[0], "bogus")
+
+    def test_sketch_without_subsample_cache_fails_cleanly(self):
+        dim, components = make_components(seed=5, servers=2)
+        coordinator, _ = loopback_coordinator(dim, components)
+        vector = coordinator.vector()
+        vector._restriction = (123, 10)
+        from repro.sketch.countsketch import BatchedCountSketch, CountSketch
+        from repro.sketch.hashing import PairwiseHash
+
+        batched = BatchedCountSketch([CountSketch(3, 8, dim, seed=0)])
+        with pytest.raises(WorkerProtocolError, match="subsample"):
+            vector.batched_sketch_tables(
+                batched,
+                np.zeros(dim, dtype=np.int64),
+                bucket_hash=PairwiseHash(1, seed=0),
+                nonempty_buckets=[0],
+                tag="t",
+            )
+
+    def test_remote_vector_guards(self):
+        dim, components = make_components(seed=6, servers=2)
+        coordinator, _ = loopback_coordinator(dim, components)
+        vector = coordinator.vector()
+        with pytest.raises(NotImplementedError):
+            vector.local_component(1)
+        with pytest.raises(NotImplementedError):
+            vector.restrict(lambda idx: idx % 2 == 0)
+        with pytest.raises(NotImplementedError):
+            vector.support_size()
+        # Server 0's own component stays accessible.
+        idx, _ = vector.local_component(0)
+        assert idx.size == components[0][0].size
+
+    def test_collect_on_restricted_clone_raises(self):
+        from repro.sketch.hashing import SubsampleHash
+
+        dim, components = make_components(seed=7, servers=2)
+        coordinator, _ = loopback_coordinator(dim, components)
+        vector = coordinator.vector()
+        restrictor = vector.subsample_restrictor(
+            SubsampleHash(domain_scale=dim, seed=0), tag="t"
+        )
+        restricted = restrictor.restrict(1)
+        with pytest.raises(NotImplementedError, match="base vector"):
+            restricted.collect(np.arange(3))
+        # The base vector still collects normally.
+        assert vector.collect(np.arange(3), tag="t:verify").shape == (3,)
+
+
+class TestTransportNetworkAudit:
+    def test_mismatch_raises(self):
+        network = TransportNetwork(2)
+        network.charge(0, 1, 10, tag="seeds")
+        network.record_frame([("seeds", 72)], overhead_bytes=5)
+        with pytest.raises(WireAccountingError, match="seeds"):
+            network.verify_wire_accounting()
+
+    def test_untransported_tag_raises(self):
+        network = TransportNetwork(2)
+        network.charge(0, 1, 3, tag="seeds")
+        with pytest.raises(WireAccountingError):
+            network.verify_wire_accounting()
+
+    def test_reset_clears_ledger(self):
+        network = TransportNetwork(2)
+        network.record_frame([("t", 8)], overhead_bytes=2)
+        network.reset()
+        assert network.total_data_bytes == 0
+        assert network.control_overhead_bytes == 0
+        network.verify_wire_accounting()
+
+
+class TestTcpTransport:
+    def test_tcp_run_matches_simulation_and_shuts_down(self):
+        dim, components = make_components(seed=8, servers=3, support=300)
+        config = make_config()
+
+        network = Network(len(components))
+        vector = DistributedVector(components, dim, network)
+        simulated = ZSampler(weight_fn, config, seed=17).sample(vector, 8)
+
+        workers = [WorkerService(idx, val, dim) for idx, val in components[1:]]
+        servers = [
+            WorkerServer(
+                worker.handle_frame,
+                stop_check=lambda worker=worker: worker.shutdown_requested,
+            )
+            for worker in workers
+        ]
+        transports = []
+        try:
+            for server in servers:
+                host, port = server.start()
+                transports.append(TcpTransport(host, port, timeout=30.0))
+            coordinator = CoordinatorService(transports, dim, components[0])
+            remote = coordinator.sample(weight_fn, 8, config=config, seed=17)
+            assert_same_draws(simulated, remote)
+            assert (
+                coordinator.network.snapshot().words_by_tag
+                == network.snapshot().words_by_tag
+            )
+            coordinator.verify_wire_accounting()
+            coordinator.shutdown_workers()
+            for server in servers:
+                server.wait(timeout=10.0)
+            coordinator.close()
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_connection_refused(self):
+        with pytest.raises(OSError):
+            TcpTransport("127.0.0.1", 1, timeout=2.0)

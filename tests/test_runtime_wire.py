@@ -1,0 +1,491 @@
+"""Wire codec + mergeable sketch state: round trips, word parity, merge laws."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.errors import SketchCompatibilityError, WireFormatError
+from repro.distributed.message import Message, payload_word_count
+from repro.distributed.network import BYTES_PER_WORD, Network
+from repro.distributed.vector import DistributedVector
+from repro.runtime import wire
+from repro.runtime.state import (
+    BatchedSketchState,
+    CountSketchState,
+    HeavyHitterSummary,
+    ZEstimateState,
+)
+from repro.sketch.countsketch import BatchedCountSketch, CountSketch
+from repro.sketch.z_estimator import ZEstimator
+from repro.sketch.z_heavy_hitters import ZHeavyHittersParams
+
+
+def roundtrip(payload):
+    return wire.from_bytes(wire.to_bytes(payload))
+
+
+def assert_payload_equal(actual, expected):
+    """Deep equality that understands numpy arrays and scipy sparse."""
+    if isinstance(expected, np.ndarray):
+        assert isinstance(actual, np.ndarray)
+        assert actual.dtype == expected.dtype
+        assert actual.shape == expected.shape
+        np.testing.assert_array_equal(actual, expected)
+        return
+    if sparse.issparse(expected):
+        assert sparse.issparse(actual)
+        assert actual.format == expected.format
+        assert actual.shape == expected.shape
+        assert (actual != expected).nnz == 0
+        return
+    if isinstance(expected, dict):
+        assert set(actual) == set(expected)
+        for key in expected:
+            assert_payload_equal(actual[key], expected[key])
+        return
+    if isinstance(expected, (list, tuple)):
+        assert type(actual) is type(expected)
+        assert len(actual) == len(expected)
+        for a, e in zip(actual, expected):
+            assert_payload_equal(a, e)
+        return
+    if isinstance(expected, np.generic):
+        assert isinstance(actual, np.generic)
+        assert actual.dtype == expected.dtype
+        assert actual == expected
+        return
+    assert type(actual) is type(expected)
+    assert actual == expected
+
+
+SCALARS = [
+    None,
+    True,
+    False,
+    0,
+    -17,
+    2**62,
+    -(2**62),
+    3.25,
+    float("inf"),
+    np.float64(1.5),
+    np.float32(0.25),
+    np.int64(-9),
+    np.int32(7),
+    np.uint64(2**63),
+    np.int8(-4),
+    np.bool_(True),
+    "",
+    "abc",
+    "exactly-8",
+    "a longer ascii string crossing several words",
+]
+
+
+class TestPayloadRoundTrip:
+    @pytest.mark.parametrize("payload", SCALARS, ids=[repr(s) for s in SCALARS])
+    def test_scalars(self, payload):
+        assert_payload_equal(roundtrip(payload), payload)
+
+    @pytest.mark.parametrize(
+        "dtype",
+        [np.float64, np.float32, np.int64, np.int32, np.int16, np.int8,
+         np.uint64, np.uint32, np.uint16, np.uint8, np.bool_],
+    )
+    def test_array_dtypes(self, dtype):
+        rng = np.random.default_rng(3)
+        if np.dtype(dtype) == np.bool_:
+            array = rng.random(37) < 0.5
+        elif np.dtype(dtype).kind == "f":
+            array = rng.normal(size=37).astype(dtype)
+        else:
+            info = np.iinfo(dtype)
+            array = rng.integers(info.min, info.max, size=37, dtype=dtype, endpoint=True)
+        assert_payload_equal(roundtrip(array), array)
+
+    def test_array_shapes(self):
+        for shape in [(0,), (), (3, 4), (2, 3, 4)]:
+            array = np.arange(int(np.prod(shape)), dtype=np.int64).reshape(shape)
+            assert_payload_equal(roundtrip(array), array)
+
+    def test_uint64_full_range(self):
+        array = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        assert_payload_equal(roundtrip(array), array)
+
+    @pytest.mark.parametrize("fmt", ["csr", "csc", "coo"])
+    def test_sparse(self, fmt):
+        matrix = sparse.random(13, 9, density=0.3, random_state=5, format=fmt)
+        assert_payload_equal(roundtrip(matrix), matrix)
+
+    def test_containers(self):
+        payload = {
+            "arrays": [np.arange(4), np.eye(2)],
+            "tuple": (1, 2.0, "three", None),
+            "nested": {"inner": {7: np.int64(7)}},
+            3: "int keys work",
+        }
+        assert_payload_equal(roundtrip(payload), payload)
+        assert roundtrip({1, 2, 3}) == {1, 2, 3}
+        assert roundtrip(frozenset({"a", "b"})) == frozenset({"a", "b"})
+
+    def test_message(self):
+        message = Message(
+            sender=3, receiver=0, payload=np.arange(5, dtype=float), tag="tables"
+        )
+        decoded = roundtrip(message)
+        assert decoded.sender == 3 and decoded.receiver == 0
+        assert decoded.tag == "tables"
+        assert decoded.words == message.words
+        np.testing.assert_array_equal(decoded.payload, message.payload)
+
+    def test_charge_message_preserves_words(self):
+        message = Message(sender=0, receiver=2, payload=None, tag="seeds", words=12)
+        decoded = roundtrip(message)
+        assert decoded.payload is None and decoded.words == 12
+
+    def test_randomized_payloads(self):
+        rng = np.random.default_rng(11)
+        for trial in range(25):
+            payload = {
+                "idx": rng.integers(0, 1000, size=rng.integers(0, 50)),
+                "val": rng.normal(size=rng.integers(0, 50)).astype(
+                    rng.choice([np.float64, np.float32])
+                ),
+                "scalar": float(rng.normal()),
+                "trial": int(trial),
+            }
+            assert_payload_equal(roundtrip(payload), payload)
+
+
+class TestWordParity:
+    """The wire data section is exactly 8 bytes per accounted word."""
+
+    @pytest.mark.parametrize("payload", SCALARS, ids=[repr(s) for s in SCALARS])
+    def test_scalar_words(self, payload):
+        assert wire.wire_word_count(payload) == payload_word_count(payload)
+        assert wire.payload_data_bytes(payload) == BYTES_PER_WORD * payload_word_count(payload)
+
+    def test_structured_words(self):
+        rng = np.random.default_rng(2)
+        payloads = [
+            rng.normal(size=(5, 7)),
+            rng.integers(0, 100, size=33),
+            sparse.random(20, 10, density=0.2, random_state=1, format="csr"),
+            {"key": np.arange(6), "other": [1.0, 2.0, (3, 4)]},
+            [np.int8(1), np.arange(3, dtype=np.int8)],
+        ]
+        for payload in payloads:
+            words = payload_word_count(payload)
+            assert wire.wire_word_count(payload) == words
+            assert wire.payload_data_bytes(payload) == BYTES_PER_WORD * words
+
+    def test_message_words_cover_payload(self):
+        message = Message(sender=1, receiver=0, payload=np.arange(9), tag="t")
+        assert wire.wire_word_count(message) == 9
+
+
+class TestWireErrors:
+    def test_bad_magic(self):
+        with pytest.raises(WireFormatError, match="magic"):
+            wire.from_bytes(b"XXXX" + wire.to_bytes(1)[4:])
+
+    def test_bad_version(self):
+        buf = bytearray(wire.to_bytes(1))
+        buf[4] = 99
+        with pytest.raises(WireFormatError, match="version"):
+            wire.from_bytes(bytes(buf))
+
+    def test_trailing_bytes(self):
+        with pytest.raises(WireFormatError, match="trailing"):
+            wire.from_bytes(wire.to_bytes(1) + b"\x00")
+
+    def test_truncated(self):
+        with pytest.raises(WireFormatError, match="truncated"):
+            wire.from_bytes(wire.to_bytes(np.arange(100))[:-8])
+
+    def test_non_ascii_string(self):
+        with pytest.raises(WireFormatError, match="ASCII"):
+            wire.to_bytes("héllo")
+
+    def test_oversized_int(self):
+        with pytest.raises(WireFormatError, match="64-bit"):
+            wire.to_bytes(2**80)
+
+    def test_unsupported_type(self):
+        with pytest.raises(WireFormatError, match="cannot encode"):
+            wire.to_bytes(object())
+
+    def test_payload_is_not_a_frame(self):
+        with pytest.raises(WireFormatError, match="kind"):
+            wire.decode_frame(wire.to_bytes(1))
+
+
+class TestFrames:
+    def test_roundtrip_and_sections(self):
+        table = np.arange(12, dtype=float).reshape(3, 4)
+        query = np.arange(7, dtype=np.int64)
+        buf, sections, overhead = wire.encode_frame_with_stats(
+            "sketch",
+            {"depth": 3, "nested": [1, 2]},
+            [("hh:tables", table), (None, query), ("hh:seeds", np.arange(6))],
+        )
+        frame = wire.decode_frame(buf)
+        assert frame.op == "sketch"
+        assert frame.meta["depth"] == 3
+        assert [tag for tag, _ in frame.entries] == ["hh:tables", None, "hh:seeds"]
+        assert_payload_equal(frame.entry(0), table)
+        assert_payload_equal(frame.entry(1), query)
+        # Tagged sections carry exactly 8 bytes per payload word; the
+        # untagged control entry and all framing land in the overhead.
+        assert frame.data_sections == [("hh:tables", 96), ("hh:seeds", 48)]
+        assert sections == frame.data_sections
+        assert frame.data_bytes == 144
+        assert frame.total_bytes == len(buf)
+        assert frame.overhead_bytes == overhead == len(buf) - 144
+
+    def test_empty_frame(self):
+        frame = wire.decode_frame(wire.encode_frame("ping"))
+        assert frame.op == "ping" and frame.meta == {} and frame.entries == []
+
+
+def _integer_component(rng, domain, size):
+    idx = np.sort(rng.choice(domain, size=size, replace=False)).astype(np.int64)
+    val = rng.integers(-50, 51, size=size).astype(float)
+    return idx, val
+
+
+class TestCountSketchState:
+    DOMAIN = 600
+
+    def make_sketch(self, seed=0):
+        return CountSketch(depth=5, width=32, domain=self.DOMAIN, seed=seed)
+
+    def test_export_roundtrip_randomized(self):
+        rng = np.random.default_rng(0)
+        for trial in range(10):
+            sketch = self.make_sketch(seed=trial)
+            idx, val = _integer_component(rng, self.DOMAIN, 80)
+            state = sketch.export_state(sketch.sketch(idx, val))
+            decoded = CountSketchState.from_bytes(state.to_bytes())
+            assert decoded.equals(state)
+
+    def test_merge_equals_concatenated_sketch(self):
+        """Disjoint shards merge bit-identically to one sketching pass."""
+        rng = np.random.default_rng(1)
+        sketch = self.make_sketch()
+        coords = rng.permutation(self.DOMAIN)[:300]
+        values = rng.integers(-50, 51, size=300).astype(float)
+        shards = [(coords[:100], values[:100]), (coords[100:180], values[100:180]),
+                  (coords[180:], values[180:])]
+        states = [sketch.export_state(sketch.sketch(i, v)) for i, v in shards]
+        merged = CountSketchState.merge_all(states)
+        concatenated = sketch.sketch(
+            np.concatenate([i for i, _ in shards]),
+            np.concatenate([v for _, v in shards]),
+        )
+        np.testing.assert_array_equal(merged.table, concatenated)
+
+    def test_merge_associative_and_commutative(self):
+        rng = np.random.default_rng(2)
+        sketch = self.make_sketch()
+        states = [
+            sketch.export_state(sketch.sketch(*_integer_component(rng, self.DOMAIN, 60)))
+            for _ in range(3)
+        ]
+        a, b, c = states
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        np.testing.assert_array_equal(left.table, right.table)
+        np.testing.assert_array_equal(a.merge(b).table, b.merge(a).table)
+
+    def test_mismatched_coefficients_raise(self):
+        state_a = self.make_sketch(seed=1).export_state()
+        state_b = self.make_sketch(seed=2).export_state()
+        with pytest.raises(SketchCompatibilityError, match="coefficients"):
+            state_a.merge(state_b)
+
+    def test_mismatched_geometry_raises(self):
+        state_a = self.make_sketch().export_state()
+        other = CountSketch(depth=5, width=64, domain=self.DOMAIN, seed=0)
+        with pytest.raises(SketchCompatibilityError, match="geometries"):
+            state_a.merge(other.export_state())
+
+    def test_merge_wrong_type_raises(self):
+        with pytest.raises(SketchCompatibilityError):
+            self.make_sketch().export_state().merge("not a state")
+
+    def test_from_coefficients_is_bit_identical(self):
+        rng = np.random.default_rng(3)
+        original = self.make_sketch(seed=9)
+        rebuilt = CountSketch.from_coefficients(
+            original._bucket_coeffs.astype(np.int64),
+            original._sign_coeffs.astype(np.int64),
+            original.domain,
+            original.width,
+        )
+        idx, val = _integer_component(rng, self.DOMAIN, 90)
+        table = original.sketch(idx, val)
+        np.testing.assert_array_equal(rebuilt.sketch(idx, val), table)
+        query = np.arange(0, self.DOMAIN, 7, dtype=np.int64)
+        np.testing.assert_array_equal(
+            rebuilt.estimate(table, query), original.estimate(table, query)
+        )
+        assert rebuilt.seed_word_count() == original.seed_word_count()
+
+    def test_state_word_count_feeds_payload_accounting(self):
+        state = self.make_sketch().export_state()
+        assert payload_word_count(state) == state.word_count()
+
+
+class TestBatchedSketchState:
+    DOMAIN = 400
+
+    def make_batched(self, seed=0):
+        return BatchedCountSketch(
+            [CountSketch(depth=3, width=16, domain=self.DOMAIN, seed=seed * 100 + b)
+             for b in range(6)]
+        )
+
+    def test_roundtrip_and_member(self):
+        rng = np.random.default_rng(4)
+        batched = self.make_batched()
+        idx, val = _integer_component(rng, self.DOMAIN, 70)
+        assignment = rng.integers(0, 6, size=self.DOMAIN)
+        tables = batched.sketch_assigned(idx, val, assignment[idx])
+        state = batched.export_state(tables)
+        decoded = BatchedSketchState.from_bytes(state.to_bytes())
+        assert decoded.equals(state)
+        member = state.member_state(2)
+        np.testing.assert_array_equal(member.table, tables[2])
+        assert member.make_sketch().width == batched.width
+
+    def test_merge_equals_concatenated(self):
+        rng = np.random.default_rng(5)
+        batched = self.make_batched()
+        assignment = rng.integers(0, 6, size=self.DOMAIN)
+        shard_a = _integer_component(rng, self.DOMAIN, 60)
+        shard_b = _integer_component(rng, self.DOMAIN, 60)
+        state_a = batched.export_state(
+            batched.sketch_assigned(*shard_a, assignment[shard_a[0]])
+        )
+        state_b = batched.export_state(
+            batched.sketch_assigned(*shard_b, assignment[shard_b[0]])
+        )
+        merged = state_a.merge(state_b)
+        concat_idx = np.concatenate([shard_a[0], shard_b[0]])
+        concat_val = np.concatenate([shard_a[1], shard_b[1]])
+        np.testing.assert_array_equal(
+            merged.tables,
+            batched.sketch_assigned(concat_idx, concat_val, assignment[concat_idx]),
+        )
+
+    def test_mismatch_raises(self):
+        with pytest.raises(SketchCompatibilityError):
+            self.make_batched(seed=0).export_state().merge(
+                self.make_batched(seed=1).export_state()
+            )
+
+    def test_from_coefficients_rebuilds_family(self):
+        batched = self.make_batched()
+        rebuilt = BatchedCountSketch.from_coefficients(
+            batched._bucket_coeffs.astype(np.int64),
+            batched._sign_coeffs.astype(np.int64),
+            batched.domain,
+            batched.width,
+        )
+        rng = np.random.default_rng(6)
+        idx, val = _integer_component(rng, self.DOMAIN, 50)
+        assignment = rng.integers(0, 6, size=self.DOMAIN)
+        np.testing.assert_array_equal(
+            rebuilt.sketch_assigned(idx, val, assignment[idx]),
+            batched.sketch_assigned(idx, val, assignment[idx]),
+        )
+
+
+class TestHeavyHitterSummary:
+    DOMAIN = 500
+
+    def test_shard_merge_matches_concatenated_extraction(self):
+        rng = np.random.default_rng(7)
+        sketch = CountSketch(depth=5, width=64, domain=self.DOMAIN, seed=3)
+        dense = np.zeros(self.DOMAIN)
+        heavy = rng.choice(self.DOMAIN, size=6, replace=False)
+        dense[heavy] = 500.0
+        noise_idx = rng.choice(self.DOMAIN, size=200, replace=False)
+        dense[noise_idx] += rng.integers(-3, 4, size=200)
+        support = np.flatnonzero(dense)
+        values = dense[support]
+        # Two disjoint time slices of the same stream.
+        half = support.size // 2
+        shards = [(support[:half], values[:half]), (support[half:], values[half:])]
+        summaries = [
+            HeavyHitterSummary.build(sketch, sketch.sketch(i, v), b=16.0)
+            for i, v in shards
+        ]
+        merged = summaries[0].merge(summaries[1])
+        direct = HeavyHitterSummary.build(
+            sketch, sketch.sketch(support, values), b=16.0
+        )
+        np.testing.assert_array_equal(merged.state.table, direct.state.table)
+        assert merged.f2_estimate == direct.f2_estimate
+        # Exact candidate parity comes from re-extracting over the domain.
+        np.testing.assert_array_equal(
+            merged.extract().candidates, direct.candidates
+        )
+        assert set(heavy) <= set(direct.candidates.tolist())
+
+    def test_roundtrip(self):
+        sketch = CountSketch(depth=3, width=16, domain=100, seed=1)
+        idx = np.arange(0, 100, 5, dtype=np.int64)
+        summary = HeavyHitterSummary.build(
+            sketch, sketch.sketch(idx, np.ones(idx.size) * 9), b=4.0
+        )
+        decoded = HeavyHitterSummary.from_bytes(summary.to_bytes())
+        assert decoded.equals(summary)
+
+    def test_threshold_mismatch_raises(self):
+        sketch = CountSketch(depth=3, width=16, domain=100, seed=1)
+        summary = HeavyHitterSummary.build(sketch, sketch.empty_table(), b=4.0)
+        other = HeavyHitterSummary.build(sketch, sketch.empty_table(), b=8.0)
+        with pytest.raises(SketchCompatibilityError, match="b="):
+            summary.merge(other)
+
+
+class TestZEstimateState:
+    def test_export_roundtrip(self):
+        rng = np.random.default_rng(8)
+        dim = 800
+        components = []
+        for server in range(3):
+            idx = np.sort(rng.choice(dim, size=150, replace=False)).astype(np.int64)
+            val = rng.integers(-4, 5, size=150).astype(float)
+            if server == 0:
+                val[:5] = 300.0
+            components.append((idx, val))
+        vector = DistributedVector(components, dim, Network(3))
+        estimator = ZEstimator(
+            np.abs,
+            hh_params=ZHeavyHittersParams(b=8, repetitions=1, num_buckets=8),
+            max_levels=4,
+            seed=5,
+        )
+        estimate = estimator.estimate(vector)
+        state = estimate.export_state()
+        decoded = ZEstimateState.from_bytes(state.to_bytes())
+        assert decoded.equals(state)
+        rebuilt = decoded.to_estimate()
+        assert rebuilt.z_total == estimate.z_total
+        assert rebuilt.class_sizes == estimate.class_sizes
+        assert rebuilt.member_values == estimate.member_values
+        assert set(rebuilt.class_members) == set(estimate.class_members)
+        for klass in estimate.class_members:
+            np.testing.assert_array_equal(
+                rebuilt.class_members[klass], estimate.class_members[klass]
+            )
+        # The rebuilt subsample hash evaluates identically.
+        keys = np.arange(50, dtype=np.int64)
+        np.testing.assert_array_equal(
+            rebuilt.subsample_hash(keys), estimate.subsample_hash(keys)
+        )
