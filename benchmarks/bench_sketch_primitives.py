@@ -117,8 +117,10 @@ try:
             "vector_collect",
             "vector_restrict",
             "vector_restrict_by_masks",
+            "runtime_pipelined_sample",
             "sampler_sample_rows",
         }
+        assert payload["results"]["runtime_pipelined_sample"]["bit_identical"]
         # Only the large CountSketch cases have enough margin (~10x) to
         # assert a ratio without flaking on loaded machines.
         assert payload["results"]["countsketch_sketch"]["speedup"] > 1.0
@@ -204,6 +206,64 @@ def _zhh_vector(
             values[np.isin(idx, heavy)] = 100.0
         components.append((idx, values))
     return DistributedVector(components, dim, Network(servers))
+
+
+def _runtime_latency_entry(
+    *, delay: float = 0.004, servers: int = 4, draws: int = 8, repeats: int = 2
+) -> dict:
+    """Sequential vs pipelined coordinator over a simulated-latency transport."""
+    import numpy as _np
+
+    from repro.experiments.workloads import runtime_vector_components
+    from repro.runtime.service import CoordinatorService, WorkerService
+    from repro.runtime.transport import LatencyTransport, LoopbackTransport
+    from repro.sketch.z_sampler import ZSamplerConfig as _Config
+    from repro.sketch.z_heavy_hitters import ZHeavyHittersParams as _HHParams
+
+    dimension, support = 20_000, 2_000
+    components = runtime_vector_components(servers, dimension, support, seed=0)
+    config = _Config(
+        hh_params=_HHParams(b=8, repetitions=1, num_buckets=8), max_levels=5
+    )
+
+    def run(concurrency):
+        workers = [WorkerService(idx, val, dimension) for idx, val in components[1:]]
+        transports = [
+            LatencyTransport(LoopbackTransport(w.handle_frame), delay)
+            for w in workers
+        ]
+        coordinator = CoordinatorService(
+            transports, dimension, components[0], concurrency=concurrency
+        )
+        start = time.perf_counter()
+        result = coordinator.sample(_np.abs, draws, config=config, seed=3)
+        elapsed = time.perf_counter() - start
+        coordinator.verify_wire_accounting()
+        words = coordinator.network.snapshot().words_by_tag
+        coordinator.close()
+        return result, words, elapsed
+
+    # Best-of timing, with bit-identity checks on every run.
+    seq_runs = [run(1) for _ in range(repeats)]
+    pipe_runs = [run(None) for _ in range(repeats)]
+    reference_draws, reference_words, _ = seq_runs[0]
+    for result, words, _ in seq_runs + pipe_runs:
+        assert _np.array_equal(result.indices, reference_draws.indices)
+        assert _np.array_equal(result.probabilities, reference_draws.probabilities)
+        assert words == reference_words
+    sequential = min(elapsed for _, _, elapsed in seq_runs)
+    pipelined = min(elapsed for _, _, elapsed in pipe_runs)
+    return {
+        "dimension": dimension,
+        "support_per_server": support,
+        "servers": servers,
+        "draws": draws,
+        "simulated_one_way_delay_seconds": delay,
+        "sequential_seconds": sequential,
+        "pipelined_seconds": pipelined,
+        "speedup": sequential / pipelined,
+        "bit_identical": True,
+    }
 
 
 def emit_speedup_json(
@@ -340,6 +400,14 @@ def emit_speedup_json(
         ),
     }
 
+    # Runtime coordinator over a simulated-latency transport: the sequential
+    # worker-by-worker schedule pays every worker's round-trip, the
+    # pipelined scatter (PR 4) pays one RTT per wave.  Results and per-tag
+    # accounting are bit-identical (asserted below); only wall-clock moves.
+    results["runtime_pipelined_sample"] = _runtime_latency_entry(
+        delay=0.002 if domain < LARGE_DOMAIN else 0.004
+    )
+
     # End-to-end generalized Z-row-sampler (estimator + draws + gathers).
     config = ZSamplerConfig(
         hh_params=ZHeavyHittersParams(b=16, repetitions=2, num_buckets=8)
@@ -387,6 +455,11 @@ GATED_ENTRIES = (
     "z_heavy_hitters",
 )
 
+#: The pipelined coordinator must beat the sequential schedule by at least
+#: this much on the simulated-latency transport (sleep-overlap, so the
+#: ratio is robust even on a loaded single-core machine).
+PIPELINE_SPEEDUP_FLOOR = 1.5
+
 
 #: Scale of the ``--quick`` CI smoke run (reduced domain, no speedup gate).
 QUICK_DOMAIN = 200_000
@@ -418,7 +491,14 @@ if __name__ == "__main__":
         payload = emit_speedup_json()
     failures = []
     for name, entry in payload["results"].items():
-        if "speedup" in entry:
+        if "sequential_seconds" in entry:
+            print(
+                f"{name}: {entry['speedup']:.1f}x pipelined vs sequential "
+                f"({entry['sequential_seconds']:.3f}s -> "
+                f"{entry['pipelined_seconds']:.3f}s at "
+                f"{entry['simulated_one_way_delay_seconds'] * 1e3:.0f}ms one-way delay)"
+            )
+        elif "speedup" in entry:
             print(
                 f"{name}: {entry['speedup']:.1f}x "
                 f"({entry['naive_seconds']:.3f}s -> {entry['fused_seconds']:.3f}s)"
@@ -434,6 +514,12 @@ if __name__ == "__main__":
             speedup = payload["results"][name]["speedup"]
             if speedup < SPEEDUP_FLOOR:
                 failures.append(f"{name}: {speedup:.2f}x < {SPEEDUP_FLOOR}x")
+        pipeline = payload["results"]["runtime_pipelined_sample"]["speedup"]
+        if pipeline < PIPELINE_SPEEDUP_FLOOR:
+            failures.append(
+                f"runtime_pipelined_sample: {pipeline:.2f}x < "
+                f"{PIPELINE_SPEEDUP_FLOOR}x"
+            )
     if failures:
         print("FUSED ENGINE BELOW SPEEDUP FLOOR: " + "; ".join(failures))
         sys.exit(1)

@@ -64,6 +64,31 @@ class WireAccountingError(ReproError, AssertionError):
     """
 
 
+class WorkerProtocolError(ReproError, RuntimeError):
+    """A worker answered a frame with an error or an unexpected shape.
+
+    Raised by the coordinator-side services of :mod:`repro.runtime.service`
+    when a worker returns an ``error`` frame, a malformed reply (wrong table
+    shape, unmatched request id), or when the transport loses the connection
+    mid-reply.  Also raised worker-side for unknown operations, travelling
+    back to the coordinator as a typed ``error`` frame.
+    """
+
+
+class WorkerTimeoutError(ReproError, TimeoutError):
+    """A worker did not answer a request within its per-request deadline.
+
+    Raised by :class:`repro.runtime.transport.TcpTransport` when a pipelined
+    request's reply does not arrive in time.  The connection is poisoned
+    (closed) when this is raised: a late reply must never be delivered to the
+    next request.  Every protocol operation is idempotent (workers cache by
+    token, sketching and collecting are pure reads), so callers may retry on
+    a fresh connection -- :class:`~repro.runtime.transport.TcpTransport`
+    automates that for *connection* failures via its ``retries`` parameter,
+    while timeouts always surface typed so the caller decides.
+    """
+
+
 class DimensionMismatchError(ReproError, ValueError, IndexError):
     """Servers disagree about the shape/dimension of the shared object.
 

@@ -10,6 +10,7 @@ paper's evaluation.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
@@ -214,6 +215,15 @@ class TransportNetwork(Network):
     simulation never charges) is tracked separately as control overhead and
     deliberately excluded from the word comparison, mirroring how the
     paper's word model ignores protocol headers.
+
+    **Schedule independence.**  Both ledgers are plain sums over per-frame
+    contributions, so the totals -- and :meth:`verify_wire_accounting` --
+    are invariant under any reordering of the same frames.  This is what
+    lets the pipelined coordinator (scatter waves, out-of-order replies)
+    charge *bit-identical* per-tag words and bytes to the sequential
+    worker-by-worker schedule.  :meth:`record_frame` takes a lock so the
+    ledger also stays exact if frames are ever recorded from concurrent
+    threads.
     """
 
     def __init__(self, num_servers: int, *, keep_messages: bool = False) -> None:
@@ -221,13 +231,15 @@ class TransportNetwork(Network):
         self._data_bytes_by_tag: Dict[str, int] = defaultdict(int)
         self._overhead_bytes = 0
         self._frames = 0
+        self._ledger_lock = threading.Lock()
 
     def record_frame(self, data_sections, overhead_bytes: int) -> None:
         """Record one transported frame's tagged data sections and overhead."""
-        for tag, nbytes in data_sections:
-            self._data_bytes_by_tag[tag] += int(nbytes)
-        self._overhead_bytes += int(overhead_bytes)
-        self._frames += 1
+        with self._ledger_lock:
+            for tag, nbytes in data_sections:
+                self._data_bytes_by_tag[tag] += int(nbytes)
+            self._overhead_bytes += int(overhead_bytes)
+            self._frames += 1
 
     @property
     def data_bytes_by_tag(self) -> Dict[str, int]:

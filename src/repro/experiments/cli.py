@@ -74,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--server", type=int, required=True,
         help="this worker's server index (1..num-servers-1; 0 is the coordinator)",
     )
+    serve.add_argument(
+        "--concurrency", type=int, default=8,
+        help="requests served in parallel (per worker, across all connections)",
+    )
     _add_runtime_workload_args(serve)
 
     submit = subparsers.add_parser(
@@ -99,6 +103,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument(
         "--shutdown", action="store_true", help="stop the workers afterwards"
+    )
+    submit.add_argument(
+        "--concurrency", type=int, default=None,
+        help="worker round-trips kept in flight per scatter wave "
+        "(default: all workers; 1 = sequential worker-by-worker schedule; "
+        "results and accounting are identical under every setting)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request timeout in seconds (a late worker surfaces a "
+        "typed WorkerTimeoutError and poisons its connection)",
+    )
+    submit.add_argument(
+        "--retries", type=int, default=0,
+        help="reconnect-and-resend attempts after a connection failure "
+        "(operations are idempotent, so resending is safe)",
     )
     _add_runtime_workload_args(submit)
     return parser
@@ -172,11 +192,13 @@ def _run_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         stop_check=lambda: worker.shutdown_requested,
+        concurrency=args.concurrency,
     )
     host, port = server.start()
     print(
         f"serving server {args.server}/{args.num_servers - 1} "
-        f"({indices.size} nonzeros of dimension {args.dimension}) on {host}:{port}",
+        f"({indices.size} nonzeros of dimension {args.dimension}) on {host}:{port} "
+        f"(concurrency {args.concurrency})",
         flush=True,
     )
     try:
@@ -206,8 +228,15 @@ def _run_submit(args: argparse.Namespace) -> int:
     transports = []
     for address in args.workers:
         host, _, port = address.rpartition(":")
-        transports.append(TcpTransport(host or "127.0.0.1", int(port)))
-    coordinator = CoordinatorService(transports, args.dimension, components[0])
+        transports.append(
+            TcpTransport(
+                host or "127.0.0.1", int(port),
+                timeout=args.timeout, retries=args.retries,
+            )
+        )
+    coordinator = CoordinatorService(
+        transports, args.dimension, components[0], concurrency=args.concurrency
+    )
     try:
         draws = coordinator.sample(
             weight_fn, args.draws, seed=args.sample_seed
@@ -215,7 +244,8 @@ def _run_submit(args: argparse.Namespace) -> int:
         log = coordinator.network.snapshot()
         coordinator.verify_wire_accounting()
         lines = [
-            f"drew {draws.indices.size} coordinates (Zhat={draws.estimate.z_total:.6g})",
+            f"drew {draws.indices.size} coordinates (Zhat={draws.estimate.z_total:.6g}) "
+            f"[scatter concurrency {coordinator.concurrency}]",
             "  draws: " + " ".join(str(i) for i in draws.indices.tolist()),
             f"  communication: {log.total_words} words = {log.total_bytes} bytes "
             f"over {coordinator.network.frames_transported} frames "

@@ -20,16 +20,20 @@ from repro.runtime.state import (
     ZEstimateState,
 )
 from repro.runtime.transport import (
+    LatencyTransport,
     LoopbackTransport,
     TcpTransport,
     Transport,
     WorkerServer,
+    scatter_requests,
 )
 from repro.runtime.wire import (
     WIRE_VERSION,
     decode_frame,
     encode_frame,
+    frame_request_id,
     from_bytes,
+    stamp_request_id,
     to_bytes,
     wire_word_count,
 )
@@ -41,15 +45,19 @@ __all__ = [
     "wire_word_count",
     "encode_frame",
     "decode_frame",
+    "frame_request_id",
+    "stamp_request_id",
     "CountSketchState",
     "BatchedSketchState",
     "HeavyHitterSummary",
     "ZEstimateState",
     "Transport",
     "LoopbackTransport",
+    "LatencyTransport",
     "TcpTransport",
     "WorkerServer",
     "WorkerService",
     "CoordinatorService",
     "RemoteVector",
+    "scatter_requests",
 ]

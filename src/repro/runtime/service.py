@@ -29,15 +29,19 @@ per-tag word counts -- and the transport's data plane carries exactly
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence, Tuple
+import threading
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.errors import DimensionMismatchError, ReproError
+from repro.core.errors import DimensionMismatchError, WorkerProtocolError
 from repro.distributed.network import TransportNetwork
 from repro.distributed.vector import DistributedVector, lookup_sorted
 from repro.runtime import wire
-from repro.runtime.transport import Transport
+from repro.runtime.transport import Transport, scatter_requests
 from repro.sketch import engine
 from repro.sketch.countsketch import batched_sketch_uncached
 from repro.sketch.hashing import KWiseHash, SubsampleHash
@@ -47,8 +51,13 @@ from repro.sketch.z_sampler import SampleDraws, ZSampler, ZSamplerConfig
 from repro.utils.rng import RandomState
 
 
-class WorkerProtocolError(ReproError, RuntimeError):
-    """A worker answered a frame with an error or an unexpected shape."""
+def _check_reply(reply: wire.DecodedFrame, op: str, worker: int):
+    if reply.op == "error":
+        raise WorkerProtocolError(
+            f"worker {worker + 1} failed op {op!r}: "
+            f"{reply.meta.get('type', 'Error')}: {reply.meta.get('message', '')}"
+        )
+    return reply
 
 
 def _rpc_encoded(
@@ -58,23 +67,56 @@ def _rpc_encoded(
     frame: bytes,
     sections,
     overhead: int,
+    worker: int = 0,
 ):
     """Ship one pre-encoded frame and account both directions."""
     network.record_frame(sections, overhead)
     reply = wire.decode_frame(transport.request(frame))
     network.record_frame(reply.data_sections, reply.overhead_bytes)
-    if reply.op == "error":
-        raise WorkerProtocolError(
-            f"worker failed op {op!r}: {reply.meta.get('type', 'Error')}: "
-            f"{reply.meta.get('message', '')}"
-        )
-    return reply
+    return _check_reply(reply, op, worker)
 
 
-def _rpc(network: TransportNetwork, transport: Transport, op: str, meta=None, entries=()):
+def _rpc(
+    network: TransportNetwork,
+    transport: Transport,
+    op: str,
+    meta=None,
+    entries=(),
+    worker: int = 0,
+):
     """One accounted request/reply round-trip with a worker."""
     frame, sections, overhead = wire.encode_frame_with_stats(op, meta, entries)
-    return _rpc_encoded(network, transport, op, frame, sections, overhead)
+    return _rpc_encoded(network, transport, op, frame, sections, overhead, worker)
+
+
+def _rpc_scatter(
+    network: TransportNetwork,
+    transports: Sequence[Transport],
+    op: str,
+    frame: bytes,
+    sections,
+    overhead: int,
+    pool: Optional[ThreadPoolExecutor] = None,
+) -> List[wire.DecodedFrame]:
+    """Ship one broadcast frame to every worker in a single wave.
+
+    With a ``pool`` all round-trips are in flight at once; without one this
+    degrades to the sequential worker-by-worker loop.  Request accounting is
+    recorded up front (the frame is on the wire for every worker before any
+    reply lands) and reply accounting strictly in worker order, so the byte
+    ledger is identical under either schedule -- sums over the same per-frame
+    sections.  Replies are returned in worker order regardless of the order
+    they arrived in.
+    """
+    for _ in transports:
+        network.record_frame(sections, overhead)
+    raw_replies = scatter_requests(transports, frame, pool=pool)
+    replies: List[wire.DecodedFrame] = []
+    for worker, raw in enumerate(raw_replies):
+        reply = wire.decode_frame(raw)
+        network.record_frame(reply.data_sections, reply.overhead_bytes)
+        replies.append(_check_reply(reply, op, worker))
+    return replies
 
 
 # --------------------------------------------------------------------------- #
@@ -86,10 +128,20 @@ class WorkerService:
     The service is transport-agnostic: :meth:`handle_frame` maps one encoded
     request frame to one encoded reply frame, and both the in-memory
     loopback and the TCP server deliver frames to it unchanged.
+
+    :meth:`handle_frame` is **thread-safe**: the component arrays are
+    immutable after construction and the subsample-hash cache is guarded by
+    a lock, so one service instance can serve interleaved requests from many
+    concurrent connections (the TCP server's executor threads) or many
+    loopback coordinators at once.  Cache entries are namespaced by the
+    coordinator's *session* id so concurrent clients with colliding token
+    counters never read each other's cached ``g`` values.
     """
 
-    #: Maximum number of cached subsample-hash value arrays.
+    #: Maximum number of cached subsample-hash value arrays per session.
     MAX_SUBSAMPLE_CACHES = 4
+    #: Maximum number of concurrently cached sessions (LRU-evicted).
+    MAX_SESSIONS = 64
 
     def __init__(
         self,
@@ -116,7 +168,9 @@ class WorkerService:
         self._dimension = int(dimension)
         self._name = name
         self._sorted_idx, self._sorted_val = DistributedVector._sorted_coalesced(idx, val)
-        self._subsample_g: dict[int, np.ndarray] = {}
+        #: session id -> (token -> cached g values); guarded by the lock.
+        self._subsample_g: "OrderedDict[str, Dict[int, np.ndarray]]" = OrderedDict()
+        self._subsample_lock = threading.Lock()
         self.shutdown_requested = False
 
     # ------------------------------------------------------------------ #
@@ -140,11 +194,20 @@ class WorkerService:
         if threshold is None:
             return self._idx, self._val
         token = meta.get("token")
-        g = self._subsample_g.get(token)
+        session = str(meta.get("session", ""))
+        with self._subsample_lock:
+            cache = self._subsample_g.get(session)
+            g = None
+            if cache is not None:
+                # Reads refresh LRU recency too: a session actively issuing
+                # restricted sketches must not be evicted as "least recently
+                # used" just because it stopped *writing* new tokens.
+                self._subsample_g.move_to_end(session)
+                g = cache.get(token)
         if g is None:
             raise WorkerProtocolError(
-                f"no cached subsample values for token {token!r}; "
-                "send a 'subsample' frame first"
+                f"no cached subsample values for token {token!r} in session "
+                f"{session!r}; send a 'subsample' frame first"
             )
         mask = g < int(threshold)
         return self._idx[mask], self._val[mask]
@@ -168,11 +231,21 @@ class WorkerService:
         coefficients = np.asarray(frame.entry(0), dtype=np.int64)
         subsample = SubsampleHash.from_coefficients(int(meta["domain_scale"]), coefficients)
         token = int(meta["token"])
-        if len(self._subsample_g) >= self.MAX_SUBSAMPLE_CACHES:
-            self._subsample_g.pop(next(iter(self._subsample_g)))
-        self._subsample_g[token] = (
+        session = str(meta.get("session", ""))
+        values = (
             subsample(self._idx) if self._idx.size else np.zeros(0, dtype=np.int64)
         )
+        with self._subsample_lock:
+            cache = self._subsample_g.get(session)
+            if cache is None:
+                while len(self._subsample_g) >= self.MAX_SESSIONS:
+                    self._subsample_g.popitem(last=False)
+                cache = self._subsample_g.setdefault(session, {})
+            else:
+                self._subsample_g.move_to_end(session)
+            if len(cache) >= self.MAX_SUBSAMPLE_CACHES:
+                cache.pop(next(iter(cache)))
+            cache[token] = values
         return wire.encode_frame("ack", {"cached": int(self._idx.size)})
 
     def _op_sketch(self, frame) -> bytes:
@@ -251,6 +324,8 @@ class RemoteVector(DistributedVector):
         *,
         restriction: Optional[Tuple[int, int]] = None,
         token_counter: Optional[itertools.count] = None,
+        session: str = "",
+        pool: Optional[ThreadPoolExecutor] = None,
     ) -> None:
         empty = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=float))
         components = [local_component] + [empty] * len(transports)
@@ -258,19 +333,25 @@ class RemoteVector(DistributedVector):
         self._transports = list(transports)
         self._restriction = restriction
         self._token_counter = token_counter if token_counter is not None else itertools.count()
+        self._session = session
+        self._pool = pool
         self._local_g: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
-    def _call(self, worker: int, op: str, meta=None, entries=()):
-        return _rpc(self._network, self._transports[worker], op, meta, entries)
+    def _scatter(self, op: str, frame: bytes, sections, overhead: int):
+        """One broadcast wave to every worker (pipelined when a pool is set)."""
+        return _rpc_scatter(
+            self._network, self._transports, op, frame, sections, overhead,
+            pool=self._pool,
+        )
 
     def _sketch_meta(self) -> dict:
         if self._restriction is None:
-            return {"token": None, "threshold": None}
+            return {"token": None, "threshold": None, "session": self._session}
         token, threshold = self._restriction
-        return {"token": token, "threshold": threshold}
+        return {"token": token, "threshold": threshold, "session": self._session}
 
     # ------------------------------------------------------------------ #
     # seams
@@ -311,14 +392,11 @@ class RemoteVector(DistributedVector):
             (f"{tag}:seeds", np.asarray(bucket_hash.coefficients, dtype=np.int64)),
             (f"{tag}:bucket:seeds", (compact_bucket, compact_sign)),
         ]
-        # The broadcast is identical for every worker: encode it once.
+        # The broadcast is identical for every worker: encode it once, then
+        # scatter it to all workers in one wave (pipelined under the pool).
         frame, sections, overhead = wire.encode_frame_with_stats("sketch", meta, entries)
         expected = (nonempty.size, batched.depth, batched.width)
-        for worker in range(len(self._transports)):
-            reply = _rpc_encoded(
-                self._network, self._transports[worker], "sketch",
-                frame, sections, overhead,
-            )
+        for worker, reply in enumerate(self._scatter("sketch", frame, sections, overhead)):
             compact_stack = np.asarray(reply.entry(0), dtype=float)
             if compact_stack.shape != expected:
                 raise WorkerProtocolError(
@@ -333,15 +411,15 @@ class RemoteVector(DistributedVector):
     def subsample_restrictor(self, subsample, *, tag: str = ""):
         token = next(self._token_counter)
         coefficients = np.asarray(subsample.coefficients, dtype=np.int64)
-        meta = {"token": token, "domain_scale": int(subsample.domain_scale)}
+        meta = {
+            "token": token,
+            "domain_scale": int(subsample.domain_scale),
+            "session": self._session,
+        }
         frame, sections, overhead = wire.encode_frame_with_stats(
             "subsample", meta, [(f"{tag}:seeds", coefficients)]
         )
-        for worker in range(len(self._transports)):
-            _rpc_encoded(
-                self._network, self._transports[worker], "subsample",
-                frame, sections, overhead,
-            )
+        self._scatter("subsample", frame, sections, overhead)
         idx, _ = self._components[0]
         self._local_g[token] = (
             subsample(idx) if idx.size else np.zeros(0, dtype=np.int64)
@@ -359,6 +437,8 @@ class RemoteVector(DistributedVector):
             (idx[mask], val[mask]),
             restriction=(token, int(threshold)),
             token_counter=self._token_counter,
+            session=self._session,
+            pool=self._pool,
         )
         return clone
 
@@ -384,8 +464,10 @@ class RemoteVector(DistributedVector):
         total = np.zeros(query.size, dtype=float)
         idx, val = self._components[0]
         total += lookup_sorted(*self._sorted_coalesced(idx, val), query)
-        for worker in range(len(self._transports)):
-            reply = self._call(worker, "collect", {"tag": tag}, [(None, query)])
+        frame, sections, overhead = wire.encode_frame_with_stats(
+            "collect", {"tag": tag}, [(None, query)]
+        )
+        for worker, reply in enumerate(self._scatter("collect", frame, sections, overhead)):
             values = np.asarray(reply.entry(0), dtype=float)
             if values.shape != query.shape:
                 raise WorkerProtocolError(
@@ -460,6 +542,13 @@ class CoordinatorService:
         coordinator).
     handshake:
         Verify every worker agrees on ``dimension`` at construction.
+    concurrency:
+        Width of the scatter waves: how many worker round-trips are kept in
+        flight at once by the per-server seams.  Defaults to one wave over
+        *all* workers (fully pipelined); ``1`` reproduces the sequential
+        worker-by-worker schedule.  Draws, estimates and per-tag word/byte
+        accounting are **identical** under every setting -- the schedule
+        only moves wall-clock time.
     """
 
     def __init__(
@@ -470,6 +559,7 @@ class CoordinatorService:
         *,
         keep_messages: bool = False,
         handshake: bool = True,
+        concurrency: Optional[int] = None,
     ) -> None:
         self._transports = list(transports)
         self._dimension = int(dimension)
@@ -483,9 +573,29 @@ class CoordinatorService:
             len(self._transports) + 1, keep_messages=keep_messages
         )
         self._token_counter = itertools.count()
+        #: Namespaces this coordinator's cache tokens on shared workers so
+        #: concurrent clients never collide (control plane only -- the
+        #: session id is framing metadata, never charged words).
+        self._session = uuid.uuid4().hex
+        workers = len(self._transports)
+        if concurrency is None:
+            concurrency = workers
+        self._concurrency = max(1, min(int(concurrency), max(workers, 1)))
+        self._pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=self._concurrency,
+                thread_name_prefix="coordinator-scatter",
+            )
+            if self._concurrency > 1 and workers > 1
+            else None
+        )
         if handshake:
-            for worker, transport in enumerate(self._transports):
-                reply = _rpc(self._network, transport, "hello")
+            frame, sections, overhead = wire.encode_frame_with_stats("hello")
+            replies = _rpc_scatter(
+                self._network, self._transports, "hello",
+                frame, sections, overhead, pool=self._pool,
+            )
+            for worker, reply in enumerate(replies):
                 remote_dimension = int(reply.meta.get("dimension", -1))
                 if remote_dimension != self._dimension:
                     raise DimensionMismatchError(
@@ -503,6 +613,11 @@ class CoordinatorService:
         """Workers plus the coordinator itself."""
         return len(self._transports) + 1
 
+    @property
+    def concurrency(self) -> int:
+        """How many worker round-trips each scatter wave keeps in flight."""
+        return self._concurrency
+
     def _require_fused(self) -> None:
         if not engine.fused_enabled():
             raise RuntimeError(
@@ -519,6 +634,8 @@ class CoordinatorService:
             self._network,
             self._local,
             token_counter=self._token_counter,
+            session=self._session,
+            pool=self._pool,
         )
 
     # ------------------------------------------------------------------ #
@@ -578,10 +695,18 @@ class CoordinatorService:
 
     def shutdown_workers(self) -> None:
         """Ask every worker to stop serving (their servers stop accepting)."""
-        for transport in self._transports:
-            _rpc(self._network, transport, "shutdown")
+        if not self._transports:
+            return
+        frame, sections, overhead = wire.encode_frame_with_stats("shutdown")
+        _rpc_scatter(
+            self._network, self._transports, "shutdown",
+            frame, sections, overhead, pool=self._pool,
+        )
 
     def close(self) -> None:
-        """Close every transport (idempotent)."""
+        """Close every transport and the scatter pool (idempotent)."""
         for transport in self._transports:
             transport.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None

@@ -15,16 +15,43 @@ the Central Processor).  Two implementations are provided:
 The framing on the socket is an 8-byte big-endian length prefix followed by
 one :mod:`repro.runtime.wire` frame.  The prefix is transport overhead (it
 is never part of the word accounting, like TCP/IP headers themselves).
+
+Concurrency model
+-----------------
+:meth:`Transport.request_many` pipelines several requests on **one**
+connection: :class:`TcpTransport` stamps each outgoing frame with a
+connection-unique request id (a fixed framing section, see
+:func:`repro.runtime.wire.stamp_request_id`), writes the whole wave before
+reading, and gathers the replies -- which may arrive out of order, matched
+back by their echoed ids -- under a *per-request* timeout
+(:class:`~repro.core.errors.WorkerTimeoutError`).  :func:`scatter_requests`
+is the cross-worker half: one frame per transport, fanned out on a thread
+pool so every worker computes while the others' round-trips are in flight.
+:class:`WorkerServer` accepts any number of client connections and
+interleaves requests arriving on one connection (each request runs on an
+executor thread; replies are written as they complete, in completion
+order -- the request ids keep the matching correct).
+
+Failure semantics: a timed-out or failed request poisons its connection
+(closes it) so a late reply can never be mis-delivered to the next request.
+All protocol operations are idempotent, so :class:`TcpTransport` can
+transparently reconnect-and-resend on *connection* errors (``retries``);
+timeouts always surface as typed :class:`WorkerTimeoutError`.
 """
 
 from __future__ import annotations
 
 import abc
 import asyncio
+import concurrent.futures
+import itertools
 import threading
-from typing import Callable, Optional, Tuple
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.errors import WireFormatError
+from repro.core.errors import WireFormatError, WorkerProtocolError, WorkerTimeoutError
+from repro.runtime import wire
 
 #: Upper bound on one frame; guards against garbage length prefixes.
 MAX_FRAME_BYTES = 1 << 31
@@ -43,6 +70,15 @@ class Transport(abc.ABC):
     def request(self, frame: bytes) -> bytes:
         """Deliver ``frame`` to the worker and return its reply frame."""
 
+    def request_many(self, frames: Sequence[bytes]) -> List[bytes]:
+        """Deliver every frame and return the replies in request order.
+
+        The base implementation executes serially (loopback semantics);
+        pipelining transports override this to keep all requests in flight
+        at once on the single connection.
+        """
+        return [self.request(frame) for frame in frames]
+
     def close(self) -> None:
         """Release transport resources (idempotent)."""
 
@@ -52,7 +88,8 @@ class LoopbackTransport(Transport):
 
     Frames are passed as immutable ``bytes`` exactly as a socket would
     deliver them, so encoding, decoding and byte accounting behave
-    identically to the TCP transport.
+    identically to the TCP transport.  ``request_many`` is the serial base
+    implementation: there is no wire to pipeline.
     """
 
     def __init__(self, handler: FrameHandler) -> None:
@@ -68,6 +105,84 @@ class LoopbackTransport(Transport):
         self._closed = True
 
 
+class LatencyTransport(Transport):
+    """Adds a simulated one-way delay around an inner transport.
+
+    Used by the latency benchmark and the concurrency tests to model a real
+    network on top of in-process workers: a pipelined wave pays the
+    round-trip once, the serial path pays it per request -- exactly the
+    behaviour of a per-connection pipeline over a high-latency link.
+    """
+
+    def __init__(self, inner: Transport, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self._inner = inner
+        self._delay = float(delay)
+
+    def request(self, frame: bytes) -> bytes:
+        time.sleep(self._delay)
+        reply = self._inner.request(frame)
+        time.sleep(self._delay)
+        return reply
+
+    def request_many(self, frames: Sequence[bytes]) -> List[bytes]:
+        time.sleep(self._delay)
+        replies = self._inner.request_many(frames)
+        time.sleep(self._delay)
+        return replies
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def scatter_requests(
+    transports: Sequence[Transport],
+    frames: Union[bytes, Sequence[bytes]],
+    *,
+    pool: Optional[ThreadPoolExecutor] = None,
+) -> List[bytes]:
+    """Fan one request per transport out in a single wave.
+
+    ``frames`` is either one broadcast frame shipped to every transport or a
+    per-transport sequence.  With a ``pool`` the requests run concurrently
+    (one pool task per worker -- each transport is used by at most one
+    thread per wave, which is all the transports require); without one the
+    wave degrades to the sequential worker-by-worker loop.  Replies are
+    returned in transport order; the first failing worker's exception is
+    raised after its predecessors' replies have been collected.
+    """
+    if isinstance(frames, (bytes, bytearray)):
+        frame_list: List[bytes] = [bytes(frames)] * len(transports)
+    else:
+        frame_list = [bytes(frame) for frame in frames]
+    if len(frame_list) != len(transports):
+        raise ValueError(
+            f"got {len(frame_list)} frames for {len(transports)} transports"
+        )
+    if pool is None or len(transports) <= 1:
+        return [
+            transport.request(frame)
+            for transport, frame in zip(transports, frame_list)
+        ]
+    futures = [
+        pool.submit(transport.request, frame)
+        for transport, frame in zip(transports, frame_list)
+    ]
+    try:
+        return [future.result() for future in futures]
+    finally:
+        # On an early failure: cancel what has not started, then WAIT for
+        # the in-flight requests to finish.  A pool thread still inside
+        # transport.request() owns that transport's private event loop, and
+        # callers typically close every transport right after an error --
+        # returning while a thread is mid-request would make close() re-enter
+        # a running loop (and mask the real failure with a RuntimeError).
+        for future in futures:
+            future.cancel()
+        concurrent.futures.wait(futures)
+
+
 def _prefix(frame: bytes) -> bytes:
     if len(frame) > MAX_FRAME_BYTES:
         raise WireFormatError(
@@ -81,51 +196,188 @@ class TcpTransport(Transport):
 
     The transport owns a private event loop so the (synchronous) protocol
     code can issue blocking requests; one connection is opened eagerly at
-    construction and reused for every request.
+    construction and reused for every request.  ``request_many`` pipelines a
+    whole wave of frames on that connection: every frame is stamped with a
+    fresh request id, all are written before any reply is awaited, and the
+    replies -- possibly out of order -- are matched back by id under a
+    per-request ``timeout``.
+
+    ``retries`` reconnects and resends the wave after a *connection* failure
+    (reset, mid-reply close); the protocol's operations are idempotent, so a
+    resend is safe.  Timeouts are never retried implicitly -- they surface
+    as :class:`~repro.core.errors.WorkerTimeoutError` with the connection
+    poisoned, and the caller decides.  A poisoned transport is not dead: the
+    next request opens a *fresh* connection (the old socket is closed, so a
+    late reply to the timed-out request can never be mis-delivered), while
+    :meth:`close` shuts the transport down for good.
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        retries: int = 0,
+    ) -> None:
+        self._host = host
+        self._port = int(port)
         self._timeout = float(timeout)
+        self._retries = max(0, int(retries))
         self._loop = asyncio.new_event_loop()
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
+        self._request_ids = itertools.count(1)
+        self._connect()
+
+    def _connect(self) -> None:
         self._reader, self._writer = self._run(
-            asyncio.wait_for(asyncio.open_connection(host, port), self._timeout)
+            asyncio.wait_for(
+                asyncio.open_connection(self._host, self._port), self._timeout
+            )
         )
 
     def _run(self, coroutine):
         return self._loop.run_until_complete(coroutine)
 
-    async def _roundtrip(self, frame: bytes) -> bytes:
-        self._writer.write(_prefix(frame) + frame)
-        await self._writer.drain()
+    async def _read_frame(self) -> bytes:
         header = await self._reader.readexactly(LENGTH_PREFIX_BYTES)
         length = int.from_bytes(header, "big")
         if length > MAX_FRAME_BYTES:
             raise WireFormatError(f"peer announced an oversized {length}-byte frame")
         return await self._reader.readexactly(length)
 
-    def request(self, frame: bytes) -> bytes:
-        if self._writer is None:
-            raise RuntimeError("transport is closed")
-        try:
-            return self._run(asyncio.wait_for(self._roundtrip(frame), self._timeout))
-        except Exception:
-            # A timed-out or failed round-trip may leave a half-read reply in
-            # the stream; the next request would read the previous op's
-            # answer.  Poison the connection instead of desynchronizing.
-            self.close()
-            raise
+    async def _pipeline(self, stamped: List[bytes], ids: List[int]) -> List[bytes]:
+        """Write the whole wave, then gather replies by id (any order)."""
+        futures = {rid: self._loop.create_future() for rid in ids}
 
-    def close(self) -> None:
+        async def read_replies() -> None:
+            try:
+                for _ in range(len(ids)):
+                    frame = await self._read_frame()
+                    rid = wire.frame_request_id(frame)
+                    future = futures.get(rid)
+                    if future is None or future.done():
+                        raise WorkerProtocolError(
+                            f"worker answered unknown or duplicate request id {rid}"
+                        )
+                    future.set_result(frame)
+            except Exception as exc:
+                for future in futures.values():
+                    if not future.done():
+                        future.set_exception(exc)
+
+        reader_task = self._loop.create_task(read_replies())
+        try:
+            for frame in stamped:
+                self._writer.write(_prefix(frame) + frame)
+            try:
+                # The write path is bounded too: a wedged peer that stops
+                # reading (full socket buffers, frozen process) must surface
+                # a typed timeout, not hang the coordinator in drain().
+                await asyncio.wait_for(self._writer.drain(), self._timeout)
+            except asyncio.TimeoutError:
+                raise WorkerTimeoutError(
+                    f"worker {self._host}:{self._port} did not accept the "
+                    f"request wave within {self._timeout}s"
+                ) from None
+
+            async def one_reply(rid: int) -> bytes:
+                try:
+                    return await asyncio.wait_for(
+                        asyncio.shield(futures[rid]), self._timeout
+                    )
+                except asyncio.TimeoutError:
+                    raise WorkerTimeoutError(
+                        f"worker {self._host}:{self._port} did not answer "
+                        f"request {rid} within {self._timeout}s"
+                    ) from None
+
+            outcomes = await asyncio.gather(
+                *(one_reply(rid) for rid in ids), return_exceptions=True
+            )
+            for outcome in outcomes:
+                if isinstance(outcome, BaseException):
+                    raise outcome
+            return list(outcomes)
+        finally:
+            reader_task.cancel()
+            try:
+                await reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            for future in futures.values():
+                if future.done() and not future.cancelled():
+                    future.exception()  # mark retrieved
+                else:
+                    future.cancel()
+
+    def request_many(self, frames: Sequence[bytes]) -> List[bytes]:
+        if self._loop.is_closed():
+            raise RuntimeError("transport is closed")
+        frame_list = [bytes(frame) for frame in frames]
+        if not frame_list:
+            return []
+        last_error: Optional[BaseException] = None
+        for _attempt in range(self._retries + 1):
+            if self._writer is None:
+                try:
+                    self._connect()
+                except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                    last_error = exc
+                    continue
+            ids = [next(self._request_ids) for _ in frame_list]
+            stamped = [
+                wire.stamp_request_id(frame, rid)
+                for frame, rid in zip(frame_list, ids)
+            ]
+            try:
+                return self._run(self._pipeline(stamped, ids))
+            except WorkerTimeoutError:
+                # Typed timeout: poison the connection and surface
+                # immediately -- never retried implicitly.  (Must precede
+                # the OSError branch: TimeoutError subclasses OSError.)
+                self._close_connection()
+                raise
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.IncompleteReadError,
+            ) as exc:
+                # A reset or mid-reply close: poison the connection, then
+                # reconnect-and-resend if attempts remain (idempotent ops).
+                self._close_connection()
+                last_error = exc
+            except Exception:
+                # Typed failures (protocol, wire format) poison the
+                # connection and surface immediately -- no implicit retry.
+                self._close_connection()
+                raise
+        raise WorkerProtocolError(
+            f"worker {self._host}:{self._port} connection failed after "
+            f"{self._retries + 1} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}"
+        ) from last_error
+
+    def request(self, frame: bytes) -> bytes:
+        return self.request_many([frame])[0]
+
+    def _close_connection(self) -> None:
         if self._writer is not None:
             writer, self._writer, self._reader = self._writer, None, None
             try:
                 writer.close()
-                self._run(writer.wait_closed())
+                # Defensive: never re-enter the loop if another thread is
+                # (erroneously) still driving it -- close() must not mask
+                # that thread's real failure with a RuntimeError.
+                if not self._loop.is_running():
+                    self._run(writer.wait_closed())
             except (ConnectionError, OSError):
                 pass
-        if not self._loop.is_closed():
+
+    def close(self) -> None:
+        self._close_connection()
+        if not self._loop.is_closed() and not self._loop.is_running():
             self._loop.close()
 
 
@@ -137,6 +389,14 @@ class WorkerServer:
     until the server stops -- either via :meth:`stop` or, when
     ``stop_check`` returns True after a request (e.g. the worker saw a
     ``shutdown`` op), on its own.
+
+    The server accepts any number of client connections, and requests
+    arriving on one connection are served concurrently: each frame is handed
+    to a ``concurrency``-wide thread pool and its reply is written back --
+    stamped with the request's id -- as soon as it is ready, so a slow
+    request never blocks the fast ones behind it.  A handler that raises
+    kills only its own connection (well-behaved handlers answer faults with
+    typed ``error`` frames instead).
     """
 
     def __init__(
@@ -146,17 +406,54 @@ class WorkerServer:
         port: int = 0,
         *,
         stop_check: Optional[Callable[[], bool]] = None,
+        concurrency: int = 8,
     ) -> None:
         self._handler = handler
         self._host = host
         self._port = int(port)
         self._stop_check = stop_check
+        self._concurrency = max(1, int(concurrency))
+        self._executor: Optional[ThreadPoolExecutor] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
         self._startup_error: Optional[BaseException] = None
 
+    async def _answer(
+        self,
+        frame: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            reply = await self._loop.run_in_executor(
+                self._executor, self._handler, bytes(frame)
+            )
+            try:
+                reply = wire.stamp_request_id(reply, wire.frame_request_id(frame))
+            except WireFormatError:
+                pass  # non-frame traffic (tests, garbage): echo the reply as-is
+            prefixed = _prefix(reply) + reply
+        except Exception:
+            # A handler that raises (instead of answering with a typed error
+            # frame) kills only its own connection; the client surfaces a
+            # typed connection error instead of waiting out its timeout.
+            writer.close()
+            return
+        async with write_lock:
+            if writer.is_closing():
+                return
+            try:
+                writer.write(prefixed)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return
+        if self._stop_check is not None and self._stop_check():
+            self._loop.call_soon(self._loop.stop)
+
     async def _serve_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        pending: set = set()
         try:
             while True:
                 header = await reader.readexactly(LENGTH_PREFIX_BYTES)
@@ -166,15 +463,20 @@ class WorkerServer:
                         f"peer announced an oversized {length}-byte frame"
                     )
                 frame = await reader.readexactly(length)
-                reply = self._handler(frame)
-                writer.write(_prefix(reply) + reply)
-                await writer.drain()
-                if self._stop_check is not None and self._stop_check():
-                    self._loop.call_soon(self._loop.stop)
-                    break
-        except (asyncio.IncompleteReadError, ConnectionResetError):
-            pass  # peer went away; nothing to answer
+                task = self._loop.create_task(
+                    self._answer(frame, writer, write_lock)
+                )
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        except (asyncio.IncompleteReadError, ConnectionResetError, WireFormatError):
+            pass  # peer went away or spoke garbage; drop the connection
+        except asyncio.CancelledError:
+            pass  # server teardown while this connection was mid-read
         finally:
+            if pending:
+                for task in pending:
+                    task.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -185,6 +487,9 @@ class WorkerServer:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
         self._loop = loop
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._concurrency, thread_name_prefix="worker-server"
+        )
         try:
             server = loop.run_until_complete(
                 asyncio.start_server(self._serve_client, self._host, self._port)
@@ -192,6 +497,7 @@ class WorkerServer:
         except BaseException as exc:  # bind failures surface in start()
             self._startup_error = exc
             self._started.set()
+            self._executor.shutdown(wait=False)
             loop.close()
             return
         self._port = server.sockets[0].getsockname()[1]
@@ -201,6 +507,14 @@ class WorkerServer:
         finally:
             server.close()
             loop.run_until_complete(server.wait_closed())
+            leftovers = asyncio.all_tasks(loop)
+            for task in leftovers:
+                task.cancel()
+            if leftovers:
+                loop.run_until_complete(
+                    asyncio.gather(*leftovers, return_exceptions=True)
+                )
+            self._executor.shutdown(wait=False)
             loop.close()
 
     def start(self) -> Tuple[str, int]:

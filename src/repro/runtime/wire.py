@@ -46,10 +46,28 @@ from repro.distributed.message import Message, payload_word_count
 
 #: First bytes of every wire buffer.
 WIRE_MAGIC = b"RPRW"
-#: Version of the wire format emitted by this module.
-WIRE_VERSION = 1
+#: Version of the wire format emitted by this module.  Version 2 added the
+#: fixed request-id section to transport frames (see below); payload buffers
+#: are unchanged from version 1 apart from the version field itself.
+WIRE_VERSION = 2
 #: Bytes per machine word on the wire (matches the accounting convention).
 BYTES_PER_WORD = 8
+
+# ---- request-id frame section ---------------------------------------------
+# Transport frames carry a fixed-width request id directly after the header
+# so that pipelined connections can match out-of-order replies to their
+# requests without decoding the whole frame.  The id is framing (never part
+# of the word accounting) and lives at a *fixed offset*, so transports can
+# peek and stamp it in O(1):
+#
+#   [0:4)  magic  [4:6) version  [6:7) kind  [7:15) uint64 request id  ...
+#
+# Workers echo the request id of the frame they are answering; the TCP
+# server additionally stamps every reply with the request's id so matching
+# holds for arbitrary (even faulty) handlers.
+_REQUEST_ID_OFFSET = 7
+_REQUEST_ID_END = _REQUEST_ID_OFFSET + 8
+_REQUEST_ID_MAX = (1 << 64) - 1
 
 #: Kind byte after the version: a standalone payload or a transport frame.
 _KIND_PAYLOAD = 0
@@ -245,10 +263,26 @@ class _Decoder:
 def _decode_array_body(dec: _Decoder, count: int, code: int, shape=None) -> np.ndarray:
     dtype, wide = _DTYPES[code]
     raw = dec.take(count * 8, data=True)
-    array = np.frombuffer(raw, dtype=wide, count=count).astype(dtype)
-    if shape is not None:
-        array = array.reshape(shape)
+    try:
+        # errstate: a *corrupted* wide value can overflow the narrow dtype it
+        # claims (exact round-trips never do -- encoding widened losslessly);
+        # the overflow is not an error, the value is simply wrong bytes.
+        with np.errstate(over="ignore", invalid="ignore"):
+            array = np.frombuffer(raw, dtype=wide, count=count).astype(dtype)
+        if shape is not None:
+            array = array.reshape(shape)
+    except (ValueError, OverflowError) as exc:
+        # e.g. a corrupted shape whose sides exceed numpy's dimension limits
+        # even though the element count still fits the buffer.
+        raise WireFormatError(f"corrupt array section: {exc}") from exc
     return array
+
+
+def _decode_ascii(raw: bytes, what: str) -> str:
+    try:
+        return raw.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise WireFormatError(f"non-ASCII bytes in wire {what}") from exc
 
 
 def _decode_node(dec: _Decoder) -> Any:
@@ -286,38 +320,56 @@ def _decode_node(dec: _Decoder) -> Any:
         rows, cols = packed_shape >> 32, packed_shape & 0xFFFFFFFF
         flat = _decode_array_body(dec, nnz, _DTYPE_CODES[np.dtype(np.int64)])
         values = _decode_array_body(dec, nnz, value_code)
+        if flat.size and (
+            cols == 0 or flat.min() < 0 or flat.max() >= rows * cols
+        ):
+            raise WireFormatError(
+                "sparse flat indices fall outside the declared shape"
+            )
         if cols == 0:
             row_idx = np.zeros(0, dtype=np.int64)
             col_idx = np.zeros(0, dtype=np.int64)
         else:
             row_idx, col_idx = np.divmod(flat, np.int64(cols))
-        matrix = sparse.coo_matrix((values, (row_idx, col_idx)), shape=(rows, cols))
-        return matrix.asformat(_SPARSE_FORMATS[fmt])
+        try:
+            matrix = sparse.coo_matrix((values, (row_idx, col_idx)), shape=(rows, cols))
+            return matrix.asformat(_SPARSE_FORMATS[fmt])
+        except (ValueError, TypeError, OverflowError) as exc:
+            raise WireFormatError(f"corrupt sparse section: {exc}") from exc
     if code == _T_STR:
         (length,) = dec.unpack("<I")
         words = (length + 7) // 8
         raw = dec.take(words * 8, data=True)
-        return raw[:length].decode("ascii")
+        return _decode_ascii(raw[:length], "string")
     if code == _T_MESSAGE:
         sender, receiver, words = dec.unpack("<IIq")
         (tag_length,) = dec.unpack("<H")
-        tag = dec.take(tag_length).decode("ascii")
+        tag = _decode_ascii(dec.take(tag_length), "message tag")
         payload = _decode_node(dec)
-        return Message(sender=sender, receiver=receiver, payload=payload, tag=tag, words=words)
+        try:
+            return Message(
+                sender=sender, receiver=receiver, payload=payload, tag=tag, words=words
+            )
+        except (ValueError, TypeError) as exc:
+            raise WireFormatError(f"corrupt message section: {exc}") from exc
     if code in (_T_LIST, _T_TUPLE, _T_SET, _T_FROZENSET, _T_DICT):
         (count,) = dec.unpack("<I")
-        if code == _T_DICT:
-            return {
-                _decode_node(dec): _decode_node(dec) for _ in range(count)
-            }
-        items = [_decode_node(dec) for _ in range(count)]
-        if code == _T_LIST:
-            return items
-        if code == _T_TUPLE:
-            return tuple(items)
-        if code == _T_SET:
-            return set(items)
-        return frozenset(items)
+        try:
+            if code == _T_DICT:
+                return {
+                    _decode_node(dec): _decode_node(dec) for _ in range(count)
+                }
+            items = [_decode_node(dec) for _ in range(count)]
+            if code == _T_LIST:
+                return items
+            if code == _T_TUPLE:
+                return tuple(items)
+            if code == _T_SET:
+                return set(items)
+            return frozenset(items)
+        except TypeError as exc:
+            # A corrupted key type code can decode to an unhashable value.
+            raise WireFormatError(f"unhashable wire key: {exc}") from exc
     raise WireFormatError(f"unknown wire type code {code}")
 
 
@@ -350,15 +402,73 @@ def to_bytes(payload: Any) -> bytes:
 
 
 def from_bytes(buf: bytes) -> Any:
-    """Decode a buffer produced by :func:`to_bytes` (exact round-trip)."""
-    dec = _Decoder(bytes(buf))
-    _check_header(dec, _KIND_PAYLOAD)
-    payload = _decode_node(dec)
-    if dec.pos != len(dec.buf):
-        raise WireFormatError(
-            f"trailing bytes after payload ({len(dec.buf) - dec.pos} unread)"
-        )
-    return payload
+    """Decode a buffer produced by :func:`to_bytes` (exact round-trip).
+
+    Corrupt input raises :class:`~repro.core.errors.WireFormatError` --
+    never a bare ``struct.error``/``IndexError``/``RecursionError``; the
+    decoder validates before every read and a final safety net converts
+    anything that still slips through (fuzzed single-byte mutations can
+    reach surprising code paths).
+    """
+    with _typed_decode_errors():
+        dec = _Decoder(bytes(buf))
+        _check_header(dec, _KIND_PAYLOAD)
+        payload = _decode_node(dec)
+        if dec.pos != len(dec.buf):
+            raise WireFormatError(
+                f"trailing bytes after payload ({len(dec.buf) - dec.pos} unread)"
+            )
+        return payload
+
+
+class _typed_decode_errors:
+    """Context manager converting unexpected decode errors to WireFormatError."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, traceback):
+        if exc is None or isinstance(exc, WireFormatError):
+            return False
+        if isinstance(exc, Exception):
+            raise WireFormatError(
+                f"malformed wire buffer ({exc_type.__name__}: {exc})"
+            ) from exc
+        return False
+
+
+def frame_request_id(buf: bytes) -> int:
+    """Peek the request id of an encoded transport frame (O(1), no decode).
+
+    Raises :class:`~repro.core.errors.WireFormatError` when ``buf`` is not a
+    transport frame of this wire version (too short, wrong magic/version, or
+    a standalone payload).
+    """
+    buf = bytes(buf)
+    if len(buf) < _REQUEST_ID_END:
+        raise WireFormatError("buffer too short to hold a frame request id")
+    _check_header(_Decoder(buf), _KIND_FRAME)
+    return int.from_bytes(buf[_REQUEST_ID_OFFSET:_REQUEST_ID_END], "little")
+
+
+def stamp_request_id(buf: bytes, request_id: int) -> bytes:
+    """Return ``buf`` with its request-id section set to ``request_id``.
+
+    The id lives at a fixed offset in the frame header, so stamping never
+    re-encodes the frame; transports use this to assign connection-unique
+    ids to outgoing frames and to echo them onto replies.
+    """
+    if not 0 <= request_id <= _REQUEST_ID_MAX:
+        raise WireFormatError(f"request id {request_id} does not fit 64 bits")
+    buf = bytes(buf)
+    if len(buf) < _REQUEST_ID_END:
+        raise WireFormatError("buffer too short to hold a frame request id")
+    _check_header(_Decoder(buf), _KIND_FRAME)
+    return (
+        buf[:_REQUEST_ID_OFFSET]
+        + request_id.to_bytes(8, "little")
+        + buf[_REQUEST_ID_END:]
+    )
 
 
 def wire_word_count(payload: Any) -> int:
@@ -401,6 +511,8 @@ class DecodedFrame:
     #: ``(tag, data_bytes)`` per *tagged* entry, in entry order.
     data_sections: List[Tuple[str, int]] = field(default_factory=list)
     total_bytes: int = 0
+    #: The frame's request id (0 when unassigned); replies echo the request's.
+    request_id: int = 0
 
     @property
     def data_bytes(self) -> int:
@@ -418,16 +530,25 @@ class DecodedFrame:
 
 
 def encode_frame_with_stats(
-    op: str, meta: Optional[Mapping] = None, entries: Sequence[Entry] = ()
+    op: str,
+    meta: Optional[Mapping] = None,
+    entries: Sequence[Entry] = (),
+    *,
+    request_id: int = 0,
 ) -> Tuple[bytes, List[Tuple[str, int]], int]:
     """Encode one frame and return ``(bytes, data_sections, overhead_bytes)``.
 
     ``data_sections`` attributes each tagged entry's data-plane bytes to its
     tag (what a byte ledger records); ``overhead_bytes`` is everything else
     in the frame -- op, metadata, tags, untagged control payloads, framing.
+    The ``request_id`` lands in the fixed framing section after the header
+    (see :func:`stamp_request_id`) and is never part of the word accounting.
     """
+    if not 0 <= request_id <= _REQUEST_ID_MAX:
+        raise WireFormatError(f"request id {request_id} does not fit 64 bits")
     enc = _Encoder()
     enc.frame(_header(_KIND_FRAME))
+    enc.frame(request_id.to_bytes(8, "little"))
     _encode_str(enc, op)
     _encode_node(enc, dict(meta or {}))
     entry_list = list(entries)
@@ -447,43 +568,56 @@ def encode_frame_with_stats(
     return bytes(enc.buf), sections, len(enc.buf) - data_bytes
 
 
-def encode_frame(op: str, meta: Optional[Mapping] = None, entries: Sequence[Entry] = ()) -> bytes:
+def encode_frame(
+    op: str,
+    meta: Optional[Mapping] = None,
+    entries: Sequence[Entry] = (),
+    *,
+    request_id: int = 0,
+) -> bytes:
     """Encode one transport frame (op + metadata + tagged payload entries)."""
-    return encode_frame_with_stats(op, meta, entries)[0]
+    return encode_frame_with_stats(op, meta, entries, request_id=request_id)[0]
 
 
 def decode_frame(buf: bytes) -> DecodedFrame:
-    """Decode one transport frame, attributing data bytes per tagged entry."""
-    dec = _Decoder(bytes(buf))
-    _check_header(dec, _KIND_FRAME)
-    op = _decode_node(dec)
-    meta = _decode_node(dec)
-    if not isinstance(op, str) or not isinstance(meta, dict):
-        raise WireFormatError("malformed frame header")
-    (count,) = dec.unpack("<I")
-    entries: List[Entry] = []
-    sections: List[Tuple[str, int]] = []
-    for _ in range(count):
-        (has_tag,) = dec.unpack("<B")
-        tag = _decode_node(dec) if has_tag else None
-        if has_tag and not isinstance(tag, str):
-            raise WireFormatError("entry tags must be strings")
-        before = dec.data_bytes
-        payload = _decode_node(dec)
-        if tag is not None:
-            sections.append((tag, dec.data_bytes - before))
-        entries.append((tag, payload))
-    if dec.pos != len(dec.buf):
-        raise WireFormatError(
-            f"trailing bytes after frame ({len(dec.buf) - dec.pos} unread)"
+    """Decode one transport frame, attributing data bytes per tagged entry.
+
+    Corrupt input always raises :class:`~repro.core.errors.WireFormatError`
+    (same hardening contract as :func:`from_bytes`).
+    """
+    with _typed_decode_errors():
+        dec = _Decoder(bytes(buf))
+        _check_header(dec, _KIND_FRAME)
+        request_id = int.from_bytes(dec.take(8), "little")
+        op = _decode_node(dec)
+        meta = _decode_node(dec)
+        if not isinstance(op, str) or not isinstance(meta, dict):
+            raise WireFormatError("malformed frame header")
+        (count,) = dec.unpack("<I")
+        entries: List[Entry] = []
+        sections: List[Tuple[str, int]] = []
+        for _ in range(count):
+            (has_tag,) = dec.unpack("<B")
+            tag = _decode_node(dec) if has_tag else None
+            if has_tag and not isinstance(tag, str):
+                raise WireFormatError("entry tags must be strings")
+            before = dec.data_bytes
+            payload = _decode_node(dec)
+            if tag is not None:
+                sections.append((tag, dec.data_bytes - before))
+            entries.append((tag, payload))
+        if dec.pos != len(dec.buf):
+            raise WireFormatError(
+                f"trailing bytes after frame ({len(dec.buf) - dec.pos} unread)"
+            )
+        return DecodedFrame(
+            op=op,
+            meta=meta,
+            entries=entries,
+            data_sections=sections,
+            total_bytes=len(dec.buf),
+            request_id=request_id,
         )
-    return DecodedFrame(
-        op=op,
-        meta=meta,
-        entries=entries,
-        data_sections=sections,
-        total_bytes=len(dec.buf),
-    )
 
 
 def frame_stats(buf: bytes) -> DecodedFrame:

@@ -28,6 +28,20 @@ def pytest_addoption(parser):
         help="run the heavy seeded distribution tests (marked 'statistical') "
         "and scale the light ones up to their full draw counts",
     )
+    parser.addoption(
+        "--tcp",
+        action="store_true",
+        default=False,
+        help="run the tests that open real TCP sockets (marked 'tcp'); "
+        "tier-1 exercises the same code paths over the loopback transport",
+    )
+    parser.addoption(
+        "--slow",
+        action="store_true",
+        default=False,
+        help="run the slow suites (marked 'slow'): concurrency soak runs "
+        "and other multi-second stress tests",
+    )
 
 
 def pytest_configure(config):
@@ -36,15 +50,31 @@ def pytest_configure(config):
         "statistical: heavy seeded distribution checks, deselected unless "
         "--statistical is passed",
     )
+    config.addinivalue_line(
+        "markers",
+        "tcp: opens real TCP sockets (WorkerServer/TcpTransport), "
+        "deselected unless --tcp is passed",
+    )
+    config.addinivalue_line(
+        "markers",
+        "slow: multi-second soak/stress tests, deselected unless --slow "
+        "is passed",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
-    if config.getoption("--statistical"):
-        return
-    skip = pytest.mark.skip(reason="needs --statistical")
-    for item in items:
-        if "statistical" in item.keywords:
-            item.add_marker(skip)
+    gates = [
+        ("statistical", config.getoption("--statistical"), "--statistical"),
+        ("tcp", config.getoption("--tcp"), "--tcp"),
+        ("slow", config.getoption("--slow"), "--slow"),
+    ]
+    for marker, enabled, flag in gates:
+        if enabled:
+            continue
+        skip = pytest.mark.skip(reason=f"needs {flag}")
+        for item in items:
+            if marker in item.keywords:
+                item.add_marker(skip)
 
 
 @pytest.fixture

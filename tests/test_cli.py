@@ -91,6 +91,22 @@ class TestRuntimeCommands:
         assert args.draws == 5
         assert args.function == "identity"
 
+    def test_concurrency_knobs_parse(self):
+        serve_args = build_parser().parse_args(["serve", "--server", "2"])
+        assert serve_args.concurrency == 8  # requests served in parallel
+        submit_args = build_parser().parse_args(
+            ["submit", "--workers", "h:1", "h:2", "h:3",
+             "--concurrency", "1", "--timeout", "5.5", "--retries", "2"]
+        )
+        assert submit_args.concurrency == 1
+        assert submit_args.timeout == 5.5
+        assert submit_args.retries == 2
+        # Default: pipeline over all workers.
+        assert (
+            build_parser().parse_args(["submit", "--workers", "h:1"]).concurrency
+            is None
+        )
+
     def test_serve_rejects_coordinator_index(self):
         with pytest.raises(SystemExit):
             main(["serve", "--server", "0"])
@@ -99,6 +115,7 @@ class TestRuntimeCommands:
         with pytest.raises(SystemExit):
             main(["submit", "--workers", "h:1", "--num-servers", "4"])
 
+    @pytest.mark.tcp
     def test_submit_against_tcp_workers(self, capsys):
         from repro.experiments.workloads import runtime_vector_components
         from repro.runtime.service import WorkerService

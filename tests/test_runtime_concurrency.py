@@ -1,0 +1,440 @@
+"""Concurrent pipelined coordinator: bit-identity, pipelining, soak runs.
+
+The load-bearing guarantee: the scatter schedule only moves wall-clock
+time.  Draws, probabilities, estimates and the per-tag word/byte ledgers of
+a pipelined run (``concurrency > 1``) are **bit-identical** to the
+sequential worker-by-worker schedule (``concurrency=1``) and to the
+in-process simulation -- including when N coordinators hammer one shared
+worker set at once (the soak tests).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.errors import WorkerTimeoutError
+from repro.distributed.network import Network
+from repro.distributed.vector import DistributedVector
+from repro.runtime import wire
+from repro.runtime.service import CoordinatorService, WorkerService
+from repro.runtime.transport import (
+    LatencyTransport,
+    LoopbackTransport,
+    TcpTransport,
+    WorkerServer,
+    scatter_requests,
+)
+from repro.sketch.z_heavy_hitters import ZHeavyHittersParams
+from repro.sketch.z_sampler import ZSampler, ZSamplerConfig
+
+from test_runtime_transport import (
+    assert_same_draws,
+    make_components,
+    make_config,
+    weight_fn,
+)
+
+
+def shared_workers(dim, components):
+    return [WorkerService(idx, val, dim) for idx, val in components[1:]]
+
+
+def coordinator_over(workers, dim, local, *, concurrency=None, delay=0.0, **kwargs):
+    transports = [LoopbackTransport(worker.handle_frame) for worker in workers]
+    if delay:
+        transports = [LatencyTransport(t, delay) for t in transports]
+    return CoordinatorService(
+        transports, dim, local, concurrency=concurrency, **kwargs
+    )
+
+
+class TestPipelinedEquivalence:
+    """concurrency=N and concurrency=1 are the same protocol, bit for bit."""
+
+    def test_sample_bit_identical_across_schedules(self):
+        dim, components = make_components()
+        config = make_config()
+
+        network = Network(len(components))
+        vector = DistributedVector(components, dim, network)
+        simulated = ZSampler(weight_fn, config, seed=7).sample(vector, 20)
+        simulated_log = network.snapshot()
+
+        runs = {}
+        for concurrency in (1, 2, None):  # None = all workers in flight
+            workers = shared_workers(dim, components)
+            coordinator = coordinator_over(
+                workers, dim, components[0], concurrency=concurrency
+            )
+            runs[concurrency] = (
+                coordinator.sample(weight_fn, 20, config=config, seed=7),
+                coordinator.network.snapshot(),
+                coordinator.verify_wire_accounting(),
+            )
+            coordinator.close()
+
+        for concurrency, (draws, log, ledger) in runs.items():
+            assert_same_draws(simulated, draws)
+            assert log.words_by_tag == simulated_log.words_by_tag
+            assert log.total_words == simulated_log.total_words
+        # The byte ledgers agree across schedules, tag by tag.
+        assert runs[1][2] == runs[2][2] == runs[None][2]
+
+    def test_z_heavy_hitters_and_estimate_bit_identical(self):
+        dim, components = make_components(seed=9)
+        params = ZHeavyHittersParams(b=8, repetitions=2, num_buckets=8)
+        config = make_config()
+
+        results = {}
+        for concurrency in (1, None):
+            workers = shared_workers(dim, components)
+            coordinator = coordinator_over(
+                workers, dim, components[0], concurrency=concurrency
+            )
+            hh = coordinator.z_heavy_hitters(params, seed=11)
+            estimate = coordinator.estimate(weight_fn, config=config, seed=21)
+            coordinator.verify_wire_accounting()
+            results[concurrency] = (hh, estimate, coordinator.network.snapshot())
+            coordinator.close()
+
+        np.testing.assert_array_equal(results[1][0], results[None][0])
+        assert results[1][1].z_total == results[None][1].z_total
+        assert results[1][1].class_sizes == results[None][1].class_sizes
+        assert results[1][1].words_used == results[None][1].words_used
+        assert results[1][2].words_by_tag == results[None][2].words_by_tag
+
+    def test_latency_pipelining_actually_overlaps(self):
+        """With a simulated RTT, one wave over w workers beats w round-trips."""
+        dim, components = make_components(seed=3, servers=4, support=200)
+        delay = 0.01
+
+        def run(concurrency):
+            workers = shared_workers(dim, components)
+            coordinator = coordinator_over(
+                workers, dim, components[0],
+                concurrency=concurrency, delay=delay,
+            )
+            start = time.perf_counter()
+            draws = coordinator.sample(weight_fn, 5, config=make_config(), seed=2)
+            elapsed = time.perf_counter() - start
+            coordinator.verify_wire_accounting()
+            coordinator.close()
+            return draws, elapsed
+
+        sequential_draws, sequential_time = run(1)
+        pipelined_draws, pipelined_time = run(None)
+        assert_same_draws(sequential_draws, pipelined_draws)
+        # 3 workers x ~dozens of waves: the sequential path pays every
+        # worker's RTT, the pipelined path one RTT per wave.  Demand a
+        # conservative 1.5x so a loaded machine cannot flake the test.
+        assert sequential_time > 1.5 * pipelined_time, (
+            f"pipelining gained only {sequential_time / pipelined_time:.2f}x "
+            f"({sequential_time:.3f}s -> {pipelined_time:.3f}s)"
+        )
+
+
+class TestScatterAndRequestMany:
+    def test_scatter_requests_orders_and_broadcasts(self):
+        seen = []
+
+        def handler(tag):
+            def handle(frame):
+                seen.append(tag)
+                decoded = wire.decode_frame(frame)
+                return wire.encode_frame("ack", {"from": tag, "echo": decoded.op})
+            return handle
+
+        transports = [LoopbackTransport(handler(i)) for i in range(3)]
+        frame = wire.encode_frame("ping")
+        replies = [wire.decode_frame(r) for r in scatter_requests(transports, frame)]
+        assert [r.meta["from"] for r in replies] == [0, 1, 2]
+        assert all(r.meta["echo"] == "ping" for r in replies)
+        assert sorted(seen) == [0, 1, 2]
+
+    def test_scatter_requests_rejects_mismatched_lengths(self):
+        transports = [LoopbackTransport(lambda f: f)]
+        with pytest.raises(ValueError, match="transports"):
+            scatter_requests(transports, [b"a", b"b"])
+
+    def test_request_many_loopback_is_serial_and_ordered(self):
+        calls = []
+
+        def handle(frame):
+            decoded = wire.decode_frame(frame)
+            calls.append(decoded.meta["i"])
+            return wire.encode_frame("ack", {"i": decoded.meta["i"]})
+
+        transport = LoopbackTransport(handle)
+        frames = [wire.encode_frame("op", {"i": i}) for i in range(5)]
+        replies = transport.request_many(frames)
+        assert [wire.decode_frame(r).meta["i"] for r in replies] == list(range(5))
+        assert calls == list(range(5))
+
+
+@pytest.mark.tcp
+class TestTcpPipelining:
+    def make_echo_server(self, *, sleep_for=None, concurrency=4):
+        def handle(frame):
+            decoded = wire.decode_frame(frame)
+            if sleep_for is not None:
+                time.sleep(sleep_for(decoded.meta))
+            return wire.encode_frame("ack", {"i": decoded.meta["i"]})
+
+        server = WorkerServer(handle, concurrency=concurrency)
+        host, port = server.start()
+        return server, host, port
+
+    def test_out_of_order_replies_are_matched_by_request_id(self):
+        # The first request is the slowest: its reply arrives last, and the
+        # id matching must still return replies in request order.
+        server, host, port = self.make_echo_server(
+            sleep_for=lambda meta: 0.2 if meta["i"] == 0 else 0.0
+        )
+        try:
+            transport = TcpTransport(host, port, timeout=10.0)
+            frames = [wire.encode_frame("op", {"i": i}) for i in range(4)]
+            start = time.perf_counter()
+            replies = transport.request_many(frames)
+            elapsed = time.perf_counter() - start
+            assert [wire.decode_frame(r).meta["i"] for r in replies] == [0, 1, 2, 3]
+            # Pipelined: the whole wave costs ~the slowest request, not the sum.
+            assert elapsed < 0.75
+            transport.close()
+        finally:
+            server.stop()
+
+    def test_interleaved_connections_share_one_server(self):
+        server, host, port = self.make_echo_server(
+            sleep_for=lambda meta: 0.05, concurrency=8
+        )
+        try:
+            transports = [TcpTransport(host, port, timeout=10.0) for _ in range(3)]
+            results = [None] * len(transports)
+
+            def client(k):
+                frames = [
+                    wire.encode_frame("op", {"i": k * 100 + i}) for i in range(4)
+                ]
+                replies = transports[k].request_many(frames)
+                results[k] = [wire.decode_frame(r).meta["i"] for r in replies]
+
+            threads = [
+                threading.Thread(target=client, args=(k,))
+                for k in range(len(transports))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            for k, got in enumerate(results):
+                assert got == [k * 100 + i for i in range(4)]
+            for transport in transports:
+                transport.close()
+        finally:
+            server.stop()
+
+    def test_per_request_timeout_is_typed_and_poisons_connection(self):
+        server, host, port = self.make_echo_server(
+            sleep_for=lambda meta: 5.0 if meta["i"] == 1 else 0.0
+        )
+        try:
+            transport = TcpTransport(host, port, timeout=0.5)
+            frames = [wire.encode_frame("op", {"i": i}) for i in range(3)]
+            with pytest.raises(WorkerTimeoutError, match="did not answer"):
+                transport.request_many(frames)
+            # Poisoned means the old socket is dead: the next request runs on
+            # a FRESH connection and the late reply to the timed-out request
+            # can never be mis-delivered to it.
+            reply = transport.request(wire.encode_frame("op", {"i": 9}))
+            assert wire.decode_frame(reply).meta["i"] == 9
+            transport.close()
+        finally:
+            server.stop()
+
+    def test_retries_reconnect_after_connection_loss(self):
+        server, host, port = self.make_echo_server()
+        try:
+            transport = TcpTransport(host, port, timeout=10.0, retries=2)
+            assert (
+                wire.decode_frame(transport.request(wire.encode_frame("op", {"i": 1})))
+                .meta["i"] == 1
+            )
+            # Kill the server side of the connection, then restart serving on
+            # a NEW server socket bound to the same handler: the transport
+            # must reconnect-and-resend transparently.
+            server.stop()
+            server2 = WorkerServer(
+                lambda frame: wire.encode_frame(
+                    "ack", {"i": wire.decode_frame(frame).meta["i"]}
+                ),
+                port=port,
+            )
+            server2.start()
+            try:
+                reply = transport.request(wire.encode_frame("op", {"i": 2}))
+                assert wire.decode_frame(reply).meta["i"] == 2
+            finally:
+                transport.close()
+                server2.stop()
+        finally:
+            server.stop()
+
+
+class TestSessionIsolation:
+    def test_colliding_tokens_from_two_clients_do_not_cross(self):
+        """Two coordinators both use token 0; sessions keep the caches apart."""
+        dim, components = make_components(seed=5, servers=3, support=200)
+        workers = shared_workers(dim, components)
+        config = make_config()
+
+        # Serial references on private workers.
+        expected = {}
+        for seed in (1, 2):
+            private = shared_workers(dim, components)
+            coordinator = coordinator_over(private, dim, components[0], concurrency=1)
+            expected[seed] = coordinator.sample(weight_fn, 6, config=config, seed=seed)
+            coordinator.close()
+
+        # Interleave the two clients' protocols against the SHARED workers:
+        # client A registers its subsample cache (token 0), then client B
+        # registers ITS token 0, then both keep going.  Without session
+        # namespacing B would overwrite A's cached g values.
+        coordinator_a = coordinator_over(workers, dim, components[0], concurrency=1)
+        coordinator_b = coordinator_over(workers, dim, components[0], concurrency=1)
+        draws = {}
+        thread_a = threading.Thread(
+            target=lambda: draws.__setitem__(
+                1, coordinator_a.sample(weight_fn, 6, config=config, seed=1)
+            )
+        )
+        thread_b = threading.Thread(
+            target=lambda: draws.__setitem__(
+                2, coordinator_b.sample(weight_fn, 6, config=config, seed=2)
+            )
+        )
+        thread_a.start(); thread_b.start()
+        thread_a.join(timeout=60.0); thread_b.join(timeout=60.0)
+        assert set(draws) == {1, 2}
+        assert_same_draws(draws[1], expected[1])
+        assert_same_draws(draws[2], expected[2])
+        coordinator_a.verify_wire_accounting()
+        coordinator_b.verify_wire_accounting()
+        coordinator_a.close(); coordinator_b.close()
+
+    def test_session_caches_are_lru_capped(self):
+        dim, components = make_components(seed=6, servers=2, support=100)
+        worker = WorkerService(*components[1], dim)
+        coefficients = np.arange(16, dtype=np.int64)
+        for session in range(worker.MAX_SESSIONS + 5):
+            frame = wire.encode_frame(
+                "subsample",
+                {"token": 0, "domain_scale": dim, "session": f"s{session}"},
+                [("t:seeds", coefficients)],
+            )
+            reply = wire.decode_frame(worker.handle_frame(frame))
+            assert reply.op == "ack"
+        assert len(worker._subsample_g) <= worker.MAX_SESSIONS
+
+
+def run_soak(dim, components, make_transports, clients, draws, cleanup=None):
+    """N concurrent clients against one shared worker set, checked bit-exact."""
+    config = make_config()
+
+    expected = {}
+    for seed in range(clients):
+        private = shared_workers(dim, components)
+        coordinator = coordinator_over(private, dim, components[0], concurrency=1)
+        expected[seed] = (
+            coordinator.sample(weight_fn, draws, config=config, seed=seed),
+            coordinator.network.snapshot().words_by_tag,
+        )
+        coordinator.close()
+
+    barrier = threading.Barrier(clients)
+    outcomes: dict = {}
+
+    def client(seed):
+        try:
+            coordinator = CoordinatorService(
+                make_transports(), dim, components[0]
+            )
+            barrier.wait(timeout=30.0)
+            result = coordinator.sample(weight_fn, draws, config=config, seed=seed)
+            ledger = coordinator.verify_wire_accounting()
+            outcomes[seed] = (
+                result, coordinator.network.snapshot().words_by_tag, ledger
+            )
+            coordinator.close()
+        except BaseException as exc:  # noqa: BLE001 - surfaces in the assert below
+            outcomes[seed] = exc
+
+    threads = [threading.Thread(target=client, args=(seed,)) for seed in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    try:
+        for seed in range(clients):
+            outcome = outcomes.get(seed)
+            assert not isinstance(outcome, BaseException), f"client {seed}: {outcome!r}"
+            assert outcome is not None, f"client {seed} never finished"
+            result, words_by_tag, _ = outcome
+            assert_same_draws(result, expected[seed][0])
+            assert words_by_tag == expected[seed][1]
+    finally:
+        if cleanup is not None:
+            cleanup()
+
+
+class TestSoak:
+    def test_loopback_soak_small(self):
+        """Tier-1 sized soak: 3 concurrent clients over shared loopback workers."""
+        dim, components = make_components(seed=12, servers=3, support=200)
+        workers = shared_workers(dim, components)
+        run_soak(
+            dim,
+            components,
+            lambda: [LoopbackTransport(w.handle_frame) for w in workers],
+            clients=3,
+            draws=5,
+        )
+
+    @pytest.mark.slow
+    def test_loopback_soak_heavy(self):
+        dim, components = make_components(seed=13)
+        workers = shared_workers(dim, components)
+        run_soak(
+            dim,
+            components,
+            lambda: [LoopbackTransport(w.handle_frame) for w in workers],
+            clients=6,
+            draws=16,
+        )
+
+    @pytest.mark.tcp
+    @pytest.mark.slow
+    def test_tcp_soak(self):
+        """N submit-style clients over real sockets against one worker set."""
+        dim, components = make_components(seed=14, servers=3, support=300)
+        workers = shared_workers(dim, components)
+        servers = [WorkerServer(w.handle_frame, concurrency=8) for w in workers]
+        addresses = [server.start() for server in servers]
+
+        def make_transports():
+            return [
+                TcpTransport(host, port, timeout=60.0)
+                for host, port in addresses
+            ]
+
+        run_soak(
+            dim,
+            components,
+            make_transports,
+            clients=4,
+            draws=8,
+            cleanup=lambda: [server.stop() for server in servers],
+        )

@@ -1,0 +1,361 @@
+"""Fault injection: corrupted, truncated, dropped and delayed worker replies.
+
+The contract under test: whatever a worker (or the network between) does to
+a reply -- truncating it, replacing it with garbage, flipping a byte,
+closing the connection mid-frame, lying about frame lengths, or simply
+never answering -- the coordinator surfaces a **typed** error
+(``WireFormatError``, ``WorkerProtocolError``, ``WorkerTimeoutError``) and
+returns promptly.  It must never hang, deadlock, or leak a bare
+``struct.error``/``IndexError``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    WireFormatError,
+    WorkerProtocolError,
+    WorkerTimeoutError,
+)
+from repro.runtime import wire
+from repro.runtime.service import CoordinatorService, WorkerService
+from repro.runtime.transport import (
+    LENGTH_PREFIX_BYTES,
+    LoopbackTransport,
+    TcpTransport,
+    Transport,
+    WorkerServer,
+)
+
+from test_runtime_transport import make_components, make_config, weight_fn
+
+#: Wall-clock ceiling for "the coordinator never hangs" assertions.
+PROMPT_SECONDS = 30.0
+
+
+# --------------------------------------------------------------------------- #
+# test doubles
+# --------------------------------------------------------------------------- #
+class FaultyTransport(Transport):
+    """Wraps an inner transport and corrupts replies per a fault schedule.
+
+    ``faults`` maps 0-based request indices to a fault name; requests not in
+    the map pass through untouched.  Fault names:
+
+    * ``"truncate"`` -- drop the second half of the reply frame;
+    * ``"garbage"``  -- replace the reply with 0xFF noise of the same length;
+    * ``"flip"``     -- flip one byte in the middle of the reply;
+    * ``"drop"``     -- raise ``ConnectionResetError`` instead of replying;
+    * ``"delay"``    -- sleep ``delay`` seconds, then answer normally.
+    """
+
+    def __init__(self, inner: Transport, faults: dict, *, delay: float = 0.0) -> None:
+        self._inner = inner
+        self._faults = dict(faults)
+        self._delay = delay
+        self._count = 0
+
+    def request(self, frame: bytes) -> bytes:
+        index = self._count
+        self._count += 1
+        fault = self._faults.get(index)
+        if fault == "drop":
+            raise ConnectionResetError("injected connection loss")
+        reply = self._inner.request(frame)
+        if fault == "truncate":
+            return reply[: max(1, len(reply) // 2)]
+        if fault == "garbage":
+            return b"\xff" * len(reply)
+        if fault == "flip":
+            # Flip a *framing* byte (the version field): a flipped byte in
+            # the 8-byte-per-word float body would decode to a different
+            # number -- the word model carries no checksums, by design --
+            # while framing corruption must be detected structurally.
+            mutated = bytearray(reply)
+            mutated[4] ^= 0x40
+            return bytes(mutated)
+        if fault == "delay":
+            time.sleep(self._delay)
+        return reply
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class FaultyWorkerServer:
+    """A raw TCP server speaking deliberately broken length-prefixed frames.
+
+    Modes (applied to every request after reading it in full):
+
+    * ``"truncate_frame"``   -- announce N bytes, send N//2, close;
+    * ``"garbage"``          -- valid prefix, 0xFF noise instead of a frame;
+    * ``"oversized_prefix"`` -- announce a frame beyond MAX_FRAME_BYTES;
+    * ``"lying_prefix"``     -- announce far more bytes than will ever come;
+    * ``"close_mid_prefix"`` -- send half a length prefix, close;
+    * ``"silent"``           -- read the request, never answer.
+    """
+
+    def __init__(self, mode: str) -> None:
+        self._mode = mode
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self._sock.settimeout(0.2)
+        self.port = self._sock.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _recv_exactly(self, conn: socket.socket, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            chunk = conn.recv(remaining)
+            if not chunk:
+                raise ConnectionError("client went away")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with conn:
+                try:
+                    while not self._stop.is_set():
+                        header = self._recv_exactly(conn, LENGTH_PREFIX_BYTES)
+                        self._recv_exactly(conn, int.from_bytes(header, "big"))
+                        if self._mode == "truncate_frame":
+                            conn.sendall((64).to_bytes(8, "big") + b"\x00" * 32)
+                            break
+                        if self._mode == "garbage":
+                            conn.sendall((32).to_bytes(8, "big") + b"\xff" * 32)
+                        elif self._mode == "oversized_prefix":
+                            conn.sendall(((1 << 40)).to_bytes(8, "big"))
+                        elif self._mode == "lying_prefix":
+                            conn.sendall((1 << 20).to_bytes(8, "big") + b"\x00" * 64)
+                        elif self._mode == "close_mid_prefix":
+                            conn.sendall(b"\x00\x00\x00")
+                            break
+                        elif self._mode == "silent":
+                            continue
+                        else:  # pragma: no cover - misconfigured test
+                            raise AssertionError(f"unknown mode {self._mode}")
+                except (ConnectionError, socket.timeout, OSError):
+                    pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._sock.close()
+        self._thread.join(timeout=5.0)
+
+
+def faulty_coordinator(faults_per_worker, *, delay=0.0, concurrency=None):
+    """A loopback coordinator whose worker transports inject faults."""
+    dim, components = make_components(seed=20, servers=3, support=200)
+    workers = [WorkerService(idx, val, dim) for idx, val in components[1:]]
+    transports = [
+        FaultyTransport(
+            LoopbackTransport(worker.handle_frame),
+            faults_per_worker.get(index, {}),
+            delay=delay,
+        )
+        for index, worker in enumerate(workers)
+    ]
+    return (
+        CoordinatorService(transports, dim, components[0], concurrency=concurrency),
+        dim,
+    )
+
+
+def assert_prompt(start: float) -> None:
+    assert time.perf_counter() - start < PROMPT_SECONDS, "coordinator hung"
+
+
+# --------------------------------------------------------------------------- #
+# loopback fault injection: codec-level corruption reaches typed errors
+# --------------------------------------------------------------------------- #
+class TestFaultyTransportLoopback:
+    @pytest.mark.parametrize("fault", ["truncate", "garbage", "flip"])
+    @pytest.mark.parametrize("concurrency", [1, None])
+    def test_corrupted_reply_raises_typed_error(self, fault, concurrency):
+        # Fault the second request (the handshake's hello is request 0) so
+        # corruption lands mid-protocol, under both schedules.
+        coordinator, _ = faulty_coordinator(
+            {1: {1: fault}}, concurrency=concurrency
+        )
+        start = time.perf_counter()
+        with pytest.raises((WireFormatError, WorkerProtocolError)):
+            coordinator.sample(weight_fn, 5, config=make_config(), seed=0)
+        assert_prompt(start)
+        coordinator.close()
+
+    def test_dropped_connection_surfaces(self):
+        coordinator, _ = faulty_coordinator({0: {2: "drop"}})
+        start = time.perf_counter()
+        with pytest.raises(ConnectionError):
+            coordinator.sample(weight_fn, 5, config=make_config(), seed=0)
+        assert_prompt(start)
+        coordinator.close()
+
+    def test_corrupted_handshake_raises_before_protocol(self):
+        dim, components = make_components(seed=21, servers=2, support=100)
+        worker = WorkerService(*components[1], dim)
+        transport = FaultyTransport(
+            LoopbackTransport(worker.handle_frame), {0: "garbage"}
+        )
+        with pytest.raises(WireFormatError):
+            CoordinatorService([transport], dim, components[0])
+
+    def test_error_frames_surface_as_worker_protocol_error(self):
+        """A worker that *reports* a fault (vs corrupting bytes) stays typed."""
+        dim, components = make_components(seed=22, servers=2, support=100)
+
+        def broken_handler(frame):
+            decoded = wire.decode_frame(frame)
+            if decoded.op == "hello":
+                return WorkerService(*components[1], dim).handle_frame(frame)
+            return wire.encode_frame(
+                "error", {"type": "RuntimeError", "message": "disk on fire"}
+            )
+
+        coordinator = CoordinatorService(
+            [LoopbackTransport(broken_handler)], dim, components[0]
+        )
+        with pytest.raises(WorkerProtocolError, match="disk on fire"):
+            coordinator.sample(weight_fn, 5, config=make_config(), seed=0)
+        coordinator.close()
+
+
+# --------------------------------------------------------------------------- #
+# TCP fault injection: socket-level corruption reaches typed errors
+# --------------------------------------------------------------------------- #
+@pytest.mark.tcp
+class TestFaultyWorkerServerTcp:
+    EXPECTATIONS = {
+        "truncate_frame": WorkerProtocolError,
+        "garbage": WireFormatError,
+        "oversized_prefix": WireFormatError,
+        "lying_prefix": WorkerTimeoutError,
+        "close_mid_prefix": WorkerProtocolError,
+        "silent": WorkerTimeoutError,
+    }
+
+    @pytest.mark.parametrize("mode", sorted(EXPECTATIONS))
+    def test_broken_server_surfaces_typed_error(self, mode):
+        server = FaultyWorkerServer(mode)
+        try:
+            transport = TcpTransport("127.0.0.1", server.port, timeout=2.0)
+            start = time.perf_counter()
+            with pytest.raises(self.EXPECTATIONS[mode]):
+                transport.request(wire.encode_frame("hello"))
+            assert_prompt(start)
+            transport.close()
+        finally:
+            server.stop()
+
+    def test_pipelined_wave_against_broken_server_stays_typed(self):
+        server = FaultyWorkerServer("truncate_frame")
+        try:
+            transport = TcpTransport("127.0.0.1", server.port, timeout=2.0)
+            start = time.perf_counter()
+            with pytest.raises((WorkerProtocolError, WireFormatError)):
+                transport.request_many(
+                    [wire.encode_frame("op", {"i": i}) for i in range(4)]
+                )
+            assert_prompt(start)
+            transport.close()
+        finally:
+            server.stop()
+
+    def test_raising_handler_kills_connection_not_client(self):
+        """A handler that raises (no error frame) must not strand the client."""
+
+        def exploding_handler(frame):
+            raise RuntimeError("handler bug")
+
+        worker_server = WorkerServer(exploding_handler)
+        host, port = worker_server.start()
+        try:
+            transport = TcpTransport(host, port, timeout=5.0)
+            start = time.perf_counter()
+            with pytest.raises((WorkerProtocolError, ConnectionError, OSError)):
+                transport.request(wire.encode_frame("hello"))
+            assert_prompt(start)
+            transport.close()
+        finally:
+            worker_server.stop()
+
+    def test_delayed_reply_times_out_typed_then_recovers(self):
+        release = threading.Event()
+
+        def slow_handler(frame):
+            decoded = wire.decode_frame(frame)
+            if decoded.meta.get("slow"):
+                release.wait(timeout=10.0)
+            return wire.encode_frame("ack", {"i": decoded.meta.get("i", -1)})
+
+        worker_server = WorkerServer(slow_handler)
+        host, port = worker_server.start()
+        try:
+            transport = TcpTransport(host, port, timeout=0.5)
+            with pytest.raises(WorkerTimeoutError):
+                transport.request(wire.encode_frame("op", {"slow": True, "i": 0}))
+            release.set()
+            # The transport recovers on a fresh connection.
+            reply = transport.request(wire.encode_frame("op", {"i": 7}))
+            assert wire.decode_frame(reply).meta["i"] == 7
+            transport.close()
+        finally:
+            release.set()
+            worker_server.stop()
+
+
+class TestWorkerServiceFrameFaults:
+    """The worker-side dispatcher answers malformed requests with error frames."""
+
+    def make_worker(self):
+        dim, components = make_components(seed=23, servers=2, support=100)
+        return WorkerService(*components[1], dim)
+
+    def test_garbage_request_returns_error_frame(self):
+        worker = self.make_worker()
+        reply = wire.decode_frame(worker.handle_frame(b"\xff" * 64))
+        assert reply.op == "error"
+        assert reply.meta["type"] == "WireFormatError"
+
+    def test_truncated_request_returns_error_frame(self):
+        worker = self.make_worker()
+        valid = wire.encode_frame("hello")
+        reply = wire.decode_frame(worker.handle_frame(valid[: len(valid) // 2]))
+        assert reply.op == "error"
+        assert reply.meta["type"] == "WireFormatError"
+
+    def test_unknown_op_returns_error_frame(self):
+        worker = self.make_worker()
+        reply = wire.decode_frame(worker.handle_frame(wire.encode_frame("bogus")))
+        assert reply.op == "error"
+        assert reply.meta["type"] == "WorkerProtocolError"
+
+    def test_sketch_with_wrong_meta_types_stays_typed(self):
+        worker = self.make_worker()
+        frame = wire.encode_frame(
+            "sketch",
+            {"num_buckets": 4, "depth": "not an int", "width": 8,
+             "nonempty": [0], "tables_tag": "t", "token": None,
+             "threshold": None, "session": ""},
+            [("seeds", np.arange(3, dtype=np.int64)),
+             ("bucket", (np.zeros((1, 2), dtype=np.int64),
+                         np.zeros((1, 2), dtype=np.int64)))],
+        )
+        reply = wire.decode_frame(worker.handle_frame(frame))
+        assert reply.op == "error"  # typed error frame, not a crashed worker

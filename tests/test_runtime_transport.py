@@ -232,6 +232,7 @@ class TestTransportNetworkAudit:
         network.verify_wire_accounting()
 
 
+@pytest.mark.tcp
 class TestTcpTransport:
     def test_tcp_run_matches_simulation_and_shuts_down(self):
         dim, components = make_components(seed=8, servers=3, support=300)

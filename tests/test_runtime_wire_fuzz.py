@@ -1,0 +1,207 @@
+"""Wire-codec fuzzing: mutated and truncated buffers must fail *typed*.
+
+Property under test: for any valid wire buffer, any truncation and any
+single-byte mutation either still decodes (mutations inside the 8-byte-per-
+word data section legitimately change values -- the word model carries no
+checksums) or raises :class:`~repro.core.errors.WireFormatError`.  Never a
+bare ``struct.error``, ``IndexError``, ``UnicodeDecodeError``,
+``TypeError``, ``RecursionError`` -- and never a hang (each decode touches
+at most the buffer's own bytes).
+
+The corpus covers every node type the codec speaks: scalars, arrays of all
+dtypes, sparse matrices, strings, messages, nested containers, and full
+transport frames with tagged/untagged entries and request ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.errors import WireFormatError
+from repro.distributed.message import Message
+from repro.runtime import wire
+
+#: Single-byte mutations attempted per corpus buffer.
+MUTATIONS_PER_BUFFER = 400
+#: Truncation points sampled per corpus buffer (plus the first/last 24).
+TRUNCATIONS_PER_BUFFER = 120
+
+
+def payload_corpus():
+    rng = np.random.default_rng(2016)
+    return [
+        None,
+        True,
+        -17,
+        3.25,
+        np.float32(0.5),
+        np.uint64(2**63),
+        "an ascii string crossing words",
+        np.arange(64, dtype=np.int64),
+        rng.normal(size=(5, 7)),
+        (rng.random(40) < 0.5),
+        np.arange(24, dtype=np.uint16).reshape(2, 3, 4),
+        sparse.random(13, 9, density=0.4, random_state=5, format="csr"),
+        sparse.random(6, 20, density=0.2, random_state=6, format="coo"),
+        Message(sender=2, receiver=0, payload=np.arange(9, dtype=float), tag="tables"),
+        {"idx": np.arange(10), "nested": {"deep": [1, (2.0, "three"), None]}},
+        [{1, 2, 3}, frozenset({"a", "b"}), [np.int8(-4), np.arange(3)]],
+    ]
+
+
+def frame_corpus():
+    rng = np.random.default_rng(4242)
+    return [
+        wire.encode_frame("hello"),
+        wire.encode_frame("shutdown", request_id=(1 << 63) + 5),
+        wire.encode_frame(
+            "sketch",
+            {"num_buckets": 8, "depth": 3, "width": 16, "nonempty": [0, 2, 5],
+             "token": 1, "threshold": 12, "session": "abc123", "tables_tag": "t"},
+            [("hh:seeds", np.arange(6, dtype=np.int64)),
+             ("hh:bucket:seeds", (rng.integers(0, 100, size=(3, 2)),
+                                  rng.integers(0, 100, size=(3, 2)))),
+             (None, np.arange(5))],
+            request_id=77,
+        ),
+        wire.encode_frame(
+            "values", {"tag": "collect"}, [("collect", rng.normal(size=40))]
+        ),
+        wire.encode_frame(
+            "error", {"type": "RuntimeError", "message": "injected"}
+        ),
+    ]
+
+
+def assert_decode_is_typed(decode, buf):
+    """``decode(buf)`` must either succeed or raise WireFormatError."""
+    try:
+        decode(buf)
+    except WireFormatError:
+        pass
+    # Any other exception type propagates and fails the test.
+
+
+class TestPayloadFuzz:
+    @pytest.mark.parametrize(
+        "payload", payload_corpus(),
+        ids=[type(p).__name__ + str(i) for i, p in enumerate(payload_corpus())],
+    )
+    def test_single_byte_mutations_stay_typed(self, payload):
+        buf = wire.to_bytes(payload)
+        rng = np.random.default_rng(len(buf))
+        positions = rng.integers(0, len(buf), size=MUTATIONS_PER_BUFFER)
+        values = rng.integers(0, 256, size=MUTATIONS_PER_BUFFER)
+        for pos, value in zip(positions, values):
+            mutated = bytearray(buf)
+            mutated[pos] = value
+            assert_decode_is_typed(wire.from_bytes, bytes(mutated))
+
+    @pytest.mark.parametrize(
+        "payload", payload_corpus(),
+        ids=[type(p).__name__ + str(i) for i, p in enumerate(payload_corpus())],
+    )
+    def test_truncations_raise(self, payload):
+        buf = wire.to_bytes(payload)
+        rng = np.random.default_rng(len(buf) + 1)
+        cuts = set(range(min(24, len(buf)))) | set(
+            max(0, len(buf) - k) for k in range(1, 25)
+        )
+        cuts |= set(rng.integers(0, len(buf), size=TRUNCATIONS_PER_BUFFER).tolist())
+        for cut in sorted(cuts):
+            if cut == len(buf):
+                continue
+            with pytest.raises(WireFormatError):
+                wire.from_bytes(buf[:cut])
+
+
+class TestFrameFuzz:
+    @pytest.mark.parametrize(
+        "buf", frame_corpus(),
+        ids=[f"frame{i}" for i in range(len(frame_corpus()))],
+    )
+    def test_single_byte_mutations_stay_typed(self, buf):
+        rng = np.random.default_rng(len(buf) * 3)
+        positions = rng.integers(0, len(buf), size=MUTATIONS_PER_BUFFER)
+        values = rng.integers(0, 256, size=MUTATIONS_PER_BUFFER)
+        for pos, value in zip(positions, values):
+            mutated = bytearray(buf)
+            mutated[pos] = value
+            mutated = bytes(mutated)
+            assert_decode_is_typed(wire.decode_frame, mutated)
+            # The O(1) peek helpers obey the same contract.
+            assert_decode_is_typed(wire.frame_request_id, mutated)
+            assert_decode_is_typed(
+                lambda b: wire.stamp_request_id(b, 9), mutated
+            )
+
+    @pytest.mark.parametrize(
+        "buf", frame_corpus(),
+        ids=[f"frame{i}" for i in range(len(frame_corpus()))],
+    )
+    def test_truncations_raise(self, buf):
+        for cut in range(len(buf)):
+            with pytest.raises(WireFormatError):
+                wire.decode_frame(buf[:cut])
+
+    def test_double_byte_mutations_stay_typed(self):
+        """Pairs of mutations (framing + body) still fail typed."""
+        buf = frame_corpus()[2]
+        rng = np.random.default_rng(7)
+        for _ in range(MUTATIONS_PER_BUFFER):
+            mutated = bytearray(buf)
+            for pos in rng.integers(0, len(buf), size=2):
+                mutated[pos] = rng.integers(0, 256)
+            assert_decode_is_typed(wire.decode_frame, bytes(mutated))
+
+    def test_mutated_buffers_never_leak_untyped_across_seeds(self):
+        """A denser sweep over one frame: every offset, a few values each."""
+        buf = wire.encode_frame(
+            "op", {"k": [1, "two", 3.0]}, [("t", np.arange(9))], request_id=3
+        )
+        for pos in range(len(buf)):
+            for value in (0x00, 0x01, 0x7F, 0x80, 0xFF):
+                mutated = bytearray(buf)
+                mutated[pos] = value
+                assert_decode_is_typed(wire.decode_frame, bytes(mutated))
+
+
+class TestRequestIdSection:
+    def test_roundtrip_and_peek(self):
+        frame = wire.encode_frame("op", {"a": 1}, request_id=123456789)
+        assert wire.frame_request_id(frame) == 123456789
+        assert wire.decode_frame(frame).request_id == 123456789
+
+    def test_stamp_preserves_everything_else(self):
+        frame = wire.encode_frame(
+            "op", {"a": 1}, [("t", np.arange(4))], request_id=1
+        )
+        stamped = wire.stamp_request_id(frame, 42)
+        assert wire.frame_request_id(stamped) == 42
+        original = wire.decode_frame(frame)
+        decoded = wire.decode_frame(stamped)
+        assert decoded.op == original.op and decoded.meta == original.meta
+        np.testing.assert_array_equal(decoded.entry(0), original.entry(0))
+        assert decoded.data_sections == original.data_sections
+        # The id is framing: data-plane accounting is untouched.
+        assert decoded.overhead_bytes == original.overhead_bytes
+
+    def test_request_id_is_not_charged_words(self):
+        _, sections_a, overhead_a = wire.encode_frame_with_stats("op", request_id=0)
+        _, sections_b, overhead_b = wire.encode_frame_with_stats(
+            "op", request_id=(1 << 64) - 1
+        )
+        assert sections_a == sections_b
+        assert overhead_a == overhead_b
+
+    def test_payload_buffers_are_rejected_by_peek(self):
+        with pytest.raises(WireFormatError, match="kind"):
+            wire.frame_request_id(wire.to_bytes(np.arange(8)))
+
+    def test_out_of_range_ids_are_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_frame("op", request_id=1 << 64)
+        with pytest.raises(WireFormatError):
+            wire.stamp_request_id(wire.encode_frame("op"), -1)
