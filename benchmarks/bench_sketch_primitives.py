@@ -117,10 +117,12 @@ try:
             "vector_collect",
             "vector_restrict",
             "vector_restrict_by_masks",
+            "streaming_apply_deltas",
             "runtime_pipelined_sample",
             "sampler_sample_rows",
         }
         assert payload["results"]["runtime_pipelined_sample"]["bit_identical"]
+        assert payload["results"]["streaming_apply_deltas"]["bit_identical"]
         # Only the large CountSketch cases have enough margin (~10x) to
         # assert a ratio without flaking on loaded machines.
         assert payload["results"]["countsketch_sketch"]["speedup"] > 1.0
@@ -266,6 +268,84 @@ def _runtime_latency_entry(
     }
 
 
+def _streaming_entry(
+    *,
+    domain: int,
+    support: int,
+    servers: int = 4,
+    delta_size: int = 10_000,
+    rounds: int = 3,
+    depth: int = 5,
+    width: int = 1024,
+) -> dict:
+    """Incremental stream-state refresh vs full resketch under delta batches."""
+    from repro.backend import create_backend
+    from repro.runtime.state import CountSketchState
+    from repro.sketch.countsketch import CountSketch
+
+    generator = np.random.default_rng(17)
+    components = []
+    for _ in range(servers):
+        idx = np.sort(
+            generator.choice(domain, size=support, replace=False)
+        ).astype(np.int64)
+        components.append((idx, generator.integers(-5, 6, size=support).astype(float)))
+
+    def make_deltas(round_seed: int):
+        rng = np.random.default_rng(round_seed)
+        return [
+            (
+                np.sort(rng.choice(domain, size=delta_size, replace=False)).astype(
+                    np.int64
+                ),
+                rng.integers(-5, 6, size=delta_size).astype(float),
+            )
+            for _ in range(servers)
+        ]
+
+    session = create_backend("local").session(components, domain)
+    session.sketch_state(depth, width, seed=23, stream="bench")  # prime the stream
+
+    sketch = CountSketch(depth, width, domain, seed=23)
+    current = [list(component) for component in components]
+
+    incremental = 0.0
+    resketch = 0.0
+    for bench_round in range(rounds):
+        deltas = make_deltas(1000 + bench_round)
+        start = time.perf_counter()
+        session.apply_deltas(deltas)
+        refreshed = session.sketch_state(depth, width, seed=23, stream="bench")
+        incremental += time.perf_counter() - start
+
+        for server, (d_idx, d_val) in enumerate(deltas):
+            current[server][0] = np.concatenate((current[server][0], d_idx))
+            current[server][1] = np.concatenate((current[server][1], d_val))
+        start = time.perf_counter()
+        scratch = CountSketchState.merge_all(
+            [
+                sketch.export_state(sketch.sketch(idx, val))
+                for idx, val in current
+            ]
+        )
+        resketch += time.perf_counter() - start
+        assert refreshed.equals(scratch), "incremental state diverged from resketch"
+    session.close()
+    return {
+        "dimension": domain,
+        "servers": servers,
+        "support_per_server": support,
+        "delta_per_server": delta_size,
+        "rounds": rounds,
+        "depth": depth,
+        "width": width,
+        "incremental_seconds": incremental / rounds,
+        "resketch_seconds": resketch / rounds,
+        "speedup": resketch / incremental,
+        "bit_identical": True,
+    }
+
+
 def emit_speedup_json(
     write_root: bool = True,
     *,
@@ -368,13 +448,31 @@ def emit_speedup_json(
         "queries": collect_query.size,
         **_timed_pair(lambda: vector.collect(collect_query, tag="bench"), repeats=2),
     }
+    # Multi-level restriction with the subsample hash g cached across levels
+    # (what every z_heavy_hitters caller now does through
+    # `subsample_restrictor`, as the Z-estimator always has): the fused side
+    # evaluates the degree-16 polynomial ONCE and thresholds the cached
+    # values per level; the naive reference re-evaluates g per level --
+    # the seed behaviour ROADMAP flagged as the remaining hash-bound lever.
     subsample = SubsampleHash(domain_scale=domain, seed=8)
+    restrict_levels = (1, 2, 3)
+
+    def _restrict_cached_g():
+        restrictor = vector.subsample_restrictor(subsample)
+        return [restrictor.restrict(level) for level in restrict_levels]
+
+    def _restrict_per_level():
+        return [
+            vector.restrict(subsample.level_predicate(level))
+            for level in restrict_levels
+        ]
+
     results["vector_restrict"] = {
         "dimension": vector.dimension,
         "servers": vector.num_servers,
-        **_timed_pair(
-            lambda: vector.restrict(subsample.level_predicate(2)), repeats=2
-        ),
+        "levels": len(restrict_levels),
+        "cached_g": True,
+        **_timed_pair_fns(_restrict_cached_g, _restrict_per_level, repeats=2),
     }
 
     # The split/slice step alone (masks precomputed -- exactly what the
@@ -399,6 +497,17 @@ def emit_speedup_json(
             lambda: vector.restrict_by_masks(level_masks), _split_reference, repeats=3
         ),
     }
+
+    # Streaming delta ingestion at scale: maintaining the exported sketch
+    # state of a live vector under per-server delta batches.  Incremental =
+    # session.apply_deltas + cached stream-state export (only the deltas are
+    # sketched, tables merged through the merge layer); baseline = the
+    # from-scratch resketch of every server's full component that the same
+    # export costs without the stream cache.  Bit-identity of the two states
+    # is asserted on every round (integer-weighted stream).
+    results["streaming_apply_deltas"] = _streaming_entry(
+        domain=domain, support=max(1, support // 2)
+    )
 
     # Runtime coordinator over a simulated-latency transport: the sequential
     # worker-by-worker schedule pays every worker's round-trip, the
@@ -453,6 +562,7 @@ GATED_ENTRIES = (
     "countsketch_estimate_all",
     "build_domain_cache",
     "z_heavy_hitters",
+    "streaming_apply_deltas",
 )
 
 #: The pipelined coordinator must beat the sequential schedule by at least
@@ -497,6 +607,13 @@ if __name__ == "__main__":
                 f"({entry['sequential_seconds']:.3f}s -> "
                 f"{entry['pipelined_seconds']:.3f}s at "
                 f"{entry['simulated_one_way_delay_seconds'] * 1e3:.0f}ms one-way delay)"
+            )
+        elif "incremental_seconds" in entry:
+            print(
+                f"{name}: {entry['speedup']:.1f}x incremental refresh vs full "
+                f"resketch ({entry['resketch_seconds']:.3f}s -> "
+                f"{entry['incremental_seconds']:.3f}s per "
+                f"{entry['delta_per_server']}-delta round)"
             )
         elif "speedup" in entry:
             print(

@@ -1,0 +1,130 @@
+"""Execution backends: one seam contract, selectable by name.
+
+The protocols of this library (Algorithms 2/3/4 and the streaming delta
+workload) run unmodified over any :class:`~repro.backend.base.ExecutionBackend`;
+the backend owns the per-server seam contract -- ``batched_sketch_tables``,
+``subsample_restrictor``, ``collect``, the handshake/shutdown lifecycle and
+the per-tag word/byte accounting.  Four engines are registered:
+
+========== ==================================================================
+``local``   in-process simulation (the default; fastest, exact accounting)
+``mp``      per-server seam work in OS worker processes (shared-memory pool)
+``loopback`` the coordinator/worker services over in-memory frames (full
+            codec + byte audit, zero I/O)
+``tcp``     the same services over real asyncio sockets
+========== ==================================================================
+
+All four are **bit-identical** for a fixed seed -- draws, probabilities,
+estimates, per-tag words -- and the transport pair additionally audits
+``data bytes == 8 x words`` per tag (``tests/test_backend_matrix.py``).
+
+Select one by name::
+
+    from repro.backend import create_backend
+
+    with create_backend("tcp").session(components, dimension) as session:
+        draws = session.sample(weight_fn, 16, seed=7)
+        session.apply_deltas(per_server_deltas)      # streaming ingestion
+        state = session.sketch_state(5, 256, seed=1)  # incremental export
+
+or from the CLI: ``python -m repro figure1 --backend mp``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.backend.base import ExecutionBackend, ExecutionSession
+from repro.backend.local import LocalBackend, LocalSession
+from repro.backend.mp import MultiprocessSketchBackend
+from repro.backend.streaming import StreamingSketchState
+
+#: Registered backend factories, keyed by CLI name.
+_BACKENDS: Dict[str, Callable[..., ExecutionBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., ExecutionBackend]) -> None:
+    """Register a backend factory under ``name`` (latest registration wins)."""
+    _BACKENDS[str(name)] = factory
+
+
+def available_backends() -> tuple:
+    """Names accepted by :func:`create_backend` (and every ``--backend`` flag)."""
+    return tuple(sorted(_BACKENDS))
+
+
+def create_backend(name: str, **options) -> ExecutionBackend:
+    """Instantiate a registered backend by name.
+
+    ``options`` are forwarded to the backend factory (e.g.
+    ``create_backend("mp", processes=4)`` or
+    ``create_backend("tcp", concurrency=1)``).
+    """
+    try:
+        factory = _BACKENDS[str(name)]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {name!r}; available: "
+            + ", ".join(available_backends())
+        ) from None
+    return factory(**options)
+
+
+def resolve_backend(backend) -> ExecutionBackend:
+    """Coerce a backend name / instance / ``None`` into an :class:`ExecutionBackend`.
+
+    ``None`` resolves to the default ``local`` backend -- the one choice
+    that reproduces the pre-backend-layer behaviour exactly.
+    """
+    if backend is None:
+        return create_backend("local")
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    return create_backend(str(backend))
+
+
+def _transport_factory(kind: str) -> Callable[..., ExecutionBackend]:
+    """Deferred transport-backend factory.
+
+    :mod:`repro.backend.transport` imports :mod:`repro.runtime.service`,
+    which itself builds on this package's base layer -- importing it lazily
+    keeps the layering acyclic (base -> runtime services -> transport
+    backend).
+    """
+
+    def make(**options) -> ExecutionBackend:
+        from repro.backend.transport import TransportBackend
+
+        return TransportBackend(kind, **options)
+
+    return make
+
+
+register_backend("local", LocalBackend)
+register_backend("mp", MultiprocessSketchBackend)
+register_backend("loopback", _transport_factory("loopback"))
+register_backend("tcp", _transport_factory("tcp"))
+
+
+def __getattr__(name: str):
+    """Lazy exports of the transport classes (same acyclicity note as above)."""
+    if name in ("TransportBackend", "HostedTransportSession"):
+        from repro.backend import transport
+
+        return getattr(transport, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutionSession",
+    "LocalBackend",
+    "LocalSession",
+    "MultiprocessSketchBackend",
+    "TransportBackend",
+    "HostedTransportSession",
+    "StreamingSketchState",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,236 @@
+"""The execution-backend layer: one seam contract, many engines.
+
+Algorithms 2/3/4 never touch a server's raw data directly -- all per-server
+work flows through the seams of
+:class:`~repro.distributed.vector.DistributedVector`
+(``batched_sketch_tables``, ``subsample_restrictor``, ``collect``) plus a
+handshake/shutdown lifecycle and per-tag word/byte accounting.  Before this
+layer existed, each execution path (in-process simulation, shared-memory
+worker pool, TCP coordinator) re-implemented that plumbing with its own
+setup, accounting and teardown.  This module owns the contract once:
+
+* an :class:`ExecutionBackend` is a named factory (``local``, ``mp``,
+  ``loopback``, ``tcp`` -- see :mod:`repro.backend`) that opens sessions
+  over a set of per-server sparse components;
+* an :class:`ExecutionSession` is one open run: it hands out protocol
+  vectors whose seams route to that backend's executors, runs the
+  *unmodified* protocol code (:meth:`z_heavy_hitters`, :meth:`estimate`,
+  :meth:`sample` live here, shared by every backend), ingests streaming
+  deltas (:meth:`apply_deltas`), and exports incrementally maintained
+  sketch state (:meth:`sketch_state`).
+
+The load-bearing invariant, asserted by ``tests/test_backend_matrix.py``:
+for a fixed seed, **every** backend produces bit-identical draws,
+probabilities, estimates and per-tag word counts, and transport-backed
+backends additionally move exactly ``BYTES_PER_WORD`` data bytes per
+charged word.  A fourth backend only has to implement the four abstract
+methods below to inherit the whole protocol surface and the accounting
+contract (see the README's *Execution backends* section).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+from repro.distributed.network import BYTES_PER_WORD, Network
+from repro.distributed.vector import DistributedVector, LocalComponent
+
+
+class ExecutionSession(abc.ABC):
+    """One open protocol run against a backend's per-server executors.
+
+    Subclasses provide the seam plumbing (how a vector's per-server work is
+    executed, how deltas reach the servers, how stream-sketch states are
+    produced); the protocol entry points, the streaming accounting and the
+    word/byte audit live here, once.
+    """
+
+    #: Maximum per-session (and per-worker) cached stream-sketch states;
+    #: least recently used streams are evicted beyond it.  Shared by every
+    #: backend so cache behaviour -- hence float-stream results -- cannot
+    #: diverge between them.
+    MAX_STREAM_STATES = 4
+
+    # ------------------------------------------------------------------ #
+    # abstract seam surface
+    # ------------------------------------------------------------------ #
+    @property
+    @abc.abstractmethod
+    def dimension(self) -> int:
+        """Length of the implicitly summed vector."""
+
+    @property
+    @abc.abstractmethod
+    def network(self) -> Network:
+        """The accounting network every protocol run charges into."""
+
+    @abc.abstractmethod
+    def vector(self) -> DistributedVector:
+        """A protocol view of the summed vector, seams routed to this backend."""
+
+    @abc.abstractmethod
+    def apply_deltas(self, deltas: Sequence[LocalComponent]) -> None:
+        """Apply per-server coordinate deltas to the session's base vector.
+
+        ``deltas`` holds one sparse ``(indices, values)`` shard per server
+        (the stream slice that arrived at that server).  Ingestion is free
+        local work -- like the initial data placement, it charges no words
+        -- and incrementally refreshes every cached stream-sketch state
+        through the merge layer instead of resketching.  For
+        integer-weighted streams the refreshed states and all subsequent
+        protocol results are bit-identical to a from-scratch session over
+        the appended components (asserted per backend by the matrix suite).
+        """
+
+    @abc.abstractmethod
+    def _stream_sketch_states(self, sketch, stream: str, tag: str) -> List:
+        """Per-server :class:`~repro.runtime.state.CountSketchState` list.
+
+        Backend hook of :meth:`sketch_state`: produce (or refresh from the
+        stream cache keyed by ``stream``) every server's exported state for
+        the broadcast ``sketch``, server 0 first.  Accounting is handled by
+        the caller; transport backends additionally ship the coefficients /
+        tables as tagged wire sections under ``tag``.
+        """
+
+    # ------------------------------------------------------------------ #
+    # shared protocol entry points (formerly re-implemented per path)
+    # ------------------------------------------------------------------ #
+    def _check_protocol_ready(self) -> None:
+        """Hook: backends veto protocol runs they cannot serve (default: none)."""
+
+    def z_heavy_hitters(self, params=None, *, seed=None, tag: str = "z_heavy_hitters"):
+        """Run Algorithm 2 on this backend (same-seed identical everywhere)."""
+        from repro.sketch.z_heavy_hitters import z_heavy_hitters
+
+        self._check_protocol_ready()
+        return z_heavy_hitters(self.vector(), params, seed=seed, tag=tag)
+
+    def estimate(self, weight_fn, *, config=None, seed=None):
+        """Run Algorithm 3 (the Z-estimator) on this backend."""
+        from repro.sketch.z_estimator import ZEstimator
+        from repro.sketch.z_sampler import ZSamplerConfig
+
+        self._check_protocol_ready()
+        config = config or ZSamplerConfig()
+        estimator = ZEstimator(
+            weight_fn,
+            epsilon=config.epsilon,
+            hh_params=config.hh_params,
+            num_levels=config.num_levels,
+            max_levels=config.max_levels,
+            min_level_count=config.min_level_count,
+            seed=seed,
+        )
+        return estimator.estimate(self.vector())
+
+    def sample(self, weight_fn, count: int, *, config=None, seed=None):
+        """Run Algorithm 4 (Z-sampling) end-to-end on this backend."""
+        from repro.sketch.z_sampler import ZSampler
+
+        self._check_protocol_ready()
+        sampler = ZSampler(weight_fn, config, seed=seed)
+        return sampler.sample(self.vector(), count)
+
+    # ------------------------------------------------------------------ #
+    # streaming sketch export
+    # ------------------------------------------------------------------ #
+    def sketch_state(
+        self,
+        depth: int,
+        width: int,
+        *,
+        seed=None,
+        stream: str = "stream",
+        tag: Optional[str] = None,
+    ):
+        """Export the merged CountSketch state of the implicit vector.
+
+        The coordinator draws one sketch from ``seed``, broadcasts its
+        coefficients (charged, like every seed broadcast), and every server
+        ships back its component's table (charged); the merge layer adds
+        the per-server states into the state of the summed vector.  States
+        are cached per ``stream``: after :meth:`apply_deltas`, a repeated
+        call with the same ``stream`` and coefficients serves the
+        *incrementally refreshed* state -- only the deltas were sketched --
+        bit-identical to a from-scratch export for integer-weighted
+        streams.  Per-tag words (``<tag>:seeds``, ``<tag>:tables``) are
+        identical on every backend; transport backends carry exactly
+        ``BYTES_PER_WORD`` data bytes per charged word.
+        """
+        from repro.runtime.state import CountSketchState
+        from repro.sketch.countsketch import CountSketch
+
+        self._check_protocol_ready()
+        tag = tag or f"stream_sketch:{stream}"
+        sketch = CountSketch(int(depth), int(width), self.dimension, seed=seed)
+        network = self.network
+        for server in range(1, network.num_servers):
+            network.charge(0, server, sketch.seed_word_count(), tag=f"{tag}:seeds")
+        states = self._stream_sketch_states(sketch, str(stream), tag)
+        for server in range(1, network.num_servers):
+            network.charge(server, 0, sketch.table_word_count(), tag=f"{tag}:tables")
+        return CountSketchState.merge_all(states)
+
+    # ------------------------------------------------------------------ #
+    # accounting and lifecycle
+    # ------------------------------------------------------------------ #
+    def verify_accounting(self) -> Dict[str, int]:
+        """Return the per-tag data-byte ledger, auditing it where one exists.
+
+        In-process backends never serialise, so their ledger is *defined*
+        as ``BYTES_PER_WORD`` bytes per charged word; transport backends
+        override this with the real wire audit
+        (:meth:`~repro.distributed.network.TransportNetwork.verify_wire_accounting`),
+        raising :class:`~repro.core.errors.WireAccountingError` on any
+        mismatch.  Either way the returned mapping is comparable across
+        backends -- the matrix suite asserts it is *equal* across them.
+        """
+        snapshot = self.network.snapshot()
+        return {
+            sketch_tag: words * BYTES_PER_WORD
+            for sketch_tag, words in snapshot.words_by_tag.items()
+        }
+
+    def shutdown_workers(self) -> None:
+        """Ask remote executors to stop serving (no-op for in-process backends)."""
+
+    def close(self) -> None:
+        """Release executors, pools and transports (idempotent)."""
+
+    def __enter__(self) -> "ExecutionSession":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.close()
+
+
+class ExecutionBackend(abc.ABC):
+    """A named factory of :class:`ExecutionSession` runs.
+
+    Backends are registered by name in :mod:`repro.backend` and selected
+    from the experiments runner and the CLI (``--backend local|mp|tcp``).
+    """
+
+    #: Registry name (``local``, ``mp``, ``loopback``, ``tcp``).
+    name: str = "abstract"
+    #: True when :meth:`session` can charge into an existing
+    #: :class:`~repro.distributed.network.Network` (in-process backends);
+    #: transport backends own a byte-audited twin network instead, and
+    #: callers embedding them bridge the per-tag words afterwards.
+    reuses_network: bool = False
+
+    @abc.abstractmethod
+    def session(
+        self,
+        components: Sequence[LocalComponent],
+        dimension: int,
+        *,
+        network: Optional[Network] = None,
+        keep_messages: bool = False,
+    ) -> ExecutionSession:
+        """Open a session over one sparse ``(indices, values)`` pair per server."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"

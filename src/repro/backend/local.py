@@ -1,0 +1,125 @@
+"""The in-process execution backend (the simulation, behind the one contract).
+
+``LocalSession`` is the reference implementation of the seam contract: the
+per-server components live in this process, seams execute directly (or in a
+bound worker pool -- see :class:`repro.backend.mp.MultiprocessSketchBackend`,
+which reuses this session wholesale), communication is accounted on a plain
+:class:`~repro.distributed.network.Network`, and streaming deltas append to
+the components while the cached stream-sketch states refresh incrementally
+through the merge layer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Sequence
+
+from repro.backend.base import ExecutionBackend, ExecutionSession
+from repro.backend.streaming import StreamingSketchState
+from repro.distributed.network import Network
+from repro.distributed.vector import DistributedVector, LocalComponent
+
+
+class LocalSession(ExecutionSession):
+    """In-process session: components held locally, seams executed directly."""
+
+    def __init__(
+        self,
+        components: Sequence[LocalComponent],
+        dimension: int,
+        *,
+        network: Optional[Network] = None,
+        keep_messages: bool = False,
+        pool=None,
+    ) -> None:
+        self._network = (
+            network
+            if network is not None
+            else Network(len(components), keep_messages=keep_messages)
+        )
+        self._pool = pool
+        self._dimension = int(dimension)
+        # Construction validates the components eagerly (shapes, ranges,
+        # server count against the network).
+        self._base = self._make_vector(components)
+        #: stream name -> one StreamingSketchState per server (LRU-capped).
+        self._streams: "OrderedDict[str, List[StreamingSketchState]]" = OrderedDict()
+
+    def _make_vector(self, components: Sequence[LocalComponent]) -> DistributedVector:
+        vector = DistributedVector(components, self._dimension, self._network)
+        if self._pool is not None:
+            vector.bind_worker_pool(self._pool)
+        return vector
+
+    # ------------------------------------------------------------------ #
+    # seam surface
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        """Length of the implicitly summed vector."""
+        return self._dimension
+
+    @property
+    def network(self) -> Network:
+        """The accounting network of this session."""
+        return self._network
+
+    def vector(self) -> DistributedVector:
+        """The current base vector (replaced by :meth:`apply_deltas`)."""
+        return self._base
+
+    def apply_deltas(self, deltas: Sequence[LocalComponent]) -> None:
+        """Append per-server deltas and refresh cached stream states in place.
+
+        :meth:`DistributedVector.apply_deltas` validates the whole batch
+        (and raises) *before* any state changes, so a rejected batch leaves
+        the session untouched.
+        """
+        self._base = self._base.apply_deltas(deltas)
+        for states in self._streams.values():
+            for state, (d_idx, d_val) in zip(states, deltas):
+                state.ingest(d_idx, d_val)
+
+    def _stream_sketch_states(self, sketch, stream: str, tag: str) -> List:
+        states = self._streams.get(stream)
+        if states is not None and states and states[0].matches(sketch):
+            self._streams.move_to_end(stream)
+        else:
+            if stream not in self._streams:
+                while len(self._streams) >= self.MAX_STREAM_STATES:
+                    self._streams.popitem(last=False)
+            states = [
+                StreamingSketchState(
+                    sketch, *self._base.local_component(server)
+                )
+                for server in range(self._base.num_servers)
+            ]
+            self._streams[stream] = states
+            self._streams.move_to_end(stream)
+        return [state.state for state in states]
+
+    def close(self) -> None:
+        """Release the bound worker pool, if this session owns one."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+
+class LocalBackend(ExecutionBackend):
+    """In-process simulation backend (``--backend local``, the default)."""
+
+    name = "local"
+    reuses_network = True
+
+    def session(
+        self,
+        components: Sequence[LocalComponent],
+        dimension: int,
+        *,
+        network: Optional[Network] = None,
+        keep_messages: bool = False,
+    ) -> LocalSession:
+        """Open an in-process session (optionally charging an existing network)."""
+        return LocalSession(
+            components, dimension, network=network, keep_messages=keep_messages
+        )

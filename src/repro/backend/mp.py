@@ -1,0 +1,68 @@
+"""The shared-memory multiprocessing execution backend.
+
+The session *is* a :class:`~repro.backend.local.LocalSession` -- the mp
+path shares the in-process orchestration wholesale -- with one difference:
+a :class:`~repro.distributed.mp_backend.SketchProcessPool` is bound to the
+session's vectors, so the per-server seam work (batched sketching,
+subsample-hash evaluation) runs in worker processes served from
+shared-memory domain caches and published components.  Results, draws and
+per-tag accounting are bit-for-bit identical to the ``local`` backend
+(asserted by the backend-matrix suite); binding per session replaces the
+old engine-global ``parallel_pool`` plumbing for backend users while
+:func:`repro.sketch.engine.multiprocess_execution` keeps working for
+direct opt-in.
+
+Streaming note: delta ingestion and stream-sketch export run in the
+coordinator process (they are not per-server hot seams); only the protocol
+seams dispatch to the pool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.backend.base import ExecutionBackend
+from repro.backend.local import LocalSession
+from repro.distributed.network import Network
+from repro.distributed.vector import LocalComponent
+
+
+class MultiprocessSketchBackend(ExecutionBackend):
+    """Per-server seam work in OS worker processes (``--backend mp``).
+
+    Parameters
+    ----------
+    processes:
+        Worker process count; defaults to ``os.cpu_count()``.
+    """
+
+    name = "mp"
+    reuses_network = True
+
+    def __init__(self, processes: Optional[int] = None) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self._processes = processes
+
+    def session(
+        self,
+        components: Sequence[LocalComponent],
+        dimension: int,
+        *,
+        network: Optional[Network] = None,
+        keep_messages: bool = False,
+    ) -> LocalSession:
+        """Open a session whose vectors dispatch seam work to a fresh pool.
+
+        The session owns the pool: :meth:`LocalSession.close` shuts the
+        worker processes down.
+        """
+        from repro.distributed.mp_backend import SketchProcessPool
+
+        return LocalSession(
+            components,
+            dimension,
+            network=network,
+            keep_messages=keep_messages,
+            pool=SketchProcessPool(self._processes),
+        )

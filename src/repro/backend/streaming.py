@@ -1,0 +1,79 @@
+"""Incrementally maintained sketch state for streaming delta ingestion.
+
+A :class:`StreamingSketchState` pairs one sparse component with its exported
+:class:`~repro.runtime.state.CountSketchState` and keeps the state current
+under a stream of coordinate deltas *without resketching the component*:
+each delta batch is sketched alone (cost proportional to the batch, not the
+component) and folded in through the merge layer's coefficient-checked
+table addition.
+
+Because the sketch is linear and the merge is plain table addition, the
+maintained state equals the state of resketching the appended component
+from scratch up to float-addition associativity -- and for integer-weighted
+streams (every value and delta an integer, the classic frequency-sketch
+setting) the two are **bit-identical**.  This is the worker-side engine of
+the runtime's ``update`` / ``stream_sketch`` ops and the session-side
+engine of :meth:`repro.backend.base.ExecutionSession.sketch_state`; the
+backend-matrix tests assert the bit-identity on every backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StreamingSketchState:
+    """One component's exported CountSketch state, maintained under deltas.
+
+    Parameters
+    ----------
+    sketch:
+        The broadcast :class:`~repro.sketch.countsketch.CountSketch` (hash
+        coefficients shared by every shard of the stream).
+    indices, values:
+        The component's initial sparse ``(indices, values)`` pair; sketched
+        once, from scratch, at construction.
+    """
+
+    def __init__(self, sketch, indices: np.ndarray, values: np.ndarray) -> None:
+        self._sketch = sketch
+        idx = np.asarray(indices, dtype=np.int64)
+        val = np.asarray(values, dtype=float)
+        table = sketch.sketch(idx, val) if idx.size else sketch.empty_table()
+        self._state = sketch.export_state(table)
+        self._updates = 0
+
+    @property
+    def state(self):
+        """The current :class:`~repro.runtime.state.CountSketchState`."""
+        return self._state
+
+    @property
+    def updates_applied(self) -> int:
+        """Number of delta batches folded in since construction."""
+        return self._updates
+
+    def matches(self, sketch) -> bool:
+        """True when ``sketch`` has this state's coefficients and geometry.
+
+        Used by the stream caches (worker- and session-side) to decide
+        whether a cached state can serve a ``sketch_state`` call or must be
+        rebuilt from scratch.
+        """
+        return self._state.compatible_with(sketch.export_state())
+
+    def ingest(self, delta_indices: np.ndarray, delta_values: np.ndarray) -> None:
+        """Fold one delta batch into the state (sketch the batch, add tables).
+
+        The incremental refresh: only ``len(delta_indices)`` coordinates are
+        hashed and scattered, and the merge layer verifies the coefficients
+        before adding -- exactly the contract of
+        :meth:`repro.runtime.state.CountSketchState.merge`.
+        """
+        d_idx = np.asarray(delta_indices, dtype=np.int64)
+        d_val = np.asarray(delta_values, dtype=float)
+        if d_idx.size == 0:
+            return
+        delta_state = self._sketch.export_state(self._sketch.sketch(d_idx, d_val))
+        self._state = self._state.merge(delta_state)
+        self._updates += 1

@@ -1,0 +1,162 @@
+"""Transport-backed execution backends (loopback frames and real TCP).
+
+Both backends run the coordinator/worker services of
+:mod:`repro.runtime.service` -- the session *is* a
+:class:`~repro.runtime.service.CoordinatorService` -- but are
+**self-hosting**: :meth:`TransportBackend.session` spawns one
+:class:`~repro.runtime.service.WorkerService` per worker component in this
+process and wires the coordinator to them through
+
+* ``loopback`` -- in-memory frame delivery (zero I/O; encoding, decoding
+  and the byte ledger are identical to TCP), or
+* ``tcp`` -- real asyncio sockets (:class:`~repro.runtime.transport.WorkerServer`
+  per worker, one :class:`~repro.runtime.transport.TcpTransport` each).
+
+For deployments whose workers already run elsewhere (``python -m repro
+serve``), construct a :class:`~repro.runtime.service.CoordinatorService`
+over your own transports instead -- it implements the same session
+contract; these backends exist so the *same* experiment/test/benchmark
+code can select any execution engine by name.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.backend.base import ExecutionBackend
+from repro.distributed.network import Network
+from repro.distributed.vector import LocalComponent
+from repro.runtime.service import CoordinatorService, WorkerService
+from repro.runtime.transport import (
+    LoopbackTransport,
+    TcpTransport,
+    WorkerServer,
+)
+
+
+class HostedTransportSession(CoordinatorService):
+    """A coordinator session that also owns its in-process worker servers."""
+
+    def __init__(self, *args, servers: Sequence[WorkerServer] = (), **kwargs) -> None:
+        self._servers = list(servers)
+        try:
+            super().__init__(*args, **kwargs)
+        except Exception:
+            for server in self._servers:
+                server.stop()
+            raise
+
+    def close(self) -> None:
+        """Shut the hosted workers down, then release the transports."""
+        if self._servers:
+            try:
+                self.shutdown_workers()
+            except Exception:  # noqa: BLE001 - teardown must not mask the run
+                pass
+        super().close()
+        for server in self._servers:
+            server.stop()
+        self._servers = []
+
+
+class TransportBackend(ExecutionBackend):
+    """Self-hosting transport backend (``--backend loopback`` / ``tcp``).
+
+    Parameters
+    ----------
+    transport:
+        ``"loopback"`` (in-memory frames) or ``"tcp"`` (real sockets).
+    concurrency:
+        Scatter-wave width of the coordinator (default: all workers).
+    timeout, retries:
+        Per-request deadline and reconnect budget of each
+        :class:`~repro.runtime.transport.TcpTransport` (TCP only).
+    subsample_cache_size:
+        Worker-side subsample-cache LRU capacity
+        (:class:`~repro.runtime.service.WorkerService`'s knob).
+    """
+
+    name = "tcp"
+    reuses_network = False
+
+    def __init__(
+        self,
+        transport: str = "tcp",
+        *,
+        concurrency: Optional[int] = None,
+        timeout: float = 30.0,
+        retries: int = 0,
+        subsample_cache_size: Optional[int] = None,
+    ) -> None:
+        if transport not in ("loopback", "tcp"):
+            raise ValueError(f"unknown transport kind {transport!r}")
+        self._kind = transport
+        self.name = transport
+        self._concurrency = concurrency
+        self._timeout = float(timeout)
+        self._retries = int(retries)
+        self._subsample_cache_size = subsample_cache_size
+
+    def session(
+        self,
+        components: Sequence[LocalComponent],
+        dimension: int,
+        *,
+        network: Optional[Network] = None,
+        keep_messages: bool = False,
+    ) -> HostedTransportSession:
+        """Spawn the workers, connect the transports, return the coordinator."""
+        if network is not None:
+            raise ValueError(
+                "transport backends own a byte-audited TransportNetwork; "
+                "bridge per-tag words into an outer network after the run "
+                "instead of sharing one"
+            )
+        if len(components) < 1:
+            raise ValueError("need at least the coordinator's component")
+        workers = [
+            WorkerService(
+                np.asarray(idx, dtype=np.int64),
+                np.asarray(val, dtype=float),
+                dimension,
+                name=f"server-{server + 1}",
+                max_subsample_caches=self._subsample_cache_size,
+            )
+            for server, (idx, val) in enumerate(components[1:])
+        ]
+        servers: List[WorkerServer] = []
+        transports = []
+        try:
+            if self._kind == "tcp":
+                for worker in workers:
+                    server = WorkerServer(
+                        worker.handle_frame,
+                        stop_check=lambda worker=worker: worker.shutdown_requested,
+                    )
+                    servers.append(server)
+                    host, port = server.start()
+                    transports.append(
+                        TcpTransport(
+                            host, port, timeout=self._timeout, retries=self._retries
+                        )
+                    )
+            else:
+                transports = [
+                    LoopbackTransport(worker.handle_frame) for worker in workers
+                ]
+            return HostedTransportSession(
+                transports,
+                dimension,
+                components[0],
+                keep_messages=keep_messages,
+                concurrency=self._concurrency,
+                servers=servers,
+            )
+        except Exception:
+            for transport in transports:
+                transport.close()
+            for server in servers:
+                server.stop()
+            raise

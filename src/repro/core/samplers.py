@@ -26,7 +26,6 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.distributed.cluster import LocalCluster
-from repro.distributed.vector import DistributedVector
 from repro.functions.base import EntrywiseFunction
 from repro.functions.softmax import GeneralizedMeanFunction
 from repro.sketch.z_sampler import ZSampler, ZSamplerConfig
@@ -197,6 +196,15 @@ class GeneralizedZRowSampler(RowSampler):
         :class:`~repro.functions.base.EntrywiseFunction`.
     config:
         Configuration of the underlying :class:`~repro.sketch.z_sampler.ZSampler`.
+    backend:
+        Execution backend running the Z-sampling phase: a registered name
+        (``local``/``mp``/``loopback``/``tcp``), an
+        :class:`~repro.backend.base.ExecutionBackend` instance, or ``None``
+        for the in-process default.  Draws and per-tag words are
+        bit-identical across backends (the backend-matrix suite asserts
+        it); in-process backends charge the cluster's own network directly,
+        transport backends run on their byte-audited twin whose per-tag
+        words are bridged back into the cluster's ledger afterwards.
     """
 
     name = "generalized_z"
@@ -205,9 +213,17 @@ class GeneralizedZRowSampler(RowSampler):
         self,
         function: Optional[EntrywiseFunction] = None,
         config: Optional[ZSamplerConfig] = None,
+        *,
+        backend=None,
     ) -> None:
         self._function = function
         self._config = config or ZSamplerConfig()
+        self._backend = backend
+
+    def set_backend(self, backend) -> "GeneralizedZRowSampler":
+        """Select the execution backend by name or instance (returns ``self``)."""
+        self._backend = backend
+        return self
 
     def _resolve_function(self, cluster: LocalCluster) -> EntrywiseFunction:
         if self._function is not None:
@@ -219,6 +235,35 @@ class GeneralizedZRowSampler(RowSampler):
             "explicitly or attach one to the cluster"
         )
 
+    def _entry_draws(self, cluster: LocalCluster, function, count: int, rng):
+        """Run the Z-sampling phase on the selected execution backend.
+
+        In-process backends charge ``cluster.network`` directly; transport
+        backends run on their own byte-audited
+        :class:`~repro.distributed.network.TransportNetwork` (verified
+        before returning) and their per-tag words are then bridged into the
+        cluster's ledger, so the communication-ratio bookkeeping is
+        identical for every backend.
+        """
+        from repro.backend import resolve_backend
+
+        backend = resolve_backend(self._backend)
+        components = [server.flat_nonzero() for server in cluster.servers]
+        n, d = cluster.shape
+        if backend.reuses_network:
+            session = backend.session(components, n * d, network=cluster.network)
+        else:
+            session = backend.session(components, n * d)
+        with session:
+            draws = session.sample(
+                function.sampling_weight, count, config=self._config, seed=rng
+            )
+            if not backend.reuses_network:
+                session.verify_accounting()
+                for tag, words in session.network.snapshot().words_by_tag.items():
+                    cluster.network.charge(1, 0, words, tag=tag)
+        return draws
+
     def sample_rows(
         self, cluster: LocalCluster, count: int, seed: RandomState = None
     ) -> RowSample:
@@ -229,9 +274,7 @@ class GeneralizedZRowSampler(RowSampler):
         network = cluster.network
         words_before = network.total_words
 
-        vector = DistributedVector.from_cluster_entries(cluster)
-        z_sampler = ZSampler(function.sampling_weight, self._config, seed=rng)
-        draws = z_sampler.sample(vector, count)
+        draws = self._entry_draws(cluster, function, count, rng)
 
         d = cluster.num_columns
         row_indices = draws.indices // d

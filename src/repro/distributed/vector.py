@@ -83,6 +83,40 @@ def _fused_enabled() -> bool:
     return engine.fused_enabled()
 
 
+def check_delta_components(
+    deltas: Sequence[LocalComponent], num_servers: int, dimension: int
+) -> List[LocalComponent]:
+    """Validate one ``(indices, values)`` delta pair per server and return it cleaned.
+
+    The shared validation of the streaming delta contract: every execution
+    backend (in-process, worker pool, transport coordinator *and* the remote
+    worker validating its own shard) funnels deltas through this one check,
+    so malformed streams fail identically everywhere with a
+    :class:`~repro.core.errors.DimensionMismatchError`.
+    """
+    if len(deltas) != num_servers:
+        raise _dimension_error(
+            f"need exactly one delta component per server ({len(deltas)} "
+            f"deltas for {num_servers} servers)"
+        )
+    cleaned: List[LocalComponent] = []
+    for server, (indices, values) in enumerate(deltas):
+        idx = np.asarray(indices, dtype=np.int64)
+        val = np.asarray(values, dtype=float)
+        if idx.shape != val.shape or idx.ndim != 1:
+            raise _dimension_error(
+                f"server {server}: delta indices and values must be matching "
+                f"1-D arrays, got shapes {idx.shape} and {val.shape}"
+            )
+        if idx.size and (idx.min() < 0 or idx.max() >= dimension):
+            raise _dimension_error(
+                f"server {server}: delta coordinates must lie in "
+                f"[0, {dimension - 1}]"
+            )
+        cleaned.append((idx, val))
+    return cleaned
+
+
 class DistributedVector:
     """A length-``l`` vector implicitly represented as a sum of local vectors.
 
@@ -132,6 +166,9 @@ class DistributedVector:
         # components are immutable, so these are built at most once.
         self._concat_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._lookup_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # Optional per-vector worker pool (bound by the mp execution
+        # backend); when unset, the engine-global pool applies.
+        self._worker_pool = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -169,6 +206,66 @@ class DistributedVector:
     def local_component(self, server: int) -> LocalComponent:
         """Return server ``server``'s local ``(indices, values)`` pair."""
         return self._components[server]
+
+    # ------------------------------------------------------------------ #
+    # execution binding
+    # ------------------------------------------------------------------ #
+    def bind_worker_pool(self, pool) -> "DistributedVector":
+        """Attach a per-server worker pool to this vector (returns ``self``).
+
+        Bound by the ``mp`` execution backend so per-server seam work runs
+        in its :class:`~repro.distributed.mp_backend.SketchProcessPool`
+        without touching the engine-global pool; restrictions and delta
+        updates derived from this vector inherit the binding.
+        """
+        self._worker_pool = pool
+        return self
+
+    def _active_pool(self):
+        """The worker pool serving this vector's per-server seams (or None).
+
+        One resolution point for every seam: the vector-bound pool (the mp
+        backend) wins over the engine-global opt-in pool
+        (:func:`repro.sketch.engine.multiprocess_execution`).
+        """
+        if self._worker_pool is not None:
+            return self._worker_pool
+        from repro.sketch import engine
+
+        return engine.parallel_pool()
+
+    def _derived(self, components: Sequence[LocalComponent]) -> "DistributedVector":
+        """Build a sibling vector (same dimension/network/pool binding)."""
+        derived = DistributedVector(components, self._dimension, self._network)
+        derived._worker_pool = self._worker_pool
+        return derived
+
+    def apply_deltas(self, deltas: Sequence[LocalComponent]) -> "DistributedVector":
+        """Return the vector after applying per-server coordinate deltas.
+
+        ``deltas`` holds one sparse ``(indices, values)`` pair per server --
+        the shard of the stream that arrived *at that server*.  Appending is
+        the update: a coordinate present several times in one component
+        contributes the **sum** of its values to every operation (sketches
+        scatter-add, ``collect`` coalesces by addition, ``exact_sum`` adds),
+        so the returned vector implicitly represents ``v + delta``.  Like
+        the initial data placement, delta ingestion is free local work --
+        no communication is charged.
+
+        The returned vector is fresh (components are immutable, caches are
+        per-vector); transport-backed vectors override this with the
+        session-level ingestion that ships each worker its own shard.
+        """
+        cleaned = check_delta_components(deltas, self.num_servers, self._dimension)
+        updated: List[LocalComponent] = []
+        for (idx, val), (d_idx, d_val) in zip(self._components, cleaned):
+            if d_idx.size == 0:
+                updated.append((idx, val))
+            else:
+                updated.append(
+                    (np.concatenate((idx, d_idx)), np.concatenate((val, d_val)))
+                )
+        return self._derived(updated)
 
     def support_size(self) -> int:
         """Number of coordinates that are nonzero in at least one component."""
@@ -233,7 +330,7 @@ class DistributedVector:
                 (kept_idx[bounds[server] : bounds[server + 1]],
                  kept_val[bounds[server] : bounds[server + 1]])
             )
-        return DistributedVector(restricted, self._dimension, self._network)
+        return self._derived(restricted)
 
     def restrict(self, keep: Callable[[np.ndarray], np.ndarray]) -> "DistributedVector":
         """Return the restriction ``v(S)`` of the vector to a coordinate subset.
@@ -262,7 +359,7 @@ class DistributedVector:
                 continue
             mask = np.asarray(keep(idx), dtype=bool)
             restricted.append((idx[mask], val[mask]))
-        return DistributedVector(restricted, self._dimension, self._network)
+        return self._derived(restricted)
 
     def restrict_by_masks(self, masks: Sequence[np.ndarray]) -> "DistributedVector":
         """Return the restriction given one precomputed boolean mask per server.
@@ -321,9 +418,7 @@ class DistributedVector:
         the local implementation does not need them because it already holds
         every component.
         """
-        from repro.sketch import engine
-
-        pool = engine.parallel_pool()
+        pool = self._active_pool()
         if pool is not None and self.num_servers > 1:
             return pool.batched_sketches(
                 self, batched, domain_assignment, bucket_hash=bucket_hash
@@ -346,9 +441,7 @@ class DistributedVector:
         Transport-backed vectors override this to broadcast the coefficients
         so each worker caches its own values locally.
         """
-        from repro.sketch import engine
-
-        pool = engine.parallel_pool()
+        pool = self._active_pool()
         if pool is not None and self.num_servers > 1:
             cached_g = pool.subsample_values(self, subsample)
         else:

@@ -15,8 +15,17 @@ additionally writes the raw measured points to a CSV file.
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional, Sequence
 
+from repro.backend import available_backends
+from repro.core.errors import (
+    SketchCompatibilityError,
+    WireAccountingError,
+    WireFormatError,
+    WorkerProtocolError,
+    WorkerTimeoutError,
+)
 from repro.experiments.config import panel_names
 from repro.experiments.figures import (
     format_figure1_panel,
@@ -25,6 +34,35 @@ from repro.experiments.figures import (
 )
 from repro.experiments.report import points_to_csv, qualitative_checks, summarize_results
 from repro.experiments.tables import format_table_i
+
+#: Typed runtime failures map to distinct nonzero exit codes so scripts and
+#: orchestrators can branch on *what* failed without parsing tracebacks.
+#: Order matters: the first matching class wins (subclass-sensitive --
+#: WorkerTimeoutError must precede the OSError-ish catch-alls callers add).
+EXIT_CODES = (
+    (WorkerTimeoutError, 3),
+    (WireFormatError, 4),
+    (SketchCompatibilityError, 5),
+    (WorkerProtocolError, 6),
+    (WireAccountingError, 7),
+)
+
+
+def typed_exit_code(error: BaseException) -> Optional[int]:
+    """Return the CLI exit code of a typed runtime error (None if untyped)."""
+    for error_type, code in EXIT_CODES:
+        if isinstance(error, error_type):
+            return code
+    return None
+
+
+def _run_with_typed_exit(command) -> int:
+    """Run a serve/submit body, mapping typed runtime errors to exit codes."""
+    try:
+        return command()
+    except tuple(error_type for error_type, _ in EXIT_CODES) as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return typed_exit_code(exc)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--k", nargs="*", type=int, default=None, help="projection dimensions to sweep"
         )
         sub.add_argument("--csv", default=None, help="also write measured points to this CSV file")
+        sub.add_argument(
+            "--backend", default=None, choices=list(available_backends()),
+            help="execution backend of the Z-sampling phase (default: local; "
+            "results are bit-identical across backends)",
+        )
 
     subparsers.add_parser("table1", help="regenerate Table I (M-estimator psi-functions)")
 
@@ -77,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--concurrency", type=int, default=8,
         help="requests served in parallel (per worker, across all connections)",
+    )
+    serve.add_argument(
+        "--subsample-cache-size", type=int, default=None,
+        help="LRU capacity of the worker's per-session subsample-hash cache "
+        "(default: 4 cached g arrays per coordinator session)",
     )
     _add_runtime_workload_args(serve)
 
@@ -138,6 +186,7 @@ def _run_figures(args: argparse.Namespace, which: str) -> str:
         scale=args.scale,
         k_values=tuple(args.k) if args.k else None,
         num_trials=args.trials,
+        backend=args.backend,
     )
     formatter = format_figure1_panel if which == "figure1" else format_figure2_panel
     sections: List[str] = [formatter(panel, points) for panel, points in results.items()]
@@ -185,7 +234,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         )
     indices, values = _runtime_components(args)[args.server]
     worker = WorkerService(
-        indices, values, args.dimension, name=f"server-{args.server}"
+        indices, values, args.dimension, name=f"server-{args.server}",
+        max_subsample_caches=args.subsample_cache_size,
     )
     server = WorkerServer(
         worker.handle_frame,
@@ -303,9 +353,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_run_lowerbounds(args.trials))
         return 0
     if args.command == "serve":
-        return _run_serve(args)
+        return _run_with_typed_exit(lambda: _run_serve(args))
     if args.command == "submit":
-        return _run_submit(args)
+        return _run_with_typed_exit(lambda: _run_submit(args))
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

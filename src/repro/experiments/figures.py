@@ -69,12 +69,15 @@ def run_figure1(
     scale: str = "small",
     k_values: Optional[Iterable[int]] = None,
     num_trials: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[ExperimentPoint]]:
     """Run (a subset of) Figure 1's panels and return the measured points per panel.
 
     Figure 2 uses the same runs (relative error is recorded alongside the
     additive error), so callers typically run this once and format both
-    figures from the result.
+    figures from the result.  ``backend`` selects the execution engine of
+    the Z-sampling phase (``--backend`` on the CLI); measured errors and
+    communication are bit-identical across backends.
     """
     if panels is None:
         configs: List[ExperimentConfig] = figure1_configs(scale)
@@ -82,7 +85,9 @@ def run_figure1(
         configs = [get_config(name, scale) for name in panels]
     results: Dict[str, List[ExperimentPoint]] = {}
     for config in configs:
-        points = run_panel(config, k_values=k_values, num_trials=num_trials)
+        points = run_panel(
+            config, k_values=k_values, num_trials=num_trials, backend=backend
+        )
         results[config.panel] = average_points(points)
     return results
 
@@ -93,6 +98,9 @@ def run_figure2(
     scale: str = "small",
     k_values: Optional[Iterable[int]] = None,
     num_trials: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[ExperimentPoint]]:
     """Alias of :func:`run_figure1`: the same sweep records both error metrics."""
-    return run_figure1(panels, scale=scale, k_values=k_values, num_trials=num_trials)
+    return run_figure1(
+        panels, scale=scale, k_values=k_values, num_trials=num_trials, backend=backend
+    )

@@ -83,6 +83,7 @@ def run_panel(
     ratios: Optional[Iterable[float]] = None,
     k_values: Optional[Iterable[int]] = None,
     num_trials: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[ExperimentPoint]:
     """Run one panel of the evaluation and return all measured points.
 
@@ -92,6 +93,10 @@ def run_panel(
         The panel configuration.
     ratios, k_values, num_trials:
         Optional overrides of the configured sweep (useful for quick tests).
+    backend:
+        Execution backend name for samplers that support one (the
+        generalized Z-sampler); results are bit-identical across backends,
+        so this selects an execution engine, not a different experiment.
     """
     ratios = tuple(ratios) if ratios is not None else config.ratios
     k_values = tuple(k_values) if k_values is not None else config.k_values
@@ -102,6 +107,8 @@ def run_panel(
     points: List[ExperimentPoint] = []
     for trial in range(trials):
         workload = build_workload(config, seed=config.seed + trial)
+        if backend is not None and hasattr(workload.sampler, "set_backend"):
+            workload.sampler.set_backend(backend)
         cluster = workload.cluster
         global_matrix = cluster.materialize_global()
         max_k = max(k_values)

@@ -37,18 +37,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend.base import ExecutionSession
+from repro.backend.streaming import StreamingSketchState
 from repro.core.errors import DimensionMismatchError, WorkerProtocolError
 from repro.distributed.network import TransportNetwork
-from repro.distributed.vector import DistributedVector, lookup_sorted
+from repro.distributed.vector import (
+    DistributedVector,
+    check_delta_components,
+    lookup_sorted,
+)
 from repro.runtime import wire
 from repro.runtime.transport import Transport, scatter_requests
 from repro.sketch import engine
-from repro.sketch.countsketch import batched_sketch_uncached
+from repro.sketch.countsketch import CountSketch, batched_sketch_uncached
 from repro.sketch.hashing import KWiseHash, SubsampleHash
-from repro.sketch.z_estimator import ZEstimate, ZEstimator
-from repro.sketch.z_heavy_hitters import ZHeavyHittersParams, z_heavy_hitters
-from repro.sketch.z_sampler import SampleDraws, ZSampler, ZSamplerConfig
-from repro.utils.rng import RandomState
 
 
 def _check_reply(reply: wire.DecodedFrame, op: str, worker: int):
@@ -108,9 +110,31 @@ def _rpc_scatter(
     sections.  Replies are returned in worker order regardless of the order
     they arrived in.
     """
-    for _ in transports:
+    return _rpc_scatter_each(
+        network, transports, op, [(frame, sections, overhead)] * len(transports),
+        pool=pool,
+    )
+
+
+def _rpc_scatter_each(
+    network: TransportNetwork,
+    transports: Sequence[Transport],
+    op: str,
+    encoded: Sequence[Tuple[bytes, object, int]],
+    pool: Optional[ThreadPoolExecutor] = None,
+) -> List[wire.DecodedFrame]:
+    """Ship one (possibly distinct) pre-encoded frame per worker in one wave.
+
+    The per-worker generalisation of :func:`_rpc_scatter`, used when the
+    payload differs by worker (e.g. each worker's own delta shard of a
+    stream).  Accounting follows the same schedule-independent rule:
+    requests up front, replies strictly in worker order.
+    """
+    for _, sections, overhead in encoded:
         network.record_frame(sections, overhead)
-    raw_replies = scatter_requests(transports, frame, pool=pool)
+    raw_replies = scatter_requests(
+        transports, [frame for frame, _, _ in encoded], pool=pool
+    )
     replies: List[wire.DecodedFrame] = []
     for worker, raw in enumerate(raw_replies):
         reply = wire.decode_frame(raw)
@@ -138,10 +162,15 @@ class WorkerService:
     counters never read each other's cached ``g`` values.
     """
 
-    #: Maximum number of cached subsample-hash value arrays per session.
+    #: Maximum number of cached subsample-hash value arrays per session
+    #: (constructor knob ``max_subsample_caches`` overrides; also a CLI
+    #: knob, ``serve --subsample-cache-size``).
     MAX_SUBSAMPLE_CACHES = 4
     #: Maximum number of concurrently cached sessions (LRU-evicted).
     MAX_SESSIONS = 64
+    #: Maximum cached stream-sketch states (matches the session-side cap so
+    #: cache behaviour cannot diverge between backends).
+    MAX_STREAM_STATES = ExecutionSession.MAX_STREAM_STATES
 
     def __init__(
         self,
@@ -150,6 +179,8 @@ class WorkerService:
         dimension: int,
         *,
         name: str = "",
+        max_subsample_caches: Optional[int] = None,
+        max_sessions: Optional[int] = None,
     ) -> None:
         idx = np.asarray(indices, dtype=np.int64)
         val = np.asarray(values, dtype=float)
@@ -163,15 +194,51 @@ class WorkerService:
             raise DimensionMismatchError(
                 f"worker holds coordinates outside [0, {dimension - 1}]"
             )
-        self._idx = idx
-        self._val = val
         self._dimension = int(dimension)
         self._name = name
-        self._sorted_idx, self._sorted_val = DistributedVector._sorted_coalesced(idx, val)
+        # The component plus its sorted-coalesced lookup view travel as ONE
+        # tuple so a streaming `update` replaces them atomically: concurrent
+        # readers unpack the attribute once and never see a torn pair.
+        self._component: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] = (
+            idx, val, *DistributedVector._sorted_coalesced(idx, val)
+        )
+        self._max_subsample_caches = int(
+            max_subsample_caches
+            if max_subsample_caches is not None
+            else self.MAX_SUBSAMPLE_CACHES
+        )
+        if self._max_subsample_caches < 1:
+            raise ValueError("max_subsample_caches must be >= 1")
+        self._max_sessions = int(
+            max_sessions if max_sessions is not None else self.MAX_SESSIONS
+        )
+        if self._max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
         #: session id -> (token -> cached g values); guarded by the lock.
         self._subsample_g: "OrderedDict[str, Dict[int, np.ndarray]]" = OrderedDict()
         self._subsample_lock = threading.Lock()
+        #: (session, stream) -> StreamingSketchState; guarded by its own
+        #: lock, namespaced per coordinator session (like the subsample
+        #: caches) so concurrent clients never thrash each other's states,
+        #: and incrementally refreshed by the `update` op.
+        self._stream_states: "OrderedDict[Tuple[str, str], StreamingSketchState]" = (
+            OrderedDict()
+        )
+        #: session -> (seq, count, index_sum, value_sum) of the last applied
+        #: delta batch: the idempotency ledger that makes `update` retries
+        #: exactly-once (duplicate seq -> acked without re-applying; same
+        #: seq with different contents -> typed error).
+        self._applied_updates: "OrderedDict[str, tuple]" = OrderedDict()
+        self._stream_lock = threading.Lock()
         self.shutdown_requested = False
+
+    @property
+    def _idx(self) -> np.ndarray:
+        return self._component[0]
+
+    @property
+    def _val(self) -> np.ndarray:
+        return self._component[1]
 
     # ------------------------------------------------------------------ #
     # frame dispatch
@@ -190,9 +257,10 @@ class WorkerService:
             )
 
     def _restricted_component(self, meta: dict) -> Tuple[np.ndarray, np.ndarray]:
+        idx, val = self._component[:2]
         threshold = meta.get("threshold")
         if threshold is None:
-            return self._idx, self._val
+            return idx, val
         token = meta.get("token")
         session = str(meta.get("session", ""))
         with self._subsample_lock:
@@ -204,13 +272,16 @@ class WorkerService:
                 # used" just because it stopped *writing* new tokens.
                 self._subsample_g.move_to_end(session)
                 g = cache.get(token)
-        if g is None:
+        if g is None or g.shape != idx.shape:
+            # A missing token, or one cached against a component that a
+            # streaming update has since replaced (updates clear the caches,
+            # but pipelined frames may still race one in).
             raise WorkerProtocolError(
                 f"no cached subsample values for token {token!r} in session "
                 f"{session!r}; send a 'subsample' frame first"
             )
         mask = g < int(threshold)
-        return self._idx[mask], self._val[mask]
+        return idx[mask], val[mask]
 
     # ------------------------------------------------------------------ #
     # ops
@@ -232,21 +303,20 @@ class WorkerService:
         subsample = SubsampleHash.from_coefficients(int(meta["domain_scale"]), coefficients)
         token = int(meta["token"])
         session = str(meta.get("session", ""))
-        values = (
-            subsample(self._idx) if self._idx.size else np.zeros(0, dtype=np.int64)
-        )
+        idx = self._component[0]
+        values = subsample(idx) if idx.size else np.zeros(0, dtype=np.int64)
         with self._subsample_lock:
             cache = self._subsample_g.get(session)
             if cache is None:
-                while len(self._subsample_g) >= self.MAX_SESSIONS:
+                while len(self._subsample_g) >= self._max_sessions:
                     self._subsample_g.popitem(last=False)
                 cache = self._subsample_g.setdefault(session, {})
             else:
                 self._subsample_g.move_to_end(session)
-            if len(cache) >= self.MAX_SUBSAMPLE_CACHES:
+            if len(cache) >= self._max_subsample_caches:
                 cache.pop(next(iter(cache)))
             cache[token] = values
-        return wire.encode_frame("ack", {"cached": int(self._idx.size)})
+        return wire.encode_frame("ack", {"cached": int(idx.size)})
 
     def _op_sketch(self, frame) -> bytes:
         """Sketch the (restricted) component into the broadcast bucket family.
@@ -291,9 +361,115 @@ class WorkerService:
 
     def _op_collect(self, frame) -> bytes:
         """Exact local values at the queried coordinates (always unrestricted)."""
+        _, _, sorted_idx, sorted_val = self._component
         query = np.asarray(frame.entry(0), dtype=np.int64)
-        values = lookup_sorted(self._sorted_idx, self._sorted_val, query)
+        values = lookup_sorted(sorted_idx, sorted_val, query)
         return wire.encode_frame("values", {}, [(frame.meta["tag"], values)])
+
+    def _op_update(self, frame) -> bytes:
+        """Apply this worker's shard of a streaming delta batch (exactly once).
+
+        The delta arrays travel as an *untagged* control entry: like the
+        initial data placement, stream ingestion at the servers is never
+        charged to the word model, on any backend.  The component (plus its
+        sorted lookup view) is replaced atomically, the subsample caches are
+        dropped when the component actually changed (their ``g`` arrays
+        describe the pre-update component; the protocols re-send
+        ``subsample`` frames per run anyway), and every cached stream-sketch
+        state is refreshed *incrementally* through the merge layer -- only
+        the delta is sketched.
+
+        **Idempotency.** Coordinators stamp each batch with a per-session
+        monotonically increasing ``seq``; a batch whose seq the worker has
+        already applied is acked *without re-applying* (a retried wave
+        after a lost reply must not double-count), and a re-sent seq whose
+        contents differ from the applied batch raises a typed error instead
+        of silently diverging.
+        """
+        d_idx, d_val = frame.entry(0)
+        ((d_idx, d_val),) = check_delta_components(
+            [(d_idx, d_val)], 1, self._dimension
+        )
+        meta = frame.meta
+        session = str(meta.get("session", ""))
+        seq = meta.get("seq")
+        fingerprint = (
+            int(d_idx.size),
+            int(d_idx.sum()) if d_idx.size else 0,
+            float(d_val.sum()) if d_val.size else 0.0,
+        )
+        with self._stream_lock:
+            if seq is not None:
+                last = self._applied_updates.get(session)
+                if last is not None and int(seq) <= last[0]:
+                    if int(seq) == last[0] and tuple(last[1:]) != fingerprint:
+                        raise WorkerProtocolError(
+                            f"update seq {seq} of session {session!r} was "
+                            "re-sent with different contents; the stream has "
+                            "diverged from the applied batch"
+                        )
+                    return wire.encode_frame(
+                        "ack",
+                        {"support": int(self._component[0].size), "applied": False},
+                    )
+            if d_idx.size:
+                idx, val = self._component[:2]
+                new_idx = np.concatenate((idx, d_idx))
+                new_val = np.concatenate((val, d_val))
+                self._component = (
+                    new_idx,
+                    new_val,
+                    *DistributedVector._sorted_coalesced(new_idx, new_val),
+                )
+                for state in self._stream_states.values():
+                    state.ingest(d_idx, d_val)
+            if seq is not None:
+                if session not in self._applied_updates:
+                    while len(self._applied_updates) >= self._max_sessions:
+                        self._applied_updates.popitem(last=False)
+                self._applied_updates[session] = (int(seq), *fingerprint)
+                self._applied_updates.move_to_end(session)
+        if d_idx.size:
+            with self._subsample_lock:
+                self._subsample_g.clear()
+        return wire.encode_frame(
+            "ack", {"support": int(self._component[0].size), "applied": True}
+        )
+
+    def _op_stream_sketch(self, frame) -> bytes:
+        """Export this component's CountSketch state for a named stream.
+
+        The first call for a stream sketches the component from scratch;
+        later calls (after `update` ops) serve the incrementally refreshed
+        state -- bit-identical to resketching for integer-weighted streams.
+        A coefficient change under the same stream name rebuilds the state
+        from scratch (fresh coefficients mean a fresh sketch family).
+        States are namespaced by the coordinator's session id (like the
+        subsample caches) so concurrent clients reusing stream names never
+        evict or rebuild each other's states.
+        """
+        meta = frame.meta
+        bucket, sign = frame.entry(0)
+        sketch = CountSketch.from_coefficients(
+            np.asarray(bucket, dtype=np.int64),
+            np.asarray(sign, dtype=np.int64),
+            self._dimension,
+            int(meta["width"]),
+        )
+        key = (str(meta.get("session", "")), str(meta["stream"]))
+        with self._stream_lock:
+            state = self._stream_states.get(key)
+            if state is not None and state.matches(sketch):
+                self._stream_states.move_to_end(key)
+            else:
+                if key not in self._stream_states:
+                    while len(self._stream_states) >= self.MAX_STREAM_STATES:
+                        self._stream_states.popitem(last=False)
+                state = StreamingSketchState(sketch, *self._component[:2])
+                self._stream_states[key] = state
+                self._stream_states.move_to_end(key)
+            table = state.state.table
+        return wire.encode_frame("state", {}, [(meta["tables_tag"], table)])
 
     def _op_shutdown(self, frame) -> bytes:
         self.shutdown_requested = True
@@ -500,6 +676,13 @@ class RemoteVector(DistributedVector):
             "remote vectors restrict through subsample_restrictor()"
         )
 
+    def apply_deltas(self, deltas):
+        raise NotImplementedError(
+            "transport-backed vectors ingest deltas through "
+            "CoordinatorService.apply_deltas (each worker must receive its "
+            "own shard of the stream)"
+        )
+
     def support_size(self) -> int:
         raise NotImplementedError(
             "the union support is not observable without collecting every "
@@ -527,8 +710,16 @@ class _RemoteRestrictor:
         )
 
 
-class CoordinatorService:
+class CoordinatorService(ExecutionSession):
     """The Central Processor of a transport-backed cluster.
+
+    The transport implementation of the
+    :class:`~repro.backend.base.ExecutionSession` contract: the protocol
+    entry points (``z_heavy_hitters``/``estimate``/``sample``), streaming
+    delta accounting and the session lifecycle are inherited from the
+    shared layer; this class supplies the seam plumbing -- transport-backed
+    vectors, the worker handshake/shutdown, the per-worker delta shipment
+    and the wire-audited byte ledger.
 
     Parameters
     ----------
@@ -577,6 +768,14 @@ class CoordinatorService:
         #: concurrent clients never collide (control plane only -- the
         #: session id is framing metadata, never charged words).
         self._session = uuid.uuid4().hex
+        #: Server 0's own stream-sketch states (stream name -> state),
+        #: the coordinator-side mirror of the workers' caches.
+        self._streams: "OrderedDict[str, StreamingSketchState]" = OrderedDict()
+        #: Per-session sequence number of the last *fully acknowledged*
+        #: delta batch; only advanced after every worker acked, so a caller
+        #: retrying a failed :meth:`apply_deltas` re-sends the same seq and
+        #: workers that already applied it dedupe instead of double-counting.
+        self._delta_seq = 0
         workers = len(self._transports)
         if concurrency is None:
             concurrency = workers
@@ -604,6 +803,11 @@ class CoordinatorService:
                     )
 
     @property
+    def dimension(self) -> int:
+        """Length of the implicitly summed vector."""
+        return self._dimension
+
+    @property
     def network(self) -> TransportNetwork:
         """The twin network accounting both words and wire bytes."""
         return self._network
@@ -618,7 +822,7 @@ class CoordinatorService:
         """How many worker round-trips each scatter wave keeps in flight."""
         return self._concurrency
 
-    def _require_fused(self) -> None:
+    def _check_protocol_ready(self) -> None:
         if not engine.fused_enabled():
             raise RuntimeError(
                 "the runtime services require the fused engine (the naive "
@@ -639,52 +843,106 @@ class CoordinatorService:
         )
 
     # ------------------------------------------------------------------ #
-    # protocol entry points
+    # streaming seams
     # ------------------------------------------------------------------ #
-    def z_heavy_hitters(
-        self,
-        params: Optional[ZHeavyHittersParams] = None,
-        *,
-        seed: RandomState = None,
-        tag: str = "z_heavy_hitters",
-    ) -> np.ndarray:
-        """Run Algorithm 2 over the transports (same-seed identical to local)."""
-        self._require_fused()
-        return z_heavy_hitters(self.vector(), params, seed=seed, tag=tag)
+    def apply_deltas(self, deltas, *, tag: str = "stream:update") -> None:
+        """Ship each worker its own delta shard and fold in server 0's locally.
 
-    def estimate(
-        self,
-        weight_fn,
-        *,
-        config: Optional[ZSamplerConfig] = None,
-        seed: RandomState = None,
-    ) -> ZEstimate:
-        """Run Algorithm 3 (the Z-estimator) over the transports."""
-        self._require_fused()
-        config = config or ZSamplerConfig()
-        estimator = ZEstimator(
-            weight_fn,
-            epsilon=config.epsilon,
-            hh_params=config.hh_params,
-            num_levels=config.num_levels,
-            max_levels=config.max_levels,
-            min_level_count=config.min_level_count,
-            seed=seed,
+        Delta arrays travel as *untagged* control entries (stream ingestion
+        at the servers is free local work in every backend, exactly like
+        the initial data placement), so no words are charged and the wire
+        audit stays exact.  Workers refresh their cached stream-sketch
+        states incrementally; the coordinator's own states mirror that.
+
+        **Failure/retry contract.** The worker wave runs *before* any
+        coordinator-side state changes, and every frame is stamped with a
+        per-session sequence number that only advances once the whole wave
+        acked.  If a worker fails mid-wave, re-calling this method with the
+        *same batch* is safe: workers that already applied it recognise the
+        seq and ack without re-applying, the stragglers apply it, and only
+        then does the coordinator commit its own shard.  (Submitting a
+        *different* batch after a partial failure is detected worker-side
+        and raises a typed error.)
+        """
+        cleaned = check_delta_components(deltas, self.num_servers, self._dimension)
+        seq = self._delta_seq + 1
+        if self._transports:
+            encoded = [
+                wire.encode_frame_with_stats(
+                    "update",
+                    {"tag": tag, "session": self._session, "seq": seq},
+                    [(None, (shard_idx, shard_val))],
+                )
+                for shard_idx, shard_val in cleaned[1:]
+            ]
+            _rpc_scatter_each(
+                self._network, self._transports, "update", encoded, pool=self._pool
+            )
+        # Every worker acked (or deduped a retried wave): commit.
+        self._delta_seq = seq
+        idx, val = self._local
+        d_idx, d_val = cleaned[0]
+        if d_idx.size:
+            self._local = (
+                np.concatenate((idx, d_idx)), np.concatenate((val, d_val))
+            )
+            for state in self._streams.values():
+                state.ingest(d_idx, d_val)
+
+    def _stream_sketch_states(self, sketch, stream: str, tag: str):
+        empty_state = sketch.export_state()
+        local = self._streams.get(stream)
+        if local is not None and local.matches(sketch):
+            self._streams.move_to_end(stream)
+        else:
+            if stream not in self._streams:
+                while len(self._streams) >= self.MAX_STREAM_STATES:
+                    self._streams.popitem(last=False)
+            local = StreamingSketchState(sketch, *self._local)
+            self._streams[stream] = local
+            self._streams.move_to_end(stream)
+        states = [local.state]
+        meta = {
+            "stream": stream,
+            "session": self._session,
+            "width": sketch.width,
+            "tables_tag": f"{tag}:tables",
+        }
+        entries = [
+            (f"{tag}:seeds", (empty_state.bucket_coeffs, empty_state.sign_coeffs))
+        ]
+        frame, sections, overhead = wire.encode_frame_with_stats(
+            "stream_sketch", meta, entries
         )
-        return estimator.estimate(self.vector())
+        replies = self._scatter_broadcast("stream_sketch", frame, sections, overhead)
+        from repro.runtime.state import CountSketchState
 
-    def sample(
-        self,
-        weight_fn,
-        count: int,
-        *,
-        config: Optional[ZSamplerConfig] = None,
-        seed: RandomState = None,
-    ) -> SampleDraws:
-        """Run Algorithm 4 (Z-sampling) end-to-end over the transports."""
-        self._require_fused()
-        sampler = ZSampler(weight_fn, config, seed=seed)
-        return sampler.sample(self.vector(), count)
+        expected = (sketch.depth, sketch.width)
+        for worker, reply in enumerate(replies):
+            table = np.asarray(reply.entry(0), dtype=float)
+            if table.shape != expected:
+                raise WorkerProtocolError(
+                    f"worker {worker + 1} returned a stream state of shape "
+                    f"{table.shape}, expected {expected}"
+                )
+            states.append(
+                CountSketchState(
+                    depth=sketch.depth,
+                    width=sketch.width,
+                    domain=sketch.domain,
+                    bucket_coeffs=empty_state.bucket_coeffs,
+                    sign_coeffs=empty_state.sign_coeffs,
+                    table=table,
+                )
+            )
+        return states
+
+    def _scatter_broadcast(self, op: str, frame: bytes, sections, overhead: int):
+        """One accounted broadcast wave over every worker transport."""
+        return _rpc_scatter(
+            self._network, self._transports, op, frame, sections, overhead,
+            pool=self._pool,
+        )
 
     # ------------------------------------------------------------------ #
     # accounting and lifecycle
@@ -693,15 +951,16 @@ class CoordinatorService:
         """Assert real bytes equal 8x the charged words for every tag."""
         return self._network.verify_wire_accounting()
 
+    def verify_accounting(self):
+        """The session-contract audit: the real wire ledger, verified."""
+        return self.verify_wire_accounting()
+
     def shutdown_workers(self) -> None:
         """Ask every worker to stop serving (their servers stop accepting)."""
         if not self._transports:
             return
         frame, sections, overhead = wire.encode_frame_with_stats("shutdown")
-        _rpc_scatter(
-            self._network, self._transports, "shutdown",
-            frame, sections, overhead, pool=self._pool,
-        )
+        self._scatter_broadcast("shutdown", frame, sections, overhead)
 
     def close(self) -> None:
         """Close every transport and the scatter pool (idempotent)."""

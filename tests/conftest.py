@@ -42,6 +42,17 @@ def pytest_addoption(parser):
         help="run the slow suites (marked 'slow'): concurrency soak runs "
         "and other multi-second stress tests",
     )
+    from repro.backend import available_backends
+
+    parser.addoption(
+        "--backend",
+        action="store",
+        default=None,
+        choices=list(available_backends()),
+        help="restrict the backend-matrix suites to one execution backend "
+        "(default: all; '--backend tcp' also enables the socket-marked "
+        "runs, so CI can sweep tier-1 once per backend)",
+    )
 
 
 def pytest_configure(config):
@@ -62,10 +73,30 @@ def pytest_configure(config):
     )
 
 
+def pytest_generate_tests(metafunc):
+    # Backend-matrix parametrization: every backend registered with
+    # repro.backend (a fifth backend is picked up automatically), the
+    # socket-backed one behind the ``tcp`` marker (tier-1 stays socket-free).
+    if "backend_name" in metafunc.fixturenames:
+        from repro.backend import available_backends
+
+        selected = metafunc.config.getoption("--backend")
+        params = [
+            pytest.param(name, marks=(pytest.mark.tcp,) if name == "tcp" else ())
+            for name in available_backends()
+            if selected is None or name == selected
+        ]
+        metafunc.parametrize("backend_name", params)
+
+
 def pytest_collection_modifyitems(config, items):
     gates = [
         ("statistical", config.getoption("--statistical"), "--statistical"),
-        ("tcp", config.getoption("--tcp"), "--tcp"),
+        (
+            "tcp",
+            config.getoption("--tcp") or config.getoption("--backend") == "tcp",
+            "--tcp",
+        ),
         ("slow", config.getoption("--slow"), "--slow"),
     ]
     for marker, enabled, flag in gates:

@@ -1,0 +1,243 @@
+"""The backend-matrix equivalence suite: one contract, every engine.
+
+Replaces the per-path equivalence copies that used to live in
+``test_vectorized_equivalence.py`` (the multiprocessing sampler run),
+``test_runtime_transport.py`` (loopback/TCP vs simulation) and the mp
+backend tests: a single parametrized suite asserts, for every registered
+execution backend (``local``/``mp``/``loopback``/``tcp`` -- ``tcp`` behind
+the socket marker, or via ``pytest --backend tcp``):
+
+* same-seed **bit-identity** of draws, probabilities, values, Z-estimates
+  and Z-HeavyHitters candidates against the plain in-process simulation;
+* **identical per-tag words**, and a per-tag byte ledger equal to
+  ``BYTES_PER_WORD`` bytes per word (really audited on the wire for the
+  transport backends);
+* streaming: ``apply_deltas`` + the merge-layer state refresh bit-identical
+  to a from-scratch run over the appended components for integer-weighted
+  streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import available_backends, create_backend
+from repro.distributed.network import BYTES_PER_WORD, Network
+from repro.distributed.vector import DistributedVector
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.z_heavy_hitters import ZHeavyHittersParams, z_heavy_hitters
+from repro.sketch.z_sampler import ZSampler, ZSamplerConfig
+
+DIMENSION = 4000
+SERVERS = 4
+SUPPORT = 500
+
+
+def make_components(seed=42, dim=DIMENSION, servers=SERVERS, support=SUPPORT):
+    """Integer-valued per-server components with a few planted heavy hitters."""
+    rng = np.random.default_rng(seed)
+    components = []
+    heavy = rng.choice(dim, size=10, replace=False)
+    for server in range(servers):
+        idx = np.sort(rng.choice(dim, size=support, replace=False)).astype(np.int64)
+        val = rng.integers(-5, 6, size=support).astype(float)
+        if server == 0:
+            extra = np.setdiff1d(heavy, idx)
+            idx = np.concatenate((idx, extra))
+            val = np.concatenate((val, np.zeros(extra.size)))
+            order = np.argsort(idx)
+            idx, val = idx[order], val[order]
+            val[np.isin(idx, heavy)] = 100.0
+        components.append((idx, val))
+    return components
+
+
+def make_deltas(seed, dim=DIMENSION, servers=SERVERS, size=60):
+    """One integer delta shard per server."""
+    rng = np.random.default_rng(seed)
+    deltas = []
+    for _ in range(servers):
+        idx = np.sort(rng.choice(dim, size=size, replace=False)).astype(np.int64)
+        deltas.append((idx, rng.integers(-4, 5, size=size).astype(float)))
+    return deltas
+
+
+def appended(components, *delta_rounds):
+    """The from-scratch components after every delta round."""
+    out = []
+    for server, (idx, val) in enumerate(components):
+        pieces_idx, pieces_val = [idx], [val]
+        for deltas in delta_rounds:
+            pieces_idx.append(deltas[server][0])
+            pieces_val.append(deltas[server][1])
+        out.append((np.concatenate(pieces_idx), np.concatenate(pieces_val)))
+    return out
+
+
+def make_config():
+    return ZSamplerConfig(
+        hh_params=ZHeavyHittersParams(b=8, repetitions=1, num_buckets=8),
+        max_levels=5,
+    )
+
+
+def weight_fn(values):
+    return np.abs(values)
+
+
+from test_runtime_transport import assert_same_draws  # noqa: E402 - shared helper
+
+
+@pytest.fixture
+def session(backend_name):
+    """An open session of the parametrized backend over the shared workload."""
+    components = make_components()
+    with create_backend(backend_name).session(components, DIMENSION) as open_session:
+        yield open_session
+
+
+def simulated_reference(components, run, dim=DIMENSION):
+    """Run ``run(vector)`` on the plain in-process simulation."""
+    network = Network(len(components))
+    vector = DistributedVector(components, dim, network)
+    result = run(vector)
+    return result, network.snapshot()
+
+
+class TestBackendRegistry:
+    def test_all_engines_registered(self):
+        assert set(available_backends()) >= {"local", "mp", "loopback", "tcp"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            create_backend("carrier-pigeon")
+
+
+class TestBackendMatrixEquivalence:
+    """Same seed, same bits -- draws, estimates, candidates, words, bytes."""
+
+    def test_sampling_bit_identical_to_simulation(self, session):
+        components = make_components()
+        config = make_config()
+        simulated, sim_log = simulated_reference(
+            components, lambda v: ZSampler(weight_fn, config, seed=7).sample(v, 20)
+        )
+
+        draws = session.sample(weight_fn, 20, config=config, seed=7)
+        log = session.network.snapshot()
+
+        assert_same_draws(simulated, draws)
+        assert log.words_by_tag == sim_log.words_by_tag
+        assert log.total_words == sim_log.total_words
+
+    def test_z_heavy_hitters_bit_identical_to_simulation(self, session):
+        components = make_components()
+        params = ZHeavyHittersParams(b=8, repetitions=2, num_buckets=8)
+        simulated, sim_log = simulated_reference(
+            components, lambda v: z_heavy_hitters(v, params, seed=11)
+        )
+
+        candidates = session.z_heavy_hitters(params, seed=11)
+        np.testing.assert_array_equal(simulated, candidates)
+        assert session.network.snapshot().words_by_tag == sim_log.words_by_tag
+
+    def test_estimate_bit_identical_to_simulation(self, session):
+        from repro.sketch.z_estimator import ZEstimator
+
+        components = make_components()
+        config = make_config()
+
+        def run(vector):
+            estimator = ZEstimator(
+                weight_fn,
+                epsilon=config.epsilon,
+                hh_params=config.hh_params,
+                max_levels=config.max_levels,
+                min_level_count=config.min_level_count,
+                seed=21,
+            )
+            return estimator.estimate(vector)
+
+        simulated, sim_log = simulated_reference(components, run)
+        estimate = session.estimate(weight_fn, config=config, seed=21)
+
+        assert estimate.z_total == simulated.z_total
+        assert estimate.class_sizes == simulated.class_sizes
+        assert estimate.member_values == simulated.member_values
+        assert estimate.words_used == simulated.words_used
+        assert session.network.snapshot().words_by_tag == sim_log.words_by_tag
+
+    def test_bytes_are_eight_per_word_for_every_tag(self, session):
+        session.sample(weight_fn, 10, config=make_config(), seed=3)
+        ledger = session.verify_accounting()
+        log = session.network.snapshot()
+        assert set(ledger) == set(log.words_by_tag)
+        for tag, words in log.words_by_tag.items():
+            assert ledger[tag] == BYTES_PER_WORD * words
+
+
+class TestStreamingDeltaMatrix:
+    """apply_deltas + merge-layer refresh == from scratch, on every backend."""
+
+    def test_protocols_after_deltas_match_from_scratch(self, session):
+        components = make_components()
+        d1, d2 = make_deltas(101), make_deltas(102)
+        config = make_config()
+
+        session.apply_deltas(d1)
+        session.apply_deltas(d2)
+        draws = session.sample(weight_fn, 12, config=config, seed=9)
+        words = session.network.snapshot().words_by_tag
+        session.verify_accounting()
+
+        fresh, fresh_log = simulated_reference(
+            appended(components, d1, d2),
+            lambda v: ZSampler(weight_fn, config, seed=9).sample(v, 12),
+        )
+        assert_same_draws(fresh, draws)
+        assert words == fresh_log.words_by_tag
+
+    def test_incremental_sketch_state_matches_from_scratch(self, session):
+        """The cached stream state is refreshed by sketching only the deltas
+        (merge layer), yet stays bit-identical to a from-scratch export."""
+        components = make_components()
+        deltas = make_deltas(103)
+
+        primed = session.sketch_state(5, 64, seed=42, stream="matrix")
+        session.apply_deltas(deltas)
+        refreshed = session.sketch_state(5, 64, seed=42, stream="matrix")
+        session.verify_accounting()
+
+        sketch = CountSketch(5, 64, DIMENSION, seed=42)
+        scratch_states = [
+            sketch.export_state(sketch.sketch(idx, val))
+            for idx, val in appended(components, deltas)
+        ]
+        from repro.runtime.state import CountSketchState
+
+        scratch = CountSketchState.merge_all(scratch_states)
+        assert refreshed.equals(scratch)
+        assert not primed.equals(scratch)  # the deltas actually changed it
+
+    def test_sketch_state_words_identical_across_backends(self, session, backend_name):
+        """Every backend charges the same seeds/tables words for an export."""
+        session.sketch_state(5, 64, seed=1, stream="acct")
+        words = session.network.snapshot().words_by_tag
+        sketch = CountSketch(5, 64, DIMENSION, seed=1)
+        workers = SERVERS - 1
+        assert words == {
+            "stream_sketch:acct:seeds": workers * sketch.seed_word_count(),
+            "stream_sketch:acct:tables": workers * sketch.table_word_count(),
+        }
+
+    def test_malformed_deltas_rejected(self, session):
+        from repro.core.errors import DimensionMismatchError
+
+        with pytest.raises(DimensionMismatchError, match="one delta component"):
+            session.apply_deltas([(np.zeros(0, dtype=np.int64), np.zeros(0))])
+        bad = [
+            (np.array([DIMENSION + 5]), np.array([1.0]))
+        ] + [(np.zeros(0, dtype=np.int64), np.zeros(0))] * (SERVERS - 1)
+        with pytest.raises(DimensionMismatchError, match="delta coordinates"):
+            session.apply_deltas(bad)

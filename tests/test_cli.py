@@ -27,6 +27,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure1", "--scale", "enormous"])
 
+    def test_backend_flag_parses(self):
+        args = build_parser().parse_args(["figure1", "--backend", "mp"])
+        assert args.backend == "mp"
+        assert build_parser().parse_args(["figure2"]).backend is None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "--backend", "smoke-signals"])
+
 
 class TestCommands:
     def test_list_panels(self, capsys):
@@ -74,6 +83,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 2 panel: ForestCover" in out
         assert "relative error" in out
+
+    def test_figure1_backend_selection_is_bit_identical(self, capsys):
+        """--backend loopback runs the Z-sampling phase over the runtime
+        services; the regenerated panel must match the default exactly."""
+        argv = ["figure1", "--panels", "caltech_p2", "--k", "3"]
+        assert main(argv) == 0
+        default_out = capsys.readouterr().out
+        assert main(argv + ["--backend", "loopback"]) == 0
+        loopback_out = capsys.readouterr().out
+        assert loopback_out == default_out
 
 
 class TestRuntimeCommands:
@@ -158,6 +177,66 @@ class TestRuntimeCommands:
         finally:
             for server in servers:
                 server.stop()
+
+    def test_serve_subsample_cache_knob_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--server", "1", "--subsample-cache-size", "2"]
+        )
+        assert args.subsample_cache_size == 2
+        assert (
+            build_parser().parse_args(["serve", "--server", "1"]).subsample_cache_size
+            is None
+        )
+
+    def test_typed_errors_map_to_distinct_exit_codes(self):
+        from repro.core.errors import (
+            SketchCompatibilityError,
+            WireFormatError,
+            WorkerProtocolError,
+            WorkerTimeoutError,
+        )
+        from repro.experiments.cli import typed_exit_code
+
+        codes = [
+            typed_exit_code(WorkerTimeoutError("late")),
+            typed_exit_code(WireFormatError("garbage")),
+            typed_exit_code(SketchCompatibilityError("mismatch")),
+            typed_exit_code(WorkerProtocolError("bad frame")),
+        ]
+        assert all(isinstance(code, int) and code != 0 for code in codes)
+        assert len(set(codes)) == len(codes)  # distinct per error type
+        assert typed_exit_code(RuntimeError("untyped")) is None
+
+    @pytest.mark.tcp
+    def test_submit_surfaces_typed_exit_code_not_traceback(self, capsys):
+        """A worker answering garbage surfaces the WireFormatError exit code."""
+        from repro.experiments.cli import typed_exit_code
+        from repro.core.errors import WireFormatError
+        from repro.runtime.service import WorkerService
+        from repro.runtime.transport import WorkerServer
+
+        # A "worker" that answers every frame with bytes that are not a
+        # wire frame at all.
+        server = WorkerServer(lambda frame: b"this is not a frame")
+        try:
+            host, port = server.start()
+            exit_code = main(
+                [
+                    "submit",
+                    "--workers", f"{host}:{port}",
+                    "--num-servers", "2",
+                    "--dimension", "500",
+                    "--support", "50",
+                    "--draws", "2",
+                    "--timeout", "5",
+                ]
+            )
+        finally:
+            server.stop()
+        err = capsys.readouterr().err
+        assert exit_code == typed_exit_code(WireFormatError(""))
+        assert "WireFormatError" in err
+        assert "Traceback" not in err
 
     def test_runtime_workload_is_deterministic(self):
         from repro.experiments.workloads import runtime_vector_components

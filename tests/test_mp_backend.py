@@ -186,6 +186,30 @@ class TestSketchProcessPool:
         with pytest.raises(ValueError):
             SketchProcessPool(processes=0)
 
+    def test_engine_pool_restored_after_context(self):
+        from repro.sketch import engine
+
+        assert engine.parallel_pool() is None
+        with engine.multiprocess_execution(processes=2) as pool:
+            assert engine.parallel_pool() is pool
+        assert engine.parallel_pool() is None
+
+    def test_vector_bound_pool_wins_over_engine_global(self):
+        """The mp backend binds its pool per vector; restrictions inherit it."""
+        vector = self.make_vector()
+        pool = SketchProcessPool(processes=1)
+        try:
+            vector.bind_worker_pool(pool)
+            assert vector._active_pool() is pool
+            restricted = vector.restrict(lambda idx: idx % 2 == 0)
+            assert restricted._active_pool() is pool
+            appended = vector.apply_deltas(
+                [(np.zeros(0, dtype=np.int64), np.zeros(0))] * vector.num_servers
+            )
+            assert appended._active_pool() is pool
+        finally:
+            pool.close()
+
 
 class TestSharedMemoryCaches:
     """Shared-memory domain caches and component publishing (bit-identical)."""

@@ -31,6 +31,7 @@ class TestPublicApi:
     @pytest.mark.parametrize(
         "module_name",
         [
+            "repro.backend",
             "repro.distributed",
             "repro.functions",
             "repro.sketch",
@@ -50,6 +51,7 @@ class TestPublicApi:
     @pytest.mark.parametrize(
         "module_name",
         [
+            "repro.backend",
             "repro.distributed",
             "repro.functions",
             "repro.sketch",

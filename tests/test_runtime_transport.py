@@ -1,9 +1,11 @@
-"""Transport + services: loopback/TCP runs vs the simulated LocalCluster run.
+"""Transport + services: error paths, guards and the wire-accounting audit.
 
-The load-bearing assertions: a transport-backed Z-sampling run must produce
-**bit-identical** draws, probabilities, values and Z-estimates to the
-same-seed in-process simulation, charge **identical** per-tag word counts,
-and move exactly ``BYTES_PER_WORD`` bytes of data plane per charged word.
+The bit-identity of transport-backed runs against the same-seed in-process
+simulation (draws, estimates, per-tag words, bytes-per-word audit) is
+asserted for every backend by the parametrized ``test_backend_matrix.py``
+suite; this module keeps the service-level guard rails -- handshake
+failures, worker error frames, restricted-vector restrictions and the
+:class:`~repro.distributed.network.TransportNetwork` ledger checks.
 """
 
 from __future__ import annotations
@@ -12,17 +14,16 @@ import numpy as np
 import pytest
 
 from repro.core.errors import DimensionMismatchError, WireAccountingError
-from repro.distributed.network import BYTES_PER_WORD, Network, TransportNetwork
-from repro.distributed.vector import DistributedVector
+from repro.distributed.network import TransportNetwork
 from repro.runtime.service import (
     CoordinatorService,
     WorkerProtocolError,
     WorkerService,
     _rpc,
 )
-from repro.runtime.transport import LoopbackTransport, TcpTransport, WorkerServer
-from repro.sketch.z_heavy_hitters import ZHeavyHittersParams, z_heavy_hitters
-from repro.sketch.z_sampler import ZSampler, ZSamplerConfig
+from repro.runtime.transport import LoopbackTransport, TcpTransport
+from repro.sketch.z_sampler import ZSamplerConfig
+from repro.sketch.z_heavy_hitters import ZHeavyHittersParams
 
 
 def make_components(seed=42, dim=4000, servers=4, support=600):
@@ -61,6 +62,7 @@ def loopback_coordinator(dim, components, **kwargs):
 
 
 def assert_same_draws(draws_a, draws_b):
+    """Bit-identity of two SampleDraws (shared with the concurrency/matrix suites)."""
     np.testing.assert_array_equal(draws_a.indices, draws_b.indices)
     np.testing.assert_array_equal(draws_a.probabilities, draws_b.probabilities)
     np.testing.assert_array_equal(draws_a.values, draws_b.values)
@@ -70,73 +72,14 @@ def assert_same_draws(draws_a, draws_b):
     assert draws_a.estimate.words_used == draws_b.estimate.words_used
 
 
-class TestLoopbackEquivalence:
-    def test_sampling_matches_simulation_exactly(self):
-        dim, components = make_components()
-        config = make_config()
-
-        network = Network(len(components))
-        vector = DistributedVector(components, dim, network)
-        simulated = ZSampler(weight_fn, config, seed=7).sample(vector, 20)
-        simulated_log = network.snapshot()
-
-        coordinator, _ = loopback_coordinator(dim, components)
-        remote = coordinator.sample(weight_fn, 20, config=config, seed=7)
-        remote_log = coordinator.network.snapshot()
-
-        assert_same_draws(simulated, remote)
-        assert remote_log.words_by_tag == simulated_log.words_by_tag
-        assert remote_log.total_words == simulated_log.total_words
-
-    def test_wire_bytes_are_eight_per_word(self):
+class TestLoopbackServiceGuards:
+    def test_control_overhead_tracked_separately(self):
         dim, components = make_components(seed=1)
         coordinator, _ = loopback_coordinator(dim, components)
         coordinator.sample(weight_fn, 10, config=make_config(), seed=3)
-        ledger = coordinator.verify_wire_accounting()
-        log = coordinator.network.snapshot()
-        assert coordinator.network.total_data_bytes == BYTES_PER_WORD * log.total_words
-        for tag, words in log.words_by_tag.items():
-            assert ledger[tag] == BYTES_PER_WORD * words
-        # Control traffic exists but is tracked separately from the data plane.
-        assert coordinator.network.control_overhead_bytes > 0
-
-    def test_z_heavy_hitters_matches_simulation(self):
-        dim, components = make_components(seed=9)
-        params = ZHeavyHittersParams(b=8, repetitions=2, num_buckets=8)
-
-        network = Network(len(components))
-        vector = DistributedVector(components, dim, network)
-        simulated = z_heavy_hitters(vector, params, seed=11)
-
-        coordinator, _ = loopback_coordinator(dim, components)
-        remote = coordinator.z_heavy_hitters(params, seed=11)
-        np.testing.assert_array_equal(simulated, remote)
-        assert coordinator.network.snapshot().words_by_tag == network.snapshot().words_by_tag
         coordinator.verify_wire_accounting()
-
-    def test_estimate_matches_simulation(self):
-        dim, components = make_components(seed=13)
-        config = make_config()
-
-        network = Network(len(components))
-        vector = DistributedVector(components, dim, network)
-        from repro.sketch.z_estimator import ZEstimator
-
-        estimator = ZEstimator(
-            weight_fn,
-            epsilon=config.epsilon,
-            hh_params=config.hh_params,
-            max_levels=config.max_levels,
-            min_level_count=config.min_level_count,
-            seed=21,
-        )
-        simulated = estimator.estimate(vector)
-
-        coordinator, _ = loopback_coordinator(dim, components)
-        remote = coordinator.estimate(weight_fn, config=config, seed=21)
-        assert remote.z_total == simulated.z_total
-        assert remote.class_sizes == simulated.class_sizes
-        assert remote.words_used == simulated.words_used
+        # Framing/metadata traffic exists but stays out of the data plane.
+        assert coordinator.network.control_overhead_bytes > 0
 
     def test_naive_engine_is_rejected(self):
         from repro.sketch import engine
@@ -209,6 +152,137 @@ class TestLoopbackEquivalence:
         assert vector.collect(np.arange(3), tag="t:verify").shape == (3,)
 
 
+class TestStreamingWorkerOps:
+    """The worker-side half of streaming ingestion (update / stream_sketch)."""
+
+    def test_update_refreshes_collect_values(self):
+        dim, components = make_components(seed=21, servers=3)
+        coordinator, workers = loopback_coordinator(dim, components)
+        target = int(components[1][0][0])
+        before = coordinator.vector().collect([target], tag="t:verify")
+        deltas = [(np.zeros(0, dtype=np.int64), np.zeros(0))] * 3
+        deltas[1] = (np.array([target]), np.array([5.0]))
+        coordinator.apply_deltas(deltas)
+        after = coordinator.vector().collect([target], tag="t:verify")
+        np.testing.assert_allclose(after - before, [5.0])
+        # Delta shipment is control plane: no words were charged for it.
+        words = coordinator.network.snapshot().words_by_tag
+        assert set(words) == {"t:verify"}
+        coordinator.verify_wire_accounting()
+
+    def test_update_invalidates_stale_subsample_tokens(self):
+        from repro.sketch.hashing import SubsampleHash
+
+        dim, components = make_components(seed=22, servers=2)
+        coordinator, workers = loopback_coordinator(dim, components)
+        vector = coordinator.vector()
+        restrictor = vector.subsample_restrictor(
+            SubsampleHash(domain_scale=dim, seed=0), tag="t"
+        )
+        deltas = [
+            (np.zeros(0, dtype=np.int64), np.zeros(0)),
+            (np.array([3]), np.array([1.0])),
+        ]
+        coordinator.apply_deltas(deltas)
+        from repro.sketch.countsketch import BatchedCountSketch, CountSketch
+        from repro.sketch.hashing import PairwiseHash
+
+        batched = BatchedCountSketch([CountSketch(3, 8, dim, seed=0)])
+        restricted = restrictor.restrict(1)
+        with pytest.raises(WorkerProtocolError, match="subsample"):
+            restricted.batched_sketch_tables(
+                batched,
+                np.zeros(dim, dtype=np.int64),
+                bucket_hash=PairwiseHash(1, seed=0),
+                nonempty_buckets=[0],
+                tag="t",
+            )
+
+    def test_malformed_delta_rejected_before_shipping(self):
+        dim, components = make_components(seed=23, servers=2)
+        coordinator, _ = loopback_coordinator(dim, components)
+        with pytest.raises(DimensionMismatchError, match="delta coordinates"):
+            coordinator.apply_deltas(
+                [
+                    (np.zeros(0, dtype=np.int64), np.zeros(0)),
+                    (np.array([dim + 1]), np.array([1.0])),
+                ]
+            )
+
+    def test_worker_validates_its_own_delta_shard(self):
+        """A worker trusts nobody: a raw `update` frame with out-of-range
+        coordinates (bypassing the coordinator's check) answers with a typed
+        error frame."""
+        from repro.runtime import wire
+
+        dim, components = make_components(seed=23, servers=2)
+        worker = WorkerService(*components[1], dim)
+        frame = wire.encode_frame(
+            "update", {"tag": "t"},
+            [(None, (np.array([dim + 7]), np.array([1.0])))],
+        )
+        reply = wire.decode_frame(worker.handle_frame(frame))
+        assert reply.op == "error"
+        assert reply.meta["type"] == "DimensionMismatchError"
+
+    def test_update_retry_is_exactly_once(self):
+        """A retried wave (same session/seq) must not double-apply: workers
+        dedupe by the stamped sequence number."""
+        from repro.runtime import wire
+
+        dim, components = make_components(seed=25, servers=2)
+        worker = WorkerService(*components[1], dim)
+        delta = (np.array([3, 9]), np.array([2.0, -1.0]))
+        frame = wire.encode_frame(
+            "update", {"tag": "t", "session": "s", "seq": 1}, [(None, delta)]
+        )
+        first = wire.decode_frame(worker.handle_frame(frame))
+        assert first.op == "ack" and first.meta["applied"] is True
+        support_after = first.meta["support"]
+        again = wire.decode_frame(worker.handle_frame(frame))
+        assert again.op == "ack" and again.meta["applied"] is False
+        assert again.meta["support"] == support_after
+        # Same seq, different contents: a diverged stream fails loudly.
+        diverged = wire.encode_frame(
+            "update",
+            {"tag": "t", "session": "s", "seq": 1},
+            [(None, (np.array([4]), np.array([7.0])))],
+        )
+        reply = wire.decode_frame(worker.handle_frame(diverged))
+        assert reply.op == "error"
+        assert "different contents" in reply.meta["message"]
+
+    def test_coordinator_retry_after_failed_wave_is_exactly_once(self):
+        """Re-calling apply_deltas with the same batch after a failed wave
+        (seq not advanced) leaves every worker single-applied."""
+        dim, components = make_components(seed=26, servers=3)
+        coordinator, _ = loopback_coordinator(dim, components)
+        target = int(components[1][0][0])
+        before = coordinator.vector().collect([target], tag="t:verify")
+        deltas = [(np.zeros(0, dtype=np.int64), np.zeros(0))] * 3
+        deltas[1] = (np.array([target]), np.array([5.0]))
+        coordinator.apply_deltas(deltas)
+        # Simulate a wave that reached the workers but whose success never
+        # committed coordinator-side (e.g. a lost reply): the seq was not
+        # advanced, so the retry re-sends the same seq.
+        coordinator._delta_seq -= 1
+        coordinator.apply_deltas(deltas)
+        after = coordinator.vector().collect([target], tag="t:verify")
+        np.testing.assert_allclose(after - before, [5.0])
+
+    def test_stream_state_coefficient_change_rebuilds(self):
+        """A new seed under the same stream name must not merge into the old
+        family -- the worker rebuilds from scratch instead of raising."""
+        dim, components = make_components(seed=24, servers=2)
+        coordinator, _ = loopback_coordinator(dim, components)
+        first = coordinator.sketch_state(3, 32, seed=1, stream="s")
+        second = coordinator.sketch_state(3, 32, seed=2, stream="s")
+        assert not first.compatible_with(second)
+        again = coordinator.sketch_state(3, 32, seed=2, stream="s")
+        assert second.equals(again)
+        coordinator.verify_wire_accounting()
+
+
 class TestTransportNetworkAudit:
     def test_mismatch_raises(self):
         network = TransportNetwork(2)
@@ -234,42 +308,20 @@ class TestTransportNetworkAudit:
 
 @pytest.mark.tcp
 class TestTcpTransport:
-    def test_tcp_run_matches_simulation_and_shuts_down(self):
+    def test_hosted_tcp_session_shuts_workers_down_on_close(self):
+        from repro.backend import create_backend
+
         dim, components = make_components(seed=8, servers=3, support=300)
-        config = make_config()
-
-        network = Network(len(components))
-        vector = DistributedVector(components, dim, network)
-        simulated = ZSampler(weight_fn, config, seed=17).sample(vector, 8)
-
-        workers = [WorkerService(idx, val, dim) for idx, val in components[1:]]
-        servers = [
-            WorkerServer(
-                worker.handle_frame,
-                stop_check=lambda worker=worker: worker.shutdown_requested,
-            )
-            for worker in workers
-        ]
-        transports = []
-        try:
-            for server in servers:
-                host, port = server.start()
-                transports.append(TcpTransport(host, port, timeout=30.0))
-            coordinator = CoordinatorService(transports, dim, components[0])
-            remote = coordinator.sample(weight_fn, 8, config=config, seed=17)
-            assert_same_draws(simulated, remote)
-            assert (
-                coordinator.network.snapshot().words_by_tag
-                == network.snapshot().words_by_tag
-            )
-            coordinator.verify_wire_accounting()
-            coordinator.shutdown_workers()
-            for server in servers:
-                server.wait(timeout=10.0)
-            coordinator.close()
-        finally:
-            for server in servers:
-                server.stop()
+        session = create_backend("tcp").session(components, dim)
+        servers = list(session._servers)
+        assert servers
+        session.sample(weight_fn, 8, config=make_config(), seed=17)
+        session.verify_accounting()
+        session.close()
+        for server in servers:
+            server.wait(timeout=10.0)
+        # Idempotent: a second close must not raise.
+        session.close()
 
     def test_connection_refused(self):
         with pytest.raises(OSError):

@@ -5,6 +5,10 @@ for a fixed seed it has to produce bit-for-bit identical hash values,
 CountSketch tables, point estimates, Z-HeavyHitters candidates, Z-estimates
 and sampler draws as the retained naive reference implementation -- and
 therefore charge exactly the same number of network words per tag.
+
+Cross-*backend* equivalence (multiprocessing pool, loopback and TCP
+transports vs the in-process simulation) lives in the parametrized
+``test_backend_matrix.py`` suite, not here.
 """
 
 import numpy as np
@@ -449,42 +453,6 @@ class TestRegisterEquivalence:
             )
         assert fused.member_values == naive.member_values
         assert fused.class_sizes == naive.class_sizes
-
-
-class TestMultiprocessEquivalence:
-    """The opt-in worker-pool path vs single-process fused execution."""
-
-    def test_sampler_identical_draws_and_words(self):
-        rng = np.random.default_rng(41)
-        dense = np.zeros(600)
-        dense[rng.choice(600, size=25, replace=False)] = rng.uniform(5, 40, size=25)
-        config = ZSamplerConfig(
-            hh_params=ZHeavyHittersParams(b=16, repetitions=2, num_buckets=8)
-        )
-
-        single_vec = make_vector(dense)
-        single = ZSampler(Identity().sampling_weight, config, seed=42).sample(
-            single_vec, 30
-        )
-        mp_vec = make_vector(dense)
-        with engine.multiprocess_execution(processes=2):
-            multi = ZSampler(Identity().sampling_weight, config, seed=42).sample(
-                mp_vec, 30
-            )
-
-        np.testing.assert_array_equal(single.indices, multi.indices)
-        np.testing.assert_array_equal(single.probabilities, multi.probabilities)
-        np.testing.assert_array_equal(single.values, multi.values)
-        assert (
-            single_vec.network.snapshot().words_by_tag
-            == mp_vec.network.snapshot().words_by_tag
-        )
-
-    def test_pool_restored_after_context(self):
-        assert engine.parallel_pool() is None
-        with engine.multiprocess_execution(processes=2) as pool:
-            assert engine.parallel_pool() is pool
-        assert engine.parallel_pool() is None
 
 
 class TestProtocolEquivalence:
