@@ -107,8 +107,18 @@ class ExecutionSession(abc.ABC):
         self._check_protocol_ready()
         return z_heavy_hitters(self.vector(), params, seed=seed, tag=tag)
 
-    def estimate(self, weight_fn, *, config=None, seed=None):
-        """Run Algorithm 3 (the Z-estimator) on this backend."""
+    def estimate(self, weight_fn, *, config=None, seed=None, stale_ok: bool = False):
+        """Run Algorithm 3 (the Z-estimator) on this backend.
+
+        With ``stale_ok`` on a supervised transport session, losing a worker
+        for good (:class:`~repro.core.errors.WorkerLostError`) degrades
+        instead of raising: the estimate is answered locally from the last
+        worker checkpoints and returned as a
+        :class:`~repro.runtime.supervisor.DegradedEstimate` whose ``stale``
+        flag is explicit.  Backends without checkpoints ignore the flag and
+        let the error surface.
+        """
+        from repro.core.errors import WorkerLostError
         from repro.sketch.z_estimator import ZEstimator
         from repro.sketch.z_sampler import ZSamplerConfig
 
@@ -123,7 +133,25 @@ class ExecutionSession(abc.ABC):
             min_level_count=config.min_level_count,
             seed=seed,
         )
-        return estimator.estimate(self.vector())
+        try:
+            return estimator.estimate(self.vector())
+        except WorkerLostError as exc:
+            if not stale_ok:
+                raise
+            degraded = self._degraded_estimate(weight_fn, config=config, seed=seed, cause=exc)
+            if degraded is None:
+                raise
+            return degraded
+
+    def _degraded_estimate(self, weight_fn, *, config, seed, cause):
+        """Hook: answer ``estimate(..., stale_ok=True)`` from checkpointed state.
+
+        Returning ``None`` (the default) re-raises the original
+        :class:`~repro.core.errors.WorkerLostError`; supervised transport
+        sessions override this to compute the estimate locally over the
+        last checkpoints, flagged stale.
+        """
+        return None
 
     def sample(self, weight_fn, count: int, *, config=None, seed=None):
         """Run Algorithm 4 (Z-sampling) end-to-end on this backend."""

@@ -43,6 +43,31 @@ class StreamingSketchState:
         self._state = sketch.export_state(table)
         self._updates = 0
 
+    @classmethod
+    def from_state(cls, sketch, state) -> "StreamingSketchState":
+        """Adopt an exported state verbatim, without resketching anything.
+
+        The checkpoint-restore constructor: a recovered worker installs the
+        checkpointed :class:`~repro.runtime.state.CountSketchState` directly
+        (its table already covers every update folded in before the
+        checkpoint) and future :meth:`ingest` calls continue from there --
+        bit-identical to the lost worker's uninterrupted state for
+        integer-weighted streams.  ``state`` must have been exported by a
+        sketch with ``sketch``'s coefficients and geometry.
+        """
+        from repro.core.errors import SketchCompatibilityError
+
+        if not state.compatible_with(sketch.export_state()):
+            raise SketchCompatibilityError(
+                "checkpointed state was exported by a different sketch "
+                "family; cannot adopt it"
+            )
+        restored = cls.__new__(cls)
+        restored._sketch = sketch
+        restored._state = state
+        restored._updates = 0
+        return restored
+
     @property
     def state(self):
         """The current :class:`~repro.runtime.state.CountSketchState`."""

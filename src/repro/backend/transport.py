@@ -12,6 +12,13 @@ process and wires the coordinator to them through
 * ``tcp`` -- real asyncio sockets (:class:`~repro.runtime.transport.WorkerServer`
   per worker, one :class:`~repro.runtime.transport.TcpTransport` each).
 
+With ``supervise=True`` the session carries a
+:class:`~repro.runtime.supervisor.WorkerSupervisor` whose respawner re-runs
+the same spawning closure the session was built with: a worker that dies
+mid-protocol is replaced by a fresh hosted service, restored from its last
+checkpoint, and the failed wave is re-issued -- same-seed results stay
+bit-identical to an uninterrupted run, and the wire audit stays exact.
+
 For deployments whose workers already run elsewhere (``python -m repro
 serve``), construct a :class:`~repro.runtime.service.CoordinatorService`
 over your own transports instead -- it implements the same session
@@ -21,7 +28,7 @@ code can select any execution engine by name.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,18 +36,26 @@ from repro.backend.base import ExecutionBackend
 from repro.distributed.network import Network
 from repro.distributed.vector import LocalComponent
 from repro.runtime.service import CoordinatorService, WorkerService
+from repro.runtime.supervisor import WorkerSupervisor
 from repro.runtime.transport import (
     LoopbackTransport,
+    RetryPolicy,
     TcpTransport,
+    Transport,
     WorkerServer,
 )
 
 
 class HostedTransportSession(CoordinatorService):
-    """A coordinator session that also owns its in-process worker servers."""
+    """A coordinator session that also owns its in-process worker servers.
+
+    ``servers`` is kept **by reference**: a supervising backend's respawner
+    appends each replacement server to the same list, so :meth:`close`
+    tears down every server the session ever hosted, not just the originals.
+    """
 
     def __init__(self, *args, servers: Sequence[WorkerServer] = (), **kwargs) -> None:
-        self._servers = list(servers)
+        self._servers = servers if isinstance(servers, list) else list(servers)
         try:
             super().__init__(*args, **kwargs)
         except Exception:
@@ -73,9 +88,22 @@ class TransportBackend(ExecutionBackend):
     timeout, retries:
         Per-request deadline and reconnect budget of each
         :class:`~repro.runtime.transport.TcpTransport` (TCP only).
+    backoff:
+        First reconnect pause in seconds; grows exponentially per attempt
+        (jittered :class:`~repro.runtime.transport.RetryPolicy`).  The
+        default ``0.0`` reproduces the old immediate-resend behaviour.
     subsample_cache_size:
         Worker-side subsample-cache LRU capacity
         (:class:`~repro.runtime.service.WorkerService`'s knob).
+    supervise:
+        Attach a :class:`~repro.runtime.supervisor.WorkerSupervisor` whose
+        respawner re-spawns hosted workers in-process; sessions then survive
+        worker kills mid-protocol (checkpoint restore + journal replay +
+        wave re-issue) with bit-identical results.
+    checkpoint_every, max_worker_restarts, heartbeat_interval:
+        Supervisor knobs: checkpoint cadence in delta waves, per-worker
+        restart budget, and the optional background heartbeat period in
+        seconds (None disables the monitor thread).
     """
 
     name = "tcp"
@@ -88,7 +116,12 @@ class TransportBackend(ExecutionBackend):
         concurrency: Optional[int] = None,
         timeout: float = 30.0,
         retries: int = 0,
+        backoff: float = 0.0,
         subsample_cache_size: Optional[int] = None,
+        supervise: bool = False,
+        checkpoint_every: int = 1,
+        max_worker_restarts: int = 2,
+        heartbeat_interval: Optional[float] = None,
     ) -> None:
         if transport not in ("loopback", "tcp"):
             raise ValueError(f"unknown transport kind {transport!r}")
@@ -96,8 +129,12 @@ class TransportBackend(ExecutionBackend):
         self.name = transport
         self._concurrency = concurrency
         self._timeout = float(timeout)
-        self._retries = int(retries)
+        self._policy = RetryPolicy(retries=max(0, int(retries)), backoff=float(backoff))
         self._subsample_cache_size = subsample_cache_size
+        self._supervise = bool(supervise)
+        self._checkpoint_every = int(checkpoint_every)
+        self._max_worker_restarts = int(max_worker_restarts)
+        self._heartbeat_interval = heartbeat_interval
 
     def session(
         self,
@@ -116,42 +153,69 @@ class TransportBackend(ExecutionBackend):
             )
         if len(components) < 1:
             raise ValueError("need at least the coordinator's component")
-        workers = [
-            WorkerService(
-                np.asarray(idx, dtype=np.int64),
-                np.asarray(val, dtype=float),
-                dimension,
-                name=f"server-{server + 1}",
-                max_subsample_caches=self._subsample_cache_size,
-            )
-            for server, (idx, val) in enumerate(components[1:])
+        worker_components = [
+            (np.asarray(idx, dtype=np.int64), np.asarray(val, dtype=float))
+            for idx, val in components[1:]
         ]
         servers: List[WorkerServer] = []
-        transports = []
-        try:
+        endpoints: Dict[int, Tuple[str, int]] = {}
+        handlers: Dict[int, Callable[[bytes], bytes]] = {}
+
+        def spawn_transport(worker_index: int) -> Transport:
+            # One closure for construction AND respawning: a replacement
+            # worker is a fresh service over the *original* component (the
+            # supervisor's restore overwrites it with the checkpoint anyway),
+            # hosted exactly like the one it replaces.
+            idx, val = worker_components[worker_index]
+            service = WorkerService(
+                idx,
+                val,
+                dimension,
+                name=f"server-{worker_index + 1}",
+                max_subsample_caches=self._subsample_cache_size,
+            )
             if self._kind == "tcp":
-                for worker in workers:
-                    server = WorkerServer(
-                        worker.handle_frame,
-                        stop_check=lambda worker=worker: worker.shutdown_requested,
-                    )
-                    servers.append(server)
-                    host, port = server.start()
-                    transports.append(
-                        TcpTransport(
-                            host, port, timeout=self._timeout, retries=self._retries
-                        )
-                    )
-            else:
-                transports = [
-                    LoopbackTransport(worker.handle_frame) for worker in workers
-                ]
+                server = WorkerServer(
+                    service.handle_frame,
+                    stop_check=lambda: service.shutdown_requested,
+                )
+                servers.append(server)
+                host, port = server.start()
+                endpoints[worker_index] = (host, port)
+                return TcpTransport(
+                    host, port, timeout=self._timeout, retry_policy=self._policy
+                )
+            handlers[worker_index] = service.handle_frame
+            return LoopbackTransport(service.handle_frame)
+
+        def probe_factory(worker_index: int) -> Transport:
+            if self._kind == "tcp":
+                host, port = endpoints[worker_index]
+                return TcpTransport(host, port, timeout=self._timeout)
+            return LoopbackTransport(handlers[worker_index])
+
+        supervisor = None
+        if self._supervise:
+            supervisor = WorkerSupervisor(
+                respawner=spawn_transport,
+                max_worker_restarts=self._max_worker_restarts,
+                checkpoint_every=self._checkpoint_every,
+                heartbeat_interval=self._heartbeat_interval,
+                probe_factory=(
+                    probe_factory if self._heartbeat_interval is not None else None
+                ),
+            )
+        transports: List[Transport] = []
+        try:
+            for worker_index in range(len(worker_components)):
+                transports.append(spawn_transport(worker_index))
             return HostedTransportSession(
                 transports,
                 dimension,
                 components[0],
                 keep_messages=keep_messages,
                 concurrency=self._concurrency,
+                supervisor=supervisor,
                 servers=servers,
             )
         except Exception:

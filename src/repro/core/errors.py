@@ -89,6 +89,30 @@ class WorkerTimeoutError(ReproError, TimeoutError):
     """
 
 
+class WorkerLostError(ReproError, ConnectionError):
+    """A worker is unreachable and could not be brought back.
+
+    Raised by :class:`repro.runtime.supervisor.WorkerSupervisor` when a
+    worker stops answering health probes and either no respawner is
+    configured or the per-session restart budget is exhausted.  Subclasses
+    ``ConnectionError`` so callers treating connection loss generically keep
+    working; sessions opened with ``stale_ok`` may instead answer
+    ``estimate`` from the last checkpoint (flagged stale) when this is
+    raised.  Maps to CLI exit code 8.
+    """
+
+
+class RecoveryError(WorkerLostError):
+    """Recovering a lost worker failed partway through.
+
+    The supervisor found a dead worker and tried to respawn/reconnect,
+    restore its checkpoint and replay the journaled frames, but one of those
+    steps failed (or a wave kept failing past the retry budget).  Subclasses
+    :class:`WorkerLostError` -- the worker is still lost -- so both map to
+    the same typed CLI exit code.
+    """
+
+
 class DimensionMismatchError(ReproError, ValueError, IndexError):
     """Servers disagree about the shape/dimension of the shared object.
 

@@ -23,6 +23,7 @@ from repro.core.errors import (
     SketchCompatibilityError,
     WireAccountingError,
     WireFormatError,
+    WorkerLostError,
     WorkerProtocolError,
     WorkerTimeoutError,
 )
@@ -43,6 +44,7 @@ EXIT_CODES = (
     (WorkerTimeoutError, 3),
     (WireFormatError, 4),
     (SketchCompatibilityError, 5),
+    (WorkerLostError, 8),
     (WorkerProtocolError, 6),
     (WireAccountingError, 7),
 )
@@ -168,6 +170,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="reconnect-and-resend attempts after a connection failure "
         "(operations are idempotent, so resending is safe)",
     )
+    submit.add_argument(
+        "--backoff", type=float, default=0.0,
+        help="first reconnect pause in seconds, growing exponentially "
+        "(jittered) per attempt; 0 resends immediately",
+    )
+    submit.add_argument(
+        "--max-worker-restarts", type=int, default=0,
+        help="supervise the run: tolerate up to N reconnect-and-restore "
+        "recoveries per worker (checkpointed state, replayed journal, "
+        "re-issued wave; results stay bit-identical).  0 disables "
+        "supervision; unrecoverable worker loss exits with code 8",
+    )
+    submit.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="supervised checkpoint cadence in delta waves (uncharged "
+        "control traffic, like the delta frames themselves)",
+    )
     _add_runtime_workload_args(submit)
     return parser
 
@@ -265,7 +284,8 @@ def _run_submit(args: argparse.Namespace) -> int:
     from repro.distributed.vector import DistributedVector
     from repro.functions import make_function
     from repro.runtime.service import CoordinatorService
-    from repro.runtime.transport import TcpTransport
+    from repro.runtime.supervisor import WorkerSupervisor
+    from repro.runtime.transport import RetryPolicy, TcpTransport
     from repro.sketch.z_sampler import ZSampler
 
     if len(args.workers) != args.num_servers - 1:
@@ -275,17 +295,35 @@ def _run_submit(args: argparse.Namespace) -> int:
         )
     components = _runtime_components(args)
     weight_fn = make_function(args.function).sampling_weight
+    policy = RetryPolicy(retries=max(0, args.retries), backoff=max(0.0, args.backoff))
+    endpoints = []
     transports = []
     for address in args.workers:
         host, _, port = address.rpartition(":")
+        endpoints.append((host or "127.0.0.1", int(port)))
         transports.append(
             TcpTransport(
-                host or "127.0.0.1", int(port),
-                timeout=args.timeout, retries=args.retries,
+                *endpoints[-1], timeout=args.timeout, retry_policy=policy
             )
         )
+    supervisor = None
+    if args.max_worker_restarts > 0:
+        # The CLI cannot restart a remote worker process; its respawner
+        # reconnects to the same address and restores the checkpoint --
+        # which covers both a worker that came back (systemd, k8s, a human)
+        # and one whose process survived but whose connection died.
+        def reconnect(worker: int, _endpoints=endpoints):
+            host, port = _endpoints[worker]
+            return TcpTransport(host, port, timeout=args.timeout, retry_policy=policy)
+
+        supervisor = WorkerSupervisor(
+            respawner=reconnect,
+            max_worker_restarts=args.max_worker_restarts,
+            checkpoint_every=max(1, args.checkpoint_every),
+        )
     coordinator = CoordinatorService(
-        transports, args.dimension, components[0], concurrency=args.concurrency
+        transports, args.dimension, components[0], concurrency=args.concurrency,
+        supervisor=supervisor,
     )
     try:
         draws = coordinator.sample(
@@ -308,6 +346,11 @@ def _run_submit(args: argparse.Namespace) -> int:
                 f"{coordinator.network.data_bytes_by_tag[tag]} bytes"
             )
         lines.append("  wire audit: data bytes == 8 x charged words for every tag")
+        if supervisor is not None and supervisor.restarts:
+            lines.append(
+                f"  supervision: recovered {supervisor.restarts} worker "
+                "restart(s) mid-run (results unaffected)"
+            )
         if args.verify_local:
             network = Network(args.num_servers)
             vector = DistributedVector(components, args.dimension, network)

@@ -9,7 +9,10 @@ Three layers (see the README's *Runtime* section):
 * :mod:`repro.runtime.transport` / :mod:`repro.runtime.service` -- pluggable
   transports (in-memory loopback, asyncio TCP) and the coordinator/worker
   pair running the Z-sampling pipeline over them, byte-audited against the
-  simulated word accounting.
+  simulated word accounting;
+* :mod:`repro.runtime.supervisor` -- heartbeats, checkpointed worker state
+  and live failover for supervised coordinator sessions (recovery is
+  bit-identity- and accounting-preserving).
 """
 
 from repro.runtime.service import CoordinatorService, RemoteVector, WorkerService
@@ -17,11 +20,19 @@ from repro.runtime.state import (
     BatchedSketchState,
     CountSketchState,
     HeavyHitterSummary,
+    WorkerCheckpoint,
     ZEstimateState,
+)
+from repro.runtime.supervisor import (
+    DegradedEstimate,
+    WorkerHealth,
+    WorkerSupervisor,
+    classify_failure,
 )
 from repro.runtime.transport import (
     LatencyTransport,
     LoopbackTransport,
+    RetryPolicy,
     TcpTransport,
     Transport,
     WorkerServer,
@@ -51,13 +62,19 @@ __all__ = [
     "BatchedSketchState",
     "HeavyHitterSummary",
     "ZEstimateState",
+    "WorkerCheckpoint",
     "Transport",
     "LoopbackTransport",
     "LatencyTransport",
     "TcpTransport",
+    "RetryPolicy",
     "WorkerServer",
     "WorkerService",
     "CoordinatorService",
     "RemoteVector",
     "scatter_requests",
+    "WorkerSupervisor",
+    "WorkerHealth",
+    "DegradedEstimate",
+    "classify_failure",
 ]

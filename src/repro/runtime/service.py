@@ -47,6 +47,7 @@ from repro.distributed.vector import (
     lookup_sorted,
 )
 from repro.runtime import wire
+from repro.runtime.state import WorkerCheckpoint
 from repro.runtime.transport import Transport, scatter_requests
 from repro.sketch import engine
 from repro.sketch.countsketch import CountSketch, batched_sketch_uncached
@@ -99,6 +100,7 @@ def _rpc_scatter(
     sections,
     overhead: int,
     pool: Optional[ThreadPoolExecutor] = None,
+    supervisor=None,
 ) -> List[wire.DecodedFrame]:
     """Ship one broadcast frame to every worker in a single wave.
 
@@ -112,7 +114,7 @@ def _rpc_scatter(
     """
     return _rpc_scatter_each(
         network, transports, op, [(frame, sections, overhead)] * len(transports),
-        pool=pool,
+        pool=pool, supervisor=supervisor,
     )
 
 
@@ -122,6 +124,7 @@ def _rpc_scatter_each(
     op: str,
     encoded: Sequence[Tuple[bytes, object, int]],
     pool: Optional[ThreadPoolExecutor] = None,
+    supervisor=None,
 ) -> List[wire.DecodedFrame]:
     """Ship one (possibly distinct) pre-encoded frame per worker in one wave.
 
@@ -129,12 +132,33 @@ def _rpc_scatter_each(
     payload differs by worker (e.g. each worker's own delta shard of a
     stream).  Accounting follows the same schedule-independent rule:
     requests up front, replies strictly in worker order.
+
+    This is the recovery seam.  With a ``supervisor``, a wave that fails is
+    classified: transient failures let the supervisor probe every worker,
+    recover the dead ones (respawn + checkpoint restore + journal replay),
+    and the **whole wave is re-issued** -- safe because every protocol op is
+    idempotent and updates dedupe by seq.  Request bytes were recorded once,
+    before the first attempt; replays are never re-recorded, so the ledger
+    matches an uninterrupted run.  ``transports`` must be the coordinator's
+    *live, shared* transport list -- recovery swaps fresh transports into it
+    in place, and the retry must pick them up.
     """
     for _, sections, overhead in encoded:
         network.record_frame(sections, overhead)
-    raw_replies = scatter_requests(
-        transports, [frame for frame, _, _ in encoded], pool=pool
-    )
+    frames = [frame for frame, _, _ in encoded]
+    if supervisor is not None:
+        supervisor.observe_wave(op, frames)
+    attempts = 0
+    while True:
+        try:
+            raw_replies = scatter_requests(transports, frames, pool=pool)
+            break
+        except Exception as exc:  # noqa: BLE001 - classified by the supervisor
+            attempts += 1
+            if supervisor is None or not supervisor.recover_for_retry(
+                exc, op=op, attempt=attempts
+            ):
+                raise
     replies: List[wire.DecodedFrame] = []
     for worker, raw in enumerate(raw_replies):
         reply = wire.decode_frame(raw)
@@ -471,6 +495,100 @@ class WorkerService:
             table = state.state.table
         return wire.encode_frame("state", {}, [(meta["tables_tag"], table)])
 
+    # ------------------------------------------------------------------ #
+    # supervision ops (uncharged control plane)
+    # ------------------------------------------------------------------ #
+    def _op_ping(self, frame) -> bytes:
+        """Cheap liveness probe: support plus the last applied delta seq.
+
+        Carries no entries in either direction -- pure framing overhead,
+        zero charged words -- so a supervisor can heartbeat as often as it
+        likes without touching the per-tag ledger.
+        """
+        session = str(frame.meta.get("session", ""))
+        with self._stream_lock:
+            applied = self._applied_updates.get(session)
+        return wire.encode_frame(
+            "pong",
+            {
+                "support": int(self._component[0].size),
+                "seq": int(applied[0]) if applied is not None else 0,
+                "name": self._name,
+            },
+        )
+
+    def _op_checkpoint(self, frame) -> bytes:
+        """Export everything a replacement worker needs, as one snapshot.
+
+        The component arrays, the requesting session's exactly-once update
+        ledger entry and its cached stream-sketch states travel together as
+        a single *untagged* :class:`~repro.runtime.state.WorkerCheckpoint`
+        payload -- control plane like the delta waves, so checkpoint cadence
+        never shows up in the charged-word ledger.  Snapshotting under the
+        stream lock keeps the component and the seq ledger mutually
+        consistent: a checkpoint can never hold an update the ledger does
+        not know about, or vice versa.
+        """
+        session = str(frame.meta.get("session", ""))
+        with self._stream_lock:
+            idx, val = self._component[:2]
+            applied = self._applied_updates.get(session)
+            streams = {
+                stream: state.state
+                for (owner, stream), state in self._stream_states.items()
+                if owner == session
+            }
+        checkpoint = WorkerCheckpoint(
+            dimension=self._dimension,
+            indices=idx,
+            values=val,
+            session=session,
+            applied_update=applied,
+            stream_states=streams,
+        )
+        return wire.encode_frame(
+            "checkpoint",
+            {"support": int(idx.size), "words": checkpoint.word_count()},
+            [(None, checkpoint._as_payload())],
+        )
+
+    def _op_restore(self, frame) -> bytes:
+        """Adopt a checkpointed snapshot verbatim (the failover inverse).
+
+        Installs the checkpoint's component (plus a freshly derived sorted
+        lookup view), its session's update ledger entry and its cached
+        stream states -- adopted without resketching via
+        :meth:`~repro.backend.streaming.StreamingSketchState.from_state`.
+        Everything else is dropped: other sessions' stream states and every
+        cached subsample hash were computed against the component this op
+        replaces, so serving them would silently answer from a stale
+        component.  (Their owners re-send ``subsample``/``stream_sketch``
+        frames on demand; both are idempotent.)
+        """
+        checkpoint = WorkerCheckpoint.from_payload(frame.entry(0))
+        if checkpoint.dimension != self._dimension:
+            raise DimensionMismatchError(
+                f"checkpoint covers dimension {checkpoint.dimension}, this "
+                f"worker serves {self._dimension}"
+            )
+        idx, val = checkpoint.indices, checkpoint.values
+        component = (idx, val, *DistributedVector._sorted_coalesced(idx, val))
+        with self._stream_lock:
+            self._component = component
+            self._stream_states.clear()
+            for stream, state in checkpoint.stream_states.items():
+                self._stream_states[(checkpoint.session, stream)] = (
+                    StreamingSketchState.from_state(state.make_sketch(), state)
+                )
+            self._applied_updates.pop(checkpoint.session, None)
+            if checkpoint.applied_update is not None:
+                self._applied_updates[checkpoint.session] = checkpoint.applied_update
+        with self._subsample_lock:
+            self._subsample_g.clear()
+        return wire.encode_frame(
+            "ack", {"restored": True, "support": int(idx.size)}
+        )
+
     def _op_shutdown(self, frame) -> bytes:
         self.shutdown_requested = True
         return wire.encode_frame("ack", {"shutdown": True})
@@ -502,15 +620,22 @@ class RemoteVector(DistributedVector):
         token_counter: Optional[itertools.count] = None,
         session: str = "",
         pool: Optional[ThreadPoolExecutor] = None,
+        supervisor=None,
     ) -> None:
         empty = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=float))
         components = [local_component] + [empty] * len(transports)
         super().__init__(components, dimension, network)
-        self._transports = list(transports)
+        # Shared BY REFERENCE with the owning session (and its other open
+        # vectors): when the supervisor swaps a recovered worker's transport
+        # into the list, every view must see the replacement immediately.
+        self._transports = (
+            transports if isinstance(transports, list) else list(transports)
+        )
         self._restriction = restriction
         self._token_counter = token_counter if token_counter is not None else itertools.count()
         self._session = session
         self._pool = pool
+        self._supervisor = supervisor
         self._local_g: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
@@ -520,7 +645,7 @@ class RemoteVector(DistributedVector):
         """One broadcast wave to every worker (pipelined when a pool is set)."""
         return _rpc_scatter(
             self._network, self._transports, op, frame, sections, overhead,
-            pool=self._pool,
+            pool=self._pool, supervisor=self._supervisor,
         )
 
     def _sketch_meta(self) -> dict:
@@ -615,6 +740,7 @@ class RemoteVector(DistributedVector):
             token_counter=self._token_counter,
             session=self._session,
             pool=self._pool,
+            supervisor=self._supervisor,
         )
         return clone
 
@@ -740,6 +866,16 @@ class CoordinatorService(ExecutionSession):
         worker-by-worker schedule.  Draws, estimates and per-tag word/byte
         accounting are **identical** under every setting -- the schedule
         only moves wall-clock time.
+    supervisor:
+        An optional :class:`~repro.runtime.supervisor.WorkerSupervisor`.
+        Attached right after the handshake (which itself runs unsupervised,
+        so construction against dead workers still fails fast): it takes an
+        initial checkpoint of every worker and from then on heals transient
+        wave failures -- respawn/reconnect, checkpoint restore, journal
+        replay, whole-wave re-issue -- transparently to the protocol code.
+        Recovery preserves bit-identity: a same-seed run with a mid-protocol
+        worker kill produces the same draws, estimates and per-tag charged
+        words as an uninterrupted run.
     """
 
     def __init__(
@@ -751,8 +887,10 @@ class CoordinatorService(ExecutionSession):
         keep_messages: bool = False,
         handshake: bool = True,
         concurrency: Optional[int] = None,
+        supervisor=None,
     ) -> None:
         self._transports = list(transports)
+        self._supervisor = supervisor
         self._dimension = int(dimension)
         if local_component is None:
             local_component = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=float))
@@ -801,6 +939,13 @@ class CoordinatorService(ExecutionSession):
                         f"worker {worker + 1} serves dimension {remote_dimension}, "
                         f"coordinator expects {self._dimension}"
                     )
+        if self._supervisor is not None:
+            self._supervisor.attach(self)
+
+    @property
+    def supervisor(self):
+        """The attached :class:`~repro.runtime.supervisor.WorkerSupervisor` (or None)."""
+        return self._supervisor
 
     @property
     def dimension(self) -> int:
@@ -840,6 +985,7 @@ class CoordinatorService(ExecutionSession):
             token_counter=self._token_counter,
             session=self._session,
             pool=self._pool,
+            supervisor=self._supervisor,
         )
 
     # ------------------------------------------------------------------ #
@@ -876,7 +1022,8 @@ class CoordinatorService(ExecutionSession):
                 for shard_idx, shard_val in cleaned[1:]
             ]
             _rpc_scatter_each(
-                self._network, self._transports, "update", encoded, pool=self._pool
+                self._network, self._transports, "update", encoded,
+                pool=self._pool, supervisor=self._supervisor,
             )
         # Every worker acked (or deduped a retried wave): commit.
         self._delta_seq = seq
@@ -888,6 +1035,10 @@ class CoordinatorService(ExecutionSession):
             )
             for state in self._streams.values():
                 state.ingest(d_idx, d_val)
+        if self._supervisor is not None:
+            # Cadenced checkpoints run post-commit: the checkpoint then
+            # covers this batch and the journal entry it supersedes.
+            self._supervisor.after_update_wave()
 
     def _stream_sketch_states(self, sketch, stream: str, tag: str):
         empty_state = sketch.export_state()
@@ -941,7 +1092,49 @@ class CoordinatorService(ExecutionSession):
         """One accounted broadcast wave over every worker transport."""
         return _rpc_scatter(
             self._network, self._transports, op, frame, sections, overhead,
-            pool=self._pool,
+            pool=self._pool, supervisor=self._supervisor,
+        )
+
+    def _degraded_estimate(self, weight_fn, *, config, seed, cause):
+        """Answer ``estimate(..., stale_ok=True)`` from the last checkpoints.
+
+        Runs the *simulated* Z-estimator over the coordinator's own
+        component plus every worker's last checkpointed component, on a
+        throwaway network -- a degraded answer moves no wire traffic and
+        charges nothing to this session's ledger.  Exact for the state as of
+        the checkpoints; anything the lost worker ingested afterwards is
+        missing, which is why the result carries an explicit ``stale`` flag.
+        """
+        if self._supervisor is None:
+            return None
+        checkpoints = self._supervisor.checkpoints
+        if any(worker not in checkpoints for worker in range(len(self._transports))):
+            return None
+        from repro.distributed.network import Network
+        from repro.runtime.supervisor import DegradedEstimate
+        from repro.sketch.z_estimator import ZEstimator
+
+        components = [self._local] + [
+            (checkpoints[worker].indices, checkpoints[worker].values)
+            for worker in range(len(self._transports))
+        ]
+        vector = DistributedVector(
+            components, self._dimension, Network(self.num_servers)
+        )
+        estimator = ZEstimator(
+            weight_fn,
+            epsilon=config.epsilon,
+            hh_params=config.hh_params,
+            num_levels=config.num_levels,
+            max_levels=config.max_levels,
+            min_level_count=config.min_level_count,
+            seed=seed,
+        )
+        return DegradedEstimate(
+            estimate=estimator.estimate(vector),
+            stale=True,
+            lost_workers=self._supervisor.lost_workers,
+            cause=f"{type(cause).__name__}: {cause}",
         )
 
     # ------------------------------------------------------------------ #
@@ -963,7 +1156,9 @@ class CoordinatorService(ExecutionSession):
         self._scatter_broadcast("shutdown", frame, sections, overhead)
 
     def close(self) -> None:
-        """Close every transport and the scatter pool (idempotent)."""
+        """Close the supervisor, every transport and the scatter pool (idempotent)."""
+        if self._supervisor is not None:
+            self._supervisor.close()
         for transport in self._transports:
             transport.close()
         if self._pool is not None:

@@ -27,8 +27,8 @@ one pass (asserted by ``tests/test_runtime_wire.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -590,3 +590,124 @@ class ZEstimateState:
             subsample_domain_scale=domain_scale,
             subsample_coefficients=coefficients,
         )
+
+
+@dataclass(eq=False)
+class WorkerCheckpoint:
+    """One worker's recoverable per-session state, as one serializable value.
+
+    The supervision layer's unit of exchange: the worker's current sparse
+    component *verbatim* (array order preserved -- float scatter-adds are
+    order-sensitive, so restoring a reordered component would break the
+    bit-identity contract), the session's exactly-once update ledger entry
+    ``(seq, count, index_sum, value_sum)``, and the session's cached
+    stream-sketch states.  Installing a checkpoint on a fresh worker and
+    replaying the journaled post-checkpoint frames reproduces the lost
+    worker's state bit-for-bit (the ledger makes replayed updates
+    exactly-once).  Checkpoints travel as *untagged* frame entries: pure
+    control plane, never charged to the word model.
+    """
+
+    dimension: int
+    indices: np.ndarray
+    values: np.ndarray
+    session: str
+    applied_update: Optional[Tuple[int, int, int, float]] = None
+    stream_states: Dict[str, CountSketchState] = field(default_factory=dict)
+
+    _LABEL = "worker-checkpoint"
+
+    def __post_init__(self) -> None:
+        self.dimension = int(self.dimension)
+        if self.dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {self.dimension}")
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.indices.shape != self.values.shape or self.indices.ndim != 1:
+            raise ValueError(
+                "checkpoint indices and values must be matching 1-D arrays"
+            )
+        self.session = str(self.session)
+        if self.applied_update is not None:
+            seq, count, index_sum, value_sum = self.applied_update
+            self.applied_update = (int(seq), int(count), int(index_sum), float(value_sum))
+        self.stream_states = {
+            str(stream): state for stream, state in dict(self.stream_states).items()
+        }
+        for stream, state in self.stream_states.items():
+            if not isinstance(state, CountSketchState):
+                raise ValueError(
+                    f"stream {stream!r} must map to a CountSketchState, "
+                    f"got {type(state).__name__}"
+                )
+
+    @property
+    def support(self) -> int:
+        """Number of stored (index, value) pairs."""
+        return int(self.indices.size)
+
+    def word_count(self) -> int:
+        """Wire words of this checkpoint (component + ledger + states)."""
+        words = 2 + self.indices.size + self.values.size
+        if self.applied_update is not None:
+            words += 4
+        for state in self.stream_states.values():
+            words += state.word_count()
+        return words
+
+    def equals(self, other: "WorkerCheckpoint") -> bool:
+        """Exact (bitwise) equality of every field -- used by round-trip tests."""
+        return (
+            isinstance(other, WorkerCheckpoint)
+            and self.dimension == other.dimension
+            and self.session == other.session
+            and self.applied_update == other.applied_update
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.values, other.values, equal_nan=True)
+            and set(self.stream_states) == set(other.stream_states)
+            and all(
+                state.equals(other.stream_states[stream])
+                for stream, state in self.stream_states.items()
+            )
+        )
+
+    def _as_payload(self) -> tuple:
+        return (
+            self._LABEL,
+            self.dimension,
+            self.indices,
+            self.values,
+            self.session,
+            self.applied_update,
+            {
+                stream: state._as_payload()
+                for stream, state in self.stream_states.items()
+            },
+        )
+
+    @classmethod
+    def from_payload(cls, payload) -> "WorkerCheckpoint":
+        """Rebuild from a decoded frame entry (inverse of ``_as_payload``)."""
+        _check_label(payload[0], cls._LABEL)
+        _, dimension, indices, values, session, applied, streams = payload
+        states = {}
+        for stream, state_payload in streams.items():
+            _check_label(state_payload[0], CountSketchState._LABEL)
+            states[stream] = CountSketchState(*state_payload[1:])
+        return cls(
+            dimension=dimension,
+            indices=indices,
+            values=values,
+            session=session,
+            applied_update=applied,
+            stream_states=states,
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialise with the versioned wire codec."""
+        return wire.to_bytes(self._as_payload())
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "WorkerCheckpoint":
+        """Exact inverse of :meth:`to_bytes`."""
+        return cls.from_payload(wire.from_bytes(buf))

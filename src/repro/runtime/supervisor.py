@@ -1,0 +1,545 @@
+"""Supervision and recovery for transport-backed coordinator sessions.
+
+The paper's protocol assumes every server survives the whole run; real
+workers die mid-wave.  A :class:`WorkerSupervisor` closes that gap for
+:class:`~repro.runtime.service.CoordinatorService` sessions:
+
+* **heartbeats** -- a cheap ``ping`` op probes every worker, either
+  synchronously (:meth:`WorkerSupervisor.heartbeat`) or from an optional
+  background monitor thread (observe-only: it uses its own probe
+  transports, never the coordinator's, which are single-threaded);
+* **checkpoints** -- each worker exports its component + exactly-once
+  update ledger + cached stream-sketch states as one
+  :class:`~repro.runtime.state.WorkerCheckpoint` (the ``checkpoint`` op),
+  taken at attach time and after every ``checkpoint_every``-th delta wave;
+* **failover** -- when a wave fails transiently the supervisor probes every
+  worker, and for each dead one: respawns-or-reconnects through the
+  configured ``respawner``, installs the last checkpoint (the ``restore``
+  op), replays the journaled post-checkpoint frames, swaps the fresh
+  transport into the coordinator's shared list, and lets the service
+  re-issue the whole wave.  Every protocol op is idempotent and updates are
+  deduplicated by their per-session ``seq``, so the re-issued wave applies
+  **exactly once** -- a same-seed run with a mid-protocol worker kill
+  produces bit-identical draws, estimates and per-tag charged words to an
+  uninterrupted run.
+
+Accounting: supervision is pure control plane.  Heartbeat and checkpoint
+frames carry only untagged entries and are recorded as control *overhead*
+(like delta waves -- zero charged words); recovery traffic (probes,
+``restore``, replayed frames) is not recorded at all, because the original
+wave's bytes were already recorded when it was first issued.  The wire
+audit (:meth:`~repro.distributed.network.TransportNetwork.verify_wire_accounting`)
+therefore stays exact across a recovery.
+
+When a worker cannot be recovered (no respawner, restart budget exhausted,
+or the restore itself fails) a typed
+:class:`~repro.core.errors.WorkerLostError` / ``RecoveryError`` surfaces;
+sessions may then answer ``estimate(..., stale_ok=True)`` from the last
+checkpoints, wrapped in a :class:`DegradedEstimate` with an explicit
+staleness flag.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import (
+    RecoveryError,
+    WireFormatError,
+    WorkerLostError,
+    WorkerProtocolError,
+    WorkerTimeoutError,
+)
+from repro.runtime import wire
+from repro.runtime.state import WorkerCheckpoint
+from repro.runtime.transport import RetryPolicy, Transport
+
+#: :func:`classify_failure` verdicts.
+TRANSIENT = "transient"
+FATAL = "fatal"
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Classify a failed wave: worth probing/retrying, or a real fault?
+
+    *Transient* failures are the connection-shaped ones -- a timeout, a
+    reset, a mid-reply close, or a :class:`WorkerProtocolError` the
+    transport wrapped around one (its ``__cause__`` is the connection
+    error).  Everything else -- a typed ``error`` frame from a live worker,
+    a malformed reply, a wire-format fault -- is *fatal*: the worker
+    answered, retrying the same wave would just fail the same way.
+    """
+    if isinstance(exc, WorkerTimeoutError):
+        # Must precede the OSError checks: TimeoutError subclasses OSError.
+        return TRANSIENT
+    if isinstance(exc, WorkerLostError):
+        # Already the outcome of a failed recovery; never retry on it.
+        return FATAL
+    if isinstance(exc, (ConnectionError, asyncio.IncompleteReadError)):
+        return TRANSIENT
+    if isinstance(exc, WorkerProtocolError):
+        cause = exc.__cause__
+        if isinstance(
+            cause,
+            (ConnectionError, OSError, asyncio.IncompleteReadError, asyncio.TimeoutError),
+        ):
+            return TRANSIENT
+        return FATAL
+    if isinstance(exc, WireFormatError):
+        return FATAL
+    if isinstance(exc, OSError):
+        return TRANSIENT
+    return FATAL
+
+
+@dataclass
+class WorkerHealth:
+    """One worker's probe history, as seen by the supervisor."""
+
+    worker: int
+    healthy: bool = True
+    consecutive_failures: int = 0
+    restarts: int = 0
+    last_probe: float = 0.0  #: ``time.monotonic()`` of the last probe (0 = never)
+
+
+@dataclass(frozen=True)
+class DegradedEstimate:
+    """An ``estimate`` answered from checkpoints after losing a worker.
+
+    ``estimate`` is a regular :class:`~repro.sketch.z_estimator.ZEstimate`
+    computed over the coordinator's component plus every worker's *last
+    checkpointed* component -- exact for the state as of those checkpoints,
+    but blind to anything the lost worker received afterwards, hence the
+    explicit ``stale`` flag.  Computed locally on a throwaway network:
+    degraded answers charge nothing to the session's ledger.
+    """
+
+    estimate: object
+    stale: bool
+    lost_workers: Tuple[int, ...]
+    cause: str = ""
+
+
+class WorkerSupervisor:
+    """Heartbeats, checkpoints and live failover for one coordinator session.
+
+    Parameters
+    ----------
+    respawner:
+        ``respawner(worker_index) -> Transport`` brings worker ``i`` back --
+        by spawning a fresh in-process service (the self-hosting backends)
+        or reconnecting to an externally restarted server (``submit
+        --max-worker-restarts``).  Without one, a dead worker is immediately
+        :class:`~repro.core.errors.WorkerLostError`.
+    max_worker_restarts:
+        Total restarts the session tolerates *per worker* before declaring
+        it lost.
+    checkpoint_every:
+        Checkpoint cadence: take fresh checkpoints after every N-th
+        acknowledged delta wave (the journal covers the waves in between).
+    probe_policy:
+        :class:`~repro.runtime.transport.RetryPolicy` paced by recovery
+        probes (reserved for respawners that need connection backoff).
+    heartbeat_interval / probe_factory:
+        Enable the background monitor thread: every ``heartbeat_interval``
+        seconds it probes each worker through a *fresh* transport from
+        ``probe_factory(worker_index)`` (the coordinator's own transports
+        are not thread-safe) and records the outcome in :meth:`health`.
+        Observe-only -- recovery always happens on the coordinator's
+        thread, inside the failed wave's retry loop.
+    subsample_journal_size:
+        Ring capacity of journaled ``subsample`` broadcast frames; keep it
+        at the workers' subsample-cache capacity.
+    """
+
+    def __init__(
+        self,
+        respawner: Optional[Callable[[int], Transport]] = None,
+        *,
+        max_worker_restarts: int = 2,
+        checkpoint_every: int = 1,
+        probe_policy: Optional[RetryPolicy] = None,
+        heartbeat_interval: Optional[float] = None,
+        probe_factory: Optional[Callable[[int], Transport]] = None,
+        subsample_journal_size: int = 4,
+    ) -> None:
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got {heartbeat_interval}"
+            )
+        if heartbeat_interval is not None and probe_factory is None:
+            raise ValueError(
+                "a background heartbeat needs a probe_factory: the "
+                "coordinator's own transports are single-threaded"
+            )
+        self._respawner = respawner
+        self._max_worker_restarts = max(0, int(max_worker_restarts))
+        self._checkpoint_every = max(1, int(checkpoint_every))
+        self._probe_policy = probe_policy if probe_policy is not None else RetryPolicy()
+        self._heartbeat_interval = heartbeat_interval
+        self._probe_factory = probe_factory
+        self._coordinator = None
+        self._lock = threading.Lock()
+        self._checkpoints: Dict[int, WorkerCheckpoint] = {}
+        #: One journaled wave per un-checkpointed delta batch: the exact
+        #: per-worker ``update`` frames, replayed in order on a restore
+        #: (the worker's seq ledger makes the replay exactly-once).
+        self._update_journal: List[List[bytes]] = []
+        #: The most recent ``subsample`` broadcast frames (one ring entry
+        #: per token, like the workers' own LRU cache); replayed after the
+        #: updates so a restored worker can serve in-flight restricted
+        #: sketches.
+        self._subsample_journal: Deque[bytes] = deque(
+            maxlen=max(1, int(subsample_journal_size))
+        )
+        self._update_waves = 0
+        self._health: Dict[int, WorkerHealth] = {}
+        self._lost: set = set()
+        self._monitor: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def attach(self, coordinator) -> None:
+        """Bind to a coordinator session and take checkpoint zero.
+
+        Called by :class:`~repro.runtime.service.CoordinatorService` right
+        after its handshake (the handshake itself runs unsupervised --
+        construction fails fast).  The initial checkpoints make every
+        worker recoverable from the session's very first wave.
+        """
+        if self._coordinator is not None:
+            raise RuntimeError("supervisor is already attached to a session")
+        self._coordinator = coordinator
+        for worker in range(len(coordinator._transports)):
+            self._health[worker] = WorkerHealth(worker)
+        self.checkpoint_all()
+        if self._heartbeat_interval is not None:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="worker-heartbeat", daemon=True
+            )
+            self._monitor.start()
+
+    @property
+    def attached(self) -> bool:
+        return self._coordinator is not None
+
+    def _transports(self) -> List[Transport]:
+        if self._coordinator is None:
+            raise RuntimeError("supervisor is not attached to a session")
+        return self._coordinator._transports
+
+    def _session_id(self) -> str:
+        return self._coordinator._session
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def checkpoints(self) -> Dict[int, WorkerCheckpoint]:
+        """The last checkpoint per worker index (a snapshot copy)."""
+        with self._lock:
+            return dict(self._checkpoints)
+
+    @property
+    def lost_workers(self) -> Tuple[int, ...]:
+        """Workers declared unrecoverable, in index order."""
+        with self._lock:
+            return tuple(sorted(self._lost))
+
+    @property
+    def restarts(self) -> int:
+        """Total worker restarts performed so far."""
+        with self._lock:
+            return sum(health.restarts for health in self._health.values())
+
+    def health(self) -> Dict[int, WorkerHealth]:
+        """A snapshot of every worker's probe history."""
+        with self._lock:
+            return {
+                worker: WorkerHealth(
+                    worker=health.worker,
+                    healthy=health.healthy,
+                    consecutive_failures=health.consecutive_failures,
+                    restarts=health.restarts,
+                    last_probe=health.last_probe,
+                )
+                for worker, health in self._health.items()
+            }
+
+    # ------------------------------------------------------------------ #
+    # control-plane rpc
+    # ------------------------------------------------------------------ #
+    def _control(
+        self, transport: Transport, worker: int, op: str, meta=None, entries=(),
+        *, record: bool = False,
+    ) -> wire.DecodedFrame:
+        """One supervision round-trip.  ``record`` books it as overhead.
+
+        Supervision frames carry only untagged entries, so recording them
+        touches the control-overhead counter but never the per-tag data
+        ledger -- charged words stay identical to an unsupervised run.
+        """
+        frame, sections, overhead = wire.encode_frame_with_stats(op, meta, entries)
+        reply = wire.decode_frame(transport.request(frame))
+        if record:
+            network = self._coordinator._network
+            network.record_frame(sections, overhead)
+            network.record_frame(reply.data_sections, reply.overhead_bytes)
+        if reply.op == "error":
+            raise WorkerProtocolError(
+                f"worker {worker + 1} failed op {op!r}: "
+                f"{reply.meta.get('type', 'Error')}: {reply.meta.get('message', '')}"
+            )
+        return reply
+
+    def _ping_frame(self) -> bytes:
+        frame, _, _ = wire.encode_frame_with_stats(
+            "ping", {"session": self._session_id()}
+        )
+        return frame
+
+    def _mark(self, worker: int, healthy: bool) -> None:
+        with self._lock:
+            health = self._health.setdefault(worker, WorkerHealth(worker))
+            health.last_probe = time.monotonic()
+            health.healthy = healthy
+            if healthy:
+                health.consecutive_failures = 0
+            else:
+                health.consecutive_failures += 1
+
+    # ------------------------------------------------------------------ #
+    # heartbeats
+    # ------------------------------------------------------------------ #
+    def heartbeat(self) -> Dict[int, bool]:
+        """Probe every worker once over the coordinator's transports.
+
+        Coordinator-thread only (the transports are not thread-safe).  The
+        probes are recorded as control overhead; outcomes update
+        :meth:`health` and are returned as ``{worker_index: healthy}``.
+        """
+        results: Dict[int, bool] = {}
+        for worker, transport in enumerate(self._transports()):
+            try:
+                self._control(
+                    transport, worker, "ping",
+                    {"session": self._session_id()}, record=True,
+                )
+                healthy = True
+            except Exception:  # noqa: BLE001 - any failure means unhealthy
+                healthy = False
+            self._mark(worker, healthy)
+            results[worker] = healthy
+        return results
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self._heartbeat_interval):
+            coordinator = self._coordinator
+            if coordinator is None:  # pragma: no cover - defensive
+                return
+            ping = self._ping_frame()
+            for worker in range(len(coordinator._transports)):
+                if self._stop.is_set():
+                    return
+                try:
+                    probe = self._probe_factory(worker)
+                except Exception:  # noqa: BLE001 - cannot even build a probe
+                    self._mark(worker, False)
+                    continue
+                try:
+                    self._mark(worker, probe.probe(ping))
+                finally:
+                    probe.close()
+
+    # ------------------------------------------------------------------ #
+    # checkpoints
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, worker: int) -> WorkerCheckpoint:
+        """Take (and store) a fresh checkpoint of one worker.
+
+        A worker that dies *between* an acknowledged wave and its checkpoint
+        is recovered from the previous checkpoint plus the journal -- which
+        still covers the latest wave -- and then checkpointed again.
+        """
+        transport = self._transports()[worker]
+        meta = {"session": self._session_id()}
+        try:
+            reply = self._control(
+                transport, worker, "checkpoint", meta, record=True
+            )
+        except Exception as exc:  # noqa: BLE001 - classified below
+            if classify_failure(exc) == FATAL:
+                raise
+            self.recover_worker(worker, cause=exc)
+            reply = self._control(
+                self._transports()[worker], worker, "checkpoint", meta
+            )
+        checkpoint = WorkerCheckpoint.from_payload(reply.entry(0))
+        with self._lock:
+            self._checkpoints[worker] = checkpoint
+        return checkpoint
+
+    def checkpoint_all(self) -> None:
+        """Checkpoint every worker, then drop the superseded update journal."""
+        for worker in range(len(self._transports())):
+            self.checkpoint(worker)
+        with self._lock:
+            self._update_journal.clear()
+
+    # ------------------------------------------------------------------ #
+    # wave observation (journaling)
+    # ------------------------------------------------------------------ #
+    def observe_wave(self, op: str, frames: Sequence[bytes]) -> None:
+        """Journal a wave about to be issued (called by the scatter seam).
+
+        ``update`` waves are journaled per worker until the next checkpoint
+        supersedes them; ``subsample`` broadcasts ride a small ring (the
+        workers' own cache capacity) so a restored worker can serve
+        restricted sketches for in-flight tokens.  Everything else is a
+        pure read of worker state -- re-issuing the wave is recovery enough.
+        """
+        if op == "update":
+            with self._lock:
+                self._update_journal.append([bytes(frame) for frame in frames])
+        elif op == "subsample":
+            with self._lock:
+                self._subsample_journal.append(bytes(frames[0]))
+
+    def after_update_wave(self) -> None:
+        """Cadence hook: called by the coordinator after each committed wave."""
+        self._update_waves += 1
+        if self._update_waves % self._checkpoint_every == 0:
+            self.checkpoint_all()
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+    def recover_for_retry(
+        self, exc: BaseException, *, op: str = "", attempt: int = 1
+    ) -> bool:
+        """Heal whatever made a wave fail; True means "re-issue the wave".
+
+        Fatal failures return False (the caller re-raises the original).
+        Transient ones probe every worker and recover the dead ones; a wave
+        that keeps failing past the retry budget raises
+        :class:`~repro.core.errors.RecoveryError`, and an unrecoverable
+        worker raises :class:`~repro.core.errors.WorkerLostError` (both
+        chained from the wave's failure).
+        """
+        if self._coordinator is None:
+            return False
+        if classify_failure(exc) == FATAL:
+            return False
+        if attempt > self._max_worker_restarts + 1:
+            raise RecoveryError(
+                f"wave {op!r} still failing after {attempt - 1} recovery "
+                f"attempt(s): {type(exc).__name__}: {exc}"
+            ) from exc
+        ping = self._ping_frame()
+        for worker, transport in enumerate(list(self._transports())):
+            if transport.probe(ping):
+                self._mark(worker, True)
+                continue
+            self._mark(worker, False)
+            self.recover_worker(worker, cause=exc)
+        return True
+
+    def recover_worker(
+        self, worker: int, *, cause: Optional[BaseException] = None
+    ) -> None:
+        """Respawn worker ``worker``, restore its checkpoint, replay the journal.
+
+        The fresh transport replaces the dead one *in place* in the
+        coordinator's shared transport list, so every open
+        :class:`~repro.runtime.service.RemoteVector` sees it immediately.
+        Recovery traffic is never recorded: the journaled frames' bytes
+        were booked when first issued, and booking them again would break
+        the wire audit.
+        """
+        coordinator = self._coordinator
+        if coordinator is None:
+            raise RuntimeError("supervisor is not attached to a session")
+        with self._lock:
+            health = self._health.setdefault(worker, WorkerHealth(worker))
+            if self._respawner is None:
+                self._lost.add(worker)
+                raise WorkerLostError(
+                    f"worker {worker + 1} is unreachable and the supervisor "
+                    "has no respawner"
+                ) from cause
+            if health.restarts >= self._max_worker_restarts:
+                self._lost.add(worker)
+                raise WorkerLostError(
+                    f"worker {worker + 1} exceeded its restart budget "
+                    f"({self._max_worker_restarts})"
+                ) from cause
+            health.restarts += 1
+            checkpoint = self._checkpoints.get(worker)
+            updates = [frames[worker] for frames in self._update_journal]
+            subsamples = list(self._subsample_journal)
+        try:
+            transport = self._respawner(worker)
+        except Exception as exc:  # noqa: BLE001 - typed below
+            with self._lock:
+                self._lost.add(worker)
+            raise RecoveryError(
+                f"respawning worker {worker + 1} failed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        try:
+            if checkpoint is not None:
+                self._control(
+                    transport, worker, "restore",
+                    {"session": self._session_id()},
+                    [(None, checkpoint._as_payload())],
+                )
+            for frame in updates:
+                self._replay(transport, worker, frame)
+            for frame in subsamples:
+                self._replay(transport, worker, frame)
+        except Exception as exc:  # noqa: BLE001 - typed below
+            try:
+                transport.close()
+            except Exception:  # noqa: BLE001 - teardown must not mask
+                pass
+            with self._lock:
+                self._lost.add(worker)
+            raise RecoveryError(
+                f"restoring worker {worker + 1} failed: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        old = coordinator._transports[worker]
+        coordinator._transports[worker] = transport
+        try:
+            old.close()
+        except Exception:  # noqa: BLE001 - the old transport is dead anyway
+            pass
+        with self._lock:
+            self._lost.discard(worker)
+        self._mark(worker, True)
+
+    def _replay(self, transport: Transport, worker: int, frame: bytes) -> None:
+        reply = wire.decode_frame(transport.request(frame))
+        if reply.op == "error":
+            raise WorkerProtocolError(
+                f"worker {worker + 1} rejected a replayed frame: "
+                f"{reply.meta.get('type', 'Error')}: {reply.meta.get('message', '')}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the monitor thread (idempotent); transports stay the session's."""
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None

@@ -45,9 +45,11 @@ import abc
 import asyncio
 import concurrent.futures
 import itertools
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import WireFormatError, WorkerProtocolError, WorkerTimeoutError
@@ -61,6 +63,82 @@ LENGTH_PREFIX_BYTES = 8
 
 #: A worker-side frame handler: one encoded request in, one encoded reply out.
 FrameHandler = Callable[[bytes], bytes]
+
+#: Shared jitter source for retry backoff.  Jitter only de-synchronises
+#: concurrent retriers; it never affects protocol results, so a module-level
+#: unseeded generator is fine (tests inject their own for determinism).
+_jitter_rng = random.Random()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and how long) to retry a failed request or recovery probe.
+
+    One policy shared by :class:`TcpTransport`'s reconnect-and-resend loop
+    and by :class:`repro.runtime.supervisor.WorkerSupervisor`'s recovery
+    probes.  ``RetryPolicy()`` never retries; ``RetryPolicy(retries=N)``
+    with the default ``backoff=0`` reproduces the historical immediate
+    reconnect-and-resend behaviour exactly.  With a positive ``backoff`` the
+    delay before retry *k* is ``backoff * multiplier**(k-1)``, capped at
+    ``max_backoff``, multiplied by a uniform jitter in ``[1-jitter,
+    1+jitter]``; ``max_elapsed`` bounds the total time budget -- a retry
+    whose delay would exceed it is abandoned instead of slept through.
+    """
+
+    retries: int = 0
+    backoff: float = 0.0
+    multiplier: float = 2.0
+    max_backoff: float = 5.0
+    jitter: float = 0.0
+    max_elapsed: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_backoff < 0:
+            raise ValueError(f"max_backoff must be >= 0, got {self.max_backoff}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.max_elapsed is not None and self.max_elapsed < 0:
+            raise ValueError(f"max_elapsed must be >= 0, got {self.max_elapsed}")
+
+    def delay(self, attempt: int, *, rng=None) -> float:
+        """Backoff (seconds, jittered) before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        base = min(self.backoff * self.multiplier ** (attempt - 1), self.max_backoff)
+        if base > 0 and self.jitter > 0:
+            rng = rng if rng is not None else _jitter_rng
+            base *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return max(0.0, base)
+
+    def pause(
+        self,
+        attempt: int,
+        started: float,
+        *,
+        sleep=time.sleep,
+        now=time.monotonic,
+        rng=None,
+    ) -> bool:
+        """Sleep the backoff before retry ``attempt``; False means give up.
+
+        ``started`` is the ``now()``-clock instant the first attempt began.
+        Gives up when the retry budget is spent or when waiting would push
+        the total elapsed time past ``max_elapsed``.
+        """
+        if attempt > self.retries:
+            return False
+        wait = self.delay(attempt, rng=rng)
+        if self.max_elapsed is not None and (now() - started) + wait > self.max_elapsed:
+            return False
+        if wait > 0:
+            sleep(wait)
+        return True
 
 
 class Transport(abc.ABC):
@@ -78,6 +156,18 @@ class Transport(abc.ABC):
         at once on the single connection.
         """
         return [self.request(frame) for frame in frames]
+
+    def probe(self, frame: bytes) -> bool:
+        """Health probe: True when the worker answers with a non-error frame.
+
+        Never raises -- a dead connection, a timeout, garbage bytes or a
+        typed ``error`` reply all report ``False``.  Used by the supervisor's
+        heartbeat and recovery rounds.
+        """
+        try:
+            return wire.decode_frame(self.request(frame)).op != "error"
+        except Exception:  # noqa: BLE001 - any failure means "not healthy"
+            return False
 
     def close(self) -> None:
         """Release transport resources (idempotent)."""
@@ -202,9 +292,12 @@ class TcpTransport(Transport):
     replies -- possibly out of order -- are matched back by id under a
     per-request ``timeout``.
 
-    ``retries`` reconnects and resends the wave after a *connection* failure
-    (reset, mid-reply close); the protocol's operations are idempotent, so a
-    resend is safe.  Timeouts are never retried implicitly -- they surface
+    ``retry_policy`` (or the ``retries`` shorthand, equivalent to
+    ``RetryPolicy(retries=N)``) reconnects and resends the wave after a
+    *connection* failure (reset, mid-reply close), sleeping the policy's
+    exponential backoff between attempts; the protocol's operations are
+    idempotent, so a resend is safe.  Timeouts are never retried implicitly
+    -- they surface
     as :class:`~repro.core.errors.WorkerTimeoutError` with the connection
     poisoned, and the caller decides.  A poisoned transport is not dead: the
     next request opens a *fresh* connection (the old socket is closed, so a
@@ -219,11 +312,16 @@ class TcpTransport(Transport):
         *,
         timeout: float = 30.0,
         retries: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self._host = host
         self._port = int(port)
         self._timeout = float(timeout)
-        self._retries = max(0, int(retries))
+        self._policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(retries=max(0, int(retries)))
+        )
         self._loop = asyncio.new_event_loop()
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
@@ -312,6 +410,11 @@ class TcpTransport(Transport):
                 else:
                     future.cancel()
 
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The reconnect-and-resend policy of this transport."""
+        return self._policy
+
     def request_many(self, frames: Sequence[bytes]) -> List[bytes]:
         if self._loop.is_closed():
             raise RuntimeError("transport is closed")
@@ -319,7 +422,12 @@ class TcpTransport(Transport):
         if not frame_list:
             return []
         last_error: Optional[BaseException] = None
-        for _attempt in range(self._retries + 1):
+        started = time.monotonic()
+        attempt = 0
+        while True:
+            if attempt and not self._policy.pause(attempt, started):
+                break
+            attempt += 1
             if self._writer is None:
                 try:
                     self._connect()
@@ -355,7 +463,7 @@ class TcpTransport(Transport):
                 raise
         raise WorkerProtocolError(
             f"worker {self._host}:{self._port} connection failed after "
-            f"{self._retries + 1} attempt(s): "
+            f"{attempt} attempt(s): "
             f"{type(last_error).__name__}: {last_error}"
         ) from last_error
 

@@ -42,6 +42,14 @@ def pytest_addoption(parser):
         help="run the slow suites (marked 'slow'): concurrency soak runs "
         "and other multi-second stress tests",
     )
+    parser.addoption(
+        "--chaos",
+        action="store_true",
+        default=False,
+        help="run the kill/restart recovery suites (marked 'chaos'): "
+        "workers are killed mid-protocol and the supervisor must restore "
+        "them with bit-identical results",
+    )
     from repro.backend import available_backends
 
     parser.addoption(
@@ -71,6 +79,11 @@ def pytest_configure(config):
         "slow: multi-second soak/stress tests, deselected unless --slow "
         "is passed",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: kill/restart recovery tests (worker failover mid-protocol), "
+        "deselected unless --chaos is passed",
+    )
 
 
 def pytest_generate_tests(metafunc):
@@ -98,6 +111,7 @@ def pytest_collection_modifyitems(config, items):
             "--tcp",
         ),
         ("slow", config.getoption("--slow"), "--slow"),
+        ("chaos", config.getoption("--chaos"), "--chaos"),
     ]
     for marker, enabled, flag in gates:
         if enabled:

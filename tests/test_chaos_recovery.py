@@ -1,0 +1,349 @@
+"""Kill a worker mid-protocol; the supervisor must restore it bit-identically.
+
+The contract under test (the recovery half of the bit-identity invariant):
+a supervised run in which a worker dies mid-protocol -- permanently, so the
+supervisor must respawn it, restore its checkpoint and replay the journal
+-- produces **bit-identical** draws, estimates and per-tag charged words to
+an uninterrupted same-seed run, and the wire audit stays green (all
+supervision and recovery traffic is uncharged control plane).
+
+The light loopback kills run in tier-1; the TCP and multi-kill variants are
+marked ``chaos`` (and ``tcp`` where sockets are involved) and run in the CI
+chaos job under pytest-timeout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import create_backend
+from repro.core.errors import WorkerLostError
+from repro.runtime.service import CoordinatorService, WorkerService
+from repro.runtime.supervisor import WorkerSupervisor
+from repro.runtime.transport import LoopbackTransport, TcpTransport, WorkerServer
+
+from test_runtime_transport import (
+    assert_same_draws,
+    make_components,
+    make_config,
+    weight_fn,
+)
+
+#: After attach, every worker has served: hello (1), checkpoint (2).  The
+#: sampling protocol's waves start at frame 3, so kill points >= 3 land
+#: mid-protocol (subsample / sketch / collect waves).
+FIRST_PROTOCOL_FRAME = 3
+
+
+class KillableWorker:
+    """A worker handler that dies permanently at a chosen received frame.
+
+    ``kill_at=N`` raises *instead of* handling frame N (the request is
+    lost); ``kill_after=N`` handles frame N first, then dies (the reply --
+    e.g. an update ack -- is lost after the side effect was applied).  Both
+    look like a died process: loopback callers see the raised
+    ``ConnectionResetError`` directly, and a TCP :class:`WorkerServer` kills
+    the connection when its handler raises.
+    """
+
+    def __init__(
+        self,
+        service: WorkerService,
+        *,
+        kill_at: int | None = None,
+        kill_after: int | None = None,
+    ) -> None:
+        self.service = service
+        self.kill_at = kill_at
+        self.kill_after = kill_after
+        self.calls = 0
+        self.dead = False
+
+    def handler(self, frame: bytes) -> bytes:
+        self.calls += 1
+        if self.dead or (self.kill_at is not None and self.calls >= self.kill_at):
+            self.dead = True
+            raise ConnectionResetError("worker killed")
+        reply = self.service.handle_frame(frame)
+        if self.kill_after is not None and self.calls >= self.kill_after:
+            self.dead = True
+            raise ConnectionResetError("worker killed after handling")
+        return reply
+
+
+class SupervisedHarness:
+    """A supervised coordinator whose workers can be killed deterministically.
+
+    One spawning closure serves construction and respawning (exactly like
+    :class:`repro.backend.transport.TransportBackend`); replacements are
+    healthy workers over the same original components.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        seed: int = 42,
+        servers: int = 4,
+        support: int = 500,
+        max_worker_restarts: int = 2,
+        checkpoint_every: int = 1,
+        timeout: float = 10.0,
+    ) -> None:
+        self.kind = kind
+        self.dim, self.components = make_components(
+            seed=seed, servers=servers, support=support
+        )
+        self.killables: list = [None] * (servers - 1)
+        self.servers: list = []
+        self._timeout = timeout
+
+        def spawn(worker: int):
+            killable = KillableWorker(
+                WorkerService(*self.components[worker + 1], self.dim)
+            )
+            self.killables[worker] = killable
+            if self.kind == "tcp":
+                server = WorkerServer(killable.handler)
+                self.servers.append(server)
+                host, port = server.start()
+                return TcpTransport(host, port, timeout=self._timeout)
+            return LoopbackTransport(killable.handler)
+
+        self.supervisor = WorkerSupervisor(
+            spawn,
+            max_worker_restarts=max_worker_restarts,
+            checkpoint_every=checkpoint_every,
+        )
+        transports = [spawn(worker) for worker in range(servers - 1)]
+        self.coordinator = CoordinatorService(
+            transports, self.dim, self.components[0], supervisor=self.supervisor
+        )
+
+    def schedule_kill(self, worker: int, *, at=None, after=None) -> None:
+        self.killables[worker].kill_at = at
+        self.killables[worker].kill_after = after
+
+    def close(self) -> None:
+        self.coordinator.close()
+        for server in self.servers:
+            server.stop()
+
+    def __enter__(self) -> "SupervisedHarness":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.close()
+
+
+def run_sample(harness: SupervisedHarness, *, seed=3, draws=10):
+    result = harness.coordinator.sample(
+        weight_fn, draws, config=make_config(), seed=seed
+    )
+    words = dict(harness.coordinator.network.snapshot().words_by_tag)
+    harness.coordinator.verify_wire_accounting()
+    return result, words
+
+
+TRANSPORTS = [
+    pytest.param("loopback", id="loopback"),
+    pytest.param("tcp", marks=[pytest.mark.tcp, pytest.mark.chaos], id="tcp"),
+]
+
+
+# --------------------------------------------------------------------------- #
+# the acceptance criterion: kill mid-protocol, results bit-identical
+# --------------------------------------------------------------------------- #
+class TestKillMidProtocol:
+    @pytest.mark.parametrize("kind", TRANSPORTS)
+    def test_killed_worker_recovers_bit_identically(self, kind):
+        with SupervisedHarness(kind) as clean:
+            reference, reference_words = run_sample(clean)
+        with SupervisedHarness(kind) as chaotic:
+            chaotic.schedule_kill(1, at=FIRST_PROTOCOL_FRAME + 1)
+            result, words = run_sample(chaotic)
+            assert chaotic.supervisor.restarts == 1
+            assert chaotic.killables[1].kill_at is None  # the replacement
+        assert_same_draws(result, reference)
+        assert words == reference_words
+
+    def test_supervision_matches_unsupervised_run(self):
+        """A supervised run with no failures changes nothing observable."""
+        dim, components = make_components(seed=42, servers=4, support=500)
+        workers = [WorkerService(idx, val, dim) for idx, val in components[1:]]
+        plain = CoordinatorService(
+            [LoopbackTransport(worker.handle_frame) for worker in workers],
+            dim,
+            components[0],
+        )
+        reference = plain.sample(weight_fn, 10, config=make_config(), seed=3)
+        reference_words = dict(plain.network.snapshot().words_by_tag)
+        plain.close()
+        with SupervisedHarness("loopback") as harness:
+            result, words = run_sample(harness)
+        assert_same_draws(result, reference)
+        assert words == reference_words
+
+    @pytest.mark.parametrize("kind", TRANSPORTS)
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("kill_frame_offset", [0, 1, 2, 3, 4])
+    def test_kill_at_every_protocol_frame(self, kind, kill_frame_offset):
+        """Sweep the kill point across the protocol's waves."""
+        with SupervisedHarness(kind) as clean:
+            reference, reference_words = run_sample(clean)
+        with SupervisedHarness(kind) as chaotic:
+            chaotic.schedule_kill(0, at=FIRST_PROTOCOL_FRAME + kill_frame_offset)
+            result, words = run_sample(chaotic)
+            assert chaotic.supervisor.restarts == 1
+        assert_same_draws(result, reference)
+        assert words == reference_words
+
+    @pytest.mark.chaos
+    def test_two_workers_killed_in_one_run(self):
+        with SupervisedHarness("loopback") as clean:
+            reference, reference_words = run_sample(clean)
+        with SupervisedHarness("loopback") as chaotic:
+            chaotic.schedule_kill(0, at=FIRST_PROTOCOL_FRAME)
+            chaotic.schedule_kill(2, at=FIRST_PROTOCOL_FRAME + 2)
+            result, words = run_sample(chaotic)
+            assert chaotic.supervisor.restarts == 2
+        assert_same_draws(result, reference)
+        assert words == reference_words
+
+    @pytest.mark.chaos
+    def test_same_worker_killed_twice_within_budget(self):
+        with SupervisedHarness("loopback", max_worker_restarts=2) as chaotic:
+            chaotic.schedule_kill(1, at=FIRST_PROTOCOL_FRAME)
+            original = chaotic.killables[1]
+            chaotic.coordinator.sample(weight_fn, 4, config=make_config(), seed=11)
+            assert chaotic.killables[1] is not original
+            # The replacement gets its own kill once it is installed.
+            chaotic.schedule_kill(1, at=chaotic.killables[1].calls + 2)
+            result, words = run_sample(chaotic)
+            assert chaotic.supervisor.restarts == 2
+        with SupervisedHarness("loopback") as clean:
+            clean.coordinator.sample(weight_fn, 4, config=make_config(), seed=11)
+            reference, reference_words = run_sample(clean)
+        assert_same_draws(result, reference)
+        assert words == reference_words
+
+    def test_kill_past_budget_surfaces_worker_lost(self):
+        with SupervisedHarness("loopback", max_worker_restarts=0) as harness:
+            harness.schedule_kill(0, at=FIRST_PROTOCOL_FRAME)
+            with pytest.raises(WorkerLostError):
+                harness.coordinator.sample(
+                    weight_fn, 4, config=make_config(), seed=3
+                )
+            assert harness.supervisor.lost_workers == (0,)
+
+
+# --------------------------------------------------------------------------- #
+# streaming: kill between waves, checkpoints + journal must cover the stream
+# --------------------------------------------------------------------------- #
+def delta_batch(dim, servers, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        (
+            rng.choice(dim, size=4, replace=False).astype(np.int64),
+            rng.integers(1, 6, size=4).astype(float),
+        )
+        for _ in range(servers)
+    ]
+
+
+class TestStreamingRecovery:
+    @pytest.mark.parametrize("kind", TRANSPORTS)
+    def test_kill_between_delta_waves_preserves_stream(self, kind):
+        def run(kill: bool):
+            with SupervisedHarness(kind, checkpoint_every=2) as harness:
+                servers = len(harness.components)
+                harness.coordinator.apply_deltas(delta_batch(harness.dim, servers, 1))
+                if kill:
+                    # Die between the journaled wave and its checkpoint: the
+                    # restore covers the previous checkpoint, the journal
+                    # replays the un-checkpointed wave.
+                    harness.killables[1].dead = True
+                harness.coordinator.apply_deltas(delta_batch(harness.dim, servers, 2))
+                state = harness.coordinator.sketch_state(4, 64, seed=9)
+                result, words = run_sample(harness, seed=5)
+                restarts = harness.supervisor.restarts
+            return state, result, words, restarts
+
+        state, result, words, restarts = run(kill=False)
+        chaos_state, chaos_result, chaos_words, chaos_restarts = run(kill=True)
+        assert restarts == 0 and chaos_restarts == 1
+        assert state.equals(chaos_state)
+        assert_same_draws(chaos_result, result)
+        assert chaos_words == words
+
+    @pytest.mark.chaos
+    def test_long_stream_with_periodic_kills(self):
+        def run(kill_every):
+            with SupervisedHarness(
+                "loopback", checkpoint_every=3, max_worker_restarts=10
+            ) as harness:
+                servers = len(harness.components)
+                for wave in range(9):
+                    if kill_every and wave and wave % kill_every == 0:
+                        harness.killables[wave % len(harness.killables)].dead = True
+                    harness.coordinator.apply_deltas(
+                        delta_batch(harness.dim, servers, 100 + wave)
+                    )
+                state = harness.coordinator.sketch_state(4, 64, seed=9)
+                result, words = run_sample(harness, seed=5)
+                restarts = harness.supervisor.restarts
+            return state, result, words, restarts
+
+        state, result, words, _ = run(kill_every=0)
+        chaos_state, chaos_result, chaos_words, restarts = run(kill_every=2)
+        assert restarts > 0
+        assert state.equals(chaos_state)
+        assert_same_draws(chaos_result, result)
+        assert chaos_words == words
+
+
+# --------------------------------------------------------------------------- #
+# backend level: supervise=True on the self-hosting backends
+# --------------------------------------------------------------------------- #
+class TestSupervisedBackends:
+    def make_session(self, backend_kind, **kwargs):
+        dim, components = make_components(seed=42, servers=4, support=500)
+        backend = create_backend(backend_kind, supervise=True, **kwargs)
+        return backend.session(components, dim), dim, components
+
+    def test_supervised_loopback_backend_is_transparent(self):
+        dim, components = make_components(seed=42, servers=4, support=500)
+        with create_backend("loopback").session(components, dim) as plain:
+            reference = plain.sample(weight_fn, 10, config=make_config(), seed=3)
+            reference_words = dict(plain.network.snapshot().words_by_tag)
+        session, _, _ = self.make_session("loopback")
+        with session:
+            assert session.supervisor is not None
+            assert sorted(session.supervisor.checkpoints) == [0, 1, 2]
+            result = session.sample(weight_fn, 10, config=make_config(), seed=3)
+            words = dict(session.network.snapshot().words_by_tag)
+            session.verify_accounting()
+        assert_same_draws(result, reference)
+        assert words == reference_words
+
+    @pytest.mark.tcp
+    @pytest.mark.chaos
+    def test_supervised_tcp_backend_survives_server_stop(self):
+        session, dim, components = self.make_session("tcp", max_worker_restarts=2)
+        clean, _, _ = self.make_session("tcp")
+        with clean:
+            clean.apply_deltas(delta_batch(dim, len(components), 1))
+            reference = clean.sample(weight_fn, 8, config=make_config(), seed=3)
+            reference_words = dict(clean.network.snapshot().words_by_tag)
+        with session:
+            session.apply_deltas(delta_batch(dim, len(components), 1))
+            # Stop one hosted server outright: the next wave's connection
+            # dies, the supervisor spawns a replacement server + transport.
+            session._servers[1].stop()
+            result = session.sample(weight_fn, 8, config=make_config(), seed=3)
+            words = dict(session.network.snapshot().words_by_tag)
+            session.verify_accounting()
+            assert session.supervisor.restarts == 1
+        assert_same_draws(result, reference)
+        assert words == reference_words

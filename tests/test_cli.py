@@ -238,6 +238,151 @@ class TestRuntimeCommands:
         assert "WireFormatError" in err
         assert "Traceback" not in err
 
+    def test_supervision_knobs_parse(self):
+        args = build_parser().parse_args(
+            ["submit", "--workers", "h:1", "h:2", "h:3",
+             "--backoff", "0.5", "--max-worker-restarts", "2",
+             "--checkpoint-every", "3"]
+        )
+        assert args.backoff == 0.5
+        assert args.max_worker_restarts == 2
+        assert args.checkpoint_every == 3
+        defaults = build_parser().parse_args(["submit", "--workers", "h:1"])
+        assert defaults.backoff == 0.0
+        assert defaults.max_worker_restarts == 0  # supervision off by default
+        assert defaults.checkpoint_every == 1
+
+    def test_worker_loss_maps_to_exit_code_8(self):
+        from repro.core.errors import (
+            RecoveryError,
+            SketchCompatibilityError,
+            WireFormatError,
+            WorkerLostError,
+            WorkerProtocolError,
+            WorkerTimeoutError,
+        )
+        from repro.experiments.cli import typed_exit_code
+
+        assert typed_exit_code(WorkerLostError("gone")) == 8
+        # A failed recovery is a worker loss, not a generic protocol error.
+        assert typed_exit_code(RecoveryError("restore failed")) == 8
+        others = {
+            typed_exit_code(WorkerTimeoutError("late")),
+            typed_exit_code(WireFormatError("garbage")),
+            typed_exit_code(SketchCompatibilityError("mismatch")),
+            typed_exit_code(WorkerProtocolError("bad frame")),
+        }
+        assert 8 not in others
+
+    def _start_workers(self, handler_factory, num_servers, dimension, support, seed):
+        from repro.experiments.workloads import runtime_vector_components
+        from repro.runtime.service import WorkerService
+        from repro.runtime.transport import WorkerServer
+
+        components = runtime_vector_components(
+            num_servers, dimension, support, seed=seed
+        )
+        workers = [
+            WorkerService(idx, val, dimension) for idx, val in components[1:]
+        ]
+        servers = [
+            WorkerServer(handler_factory(index, worker))
+            for index, worker in enumerate(workers)
+        ]
+        return servers, [server.start() for server in servers]
+
+    @pytest.mark.tcp
+    @pytest.mark.chaos
+    def test_submit_recovers_flaky_worker_and_reports_it(self, capsys):
+        """One worker drops its connection mid-protocol (twice: the wave and
+        the recovery probe); with ``--max-worker-restarts`` the supervisor
+        reconnects, restores the checkpoint and the run still verifies
+        bit-identical against the local simulation."""
+        from repro.runtime import wire
+
+        def handler_factory(index, worker):
+            if index != 1:
+                return worker.handle_frame
+            state = {"kills": 0, "armed": False}
+
+            def flaky(frame):
+                if not state["armed"] and wire.decode_frame(frame).op == "subsample":
+                    state["armed"] = True
+                    state["kills"] = 2  # the wave request, then the probe
+                if state["kills"] > 0:
+                    state["kills"] -= 1
+                    raise ConnectionResetError("flaky worker")
+                return worker.handle_frame(frame)
+
+            return flaky
+
+        servers, addresses = self._start_workers(handler_factory, 3, 2000, 300, 4)
+        try:
+            exit_code = main(
+                [
+                    "submit",
+                    "--workers", *[f"{host}:{port}" for host, port in addresses],
+                    "--num-servers", "3",
+                    "--dimension", "2000",
+                    "--support", "300",
+                    "--seed", "4",
+                    "--draws", "6",
+                    "--timeout", "5",
+                    "--max-worker-restarts", "1",
+                    "--verify-local",
+                ]
+            )
+            out = capsys.readouterr().out
+            assert exit_code == 0
+            assert "bit-identical draws" in out
+            assert "supervision: recovered 1 worker restart(s)" in out
+        finally:
+            for server in servers:
+                server.stop()
+
+    @pytest.mark.tcp
+    @pytest.mark.chaos
+    def test_submit_exits_8_when_worker_is_unrecoverable(self, capsys):
+        """A worker that keeps killing every connection exhausts recovery and
+        the CLI exits with the typed worker-loss code, no traceback."""
+        from repro.runtime import wire
+
+        def handler_factory(index, worker):
+            if index != 1:
+                return worker.handle_frame
+            state = {"armed": False}
+
+            def doomed(frame):
+                if not state["armed"] and wire.decode_frame(frame).op == "subsample":
+                    state["armed"] = True
+                if state["armed"]:
+                    raise ConnectionResetError("worker is gone")
+                return worker.handle_frame(frame)
+
+            return doomed
+
+        servers, addresses = self._start_workers(handler_factory, 3, 2000, 300, 4)
+        try:
+            exit_code = main(
+                [
+                    "submit",
+                    "--workers", *[f"{host}:{port}" for host, port in addresses],
+                    "--num-servers", "3",
+                    "--dimension", "2000",
+                    "--support", "300",
+                    "--seed", "4",
+                    "--draws", "6",
+                    "--timeout", "5",
+                    "--max-worker-restarts", "1",
+                ]
+            )
+        finally:
+            for server in servers:
+                server.stop()
+        err = capsys.readouterr().err
+        assert exit_code == 8
+        assert "Traceback" not in err
+
     def test_runtime_workload_is_deterministic(self):
         from repro.experiments.workloads import runtime_vector_components
 

@@ -33,7 +33,13 @@ from repro.runtime.transport import (
     WorkerServer,
 )
 
-from test_runtime_transport import make_components, make_config, weight_fn
+from test_chaos_recovery import SupervisedHarness, delta_batch, run_sample
+from test_runtime_transport import (
+    assert_same_draws,
+    make_components,
+    make_config,
+    weight_fn,
+)
 
 #: Wall-clock ceiling for "the coordinator never hangs" assertions.
 PROMPT_SECONDS = 30.0
@@ -359,3 +365,66 @@ class TestWorkerServiceFrameFaults:
         )
         reply = wire.decode_frame(worker.handle_frame(frame))
         assert reply.op == "error"  # typed error frame, not a crashed worker
+
+
+# --------------------------------------------------------------------------- #
+# supervised failover during streaming ingestion: exactly-once deltas
+# --------------------------------------------------------------------------- #
+class TestApplyDeltasFailover:
+    """A worker crash during ``apply_deltas`` must not lose or double a batch.
+
+    Two crash points bracket the side effect: *before* the worker applies
+    its shard (the request is lost) and *after* it applied but before the
+    ack travelled back (the reply is lost).  In both cases the supervisor
+    respawns the worker, restores the last checkpoint, replays the
+    journalled wave, and the re-issued wave is deduplicated by sequence
+    number -- every shard lands exactly once, on the replacement and on
+    the surviving workers alike.
+    """
+
+    WORKER = 1
+
+    def run_stream(self, crash=None):
+        with SupervisedHarness("loopback", seed=31, servers=3, support=200) as h:
+            servers = len(h.components)
+            h.coordinator.apply_deltas(delta_batch(h.dim, servers, 7))
+            target = h.killables[self.WORKER]
+            if crash == "before_apply":
+                h.schedule_kill(self.WORKER, at=target.calls + 1)
+            elif crash == "after_apply":
+                h.schedule_kill(self.WORKER, after=target.calls + 1)
+            h.coordinator.apply_deltas(delta_batch(h.dim, servers, 8))
+            worker = h.killables[self.WORKER].service
+            idx, val = worker._component[:2]
+            return {
+                "component": (np.array(idx), np.array(val)),
+                # Session IDs are per-run; the (seq, count, index_sum,
+                # value_sum) fingerprints are what must match.
+                "ledger": list(worker._applied_updates.values()),
+                "state": h.coordinator.sketch_state(4, 64, seed=13),
+                "run": run_sample(h, seed=17),
+                "restarts": h.supervisor.restarts,
+            }
+
+    @pytest.mark.parametrize("crash", ["before_apply", "after_apply"])
+    def test_crash_lands_each_delta_exactly_once(self, crash):
+        clean = self.run_stream()
+        chaotic = self.run_stream(crash)
+        assert clean["restarts"] == 0 and chaotic["restarts"] == 1
+        # The replacement worker's component matches the uninterrupted
+        # worker entry for entry *and in order* (float folds are
+        # order-sensitive) -- a lost shard or a double apply both fail here.
+        np.testing.assert_array_equal(
+            chaotic["component"][0], clean["component"][0]
+        )
+        np.testing.assert_array_equal(
+            chaotic["component"][1], clean["component"][1]
+        )
+        # Same idempotency-ledger fingerprint: the replayed wave was
+        # recognised by seq on the re-issue, not applied twice.
+        assert chaotic["ledger"] == clean["ledger"]
+        assert clean["state"].equals(chaotic["state"])
+        draws, words = clean["run"]
+        chaos_draws, chaos_words = chaotic["run"]
+        assert_same_draws(chaos_draws, draws)
+        assert chaos_words == words

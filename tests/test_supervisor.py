@@ -1,0 +1,510 @@
+"""Unit tests of the supervision layer: retry policy, failure classification,
+checkpoint state, heartbeats, recovery bookkeeping and degraded estimates.
+
+The end-to-end kill/failover runs (worker dies mid-protocol, supervisor
+restores it, results stay bit-identical) live in ``test_chaos_recovery.py``;
+this module tests each supervision ingredient in isolation over loopback
+transports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.backend.streaming import StreamingSketchState
+from repro.core.errors import (
+    RecoveryError,
+    SketchCompatibilityError,
+    WireFormatError,
+    WorkerLostError,
+    WorkerProtocolError,
+    WorkerTimeoutError,
+)
+from repro.distributed.network import Network
+from repro.distributed.vector import DistributedVector
+from repro.runtime.service import CoordinatorService, WorkerService
+from repro.runtime.state import CountSketchState, WorkerCheckpoint
+from repro.runtime.supervisor import (
+    FATAL,
+    TRANSIENT,
+    DegradedEstimate,
+    WorkerSupervisor,
+    classify_failure,
+)
+from repro.runtime.transport import LoopbackTransport, RetryPolicy
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.z_estimator import ZEstimator
+
+from test_runtime_transport import make_components, make_config, weight_fn
+
+
+# --------------------------------------------------------------------------- #
+# RetryPolicy
+# --------------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(retries=9, backoff=0.1, multiplier=2.0, max_backoff=0.5)
+        delays = [policy.delay(attempt) for attempt in range(1, 6)]
+        np.testing.assert_allclose(delays, [0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_zero_backoff_never_sleeps(self):
+        """The default policy reproduces the old immediate-resend behaviour."""
+        slept = []
+        policy = RetryPolicy(retries=3)
+        for attempt in (1, 2, 3):
+            assert policy.pause(attempt, 0.0, sleep=slept.append, now=lambda: 0.0)
+        assert slept == []  # immediate: delay 0 is not slept at all
+        assert not policy.pause(4, 0.0, sleep=slept.append, now=lambda: 0.0)
+
+    def test_jitter_stays_within_band(self):
+        class Rng:
+            def __init__(self, value):
+                self.value = value
+
+            def uniform(self, low, high):
+                assert (low, high) == (-0.5, 0.5)
+                return self.value
+
+        policy = RetryPolicy(retries=1, backoff=1.0, jitter=0.5, max_backoff=10.0)
+        assert policy.delay(1, rng=Rng(0.5)) == pytest.approx(1.5)
+        assert policy.delay(1, rng=Rng(-0.5)) == pytest.approx(0.5)
+
+    def test_max_elapsed_abandons_instead_of_sleeping(self):
+        policy = RetryPolicy(retries=10, backoff=1.0, max_elapsed=2.5)
+        slept = []
+        clock = iter([0.0, 2.0])
+        assert policy.pause(1, 0.0, sleep=slept.append, now=lambda: 0.0)  # 0+1 <= 2.5
+        assert not policy.pause(
+            2, 0.0, sleep=slept.append, now=lambda: 2.0
+        )  # 2.0 elapsed + 2.0 backoff > 2.5: give up, do not sleep
+        assert slept == [1.0]
+
+    def test_pause_exhausts_retry_budget(self):
+        policy = RetryPolicy(retries=2, backoff=0.0)
+        assert policy.pause(1, 0.0)
+        assert policy.pause(2, 0.0)
+        assert not policy.pause(3, 0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"retries": -1},
+            {"backoff": -0.1},
+            {"multiplier": 0.5},
+            {"max_backoff": -1.0},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+            {"max_elapsed": -2.0},
+        ],
+    )
+    def test_invalid_parameters_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_requires_positive_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=1, backoff=1.0).delay(0)
+
+
+# --------------------------------------------------------------------------- #
+# failure classification (satellite: transient vs fatal)
+# --------------------------------------------------------------------------- #
+class TestClassifyFailure:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            WorkerTimeoutError("late"),
+            ConnectionResetError("reset"),
+            ConnectionRefusedError("refused"),
+            BrokenPipeError("pipe"),
+            asyncio.IncompleteReadError(b"", 10),
+            OSError("generic I/O"),
+        ],
+    )
+    def test_connection_shaped_failures_are_transient(self, error):
+        assert classify_failure(error) == TRANSIENT
+
+    def test_wrapped_connection_error_is_transient(self):
+        """TcpTransport wraps exhausted reconnects in WorkerProtocolError."""
+        try:
+            raise WorkerProtocolError("connection failed") from ConnectionResetError()
+        except WorkerProtocolError as exc:
+            assert classify_failure(exc) == TRANSIENT
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            WorkerProtocolError("worker answered with an error frame"),
+            WireFormatError("garbage frame"),
+            ValueError("plain bug"),
+            RuntimeError("plain bug"),
+        ],
+    )
+    def test_answered_faults_are_fatal(self, error):
+        assert classify_failure(error) == FATAL
+
+    def test_worker_lost_is_never_retried(self):
+        # WorkerLostError subclasses ConnectionError but is the *outcome* of
+        # a failed recovery -- classifying it transient would loop forever.
+        assert classify_failure(WorkerLostError("gone")) == FATAL
+        assert classify_failure(RecoveryError("restore failed")) == FATAL
+
+
+# --------------------------------------------------------------------------- #
+# WorkerCheckpoint and state adoption
+# --------------------------------------------------------------------------- #
+class TestWorkerCheckpoint:
+    def make_checkpoint(self):
+        sketch = CountSketch(3, 16, 500, seed=5)
+        idx = np.array([3, 8, 120], dtype=np.int64)
+        val = np.array([1.5, -2.0, 7.0])
+        state = sketch.export_state(sketch.sketch(idx, val))
+        return WorkerCheckpoint(
+            dimension=500,
+            indices=idx,
+            values=val,
+            session="abc",
+            applied_update=(4, 3, 131, 6.5),
+            stream_states={"s": state},
+        )
+
+    def test_round_trips_bit_exactly(self):
+        checkpoint = self.make_checkpoint()
+        restored = WorkerCheckpoint.from_bytes(checkpoint.to_bytes())
+        assert checkpoint.equals(restored)
+        assert restored.support == 3
+        assert restored.applied_update == (4, 3, 131, 6.5)
+
+    def test_payload_label_is_checked(self):
+        checkpoint = self.make_checkpoint()
+        payload = list(checkpoint._as_payload())
+        payload[0] = "not-a-checkpoint"
+        with pytest.raises(WireFormatError):
+            WorkerCheckpoint.from_payload(tuple(payload))
+
+    def test_mismatched_arrays_are_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerCheckpoint(
+                dimension=10,
+                indices=np.arange(3, dtype=np.int64),
+                values=np.zeros(2),
+                session="s",
+            )
+
+    def test_adopting_a_state_skips_resketching(self):
+        sketch = CountSketch(3, 16, 500, seed=5)
+        idx = np.array([3, 8, 120], dtype=np.int64)
+        val = np.array([1.0, -2.0, 7.0])
+        original = StreamingSketchState(sketch, idx, val)
+        adopted = StreamingSketchState.from_state(sketch, original.state)
+        np.testing.assert_array_equal(adopted.state.table, original.state.table)
+        # Future ingests continue from the adopted table.
+        adopted.ingest(np.array([3], dtype=np.int64), np.array([2.0]))
+        original.ingest(np.array([3], dtype=np.int64), np.array([2.0]))
+        np.testing.assert_array_equal(adopted.state.table, original.state.table)
+
+    def test_adopting_a_foreign_state_is_rejected(self):
+        sketch = CountSketch(3, 16, 500, seed=5)
+        other = CountSketch(3, 16, 500, seed=6)
+        state = sketch.export_state()
+        with pytest.raises(SketchCompatibilityError):
+            StreamingSketchState.from_state(other, state)
+
+
+# --------------------------------------------------------------------------- #
+# loopback harness
+# --------------------------------------------------------------------------- #
+class KillableWorker:
+    """A worker whose handler can be killed (permanently or N times).
+
+    A raised ``ConnectionResetError`` is exactly what a died process looks
+    like to a loopback caller; over TCP the server maps a raising handler to
+    a killed connection, so both transports see the same failure shape.
+    """
+
+    def __init__(self, service: WorkerService) -> None:
+        self.service = service
+        self.calls = 0
+        self.dead = False
+        self.transient_kills = 0
+
+    def handler(self, frame: bytes) -> bytes:
+        self.calls += 1
+        if self.transient_kills > 0:
+            self.transient_kills -= 1
+            raise ConnectionResetError("injected transient blip")
+        if self.dead:
+            raise ConnectionResetError("worker killed")
+        return self.service.handle_frame(frame)
+
+
+def supervised_loopback(
+    components, dim, *, respawn=True, max_worker_restarts=2, checkpoint_every=1
+):
+    """A supervised loopback coordinator plus its killable workers."""
+    killables = [
+        KillableWorker(WorkerService(idx, val, dim)) for idx, val in components[1:]
+    ]
+
+    def respawner(worker: int):
+        replacement = KillableWorker(WorkerService(*components[worker + 1], dim))
+        killables[worker] = replacement
+        return LoopbackTransport(replacement.handler)
+
+    supervisor = WorkerSupervisor(
+        respawner if respawn else None,
+        max_worker_restarts=max_worker_restarts,
+        checkpoint_every=checkpoint_every,
+    )
+    transports = [LoopbackTransport(killable.handler) for killable in killables]
+    coordinator = CoordinatorService(
+        transports, dim, components[0], supervisor=supervisor
+    )
+    return coordinator, supervisor, killables
+
+
+# --------------------------------------------------------------------------- #
+# supervisor behaviour
+# --------------------------------------------------------------------------- #
+class TestSupervisorLoopback:
+    def test_attach_takes_initial_checkpoints(self):
+        dim, components = make_components(seed=50, servers=3, support=200)
+        coordinator, supervisor, _ = supervised_loopback(components, dim)
+        checkpoints = supervisor.checkpoints
+        assert sorted(checkpoints) == [0, 1]
+        for worker, (idx, val) in enumerate(components[1:]):
+            np.testing.assert_array_equal(checkpoints[worker].indices, idx)
+            np.testing.assert_array_equal(checkpoints[worker].values, val)
+        coordinator.close()
+
+    def test_attach_twice_is_rejected(self):
+        dim, components = make_components(seed=50, servers=2, support=100)
+        coordinator, supervisor, _ = supervised_loopback(components, dim)
+        with pytest.raises(RuntimeError, match="already attached"):
+            supervisor.attach(coordinator)
+        coordinator.close()
+
+    def test_heartbeat_reports_per_worker_health(self):
+        dim, components = make_components(seed=51, servers=3, support=200)
+        coordinator, supervisor, killables = supervised_loopback(components, dim)
+        assert supervisor.heartbeat() == {0: True, 1: True}
+        killables[1].dead = True
+        assert supervisor.heartbeat() == {0: True, 1: False}
+        health = supervisor.health()
+        assert health[0].healthy and not health[1].healthy
+        assert health[1].consecutive_failures == 1
+        assert health[1].last_probe > 0
+        coordinator.close()
+
+    def test_supervision_traffic_is_uncharged(self):
+        """Heartbeats and checkpoints must not move the per-tag word ledger."""
+        dim, components = make_components(seed=52, servers=3, support=200)
+        coordinator, supervisor, _ = supervised_loopback(components, dim)
+        baseline = dict(coordinator.network.snapshot().words_by_tag)
+        supervisor.heartbeat()
+        supervisor.checkpoint_all()
+        assert dict(coordinator.network.snapshot().words_by_tag) == baseline
+        coordinator.verify_wire_accounting()
+        coordinator.close()
+
+    def test_transient_blip_reissues_wave_without_respawn(self):
+        """One raising handler must not poison the run or trigger a respawn."""
+        dim, components = make_components(seed=53, servers=3, support=200)
+        coordinator, supervisor, killables = supervised_loopback(components, dim)
+        killables[0].transient_kills = 1
+        draws = coordinator.sample(weight_fn, 8, config=make_config(), seed=2)
+        assert draws.indices.size == 8
+        assert supervisor.restarts == 0  # probe succeeded: re-issue only
+        coordinator.verify_wire_accounting()
+        coordinator.close()
+
+    def test_permanent_kill_without_respawner_is_worker_lost(self):
+        dim, components = make_components(seed=54, servers=3, support=200)
+        coordinator, supervisor, killables = supervised_loopback(
+            components, dim, respawn=False
+        )
+        killables[1].dead = True
+        with pytest.raises(WorkerLostError):
+            coordinator.sample(weight_fn, 8, config=make_config(), seed=2)
+        assert supervisor.lost_workers == (1,)
+        coordinator.close()
+
+    def test_restart_budget_exhaustion_is_worker_lost(self):
+        dim, components = make_components(seed=55, servers=2, support=150)
+        coordinator, supervisor, killables = supervised_loopback(
+            components, dim, max_worker_restarts=1
+        )
+        killables[0].dead = True
+        draws = coordinator.sample(weight_fn, 4, config=make_config(), seed=3)
+        assert draws.indices.size == 4
+        assert supervisor.restarts == 1
+        killables[0].dead = True  # the replacement dies too: budget spent
+        with pytest.raises(WorkerLostError):
+            coordinator.sample(weight_fn, 4, config=make_config(), seed=4)
+        assert supervisor.lost_workers == (0,)
+        coordinator.close()
+
+    def test_fatal_failure_is_not_retried(self):
+        """A worker that *answers* with an error frame must surface as-is."""
+        dim, components = make_components(seed=56, servers=2, support=150)
+        coordinator, supervisor, killables = supervised_loopback(components, dim)
+        inner = killables[0].service.handle_frame
+
+        def error_on_sketch(frame):
+            from repro.runtime import wire
+
+            if wire.decode_frame(frame).op == "sketch":
+                return wire.encode_frame(
+                    "error", {"type": "RuntimeError", "message": "disk on fire"}
+                )
+            return inner(frame)
+
+        killables[0].service.handle_frame = error_on_sketch
+        with pytest.raises(WorkerProtocolError, match="disk on fire"):
+            coordinator.sample(weight_fn, 4, config=make_config(), seed=3)
+        assert supervisor.restarts == 0
+        coordinator.close()
+
+    def test_degraded_estimate_answers_from_checkpoints(self):
+        dim, components = make_components(seed=57, servers=3, support=200)
+        coordinator, supervisor, killables = supervised_loopback(
+            components, dim, respawn=False
+        )
+        config = make_config()
+        killables[1].dead = True
+        with pytest.raises(WorkerLostError):
+            coordinator.estimate(weight_fn, config=config, seed=9)
+        degraded = coordinator.estimate(
+            weight_fn, config=config, seed=9, stale_ok=True
+        )
+        assert isinstance(degraded, DegradedEstimate)
+        assert degraded.stale
+        assert degraded.lost_workers == (1,)
+        assert "WorkerLostError" in degraded.cause
+        # The degraded answer equals the simulated estimator over the
+        # checkpointed components (no deltas ran: the initial components).
+        reference = ZEstimator(
+            weight_fn,
+            epsilon=config.epsilon,
+            hh_params=config.hh_params,
+            num_levels=config.num_levels,
+            max_levels=config.max_levels,
+            min_level_count=config.min_level_count,
+            seed=9,
+        ).estimate(DistributedVector(components, dim, Network(len(components))))
+        assert degraded.estimate.z_total == reference.z_total
+        assert degraded.estimate.class_sizes == reference.class_sizes
+        coordinator.close()
+
+    def test_degraded_estimate_charges_nothing(self):
+        """The local fallback adds no words beyond the failed attempt itself."""
+        dim, components = make_components(seed=58, servers=2, support=150)
+        coordinator, supervisor, killables = supervised_loopback(
+            components, dim, respawn=False
+        )
+        killables[0].dead = True
+        before = dict(coordinator.network.snapshot().words_by_tag)
+        with pytest.raises(WorkerLostError):
+            coordinator.estimate(weight_fn, config=make_config(), seed=1)
+        after_failure = dict(coordinator.network.snapshot().words_by_tag)
+        coordinator.estimate(weight_fn, config=make_config(), seed=1, stale_ok=True)
+        after_degraded = dict(coordinator.network.snapshot().words_by_tag)
+        failed_attempt_cost = {
+            tag: after_failure.get(tag, 0) - before.get(tag, 0)
+            for tag in after_failure
+        }
+        degraded_cost = {
+            tag: after_degraded.get(tag, 0) - after_failure.get(tag, 0)
+            for tag in after_degraded
+        }
+        # Both calls pay the same aborted-wave words; the checkpoint-based
+        # computation itself runs on a throwaway network and adds nothing.
+        assert degraded_cost == failed_attempt_cost
+        coordinator.close()
+
+    def test_unsupervised_estimate_ignores_stale_ok(self):
+        dim, components = make_components(seed=59, servers=2, support=150)
+        workers = [WorkerService(idx, val, dim) for idx, val in components[1:]]
+        killable = KillableWorker(workers[0])
+        coordinator = CoordinatorService(
+            [LoopbackTransport(killable.handler)], dim, components[0]
+        )
+        killable.dead = True
+        with pytest.raises(ConnectionError):
+            coordinator.estimate(weight_fn, config=make_config(), seed=1, stale_ok=True)
+        coordinator.close()
+
+    def test_checkpoint_cadence_follows_update_waves(self):
+        dim, components = make_components(seed=60, servers=3, support=200)
+        coordinator, supervisor, _ = supervised_loopback(
+            components, dim, checkpoint_every=2
+        )
+        base_support = [supervisor.checkpoints[w].support for w in (0, 1)]
+
+        def delta_batch(seed):
+            rng = np.random.default_rng(seed)
+            return [
+                (
+                    rng.choice(dim, size=3, replace=False).astype(np.int64),
+                    rng.integers(1, 5, size=3).astype(float),
+                )
+                for _ in range(len(components))
+            ]
+
+        coordinator.apply_deltas(delta_batch(1))
+        # Wave 1 of 2: checkpoints unchanged, journal covers the wave.
+        assert [
+            supervisor.checkpoints[w].support for w in (0, 1)
+        ] == base_support
+        coordinator.apply_deltas(delta_batch(2))
+        assert [supervisor.checkpoints[w].support for w in (0, 1)] == [
+            support + 6 for support in base_support
+        ]
+        coordinator.verify_wire_accounting()
+        coordinator.close()
+
+    def test_supervisor_without_session_rejects_operations(self):
+        supervisor = WorkerSupervisor()
+        with pytest.raises(RuntimeError, match="not attached"):
+            supervisor.heartbeat()
+        with pytest.raises(RuntimeError, match="not attached"):
+            supervisor.recover_worker(0)
+
+    def test_heartbeat_monitor_requires_probe_factory(self):
+        with pytest.raises(ValueError, match="probe_factory"):
+            WorkerSupervisor(heartbeat_interval=0.1)
+        with pytest.raises(ValueError, match="positive"):
+            WorkerSupervisor(heartbeat_interval=0.0, probe_factory=lambda i: None)
+
+    def test_background_monitor_observes_health(self):
+        dim, components = make_components(seed=61, servers=2, support=100)
+        killables = [
+            KillableWorker(WorkerService(idx, val, dim)) for idx, val in components[1:]
+        ]
+        supervisor = WorkerSupervisor(
+            heartbeat_interval=0.05,
+            probe_factory=lambda worker: LoopbackTransport(
+                killables[worker].handler
+            ),
+        )
+        transports = [LoopbackTransport(k.handler) for k in killables]
+        coordinator = CoordinatorService(
+            transports, dim, components[0], supervisor=supervisor
+        )
+        deadline = __import__("time").monotonic() + 5.0
+        while __import__("time").monotonic() < deadline:
+            if supervisor.health()[0].last_probe > 0:
+                break
+            __import__("time").sleep(0.02)
+        assert supervisor.health()[0].healthy
+        killables[0].dead = True
+        deadline = __import__("time").monotonic() + 5.0
+        while __import__("time").monotonic() < deadline:
+            if not supervisor.health()[0].healthy:
+                break
+            __import__("time").sleep(0.02)
+        assert not supervisor.health()[0].healthy
+        coordinator.close()  # stops the monitor thread
