@@ -12,11 +12,13 @@ the per-tag word/byte accounting.  Four engines are registered:
 ``loopback`` the coordinator/worker services over in-memory frames (full
             codec + byte audit, zero I/O)
 ``tcp``     the same services over real asyncio sockets
+``sharded`` one logical server = K worker shards behind a merging facade,
+            with live support rebalancing (``rebalance(plan)``)
 ========== ==================================================================
 
-All four are **bit-identical** for a fixed seed -- draws, probabilities,
-estimates, per-tag words -- and the transport pair additionally audits
-``data bytes == 8 x words`` per tag (``tests/test_backend_matrix.py``).
+All five are **bit-identical** for a fixed seed -- draws, probabilities,
+estimates, per-tag words -- and the transport-framed ones additionally
+audit ``data bytes == 8 x words`` per tag (``tests/test_backend_matrix.py``).
 
 Select one by name::
 
@@ -100,10 +102,18 @@ def _transport_factory(kind: str) -> Callable[..., ExecutionBackend]:
     return make
 
 
+def _sharded_factory(**options) -> ExecutionBackend:
+    """Deferred sharded-backend factory (same layering note as above)."""
+    from repro.backend.sharded import ShardedBackend
+
+    return ShardedBackend(**options)
+
+
 register_backend("local", LocalBackend)
 register_backend("mp", MultiprocessSketchBackend)
 register_backend("loopback", _transport_factory("loopback"))
 register_backend("tcp", _transport_factory("tcp"))
+register_backend("sharded", _sharded_factory)
 
 
 def __getattr__(name: str):
@@ -112,6 +122,10 @@ def __getattr__(name: str):
         from repro.backend import transport
 
         return getattr(transport, name)
+    if name in ("ShardedBackend", "ShardedSession", "ShardGroupTransport"):
+        from repro.backend import sharded
+
+        return getattr(sharded, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -122,6 +136,9 @@ __all__ = [
     "MultiprocessSketchBackend",
     "TransportBackend",
     "HostedTransportSession",
+    "ShardedBackend",
+    "ShardedSession",
+    "ShardGroupTransport",
     "StreamingSketchState",
     "available_backends",
     "create_backend",

@@ -1,0 +1,640 @@
+"""Sharded execution backend: one logical server = K worker shards.
+
+The paper's protocol treats each server as one machine; this backend breaks
+that equation for components bigger than any machine.  Each *logical*
+server's sparse component is split by a contiguous-range
+:class:`~repro.distributed.partition.ShardAssignment` across ``shards``
+in-process :class:`~repro.runtime.service.WorkerService` shards, and a
+:class:`ShardGroupTransport` facade presents the group to an unmodified
+:class:`~repro.runtime.service.CoordinatorService` as ONE worker:
+
+* every protocol op (``subsample`` / ``sketch`` / ``stream_sketch`` /
+  ``collect`` / ``update`` / ``checkpoint`` / ``restore`` ...) fans out to
+  the shards and the per-shard replies are merged *at the seam* -- sketch
+  table stacks add (CountSketch is linear; the merge contract of
+  :mod:`repro.runtime.state`), collected values add (each coordinate lives
+  in exactly one shard, the others contribute exact zeros), supports sum;
+* the merged reply is re-encoded as one frame with the same tagged-section
+  structure an unsharded worker would produce, so the coordinator's per-tag
+  word accounting and the byte audit
+  (:meth:`~repro.distributed.network.TransportNetwork.verify_wire_accounting`)
+  charge the logical server **exactly** as the unsharded run would -- the
+  shard fan-out is invisible to the ledger;
+* ``checkpoint`` bundles the per-shard snapshots plus the live assignment
+  into one :class:`~repro.runtime.state.ShardedWorkerCheckpoint`, so the
+  existing :class:`~repro.runtime.supervisor.WorkerSupervisor` machinery
+  (restore + journal replay + wave re-issue) heals a killed shard group
+  with bit-identical results and a rebalanced layout intact.
+
+**Live rebalancing.**  :meth:`ShardGroupTransport.rebalance` migrates
+support between shards *while a session is live*, built entirely from the
+existing ``checkpoint`` / ``restore`` / ``update`` ops: snapshot every
+shard, restore each source to its kept-only component, ship every moved
+piece to its target as a seq-less ``update`` (ingested incrementally into
+the target's cached stream states), then atomically swap the assignment
+map.  :meth:`ShardedSession.rebalance` wraps that per logical worker with
+the supervisor's checkpoint/rollback protocol, so a shard killed *during*
+migration rolls back to the pre-migration snapshot and retries -- draws,
+estimates and per-tag charged words stay bit-identical throughout.
+
+Migration is pure control plane: like delta ingestion and supervision
+frames it moves zero charged words, so a rebalanced run's ledger matches
+an unsharded run's to the byte.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.backend.base import ExecutionBackend
+from repro.core.errors import WorkerProtocolError
+from repro.distributed.network import Network
+from repro.distributed.partition import ShardAssignment
+from repro.distributed.vector import LocalComponent
+from repro.runtime import wire
+from repro.runtime.service import CoordinatorService, WorkerService
+from repro.runtime.state import (
+    ShardedWorkerCheckpoint,
+    WorkerCheckpoint,
+    checkpoint_from_payload,
+)
+from repro.runtime.supervisor import FATAL, WorkerSupervisor, classify_failure
+from repro.runtime.transport import LoopbackTransport, Transport
+
+
+class ShardGroupTransport(Transport):
+    """A :class:`~repro.runtime.transport.Transport` facade over K shards.
+
+    Decodes each coordinator frame once, fans the op out to the shard
+    transports, merges the replies, and re-encodes ONE reply frame carrying
+    the same tagged data sections an unsharded worker would have sent.
+    Broadcast-shaped ops forward the original frame bytes verbatim; only
+    ``update`` (deltas split by the assignment) and ``restore`` (per-shard
+    checkpoints) are re-cut per shard.  Shard-level sub-frames never touch
+    the coordinator's network object, so accounting sees one logical worker.
+
+    A re-entrant lock serialises all shard traffic: the facade is exactly
+    as thread-safe as any other single transport (the coordinator's scatter
+    waves issue one in-flight request per transport, but probes and
+    rebalancing may arrive from other threads).
+
+    ``shard_busy_seconds`` accumulates each shard's busy time; on a real
+    deployment the shards run on separate machines, so
+    :meth:`critical_path_seconds` (the max, not the sum) models the
+    logical server's latency -- the quantity the skew benchmark gates on.
+    """
+
+    def __init__(
+        self,
+        shard_transports: Sequence[Transport],
+        assignment: ShardAssignment,
+        *,
+        name: str = "",
+    ) -> None:
+        if len(shard_transports) != assignment.num_shards:
+            raise ValueError(
+                f"assignment maps {assignment.num_shards} shards, "
+                f"got {len(shard_transports)} transports"
+            )
+        self._shards = list(shard_transports)
+        self._assignment = assignment
+        self._name = name
+        self._lock = threading.RLock()
+        self.shard_busy_seconds: List[float] = [0.0] * len(self._shards)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def assignment(self) -> ShardAssignment:
+        """The live coordinate -> shard map (swapped by :meth:`rebalance`)."""
+        with self._lock:
+            return self._assignment
+
+    def reset_busy(self) -> None:
+        """Zero the per-shard busy-time accumulators (benchmark hook)."""
+        with self._lock:
+            self.shard_busy_seconds = [0.0] * len(self._shards)
+
+    def critical_path_seconds(self) -> float:
+        """The slowest shard's accumulated busy time (modeled latency)."""
+        with self._lock:
+            return max(self.shard_busy_seconds)
+
+    def shard_supports(self) -> List[int]:
+        """Per-shard stored-pair counts, via direct (uncharged) pings."""
+        ping = wire.encode_frame("ping", {"session": ""})
+        with self._lock:
+            return [
+                int(self._ask(shard, ping).meta.get("support", 0))
+                for shard in range(len(self._shards))
+            ]
+
+    # ------------------------------------------------------------------ #
+    # shard rpc
+    # ------------------------------------------------------------------ #
+    def _ask(self, shard: int, frame_bytes: bytes) -> wire.DecodedFrame:
+        """One shard round-trip; shard ``error`` replies become typed raises."""
+        start = time.perf_counter()
+        try:
+            raw = self._shards[shard].request(frame_bytes)
+        finally:
+            self.shard_busy_seconds[shard] += time.perf_counter() - start
+        reply = wire.decode_frame(raw)
+        if reply.op == "error":
+            raise WorkerProtocolError(
+                f"shard {shard + 1}/{len(self._shards)} of "
+                f"{self._name or 'worker'} failed: "
+                f"{reply.meta.get('type', 'Error')}: {reply.meta.get('message', '')}"
+            )
+        return reply
+
+    def _broadcast(self, frame_bytes: bytes) -> List[wire.DecodedFrame]:
+        return [self._ask(shard, frame_bytes) for shard in range(len(self._shards))]
+
+    # ------------------------------------------------------------------ #
+    # transport contract
+    # ------------------------------------------------------------------ #
+    def request(self, frame: bytes) -> bytes:
+        request_id = 0
+        with self._lock:
+            try:
+                decoded = wire.decode_frame(frame)
+                request_id = decoded.request_id
+                merger = getattr(self, f"_merge_{decoded.op}", None)
+                if merger is None:
+                    raise WorkerProtocolError(f"unknown op {decoded.op!r}")
+                op, meta, entries = merger(decoded, bytes(frame))
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if classify_failure(exc) != FATAL:
+                    # Connection-shaped: a dead shard means the logical
+                    # worker is dead; surface it so the supervisor respawns
+                    # the whole group (the checkpoint restores every shard).
+                    raise
+                return wire.encode_frame(
+                    "error",
+                    {"type": type(exc).__name__, "message": str(exc)},
+                    request_id=request_id,
+                )
+        return wire.encode_frame(op, meta, entries, request_id=request_id)
+
+    def probe(self, frame: bytes) -> bool:
+        try:
+            with self._lock:
+                return all(shard.probe(frame) for shard in self._shards)
+        except Exception:  # noqa: BLE001 - a probe must never raise
+            return False
+
+    def close(self) -> None:
+        for shard in self._shards:
+            try:
+                shard.close()
+            except Exception:  # noqa: BLE001 - teardown must not mask
+                pass
+
+    # ------------------------------------------------------------------ #
+    # per-op merges (each returns the merged reply's op, meta, entries)
+    # ------------------------------------------------------------------ #
+    def _merge_hello(self, frame, raw):
+        replies = self._broadcast(raw)
+        dims = {int(reply.meta.get("dimension", -1)) for reply in replies}
+        if len(dims) != 1:
+            raise WorkerProtocolError(
+                f"shards of {self._name or 'worker'} disagree on the "
+                f"dimension: {sorted(dims)}"
+            )
+        support = sum(int(reply.meta.get("support", 0)) for reply in replies)
+        return "hello", {
+            "dimension": dims.pop(), "support": support, "name": self._name,
+        }, []
+
+    def _merge_ping(self, frame, raw):
+        replies = self._broadcast(raw)
+        return "pong", {
+            "support": sum(int(reply.meta.get("support", 0)) for reply in replies),
+            "seq": max(int(reply.meta.get("seq", 0)) for reply in replies),
+            "name": self._name,
+        }, []
+
+    def _merge_subsample(self, frame, raw):
+        # Every shard caches g over its own piece; the cached-entry count a
+        # worker reports is its support, so the logical total is the sum.
+        replies = self._broadcast(raw)
+        cached = sum(int(reply.meta.get("cached", 0)) for reply in replies)
+        return "ack", {"cached": cached}, []
+
+    def _merge_sketch(self, frame, raw):
+        stacks = [
+            np.asarray(reply.entry(0), dtype=float)
+            for reply in self._broadcast(raw)
+        ]
+        return "tables", {}, [
+            (frame.meta["tables_tag"], self._sum_tables(stacks, "sketch"))
+        ]
+
+    def _merge_stream_sketch(self, frame, raw):
+        tables = [
+            np.asarray(reply.entry(0), dtype=float)
+            for reply in self._broadcast(raw)
+        ]
+        return "state", {}, [
+            (frame.meta["tables_tag"], self._sum_tables(tables, "stream_sketch"))
+        ]
+
+    def _sum_tables(self, tables: List[np.ndarray], op: str) -> np.ndarray:
+        for table in tables[1:]:
+            if table.shape != tables[0].shape:
+                raise WorkerProtocolError(
+                    f"shards of {self._name or 'worker'} answered {op!r} with "
+                    f"mismatched table shapes {tables[0].shape} vs {table.shape}"
+                )
+        # Left-fold addition, the exact merge order of CountSketchState.merge_all.
+        merged = tables[0]
+        for table in tables[1:]:
+            merged = merged + table
+        return merged
+
+    def _merge_collect(self, frame, raw):
+        query = np.asarray(frame.entry(0), dtype=np.int64)
+        total = np.zeros(query.shape, dtype=float)
+        for shard, reply in enumerate(self._broadcast(raw)):
+            values = np.asarray(reply.entry(0), dtype=float)
+            if values.shape != query.shape:
+                raise WorkerProtocolError(
+                    f"shard {shard + 1} of {self._name or 'worker'} answered "
+                    f"collect with {values.shape} values for {query.shape} queries"
+                )
+            # Exact even for floats: every stored duplicate of a coordinate
+            # lives in one shard, the other shards contribute exactly 0.0.
+            total = total + values
+        return "values", {}, [(frame.meta["tag"], total)]
+
+    def _merge_update(self, frame, raw):
+        d_idx, d_val = frame.entry(0)
+        pieces = self._assignment.split(d_idx, d_val)
+        support = 0
+        applied = False
+        for shard, piece in enumerate(pieces):
+            # Empty pieces are sent too: every shard's exactly-once seq
+            # ledger must advance in lockstep, or a later retry of this seq
+            # would be deduped on some shards and fresh on others.
+            reply = self._ask(
+                shard, wire.encode_frame("update", frame.meta, [(None, piece)])
+            )
+            support += int(reply.meta.get("support", 0))
+            applied = applied or bool(reply.meta.get("applied", False))
+        return "ack", {"support": support, "applied": applied}, []
+
+    def _merge_checkpoint(self, frame, raw):
+        shards = [
+            WorkerCheckpoint.from_payload(reply.entry(0))
+            for reply in self._broadcast(raw)
+        ]
+        checkpoint = ShardedWorkerCheckpoint(
+            assignment=self._assignment, shards=shards
+        )
+        return "checkpoint", {
+            "support": checkpoint.support, "words": checkpoint.word_count(),
+        }, [(None, checkpoint._as_payload())]
+
+    def _merge_restore(self, frame, raw):
+        checkpoint = checkpoint_from_payload(frame.entry(0))
+        if not isinstance(checkpoint, ShardedWorkerCheckpoint):
+            raise WorkerProtocolError(
+                f"{self._name or 'worker'} is a shard group; it restores "
+                "sharded checkpoints only"
+            )
+        if checkpoint.assignment.num_shards != len(self._shards):
+            raise WorkerProtocolError(
+                f"checkpoint maps {checkpoint.assignment.num_shards} shards, "
+                f"{self._name or 'worker'} runs {len(self._shards)}"
+            )
+        support = 0
+        for shard, piece in enumerate(checkpoint.shards):
+            reply = self._ask(
+                shard,
+                wire.encode_frame("restore", frame.meta, [(None, piece._as_payload())]),
+            )
+            support += int(reply.meta.get("support", 0))
+        # Adopt the checkpointed map last: a rebalanced layout survives a
+        # group respawn, and a failed per-shard restore leaves the old map.
+        self._assignment = checkpoint.assignment
+        return "ack", {"restored": True, "support": support}, []
+
+    def _merge_shutdown(self, frame, raw):
+        self._broadcast(raw)
+        return "ack", {"shutdown": True}, []
+
+    # ------------------------------------------------------------------ #
+    # live migration
+    # ------------------------------------------------------------------ #
+    def rebalance(self, assignment: ShardAssignment, *, session: str = "") -> None:
+        """Migrate stored support between shards to match ``assignment``.
+
+        Built from the ops the shards already serve, in an order that is
+        safe when a shard is both a source and a target:
+
+        1. snapshot every shard (``checkpoint``);
+        2. restore each *source* to its kept-only component (``restore``
+           with the snapshot minus the moved entries -- the ledger entry is
+           preserved, the shard-local stream states are dropped and rebuilt
+           incrementally on demand, bit-identical for integer streams);
+        3. ship every moved piece to its target as a seq-less ``update``
+           (ingested into the target's cached stream states);
+        4. swap the assignment map.
+
+        A failure anywhere leaves the map unswapped; the supervising caller
+        (:meth:`ShardedSession.rebalance`) rolls the whole group back to
+        its pre-migration checkpoint and retries.
+        """
+        with self._lock:
+            if assignment.num_shards != len(self._shards):
+                raise ValueError(
+                    f"new assignment maps {assignment.num_shards} shards, "
+                    f"this group runs {len(self._shards)}"
+                )
+            if assignment.dimension != self._assignment.dimension:
+                raise ValueError(
+                    f"new assignment covers dimension {assignment.dimension}, "
+                    f"this group serves {self._assignment.dimension}"
+                )
+            if assignment.same_as(self._assignment):
+                return
+            meta = {"session": session}
+            checkpoint_frame = wire.encode_frame("checkpoint", meta)
+            snapshots = [
+                WorkerCheckpoint.from_payload(self._ask(shard, checkpoint_frame).entry(0))
+                for shard in range(len(self._shards))
+            ]
+            moves = []
+            for source, snapshot in enumerate(snapshots):
+                dest = assignment.shard_of(snapshot.indices)
+                keep = dest == source
+                if not bool(keep.all()):
+                    kept = WorkerCheckpoint(
+                        dimension=snapshot.dimension,
+                        indices=snapshot.indices[keep],
+                        values=snapshot.values[keep],
+                        session=snapshot.session,
+                        applied_update=snapshot.applied_update,
+                        stream_states={},
+                    )
+                    self._ask(
+                        source,
+                        wire.encode_frame(
+                            "restore", meta, [(None, kept._as_payload())]
+                        ),
+                    )
+                for target in range(len(self._shards)):
+                    if target == source:
+                        continue
+                    mask = dest == target
+                    if mask.any():
+                        moves.append(
+                            (target, snapshot.indices[mask], snapshot.values[mask])
+                        )
+            for target, moved_idx, moved_val in moves:
+                self._ask(
+                    target,
+                    wire.encode_frame(
+                        "update", meta, [(None, (moved_idx, moved_val))]
+                    ),
+                )
+            self._assignment = assignment
+
+
+class ShardedSession(CoordinatorService):
+    """A coordinator session over shard-group workers, with live rebalancing."""
+
+    def _group(self, worker: int) -> ShardGroupTransport:
+        transport = self._transports[worker]
+        if not isinstance(transport, ShardGroupTransport):
+            raise TypeError(
+                f"worker {worker + 1}'s transport is {type(transport).__name__}, "
+                "not a shard group"
+            )
+        return transport
+
+    @property
+    def assignments(self) -> Dict[int, ShardAssignment]:
+        """The live shard map of every logical worker."""
+        return {
+            worker: self._group(worker).assignment
+            for worker in range(len(self._transports))
+        }
+
+    def shard_supports(self) -> Dict[int, List[int]]:
+        """Per-shard stored-pair counts of every logical worker (uncharged)."""
+        return {
+            worker: self._group(worker).shard_supports()
+            for worker in range(len(self._transports))
+        }
+
+    def reset_shard_busy(self) -> None:
+        """Zero every group's per-shard busy-time accumulators."""
+        for worker in range(len(self._transports)):
+            self._group(worker).reset_busy()
+
+    def critical_path_seconds(self) -> float:
+        """Modeled shard-layer wall-clock: every shard is its own machine,
+        so the slowest shard's accumulated busy time bounds the run (the
+        quantity the skewed-support rebalancing benchmark gates on)."""
+        return max(
+            self._group(worker).critical_path_seconds()
+            for worker in range(len(self._transports))
+        )
+
+    def rebalance(self, plan: Dict[int, ShardAssignment]) -> None:
+        """Migrate support inside each planned worker while the session is live.
+
+        Per worker: take a pre-migration supervisor checkpoint (the rollback
+        anchor, carrying the *old* map), run the group's migration, and on a
+        transient failure let the supervisor respawn-and-restore the whole
+        group from that anchor and retry until the restart budget runs out.
+        After a worker migrates, the supervisor's journaled ``subsample``
+        broadcasts are replayed so in-flight restricted-sketch tokens keep
+        resolving.  Finishes with a full ``checkpoint_all``: the new layout
+        becomes the recovery baseline and the superseded update journal --
+        whose frames were split by the *old* map -- is dropped.
+
+        Without a supervisor the migration still runs, but a mid-migration
+        failure surfaces instead of rolling back.
+
+        Pure control plane: no charged words, no recorded bytes -- a
+        rebalanced run's ledger is byte-identical to an unmoved one.
+        """
+        for worker in sorted(plan):
+            assignment = plan[worker]
+            if not 0 <= worker < len(self._transports):
+                raise ValueError(f"no worker {worker}")
+            while True:
+                if self._supervisor is not None:
+                    self._supervisor.checkpoint(worker)
+                try:
+                    self._group(worker).rebalance(assignment, session=self._session)
+                    break
+                except Exception as exc:  # noqa: BLE001 - classified below
+                    if self._supervisor is None or classify_failure(exc) == FATAL:
+                        raise
+                    # Roll back to the pre-migration snapshot (restore +
+                    # journal replay) and retry; recover_worker raises a
+                    # typed error once the restart budget is exhausted.
+                    self._supervisor.recover_worker(worker, cause=exc)
+            if self._supervisor is not None:
+                self._supervisor.replay_subsamples(worker)
+        if self._supervisor is not None:
+            self._supervisor.checkpoint_all()
+
+
+class ShardedBackend(ExecutionBackend):
+    """Self-hosting sharded backend (``--backend sharded``).
+
+    Parameters
+    ----------
+    shards:
+        Worker shards per logical server (K >= 1; K=1 degenerates to the
+        loopback backend plus the facade).
+    assignments:
+        Optional ``{worker_index: ShardAssignment}`` initial maps; workers
+        not named fall back to ``ShardAssignment.uniform``.
+    concurrency:
+        Scatter-wave width of the coordinator (default: all workers).
+    subsample_cache_size / stream_cache_size:
+        Per-shard :class:`~repro.runtime.service.WorkerService` cache knobs.
+    supervise / checkpoint_every / max_worker_restarts / heartbeat_interval:
+        Supervisor knobs, as on the transport backends; supervision operates
+        at logical-server granularity (a dead shard fails its whole group,
+        which respawns and restores as one unit).
+    """
+
+    name = "sharded"
+    reuses_network = False
+
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        assignments: Optional[Dict[int, ShardAssignment]] = None,
+        concurrency: Optional[int] = None,
+        subsample_cache_size: Optional[int] = None,
+        stream_cache_size: Optional[int] = None,
+        supervise: bool = False,
+        checkpoint_every: int = 1,
+        max_worker_restarts: int = 2,
+        heartbeat_interval: Optional[float] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self._shards = int(shards)
+        self._assignments = dict(assignments) if assignments else {}
+        self._concurrency = concurrency
+        self._subsample_cache_size = subsample_cache_size
+        self._stream_cache_size = stream_cache_size
+        self._supervise = bool(supervise)
+        self._checkpoint_every = int(checkpoint_every)
+        self._max_worker_restarts = int(max_worker_restarts)
+        self._heartbeat_interval = heartbeat_interval
+
+    def session(
+        self,
+        components: Sequence[LocalComponent],
+        dimension: int,
+        *,
+        network: Optional[Network] = None,
+        keep_messages: bool = False,
+    ) -> ShardedSession:
+        """Spawn K shards per worker behind facades, return the coordinator."""
+        if network is not None:
+            raise ValueError(
+                "transport backends own a byte-audited TransportNetwork; "
+                "bridge per-tag words into an outer network after the run "
+                "instead of sharing one"
+            )
+        if len(components) < 1:
+            raise ValueError("need at least the coordinator's component")
+        worker_components = [
+            (np.asarray(idx, dtype=np.int64), np.asarray(val, dtype=float))
+            for idx, val in components[1:]
+        ]
+        handlers: Dict[int, List[Callable[[bytes], bytes]]] = {}
+
+        def initial_assignment(worker_index: int) -> ShardAssignment:
+            assignment = self._assignments.get(worker_index)
+            if assignment is None:
+                return ShardAssignment.uniform(dimension, self._shards)
+            if assignment.dimension != dimension or assignment.num_shards != self._shards:
+                raise ValueError(
+                    f"worker {worker_index}'s assignment must map {self._shards} "
+                    f"shards of dimension {dimension}"
+                )
+            return assignment
+
+        def spawn_group(worker_index: int) -> Transport:
+            # One closure for construction AND respawning: a replacement
+            # group re-splits the *original* component by the spawn-time map
+            # (the supervisor's restore overwrites both the shard states and
+            # the map with the checkpointed, possibly rebalanced, ones).
+            idx, val = worker_components[worker_index]
+            assignment = initial_assignment(worker_index)
+            shard_transports: List[Transport] = []
+            shard_handlers: List[Callable[[bytes], bytes]] = []
+            for shard, (piece_idx, piece_val) in enumerate(assignment.split(idx, val)):
+                service = WorkerService(
+                    piece_idx,
+                    piece_val,
+                    dimension,
+                    name=f"server-{worker_index + 1}:shard-{shard}",
+                    max_subsample_caches=self._subsample_cache_size,
+                    max_stream_states=self._stream_cache_size,
+                )
+                shard_handlers.append(service.handle_frame)
+                shard_transports.append(LoopbackTransport(service.handle_frame))
+            handlers[worker_index] = shard_handlers
+            return ShardGroupTransport(
+                shard_transports, assignment, name=f"server-{worker_index + 1}"
+            )
+
+        def probe_factory(worker_index: int) -> Transport:
+            # A throwaway facade over the live shard handlers; the map is
+            # irrelevant for probes (pings broadcast, nothing is split).
+            return ShardGroupTransport(
+                [LoopbackTransport(handler) for handler in handlers[worker_index]],
+                ShardAssignment.uniform(dimension, self._shards),
+                name=f"server-{worker_index + 1}",
+            )
+
+        supervisor = None
+        if self._supervise:
+            supervisor = WorkerSupervisor(
+                respawner=spawn_group,
+                max_worker_restarts=self._max_worker_restarts,
+                checkpoint_every=self._checkpoint_every,
+                heartbeat_interval=self._heartbeat_interval,
+                probe_factory=(
+                    probe_factory if self._heartbeat_interval is not None else None
+                ),
+            )
+        transports: List[Transport] = []
+        try:
+            for worker_index in range(len(worker_components)):
+                transports.append(spawn_group(worker_index))
+            return ShardedSession(
+                transports,
+                dimension,
+                components[0],
+                keep_messages=keep_messages,
+                concurrency=self._concurrency,
+                supervisor=supervisor,
+            )
+        except Exception:
+            for transport in transports:
+                transport.close()
+            raise

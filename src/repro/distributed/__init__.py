@@ -23,6 +23,7 @@ from repro.distributed.cluster import LocalCluster
 from repro.distributed.message import Message, payload_word_count
 from repro.distributed.network import CommunicationLog, Network
 from repro.distributed.partition import (
+    ShardAssignment,
     arbitrary_partition,
     duplicate_records_partition,
     entrywise_partition,
@@ -41,4 +42,5 @@ __all__ = [
     "arbitrary_partition",
     "entrywise_partition",
     "duplicate_records_partition",
+    "ShardAssignment",
 ]

@@ -128,6 +128,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU capacity of the worker's per-session subsample-hash cache "
         "(default: 4 cached g arrays per coordinator session)",
     )
+    serve.add_argument(
+        "--stream-cache-size", type=int, default=None,
+        help="LRU capacity of the worker's incremental stream-sketch state "
+        "cache (default: 4 states, matching the session-side cap)",
+    )
     _add_runtime_workload_args(serve)
 
     submit = subparsers.add_parser(
@@ -255,6 +260,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     worker = WorkerService(
         indices, values, args.dimension, name=f"server-{args.server}",
         max_subsample_caches=args.subsample_cache_size,
+        max_stream_states=args.stream_cache_size,
     )
     server = WorkerServer(
         worker.handle_frame,

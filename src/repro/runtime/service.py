@@ -193,7 +193,9 @@ class WorkerService:
     #: Maximum number of concurrently cached sessions (LRU-evicted).
     MAX_SESSIONS = 64
     #: Maximum cached stream-sketch states (matches the session-side cap so
-    #: cache behaviour cannot diverge between backends).
+    #: cache behaviour cannot diverge between backends; constructor knob
+    #: ``max_stream_states`` overrides; also a CLI knob,
+    #: ``serve --stream-cache-size``).
     MAX_STREAM_STATES = ExecutionSession.MAX_STREAM_STATES
 
     def __init__(
@@ -205,6 +207,7 @@ class WorkerService:
         name: str = "",
         max_subsample_caches: Optional[int] = None,
         max_sessions: Optional[int] = None,
+        max_stream_states: Optional[int] = None,
     ) -> None:
         idx = np.asarray(indices, dtype=np.int64)
         val = np.asarray(values, dtype=float)
@@ -238,6 +241,11 @@ class WorkerService:
         )
         if self._max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
+        self._max_stream_states = int(
+            max_stream_states if max_stream_states is not None else self.MAX_STREAM_STATES
+        )
+        if self._max_stream_states < 1:
+            raise ValueError("max_stream_states must be >= 1")
         #: session id -> (token -> cached g values); guarded by the lock.
         self._subsample_g: "OrderedDict[str, Dict[int, np.ndarray]]" = OrderedDict()
         self._subsample_lock = threading.Lock()
@@ -487,7 +495,7 @@ class WorkerService:
                 self._stream_states.move_to_end(key)
             else:
                 if key not in self._stream_states:
-                    while len(self._stream_states) >= self.MAX_STREAM_STATES:
+                    while len(self._stream_states) >= self._max_stream_states:
                         self._stream_states.popitem(last=False)
                 state = StreamingSketchState(sketch, *self._component[:2])
                 self._stream_states[key] = state

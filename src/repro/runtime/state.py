@@ -28,12 +28,15 @@ one pass (asserted by ``tests/test_runtime_wire.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.errors import SketchCompatibilityError, WireFormatError
 from repro.runtime import wire
+
+if TYPE_CHECKING:  # pragma: no cover - layering: distributed imports stay lazy
+    from repro.distributed.partition import ShardAssignment
 
 
 def _as_uint64(array: np.ndarray, shape: tuple, name: str) -> np.ndarray:
@@ -711,3 +714,136 @@ class WorkerCheckpoint:
     def from_bytes(cls, buf: bytes) -> "WorkerCheckpoint":
         """Exact inverse of :meth:`to_bytes`."""
         return cls.from_payload(wire.from_bytes(buf))
+
+
+@dataclass(eq=False)
+class ShardedWorkerCheckpoint:
+    """A sharded logical server's checkpoint: the shard map + one checkpoint per shard.
+
+    The sharded backend presents K worker shards as one logical server; its
+    ``checkpoint`` op bundles the per-shard :class:`WorkerCheckpoint` values
+    together with the :class:`~repro.distributed.partition.ShardAssignment`
+    that produced them, so a restore rebuilds both the shard states *and*
+    the coordinate map they were split by (a rebalanced layout survives a
+    respawn).  The flattened ``indices``/``values`` views expose the logical
+    component for degraded estimates, exactly like an unsharded checkpoint.
+    """
+
+    assignment: "ShardAssignment"
+    shards: List["WorkerCheckpoint"]
+
+    _LABEL = "sharded-worker-checkpoint"
+
+    def __post_init__(self) -> None:
+        from repro.distributed.partition import ShardAssignment
+
+        if not isinstance(self.assignment, ShardAssignment):
+            raise ValueError(
+                f"assignment must be a ShardAssignment, got {type(self.assignment).__name__}"
+            )
+        self.shards = list(self.shards)
+        if len(self.shards) != self.assignment.num_shards:
+            raise ValueError(
+                f"expected {self.assignment.num_shards} shard checkpoints, "
+                f"got {len(self.shards)}"
+            )
+        for shard in self.shards:
+            if not isinstance(shard, WorkerCheckpoint):
+                raise ValueError(
+                    f"shards must be WorkerCheckpoint values, got {type(shard).__name__}"
+                )
+            if shard.dimension != self.assignment.dimension:
+                raise ValueError(
+                    f"shard dimension {shard.dimension} does not match the "
+                    f"assignment's dimension {self.assignment.dimension}"
+                )
+        if len({shard.session for shard in self.shards}) > 1:
+            raise ValueError("shard checkpoints belong to different sessions")
+
+    @property
+    def dimension(self) -> int:
+        return self.assignment.dimension
+
+    @property
+    def session(self) -> str:
+        return self.shards[0].session
+
+    @property
+    def indices(self) -> np.ndarray:
+        """The logical component's indices (shard order, then storage order)."""
+        return np.concatenate([shard.indices for shard in self.shards])
+
+    @property
+    def values(self) -> np.ndarray:
+        """The logical component's values, aligned with :attr:`indices`."""
+        return np.concatenate([shard.values for shard in self.shards])
+
+    @property
+    def support(self) -> int:
+        """Total stored (index, value) pairs across shards."""
+        return sum(shard.support for shard in self.shards)
+
+    def word_count(self) -> int:
+        """Wire words of this checkpoint (map + every shard checkpoint)."""
+        words = 2 + self.assignment.boundaries.size
+        for shard in self.shards:
+            words += shard.word_count()
+        return words
+
+    def equals(self, other: "ShardedWorkerCheckpoint") -> bool:
+        """Exact equality of the map and every shard -- used by round-trip tests."""
+        return (
+            isinstance(other, ShardedWorkerCheckpoint)
+            and self.assignment.same_as(other.assignment)
+            and len(self.shards) == len(other.shards)
+            and all(
+                mine.equals(theirs)
+                for mine, theirs in zip(self.shards, other.shards)
+            )
+        )
+
+    def _as_payload(self) -> tuple:
+        return (
+            self._LABEL,
+            self.assignment._as_payload(),
+            [shard._as_payload() for shard in self.shards],
+        )
+
+    @classmethod
+    def from_payload(cls, payload) -> "ShardedWorkerCheckpoint":
+        """Rebuild from a decoded frame entry (inverse of ``_as_payload``)."""
+        from repro.distributed.partition import ShardAssignment
+
+        _check_label(payload[0], cls._LABEL)
+        _, assignment_payload, shard_payloads = payload
+        return cls(
+            assignment=ShardAssignment.from_payload(assignment_payload),
+            shards=[
+                WorkerCheckpoint.from_payload(shard) for shard in shard_payloads
+            ],
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialise with the versioned wire codec."""
+        return wire.to_bytes(self._as_payload())
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "ShardedWorkerCheckpoint":
+        """Exact inverse of :meth:`to_bytes`."""
+        return cls.from_payload(wire.from_bytes(buf))
+
+
+def checkpoint_from_payload(payload):
+    """Rebuild whichever checkpoint type ``payload`` holds (label dispatch).
+
+    The supervisor is agnostic to sharding: a logical server answers its
+    ``checkpoint`` op with either a plain :class:`WorkerCheckpoint` or a
+    :class:`ShardedWorkerCheckpoint`, and this dispatcher picks the right
+    decoder so recovery code needs no backend-specific branches.
+    """
+    label = payload[0] if isinstance(payload, (tuple, list)) and payload else None
+    if label == WorkerCheckpoint._LABEL:
+        return WorkerCheckpoint.from_payload(payload)
+    if label == ShardedWorkerCheckpoint._LABEL:
+        return ShardedWorkerCheckpoint.from_payload(payload)
+    raise WireFormatError(f"payload does not hold a worker checkpoint ({label!r})")

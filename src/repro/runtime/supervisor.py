@@ -56,7 +56,7 @@ from repro.core.errors import (
     WorkerTimeoutError,
 )
 from repro.runtime import wire
-from repro.runtime.state import WorkerCheckpoint
+from repro.runtime.state import WorkerCheckpoint, checkpoint_from_payload
 from repro.runtime.transport import RetryPolicy, Transport
 
 #: :func:`classify_failure` verdicts.
@@ -355,9 +355,13 @@ class WorkerSupervisor:
                     self._mark(worker, False)
                     continue
                 try:
-                    self._mark(worker, probe.probe(ping))
+                    healthy = probe.probe(ping)
                 finally:
-                    probe.close()
+                    try:
+                        probe.close()
+                    except Exception:  # noqa: BLE001 - teardown must not kill
+                        pass  # the monitor thread; the probe's verdict stands
+                self._mark(worker, healthy)
 
     # ------------------------------------------------------------------ #
     # checkpoints
@@ -379,10 +383,13 @@ class WorkerSupervisor:
             if classify_failure(exc) == FATAL:
                 raise
             self.recover_worker(worker, cause=exc)
+            # The retried frame is part of the run's control plane exactly
+            # like the first attempt would have been: record it, or a
+            # recovered run books less overhead than an uninterrupted one.
             reply = self._control(
-                self._transports()[worker], worker, "checkpoint", meta
+                self._transports()[worker], worker, "checkpoint", meta, record=True
             )
-        checkpoint = WorkerCheckpoint.from_payload(reply.entry(0))
+        checkpoint = checkpoint_from_payload(reply.entry(0))
         with self._lock:
             self._checkpoints[worker] = checkpoint
         return checkpoint
@@ -415,9 +422,30 @@ class WorkerSupervisor:
 
     def after_update_wave(self) -> None:
         """Cadence hook: called by the coordinator after each committed wave."""
-        self._update_waves += 1
-        if self._update_waves % self._checkpoint_every == 0:
+        # The wave counter moves under the lock (the heartbeat monitor reads
+        # health snapshots under it); checkpoint_all() re-acquires it per
+        # worker, so the cadence decision is made first and acted on after.
+        with self._lock:
+            self._update_waves += 1
+            due = self._update_waves % self._checkpoint_every == 0
+        if due:
             self.checkpoint_all()
+
+    def replay_subsamples(self, worker: int) -> None:
+        """Re-issue the journaled ``subsample`` broadcasts to one worker.
+
+        Used after a live shard rebalance: migration rebuilds worker
+        components through ``restore``/``update`` ops, which drop the
+        worker-side subsample caches, so the in-flight restricted-sketch
+        tokens are replayed the same way a post-kill recovery replays them.
+        Unrecorded, like all recovery traffic -- the broadcasts' bytes were
+        booked when first issued.
+        """
+        with self._lock:
+            frames = list(self._subsample_journal)
+        transport = self._transports()[worker]
+        for frame in frames:
+            self._replay(transport, worker, frame)
 
     # ------------------------------------------------------------------ #
     # recovery

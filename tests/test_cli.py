@@ -188,6 +188,16 @@ class TestRuntimeCommands:
             is None
         )
 
+    def test_serve_stream_cache_knob_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--server", "1", "--stream-cache-size", "3"]
+        )
+        assert args.stream_cache_size == 3
+        assert (
+            build_parser().parse_args(["serve", "--server", "1"]).stream_cache_size
+            is None
+        )
+
     def test_typed_errors_map_to_distinct_exit_codes(self):
         from repro.core.errors import (
             SketchCompatibilityError,

@@ -5,6 +5,7 @@ import pytest
 from scipy import sparse
 
 from repro.distributed.partition import (
+    ShardAssignment,
     arbitrary_partition,
     duplicate_records_partition,
     entrywise_partition,
@@ -128,6 +129,86 @@ class TestDuplicateRecordsPartition:
     def test_invalid_noise(self, nonneg):
         with pytest.raises(ValueError):
             duplicate_records_partition(nonneg, 3, noise_scale=1.0)
+
+
+class TestShardAssignment:
+    def test_uniform_covers_every_coordinate_once(self):
+        assignment = ShardAssignment.uniform(100, 4)
+        assert assignment.num_shards == 4
+        dest = assignment.shard_of(np.arange(100))
+        assert dest.min() == 0 and dest.max() == 3
+        counts = np.bincount(dest, minlength=4)
+        assert counts.tolist() == [25, 25, 25, 25]
+
+    def test_single_shard_is_the_identity_map(self):
+        assignment = ShardAssignment.uniform(50, 1)
+        assert assignment.num_shards == 1
+        assert np.all(assignment.shard_of(np.arange(50)) == 0)
+
+    def test_balanced_equalises_skewed_support(self):
+        # All support crowded into the first tenth of the domain: the
+        # uniform map would put everything on shard 0.
+        rng = np.random.default_rng(3)
+        support = np.sort(rng.choice(100, size=80, replace=False)).astype(np.int64)
+        uniform = ShardAssignment.uniform(1000, 4)
+        assert np.all(uniform.shard_of(support) == 0)
+        balanced = ShardAssignment.balanced(1000, 4, support)
+        counts = np.bincount(balanced.shard_of(support), minlength=4)
+        assert counts.tolist() == [20, 20, 20, 20]
+
+    def test_balanced_of_empty_support_falls_back_to_uniform(self):
+        empty = np.zeros(0, dtype=np.int64)
+        assert ShardAssignment.balanced(60, 3, empty).same_as(
+            ShardAssignment.uniform(60, 3)
+        )
+
+    def test_balanced_rejects_out_of_range_support(self):
+        with pytest.raises(ValueError, match="support indices"):
+            ShardAssignment.balanced(10, 2, np.array([3, 10]))
+
+    def test_split_preserves_order_and_duplicates(self):
+        # Duplicated coordinates (legal in the sparse-sum representation)
+        # must all land in the same shard, in their original array order --
+        # float scatter-adds are order-sensitive.
+        assignment = ShardAssignment.uniform(10, 2)
+        idx = np.array([7, 2, 7, 0, 9, 2], dtype=np.int64)
+        val = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        (idx0, val0), (idx1, val1) = assignment.split(idx, val)
+        np.testing.assert_array_equal(idx0, [2, 0, 2])
+        np.testing.assert_array_equal(val0, [2.0, 4.0, 6.0])
+        np.testing.assert_array_equal(idx1, [7, 7, 9])
+        np.testing.assert_array_equal(val1, [1.0, 3.0, 5.0])
+
+    def test_split_pieces_reassemble_the_component(self):
+        rng = np.random.default_rng(11)
+        idx = rng.integers(0, 500, size=200).astype(np.int64)
+        val = rng.normal(size=200)
+        assignment = ShardAssignment.balanced(500, 3, idx)
+        pieces = assignment.split(idx, val)
+        assert sum(piece_idx.size for piece_idx, _ in pieces) == idx.size
+        dense = np.zeros(500)
+        np.add.at(dense, idx, val)
+        merged = np.zeros(500)
+        for piece_idx, piece_val in pieces:
+            np.add.at(merged, piece_idx, piece_val)
+        np.testing.assert_array_equal(merged, dense)
+
+    def test_payload_round_trips(self):
+        assignment = ShardAssignment.balanced(300, 4, np.arange(17, 60))
+        restored = ShardAssignment.from_payload(assignment._as_payload())
+        assert restored.same_as(assignment)
+        with pytest.raises(ValueError, match="shard assignment"):
+            ShardAssignment.from_payload(("something-else", 300, []))
+
+    def test_invalid_boundaries_are_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ShardAssignment(10, [7, 3])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ShardAssignment(10, [5, 12])
+        with pytest.raises(ValueError):
+            ShardAssignment.uniform(10, 0)
+        with pytest.raises(ValueError):
+            ShardAssignment(0, [])
 
 
 class TestExactSplitCheck:

@@ -270,6 +270,42 @@ class TestStreamingWorkerOps:
         after = coordinator.vector().collect([target], tag="t:verify")
         np.testing.assert_allclose(after - before, [5.0])
 
+    def test_stream_state_cache_knob_evicts_lru(self):
+        """`max_stream_states` bounds the worker's stream cache like the
+        other WorkerService knobs, with LRU eviction (reads refresh recency)."""
+        from repro.runtime import wire
+        from repro.sketch.countsketch import CountSketch
+
+        dim, components = make_components(seed=26, servers=2)
+        worker = WorkerService(*components[1], dim, max_stream_states=2)
+
+        def stream_frame(stream, seed):
+            state = CountSketch(3, 8, dim, seed=seed).export_state()
+            return wire.encode_frame(
+                "stream_sketch",
+                {
+                    "stream": stream, "session": "s",
+                    "width": 8, "tables_tag": "t:tables",
+                },
+                [("t:seeds", (state.bucket_coeffs, state.sign_coeffs))],
+            )
+
+        for name, seed in (("a", 1), ("b", 2), ("c", 3)):
+            reply = wire.decode_frame(worker.handle_frame(stream_frame(name, seed)))
+            assert reply.op == "state"
+        assert set(worker._stream_states) == {("s", "b"), ("s", "c")}
+        # Re-serving "b" refreshes its recency: "c" is the next victim.
+        worker.handle_frame(stream_frame("b", 2))
+        worker.handle_frame(stream_frame("d", 4))
+        assert set(worker._stream_states) == {("s", "b"), ("s", "d")}
+
+    def test_stream_state_cache_knob_validates(self):
+        dim, components = make_components(seed=26, servers=2)
+        default = WorkerService(*components[1], dim)
+        assert default._max_stream_states == WorkerService.MAX_STREAM_STATES
+        with pytest.raises(ValueError, match="max_stream_states"):
+            WorkerService(*components[1], dim, max_stream_states=0)
+
     def test_stream_state_coefficient_change_rebuilds(self):
         """A new seed under the same stream name must not merge into the old
         family -- the worker rebuilds from scratch instead of raising."""

@@ -1,0 +1,353 @@
+"""The sharded backend: shard-group facade, live rebalancing, kill recovery.
+
+The bit-identity half of the contract (same-seed sharded runs == the plain
+simulation in draws, estimates, candidates and per-tag words) is exercised
+for free by ``test_backend_matrix.py``, whose parametrized suite picks the
+``sharded`` backend up from the registry.  This module tests what the
+matrix cannot: the :class:`~repro.runtime.state.ShardedWorkerCheckpoint`
+payload format, the facade's guard rails, and the *live rebalancing* path
+-- support migrating between shards mid-session, with and without a shard
+killed in the middle of the migration (marked ``chaos``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import available_backends, create_backend
+from repro.backend.sharded import ShardedBackend, ShardGroupTransport
+from repro.core.errors import WireFormatError
+from repro.distributed.network import Network
+from repro.distributed.partition import ShardAssignment
+from repro.distributed.vector import DistributedVector
+from repro.runtime import wire
+from repro.runtime.service import WorkerService
+from repro.runtime.state import (
+    ShardedWorkerCheckpoint,
+    WorkerCheckpoint,
+    checkpoint_from_payload,
+)
+from repro.runtime.transport import LoopbackTransport
+from repro.sketch.z_sampler import ZSampler
+
+from test_runtime_transport import assert_same_draws, make_config, weight_fn
+
+
+def skewed_components(seed=5, dim=1200, servers=4, support=150):
+    """Integer components whose support crowds the first quarter of the
+    domain -- the uniform shard map puts everything on shard 0."""
+    rng = np.random.default_rng(seed)
+    components = []
+    for _ in range(servers):
+        idx = np.sort(
+            rng.choice(dim // 4, size=support, replace=False)
+        ).astype(np.int64)
+        val = rng.integers(-5, 6, size=support).astype(float)
+        components.append((idx, val))
+    return dim, components
+
+
+def simulated_reference(components, dim, run):
+    """Run ``run(vector)`` on the plain in-process simulation."""
+    network = Network(len(components))
+    vector = DistributedVector(components, dim, network)
+    return run(vector), network.snapshot()
+
+
+def balanced_plan(components, dim, shards):
+    """A per-worker balanced assignment over each worker's own support."""
+    return {
+        worker: ShardAssignment.balanced(dim, shards, idx)
+        for worker, (idx, _) in enumerate(components[1:])
+    }
+
+
+# --------------------------------------------------------------------------- #
+# ShardedWorkerCheckpoint payloads
+# --------------------------------------------------------------------------- #
+class TestShardedWorkerCheckpoint:
+    def make(self, dim=40, shards=2, session="s"):
+        assignment = ShardAssignment.uniform(dim, shards)
+        idx = np.array([3, 7, 21, 30], dtype=np.int64)
+        val = np.array([1.0, -2.0, 4.0, 0.5])
+        pieces = [
+            WorkerCheckpoint(
+                dimension=dim,
+                indices=piece_idx,
+                values=piece_val,
+                session=session,
+            )
+            for piece_idx, piece_val in assignment.split(idx, val)
+        ]
+        return ShardedWorkerCheckpoint(assignment=assignment, shards=pieces)
+
+    def test_concatenates_shard_views(self):
+        checkpoint = self.make()
+        assert checkpoint.dimension == 40
+        assert checkpoint.session == "s"
+        assert checkpoint.support == 4
+        np.testing.assert_array_equal(np.sort(checkpoint.indices), [3, 7, 21, 30])
+
+    def test_round_trips_through_bytes(self):
+        checkpoint = self.make()
+        restored = ShardedWorkerCheckpoint.from_bytes(checkpoint.to_bytes())
+        assert restored.equals(checkpoint)
+        assert restored.assignment.same_as(checkpoint.assignment)
+
+    def test_checkpoint_from_payload_dispatches_on_label(self):
+        sharded = self.make()
+        assert isinstance(
+            checkpoint_from_payload(sharded._as_payload()), ShardedWorkerCheckpoint
+        )
+        flat = sharded.shards[0]
+        assert isinstance(checkpoint_from_payload(flat._as_payload()), WorkerCheckpoint)
+        with pytest.raises(WireFormatError):
+            checkpoint_from_payload(("not-a-checkpoint", 1, 2))
+
+    def test_shard_count_must_match_assignment(self):
+        checkpoint = self.make()
+        with pytest.raises(ValueError):
+            ShardedWorkerCheckpoint(
+                assignment=checkpoint.assignment, shards=checkpoint.shards[:1]
+            )
+
+
+# --------------------------------------------------------------------------- #
+# facade guard rails
+# --------------------------------------------------------------------------- #
+def make_group(dim=60, shards=2):
+    assignment = ShardAssignment.uniform(dim, shards)
+    idx = np.arange(0, dim, 3, dtype=np.int64)
+    val = np.ones(idx.size)
+    transports = [
+        LoopbackTransport(
+            WorkerService(piece_idx, piece_val, dim, name=f"shard-{k}").handle_frame
+        )
+        for k, (piece_idx, piece_val) in enumerate(assignment.split(idx, val))
+    ]
+    return ShardGroupTransport(transports, assignment, name="server-1")
+
+
+class TestShardGroupGuards:
+    def test_transport_count_must_match_assignment(self):
+        with pytest.raises(ValueError, match="2 shards"):
+            ShardGroupTransport(
+                [LoopbackTransport(lambda frame: frame)],
+                ShardAssignment.uniform(10, 2),
+            )
+
+    def test_restore_rejects_unsharded_checkpoint(self):
+        group = make_group()
+        flat = WorkerCheckpoint(
+            dimension=60,
+            indices=np.array([1], dtype=np.int64),
+            values=np.array([1.0]),
+            session="s",
+        )
+        reply = wire.decode_frame(
+            group.request(
+                wire.encode_frame("restore", {"session": "s"}, [(None, flat._as_payload())])
+            )
+        )
+        assert reply.op == "error"
+        assert "sharded checkpoints only" in reply.meta["message"]
+
+    def test_restore_rejects_mismatched_shard_count(self):
+        group = make_group(shards=2)
+        wide = ShardAssignment.uniform(60, 3)
+        idx = np.arange(0, 60, 3, dtype=np.int64)
+        checkpoint = ShardedWorkerCheckpoint(
+            assignment=wide,
+            shards=[
+                WorkerCheckpoint(
+                    dimension=60, indices=piece_idx, values=piece_val, session="s"
+                )
+                for piece_idx, piece_val in wide.split(idx, np.ones(idx.size))
+            ],
+        )
+        reply = wire.decode_frame(
+            group.request(
+                wire.encode_frame(
+                    "restore", {"session": "s"}, [(None, checkpoint._as_payload())]
+                )
+            )
+        )
+        assert reply.op == "error"
+        assert "3 shards" in reply.meta["message"]
+
+    def test_unknown_op_is_a_typed_error_frame(self):
+        group = make_group()
+        reply = wire.decode_frame(group.request(wire.encode_frame("frobnicate", {})))
+        assert reply.op == "error"
+        assert "unknown op" in reply.meta["message"]
+
+    def test_rebalance_validates_shape(self):
+        group = make_group(dim=60, shards=2)
+        with pytest.raises(ValueError, match="3 shards"):
+            group.rebalance(ShardAssignment.uniform(60, 3))
+        with pytest.raises(ValueError, match="dimension 90"):
+            group.rebalance(ShardAssignment.uniform(90, 2))
+
+    def test_rebalance_moves_support_between_shards(self):
+        # All support in [0, 30): uniform puts it on shard 0, the balanced
+        # map splits it 10/10.
+        dim = 60
+        assignment = ShardAssignment.uniform(dim, 2)
+        idx = np.arange(20, dtype=np.int64)
+        val = np.ones(20)
+        transports = [
+            LoopbackTransport(
+                WorkerService(piece_idx, piece_val, dim).handle_frame
+            )
+            for piece_idx, piece_val in assignment.split(idx, val)
+        ]
+        group = ShardGroupTransport(transports, assignment)
+        assert group.shard_supports() == [20, 0]
+        group.rebalance(ShardAssignment.balanced(dim, 2, idx))
+        assert group.shard_supports() == [10, 10]
+        # The collect seam still sees every stored pair exactly once.
+        reply = wire.decode_frame(
+            group.request(
+                wire.encode_frame(
+                    "collect", {"session": "", "tag": "t"}, [("q", idx)]
+                )
+            )
+        )
+        np.testing.assert_array_equal(reply.entry(0), val)
+
+
+# --------------------------------------------------------------------------- #
+# live rebalancing inside a session
+# --------------------------------------------------------------------------- #
+class TestShardedSessionRebalance:
+    def test_sharded_backend_is_registered(self):
+        assert "sharded" in available_backends()
+
+    def test_rebalance_mid_session_stays_bit_identical(self):
+        dim, components = skewed_components()
+        config = make_config()
+        shards = 3
+
+        def protocol(run_sample):
+            first = run_sample(20, 7)
+            second = run_sample(12, 9)
+            return first, second
+
+        (sim_first, sim_second), sim_log = simulated_reference(
+            components,
+            dim,
+            lambda v: protocol(
+                lambda n, seed: ZSampler(weight_fn, config, seed=seed).sample(v, n)
+            ),
+        )
+
+        backend = ShardedBackend(shards=shards)
+        with backend.session(components, dim) as session:
+            first = session.sample(weight_fn, 20, config=config, seed=7)
+            before = session.shard_supports()
+            session.rebalance(balanced_plan(components, dim, shards))
+            after = session.shard_supports()
+            second = session.sample(weight_fn, 12, config=config, seed=9)
+            words = session.network.snapshot().words_by_tag
+            session.verify_accounting()
+
+        assert_same_draws(sim_first, first)
+        assert_same_draws(sim_second, second)
+        # Rebalancing is pure control plane: the charged ledger is identical.
+        assert words == sim_log.words_by_tag
+        # The skew really moved: everything sat on shard 0, now it is spread.
+        for worker in before:
+            assert before[worker][0] == sum(before[worker])
+            assert max(after[worker]) < sum(after[worker])
+
+    def test_rebalance_same_map_is_a_noop_and_bad_worker_rejected(self):
+        dim, components = skewed_components(servers=2)
+        backend = ShardedBackend(shards=2)
+        with backend.session(components, dim) as session:
+            session.rebalance({0: ShardAssignment.uniform(dim, 2)})
+            with pytest.raises(ValueError, match="no worker 5"):
+                session.rebalance({5: ShardAssignment.uniform(dim, 2)})
+
+    def test_supervised_rebalance_checkpoints_the_new_layout(self):
+        dim, components = skewed_components(servers=3)
+        shards = 2
+        backend = ShardedBackend(shards=shards, supervise=True)
+        with backend.session(components, dim) as session:
+            plan = balanced_plan(components, dim, shards)
+            session.rebalance(plan)
+            checkpoints = session.supervisor.checkpoints
+            for worker, assignment in plan.items():
+                assert isinstance(checkpoints[worker], ShardedWorkerCheckpoint)
+                assert checkpoints[worker].assignment.same_as(assignment)
+
+
+# --------------------------------------------------------------------------- #
+# a shard killed mid-migration (chaos)
+# --------------------------------------------------------------------------- #
+class KillableShard:
+    """Wraps one shard transport; dies permanently at received frame N."""
+
+    def __init__(self, inner, kill_at):
+        self.inner = inner
+        self.kill_at = kill_at
+        self.calls = 0
+        self.dead = False
+
+    def request(self, frame):
+        self.calls += 1
+        if self.dead or self.calls >= self.kill_at:
+            self.dead = True
+            raise ConnectionResetError("shard killed mid-migration")
+        return self.inner.request(frame)
+
+    def probe(self, frame):
+        return not self.dead and self.inner.probe(frame)
+
+    def close(self):
+        self.inner.close()
+
+
+@pytest.mark.chaos
+class TestRebalanceUnderKill:
+    @pytest.mark.parametrize("kill_at", [1, 2, 3])
+    def test_shard_killed_during_migration_rolls_back_and_retries(self, kill_at):
+        """Kill worker 0's second shard at frame ``kill_at`` of the rebalance
+        (anchor checkpoint, migration snapshot, restore/ship, ...): the
+        supervisor respawns the whole group from the pre-migration anchor,
+        the migration retries, and draws / estimates / per-tag words stay
+        bit-identical to the plain simulation with a green wire audit."""
+        dim, components = skewed_components(seed=8)
+        config = make_config()
+        shards = 2
+
+        def protocol(vector):
+            first = ZSampler(weight_fn, config, seed=3).sample(vector, 16)
+            second = ZSampler(weight_fn, config, seed=13).sample(vector, 10)
+            return first, second
+
+        (sim_first, sim_second), sim_log = simulated_reference(
+            components, dim, protocol
+        )
+
+        backend = ShardedBackend(shards=shards, supervise=True)
+        with backend.session(components, dim) as session:
+            first = session.sample(weight_fn, 16, config=config, seed=3)
+
+            group = session._transports[0]
+            assert isinstance(group, ShardGroupTransport)
+            group._shards[1] = KillableShard(group._shards[1], kill_at)
+
+            session.rebalance(balanced_plan(components, dim, shards))
+            assert session.supervisor.restarts == 1
+            # The respawned group carries the *balanced* layout forward.
+            after = session.shard_supports()
+            assert max(after[0]) < sum(after[0])
+
+            second = session.sample(weight_fn, 10, config=config, seed=13)
+            words = session.network.snapshot().words_by_tag
+            session.verify_accounting()
+
+        assert_same_draws(sim_first, first)
+        assert_same_draws(sim_second, second)
+        assert words == sim_log.words_by_tag

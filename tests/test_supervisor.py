@@ -10,6 +10,8 @@ transports.
 from __future__ import annotations
 
 import asyncio
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -38,7 +40,12 @@ from repro.runtime.transport import LoopbackTransport, RetryPolicy
 from repro.sketch.countsketch import CountSketch
 from repro.sketch.z_estimator import ZEstimator
 
-from test_runtime_transport import make_components, make_config, weight_fn
+from test_runtime_transport import (
+    assert_same_draws,
+    make_components,
+    make_config,
+    weight_fn,
+)
 
 
 # --------------------------------------------------------------------------- #
@@ -478,6 +485,164 @@ class TestSupervisorLoopback:
             WorkerSupervisor(heartbeat_interval=0.1)
         with pytest.raises(ValueError, match="positive"):
             WorkerSupervisor(heartbeat_interval=0.0, probe_factory=lambda i: None)
+
+    def test_recovered_checkpoint_books_identical_overhead(self):
+        """Regression: the post-recovery checkpoint retry must be recorded.
+
+        A worker killed exactly at a cadence checkpoint is recovered and
+        checkpointed again; the retried frame is control plane like the
+        first attempt would have been, so a kill/no-kill same-seed pair
+        must book byte-identical control overhead (and, as always,
+        identical draws and per-tag charged words).
+        """
+
+        class CheckpointKiller:
+            """Kills the connection on the next ``checkpoint`` frame when armed."""
+
+            def __init__(self, service):
+                self.service = service
+                self.checkpoint_kills = 0
+
+            def handler(self, frame):
+                from repro.runtime import wire
+
+                if (
+                    self.checkpoint_kills > 0
+                    and wire.decode_frame(frame).op == "checkpoint"
+                ):
+                    self.checkpoint_kills -= 1
+                    raise ConnectionResetError("killed at checkpoint")
+                return self.service.handle_frame(frame)
+
+        def run(kill):
+            dim, components = make_components(seed=70, servers=3, support=200)
+            killers = [
+                CheckpointKiller(WorkerService(idx, val, dim))
+                for idx, val in components[1:]
+            ]
+
+            def respawner(worker):
+                replacement = CheckpointKiller(
+                    WorkerService(*components[worker + 1], dim)
+                )
+                killers[worker] = replacement
+                return LoopbackTransport(replacement.handler)
+
+            supervisor = WorkerSupervisor(respawner, checkpoint_every=1)
+            transports = [LoopbackTransport(k.handler) for k in killers]
+            coordinator = CoordinatorService(
+                transports, dim, components[0], supervisor=supervisor
+            )
+            try:
+                rng = np.random.default_rng(123)
+
+                def batch():
+                    return [
+                        (
+                            rng.choice(dim, size=4, replace=False).astype(np.int64),
+                            rng.integers(1, 5, size=4).astype(float),
+                        )
+                        for _ in range(len(components))
+                    ]
+
+                coordinator.apply_deltas(batch())
+                if kill:
+                    killers[0].checkpoint_kills = 1
+                coordinator.apply_deltas(batch())  # the cadence checkpoint dies
+                draws = coordinator.sample(weight_fn, 6, config=make_config(), seed=5)
+                coordinator.verify_wire_accounting()
+                return (
+                    draws,
+                    dict(coordinator.network.snapshot().words_by_tag),
+                    coordinator.network.control_overhead_bytes,
+                    supervisor.restarts,
+                )
+            finally:
+                coordinator.close()
+
+        draws_a, words_a, overhead_a, restarts_a = run(kill=False)
+        draws_b, words_b, overhead_b, restarts_b = run(kill=True)
+        assert restarts_a == 0 and restarts_b == 1  # the kill really happened
+        assert_same_draws(draws_a, draws_b)
+        assert words_a == words_b
+        assert overhead_a == overhead_b
+
+    def test_after_update_wave_counts_exactly_under_threads(self):
+        """Regression: the wave counter must move under the supervisor's lock."""
+        dim, components = make_components(seed=71, servers=2, support=100)
+        coordinator, supervisor, _ = supervised_loopback(
+            components, dim, checkpoint_every=10**9
+        )
+        threads, per_thread = 8, 400
+        barrier = threading.Barrier(threads + 1)
+        stop_reading = threading.Event()
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                supervisor.after_update_wave()
+
+        def read_health():
+            barrier.wait()
+            while not stop_reading.is_set():
+                supervisor.health()
+
+        hammers = [threading.Thread(target=hammer) for _ in range(threads)]
+        reader = threading.Thread(target=read_health)
+        for thread in [*hammers, reader]:
+            thread.start()
+        for thread in hammers:
+            thread.join()
+        stop_reading.set()
+        reader.join()
+        assert supervisor._update_waves == threads * per_thread
+        coordinator.close()
+
+    def test_monitor_survives_poisoned_probe_teardown(self):
+        """Regression: a probe whose close() raises must not kill the monitor."""
+        dim, components = make_components(seed=72, servers=2, support=100)
+        killables = [
+            KillableWorker(WorkerService(idx, val, dim)) for idx, val in components[1:]
+        ]
+
+        class PoisonedCloseTransport(LoopbackTransport):
+            def close(self):
+                raise RuntimeError("teardown bomb")
+
+        supervisor = WorkerSupervisor(
+            heartbeat_interval=0.02,
+            probe_factory=lambda worker: PoisonedCloseTransport(
+                killables[worker].handler
+            ),
+        )
+        transports = [LoopbackTransport(k.handler) for k in killables]
+        coordinator = CoordinatorService(
+            transports, dim, components[0], supervisor=supervisor
+        )
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if supervisor.health()[0].last_probe > 0:
+                    break
+                time.sleep(0.01)
+            first = supervisor.health()[0].last_probe
+            assert first > 0
+            # That probe's close() raised; the thread must keep probing.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if supervisor.health()[0].last_probe > first:
+                    break
+                time.sleep(0.01)
+            assert supervisor.health()[0].last_probe > first
+            killables[0].dead = True
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if not supervisor.health()[0].healthy:
+                    break
+                time.sleep(0.01)
+            assert not supervisor.health()[0].healthy
+        finally:
+            coordinator.close()
 
     def test_background_monitor_observes_health(self):
         dim, components = make_components(seed=61, servers=2, support=100)
