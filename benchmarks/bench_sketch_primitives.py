@@ -121,7 +121,10 @@ try:
             "runtime_pipelined_sample",
             "sharded_rebalance_skew",
             "sampler_sample_rows",
+            "telemetry_overhead",
         }
+        assert payload["results"]["telemetry_overhead"]["within_ceiling"]
+        assert "wave_latency_seconds" in payload["results"]["runtime_pipelined_sample"]
         assert payload["results"]["runtime_pipelined_sample"]["bit_identical"]
         assert payload["results"]["streaming_apply_deltas"]["bit_identical"]
         assert payload["results"]["sharded_rebalance_skew"]["bit_identical"]
@@ -257,6 +260,25 @@ def _runtime_latency_entry(
         assert words == reference_words
     sequential = min(elapsed for _, _, elapsed in seq_runs)
     pipelined = min(elapsed for _, _, elapsed in pipe_runs)
+
+    # One extra pipelined run under a telemetry capture: the in-process
+    # snapshot API supplies per-op wave-latency percentiles to sit next to
+    # the throughput numbers.  Untimed, so the capture cost never leaks
+    # into the gated speedup above.
+    from repro import obs
+
+    with obs.capture() as telemetry:
+        traced_result, traced_words, _ = run(None)
+    assert _np.array_equal(traced_result.indices, reference_draws.indices)
+    assert traced_words == reference_words  # tracing never moves the ledger
+    histograms = telemetry.snapshot()["metrics"]["histograms"]
+    wave_latency = {
+        name[len("wave.seconds."):]: {
+            "p50": summary["p50"], "p95": summary["p95"], "p99": summary["p99"]
+        }
+        for name, summary in sorted(histograms.items())
+        if name.startswith("wave.seconds.")
+    }
     return {
         "dimension": dimension,
         "support_per_server": support,
@@ -266,6 +288,7 @@ def _runtime_latency_entry(
         "sequential_seconds": sequential,
         "pipelined_seconds": pipelined,
         "speedup": sequential / pipelined,
+        "wave_latency_seconds": wave_latency,
         "bit_identical": True,
     }
 
@@ -426,6 +449,50 @@ def _sharded_rebalance_entry(
         "balanced_critical_path_seconds": balanced_critical,
         "speedup": skewed_critical / balanced_critical,
         "bit_identical": True,
+    }
+
+
+def _telemetry_overhead_entry(*, iterations: int = 200_000) -> dict:
+    """Per-call cost of the *disabled* telemetry hot path, in nanoseconds.
+
+    Every instrumentation site in the runtime pays one ``obs.active()``
+    call (a module-global load) or one ``obs.span()`` call (returning the
+    shared no-op context manager) when telemetry is off.  Both are timed
+    over a tight loop and gated against ``NOOP_OVERHEAD_CEILING_NS`` in
+    BOTH full and ``--quick`` mode, so an accidental allocation or lock on
+    the disabled path fails CI immediately.
+    """
+    from repro import obs
+
+    assert not obs.enabled(), "telemetry must stay disabled during benchmarks"
+
+    def _per_call_ns(loop) -> float:
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter_ns()
+            loop()
+            best = min(best, time.perf_counter_ns() - start)
+        return best / iterations
+
+    def active_loop():
+        check = obs.active
+        for _ in range(iterations):
+            check()
+
+    def span_loop():
+        make = obs.span
+        for _ in range(iterations):
+            with make("bench"):
+                pass
+
+    active_ns = _per_call_ns(active_loop)
+    span_ns = _per_call_ns(span_loop)
+    return {
+        "iterations": iterations,
+        "noop_active_check_ns": active_ns,
+        "noop_span_ns": span_ns,
+        "ceiling_ns": NOOP_OVERHEAD_CEILING_NS,
+        "within_ceiling": max(active_ns, span_ns) <= NOOP_OVERHEAD_CEILING_NS,
     }
 
 
@@ -606,6 +673,9 @@ def emit_speedup_json(
     # signal is the shard-work ratio, not the absolute domain size.
     results["sharded_rebalance_skew"] = _sharded_rebalance_entry()
 
+    # Disabled-telemetry hot-path cost (gated in every mode, --quick too).
+    results["telemetry_overhead"] = _telemetry_overhead_entry()
+
     # End-to-end generalized Z-row-sampler (estimator + draws + gathers).
     config = ZSamplerConfig(
         hh_params=ZHeavyHittersParams(b=16, repetitions=2, num_buckets=8)
@@ -664,6 +734,13 @@ PIPELINE_SPEEDUP_FLOOR = 1.5
 #: wall-clock, robust on a single-core host) by at least this much.
 REBALANCE_SPEEDUP_FLOOR = 2.0
 
+#: Per-call ceiling of the disabled telemetry hot path (``obs.active()`` /
+#: ``obs.span()`` returning the shared no-op).  Generous against loaded CI
+#: machines -- the observed cost is tens to hundreds of ns -- but tight
+#: enough to catch an allocation, a lock, or a real span sneaking onto the
+#: disabled path.  Gated in BOTH full and ``--quick`` mode.
+NOOP_OVERHEAD_CEILING_NS = 5_000.0
+
 
 #: Scale of the ``--quick`` CI smoke run (reduced domain, no speedup gate).
 QUICK_DOMAIN = 200_000
@@ -716,6 +793,12 @@ if __name__ == "__main__":
                 f"{entry['balanced_critical_path_seconds']:.3f}s across "
                 f"{entry['shards_per_server']} shards/server)"
             )
+        elif "noop_span_ns" in entry:
+            print(
+                f"{name}: disabled-path span {entry['noop_span_ns']:.0f}ns, "
+                f"active-check {entry['noop_active_check_ns']:.0f}ns per call "
+                f"(ceiling {entry['ceiling_ns']:.0f}ns)"
+            )
         elif "speedup" in entry:
             print(
                 f"{name}: {entry['speedup']:.1f}x "
@@ -744,6 +827,14 @@ if __name__ == "__main__":
                 f"sharded_rebalance_skew: {rebalance:.2f}x < "
                 f"{REBALANCE_SPEEDUP_FLOOR}x"
             )
+    # The disabled-telemetry gate holds in every mode, --quick included.
+    overhead = payload["results"]["telemetry_overhead"]
+    if not overhead["within_ceiling"]:
+        failures.append(
+            f"telemetry_overhead: disabled-path span "
+            f"{overhead['noop_span_ns']:.0f}ns > "
+            f"{overhead['ceiling_ns']:.0f}ns ceiling"
+        )
     if failures:
-        print("FUSED ENGINE BELOW SPEEDUP FLOOR: " + "; ".join(failures))
+        print("BENCHMARK GATES FAILED: " + "; ".join(failures))
         sys.exit(1)

@@ -33,6 +33,7 @@ from __future__ import annotations
 import abc
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.distributed.network import BYTES_PER_WORD, Network
 from repro.distributed.vector import DistributedVector, LocalComponent
 
@@ -105,7 +106,8 @@ class ExecutionSession(abc.ABC):
         from repro.sketch.z_heavy_hitters import z_heavy_hitters
 
         self._check_protocol_ready()
-        return z_heavy_hitters(self.vector(), params, seed=seed, tag=tag)
+        with obs.span("protocol:z_heavy_hitters", tag=tag):
+            return z_heavy_hitters(self.vector(), params, seed=seed, tag=tag)
 
     def estimate(self, weight_fn, *, config=None, seed=None, stale_ok: bool = False):
         """Run Algorithm 3 (the Z-estimator) on this backend.
@@ -134,11 +136,15 @@ class ExecutionSession(abc.ABC):
             seed=seed,
         )
         try:
-            return estimator.estimate(self.vector())
+            with obs.span("protocol:estimate"):
+                return estimator.estimate(self.vector())
         except WorkerLostError as exc:
             if not stale_ok:
                 raise
-            degraded = self._degraded_estimate(weight_fn, config=config, seed=seed, cause=exc)
+            with obs.span("protocol:degraded_estimate", cause=type(exc).__name__):
+                degraded = self._degraded_estimate(
+                    weight_fn, config=config, seed=seed, cause=exc
+                )
             if degraded is None:
                 raise
             return degraded
@@ -159,7 +165,8 @@ class ExecutionSession(abc.ABC):
 
         self._check_protocol_ready()
         sampler = ZSampler(weight_fn, config, seed=seed)
-        return sampler.sample(self.vector(), count)
+        with obs.span("protocol:sample", count=int(count)):
+            return sampler.sample(self.vector(), count)
 
     # ------------------------------------------------------------------ #
     # streaming sketch export
@@ -194,12 +201,13 @@ class ExecutionSession(abc.ABC):
         tag = tag or f"stream_sketch:{stream}"
         sketch = CountSketch(int(depth), int(width), self.dimension, seed=seed)
         network = self.network
-        for server in range(1, network.num_servers):
-            network.charge(0, server, sketch.seed_word_count(), tag=f"{tag}:seeds")
-        states = self._stream_sketch_states(sketch, str(stream), tag)
-        for server in range(1, network.num_servers):
-            network.charge(server, 0, sketch.table_word_count(), tag=f"{tag}:tables")
-        return CountSketchState.merge_all(states)
+        with obs.span("protocol:sketch_state", stream=str(stream), tag=tag):
+            for server in range(1, network.num_servers):
+                network.charge(0, server, sketch.seed_word_count(), tag=f"{tag}:seeds")
+            states = self._stream_sketch_states(sketch, str(stream), tag)
+            for server in range(1, network.num_servers):
+                network.charge(server, 0, sketch.table_word_count(), tag=f"{tag}:tables")
+            return CountSketchState.merge_all(states)
 
     # ------------------------------------------------------------------ #
     # accounting and lifecycle

@@ -50,6 +50,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.backend.base import ExecutionBackend
 from repro.core.errors import WorkerProtocolError
 from repro.distributed.network import Network
@@ -64,6 +65,9 @@ from repro.runtime.state import (
 )
 from repro.runtime.supervisor import FATAL, WorkerSupervisor, classify_failure
 from repro.runtime.transport import LoopbackTransport, Transport
+from repro.utils.logging import get_logger
+
+logger = get_logger("backend.sharded")
 
 
 class ShardGroupTransport(Transport):
@@ -194,11 +198,15 @@ class ShardGroupTransport(Transport):
             return False
 
     def close(self) -> None:
-        for shard in self._shards:
+        for shard, transport in enumerate(self._shards):
             try:
-                shard.close()
-            except Exception:  # noqa: BLE001 - teardown must not mask
-                pass
+                transport.close()
+            except Exception as exc:  # noqa: BLE001 - teardown must not mask
+                logger.debug(
+                    "closing shard %d/%d of %s failed: %s: %s",
+                    shard + 1, len(self._shards), self._name or "worker",
+                    type(exc).__name__, exc,
+                )
 
     # ------------------------------------------------------------------ #
     # per-op merges (each returns the merged reply's op, meta, entries)
@@ -368,47 +376,64 @@ class ShardGroupTransport(Transport):
                 )
             if assignment.same_as(self._assignment):
                 return
-            meta = {"session": session}
-            checkpoint_frame = wire.encode_frame("checkpoint", meta)
-            snapshots = [
-                WorkerCheckpoint.from_payload(self._ask(shard, checkpoint_frame).entry(0))
-                for shard in range(len(self._shards))
-            ]
-            moves = []
-            for source, snapshot in enumerate(snapshots):
-                dest = assignment.shard_of(snapshot.indices)
-                keep = dest == source
-                if not bool(keep.all()):
-                    kept = WorkerCheckpoint(
-                        dimension=snapshot.dimension,
-                        indices=snapshot.indices[keep],
-                        values=snapshot.values[keep],
-                        session=snapshot.session,
-                        applied_update=snapshot.applied_update,
-                        stream_states={},
+            with obs.span(
+                "rebalance:migrate",
+                group=self._name or "worker",
+                shards=len(self._shards),
+                session=session,
+            ) as migrate_span:
+                meta = {"session": session}
+                checkpoint_frame = wire.encode_frame("checkpoint", meta)
+                snapshots = [
+                    WorkerCheckpoint.from_payload(
+                        self._ask(shard, checkpoint_frame).entry(0)
                     )
+                    for shard in range(len(self._shards))
+                ]
+                moves = []
+                for source, snapshot in enumerate(snapshots):
+                    dest = assignment.shard_of(snapshot.indices)
+                    keep = dest == source
+                    if not bool(keep.all()):
+                        kept = WorkerCheckpoint(
+                            dimension=snapshot.dimension,
+                            indices=snapshot.indices[keep],
+                            values=snapshot.values[keep],
+                            session=snapshot.session,
+                            applied_update=snapshot.applied_update,
+                            stream_states={},
+                        )
+                        self._ask(
+                            source,
+                            wire.encode_frame(
+                                "restore", meta, [(None, kept._as_payload())]
+                            ),
+                        )
+                    for target in range(len(self._shards)):
+                        if target == source:
+                            continue
+                        mask = dest == target
+                        if mask.any():
+                            moves.append(
+                                (target, snapshot.indices[mask], snapshot.values[mask])
+                            )
+                for target, moved_idx, moved_val in moves:
                     self._ask(
-                        source,
+                        target,
                         wire.encode_frame(
-                            "restore", meta, [(None, kept._as_payload())]
+                            "update", meta, [(None, (moved_idx, moved_val))]
                         ),
                     )
-                for target in range(len(self._shards)):
-                    if target == source:
-                        continue
-                    mask = dest == target
-                    if mask.any():
-                        moves.append(
-                            (target, snapshot.indices[mask], snapshot.values[mask])
-                        )
-            for target, moved_idx, moved_val in moves:
-                self._ask(
-                    target,
-                    wire.encode_frame(
-                        "update", meta, [(None, (moved_idx, moved_val))]
-                    ),
-                )
-            self._assignment = assignment
+                moved_entries = sum(len(moved_idx) for _, moved_idx, _ in moves)
+                migrate_span.set_attribute("moves", len(moves))
+                migrate_span.set_attribute("moved_entries", moved_entries)
+                telemetry = obs.active()
+                if telemetry is not None:
+                    telemetry.metrics.counter("rebalance.migrations").add(1)
+                    telemetry.metrics.counter("rebalance.moved_entries").add(
+                        moved_entries
+                    )
+                self._assignment = assignment
 
 
 class ShardedSession(CoordinatorService):
@@ -471,27 +496,35 @@ class ShardedSession(CoordinatorService):
         Pure control plane: no charged words, no recorded bytes -- a
         rebalanced run's ledger is byte-identical to an unmoved one.
         """
-        for worker in sorted(plan):
-            assignment = plan[worker]
-            if not 0 <= worker < len(self._transports):
-                raise ValueError(f"no worker {worker}")
-            while True:
+        with obs.span(
+            "rebalance:plan", workers=len(plan), session=self._session
+        ):
+            for worker in sorted(plan):
+                assignment = plan[worker]
+                if not 0 <= worker < len(self._transports):
+                    raise ValueError(f"no worker {worker}")
+                while True:
+                    if self._supervisor is not None:
+                        self._supervisor.checkpoint(worker)
+                    try:
+                        self._group(worker).rebalance(
+                            assignment, session=self._session
+                        )
+                        break
+                    except Exception as exc:  # noqa: BLE001 - classified below
+                        if self._supervisor is None or classify_failure(exc) == FATAL:
+                            raise
+                        # Roll back to the pre-migration snapshot (restore +
+                        # journal replay) and retry; recover_worker raises a
+                        # typed error once the restart budget is exhausted.
+                        telemetry = obs.active()
+                        if telemetry is not None:
+                            telemetry.metrics.counter("rebalance.rollbacks").add(1)
+                        self._supervisor.recover_worker(worker, cause=exc)
                 if self._supervisor is not None:
-                    self._supervisor.checkpoint(worker)
-                try:
-                    self._group(worker).rebalance(assignment, session=self._session)
-                    break
-                except Exception as exc:  # noqa: BLE001 - classified below
-                    if self._supervisor is None or classify_failure(exc) == FATAL:
-                        raise
-                    # Roll back to the pre-migration snapshot (restore +
-                    # journal replay) and retry; recover_worker raises a
-                    # typed error once the restart budget is exhausted.
-                    self._supervisor.recover_worker(worker, cause=exc)
+                    self._supervisor.replay_subsamples(worker)
             if self._supervisor is not None:
-                self._supervisor.replay_subsamples(worker)
-        if self._supervisor is not None:
-            self._supervisor.checkpoint_all()
+                self._supervisor.checkpoint_all()
 
 
 class ShardedBackend(ExecutionBackend):

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.backend.base import ExecutionBackend
 from repro.distributed.network import Network
 from repro.distributed.vector import LocalComponent
@@ -44,6 +45,9 @@ from repro.runtime.transport import (
     Transport,
     WorkerServer,
 )
+from repro.utils.logging import get_logger
+
+logger = get_logger("backend.transport")
 
 
 class HostedTransportSession(CoordinatorService):
@@ -68,8 +72,12 @@ class HostedTransportSession(CoordinatorService):
         if self._servers:
             try:
                 self.shutdown_workers()
-            except Exception:  # noqa: BLE001 - teardown must not mask the run
-                pass
+            except Exception as exc:  # noqa: BLE001 - must not mask the run
+                logger.debug(
+                    "shutdown broadcast of session %s failed (workers are "
+                    "stopped directly instead): %s: %s",
+                    self._session, type(exc).__name__, exc,
+                )
         super().close()
         for server in self._servers:
             server.stop()
@@ -166,6 +174,12 @@ class TransportBackend(ExecutionBackend):
             # worker is a fresh service over the *original* component (the
             # supervisor's restore overwrites it with the checkpoint anyway),
             # hosted exactly like the one it replaces.
+            with obs.span(
+                "backend:spawn_worker", worker=worker_index, transport=self._kind
+            ):
+                return spawn(worker_index)
+
+        def spawn(worker_index: int) -> Transport:
             idx, val = worker_components[worker_index]
             service = WorkerService(
                 idx,

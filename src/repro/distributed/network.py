@@ -15,6 +15,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro import obs
 from repro.distributed.message import Message, payload_word_count
 
 #: Number of bytes per machine word used when converting to bytes.
@@ -166,6 +167,14 @@ class Network:
             self._words_from_coordinator += message.words
         if self._keep_messages:
             self._messages.append(message)
+        telemetry = obs.active()
+        if telemetry is not None:
+            # Observation only: the ledger above is the source of truth and
+            # the telemetry counters mirror it (the obs tests assert the
+            # per-tag totals are *equal*, never that they feed back).
+            telemetry.metrics.counter("words.total").add(message.words)
+            if message.tag:
+                telemetry.metrics.counter(f"words.{message.tag}").add(message.words)
 
     def snapshot(self) -> CommunicationLog:
         """Return an immutable aggregate of the traffic so far."""
@@ -240,6 +249,14 @@ class TransportNetwork(Network):
                 self._data_bytes_by_tag[tag] += int(nbytes)
             self._overhead_bytes += int(overhead_bytes)
             self._frames += 1
+        telemetry = obs.active()
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            metrics.counter("wire.frames").add(1)
+            metrics.counter("wire.overhead_bytes").add(int(overhead_bytes))
+            for tag, nbytes in data_sections:
+                if tag:
+                    metrics.counter(f"wire.bytes.{tag}").add(int(nbytes))
 
     @property
     def data_bytes_by_tag(self) -> Dict[str, int]:

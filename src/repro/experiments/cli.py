@@ -140,8 +140,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="run Z-sampling as the coordinator against running workers",
     )
     submit.add_argument(
-        "--workers", nargs="+", required=True, metavar="HOST:PORT",
-        help="one host:port per worker, in server order (servers 1..s-1)",
+        "--workers", nargs="+", default=None, metavar="HOST:PORT",
+        help="one host:port per worker, in server order (servers 1..s-1); "
+        "required with --transport tcp, forbidden with --transport loopback",
+    )
+    submit.add_argument(
+        "--transport", default="tcp", choices=["tcp", "loopback"],
+        help="tcp connects to already-running 'serve' workers; loopback "
+        "self-hosts the workers in-process (same frames, ledger and audit, "
+        "zero sockets -- the CI smoke and trace-capture mode)",
+    )
+    submit.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome-trace-format JSON of the run's spans "
+        "(handshake, waves, per-worker requests, protocol phases) to PATH; "
+        "load it in chrome://tracing or Perfetto",
+    )
+    submit.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the run's metrics registry (counters, gauges, histogram "
+        "percentiles) to PATH after the run",
+    )
+    submit.add_argument(
+        "--metrics-format", default="json", choices=["json", "text"],
+        help="format of the --metrics dump (default: json)",
     )
     submit.add_argument("--draws", type=int, default=16, help="sample size")
     submit.add_argument(
@@ -283,24 +305,42 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_submit(args: argparse.Namespace) -> int:
-    import numpy as np
+def _open_submit_session(args: argparse.Namespace, components):
+    """Build the submit coordinator: remote TCP workers or self-hosted loopback.
 
-    from repro.distributed.network import Network
-    from repro.distributed.vector import DistributedVector
-    from repro.functions import make_function
+    Returns ``(coordinator, supervisor)``; the supervisor is None when
+    ``--max-worker-restarts`` is 0.
+    """
     from repro.runtime.service import CoordinatorService
     from repro.runtime.supervisor import WorkerSupervisor
     from repro.runtime.transport import RetryPolicy, TcpTransport
-    from repro.sketch.z_sampler import ZSampler
 
+    if args.transport == "loopback":
+        from repro.backend.transport import TransportBackend
+
+        if args.workers:
+            raise SystemExit(
+                "--transport loopback self-hosts its workers; drop --workers"
+            )
+        backend = TransportBackend(
+            "loopback",
+            concurrency=args.concurrency,
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            supervise=args.max_worker_restarts > 0,
+            checkpoint_every=max(1, args.checkpoint_every),
+            max_worker_restarts=args.max_worker_restarts,
+        )
+        session = backend.session(components, args.dimension)
+        return session, session._supervisor
+    if not args.workers:
+        raise SystemExit("--workers is required with --transport tcp")
     if len(args.workers) != args.num_servers - 1:
         raise SystemExit(
             f"need exactly {args.num_servers - 1} workers for "
             f"--num-servers {args.num_servers}, got {len(args.workers)}"
         )
-    components = _runtime_components(args)
-    weight_fn = make_function(args.function).sampling_weight
     policy = RetryPolicy(retries=max(0, args.retries), backoff=max(0.0, args.backoff))
     endpoints = []
     transports = []
@@ -331,12 +371,60 @@ def _run_submit(args: argparse.Namespace) -> int:
         transports, args.dimension, components[0], concurrency=args.concurrency,
         supervisor=supervisor,
     )
-    try:
-        draws = coordinator.sample(
-            weight_fn, args.draws, seed=args.sample_seed
+    return coordinator, supervisor
+
+
+def _export_telemetry(args: argparse.Namespace, telemetry) -> List[str]:
+    """Write the --trace / --metrics dumps, returning report lines."""
+    from repro import obs
+
+    lines: List[str] = []
+    if args.trace:
+        spans = telemetry.tracer.spans()
+        obs.export.write_chrome_trace(args.trace, spans)
+        lines.append(f"  trace: {len(spans)} spans written to {args.trace}")
+    if args.metrics:
+        obs.export.write_metrics(
+            args.metrics, telemetry.metrics, format=args.metrics_format
         )
-        log = coordinator.network.snapshot()
-        coordinator.verify_wire_accounting()
+        lines.append(
+            f"  metrics: registry written to {args.metrics} ({args.metrics_format})"
+        )
+    return lines
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro import obs
+    from repro.distributed.network import Network
+    from repro.distributed.vector import DistributedVector
+    from repro.functions import make_function
+    from repro.sketch.z_sampler import ZSampler
+
+    components = _runtime_components(args)
+    weight_fn = make_function(args.function).sampling_weight
+    # Telemetry brackets the protocol run only -- handshake through wire
+    # audit.  The --verify-local replay runs *after* disable(): its
+    # in-process rerun would otherwise double every words.* counter and
+    # break the counters-equal-ledger contract the exporters promise.
+    telemetry = obs.enable() if (args.trace or args.metrics) else None
+    try:
+        coordinator, supervisor = _open_submit_session(args, components)
+    except BaseException:
+        if telemetry is not None:
+            obs.disable()
+        raise
+    try:
+        try:
+            draws = coordinator.sample(
+                weight_fn, args.draws, seed=args.sample_seed
+            )
+            log = coordinator.network.snapshot()
+            coordinator.verify_wire_accounting()
+        finally:
+            if telemetry is not None:
+                obs.disable()
         lines = [
             f"drew {draws.indices.size} coordinates (Zhat={draws.estimate.z_total:.6g}) "
             f"[scatter concurrency {coordinator.concurrency}]",
@@ -357,6 +445,8 @@ def _run_submit(args: argparse.Namespace) -> int:
                 f"  supervision: recovered {supervisor.restarts} worker "
                 "restart(s) mid-run (results unaffected)"
             )
+        if telemetry is not None:
+            lines.extend(_export_telemetry(args, telemetry))
         if args.verify_local:
             network = Network(args.num_servers)
             vector = DistributedVector(components, args.dimension, network)

@@ -1,0 +1,135 @@
+"""``repro.obs`` -- zero-dependency telemetry: tracing, metrics, exporters.
+
+Disabled by default.  One module-global :class:`Telemetry` capture is
+either active or not; every instrumentation site in the runtime does a
+single ``obs.active()`` check (one function call returning ``None``) and
+falls through, so the hot loops are unperturbed when telemetry is off --
+the benchmark harness gates this no-op overhead.
+
+Instrumentation is strictly read-only with respect to the protocol: it
+never consumes RNG state and never writes the charged-word ledger, so
+results are bit-identical with tracing on or off (asserted by the
+backend-matrix telemetry tests).
+
+Typical use::
+
+    from repro import obs
+
+    with obs.capture() as telemetry:
+        session.sample(weight_fn, draws=16, seed=0)
+    obs.export.write_chrome_trace("trace.json", telemetry.tracer.spans())
+    percentiles = telemetry.metrics.histogram("wave.seconds.collect").summary()
+
+The CLI wires the same capture behind ``submit --trace/--metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from repro.obs import export
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "Telemetry",
+    "enable",
+    "disable",
+    "active",
+    "enabled",
+    "capture",
+    "span",
+    "export",
+]
+
+
+class Telemetry:
+    """One capture: a tracer plus a metrics registry with a shared lifetime."""
+
+    def __init__(self) -> None:
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+    def span(self, name: str, *, parent_id: Optional[int] = None, **attributes: Any):
+        return self.tracer.span(name, parent_id=parent_id, **attributes)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """In-process snapshot: metrics dump plus finished-span count.
+
+        This is the API the benchmark harness reads to record latency
+        percentiles next to its throughput entries.
+        """
+        return {"metrics": self.metrics.snapshot(), "spans": len(self.tracer)}
+
+
+class _NoopSpan:
+    """Shared do-nothing stand-in yielded by ``obs.span`` when disabled."""
+
+    __slots__ = ()
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
+    duration_ns = 0
+    duration_seconds = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+#: Single shared no-op context manager: the disabled path allocates nothing.
+_NOOP_SPAN = _NoopSpan()
+
+_lock = threading.Lock()
+_active: Optional[Telemetry] = None
+
+
+def enable() -> Telemetry:
+    """Activate a fresh global capture; error if one is already active."""
+    global _active
+    with _lock:
+        if _active is not None:
+            raise RuntimeError("telemetry capture already active; disable() it first")
+        _active = Telemetry()
+        return _active
+
+
+def disable() -> Optional[Telemetry]:
+    """Deactivate and return the capture (None if none was active)."""
+    global _active
+    with _lock:
+        telemetry, _active = _active, None
+        return telemetry
+
+
+def active() -> Optional[Telemetry]:
+    """The active capture, or None.  THE hot-path check: one call, one load."""
+    return _active
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+@contextmanager
+def capture() -> Iterator[Telemetry]:
+    """``with obs.capture() as telemetry:`` -- enable around a block."""
+    telemetry = enable()
+    try:
+        yield telemetry
+    finally:
+        disable()
+
+
+def span(name: str, *, parent_id: Optional[int] = None, **attributes: Any):
+    """Module-level span helper: real span when enabled, shared no-op if not."""
+    telemetry = _active
+    if telemetry is None:
+        return _NOOP_SPAN
+    return telemetry.tracer.span(name, parent_id=parent_id, **attributes)

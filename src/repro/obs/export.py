@@ -1,0 +1,228 @@
+"""Exporters: Chrome-trace JSON, metrics JSON/text, critical-path analysis.
+
+The trace exporter emits the Chrome Trace Event Format (complete ``"X"``
+events, microsecond timestamps) so a capture opens directly in
+``chrome://tracing`` / Perfetto.  Span ids, parent ids and per-span
+attributes travel in ``args`` -- the format round-trips: a trace written
+with :func:`write_chrome_trace` and re-read with
+:func:`spans_from_chrome_trace` reconstructs the span tree exactly,
+including the per-wave critical path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span
+
+__all__ = [
+    "SpanView",
+    "chrome_trace",
+    "write_chrome_trace",
+    "spans_from_chrome_trace",
+    "metrics_json",
+    "metrics_text",
+    "write_metrics",
+    "wave_critical_path",
+]
+
+#: ``args`` keys the exporter owns; everything else in ``args`` is a
+#: user-supplied span attribute.
+_RESERVED_ARGS = ("span_id", "parent_id")
+
+
+class SpanView:
+    """Read-only span reconstructed from an exported trace.
+
+    Duck-types the subset of :class:`~repro.obs.trace.Span` that the
+    analysis helpers need (name/ids/duration/attributes), so
+    :func:`wave_critical_path` accepts live spans and re-loaded traces
+    interchangeably.
+    """
+
+    __slots__ = ("name", "category", "span_id", "parent_id", "start_ns", "end_ns", "attributes")
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start_ns: int,
+        end_ns: int,
+        attributes: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.attributes = attributes
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_ns / 1e9
+
+
+AnySpan = Union[Span, SpanView]
+
+
+def chrome_trace(spans: Sequence[AnySpan], *, process_name: str = "repro") -> Dict[str, Any]:
+    """Render finished spans as a Chrome Trace Event Format document."""
+    pid = os.getpid()
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        if span.end_ns is None:  # skip spans still open at export time
+            continue
+        args = {"span_id": span.span_id, "parent_id": span.parent_id}
+        args.update(span.attributes)
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.category,
+                "pid": pid,
+                "tid": getattr(span, "thread_id", 0),
+                "ts": span.start_ns / 1000.0,
+                "dur": (span.end_ns - span.start_ns) / 1000.0,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str, spans: Sequence[AnySpan], *, process_name: str = "repro"
+) -> str:
+    """Write the Chrome-trace JSON for ``spans`` to ``path``; returns path."""
+    document = chrome_trace(spans, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def spans_from_chrome_trace(document: Union[str, Dict[str, Any]]) -> List[SpanView]:
+    """Reconstruct :class:`SpanView` objects from an exported trace.
+
+    Accepts the parsed document or its JSON text.  Only complete (``"X"``)
+    events written by :func:`chrome_trace` are considered; metadata events
+    are skipped.
+    """
+    if isinstance(document, str):
+        document = json.loads(document)
+    views: List[SpanView] = []
+    for event in document.get("traceEvents", ()):
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args", {}))
+        span_id = args.pop("span_id", None)
+        parent_id = args.pop("parent_id", None)
+        if span_id is None:
+            continue
+        start_ns = int(round(event["ts"] * 1000.0))
+        views.append(
+            SpanView(
+                event["name"],
+                event.get("cat", "repro"),
+                int(span_id),
+                int(parent_id) if parent_id is not None else None,
+                start_ns,
+                start_ns + int(round(event["dur"] * 1000.0)),
+                args,
+            )
+        )
+    return views
+
+
+def metrics_json(registry: MetricsRegistry) -> Dict[str, Dict]:
+    """JSON-compatible metrics dump (same shape as ``registry.snapshot()``)."""
+    return registry.snapshot()
+
+
+def metrics_text(registry: MetricsRegistry) -> str:
+    """Flat ``name value`` text rendering (exposition-style, one per line)."""
+    snapshot = registry.snapshot()
+    lines: List[str] = []
+    for name, value in snapshot["counters"].items():
+        lines.append(f"{name} {value}")
+    for name, value in snapshot["gauges"].items():
+        lines.append(f"{name} {value}")
+    for name, summary in snapshot["histograms"].items():
+        for stat in ("count", "sum", "min", "max", "mean", "p50", "p95", "p99"):
+            value = summary[stat]
+            if value is not None:
+                lines.append(f"{name}.{stat} {value}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(path: str, registry: MetricsRegistry, *, format: str = "json") -> str:
+    """Write a metrics dump to ``path`` as ``json`` or ``text``."""
+    if format == "json":
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(metrics_json(registry), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    elif format == "text":
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(metrics_text(registry))
+    else:
+        raise ValueError(f"unknown metrics format {format!r} (expected 'json' or 'text')")
+    return path
+
+
+def wave_critical_path(spans: Iterable[AnySpan]) -> List[Dict[str, Any]]:
+    """Reconstruct the per-wave critical path from a span set.
+
+    For every ``wave:<op>`` span, find its child ``worker:request`` spans
+    (linked by ``parent_id``) and report which worker's round-trip bounded
+    the wave.  Works on live :class:`Span` objects and on
+    :class:`SpanView` objects re-loaded from an exported trace.
+    """
+    spans = [span for span in spans if getattr(span, "end_ns", None) is not None]
+    children: Dict[int, List[AnySpan]] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+    waves: List[Dict[str, Any]] = []
+    for span in spans:
+        if not span.name.startswith("wave:"):
+            continue
+        requests = [
+            child
+            for child in children.get(span.span_id, ())
+            if child.name == "worker:request"
+        ]
+        critical = max(requests, key=lambda r: r.duration_ns, default=None)
+        waves.append(
+            {
+                "op": span.name[len("wave:"):],
+                "span_id": span.span_id,
+                "start_ns": span.start_ns,
+                "wave_seconds": span.duration_seconds,
+                "workers": len(requests),
+                "critical_worker": (
+                    critical.attributes.get("worker") if critical is not None else None
+                ),
+                "critical_seconds": (
+                    critical.duration_seconds if critical is not None else None
+                ),
+            }
+        )
+    waves.sort(key=lambda wave: wave["start_ns"])
+    return waves

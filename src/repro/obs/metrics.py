@@ -1,0 +1,195 @@
+"""Counters, gauges and histograms with p50/p95/p99 snapshots.
+
+The registry is a flat namespace of dotted metric names
+(``words.<tag>``, ``wave.seconds.<op>``, ``supervisor.restarts`` ...).
+Instruments are created on first touch and accumulate until the owning
+:class:`~repro.obs.Telemetry` capture ends; ``snapshot()`` renders
+everything to plain JSON-compatible dicts for the exporters and the
+benchmark harness.
+
+All instruments are thread-safe (the scatter pool and supervisor monitor
+observe concurrently).  Histograms keep the most recent
+``max_samples`` raw observations in a ring buffer -- percentiles are
+exact over that window while ``count``/``sum``/``min``/``max`` cover the
+full lifetime -- so an always-on capture cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing integer/float total."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: Union[int, float] = 0
+
+    def add(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Union[int, float]:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> Union[int, float]:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Distribution with exact percentiles over a bounded recent window."""
+
+    __slots__ = ("name", "_lock", "_window", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, max_samples: int = 65536) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._window: Deque[float] = deque(maxlen=max_samples)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._window.append(value)
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Exact q-th percentile (0..100) of the retained window."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            values = sorted(self._window)
+        if not values:
+            return None
+        # Nearest-rank on the sorted window: deterministic, no interpolation.
+        rank = max(0, min(len(values) - 1, round(q / 100.0 * (len(values) - 1))))
+        return values[rank]
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        with self._lock:
+            count, total = self._count, self._sum
+            low, high = self._min, self._max
+        return {
+            "count": count,
+            "sum": total,
+            "min": low,
+            "max": high,
+            "mean": (total / count) if count else None,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Name -> instrument map; instruments are created on first touch."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, kind: str) -> None:
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}, "
+                    f"cannot re-register as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                self._check_free(name, "counter")
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                self._check_free(name, "gauge")
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                self._check_free(name, "histogram")
+                instrument = self._histograms[name] = Histogram(name)
+            return instrument
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, Union[int, float]]:
+        """``{suffix: value}`` for every counter named ``<prefix><suffix>``.
+
+        The cross-check of per-tag charged-word metrics against the session
+        ledger reads ``counters_with_prefix("words.")``.
+        """
+        with self._lock:
+            items: List[Tuple[str, Counter]] = [
+                (name, counter)
+                for name, counter in self._counters.items()
+                if name.startswith(prefix)
+            ]
+        return {name[len(prefix):]: counter.value for name, counter in items}
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-compatible dump of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {name: h.summary() for name, h in sorted(histograms.items())},
+        }

@@ -1,0 +1,183 @@
+"""Span-based tracer: monotonic clocks, parent/child nesting, attributes.
+
+A :class:`Span` is one timed region of the protocol (a scatter wave, a
+worker round-trip, a supervisor recovery).  Spans nest: each thread keeps
+an implicit stack, so ``tracer.span("wave:sketch")`` opened inside
+``tracer.span("protocol:sample")`` records the sample span as its parent
+automatically.  Work that hops threads (the scatter pool) passes
+``parent_id`` explicitly instead -- thread-local stacks never leak across
+threads.
+
+Clocks are ``time.monotonic_ns()`` throughout: wall-clock adjustments can
+never produce negative durations, and the Chrome-trace exporter only needs
+deltas.  The tracer records; it never touches RNG state or the charged-word
+ledger, so tracing on/off cannot perturb protocol results.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One finished (or in-flight) timed region.
+
+    Attributes are plain JSON-compatible values supplied at ``span()``
+    call sites (worker index, op name, attempt number, ...).
+    """
+
+    __slots__ = (
+        "name",
+        "category",
+        "span_id",
+        "parent_id",
+        "start_ns",
+        "end_ns",
+        "thread_id",
+        "attributes",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start_ns: int,
+        thread_id: int,
+        attributes: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ns = start_ns
+        self.end_ns: Optional[int] = None
+        self.thread_id = thread_id
+        self.attributes = attributes
+
+    @property
+    def duration_ns(self) -> int:
+        """Span length in nanoseconds (0 while still open)."""
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_ns / 1e9
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach or overwrite one attribute on an open or closed span."""
+        self.attributes[key] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"dur={self.duration_ns}ns, attrs={self.attributes!r})"
+        )
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.end_ns = time.monotonic_ns()
+        if exc_type is not None:
+            span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop_and_record(span)
+        return False
+
+
+class Tracer:
+    """Collects finished spans; thread-safe; unbounded within one capture.
+
+    The tracer allocates monotonically increasing span ids and keeps a
+    per-thread stack so nested ``span()`` calls pick up their parent
+    implicitly.  ``current_id()`` exposes the innermost open span's id for
+    call sites that fan work out to other threads and must propagate the
+    parent explicitly.
+    """
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        self._local = threading.local()
+
+    # -- recording ---------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        *,
+        category: str = "repro",
+        parent_id: Optional[int] = None,
+        **attributes: Any,
+    ) -> _SpanContext:
+        """Open a span as a context manager; yields the :class:`Span`.
+
+        ``parent_id=None`` nests under the current thread's innermost open
+        span (if any); pass an explicit id when crossing threads.
+        """
+        if parent_id is None:
+            parent_id = self.current_id()
+        span = Span(
+            name,
+            category,
+            next(self._ids),
+            parent_id,
+            time.monotonic_ns(),
+            threading.get_ident(),
+            dict(attributes),
+        )
+        return _SpanContext(self, span)
+
+    def current_id(self) -> Optional[int]:
+        """Id of this thread's innermost open span, or None at top level."""
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            return stack[-1].span_id
+        return None
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop_and_record(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # pragma: no cover - defensive
+            stack.remove(span)
+        with self._lock:
+            self._finished.append(span)
+
+    # -- inspection --------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """Snapshot (copy) of the finished spans, in completion order."""
+        with self._lock:
+            return list(self._finished)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.backend.base import ExecutionSession
 from repro.backend.streaming import StreamingSketchState
 from repro.core.errors import DimensionMismatchError, WorkerProtocolError
@@ -90,6 +91,58 @@ def _rpc(
     """One accounted request/reply round-trip with a worker."""
     frame, sections, overhead = wire.encode_frame_with_stats(op, meta, entries)
     return _rpc_encoded(network, transport, op, frame, sections, overhead, worker)
+
+
+class _TracedWorkerRequest(Transport):
+    """Spans one worker's round-trip inside a traced scatter wave.
+
+    Wrapping happens per wave attempt (never stored), so recovery's
+    in-place transport swaps are always picked up by the next attempt.
+    The explicit ``parent_id`` carries the wave span across the scatter
+    pool's threads, where thread-local nesting cannot.
+    """
+
+    __slots__ = ("_inner", "_telemetry", "_worker", "_op", "_parent_id")
+
+    def __init__(self, inner, telemetry, worker, op, parent_id):
+        self._inner = inner
+        self._telemetry = telemetry
+        self._worker = worker
+        self._op = op
+        self._parent_id = parent_id
+
+    def request(self, frame: bytes) -> bytes:
+        self._telemetry.metrics.counter(f"worker.frames.{self._worker}").add(1)
+        with self._telemetry.tracer.span(
+            "worker:request",
+            parent_id=self._parent_id,
+            worker=self._worker,
+            op=self._op,
+        ):
+            return self._inner.request(frame)
+
+
+def _scatter_wave(
+    transports: Sequence[Transport],
+    op: str,
+    frames: Sequence[bytes],
+    pool: Optional[ThreadPoolExecutor],
+    attempt: int,
+) -> List[bytes]:
+    """One (possibly traced) scatter wave over every worker transport."""
+    telemetry = obs.active()
+    if telemetry is None:
+        return scatter_requests(transports, frames, pool=pool)
+    with telemetry.tracer.span(
+        f"wave:{op}", op=op, workers=len(transports), attempt=attempt
+    ) as wave:
+        traced = [
+            _TracedWorkerRequest(transport, telemetry, worker, op, wave.span_id)
+            for worker, transport in enumerate(transports)
+        ]
+        replies = scatter_requests(traced, frames, pool=pool)
+    telemetry.metrics.histogram(f"wave.seconds.{op}").observe(wave.duration_seconds)
+    return replies
 
 
 def _rpc_scatter(
@@ -151,7 +204,7 @@ def _rpc_scatter_each(
     attempts = 0
     while True:
         try:
-            raw_replies = scatter_requests(transports, frames, pool=pool)
+            raw_replies = _scatter_wave(transports, op, frames, pool, attempts)
             break
         except Exception as exc:  # noqa: BLE001 - classified by the supervisor
             attempts += 1
@@ -159,6 +212,9 @@ def _rpc_scatter_each(
                 exc, op=op, attempt=attempts
             ):
                 raise
+            telemetry = obs.active()
+            if telemetry is not None:
+                telemetry.metrics.counter("wave.retries").add(1)
     replies: List[wire.DecodedFrame] = []
     for worker, raw in enumerate(raw_replies):
         reply = wire.decode_frame(raw)
@@ -304,6 +360,12 @@ class WorkerService:
                 # used" just because it stopped *writing* new tokens.
                 self._subsample_g.move_to_end(session)
                 g = cache.get(token)
+        telemetry = obs.active()
+        if telemetry is not None:
+            hit = g is not None and g.shape == idx.shape
+            telemetry.metrics.counter(
+                "worker.subsample.hits" if hit else "worker.subsample.misses"
+            ).add(1)
         if g is None or g.shape != idx.shape:
             # A missing token, or one cached against a component that a
             # streaming update has since replaced (updates clear the caches,
@@ -337,16 +399,21 @@ class WorkerService:
         session = str(meta.get("session", ""))
         idx = self._component[0]
         values = subsample(idx) if idx.size else np.zeros(0, dtype=np.int64)
+        telemetry = obs.active()
         with self._subsample_lock:
             cache = self._subsample_g.get(session)
             if cache is None:
                 while len(self._subsample_g) >= self._max_sessions:
                     self._subsample_g.popitem(last=False)
+                    if telemetry is not None:
+                        telemetry.metrics.counter("worker.sessions.evictions").add(1)
                 cache = self._subsample_g.setdefault(session, {})
             else:
                 self._subsample_g.move_to_end(session)
             if len(cache) >= self._max_subsample_caches:
                 cache.pop(next(iter(cache)))
+                if telemetry is not None:
+                    telemetry.metrics.counter("worker.subsample.evictions").add(1)
             cache[token] = values
         return wire.encode_frame("ack", {"cached": int(idx.size)})
 
@@ -440,6 +507,9 @@ class WorkerService:
                             "re-sent with different contents; the stream has "
                             "diverged from the applied batch"
                         )
+                    telemetry = obs.active()
+                    if telemetry is not None:
+                        telemetry.metrics.counter("worker.update.deduped").add(1)
                     return wire.encode_frame(
                         "ack",
                         {"support": int(self._component[0].size), "applied": False},
@@ -489,17 +559,24 @@ class WorkerService:
             int(meta["width"]),
         )
         key = (str(meta.get("session", "")), str(meta["stream"]))
+        telemetry = obs.active()
         with self._stream_lock:
             state = self._stream_states.get(key)
             if state is not None and state.matches(sketch):
                 self._stream_states.move_to_end(key)
+                if telemetry is not None:
+                    telemetry.metrics.counter("worker.stream.hits").add(1)
             else:
                 if key not in self._stream_states:
                     while len(self._stream_states) >= self._max_stream_states:
                         self._stream_states.popitem(last=False)
+                        if telemetry is not None:
+                            telemetry.metrics.counter("worker.stream.evictions").add(1)
                 state = StreamingSketchState(sketch, *self._component[:2])
                 self._stream_states[key] = state
                 self._stream_states.move_to_end(key)
+                if telemetry is not None:
+                    telemetry.metrics.counter("worker.stream.misses").add(1)
             table = state.state.table
         return wire.encode_frame("state", {}, [(meta["tables_tag"], table)])
 
@@ -935,18 +1012,19 @@ class CoordinatorService(ExecutionSession):
             else None
         )
         if handshake:
-            frame, sections, overhead = wire.encode_frame_with_stats("hello")
-            replies = _rpc_scatter(
-                self._network, self._transports, "hello",
-                frame, sections, overhead, pool=self._pool,
-            )
-            for worker, reply in enumerate(replies):
-                remote_dimension = int(reply.meta.get("dimension", -1))
-                if remote_dimension != self._dimension:
-                    raise DimensionMismatchError(
-                        f"worker {worker + 1} serves dimension {remote_dimension}, "
-                        f"coordinator expects {self._dimension}"
-                    )
+            with obs.span("handshake", workers=workers, session=self._session):
+                frame, sections, overhead = wire.encode_frame_with_stats("hello")
+                replies = _rpc_scatter(
+                    self._network, self._transports, "hello",
+                    frame, sections, overhead, pool=self._pool,
+                )
+                for worker, reply in enumerate(replies):
+                    remote_dimension = int(reply.meta.get("dimension", -1))
+                    if remote_dimension != self._dimension:
+                        raise DimensionMismatchError(
+                            f"worker {worker + 1} serves dimension {remote_dimension}, "
+                            f"coordinator expects {self._dimension}"
+                        )
         if self._supervisor is not None:
             self._supervisor.attach(self)
 
@@ -1020,6 +1098,10 @@ class CoordinatorService(ExecutionSession):
         """
         cleaned = check_delta_components(deltas, self.num_servers, self._dimension)
         seq = self._delta_seq + 1
+        with obs.span("protocol:apply_deltas", seq=seq, session=self._session):
+            self._apply_deltas_inner(cleaned, seq, tag)
+
+    def _apply_deltas_inner(self, cleaned, seq: int, tag: str) -> None:
         if self._transports:
             encoded = [
                 wire.encode_frame_with_stats(

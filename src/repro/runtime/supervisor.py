@@ -48,6 +48,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.errors import (
     RecoveryError,
     WireFormatError,
@@ -58,6 +59,9 @@ from repro.core.errors import (
 from repro.runtime import wire
 from repro.runtime.state import WorkerCheckpoint, checkpoint_from_payload
 from repro.runtime.transport import RetryPolicy, Transport
+from repro.utils.logging import get_logger
+
+logger = get_logger("runtime.supervisor")
 
 #: :func:`classify_failure` verdicts.
 TRANSIENT = "transient"
@@ -326,18 +330,25 @@ class WorkerSupervisor:
         probes are recorded as control overhead; outcomes update
         :meth:`health` and are returned as ``{worker_index: healthy}``.
         """
+        transports = self._transports()  # raises when unattached, before tracing
         results: Dict[int, bool] = {}
-        for worker, transport in enumerate(self._transports()):
-            try:
-                self._control(
-                    transport, worker, "ping",
-                    {"session": self._session_id()}, record=True,
-                )
-                healthy = True
-            except Exception:  # noqa: BLE001 - any failure means unhealthy
-                healthy = False
-            self._mark(worker, healthy)
-            results[worker] = healthy
+        telemetry = obs.active()
+        with obs.span("supervisor:heartbeat", session=self._session_id()):
+            for worker, transport in enumerate(transports):
+                try:
+                    self._control(
+                        transport, worker, "ping",
+                        {"session": self._session_id()}, record=True,
+                    )
+                    healthy = True
+                except Exception:  # noqa: BLE001 - any failure means unhealthy
+                    healthy = False
+                self._mark(worker, healthy)
+                results[worker] = healthy
+                if telemetry is not None:
+                    telemetry.metrics.counter("supervisor.heartbeats").add(1)
+                    if not healthy:
+                        telemetry.metrics.counter("supervisor.probe_failures").add(1)
         return results
 
     def _monitor_loop(self) -> None:
@@ -351,7 +362,12 @@ class WorkerSupervisor:
                     return
                 try:
                     probe = self._probe_factory(worker)
-                except Exception:  # noqa: BLE001 - cannot even build a probe
+                except Exception as exc:  # noqa: BLE001 - cannot even build a probe
+                    logger.warning(
+                        "heartbeat probe construction for worker %d "
+                        "(session %s) failed: %s: %s",
+                        worker, self._session_id(), type(exc).__name__, exc,
+                    )
                     self._mark(worker, False)
                     continue
                 try:
@@ -359,8 +375,13 @@ class WorkerSupervisor:
                 finally:
                     try:
                         probe.close()
-                    except Exception:  # noqa: BLE001 - teardown must not kill
-                        pass  # the monitor thread; the probe's verdict stands
+                    except Exception as exc:  # noqa: BLE001 - teardown must not
+                        # kill the monitor thread; the probe's verdict stands.
+                        logger.debug(
+                            "heartbeat probe teardown for worker %d "
+                            "(session %s) failed: %s: %s",
+                            worker, self._session_id(), type(exc).__name__, exc,
+                        )
                 self._mark(worker, healthy)
 
     # ------------------------------------------------------------------ #
@@ -375,20 +396,24 @@ class WorkerSupervisor:
         """
         transport = self._transports()[worker]
         meta = {"session": self._session_id()}
-        try:
-            reply = self._control(
-                transport, worker, "checkpoint", meta, record=True
-            )
-        except Exception as exc:  # noqa: BLE001 - classified below
-            if classify_failure(exc) == FATAL:
-                raise
-            self.recover_worker(worker, cause=exc)
-            # The retried frame is part of the run's control plane exactly
-            # like the first attempt would have been: record it, or a
-            # recovered run books less overhead than an uninterrupted one.
-            reply = self._control(
-                self._transports()[worker], worker, "checkpoint", meta, record=True
-            )
+        with obs.span("supervisor:checkpoint", worker=worker, session=self._session_id()):
+            try:
+                reply = self._control(
+                    transport, worker, "checkpoint", meta, record=True
+                )
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if classify_failure(exc) == FATAL:
+                    raise
+                self.recover_worker(worker, cause=exc)
+                # The retried frame is part of the run's control plane exactly
+                # like the first attempt would have been: record it, or a
+                # recovered run books less overhead than an uninterrupted one.
+                reply = self._control(
+                    self._transports()[worker], worker, "checkpoint", meta, record=True
+                )
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.metrics.counter("supervisor.checkpoints").add(1)
         checkpoint = checkpoint_from_payload(reply.entry(0))
         with self._lock:
             self._checkpoints[worker] = checkpoint
@@ -471,13 +496,20 @@ class WorkerSupervisor:
                 f"wave {op!r} still failing after {attempt - 1} recovery "
                 f"attempt(s): {type(exc).__name__}: {exc}"
             ) from exc
-        ping = self._ping_frame()
-        for worker, transport in enumerate(list(self._transports())):
-            if transport.probe(ping):
-                self._mark(worker, True)
-                continue
-            self._mark(worker, False)
-            self.recover_worker(worker, cause=exc)
+        with obs.span(
+            "supervisor:recovery",
+            op=op,
+            attempt=attempt,
+            cause=type(exc).__name__,
+            session=self._session_id(),
+        ):
+            ping = self._ping_frame()
+            for worker, transport in enumerate(list(self._transports())):
+                if transport.probe(ping):
+                    self._mark(worker, True)
+                    continue
+                self._mark(worker, False)
+                self.recover_worker(worker, cause=exc)
         return True
 
     def recover_worker(
@@ -495,6 +527,26 @@ class WorkerSupervisor:
         coordinator = self._coordinator
         if coordinator is None:
             raise RuntimeError("supervisor is not attached to a session")
+        logger.info(
+            "recovering worker %d of session %s (cause: %s)",
+            worker, self._session_id(),
+            type(cause).__name__ if cause is not None else "requested",
+        )
+        with obs.span(
+            "supervisor:recover_worker",
+            worker=worker,
+            session=self._session_id(),
+            cause=type(cause).__name__ if cause is not None else None,
+        ):
+            self._recover_worker_inner(coordinator, worker, cause)
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.metrics.counter("supervisor.restarts").add(1)
+            telemetry.metrics.counter(f"supervisor.restarts.{worker}").add(1)
+
+    def _recover_worker_inner(
+        self, coordinator, worker: int, cause: Optional[BaseException]
+    ) -> None:
         with self._lock:
             health = self._health.setdefault(worker, WorkerHealth(worker))
             if self._respawner is None:
@@ -536,8 +588,13 @@ class WorkerSupervisor:
         except Exception as exc:  # noqa: BLE001 - typed below
             try:
                 transport.close()
-            except Exception:  # noqa: BLE001 - teardown must not mask
-                pass
+            except Exception as teardown_exc:  # noqa: BLE001 - must not mask
+                logger.debug(
+                    "closing the replacement transport of worker %d "
+                    "(session %s) failed: %s: %s",
+                    worker, self._session_id(),
+                    type(teardown_exc).__name__, teardown_exc,
+                )
             with self._lock:
                 self._lost.add(worker)
             raise RecoveryError(
@@ -548,8 +605,13 @@ class WorkerSupervisor:
         coordinator._transports[worker] = transport
         try:
             old.close()
-        except Exception:  # noqa: BLE001 - the old transport is dead anyway
-            pass
+        except Exception as teardown_exc:  # noqa: BLE001 - dead anyway
+            logger.debug(
+                "closing the dead transport of worker %d (session %s) "
+                "failed: %s: %s",
+                worker, self._session_id(),
+                type(teardown_exc).__name__, teardown_exc,
+            )
         with self._lock:
             self._lost.discard(worker)
         self._mark(worker, True)

@@ -52,8 +52,12 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.core.errors import WireFormatError, WorkerProtocolError, WorkerTimeoutError
 from repro.runtime import wire
+from repro.utils.logging import get_logger
+
+logger = get_logger("runtime.transport")
 
 #: Upper bound on one frame; guards against garbage length prefixes.
 MAX_FRAME_BYTES = 1 << 31
@@ -255,10 +259,18 @@ def scatter_requests(
             transport.request(frame)
             for transport, frame in zip(transports, frame_list)
         ]
+    telemetry = obs.active()
+    fanout_start = time.monotonic_ns() if telemetry is not None else 0
     futures = [
         pool.submit(transport.request, frame)
         for transport, frame in zip(transports, frame_list)
     ]
+    if telemetry is not None:
+        # Queue/fan-out time: how long it took to get every worker's
+        # round-trip submitted to the pool (the wave's serial prefix).
+        telemetry.metrics.histogram("scatter.fanout_seconds").observe(
+            (time.monotonic_ns() - fanout_start) / 1e9
+        )
     try:
         return [future.result() for future in futures]
     finally:
@@ -402,8 +414,15 @@ class TcpTransport(Transport):
             reader_task.cancel()
             try:
                 await reader_task
-            except (asyncio.CancelledError, Exception):
-                pass
+            except asyncio.CancelledError:
+                pass  # normal teardown: the reader was cancelled mid-await
+            except Exception as exc:  # noqa: BLE001 - cleanup must not mask
+                # The reader's failure already reached every pending future;
+                # this is only its re-raise during cancellation.
+                logger.debug(
+                    "reader task cleanup on %s:%s raised %s: %s",
+                    self._host, self._port, type(exc).__name__, exc,
+                )
             for future in futures.values():
                 if future.done() and not future.cancelled():
                     future.exception()  # mark retrieved
@@ -446,6 +465,9 @@ class TcpTransport(Transport):
                 # immediately -- never retried implicitly.  (Must precede
                 # the OSError branch: TimeoutError subclasses OSError.)
                 self._close_connection()
+                telemetry = obs.active()
+                if telemetry is not None:
+                    telemetry.metrics.counter("transport.timeouts").add(1)
                 raise
             except (
                 ConnectionError,
@@ -456,6 +478,9 @@ class TcpTransport(Transport):
                 # reconnect-and-resend if attempts remain (idempotent ops).
                 self._close_connection()
                 last_error = exc
+                telemetry = obs.active()
+                if telemetry is not None:
+                    telemetry.metrics.counter("transport.reconnects").add(1)
             except Exception:
                 # Typed failures (protocol, wire format) poison the
                 # connection and surface immediately -- no implicit retry.
@@ -542,10 +567,14 @@ class WorkerServer:
             except WireFormatError:
                 pass  # non-frame traffic (tests, garbage): echo the reply as-is
             prefixed = _prefix(reply) + reply
-        except Exception:
+        except Exception as exc:  # noqa: BLE001 - must not kill the server
             # A handler that raises (instead of answering with a typed error
             # frame) kills only its own connection; the client surfaces a
             # typed connection error instead of waiting out its timeout.
+            logger.warning(
+                "worker handler failed for peer %s, dropping its connection: %s: %s",
+                writer.get_extra_info("peername"), type(exc).__name__, exc,
+            )
             writer.close()
             return
         async with write_lock:
@@ -576,8 +605,18 @@ class WorkerServer:
                 )
                 pending.add(task)
                 task.add_done_callback(pending.discard)
-        except (asyncio.IncompleteReadError, ConnectionResetError, WireFormatError):
-            pass  # peer went away or spoke garbage; drop the connection
+        except (asyncio.IncompleteReadError, ConnectionResetError, WireFormatError) as exc:
+            # Peer went away or spoke garbage; drop the connection.  An
+            # IncompleteReadError with no partial bytes is a clean client
+            # disconnect -- routine, not worth a log line.
+            clean_eof = (
+                isinstance(exc, asyncio.IncompleteReadError) and not exc.partial
+            )
+            if not clean_eof:
+                logger.debug(
+                    "connection from peer %s dropped: %s: %s",
+                    writer.get_extra_info("peername"), type(exc).__name__, exc,
+                )
         except asyncio.CancelledError:
             pass  # server teardown while this connection was mid-read
         finally:

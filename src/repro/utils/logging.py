@@ -27,11 +27,18 @@ def get_logger(name: str) -> logging.Logger:
 def configure_logging(level: int = logging.INFO) -> None:
     """Attach a basic stream handler to the library root logger.
 
-    Safe to call multiple times; subsequent calls only adjust the level.
+    Safe to call multiple times; subsequent calls adjust the level of the
+    root logger *and* of every previously attached handler, so lowering the
+    level after an initial ``configure_logging(logging.WARNING)`` actually
+    lets the more verbose records through.
     """
     root = logging.getLogger(_PREFIX)
     root.setLevel(level)
     if not root.handlers:
         handler = logging.StreamHandler()
         handler.setFormatter(logging.Formatter(_DEFAULT_FORMAT))
+        handler.setLevel(level)
         root.addHandler(handler)
+    else:
+        for handler in root.handlers:
+            handler.setLevel(level)

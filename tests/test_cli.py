@@ -134,6 +134,78 @@ class TestRuntimeCommands:
         with pytest.raises(SystemExit):
             main(["submit", "--workers", "h:1", "--num-servers", "4"])
 
+    def test_telemetry_flags_parse(self):
+        args = build_parser().parse_args(
+            ["submit", "--transport", "loopback",
+             "--trace", "t.json", "--metrics", "m.txt",
+             "--metrics-format", "text"]
+        )
+        assert args.transport == "loopback"
+        assert args.trace == "t.json"
+        assert args.metrics == "m.txt"
+        assert args.metrics_format == "text"
+        # Defaults: tcp transport, no telemetry exports.
+        default = build_parser().parse_args(["submit", "--workers", "h:1"])
+        assert default.transport == "tcp"
+        assert default.trace is None and default.metrics is None
+
+    def test_tcp_submit_requires_workers(self):
+        with pytest.raises(SystemExit, match="--workers is required"):
+            main(["submit"])
+
+    def test_loopback_submit_rejects_workers(self):
+        with pytest.raises(SystemExit, match="self-hosts its workers"):
+            main(["submit", "--transport", "loopback", "--workers", "h:1"])
+
+    def test_loopback_submit_with_trace_and_metrics(self, capsys, tmp_path):
+        """Self-hosted loopback submit: verified against the simulation,
+        trace and metrics exported, per-tag word counters == the ledger."""
+        import json
+
+        from repro.obs.export import spans_from_chrome_trace, wave_critical_path
+
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            ["submit", "--transport", "loopback", "--verify-local",
+             "--num-servers", "3", "--dimension", "3000", "--support", "300",
+             "--draws", "6",
+             "--trace", str(trace_path), "--metrics", str(metrics_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bit-identical draws" in out
+        assert "trace:" in out and "metrics:" in out
+
+        spans = spans_from_chrome_trace(trace_path.read_text())
+        assert any(span.name == "handshake" for span in spans)
+        waves = wave_critical_path(spans)
+        assert waves and all(wave["workers"] <= 2 for wave in waves)
+
+        metrics = json.loads(metrics_path.read_text())
+        words = {
+            name[len("words."):]: value
+            for name, value in metrics["counters"].items()
+            if name.startswith("words.") and name != "words.total"
+        }
+        # The printed per-tag ledger lines and the exported counters agree.
+        for tag, count in words.items():
+            assert f"{tag}: {count} words" in out
+        assert metrics["counters"]["words.total"] == sum(words.values())
+
+    def test_loopback_submit_metrics_text_format(self, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.txt"
+        code = main(
+            ["submit", "--transport", "loopback",
+             "--num-servers", "3", "--dimension", "2000", "--support", "200",
+             "--draws", "4",
+             "--metrics", str(metrics_path), "--metrics-format", "text"]
+        )
+        capsys.readouterr()
+        assert code == 0
+        text = metrics_path.read_text()
+        assert any(line.startswith("words.total ") for line in text.splitlines())
+
     @pytest.mark.tcp
     def test_submit_against_tcp_workers(self, capsys):
         from repro.experiments.workloads import runtime_vector_components

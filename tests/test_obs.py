@@ -1,0 +1,423 @@
+"""The telemetry subsystem: tracer, metrics, exporters, no-interference.
+
+Three layers of contract:
+
+* the instruments themselves -- span nesting across context managers and
+  threads, exact nearest-rank percentiles, kind-collision guards, the
+  shared no-op span on the disabled path;
+* the exporters -- a Chrome-trace document round-trips back into the same
+  span tree (ids, parents, attributes), and the per-wave critical path is
+  reconstructible from a re-loaded trace;
+* **no interference** -- with a capture active, every backend's draws,
+  probabilities and per-tag charged words are bit-identical to an
+  untraced run, the wire audit stays green, and the capture's ``words.*``
+  counters equal the session ledger exactly (observation only: the ledger
+  is the source of truth, telemetry merely mirrors it).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.backend import create_backend
+from repro.obs.export import (
+    chrome_trace,
+    metrics_text,
+    spans_from_chrome_trace,
+    wave_critical_path,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import Tracer
+
+from test_backend_matrix import make_components, make_config, weight_fn
+from test_runtime_transport import assert_same_draws
+
+DIMENSION = 4000
+
+
+@pytest.fixture(autouse=True)
+def _fresh_telemetry_state():
+    """Never leak an active capture into (or out of) a test."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+# --------------------------------------------------------------------------- #
+# tracer
+# --------------------------------------------------------------------------- #
+class TestTracer:
+    def test_nested_spans_record_parent_child(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        spans = tracer.spans()
+        assert [span.name for span in spans] == ["inner", "outer"]
+        assert spans[1].parent_id is None
+        assert all(span.duration_ns >= 0 for span in spans)
+
+    def test_attributes_from_kwargs_and_set_attribute(self):
+        tracer = Tracer()
+        with tracer.span("wave:sketch", op="sketch", workers=3) as span:
+            span.set_attribute("attempt", 2)
+        (finished,) = tracer.spans()
+        assert finished.attributes == {"op": "sketch", "workers": 3, "attempt": 2}
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans()
+        assert span.attributes["error"] == "RuntimeError"
+        assert span.end_ns is not None
+
+    def test_explicit_parent_crosses_threads(self):
+        """Pool threads get no implicit stack; parent_id is passed by hand."""
+        tracer = Tracer()
+        child_parent = {}
+
+        with tracer.span("wave") as wave:
+
+            def worker():
+                # The new thread has no open spans of its own...
+                assert tracer.current_id() is None
+                with tracer.span("worker:request", parent_id=wave.span_id) as req:
+                    child_parent["parent"] = req.parent_id
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+
+        assert child_parent["parent"] == wave.span_id
+        assert len(tracer) == 2
+
+    def test_span_ids_are_unique_and_increasing(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        ids = [span.span_id for span in tracer.spans()]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+
+# --------------------------------------------------------------------------- #
+# metrics
+# --------------------------------------------------------------------------- #
+class TestMetrics:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("words.total")
+        counter.add(5)
+        counter.add(7)
+        assert registry.counter("words.total").value == 12
+        with pytest.raises(ValueError):
+            counter.add(-1)
+
+    def test_gauge_is_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("queue.depth").set(4)
+        registry.gauge("queue.depth").set(2)
+        assert registry.gauge("queue.depth").value == 2
+
+    def test_histogram_percentiles_are_exact_nearest_rank(self):
+        histogram = Histogram("wave.seconds.sketch")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0 and summary["max"] == 100.0
+        # Nearest-rank on the sorted window (no interpolation): rank
+        # round(q/100 * 99) -- 50 -> index 50, 95 -> 94, 99 -> 98.
+        assert summary["p50"] == 51.0
+        assert summary["p95"] == 95.0
+        assert summary["p99"] == 99.0
+        assert summary["mean"] == pytest.approx(50.5)
+
+    def test_histogram_window_bounds_memory_but_not_lifetime_stats(self):
+        histogram = Histogram("h", max_samples=10)
+        for value in range(100):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["count"] == 100  # lifetime
+        assert summary["min"] == 0.0 and summary["max"] == 99.0
+        assert summary["p50"] >= 90.0  # percentiles cover the recent window
+
+    def test_empty_histogram_summary_is_all_none_percentiles(self):
+        summary = Histogram("empty").summary()
+        assert summary["count"] == 0
+        assert summary["p50"] is None and summary["mean"] is None
+
+    def test_kind_collision_is_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("wave.retries")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("wave.retries")
+
+    def test_counters_with_prefix_strips_the_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("words.total").add(10)
+        registry.counter("words.hh:seeds").add(4)
+        registry.counter("wire.frames").add(1)
+        assert registry.counters_with_prefix("words.") == {
+            "total": 10,
+            "hh:seeds": 4,
+        }
+
+    def test_snapshot_is_json_compatible(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(1)
+        registry.gauge("g").set(3)
+        registry.histogram("h").observe(0.5)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["counters"] == {"c": 1}
+        assert snapshot["gauges"] == {"g": 3}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# lifecycle: module-global enable/disable and the no-op path
+# --------------------------------------------------------------------------- #
+class TestLifecycle:
+    def test_disabled_span_is_the_shared_noop(self):
+        assert not obs.enabled()
+        first = obs.span("anything", worker=1)
+        second = obs.span("else")
+        assert first is second  # one shared object: the disabled path allocates nothing
+        with first as span:
+            span.set_attribute("ignored", True)  # no-op, no error
+
+    def test_enable_disable_cycle(self):
+        telemetry = obs.enable()
+        assert obs.enabled()
+        assert obs.active() is telemetry
+        with pytest.raises(RuntimeError):
+            obs.enable()
+        assert obs.disable() is telemetry
+        assert obs.active() is None
+        assert obs.disable() is None  # idempotent
+
+    def test_capture_context_manager(self):
+        with obs.capture() as telemetry:
+            with obs.span("inside"):
+                pass
+            telemetry.metrics.counter("seen").add(1)
+        assert not obs.enabled()
+        assert [span.name for span in telemetry.tracer.spans()] == ["inside"]
+        assert telemetry.metrics.counter("seen").value == 1
+
+    def test_snapshot_shape(self):
+        with obs.capture() as telemetry:
+            with telemetry.span("one"):
+                pass
+            telemetry.metrics.histogram("wave.seconds.sketch").observe(0.25)
+        snapshot = telemetry.snapshot()
+        assert snapshot["spans"] == 1
+        assert snapshot["metrics"]["histograms"]["wave.seconds.sketch"]["p50"] == 0.25
+
+
+# --------------------------------------------------------------------------- #
+# exporters
+# --------------------------------------------------------------------------- #
+class TestExporters:
+    def _sample_tracer(self):
+        tracer = Tracer()
+        with tracer.span("wave:collect", op="collect", workers=2) as wave:
+            with tracer.span("worker:request", parent_id=wave.span_id, worker=0):
+                pass
+            with tracer.span("worker:request", parent_id=wave.span_id, worker=1):
+                pass
+        return tracer
+
+    def test_chrome_trace_round_trips_span_tree(self, tmp_path):
+        tracer = self._sample_tracer()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), tracer.spans())
+        views = spans_from_chrome_trace(path.read_text())
+        originals = sorted(tracer.spans(), key=lambda s: s.span_id)
+        reloaded = sorted(views, key=lambda s: s.span_id)
+        assert [v.name for v in reloaded] == [s.name for s in originals]
+        assert [v.span_id for v in reloaded] == [s.span_id for s in originals]
+        assert [v.parent_id for v in reloaded] == [s.parent_id for s in originals]
+        assert [v.attributes for v in reloaded] == [s.attributes for s in originals]
+        # Timestamps survive at microsecond resolution.
+        for view, span in zip(reloaded, originals):
+            assert abs(view.duration_ns - span.duration_ns) <= 1000
+
+    def test_open_spans_are_skipped_by_the_exporter(self):
+        tracer = Tracer()
+        context = tracer.span("closed")
+        with context:
+            pass
+        still_open = tracer.span("never-closed").__enter__()  # left open deliberately
+        document = chrome_trace(tracer.spans() + [still_open])
+        names = [e["name"] for e in document["traceEvents"] if e["ph"] == "X"]
+        assert names == ["closed"]
+
+    def test_critical_path_survives_the_round_trip(self):
+        tracer = self._sample_tracer()
+        live = wave_critical_path(tracer.spans())
+        reloaded = wave_critical_path(
+            spans_from_chrome_trace(chrome_trace(tracer.spans()))
+        )
+        assert len(live) == len(reloaded) == 1
+        assert live[0]["op"] == reloaded[0]["op"] == "collect"
+        assert live[0]["workers"] == reloaded[0]["workers"] == 2
+        assert live[0]["critical_worker"] == reloaded[0]["critical_worker"]
+
+    def test_metrics_text_and_json_dumps(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("words.total").add(42)
+        registry.histogram("wave.seconds.hello").observe(0.5)
+        text = metrics_text(registry)
+        assert "words.total 42" in text
+        assert "wave.seconds.hello.p99 0.5" in text
+        json_path = write_metrics(str(tmp_path / "m.json"), registry, format="json")
+        loaded = json.loads(open(json_path).read())
+        assert loaded["counters"]["words.total"] == 42
+        text_path = write_metrics(
+            str(tmp_path / "m.txt"), registry, format="text"
+        )
+        assert "words.total 42" in open(text_path).read()
+        with pytest.raises(ValueError, match="unknown metrics format"):
+            write_metrics(str(tmp_path / "m.xml"), registry, format="xml")
+
+
+# --------------------------------------------------------------------------- #
+# no interference: bit-identity and ledger equality with tracing ON
+# --------------------------------------------------------------------------- #
+class TestNoInterference:
+    def test_traced_run_is_bit_identical_and_counters_match_ledger(
+        self, backend_name
+    ):
+        components = make_components(seed=77, dim=DIMENSION)
+        config = make_config()
+
+        def run():
+            backend = create_backend(backend_name)
+            with backend.session(components, DIMENSION) as session:
+                draws = session.sample(weight_fn, 12, config=config, seed=5)
+                words = dict(session.network.snapshot().words_by_tag)
+                ledger = session.verify_accounting()  # audit stays green
+            return draws, words, ledger
+
+        untraced_draws, untraced_words, _ = run()
+        with obs.capture() as telemetry:
+            traced_draws, traced_words, _ = run()
+
+        # Tracing perturbs nothing: results and the ledger are identical.
+        assert_same_draws(untraced_draws, traced_draws)
+        assert traced_words == untraced_words
+
+        # The capture's per-tag words counters mirror the ledger EXACTLY
+        # (all backends charge through the same Network._record hook).
+        counters = telemetry.metrics.counters_with_prefix("words.")
+        total = counters.pop("total")
+        assert counters == traced_words
+        assert total == sum(traced_words.values())
+
+    def test_transport_backend_wire_bytes_counters_match_ledger(self):
+        components = make_components(seed=78, dim=DIMENSION)
+        config = make_config()
+        with obs.capture() as telemetry:
+            backend = create_backend("loopback")
+            with backend.session(components, DIMENSION) as session:
+                session.sample(weight_fn, 8, config=config, seed=3)
+                byte_ledger = dict(session.network.data_bytes_by_tag)
+                session.verify_accounting()
+        wire_bytes = telemetry.metrics.counters_with_prefix("wire.bytes.")
+        assert wire_bytes == byte_ledger
+        assert telemetry.metrics.counter("wire.frames").value > 0
+
+    def test_wave_and_protocol_spans_are_recorded(self):
+        components = make_components(seed=79, dim=DIMENSION)
+        config = make_config()
+        with obs.capture() as telemetry:
+            backend = create_backend("loopback")
+            with backend.session(components, DIMENSION) as session:
+                session.sample(weight_fn, 6, config=config, seed=2)
+        names = {span.name for span in telemetry.tracer.spans()}
+        assert {"handshake", "protocol:sample", "worker:request"} <= names
+        assert any(name.startswith("wave:") for name in names)
+        # Wave spans parent the per-worker request spans across pool threads.
+        waves = wave_critical_path(telemetry.tracer.spans())
+        assert waves and all(wave["workers"] >= 1 for wave in waves)
+        # Wave latency histograms were fed by the same hooks.
+        histograms = telemetry.snapshot()["metrics"]["histograms"]
+        assert any(name.startswith("wave.seconds.") for name in histograms)
+
+    def test_rebalance_spans_and_counters(self):
+        from test_sharded_backend import balanced_plan, skewed_components
+
+        dim, components = skewed_components(seed=91)
+        with obs.capture() as telemetry:
+            backend = create_backend("sharded")
+            with backend.session(components, dim) as session:
+                session.rebalance(balanced_plan(components, dim, 2))
+        names = [span.name for span in telemetry.tracer.spans()]
+        assert "rebalance:plan" in names
+        assert names.count("rebalance:migrate") == len(components) - 1
+        migrations = telemetry.metrics.counter("rebalance.migrations").value
+        assert migrations == len(components) - 1
+        assert telemetry.metrics.counter("rebalance.moved_entries").value > 0
+
+    @pytest.mark.tcp
+    def test_tcp_trace_reconstructs_critical_path_and_ledger(self, tmp_path):
+        """ISSUE acceptance: a tcp-run trace round-trips through the
+        Chrome-trace exporter, reconstructs the per-wave critical path,
+        and its per-tag charged-word metrics equal the session ledger."""
+        components = make_components(seed=80, dim=DIMENSION)
+        config = make_config()
+        with obs.capture() as telemetry:
+            backend = create_backend("tcp")
+            with backend.session(components, DIMENSION) as session:
+                draws = session.sample(weight_fn, 10, config=config, seed=7)
+                words = dict(session.network.snapshot().words_by_tag)
+                session.verify_accounting()
+        assert draws.indices.size == 10
+
+        path = write_chrome_trace(str(tmp_path / "tcp.json"), telemetry.tracer.spans())
+        views = spans_from_chrome_trace(json.loads(open(path).read()))
+
+        # Per-wave critical path: every wave names its bounding worker.
+        waves = wave_critical_path(views)
+        assert waves, "tcp trace lost its wave spans"
+        workers = len(components) - 1
+        for wave in waves:
+            assert 1 <= wave["workers"] <= workers
+            assert wave["critical_worker"] is not None
+            assert 0.0 <= wave["critical_seconds"] <= wave["wave_seconds"] + 1e-3
+        assert {wave["op"] for wave in waves} >= {"hello", "sketch", "collect"}
+
+        # Per-tag charged-word counters equal the ledger exactly.
+        counters = telemetry.metrics.counters_with_prefix("words.")
+        counters.pop("total")
+        assert counters == words
+
+
+# --------------------------------------------------------------------------- #
+# overhead guarantee: disabled telemetry does not allocate per call
+# --------------------------------------------------------------------------- #
+class TestDisabledOverhead:
+    def test_network_record_skips_all_telemetry_work_when_disabled(self):
+        from repro.distributed.network import Network
+
+        network = Network(3)
+        network.charge(0, 1, 100, tag="t")
+        assert obs.active() is None  # nothing was enabled by charging
+
+    def test_noop_span_allocates_nothing(self):
+        before = obs.span("a")
+        for _ in range(100):
+            with obs.span("b", attr=1):
+                pass
+        assert obs.span("c") is before

@@ -283,6 +283,52 @@ class TestShardedSessionRebalance:
 
 
 # --------------------------------------------------------------------------- #
+# degraded estimates on a supervised sharded session
+# --------------------------------------------------------------------------- #
+class TestShardedDegradedEstimate:
+    def test_stale_ok_answers_from_sharded_checkpoints(self):
+        """Losing a shard group for good degrades ``estimate(stale_ok=True)``
+        instead of raising: the answer is computed locally over the
+        checkpointed (shard-concatenated) components, flagged stale, and
+        equals the plain simulation's estimate over the same components."""
+        from repro.core.errors import WorkerLostError
+        from repro.runtime.supervisor import DegradedEstimate
+        from repro.sketch.z_estimator import ZEstimator
+
+        dim, components = skewed_components(seed=21, servers=3)
+        config = make_config()
+        backend = ShardedBackend(shards=2, supervise=True, max_worker_restarts=0)
+        with backend.session(components, dim) as session:
+            group = session._transports[1]
+            assert isinstance(group, ShardGroupTransport)
+            group._shards[0] = KillableShard(group._shards[0], kill_at=1)
+
+            with pytest.raises(WorkerLostError):
+                session.estimate(weight_fn, config=config, seed=9)
+            degraded = session.estimate(
+                weight_fn, config=config, seed=9, stale_ok=True
+            )
+            assert isinstance(degraded, DegradedEstimate)
+            assert degraded.stale
+            assert degraded.lost_workers == (1,)
+            assert "WorkerLostError" in degraded.cause
+
+        # No deltas ran, so the handshake checkpoints hold the initial
+        # components: the degraded answer equals the simulated estimator.
+        reference = ZEstimator(
+            weight_fn,
+            epsilon=config.epsilon,
+            hh_params=config.hh_params,
+            num_levels=config.num_levels,
+            max_levels=config.max_levels,
+            min_level_count=config.min_level_count,
+            seed=9,
+        ).estimate(DistributedVector(components, dim, Network(len(components))))
+        assert degraded.estimate.z_total == reference.z_total
+        assert degraded.estimate.class_sizes == reference.class_sizes
+
+
+# --------------------------------------------------------------------------- #
 # a shard killed mid-migration (chaos)
 # --------------------------------------------------------------------------- #
 class KillableShard:

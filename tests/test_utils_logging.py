@@ -31,6 +31,22 @@ class TestConfigureLogging:
         finally:
             root.handlers[:] = original_handlers
 
+    def test_repeated_calls_update_the_existing_handler_level(self):
+        """A second configure_logging call must re-level the handler it
+        already attached, not only the logger -- otherwise lowering the
+        level (WARNING -> DEBUG) is silently filtered by the old handler."""
+        root = logging.getLogger("repro")
+        original_handlers = list(root.handlers)
+        try:
+            root.handlers.clear()
+            configure_logging(logging.WARNING)
+            configure_logging(logging.DEBUG)
+            assert len(root.handlers) == 1
+            assert root.level == logging.DEBUG
+            assert root.handlers[0].level == logging.DEBUG
+        finally:
+            root.handlers[:] = original_handlers
+
     def test_library_loggers_propagate_to_root(self):
         child = get_logger("experiments.runner")
         assert child.propagate
