@@ -120,6 +120,7 @@ try:
             "streaming_apply_deltas",
             "runtime_pipelined_sample",
             "sharded_rebalance_skew",
+            "serving_warm_qps",
             "sampler_sample_rows",
             "telemetry_overhead",
         }
@@ -128,6 +129,9 @@ try:
         assert payload["results"]["runtime_pipelined_sample"]["bit_identical"]
         assert payload["results"]["streaming_apply_deltas"]["bit_identical"]
         assert payload["results"]["sharded_rebalance_skew"]["bit_identical"]
+        serving = payload["results"]["serving_warm_qps"]
+        assert serving["zero_warm_waves"] and serving["bit_identical"]
+        assert "p99" in serving["warm_latency_seconds"]
         # Only the large CountSketch cases have enough margin (~10x) to
         # assert a ratio without flaking on loaded machines.
         assert payload["results"]["countsketch_sketch"]["speedup"] > 1.0
@@ -452,6 +456,84 @@ def _sharded_rebalance_entry(
     }
 
 
+def _serving_warm_qps_entry(
+    *,
+    servers: int = 4,
+    dimension: int = 20_000,
+    support: int = 2_000,
+    draws: int = 8,
+    warm_submits: int = 50,
+) -> dict:
+    """Warm serving throughput: the N-th identical submit vs the first.
+
+    One :class:`~repro.backend.serving.ServingSession` over the loopback
+    backend answers the same query ``warm_submits`` times after a single
+    cold run.  The gated quantity is the per-submit speedup of the warm
+    path; the entry also records warm QPS and p50/p99 submit latency from
+    the ``serving.submit.seconds`` histogram (cold and warm captured
+    separately so the percentiles are per-path).  Hard assertions on every
+    run: the warm submits issue **zero** protocol waves, move zero frames,
+    charge zero words, and return the identical result object.
+    """
+    from repro import obs
+    from repro.backend import create_backend
+    from repro.experiments.workloads import runtime_vector_components
+
+    components = runtime_vector_components(servers, dimension, support, seed=0)
+    config = ZSamplerConfig(
+        hh_params=ZHeavyHittersParams(b=8, repetitions=1, num_buckets=8),
+        max_levels=5,
+    )
+    with create_backend("loopback").serving() as pool:
+        with obs.capture() as cold_telemetry:
+            session = pool.open(components, dimension, tenant="bench")
+            start = time.perf_counter()
+            cold_result = session.submit("identity", draws, seed=3, config=config)
+            cold_seconds = time.perf_counter() - start
+        words_after_cold = dict(session.network.snapshot().words_by_tag)
+        frames_after_cold = session.network.frames_transported
+        with obs.capture() as warm_telemetry:
+            start = time.perf_counter()
+            for _ in range(warm_submits):
+                warm_result = session.submit(
+                    "identity", draws, seed=3, config=config
+                )
+            warm_elapsed = time.perf_counter() - start
+        assert warm_result is cold_result  # bit-identical by construction
+        assert dict(session.network.snapshot().words_by_tag) == words_after_cold
+        assert session.network.frames_transported == frames_after_cold
+        assert not any(
+            span.name.startswith("wave:")
+            for span in warm_telemetry.tracer.spans()
+        ), "a warm submit issued a protocol wave"
+        session.verify_accounting()
+    warm_seconds = warm_elapsed / warm_submits
+    histograms = warm_telemetry.snapshot()["metrics"]["histograms"]
+    warm_summary = histograms["serving.submit.seconds"]
+    cold_summary = cold_telemetry.snapshot()["metrics"]["histograms"][
+        "serving.submit.seconds"
+    ]
+    return {
+        "dimension": dimension,
+        "servers": servers,
+        "support_per_server": support,
+        "draws": draws,
+        "warm_submits": warm_submits,
+        "cold_submit_seconds": cold_seconds,
+        "warm_submit_seconds": warm_seconds,
+        "warm_qps": warm_submits / warm_elapsed,
+        "warm_latency_seconds": {
+            "p50": warm_summary["p50"], "p99": warm_summary["p99"]
+        },
+        "cold_latency_seconds": {
+            "p50": cold_summary["p50"], "p99": cold_summary["p99"]
+        },
+        "speedup": cold_seconds / warm_seconds,
+        "zero_warm_waves": True,
+        "bit_identical": True,
+    }
+
+
 def _telemetry_overhead_entry(*, iterations: int = 200_000) -> dict:
     """Per-call cost of the *disabled* telemetry hot path, in nanoseconds.
 
@@ -673,6 +755,11 @@ def emit_speedup_json(
     # signal is the shard-work ratio, not the absolute domain size.
     results["sharded_rebalance_skew"] = _sharded_rebalance_entry()
 
+    # Warm serving: one ServingSession answering the same query repeatedly.
+    # Fixed scale in both modes -- the signal is warm-vs-cold, not domain
+    # size -- with zero-wave / zero-word / bit-identity asserted inline.
+    results["serving_warm_qps"] = _serving_warm_qps_entry()
+
     # Disabled-telemetry hot-path cost (gated in every mode, --quick too).
     results["telemetry_overhead"] = _telemetry_overhead_entry()
 
@@ -734,6 +821,12 @@ PIPELINE_SPEEDUP_FLOOR = 1.5
 #: wall-clock, robust on a single-core host) by at least this much.
 REBALANCE_SPEEDUP_FLOOR = 2.0
 
+#: A warm serving submit must beat the cold protocol run by at least this
+#: much per submit (in practice it is orders of magnitude -- a dict lookup
+#: vs a full sketch pass -- but the floor catches a warm path that silently
+#: starts re-running waves).
+SERVING_WARM_SPEEDUP_FLOOR = 2.0
+
 #: Per-call ceiling of the disabled telemetry hot path (``obs.active()`` /
 #: ``obs.span()`` returning the shared no-op).  Generous against loaded CI
 #: machines -- the observed cost is tens to hundreds of ns -- but tight
@@ -793,6 +886,14 @@ if __name__ == "__main__":
                 f"{entry['balanced_critical_path_seconds']:.3f}s across "
                 f"{entry['shards_per_server']} shards/server)"
             )
+        elif "warm_qps" in entry:
+            print(
+                f"{name}: {entry['speedup']:.0f}x warm vs cold submit "
+                f"({entry['cold_submit_seconds']:.3f}s -> "
+                f"{entry['warm_submit_seconds'] * 1e6:.0f}us, "
+                f"{entry['warm_qps']:.0f} warm QPS, "
+                f"p99 {entry['warm_latency_seconds']['p99'] * 1e6:.0f}us)"
+            )
         elif "noop_span_ns" in entry:
             print(
                 f"{name}: disabled-path span {entry['noop_span_ns']:.0f}ns, "
@@ -826,6 +927,12 @@ if __name__ == "__main__":
             failures.append(
                 f"sharded_rebalance_skew: {rebalance:.2f}x < "
                 f"{REBALANCE_SPEEDUP_FLOOR}x"
+            )
+        serving = payload["results"]["serving_warm_qps"]["speedup"]
+        if serving < SERVING_WARM_SPEEDUP_FLOOR:
+            failures.append(
+                f"serving_warm_qps: {serving:.2f}x < "
+                f"{SERVING_WARM_SPEEDUP_FLOOR}x"
             )
     # The disabled-telemetry gate holds in every mode, --quick included.
     overhead = payload["results"]["telemetry_overhead"]

@@ -126,6 +126,10 @@ def __getattr__(name: str):
         from repro.backend import sharded
 
         return getattr(sharded, name)
+    if name in ("ServingPool", "ServingSession", "stream_fingerprint"):
+        from repro.backend import serving
+
+        return getattr(serving, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -139,7 +143,10 @@ __all__ = [
     "ShardedBackend",
     "ShardedSession",
     "ShardGroupTransport",
+    "ServingPool",
+    "ServingSession",
     "StreamingSketchState",
+    "stream_fingerprint",
     "available_backends",
     "create_backend",
     "register_backend",

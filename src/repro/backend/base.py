@@ -268,5 +268,31 @@ class ExecutionBackend(abc.ABC):
     ) -> ExecutionSession:
         """Open a session over one sparse ``(indices, values)`` pair per server."""
 
+    def serving(
+        self,
+        *,
+        max_sessions: int = 8,
+        max_tenants: Optional[int] = None,
+        max_sessions_per_tenant: Optional[int] = None,
+    ):
+        """An always-on :class:`~repro.backend.serving.ServingPool` over this backend.
+
+        The pool keys live sessions by ``(tenant, stream fingerprint)`` so
+        repeated submits over the same data are warm (zero waves, zero
+        charged words), LRU-bounds them at ``max_sessions``, and enforces
+        the per-tenant admission quotas with a typed
+        :class:`~repro.core.errors.AdmissionError`.  Works for every
+        registered backend -- serving is coordinator-side bookkeeping over
+        the session contract, not a transport feature.
+        """
+        from repro.backend.serving import ServingPool
+
+        return ServingPool(
+            self,
+            max_sessions=max_sessions,
+            max_tenants=max_tenants,
+            max_sessions_per_tenant=max_sessions_per_tenant,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(name={self.name!r})"

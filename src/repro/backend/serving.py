@@ -1,0 +1,375 @@
+"""Always-on serving: warm stream-keyed session reuse with admission control.
+
+One-shot execution (the rest of :mod:`repro.backend`) opens a session,
+runs a protocol, and tears everything down -- every ``submit`` pays the
+handshake and a full sketch pass.  A serving deployment answers the same
+query over the same data again and again; this module makes the N-th
+identical submit cost a cache hit:
+
+* :func:`stream_fingerprint` names a dataset by content -- one SHA-256
+  over the dimension and every server's sparse component -- so "the same
+  stream" is decided by bytes, not by who connected;
+* :class:`ServingSession` wraps any
+  :class:`~repro.backend.base.ExecutionSession` with a result cache keyed
+  by the full query signature (function, draw count, seed, config): a
+  warm submit returns the cached result without a single wave, charging
+  **zero** words to the ledger, while a cold submit runs the unmodified
+  protocol -- so warm and cold results are bit-identical by construction;
+* :class:`ServingPool` holds the sessions, keyed by
+  ``(tenant, fingerprint)``, LRU-bounded by ``max_sessions``, with
+  per-tenant admission quotas (``max_tenants``,
+  ``max_sessions_per_tenant``) that refuse -- typed
+  :class:`~repro.core.errors.AdmissionError`, CLI exit code 9 -- before
+  anything is opened, so a rejected tenant cannot perturb a neighbour's
+  warm cache.
+
+Streaming updates stay correct: :meth:`ServingSession.apply_deltas`
+forwards to the backend session (whose workers refresh their sketch
+states incrementally), drops every cached result, and re-fingerprints the
+appended components so the pool re-keys the session under the stream it
+now serves.
+
+Everything here is coordinator-side bookkeeping over *references*: no RNG
+state is touched and no words are charged by the cache itself, so the
+accounting audit holds on warm, cold and rejected paths alike.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.errors import AdmissionError
+from repro.distributed.vector import LocalComponent
+
+__all__ = ["ServingPool", "ServingSession", "stream_fingerprint"]
+
+
+def stream_fingerprint(components: Sequence[LocalComponent], dimension: int) -> str:
+    """Content hash naming a dataset: dimension plus every server's component.
+
+    Two submits hit the same warm session exactly when their per-server
+    ``(indices, values)`` bytes agree -- the serving pool's key is the data
+    itself, never the connection or the caller.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"dim={int(dimension)};servers={len(components)}".encode())
+    for idx, val in components:
+        idx = np.ascontiguousarray(np.asarray(idx, dtype=np.int64))
+        val = np.ascontiguousarray(np.asarray(val, dtype=float))
+        digest.update(b"|")
+        digest.update(idx.tobytes())
+        digest.update(val.tobytes())
+    return digest.hexdigest()
+
+
+class ServingSession:
+    """One warm, reusable protocol session over a fingerprinted stream.
+
+    Wraps an open :class:`~repro.backend.base.ExecutionSession`: the first
+    :meth:`submit` of a query signature runs the protocol cold (charged,
+    traced, audited as always); every later identical submit is answered
+    from the result cache -- zero waves, zero charged words, the *same*
+    result object.  Deltas invalidate the cache and re-fingerprint the
+    stream, so a warm answer is never served across a data change.
+    """
+
+    def __init__(
+        self,
+        session,
+        components: Sequence[LocalComponent],
+        dimension: int,
+        *,
+        tenant: str = "",
+        pool: Optional["ServingPool"] = None,
+    ) -> None:
+        self._session = session
+        self._components = [
+            (
+                np.asarray(idx, dtype=np.int64),
+                np.asarray(val, dtype=float),
+            )
+            for idx, val in components
+        ]
+        self._dimension = int(dimension)
+        self._tenant = str(tenant)
+        self._pool = pool
+        self._fingerprint = stream_fingerprint(self._components, self._dimension)
+        self._results: Dict[Tuple, object] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+    @property
+    def fingerprint(self) -> str:
+        """Current content hash of the stream this session serves."""
+        return self._fingerprint
+
+    @property
+    def tenant(self) -> str:
+        """Tenant that opened (and is charged quota for) this session."""
+        return self._tenant
+
+    @property
+    def session(self):
+        """The wrapped backend session (cold path, ledger, lifecycle)."""
+        return self._session
+
+    @property
+    def network(self):
+        """The wrapped session's accounting network."""
+        return self._session.network
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def submit(self, function: str = "identity", draws: int = 16, *, seed=0, config=None):
+        """Answer one Z-sampling query, warm when the signature repeats.
+
+        The cache key is the full query signature -- ``function`` (a
+        :mod:`repro.functions` registry name), ``draws``, ``seed`` and the
+        config's repr -- over the *current* stream contents; anything else
+        runs cold.  Warm or cold, the returned draws/probabilities/estimate
+        are bit-identical: the warm path just skips re-deriving them.
+        """
+        from repro.functions import make_function
+
+        key = ("sample", str(function), int(draws), seed, repr(config))
+        with self._lock:
+            cached = self._results.get(key)
+        telemetry = obs.active()
+        warm = cached is not None
+        if telemetry is not None:
+            telemetry.metrics.counter(
+                "serving.hits" if warm else "serving.misses"
+            ).add(1)
+        with obs.span(
+            "serving:submit",
+            warm=warm,
+            function=str(function),
+            draws=int(draws),
+            tenant=self._tenant,
+            stream=self._fingerprint[:12],
+        ) as span:
+            if warm:
+                result = cached
+            else:
+                weight_fn = make_function(str(function)).sampling_weight
+                result = self._session.sample(
+                    weight_fn, int(draws), config=config, seed=seed
+                )
+                with self._lock:
+                    self._results[key] = result
+        if telemetry is not None and span is not None:
+            telemetry.metrics.histogram("serving.submit.seconds").observe(
+                span.duration_seconds
+            )
+        if warm:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return result
+
+    def apply_deltas(self, deltas: Sequence[LocalComponent]) -> None:
+        """Ingest a delta batch; every cached result is dropped, the stream
+        re-fingerprinted, and the owning pool (if any) re-keyed."""
+        self._session.apply_deltas(deltas)
+        folded = []
+        for (idx, val), (d_idx, d_val) in zip(self._components, deltas):
+            d_idx = np.asarray(d_idx, dtype=np.int64)
+            d_val = np.asarray(d_val, dtype=float)
+            folded.append(
+                (np.concatenate((idx, d_idx)), np.concatenate((val, d_val)))
+                if d_idx.size
+                else (idx, val)
+            )
+        old = self._fingerprint
+        with self._lock:
+            self._components = folded
+            self._results.clear()
+            self._fingerprint = stream_fingerprint(folded, self._dimension)
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.metrics.counter("serving.invalidations").add(1)
+        if self._pool is not None:
+            self._pool._rekey(self, old, self._fingerprint)
+
+    # ------------------------------------------------------------------ #
+    # audit and lifecycle (delegated)
+    # ------------------------------------------------------------------ #
+    def verify_accounting(self):
+        """The wrapped session's ledger audit (warm submits added nothing)."""
+        return self._session.verify_accounting()
+
+    def close(self) -> None:
+        self._results.clear()
+        self._session.close()
+
+    def __enter__(self) -> "ServingSession":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ServingSession(stream={self._fingerprint[:12]}, "
+            f"tenant={self._tenant!r}, hits={self.hits}, misses={self.misses})"
+        )
+
+
+class ServingPool:
+    """The always-on session pool of one serving coordinator process.
+
+    ``open()`` with data a tenant has served before returns that tenant's
+    live session -- warm handshake, warm caches, warm results; new data
+    opens a cold session through ``backend.session()`` after admission
+    control.  Capacity is bounded twice: the global ``max_sessions`` LRU
+    evicts (closing the victim's backend session), while the per-tenant
+    quotas *refuse* with a typed :class:`~repro.core.errors.AdmissionError`
+    before anything is spawned -- an over-quota tenant cannot evict a
+    neighbour.
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        max_sessions: int = 8,
+        max_tenants: Optional[int] = None,
+        max_sessions_per_tenant: Optional[int] = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        if max_tenants is not None and max_tenants < 1:
+            raise ValueError(f"max_tenants must be >= 1, got {max_tenants}")
+        if max_sessions_per_tenant is not None and max_sessions_per_tenant < 1:
+            raise ValueError(
+                f"max_sessions_per_tenant must be >= 1, got {max_sessions_per_tenant}"
+            )
+        self._backend = backend
+        self._max_sessions = int(max_sessions)
+        self._max_tenants = max_tenants
+        self._max_sessions_per_tenant = max_sessions_per_tenant
+        self._sessions: "OrderedDict[Tuple[str, str], ServingSession]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def open(
+        self,
+        components: Sequence[LocalComponent],
+        dimension: int,
+        *,
+        tenant: str = "",
+    ) -> ServingSession:
+        """Return the tenant's live session for this stream, opening if admitted."""
+        tenant = str(tenant)
+        fingerprint = stream_fingerprint(components, dimension)
+        key = (tenant, fingerprint)
+        with self._lock:
+            existing = self._sessions.get(key)
+            if existing is not None:
+                self._sessions.move_to_end(key)
+                self._note("serving.sessions.hits")
+                return existing
+            self._admit(tenant)
+        # Spawning runs outside the lock (it may bind sockets); the session
+        # is inserted -- and capacity re-checked -- once it is live.
+        with obs.span(
+            "serving:open", tenant=tenant, stream=fingerprint[:12]
+        ):
+            session = self._backend.session(components, dimension)
+        serving = ServingSession(
+            session, components, dimension, tenant=tenant, pool=self
+        )
+        evicted = []
+        with self._lock:
+            racer = self._sessions.get(key)
+            if racer is not None:  # pragma: no cover - concurrent same-key open
+                self._sessions.move_to_end(key)
+                evicted.append(serving)
+                serving = racer
+            else:
+                self._sessions[key] = serving
+                self._note("serving.sessions.misses")
+                while len(self._sessions) > self._max_sessions:
+                    _, victim = self._sessions.popitem(last=False)
+                    evicted.append(victim)
+                    self._note("serving.sessions.evictions")
+        for victim in evicted:
+            victim.close()
+        return serving
+
+    def _admit(self, tenant: str) -> None:
+        """Quota check (pool lock held); raises before any resource exists."""
+        if self._max_tenants is None and self._max_sessions_per_tenant is None:
+            return
+        tenants: Dict[str, int] = {}
+        for (owner, _), _session in self._sessions.items():
+            tenants[owner] = tenants.get(owner, 0) + 1
+        if (
+            self._max_tenants is not None
+            and tenant not in tenants
+            and len(tenants) >= self._max_tenants
+        ):
+            self._note("serving.admission.rejected")
+            raise AdmissionError(
+                f"tenant {tenant!r} refused: the pool already serves "
+                f"{len(tenants)} tenants (max_tenants={self._max_tenants})"
+            )
+        if (
+            self._max_sessions_per_tenant is not None
+            and tenants.get(tenant, 0) >= self._max_sessions_per_tenant
+        ):
+            self._note("serving.admission.rejected")
+            raise AdmissionError(
+                f"tenant {tenant!r} refused: it already holds "
+                f"{tenants[tenant]} sessions "
+                f"(max_sessions_per_tenant={self._max_sessions_per_tenant})"
+            )
+
+    @staticmethod
+    def _note(counter: str) -> None:
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.metrics.counter(counter).add(1)
+
+    def _rekey(self, serving: ServingSession, old: str, new: str) -> None:
+        """Move a session under its post-delta fingerprint (freshly used)."""
+        with self._lock:
+            key = (serving.tenant, old)
+            if self._sessions.get(key) is serving:
+                del self._sessions[key]
+                self._sessions[(serving.tenant, new)] = serving
+
+    def close(self) -> None:
+        """Close every pooled session (idempotent)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+
+    def __enter__(self) -> "ServingPool":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ServingPool(sessions={len(self)}, max_sessions={self._max_sessions}, "
+            f"max_tenants={self._max_tenants}, "
+            f"max_sessions_per_tenant={self._max_sessions_per_tenant})"
+        )

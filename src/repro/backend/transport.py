@@ -39,6 +39,9 @@ from repro.distributed.vector import LocalComponent
 from repro.runtime.service import CoordinatorService, WorkerService
 from repro.runtime.supervisor import WorkerSupervisor
 from repro.runtime.transport import (
+    AsyncLoopbackTransport,
+    AsyncTcpTransport,
+    EventLoopThread,
     LoopbackTransport,
     RetryPolicy,
     TcpTransport,
@@ -103,6 +106,21 @@ class TransportBackend(ExecutionBackend):
     subsample_cache_size:
         Worker-side subsample-cache LRU capacity
         (:class:`~repro.runtime.service.WorkerService`'s knob).
+    max_sessions, max_tenants, max_sessions_per_tenant:
+        Worker-side session-LRU capacity and per-tenant admission quotas
+        (:class:`~repro.runtime.service.WorkerService` knobs; ``None``
+        keeps the defaults / disables the quota).
+    tenant:
+        Tenant id stamped on this session's cache-opening frames so the
+        workers can enforce per-tenant quotas; empty (the default) leaves
+        the frames -- and therefore the byte ledger -- unchanged.
+    async_scatter:
+        Drive every worker connection from one shared
+        :class:`~repro.runtime.transport.EventLoopThread` instead of a
+        per-session thread pool: a scatter wave is a single
+        ``asyncio.gather``, so one process can hold many concurrent serving
+        sessions at the cost of sockets, not threads.  Same frames, same
+        ledger -- only the scheduling changes.
     supervise:
         Attach a :class:`~repro.runtime.supervisor.WorkerSupervisor` whose
         respawner re-spawns hosted workers in-process; sessions then survive
@@ -126,6 +144,11 @@ class TransportBackend(ExecutionBackend):
         retries: int = 0,
         backoff: float = 0.0,
         subsample_cache_size: Optional[int] = None,
+        max_sessions: Optional[int] = None,
+        max_tenants: Optional[int] = None,
+        max_sessions_per_tenant: Optional[int] = None,
+        tenant: str = "",
+        async_scatter: bool = False,
         supervise: bool = False,
         checkpoint_every: int = 1,
         max_worker_restarts: int = 2,
@@ -139,7 +162,17 @@ class TransportBackend(ExecutionBackend):
         self._timeout = float(timeout)
         self._policy = RetryPolicy(retries=max(0, int(retries)), backoff=float(backoff))
         self._subsample_cache_size = subsample_cache_size
+        self._max_sessions = max_sessions
+        self._max_tenants = max_tenants
+        self._max_sessions_per_tenant = max_sessions_per_tenant
+        self._tenant = str(tenant)
+        self._async_scatter = bool(async_scatter)
         self._supervise = bool(supervise)
+        if self._supervise and self._async_scatter:
+            raise ValueError(
+                "async_scatter and supervise are mutually exclusive for now: "
+                "the supervisor's respawner swaps blocking transports in"
+            )
         self._checkpoint_every = int(checkpoint_every)
         self._max_worker_restarts = int(max_worker_restarts)
         self._heartbeat_interval = heartbeat_interval
@@ -168,6 +201,7 @@ class TransportBackend(ExecutionBackend):
         servers: List[WorkerServer] = []
         endpoints: Dict[int, Tuple[str, int]] = {}
         handlers: Dict[int, Callable[[bytes], bytes]] = {}
+        loop_thread = EventLoopThread() if self._async_scatter else None
 
         def spawn_transport(worker_index: int) -> Transport:
             # One closure for construction AND respawning: a replacement
@@ -187,6 +221,9 @@ class TransportBackend(ExecutionBackend):
                 dimension,
                 name=f"server-{worker_index + 1}",
                 max_subsample_caches=self._subsample_cache_size,
+                max_sessions=self._max_sessions,
+                max_tenants=self._max_tenants,
+                max_sessions_per_tenant=self._max_sessions_per_tenant,
             )
             if self._kind == "tcp":
                 server = WorkerServer(
@@ -196,10 +233,16 @@ class TransportBackend(ExecutionBackend):
                 servers.append(server)
                 host, port = server.start()
                 endpoints[worker_index] = (host, port)
+                if loop_thread is not None:
+                    return AsyncTcpTransport(
+                        host, port, loop_thread, timeout=self._timeout
+                    )
                 return TcpTransport(
                     host, port, timeout=self._timeout, retry_policy=self._policy
                 )
             handlers[worker_index] = service.handle_frame
+            if loop_thread is not None:
+                return AsyncLoopbackTransport(service.handle_frame, loop_thread)
             return LoopbackTransport(service.handle_frame)
 
         def probe_factory(worker_index: int) -> Transport:
@@ -231,10 +274,14 @@ class TransportBackend(ExecutionBackend):
                 concurrency=self._concurrency,
                 supervisor=supervisor,
                 servers=servers,
+                tenant=self._tenant,
+                scatter_loop=loop_thread,
             )
         except Exception:
             for transport in transports:
                 transport.close()
             for server in servers:
                 server.stop()
+            if loop_thread is not None:
+                loop_thread.close()
             raise

@@ -64,6 +64,21 @@ class WireAccountingError(ReproError, AssertionError):
     """
 
 
+class AdmissionError(ReproError, PermissionError):
+    """A tenant asked for more serving capacity than its quota allows.
+
+    Raised by the admission-control layer -- worker-side when a frame would
+    open a session past the tenant's ``max_sessions_per_tenant`` /
+    ``max_tenants`` quota (the typed error frame travels back and is
+    re-raised typed by the coordinator), and coordinator-side by
+    :class:`repro.backend.serving.ServingPool` before a session is even
+    opened.  A rejection is a clean refusal: nothing was cached, no words
+    were charged, and neighbouring tenants' sessions are untouched.
+    Subclasses ``PermissionError`` so generic quota handling keeps working;
+    maps to CLI exit code 9.
+    """
+
+
 class WorkerProtocolError(ReproError, RuntimeError):
     """A worker answered a frame with an error or an unexpected shape.
 

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 
 from repro.backend import available_backends
 from repro.core.errors import (
+    AdmissionError,
     SketchCompatibilityError,
     WireAccountingError,
     WireFormatError,
@@ -45,6 +46,7 @@ EXIT_CODES = (
     (WireFormatError, 4),
     (SketchCompatibilityError, 5),
     (WorkerLostError, 8),
+    (AdmissionError, 9),
     (WorkerProtocolError, 6),
     (WireAccountingError, 7),
 )
@@ -133,6 +135,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU capacity of the worker's incremental stream-sketch state "
         "cache (default: 4 states, matching the session-side cap)",
     )
+    serve.add_argument(
+        "--max-sessions", type=int, default=None,
+        help="how many coordinator sessions this worker caches before "
+        "LRU-evicting the coldest (default: 64)",
+    )
+    serve.add_argument(
+        "--max-tenants", type=int, default=None,
+        help="admission quota: refuse sessions from a NEW tenant once this "
+        "many tenants hold cached sessions (typed AdmissionError, exit "
+        "code 9 coordinator-side; default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-sessions-per-tenant", type=int, default=None,
+        help="admission quota: refuse a tenant's next session once it holds "
+        "this many (default: unlimited)",
+    )
     _add_runtime_workload_args(serve)
 
     submit = subparsers.add_parser(
@@ -177,6 +195,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify-local", action="store_true",
         help="rerun the same seed on an in-process simulation and assert "
         "bit-identical draws, estimates and per-tag word counts",
+    )
+    submit.add_argument(
+        "--session-reuse", type=int, default=1, metavar="N",
+        help="serve the same query N times through one warm session: the "
+        "first run is cold (full protocol), the rest are warm cache hits "
+        "-- zero waves, zero charged words, identical results (the "
+        "serving-path smoke; default: 1, one-shot)",
+    )
+    submit.add_argument(
+        "--tenant", default="",
+        help="tenant id stamped on this session's cache-opening frames so "
+        "quota-enforcing workers can admit or refuse it (default: none; "
+        "the frames and ledger are unchanged without it)",
+    )
+    submit.add_argument(
+        "--async-scatter", action="store_true",
+        help="multiplex every worker connection on one shared event loop "
+        "instead of a scatter thread pool (the serving path's fabric; "
+        "same frames, ledger and results)",
     )
     submit.add_argument(
         "--shutdown", action="store_true", help="stop the workers afterwards"
@@ -283,6 +320,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         indices, values, args.dimension, name=f"server-{args.server}",
         max_subsample_caches=args.subsample_cache_size,
         max_stream_states=args.stream_cache_size,
+        max_sessions=args.max_sessions,
+        max_tenants=args.max_tenants,
+        max_sessions_per_tenant=args.max_sessions_per_tenant,
     )
     server = WorkerServer(
         worker.handle_frame,
@@ -328,6 +368,8 @@ def _open_submit_session(args: argparse.Namespace, components):
             timeout=args.timeout,
             retries=args.retries,
             backoff=args.backoff,
+            tenant=args.tenant,
+            async_scatter=args.async_scatter,
             supervise=args.max_worker_restarts > 0,
             checkpoint_every=max(1, args.checkpoint_every),
             max_worker_restarts=args.max_worker_restarts,
@@ -341,17 +383,33 @@ def _open_submit_session(args: argparse.Namespace, components):
             f"need exactly {args.num_servers - 1} workers for "
             f"--num-servers {args.num_servers}, got {len(args.workers)}"
         )
+    if args.async_scatter and args.max_worker_restarts > 0:
+        raise SystemExit(
+            "--async-scatter and --max-worker-restarts are mutually "
+            "exclusive: the supervisor's respawner swaps blocking "
+            "transports in"
+        )
     policy = RetryPolicy(retries=max(0, args.retries), backoff=max(0.0, args.backoff))
+    loop_thread = None
+    if args.async_scatter:
+        from repro.runtime.transport import AsyncTcpTransport, EventLoopThread
+
+        loop_thread = EventLoopThread()
     endpoints = []
     transports = []
     for address in args.workers:
         host, _, port = address.rpartition(":")
         endpoints.append((host or "127.0.0.1", int(port)))
-        transports.append(
-            TcpTransport(
-                *endpoints[-1], timeout=args.timeout, retry_policy=policy
+        if loop_thread is not None:
+            transports.append(
+                AsyncTcpTransport(*endpoints[-1], loop_thread, timeout=args.timeout)
             )
-        )
+        else:
+            transports.append(
+                TcpTransport(
+                    *endpoints[-1], timeout=args.timeout, retry_policy=policy
+                )
+            )
     supervisor = None
     if args.max_worker_restarts > 0:
         # The CLI cannot restart a remote worker process; its respawner
@@ -369,7 +427,7 @@ def _open_submit_session(args: argparse.Namespace, components):
         )
     coordinator = CoordinatorService(
         transports, args.dimension, components[0], concurrency=args.concurrency,
-        supervisor=supervisor,
+        supervisor=supervisor, tenant=args.tenant, scatter_loop=loop_thread,
     )
     return coordinator, supervisor
 
@@ -415,11 +473,40 @@ def _run_submit(args: argparse.Namespace) -> int:
         if telemetry is not None:
             obs.disable()
         raise
+    serving_lines: List[str] = []
     try:
         try:
-            draws = coordinator.sample(
-                weight_fn, args.draws, seed=args.sample_seed
-            )
+            reuse = max(1, int(args.session_reuse))
+            if reuse == 1:
+                draws = coordinator.sample(
+                    weight_fn, args.draws, seed=args.sample_seed
+                )
+            else:
+                from repro.backend.serving import ServingSession
+
+                serving = ServingSession(
+                    coordinator, components, args.dimension, tenant=args.tenant
+                )
+                warm_words = warm_frames = 0
+                for iteration in range(reuse):
+                    words_before = coordinator.network.snapshot().total_words
+                    frames_before = coordinator.network.frames_transported
+                    draws = serving.submit(
+                        args.function, args.draws, seed=args.sample_seed
+                    )
+                    if iteration:
+                        warm_words += (
+                            coordinator.network.snapshot().total_words - words_before
+                        )
+                        warm_frames += (
+                            coordinator.network.frames_transported - frames_before
+                        )
+                serving_lines.append(
+                    f"  serving: {reuse} submits over one warm session "
+                    f"({serving.misses} cold, {serving.hits} warm); the warm "
+                    f"submits moved {warm_frames} frames and charged "
+                    f"{warm_words} words"
+                )
             log = coordinator.network.snapshot()
             coordinator.verify_wire_accounting()
         finally:
@@ -428,6 +515,7 @@ def _run_submit(args: argparse.Namespace) -> int:
         lines = [
             f"drew {draws.indices.size} coordinates (Zhat={draws.estimate.z_total:.6g}) "
             f"[scatter concurrency {coordinator.concurrency}]",
+            *serving_lines,
             "  draws: " + " ".join(str(i) for i in draws.indices.tolist()),
             f"  communication: {log.total_words} words = {log.total_bytes} bytes "
             f"over {coordinator.network.frames_transported} frames "

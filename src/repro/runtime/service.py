@@ -40,7 +40,11 @@ import numpy as np
 from repro import obs
 from repro.backend.base import ExecutionSession
 from repro.backend.streaming import StreamingSketchState
-from repro.core.errors import DimensionMismatchError, WorkerProtocolError
+from repro.core.errors import (
+    AdmissionError,
+    DimensionMismatchError,
+    WorkerProtocolError,
+)
 from repro.distributed.network import TransportNetwork
 from repro.distributed.vector import (
     DistributedVector,
@@ -57,10 +61,17 @@ from repro.sketch.hashing import KWiseHash, SubsampleHash
 
 def _check_reply(reply: wire.DecodedFrame, op: str, worker: int):
     if reply.op == "error":
-        raise WorkerProtocolError(
+        error_type = reply.meta.get("type", "Error")
+        message = (
             f"worker {worker + 1} failed op {op!r}: "
-            f"{reply.meta.get('type', 'Error')}: {reply.meta.get('message', '')}"
+            f"{error_type}: {reply.meta.get('message', '')}"
         )
+        if error_type == "AdmissionError":
+            # Quota rejections travel back typed: the caller (and the CLI's
+            # exit-code table) must distinguish "over quota, retry later /
+            # elsewhere" from a genuine protocol fault.
+            raise AdmissionError(message)
+        raise WorkerProtocolError(message)
     return reply
 
 
@@ -121,6 +132,24 @@ class _TracedWorkerRequest(Transport):
         ):
             return self._inner.request(frame)
 
+    @property
+    def scatter_loop(self):
+        """Forward the inner transport's shared event loop (None if sync)."""
+        return getattr(self._inner, "scatter_loop", None)
+
+    async def request_async(self, frame: bytes) -> bytes:
+        # Interleaved coroutines share one loop thread; the explicit
+        # parent_id (not the thread-local stack) carries the nesting, and
+        # the tracer tolerates out-of-order exits.
+        self._telemetry.metrics.counter(f"worker.frames.{self._worker}").add(1)
+        with self._telemetry.tracer.span(
+            "worker:request",
+            parent_id=self._parent_id,
+            worker=self._worker,
+            op=self._op,
+        ):
+            return await self._inner.request_async(frame)
+
 
 def _scatter_wave(
     transports: Sequence[Transport],
@@ -154,6 +183,7 @@ def _rpc_scatter(
     overhead: int,
     pool: Optional[ThreadPoolExecutor] = None,
     supervisor=None,
+    recover=None,
 ) -> List[wire.DecodedFrame]:
     """Ship one broadcast frame to every worker in a single wave.
 
@@ -167,7 +197,7 @@ def _rpc_scatter(
     """
     return _rpc_scatter_each(
         network, transports, op, [(frame, sections, overhead)] * len(transports),
-        pool=pool, supervisor=supervisor,
+        pool=pool, supervisor=supervisor, recover=recover,
     )
 
 
@@ -178,6 +208,7 @@ def _rpc_scatter_each(
     encoded: Sequence[Tuple[bytes, object, int]],
     pool: Optional[ThreadPoolExecutor] = None,
     supervisor=None,
+    recover=None,
 ) -> List[wire.DecodedFrame]:
     """Ship one (possibly distinct) pre-encoded frame per worker in one wave.
 
@@ -195,6 +226,14 @@ def _rpc_scatter_each(
     matches an uninterrupted run.  ``transports`` must be the coordinator's
     *live, shared* transport list -- recovery swaps fresh transports into it
     in place, and the retry must pick them up.
+
+    ``recover(worker, frame, reply)`` is the *application-level* half of
+    that seam: called for each worker whose reply is a typed ``error``
+    frame, before the reply is recorded or raised.  Returning a replacement
+    :class:`~repro.runtime.wire.DecodedFrame` adopts it (the error frame and
+    any recovery traffic stay off the ledger, so the run books exactly what
+    an unfailed run would); returning ``None`` falls through to the normal
+    typed raise.
     """
     for _, sections, overhead in encoded:
         network.record_frame(sections, overhead)
@@ -218,6 +257,10 @@ def _rpc_scatter_each(
     replies: List[wire.DecodedFrame] = []
     for worker, raw in enumerate(raw_replies):
         reply = wire.decode_frame(raw)
+        if reply.op == "error" and recover is not None:
+            replacement = recover(worker, frames[worker], reply)
+            if replacement is not None:
+                reply = replacement
         network.record_frame(reply.data_sections, reply.overhead_bytes)
         replies.append(_check_reply(reply, op, worker))
     return replies
@@ -264,6 +307,8 @@ class WorkerService:
         max_subsample_caches: Optional[int] = None,
         max_sessions: Optional[int] = None,
         max_stream_states: Optional[int] = None,
+        max_tenants: Optional[int] = None,
+        max_sessions_per_tenant: Optional[int] = None,
     ) -> None:
         idx = np.asarray(indices, dtype=np.int64)
         val = np.asarray(values, dtype=float)
@@ -302,8 +347,27 @@ class WorkerService:
         )
         if self._max_stream_states < 1:
             raise ValueError("max_stream_states must be >= 1")
-        #: session id -> (token -> cached g values); guarded by the lock.
-        self._subsample_g: "OrderedDict[str, Dict[int, np.ndarray]]" = OrderedDict()
+        #: Admission quotas: hard per-tenant caps layered *on top of* the
+        #: LRU knobs above.  The LRU caps bound total memory by evicting the
+        #: least recently used session; the quotas refuse a new session
+        #: outright (typed :class:`~repro.core.errors.AdmissionError`) so one
+        #: tenant can never thrash every neighbour out of the caches.
+        #: ``None`` disables the respective check.
+        self._max_tenants = None if max_tenants is None else int(max_tenants)
+        if self._max_tenants is not None and self._max_tenants < 1:
+            raise ValueError("max_tenants must be >= 1")
+        self._max_sessions_per_tenant = (
+            None if max_sessions_per_tenant is None else int(max_sessions_per_tenant)
+        )
+        if self._max_sessions_per_tenant is not None and self._max_sessions_per_tenant < 1:
+            raise ValueError("max_sessions_per_tenant must be >= 1")
+        #: session id -> tenant id of every session holding cache entries;
+        #: maintained under the subsample lock alongside ``_subsample_g``.
+        self._session_tenants: Dict[str, str] = {}
+        #: session id -> (token -> (g values, hash coefficients, scale));
+        #: the coefficients ride along so a streaming update can refresh the
+        #: cached values *incrementally* instead of wiping every session.
+        self._subsample_g: "OrderedDict[str, Dict[int, tuple]]" = OrderedDict()
         self._subsample_lock = threading.Lock()
         #: (session, stream) -> StreamingSketchState; guarded by its own
         #: lock, namespaced per coordinator session (like the subsample
@@ -359,7 +423,9 @@ class WorkerService:
                 # restricted sketches must not be evicted as "least recently
                 # used" just because it stopped *writing* new tokens.
                 self._subsample_g.move_to_end(session)
-                g = cache.get(token)
+                entry = cache.get(token)
+                if entry is not None:
+                    g = entry[0]
         telemetry = obs.active()
         if telemetry is not None:
             hit = g is not None and g.shape == idx.shape
@@ -367,9 +433,11 @@ class WorkerService:
                 "worker.subsample.hits" if hit else "worker.subsample.misses"
             ).add(1)
         if g is None or g.shape != idx.shape:
-            # A missing token, or one cached against a component that a
-            # streaming update has since replaced (updates clear the caches,
-            # but pipelined frames may still race one in).
+            # A missing token: evicted (LRU), restored over (checkpoint), or
+            # never sent.  The coordinator treats this error as *retryable*
+            # -- it re-sends the session's subsample frame and re-issues the
+            # sketch, so a victim of a neighbour's eviction recovers instead
+            # of hard-failing mid-protocol.
             raise WorkerProtocolError(
                 f"no cached subsample values for token {token!r} in session "
                 f"{session!r}; send a 'subsample' frame first"
@@ -390,31 +458,77 @@ class WorkerService:
             },
         )
 
+    def _admit_session(self, session: str, tenant: str, telemetry) -> None:
+        """Quota-check a *new* session (subsample lock held by the caller).
+
+        Counts the live cached sessions per tenant and refuses -- typed
+        :class:`~repro.core.errors.AdmissionError`, travelling back as an
+        error frame the coordinator re-raises typed -- when admitting
+        ``session`` would push its tenant past ``max_sessions_per_tenant``
+        or open a seat for a brand-new tenant past ``max_tenants``.  A
+        refusal mutates nothing: the neighbour sessions (and the ledger)
+        are exactly as they were.
+        """
+        if self._max_tenants is None and self._max_sessions_per_tenant is None:
+            return
+        live: Dict[str, int] = {}
+        for live_session in self._subsample_g:
+            owner = self._session_tenants.get(live_session, "")
+            live[owner] = live.get(owner, 0) + 1
+        rejection = None
+        if (
+            self._max_tenants is not None
+            and tenant not in live
+            and len(live) >= self._max_tenants
+        ):
+            rejection = (
+                f"tenant {tenant!r} refused: worker already serves "
+                f"{len(live)} tenant(s) (max_tenants={self._max_tenants})"
+            )
+        elif (
+            self._max_sessions_per_tenant is not None
+            and live.get(tenant, 0) >= self._max_sessions_per_tenant
+        ):
+            rejection = (
+                f"session {session!r} of tenant {tenant!r} refused: the "
+                f"tenant already holds {live[tenant]} session(s) "
+                f"(max_sessions_per_tenant={self._max_sessions_per_tenant})"
+            )
+        if rejection is not None:
+            if telemetry is not None:
+                telemetry.metrics.counter("worker.admission.rejected").add(1)
+            raise AdmissionError(rejection)
+
     def _op_subsample(self, frame) -> bytes:
         """Cache the subsample hash ``g`` over the local component."""
         meta = frame.meta
         coefficients = np.asarray(frame.entry(0), dtype=np.int64)
-        subsample = SubsampleHash.from_coefficients(int(meta["domain_scale"]), coefficients)
+        domain_scale = int(meta["domain_scale"])
+        subsample = SubsampleHash.from_coefficients(domain_scale, coefficients)
         token = int(meta["token"])
         session = str(meta.get("session", ""))
+        tenant = str(meta.get("tenant", ""))
         idx = self._component[0]
         values = subsample(idx) if idx.size else np.zeros(0, dtype=np.int64)
         telemetry = obs.active()
         with self._subsample_lock:
             cache = self._subsample_g.get(session)
             if cache is None:
+                self._admit_session(session, tenant, telemetry)
                 while len(self._subsample_g) >= self._max_sessions:
-                    self._subsample_g.popitem(last=False)
+                    victim, _ = self._subsample_g.popitem(last=False)
+                    self._session_tenants.pop(victim, None)
                     if telemetry is not None:
                         telemetry.metrics.counter("worker.sessions.evictions").add(1)
                 cache = self._subsample_g.setdefault(session, {})
+                self._session_tenants[session] = tenant
             else:
                 self._subsample_g.move_to_end(session)
             if len(cache) >= self._max_subsample_caches:
                 cache.pop(next(iter(cache)))
                 if telemetry is not None:
                     telemetry.metrics.counter("worker.subsample.evictions").add(1)
-            cache[token] = values
+            cache[token] = (values, coefficients, domain_scale)
         return wire.encode_frame("ack", {"cached": int(idx.size)})
 
     def _op_sketch(self, frame) -> bytes:
@@ -471,12 +585,13 @@ class WorkerService:
         The delta arrays travel as an *untagged* control entry: like the
         initial data placement, stream ingestion at the servers is never
         charged to the word model, on any backend.  The component (plus its
-        sorted lookup view) is replaced atomically, the subsample caches are
-        dropped when the component actually changed (their ``g`` arrays
-        describe the pre-update component; the protocols re-send
-        ``subsample`` frames per run anyway), and every cached stream-sketch
-        state is refreshed *incrementally* through the merge layer -- only
-        the delta is sketched.
+        sorted lookup view) is replaced atomically, every session's cached
+        subsample values are *extended* with the delta's hash values (the
+        hash is elementwise over component indices, so the refresh is exact
+        -- sessions with restricted sketches in flight keep working through
+        a neighbour's update), and every cached stream-sketch state is
+        refreshed *incrementally* through the merge layer -- only the delta
+        is sketched.
 
         **Idempotency.** Coordinators stamp each batch with a per-session
         monotonically increasing ``seq``; a batch whose seq the worker has
@@ -525,18 +640,53 @@ class WorkerService:
                 )
                 for state in self._stream_states.values():
                     state.ingest(d_idx, d_val)
+                self._refresh_subsample_caches(idx, d_idx)
             if seq is not None:
                 if session not in self._applied_updates:
                     while len(self._applied_updates) >= self._max_sessions:
                         self._applied_updates.popitem(last=False)
                 self._applied_updates[session] = (int(seq), *fingerprint)
                 self._applied_updates.move_to_end(session)
-        if d_idx.size:
-            with self._subsample_lock:
-                self._subsample_g.clear()
         return wire.encode_frame(
             "ack", {"support": int(self._component[0].size), "applied": True}
         )
+
+    def _refresh_subsample_caches(self, old_idx: np.ndarray, d_idx: np.ndarray) -> None:
+        """Refresh every cached ``g`` for an appended delta (stream lock held).
+
+        A cached entry is ``g = hash(component indices)`` elementwise, and
+        an update *appends* ``d_idx`` -- so the exact post-update cache is
+        ``concat(g, hash(d_idx))``, computed once per token over just the
+        delta.  This scopes invalidation to what the component change
+        actually staled: nothing, for entries in step with the component.
+        An entry whose values no longer line up with the pre-update
+        component (a concurrent subsample raced a newer snapshot in) cannot
+        be refreshed; it is dropped and counted in
+        ``worker.subsample.invalidations`` so cross-tenant interference
+        stays visible -- the historical behaviour (wiping *every* session's
+        cache, hard-failing neighbours with restricted sketches in flight)
+        would count one invalidation per cached token here.
+        """
+        telemetry = obs.active()
+        invalidated = 0
+        with self._subsample_lock:
+            for cache in self._subsample_g.values():
+                for token in list(cache):
+                    values, coefficients, domain_scale = cache[token]
+                    if values.shape != old_idx.shape:
+                        del cache[token]
+                        invalidated += 1
+                        continue
+                    subsample = SubsampleHash.from_coefficients(
+                        domain_scale, coefficients
+                    )
+                    cache[token] = (
+                        np.concatenate((values, subsample(d_idx))),
+                        coefficients,
+                        domain_scale,
+                    )
+        if invalidated and telemetry is not None:
+            telemetry.metrics.counter("worker.subsample.invalidations").add(invalidated)
 
     def _op_stream_sketch(self, frame) -> bytes:
         """Export this component's CountSketch state for a named stream.
@@ -669,7 +819,12 @@ class WorkerService:
             if checkpoint.applied_update is not None:
                 self._applied_updates[checkpoint.session] = checkpoint.applied_update
         with self._subsample_lock:
+            invalidated = sum(len(cache) for cache in self._subsample_g.values())
             self._subsample_g.clear()
+            self._session_tenants.clear()
+        telemetry = obs.active()
+        if invalidated and telemetry is not None:
+            telemetry.metrics.counter("worker.subsample.invalidations").add(invalidated)
         return wire.encode_frame(
             "ack", {"restored": True, "support": int(idx.size)}
         )
@@ -704,8 +859,10 @@ class RemoteVector(DistributedVector):
         restriction: Optional[Tuple[int, int]] = None,
         token_counter: Optional[itertools.count] = None,
         session: str = "",
+        tenant: str = "",
         pool: Optional[ThreadPoolExecutor] = None,
         supervisor=None,
+        subsample_frames: Optional[dict] = None,
     ) -> None:
         empty = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=float))
         components = [local_component] + [empty] * len(transports)
@@ -719,19 +876,60 @@ class RemoteVector(DistributedVector):
         self._restriction = restriction
         self._token_counter = token_counter if token_counter is not None else itertools.count()
         self._session = session
+        self._tenant = tenant
         self._pool = pool
         self._supervisor = supervisor
         self._local_g: dict[int, np.ndarray] = {}
+        # token -> the encoded subsample frame that installed it, shared BY
+        # REFERENCE with every restricted clone: if a worker LRU-evicts the
+        # whole session mid-protocol, the coordinator re-sends the retained
+        # frame instead of hard-failing the run.
+        self._subsample_frames: dict = (
+            subsample_frames if subsample_frames is not None else {}
+        )
 
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
-    def _scatter(self, op: str, frame: bytes, sections, overhead: int):
+    def _scatter(self, op: str, frame: bytes, sections, overhead: int, recover=None):
         """One broadcast wave to every worker (pipelined when a pool is set)."""
         return _rpc_scatter(
             self._network, self._transports, op, frame, sections, overhead,
-            pool=self._pool, supervisor=self._supervisor,
+            pool=self._pool, supervisor=self._supervisor, recover=recover,
         )
+
+    def _recover_missing_subsample(self, worker: int, frame: bytes, reply):
+        """Re-install an LRU-evicted session's subsample cache and retry.
+
+        A shared worker may evict this session's whole cache between the
+        ``subsample`` wave and a later restricted ``sketch`` wave (another
+        tenant opened sessions past ``max_sessions``).  The op is a pure
+        read over cached state, so the fix is to re-send the retained
+        subsample frame and re-issue the sketch -- directly on the worker's
+        transport, off the ledger, exactly like supervisor replays: the
+        charged words then match a run where no eviction happened.
+        """
+        if self._restriction is None:
+            return None
+        if reply.meta.get("type") != "WorkerProtocolError":
+            return None
+        if "send a 'subsample' frame first" not in str(reply.meta.get("message", "")):
+            return None
+        token, _ = self._restriction
+        subsample_frame = self._subsample_frames.get(token)
+        if subsample_frame is None:
+            return None
+        transport = self._transports[worker]
+        resend = wire.decode_frame(transport.request(subsample_frame))
+        if resend.op == "error":
+            return None
+        retry = wire.decode_frame(transport.request(frame))
+        if retry.op == "error":
+            return None
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.metrics.counter("coordinator.subsample.resends").add(1)
+        return retry
 
     def _sketch_meta(self) -> dict:
         if self._restriction is None:
@@ -782,7 +980,11 @@ class RemoteVector(DistributedVector):
         # scatter it to all workers in one wave (pipelined under the pool).
         frame, sections, overhead = wire.encode_frame_with_stats("sketch", meta, entries)
         expected = (nonempty.size, batched.depth, batched.width)
-        for worker, reply in enumerate(self._scatter("sketch", frame, sections, overhead)):
+        replies = self._scatter(
+            "sketch", frame, sections, overhead,
+            recover=self._recover_missing_subsample,
+        )
+        for worker, reply in enumerate(replies):
             compact_stack = np.asarray(reply.entry(0), dtype=float)
             if compact_stack.shape != expected:
                 raise WorkerProtocolError(
@@ -802,10 +1004,17 @@ class RemoteVector(DistributedVector):
             "domain_scale": int(subsample.domain_scale),
             "session": self._session,
         }
+        if self._tenant:
+            # Only tenant-aware runs carry the extra key: framing overhead
+            # (and therefore the byte ledger) of plain runs is unchanged.
+            meta["tenant"] = self._tenant
         frame, sections, overhead = wire.encode_frame_with_stats(
             "subsample", meta, [(f"{tag}:seeds", coefficients)]
         )
         self._scatter("subsample", frame, sections, overhead)
+        # Retained for mid-protocol recovery: a shared worker may evict the
+        # session before the restricted sketch waves land.
+        self._subsample_frames[token] = frame
         idx, _ = self._components[0]
         self._local_g[token] = (
             subsample(idx) if idx.size else np.zeros(0, dtype=np.int64)
@@ -824,8 +1033,10 @@ class RemoteVector(DistributedVector):
             restriction=(token, int(threshold)),
             token_counter=self._token_counter,
             session=self._session,
+            tenant=self._tenant,
             pool=self._pool,
             supervisor=self._supervisor,
+            subsample_frames=self._subsample_frames,
         )
         return clone
 
@@ -973,9 +1184,16 @@ class CoordinatorService(ExecutionSession):
         handshake: bool = True,
         concurrency: Optional[int] = None,
         supervisor=None,
+        tenant: str = "",
+        scatter_loop=None,
     ) -> None:
         self._transports = list(transports)
         self._supervisor = supervisor
+        self._tenant = str(tenant)
+        #: An owned :class:`~repro.runtime.transport.EventLoopThread`, closed
+        #: with the session.  Ownership only -- routing is duck-typed off the
+        #: transports themselves (their ``scatter_loop`` attribute).
+        self._scatter_loop = scatter_loop
         self._dimension = int(dimension)
         if local_component is None:
             local_component = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=float))
@@ -1003,12 +1221,20 @@ class CoordinatorService(ExecutionSession):
         if concurrency is None:
             concurrency = workers
         self._concurrency = max(1, min(int(concurrency), max(workers, 1)))
+        # Async-native transports multiplex a wave on one shared event loop:
+        # a thread pool would only add handoff latency, so skip it.  The
+        # serving path holds many concurrent sessions per process; one loop
+        # instead of one pool per session is what makes that scale.
+        async_native = workers > 0 and all(
+            getattr(transport, "scatter_loop", None) is not None
+            for transport in self._transports
+        )
         self._pool: Optional[ThreadPoolExecutor] = (
             ThreadPoolExecutor(
                 max_workers=self._concurrency,
                 thread_name_prefix="coordinator-scatter",
             )
-            if self._concurrency > 1 and workers > 1
+            if self._concurrency > 1 and workers > 1 and not async_native
             else None
         )
         if handshake:
@@ -1070,6 +1296,7 @@ class CoordinatorService(ExecutionSession):
             self._local,
             token_counter=self._token_counter,
             session=self._session,
+            tenant=self._tenant,
             pool=self._pool,
             supervisor=self._supervisor,
         )
@@ -1254,3 +1481,7 @@ class CoordinatorService(ExecutionSession):
         if self._pool is not None:
             self._pool.shutdown(wait=False)
             self._pool = None
+        if self._scatter_loop is not None:
+            # After the transports: their close() may still need the loop.
+            self._scatter_loop.close()
+            self._scatter_loop = None

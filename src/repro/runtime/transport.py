@@ -11,6 +11,11 @@ the Central Processor).  Two implementations are provided:
   are still fully encoded and decoded.
 * :class:`TcpTransport` / :class:`WorkerServer` -- an asyncio TCP
   client/server pair moving length-prefixed frames over real sockets.
+* :class:`AsyncLoopbackTransport` / :class:`AsyncTcpTransport` -- the
+  serving path's async-native twins: all of a session's connections
+  multiplex on one shared :class:`EventLoopThread`, and
+  :func:`scatter_requests` fans a wave out as a single ``asyncio.gather``
+  instead of a thread-pool scatter.
 
 The framing on the socket is an 8-byte big-endian length prefix followed by
 one :mod:`repro.runtime.wire` frame.  The prefix is transport overhead (it
@@ -230,6 +235,224 @@ class LatencyTransport(Transport):
         self._inner.close()
 
 
+class EventLoopThread:
+    """One background thread driving one shared asyncio event loop.
+
+    The serving path's scatter fabric: every async-native transport of a
+    session registers against one of these, so a *single* loop multiplexes
+    all worker connections and a scatter wave is one ``asyncio.gather`` --
+    no per-wave thread-pool fan-out, no per-transport private loop.  A
+    process can then hold thousands of concurrent client sessions at the
+    cost of sockets, not threads.
+    """
+
+    def __init__(self, name: str = "scatter-loop") -> None:
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._closed = False
+        self._thread = threading.Thread(target=self._drive, name=name, daemon=True)
+        self._thread.start()
+        self._started.wait()
+
+    def _drive(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.call_soon(self._started.set)
+        try:
+            self._loop.run_forever()
+        finally:
+            leftovers = asyncio.all_tasks(self._loop)
+            for task in leftovers:
+                task.cancel()
+            if leftovers:
+                self._loop.run_until_complete(
+                    asyncio.gather(*leftovers, return_exceptions=True)
+                )
+            self._loop.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (submissions will fail)."""
+        return self._closed
+
+    def submit(self, coroutine) -> "concurrent.futures.Future":
+        """Schedule a coroutine onto the loop from any thread."""
+        if self._closed:
+            raise RuntimeError("event-loop thread is closed")
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+
+    def run(self, coroutine):
+        """Block the calling (non-loop) thread on a coroutine's result."""
+        return self.submit(coroutine).result()
+
+    def close(self) -> None:
+        """Stop the loop and join the thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        except RuntimeError:  # pragma: no cover - loop died concurrently
+            pass
+        self._thread.join(timeout=10.0)
+
+
+class AsyncLoopbackTransport(Transport):
+    """Loopback twin of :class:`AsyncTcpTransport` for the serving path.
+
+    The worker's handler runs inline in the request coroutine on the shared
+    loop: the sketching work is CPU-bound and holds the GIL anyway, so on
+    the single-core deployments this repo measures a thread hand-off would
+    only add latency.  Frames still round-trip through immutable ``bytes``,
+    so the codec and the byte ledger behave exactly like the socket path.
+    """
+
+    def __init__(self, handler: FrameHandler, loop_thread: EventLoopThread) -> None:
+        self._handler = handler
+        self._loop_thread = loop_thread
+        self._closed = False
+
+    @property
+    def scatter_loop(self) -> EventLoopThread:
+        """The shared loop this transport's coroutines run on."""
+        return self._loop_thread
+
+    async def request_async(self, frame: bytes) -> bytes:
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        return bytes(self._handler(bytes(frame)))
+
+    def request(self, frame: bytes) -> bytes:
+        return self._loop_thread.run(self.request_async(bytes(frame)))
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class AsyncTcpTransport(Transport):
+    """TCP client whose requests are coroutines on a shared event loop.
+
+    The serving-path sibling of :class:`TcpTransport`: same length-prefixed
+    frames, same request-id stamping and per-step ``timeout``, but instead
+    of a private per-transport loop driven by blocking calls, every
+    connection of a session multiplexes on one :class:`EventLoopThread` --
+    :func:`scatter_requests` then fans a wave out as a single gather with
+    zero pool threads.  A failed or timed-out request poisons the
+    connection (the next request reconnects); retry lives in the supervisor
+    layer, not here.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        loop_thread: EventLoopThread,
+        *,
+        timeout: float = 30.0,
+    ) -> None:
+        self._host = host
+        self._port = int(port)
+        self._loop_thread = loop_thread
+        self._timeout = float(timeout)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._request_ids = itertools.count(1)
+        self._wave_lock: Optional[asyncio.Lock] = None
+        self._closed = False
+        # Eager connect, like TcpTransport: construction against a dead
+        # worker must fail fast, not at the first wave.
+        self._loop_thread.run(self._ensure_connected())
+
+    @property
+    def scatter_loop(self) -> EventLoopThread:
+        """The shared loop this transport's coroutines run on."""
+        return self._loop_thread
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self._host, self._port), self._timeout
+            )
+
+    async def _read_frame(self) -> bytes:
+        header = await self._reader.readexactly(LENGTH_PREFIX_BYTES)
+        length = int.from_bytes(header, "big")
+        if length > MAX_FRAME_BYTES:
+            raise WireFormatError(f"peer announced an oversized {length}-byte frame")
+        return await self._reader.readexactly(length)
+
+    async def _poison(self) -> None:
+        writer, self._writer, self._reader = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def request_many_async(self, frames: Sequence[bytes]) -> List[bytes]:
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        if self._wave_lock is None:  # created lazily *on* the loop
+            self._wave_lock = asyncio.Lock()
+        frame_list = [bytes(frame) for frame in frames]
+        if not frame_list:
+            return []
+        async with self._wave_lock:  # one wave at a time per connection
+            try:
+                await self._ensure_connected()
+                ids = [next(self._request_ids) for _ in frame_list]
+                stamped = [
+                    wire.stamp_request_id(frame, rid)
+                    for frame, rid in zip(frame_list, ids)
+                ]
+                for frame in stamped:
+                    self._writer.write(_prefix(frame) + frame)
+                await asyncio.wait_for(self._writer.drain(), self._timeout)
+                replies_by_id = {}
+                for _ in ids:
+                    reply = await asyncio.wait_for(self._read_frame(), self._timeout)
+                    replies_by_id[wire.frame_request_id(reply)] = reply
+                try:
+                    return [replies_by_id[rid] for rid in ids]
+                except KeyError:
+                    raise WorkerProtocolError(
+                        f"worker {self._host}:{self._port} answered unknown "
+                        "request ids"
+                    ) from None
+            except asyncio.TimeoutError:
+                await self._poison()
+                telemetry = obs.active()
+                if telemetry is not None:
+                    telemetry.metrics.counter("transport.timeouts").add(1)
+                raise WorkerTimeoutError(
+                    f"worker {self._host}:{self._port} did not answer within "
+                    f"{self._timeout}s"
+                ) from None
+            except Exception:
+                await self._poison()
+                raise
+
+    async def request_async(self, frame: bytes) -> bytes:
+        return (await self.request_many_async([frame]))[0]
+
+    def request(self, frame: bytes) -> bytes:
+        return self._loop_thread.run(self.request_async(bytes(frame)))
+
+    def request_many(self, frames: Sequence[bytes]) -> List[bytes]:
+        return self._loop_thread.run(
+            self.request_many_async([bytes(frame) for frame in frames])
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._loop_thread.run(self._poison())
+        except RuntimeError:  # the shared loop is already gone
+            self._reader = self._writer = None
+
+
 def scatter_requests(
     transports: Sequence[Transport],
     frames: Union[bytes, Sequence[bytes]],
@@ -239,12 +462,16 @@ def scatter_requests(
     """Fan one request per transport out in a single wave.
 
     ``frames`` is either one broadcast frame shipped to every transport or a
-    per-transport sequence.  With a ``pool`` the requests run concurrently
-    (one pool task per worker -- each transport is used by at most one
-    thread per wave, which is all the transports require); without one the
-    wave degrades to the sequential worker-by-worker loop.  Replies are
-    returned in transport order; the first failing worker's exception is
-    raised after its predecessors' replies have been collected.
+    per-transport sequence.  When every transport is async-native (exposes
+    ``scatter_loop``/``request_async``) and they share one
+    :class:`EventLoopThread`, the wave runs as a single ``asyncio.gather``
+    on that loop -- the serving path, zero pool threads in flight.
+    Otherwise, with a ``pool`` the requests run concurrently (one pool task
+    per worker -- each transport is used by at most one thread per wave,
+    which is all the transports require); without one the wave degrades to
+    the sequential worker-by-worker loop.  Replies are returned in
+    transport order; the first failing worker's exception is raised after
+    its predecessors' replies have been collected.
     """
     if isinstance(frames, (bytes, bytearray)):
         frame_list: List[bytes] = [bytes(frames)] * len(transports)
@@ -254,6 +481,31 @@ def scatter_requests(
         raise ValueError(
             f"got {len(frame_list)} frames for {len(transports)} transports"
         )
+    if len(transports) > 1:
+        loop_thread = getattr(transports[0], "scatter_loop", None)
+        if (
+            loop_thread is not None
+            and not loop_thread.closed
+            and all(
+                getattr(transport, "scatter_loop", None) is loop_thread
+                for transport in transports
+            )
+        ):
+
+            async def wave() -> List[bytes]:
+                outcomes = await asyncio.gather(
+                    *(
+                        transport.request_async(frame)
+                        for transport, frame in zip(transports, frame_list)
+                    ),
+                    return_exceptions=True,
+                )
+                for outcome in outcomes:
+                    if isinstance(outcome, BaseException):
+                        raise outcome
+                return list(outcomes)
+
+            return loop_thread.run(wave())
     if pool is None or len(transports) <= 1:
         return [
             transport.request(frame)
@@ -634,9 +886,6 @@ class WorkerServer:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
         self._loop = loop
-        self._executor = ThreadPoolExecutor(
-            max_workers=self._concurrency, thread_name_prefix="worker-server"
-        )
         try:
             server = loop.run_until_complete(
                 asyncio.start_server(self._serve_client, self._host, self._port)
@@ -644,9 +893,14 @@ class WorkerServer:
         except BaseException as exc:  # bind failures surface in start()
             self._startup_error = exc
             self._started.set()
-            self._executor.shutdown(wait=False)
             loop.close()
             return
+        # The executor exists only once the socket is bound: on a bind
+        # failure start() re-raises and the caller holds no handle to shut
+        # anything down, so nothing request-serving may outlive that path.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._concurrency, thread_name_prefix="worker-server"
+        )
         self._port = server.sockets[0].getsockname()[1]
         self._started.set()
         try:

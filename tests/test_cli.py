@@ -270,6 +270,68 @@ class TestRuntimeCommands:
             is None
         )
 
+    def test_serving_flags_parse(self):
+        submit_args = build_parser().parse_args(
+            ["submit", "--transport", "loopback", "--session-reuse", "3",
+             "--tenant", "acme", "--async-scatter"]
+        )
+        assert submit_args.session_reuse == 3
+        assert submit_args.tenant == "acme"
+        assert submit_args.async_scatter is True
+        serve_args = build_parser().parse_args(
+            ["serve", "--server", "1", "--max-sessions", "2",
+             "--max-tenants", "1", "--max-sessions-per-tenant", "1"]
+        )
+        assert serve_args.max_sessions == 2
+        assert serve_args.max_tenants == 1
+        assert serve_args.max_sessions_per_tenant == 1
+        # Defaults: one submit, anonymous tenant, blocking scatter, no quotas.
+        default = build_parser().parse_args(["submit", "--workers", "h:1"])
+        assert default.session_reuse == 1
+        assert default.tenant == ""
+        assert default.async_scatter is False
+
+    def test_async_scatter_excludes_supervised_tcp(self):
+        with pytest.raises(SystemExit, match="mutually"):
+            main(
+                ["submit", "--workers", "h:1", "--num-servers", "2",
+                 "--async-scatter", "--max-worker-restarts", "1"]
+            )
+
+    def test_admission_error_maps_to_exit_code_9(self):
+        from repro.core.errors import AdmissionError
+        from repro.experiments.cli import typed_exit_code
+
+        assert typed_exit_code(AdmissionError("tenant refused")) == 9
+
+    def test_loopback_submit_session_reuse_reports_warm_submits(self, capsys):
+        """`--session-reuse N` serves N-1 warm submits over one session:
+        the report says so, and the warm submits moved zero frames and
+        charged zero words -- with the result still verified bit-identical
+        against the local simulation."""
+        code = main(
+            ["submit", "--transport", "loopback", "--verify-local",
+             "--session-reuse", "3", "--tenant", "acme",
+             "--num-servers", "3", "--dimension", "2000", "--support", "200",
+             "--draws", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving: 3 submits over one warm session (1 cold, 2 warm)" in out
+        assert "moved 0 frames and charged 0 words" in out
+        assert "bit-identical draws" in out
+
+    def test_loopback_submit_async_scatter_verifies_locally(self, capsys):
+        code = main(
+            ["submit", "--transport", "loopback", "--verify-local",
+             "--async-scatter",
+             "--num-servers", "3", "--dimension", "2000", "--support", "200",
+             "--draws", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bit-identical draws" in out
+
     def test_typed_errors_map_to_distinct_exit_codes(self):
         from repro.core.errors import (
             SketchCompatibilityError,

@@ -170,33 +170,46 @@ class TestStreamingWorkerOps:
         assert set(words) == {"t:verify"}
         coordinator.verify_wire_accounting()
 
-    def test_update_invalidates_stale_subsample_tokens(self):
-        from repro.sketch.hashing import SubsampleHash
-
-        dim, components = make_components(seed=22, servers=2)
-        coordinator, workers = loopback_coordinator(dim, components)
-        vector = coordinator.vector()
-        restrictor = vector.subsample_restrictor(
-            SubsampleHash(domain_scale=dim, seed=0), tag="t"
-        )
-        deltas = [
-            (np.zeros(0, dtype=np.int64), np.zeros(0)),
-            (np.array([3]), np.array([1.0])),
-        ]
-        coordinator.apply_deltas(deltas)
+    def test_update_refreshes_subsample_tokens_in_place(self):
+        """A delta batch *extends* cached subsample values instead of wiping
+        them: a restricted sketch issued after the update succeeds and is
+        bit-identical to a cold run over the post-update components."""
         from repro.sketch.countsketch import BatchedCountSketch, CountSketch
-        from repro.sketch.hashing import PairwiseHash
+        from repro.sketch.hashing import PairwiseHash, SubsampleHash
 
-        batched = BatchedCountSketch([CountSketch(3, 8, dim, seed=0)])
-        restricted = restrictor.restrict(1)
-        with pytest.raises(WorkerProtocolError, match="subsample"):
-            restricted.batched_sketch_tables(
+        def run(pre_update_components, deltas):
+            coordinator, _ = loopback_coordinator(dim, pre_update_components)
+            vector = coordinator.vector()
+            restrictor = vector.subsample_restrictor(
+                SubsampleHash(domain_scale=dim, seed=0), tag="t"
+            )
+            if deltas is not None:
+                coordinator.apply_deltas(deltas)
+            batched = BatchedCountSketch([CountSketch(3, 8, dim, seed=0)])
+            return restrictor.restrict(1).batched_sketch_tables(
                 batched,
                 np.zeros(dim, dtype=np.int64),
                 bucket_hash=PairwiseHash(1, seed=0),
                 nonempty_buckets=[0],
                 tag="t",
             )
+
+        dim, components = make_components(seed=22, servers=2)
+        deltas = [
+            (np.zeros(0, dtype=np.int64), np.zeros(0)),
+            (np.array([3]), np.array([1.0])),
+        ]
+        warm = run(components, deltas)
+        # Cold reference: a fresh worker already holding the post-update
+        # component (subsample cached *after* the delta landed).
+        updated = list(components)
+        updated[1] = (
+            np.concatenate((components[1][0], deltas[1][0])),
+            np.concatenate((components[1][1], deltas[1][1])),
+        )
+        cold = run(updated, None)
+        for warm_table, cold_table in zip(warm, cold):
+            np.testing.assert_array_equal(warm_table, cold_table)
 
     def test_malformed_delta_rejected_before_shipping(self):
         dim, components = make_components(seed=23, servers=2)
@@ -362,3 +375,34 @@ class TestTcpTransport:
     def test_connection_refused(self):
         with pytest.raises(OSError):
             TcpTransport("127.0.0.1", 1, timeout=2.0)
+
+    def test_bind_failure_leaks_no_request_threads(self):
+        """A port collision must fail `start()` cleanly: the request executor
+        is only created after a successful bind, so the failed server owns
+        no 'worker-server' threads the caller has no handle to stop."""
+        import socket
+        import threading
+
+        from repro.runtime.transport import WorkerServer
+
+        def request_threads():
+            return {
+                thread
+                for thread in threading.enumerate()
+                if thread.name.startswith("worker-server")
+            }
+
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        before = request_threads()
+        try:
+            server = WorkerServer(lambda frame: frame, port=port)
+            with pytest.raises(OSError):
+                server.start()
+            server.wait(timeout=10.0)
+            assert server._executor is None
+            assert request_threads() - before == set()
+        finally:
+            blocker.close()
