@@ -123,7 +123,25 @@ try:
             "serving_warm_qps",
             "sampler_sample_rows",
             "telemetry_overhead",
+            "kernel_polynomial_hash",
+            "kernel_scatter_add",
+            "kernel_domain_cache_gather",
+            "mp_batched_dispatch",
         }
+        context = payload["context"]
+        assert context["cpu_count"] >= 1
+        assert context["kernel_provider"] in context["kernel_providers_available"]
+        for entry_name in (
+            "kernel_polynomial_hash",
+            "kernel_scatter_add",
+            "kernel_domain_cache_gather",
+        ):
+            kernel_entry = payload["results"][entry_name]
+            assert kernel_entry["bit_identical"]
+            assert kernel_entry["provider"] == context["kernel_provider"]
+        dispatch = payload["results"]["mp_batched_dispatch"]
+        assert dispatch["batched_submissions"] < dispatch["per_server_submissions"]
+        assert dispatch["bit_identical"]
         assert payload["results"]["telemetry_overhead"]["within_ceiling"]
         assert "wave_latency_seconds" in payload["results"]["runtime_pipelined_sample"]
         assert payload["results"]["runtime_pipelined_sample"]["bit_identical"]
@@ -578,6 +596,178 @@ def _telemetry_overhead_entry(*, iterations: int = 200_000) -> dict:
     }
 
 
+def _kernel_provider_entries(*, domain: int) -> dict:
+    """Per-kernel timings of the active compiled-kernel provider.
+
+    The three hot kernels behind :mod:`repro.sketch.kernels` -- the blocked
+    power-basis polynomial hash, the scatter-add table build and the
+    domain-cache tiny-table gather -- each timed under the active provider
+    and under the ``numpy`` baseline provider (the extraction of the fused
+    code paths).  On a numpy-only host the two sides are the same code, so
+    the entries are record-only (``gated: false``, speedup ~1x); with numba
+    active the ``>= 2x`` floor is enforced by the gate in ``__main__``.
+    Outputs are asserted bit-identical across providers on every entry.
+    """
+    from repro.sketch import kernels
+    from repro.sketch.countsketch import build_domain_cache_range
+    from repro.sketch.hashing import stacked_polynomial_hash
+
+    active = kernels.active_provider_name()
+    generator = np.random.default_rng(31)
+    entries = {}
+
+    def pair(fn, repeats: int = 3) -> dict:
+        outputs = {}
+        seconds = {}
+        for name in (active, "numpy"):
+            with kernels.provider_override(name):
+                outputs[name] = fn()  # warm run (JIT compile under numba)
+                seconds[name] = _best_of(fn, repeats)
+        np.testing.assert_array_equal(outputs[active], outputs["numpy"])
+        return {
+            "provider": active,
+            "provider_seconds": seconds[active],
+            "numpy_seconds": seconds["numpy"],
+            "speedup_vs_numpy": seconds["numpy"] / seconds[active],
+            "gated": active != "numpy",
+            "bit_identical": True,
+        }
+
+    # Blocked polynomial hash: 6 degree-4 polynomials over `domain` keys.
+    keys = generator.integers(0, 2**31 - 1, size=domain, dtype=np.int64)
+    coeffs = generator.integers(0, 2**31 - 1, size=(6, 5), dtype=np.int64)
+    entries["kernel_polynomial_hash"] = {
+        "keys": domain,
+        "num_hashes": 6,
+        "k": 5,
+        **pair(lambda: stacked_polynomial_hash(keys, coeffs)),
+    }
+
+    # Scatter-add table build: `domain` coordinates x depth rows.
+    depth, width = 5, 1024
+    flat_keys = generator.integers(
+        0, depth * width, size=(domain, depth), dtype=np.int64
+    )
+    weights = generator.normal(size=(domain, depth))
+    scatter_out = np.zeros(depth * width)
+
+    def run_scatter():
+        scatter_out.fill(0.0)
+        kernels.active_provider().scatter_add(scatter_out, flat_keys, weights)
+        return scatter_out.copy()
+
+    entries["kernel_scatter_add"] = {
+        "coordinates": domain,
+        "depth": depth,
+        "width": width,
+        **pair(run_scatter),
+    }
+
+    # Domain-cache blocked tiny-table gather over the full domain.
+    num_buckets = 16
+    cache_batched = BatchedCountSketch(
+        [
+            CountSketch(depth=depth, width=64, domain=domain, seed=400 + b)
+            for b in range(num_buckets)
+        ]
+    )
+    assign = PairwiseHash(num_buckets, seed=9)(np.arange(domain, dtype=np.int64))
+    flat_out = np.empty((domain, depth), dtype=np.int64)
+    sign_out = np.empty((domain, depth), dtype=np.int8)
+
+    def run_cache():
+        build_domain_cache_range(
+            cache_batched._bucket_coeffs,
+            cache_batched._sign_coeffs,
+            assign,
+            0,
+            domain,
+            64,
+            flat_out,
+            sign_out,
+            cache_batched.CACHE_BUILD_BLOCK,
+        )
+        return flat_out.copy()
+
+    entries["kernel_domain_cache_gather"] = {
+        "domain": domain,
+        "num_buckets": num_buckets,
+        "depth": depth,
+        **pair(run_cache, repeats=2),
+    }
+    return entries
+
+
+def _mp_batched_dispatch_entry(
+    *,
+    servers: int = 8,
+    processes: int = 2,
+    dimension: int = 100_000,
+    support: int = 20_000,
+) -> dict:
+    """Batched per-process dispatch vs one task submission per server.
+
+    ``SketchProcessPool.starmap_batched`` chunks all servers' payloads into
+    one submission per worker process, so a sketch wave costs O(processes)
+    IPC round-trips instead of O(servers).  The round-trip counts are exact
+    (the pool's ``submissions`` counter) and the reduction is asserted
+    deterministically in every mode; wall-clock is recorded for context
+    only -- on a single-core host it mostly measures pickling overhead.
+    Results are asserted bit-identical between the two dispatch modes.
+    """
+    import os
+
+    from repro.distributed.mp_backend import SketchProcessPool
+
+    generator = np.random.default_rng(37)
+    components = []
+    for _ in range(servers):
+        idx = np.sort(
+            generator.choice(dimension, size=support, replace=False)
+        ).astype(np.int64)
+        components.append((idx, generator.normal(size=support)))
+    vector = DistributedVector(components, dimension, Network(servers))
+    batched = BatchedCountSketch(
+        [CountSketch(depth=5, width=256, domain=dimension, seed=500 + b) for b in range(8)]
+    )
+    assignment = PairwiseHash(8, seed=12)(np.arange(dimension, dtype=np.int64))
+
+    def run(batch_dispatch: bool):
+        pool = SketchProcessPool(processes=processes, batch_dispatch=batch_dispatch)
+        try:
+            pool.batched_sketches(vector, batched, assignment)  # warm the pool
+            submissions_before = pool.submissions
+            start = time.perf_counter()
+            tables = pool.batched_sketches(vector, batched, assignment)
+            elapsed = time.perf_counter() - start
+            submissions = pool.submissions - submissions_before
+        finally:
+            pool.close()
+        return tables, submissions, elapsed
+
+    per_server_tables, per_server_submissions, per_server_seconds = run(False)
+    batched_tables, batched_submissions, batched_seconds = run(True)
+    for got, want in zip(batched_tables, per_server_tables):
+        assert np.array_equal(got, want), "batched dispatch diverged from per-server"
+    assert batched_submissions < per_server_submissions, (
+        f"batched dispatch did not reduce round-trips "
+        f"({batched_submissions} vs {per_server_submissions})"
+    )
+    return {
+        "servers": servers,
+        "processes": processes,
+        "cpu_count": os.cpu_count(),
+        "dimension": dimension,
+        "support_per_server": support,
+        "per_server_submissions": per_server_submissions,
+        "batched_submissions": batched_submissions,
+        "per_server_seconds": per_server_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": per_server_seconds / batched_seconds,
+        "bit_identical": True,
+    }
+
+
 def emit_speedup_json(
     write_root: bool = True,
     *,
@@ -763,6 +953,14 @@ def emit_speedup_json(
     # Disabled-telemetry hot-path cost (gated in every mode, --quick too).
     results["telemetry_overhead"] = _telemetry_overhead_entry()
 
+    # Compiled-kernel providers: active vs numpy baseline on the three hot
+    # kernels (record-only on a numpy-only host; >=2x gated under numba).
+    results.update(_kernel_provider_entries(domain=domain))
+
+    # Batched per-process mp dispatch: exact IPC round-trip counts, with
+    # the O(servers) -> O(processes) reduction asserted deterministically.
+    results["mp_batched_dispatch"] = _mp_batched_dispatch_entry()
+
     # End-to-end generalized Z-row-sampler (estimator + draws + gathers).
     config = ZSamplerConfig(
         hh_params=ZHeavyHittersParams(b=16, repetitions=2, num_buckets=8)
@@ -781,9 +979,16 @@ def emit_speedup_json(
         **_timed_pair(run_sampler, repeats=2),
     }
 
+    from repro.sketch import kernels
+
     payload = {
         "benchmark": "sketch_primitives",
         "generated_by": "benchmarks/bench_sketch_primitives.py",
+        "context": {
+            "cpu_count": os.cpu_count(),
+            "kernel_provider": kernels.active_provider_name(),
+            "kernel_providers_available": list(kernels.available_providers()),
+        },
         "baseline": (
             "naive engine (repro.sketch.engine.naive_reference) -- the seed "
             "implementation's per-row/per-bucket/per-level sketch loops, "
@@ -809,6 +1014,16 @@ GATED_ENTRIES = (
     "build_domain_cache",
     "z_heavy_hitters",
     "streaming_apply_deltas",
+)
+
+#: Compiled-kernel entries: gated at ``SPEEDUP_FLOOR`` over the numpy
+#: baseline provider only when a compiled provider (numba) is active --
+#: on a numpy-only host both sides run the same code and the entries are
+#: record-only (``gated: false``).
+KERNEL_GATED_ENTRIES = (
+    "kernel_polynomial_hash",
+    "kernel_scatter_add",
+    "kernel_domain_cache_gather",
 )
 
 #: The pipelined coordinator must beat the sequential schedule by at least
@@ -900,7 +1115,21 @@ if __name__ == "__main__":
                 f"active-check {entry['noop_active_check_ns']:.0f}ns per call "
                 f"(ceiling {entry['ceiling_ns']:.0f}ns)"
             )
-        elif "speedup" in entry:
+        elif "provider_seconds" in entry:
+            mode = "gated" if entry["gated"] else "record-only"
+            print(
+                f"{name}: {entry['speedup_vs_numpy']:.2f}x {entry['provider']} "
+                f"vs numpy baseline ({entry['numpy_seconds']:.3f}s -> "
+                f"{entry['provider_seconds']:.3f}s, {mode})"
+            )
+        elif "batched_submissions" in entry:
+            print(
+                f"{name}: {entry['per_server_submissions']} -> "
+                f"{entry['batched_submissions']} task submissions per wave "
+                f"({entry['servers']} servers over {entry['processes']} "
+                f"processes)"
+            )
+        elif "speedup" in entry and "naive_seconds" in entry:
             print(
                 f"{name}: {entry['speedup']:.1f}x "
                 f"({entry['naive_seconds']:.3f}s -> {entry['fused_seconds']:.3f}s)"
@@ -934,6 +1163,13 @@ if __name__ == "__main__":
                 f"serving_warm_qps: {serving:.2f}x < "
                 f"{SERVING_WARM_SPEEDUP_FLOOR}x"
             )
+        for name in KERNEL_GATED_ENTRIES:
+            entry = payload["results"][name]
+            if entry["gated"] and entry["speedup_vs_numpy"] < SPEEDUP_FLOOR:
+                failures.append(
+                    f"{name}: {entry['speedup_vs_numpy']:.2f}x "
+                    f"({entry['provider']} vs numpy) < {SPEEDUP_FLOOR}x"
+                )
     # The disabled-telemetry gate holds in every mode, --quick included.
     overhead = payload["results"]["telemetry_overhead"]
     if not overhead["within_ceiling"]:

@@ -55,12 +55,19 @@ def available_backends() -> tuple:
     return tuple(sorted(_BACKENDS))
 
 
-def create_backend(name: str, **options) -> ExecutionBackend:
+def create_backend(name: str, *, kernel: str = None, **options) -> ExecutionBackend:
     """Instantiate a registered backend by name.
 
     ``options`` are forwarded to the backend factory (e.g.
     ``create_backend("mp", processes=4)`` or
-    ``create_backend("tcp", concurrency=1)``).
+    ``create_backend("tcp", concurrency=1)``).  ``kernel`` selects the
+    compiled-kernel provider (``"numpy"``/``"numba"``; see
+    :mod:`repro.sketch.kernels`) before the backend is constructed --
+    the provider is an engine-global switch like fused/naive, orthogonal
+    to the backend choice and bit-identical across providers, so every
+    backend runs its sketch hot paths on whichever provider is active.
+    Raises ``ValueError`` for an unknown backend or an unavailable
+    provider.
     """
     try:
         factory = _BACKENDS[str(name)]
@@ -69,6 +76,10 @@ def create_backend(name: str, **options) -> ExecutionBackend:
             f"unknown execution backend {name!r}; available: "
             + ", ".join(available_backends())
         ) from None
+    if kernel is not None:
+        from repro.sketch import engine
+
+        engine.set_kernel_provider(kernel)
     return factory(**options)
 
 

@@ -36,6 +36,8 @@ from repro.experiments.figures import (
 )
 from repro.experiments.report import points_to_csv, qualitative_checks, summarize_results
 from repro.experiments.tables import format_table_i
+from repro.sketch import engine
+from repro.sketch.kernels import known_providers
 
 #: Typed runtime failures map to distinct nonzero exit codes so scripts and
 #: orchestrators can branch on *what* failed without parsing tracebacks.
@@ -101,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="execution backend of the Z-sampling phase (default: local; "
             "results are bit-identical across backends)",
         )
+        _add_kernel_arg(sub)
 
     subparsers.add_parser("table1", help="regenerate Table I (M-estimator psi-functions)")
 
@@ -152,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         "this many (default: unlimited)",
     )
     _add_runtime_workload_args(serve)
+    _add_kernel_arg(serve)
 
     submit = subparsers.add_parser(
         "submit",
@@ -252,7 +256,36 @@ def build_parser() -> argparse.ArgumentParser:
         "control traffic, like the delta frames themselves)",
     )
     _add_runtime_workload_args(submit)
+    _add_kernel_arg(submit)
     return parser
+
+
+def _add_kernel_arg(sub: argparse.ArgumentParser) -> None:
+    """Add the shared ``--kernel`` compiled-kernel provider flag."""
+    sub.add_argument(
+        "--kernel",
+        default=None,
+        choices=list(known_providers()),
+        help="compiled-kernel provider for the sketch hot paths (default: "
+        "auto-detected, numba when installed; results are bit-identical "
+        "across providers)",
+    )
+
+
+def _apply_kernel_selection(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Activate ``--kernel`` before any command runs (strongest precedence).
+
+    An explicitly requested but unavailable provider (e.g. ``--kernel
+    numba`` without numba installed) is a usage error, not a silent
+    fallback.
+    """
+    kernel = getattr(args, "kernel", None)
+    if kernel is None:
+        return
+    try:
+        engine.set_kernel_provider(kernel)
+    except ValueError as exc:
+        parser.error(str(exc))
 
 
 def _add_runtime_workload_args(sub: argparse.ArgumentParser) -> None:
@@ -567,6 +600,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro``; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _apply_kernel_selection(parser, args)
     if args.command == "list-panels":
         print("\n".join(panel_names("small")))
         return 0

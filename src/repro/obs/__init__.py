@@ -97,7 +97,16 @@ def enable() -> Telemetry:
         if _active is not None:
             raise RuntimeError("telemetry capture already active; disable() it first")
         _active = Telemetry()
-        return _active
+        telemetry = _active
+    # Every capture records which compiled-kernel provider produced its
+    # numbers (an info gauge; kept in sync by set_kernel_provider).
+    try:
+        from repro.sketch.kernels import active_provider_name
+
+        telemetry.metrics.gauge("kernel.provider").set(active_provider_name())
+    except Exception:  # pragma: no cover - obs must work without the engine
+        pass
+    return telemetry
 
 
 def disable() -> Optional[Telemetry]:

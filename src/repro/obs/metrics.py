@@ -46,21 +46,26 @@ class Counter:
 
 
 class Gauge:
-    """Last-write-wins instantaneous value."""
+    """Last-write-wins instantaneous value.
+
+    Values are numeric for measurements or strings for *info*-style
+    gauges (e.g. ``kernel.provider`` records the active compiled-kernel
+    provider's name); both render unchanged into JSON snapshots.
+    """
 
     __slots__ = ("name", "_lock", "_value")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._lock = threading.Lock()
-        self._value: Union[int, float] = 0
+        self._value: Union[int, float, str] = 0
 
-    def set(self, value: Union[int, float]) -> None:
+    def set(self, value: Union[int, float, str]) -> None:
         with self._lock:
             self._value = value
 
     @property
-    def value(self) -> Union[int, float]:
+    def value(self) -> Union[int, float, str]:
         with self._lock:
             return self._value
 

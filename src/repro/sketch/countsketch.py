@@ -40,6 +40,7 @@ from repro.sketch.hashing import (
     gathered_polynomial_hash,
     range_reduce,
 )
+from repro.sketch.kernels import active_provider
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
 
 
@@ -99,7 +100,7 @@ def batched_sketch_uncached(
     flat_keys = ((assign * table_words)[None, :] + rows * width + buckets).T
     weights = (sign_bits * val).T
     tables = np.zeros(num_buckets * table_words, dtype=float)
-    np.add.at(tables, flat_keys.ravel(), weights.ravel())
+    active_provider().scatter_add(tables, flat_keys, weights)
     return tables.reshape(num_buckets, depth, width)
 
 
@@ -125,37 +126,21 @@ def build_domain_cache_range(
     produces bit-identical ``(flat, sign)`` arrays.  ``assign`` holds the
     bucket of coordinates ``start..stop-1`` (i.e. it is already sliced to
     the range); outputs are written to ``flat_out[start:stop]`` /
-    ``sign_out[start:stop]``.
+    ``sign_out[start:stop]``.  The kernel body lives in the active
+    :mod:`repro.sketch.kernels` provider (the ``numpy`` provider is the
+    original blocked implementation, unchanged).
     """
-    depth = bucket_coeffs.shape[1]
-    bucket_tables = [
-        [np.ascontiguousarray(bucket_coeffs[:, r, j]) for r in range(depth)]
-        for j in range(2)
-    ]
-    sign_tables = [
-        [np.ascontiguousarray(sign_coeffs[:, r, j]) for r in range(depth)]
-        for j in range(4)
-    ]
-    one = np.uint64(1)
-    block = max(1, int(block))
-    for lo in range(start, stop, block):
-        hi = min(lo + block, stop)
-        selector = assign[lo - start : hi - start]
-        keys = np.arange(lo, hi, dtype=np.uint64)
-        x = _mersenne_exact(_mersenne_fold(keys))
-        x2 = _mersenne_fold(x * x)
-        x3 = _mersenne_fold(x2 * x)
-        for row in range(depth):
-            acc = bucket_tables[0][row][selector] + bucket_tables[1][row][selector] * x
-            flat_out[lo:hi, row] = np.uint64(row * width) + range_reduce(
-                _mersenne_exact(_mersenne_fold(acc)), width
-            )
-            acc = sign_tables[0][row][selector] + sign_tables[1][row][selector] * x
-            acc += sign_tables[2][row][selector] * x2
-            acc += sign_tables[3][row][selector] * x3
-            sign_out[lo:hi, row] = (
-                (_mersenne_exact(_mersenne_fold(acc)) & one).astype(np.int8) << 1
-            ) - 1
+    active_provider().domain_cache_range(
+        np.asarray(bucket_coeffs, dtype=np.uint64),
+        np.asarray(sign_coeffs, dtype=np.uint64),
+        assign,
+        start,
+        stop,
+        width,
+        flat_out,
+        sign_out,
+        block,
+    )
 
 
 def _median_of_three(a, b, c) -> np.ndarray:
@@ -415,7 +400,7 @@ class CountSketch:
         else:
             weights = signs * val[:, None]
         table = np.zeros(self.depth * self.width, dtype=float)
-        np.add.at(table, flat_keys.ravel(), weights.ravel())
+        active_provider().scatter_add(table, flat_keys, weights)
         return table.reshape(self.depth, self.width)
 
     def _sketch_naive(self, idx: np.ndarray, val: np.ndarray) -> np.ndarray:
@@ -815,7 +800,7 @@ class BatchedCountSketch:
                 self.num_buckets, self.depth, self.width,
             )
         tables = np.zeros(self.num_buckets * table_words, dtype=float)
-        np.add.at(tables, flat_keys.ravel(), weights.ravel())
+        active_provider().scatter_add(tables, flat_keys, weights)
         return tables.reshape(self.num_buckets, self.depth, self.width)
 
     def estimate_member(

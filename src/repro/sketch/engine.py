@@ -48,6 +48,43 @@ def naive_reference():
 
 
 # --------------------------------------------------------------------------- #
+# kernel-provider selection (see repro.sketch.kernels)
+# --------------------------------------------------------------------------- #
+def kernel_provider() -> str:
+    """Name of the active kernel provider (``numpy`` or ``numba``).
+
+    Orthogonal to the fused/naive engine switch: the naive engine never
+    touches a provider (it is the provider-independent oracle), while the
+    fused engine runs its three hot kernels -- blocked polynomial hashing,
+    the scatter-add table build, and the domain-cache gather -- on the
+    active provider.  Every provider is bit-identical by contract, so this
+    switch changes speed only, never results.
+    """
+    from repro.sketch import kernels
+
+    return kernels.active_provider_name()
+
+
+def set_kernel_provider(name: str):
+    """Globally select the named kernel provider (raises on unavailable).
+
+    Selection precedence is env var (``REPRO_KERNEL_PROVIDER``, read once
+    at import) < this API < the CLI ``--kernel`` flag (which calls this
+    last).
+    """
+    from repro.sketch import kernels
+
+    return kernels.set_kernel_provider(name)
+
+
+def kernel_provider_override(name: str):
+    """Context manager running the enclosed code on the named provider."""
+    from repro.sketch import kernels
+
+    return kernels.provider_override(name)
+
+
+# --------------------------------------------------------------------------- #
 # opt-in multiprocessing execution
 # --------------------------------------------------------------------------- #
 _PARALLEL_POOL = None

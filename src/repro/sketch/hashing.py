@@ -13,11 +13,26 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sketch import engine
+from repro.sketch.kernels import active_provider
+from repro.sketch.kernels.numpy_provider import (
+    MERSENNE_PRIME,
+    mersenne_exact as _mersenne_exact,
+    mersenne_fold as _mersenne_fold,
+    range_reduce,
+)
 from repro.utils.rng import RandomState, ensure_rng
 
-#: The Mersenne prime 2^31 - 1; larger than any coordinate index used in the
-#: experiments while keeping products of two residues inside uint64.
-MERSENNE_PRIME = (1 << 31) - 1
+__all__ = [
+    "MERSENNE_PRIME",
+    "HASH_BLOCK",
+    "range_reduce",
+    "stacked_polynomial_hash",
+    "gathered_polynomial_hash",
+    "KWiseHash",
+    "PairwiseHash",
+    "SignHash",
+    "SubsampleHash",
+]
 
 
 def _polynomial_hash(keys: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
@@ -30,45 +45,10 @@ def _polynomial_hash(keys: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
     return result
 
 
-def _mersenne_fold(values: np.ndarray) -> np.ndarray:
-    """Partially reduce ``values`` (any uint64) modulo ``p = 2^31 - 1``.
-
-    Two shift-and-add folds exploit ``2^31 = 1 (mod p)``: the result is
-    congruent to ``values`` and bounded by ``p + 8`` (for inputs < 2^64;
-    inputs < 2^62 fold to at most ``p + 1``), small enough both for
-    :func:`_mersenne_exact` (which accepts ``[0, 2p)``) and for the next
-    multiply-accumulate: callers may defer folding across at most three
-    ``< 2^62`` monomials plus one previously folded term before the uint64
-    accumulator could overflow.  This replaces the hardware division of
-    ``%`` with a handful of cheap vector ops.
-    """
-    prime = np.uint64(MERSENNE_PRIME)
-    folded = (values & prime) + (values >> np.uint64(31))
-    return (folded & prime) + (folded >> np.uint64(31))
-
-
-def _mersenne_exact(values: np.ndarray) -> np.ndarray:
-    """Finish a folded reduction: map values in ``[0, 2p)`` to ``[0, p)``."""
-    prime = np.uint64(MERSENNE_PRIME)
-    return np.where(values >= prime, values - prime, values)
-
-
 def _reduced_keys(keys: np.ndarray) -> np.ndarray:
     """Return ``keys mod p`` as a ``(1, n)`` uint64 row using fold reduction."""
     flat = np.asarray(keys, dtype=np.uint64).reshape(1, -1)
     return _mersenne_exact(_mersenne_fold(flat))
-
-
-def range_reduce(values: np.ndarray, range_size: int) -> np.ndarray:
-    """Map exact field residues into ``[0, range_size)``.
-
-    A power-of-two range uses a bitmask instead of hardware division;
-    identical to ``values % range_size`` in either case.
-    """
-    size = np.uint64(range_size)
-    if range_size & (range_size - 1) == 0:
-        return values & (size - np.uint64(1))
-    return values % size
 
 
 #: Keys per block of the stacked/gathered evaluators.  High-degree
@@ -77,27 +57,6 @@ def range_reduce(values: np.ndarray, range_size: int) -> np.ndarray:
 #: thousands of keys would stream every intermediate through DRAM and lose
 #: to the naive per-step ``%`` Horner loop.
 HASH_BLOCK = 1 << 15
-
-
-def _stacked_block(keys_mod: np.ndarray, coeffs: np.ndarray) -> np.ndarray:
-    """Power-basis family evaluation of one block (see stacked_polynomial_hash)."""
-    k = coeffs.shape[1]
-    # Defer reduction: up to three O(2^62) monomials fit in a uint64
-    # accumulator before a fold is needed, so evaluating a degree-3
-    # polynomial costs three multiply-adds and ONE reduction instead of a
-    # fold per Horner step.  The final canonical reduce makes the outputs
-    # bit-for-bit equal to :func:`_polynomial_hash`.
-    power = keys_mod
-    acc = coeffs[:, 0:1] + coeffs[:, 1:2] * power
-    pending = 1
-    for j in range(2, k):
-        power = _mersenne_fold(power * keys_mod)
-        if pending == 3:
-            acc = _mersenne_fold(acc)
-            pending = 0
-        acc = acc + coeffs[:, j : j + 1] * power
-        pending += 1
-    return _mersenne_exact(_mersenne_fold(acc))
 
 
 def stacked_polynomial_hash(keys: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
@@ -111,7 +70,9 @@ def stacked_polynomial_hash(keys: np.ndarray, coefficients: np.ndarray) -> np.nd
     per-hash :func:`_polynomial_hash` evaluation while avoiding both the
     per-hash Python loop and the hardware division of ``%``.  Long key
     arrays are processed in cache-resident blocks (an elementwise function
-    commutes with slicing, so outputs are unchanged).
+    commutes with slicing, so outputs are unchanged); the per-block kernel
+    comes from the active :mod:`repro.sketch.kernels` provider, every one
+    of which is bit-identical by contract.
     """
     coeffs = np.asarray(coefficients, dtype=np.uint64)
     if coeffs.ndim != 2:
@@ -123,13 +84,16 @@ def stacked_polynomial_hash(keys: np.ndarray, coefficients: np.ndarray) -> np.nd
         return np.broadcast_to(
             constants, (coeffs.shape[0], keys_mod.shape[1])
         ).copy()
+    provider = active_provider()
     count = keys_mod.shape[1]
     if count <= HASH_BLOCK:
-        return _stacked_block(keys_mod, coeffs)
+        return provider.stacked_hash_block(keys_mod, coeffs)
     out = np.empty((coeffs.shape[0], count), dtype=np.uint64)
     for start in range(0, count, HASH_BLOCK):
         stop = min(start + HASH_BLOCK, count)
-        out[:, start:stop] = _stacked_block(keys_mod[:, start:stop], coeffs)
+        out[:, start:stop] = provider.stacked_hash_block(
+            keys_mod[:, start:stop], coeffs
+        )
     return out
 
 
@@ -154,29 +118,16 @@ def gathered_polynomial_hash(
     k = coeffs.shape[2]
     if k == 1:
         return _mersenne_exact(_mersenne_fold(np.ascontiguousarray(coeffs[sel, :, 0].T)))
-
-    def block(keys_block: np.ndarray, sel_block: np.ndarray) -> np.ndarray:
-        # Power-basis evaluation with per-key coefficient gathers (each key
-        # uses its family's c_j); see _stacked_block for the fold schedule.
-        power = keys_block
-        acc = coeffs[sel_block, :, 0].T + coeffs[sel_block, :, 1].T * power
-        pending = 1
-        for j in range(2, k):
-            power = _mersenne_fold(power * keys_block)
-            if pending == 3:
-                acc = _mersenne_fold(acc)
-                pending = 0
-            acc = acc + coeffs[sel_block, :, j].T * power
-            pending += 1
-        return _mersenne_exact(_mersenne_fold(acc))
-
+    provider = active_provider()
     count = keys_mod.shape[1]
     if count <= HASH_BLOCK:
-        return block(keys_mod, sel)
+        return provider.gathered_hash_block(keys_mod, coeffs, sel)
     out = np.empty((coeffs.shape[1], count), dtype=np.uint64)
     for start in range(0, count, HASH_BLOCK):
         stop = min(start + HASH_BLOCK, count)
-        out[:, start:stop] = block(keys_mod[:, start:stop], sel[start:stop])
+        out[:, start:stop] = provider.gathered_hash_block(
+            keys_mod[:, start:stop], coeffs, sel[start:stop]
+        )
     return out
 
 

@@ -1,0 +1,295 @@
+"""Pluggable compiled-kernel providers for the sketch hot paths.
+
+After the protocol layers were made communication-optimal, wall-clock is
+dominated by three CPU-bound kernels (ROADMAP item 3): the blocked
+power-basis polynomial hash behind
+:func:`~repro.sketch.hashing.stacked_polynomial_hash` /
+:func:`~repro.sketch.hashing.gathered_polynomial_hash`, the scatter-add
+CountSketch table build, and the blocked tiny-table gather of
+:meth:`~repro.sketch.countsketch.BatchedCountSketch.build_domain_cache`.
+This package puts exactly those three kernels behind one typed
+:class:`KernelProvider` interface so they can be swapped wholesale:
+
+* ``numpy`` -- the default, always available: a pure extraction of the
+  vectorized code paths that previously lived inline in
+  :mod:`repro.sketch.hashing` / :mod:`repro.sketch.countsketch`.
+* ``numba`` -- JIT-compiled loops over the same arithmetic (registered
+  only when :mod:`numba` imports; see :mod:`.numba_provider`).
+
+Every provider is **bit-for-bit identical** on tables, estimates,
+candidates and per-tag words: the kernels are exact integer arithmetic
+plus a float scatter-add whose per-cell addition order is fixed
+(coordinate-major), so swapping providers can never change a result --
+the provider-parametrized equivalence suites assert this against the
+naive reference engine.
+
+Selection precedence (weakest first): the ``REPRO_KERNEL_PROVIDER``
+environment variable (read once at import), the
+:func:`set_kernel_provider` API (also re-exported by
+:mod:`repro.sketch.engine` and accepted by
+:func:`repro.backend.create_backend`), and the CLI ``--kernel`` flag
+(which simply calls the API last).  A requested-but-unavailable provider
+from the environment falls back to the best available one with a logged
+warning; the API and CLI raise/exit instead, because an explicit request
+should not be silently ignored.
+
+Registering another provider (a Cython or C port, say) takes one call::
+
+    from repro.sketch.kernels import KernelProvider, register_provider
+
+    class CythonProvider(KernelProvider):
+        name = "cython"
+        ...  # implement the four kernel methods
+
+    register_provider(CythonProvider())
+
+after which ``set_kernel_provider("cython")``, the env var and
+``--kernel cython`` all resolve to it, and the provider-parametrized
+test suites pick it up automatically via :func:`known_providers`.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "KernelProvider",
+    "register_provider",
+    "available_providers",
+    "known_providers",
+    "unavailable_reason",
+    "get_provider",
+    "active_provider",
+    "active_provider_name",
+    "set_kernel_provider",
+    "provider_override",
+]
+
+#: Environment variable naming the initial provider (weakest precedence).
+ENV_VAR = "REPRO_KERNEL_PROVIDER"
+
+_LOGGER = get_logger("sketch.kernels")
+
+
+class KernelProvider(abc.ABC):
+    """The typed contract every kernel provider implements.
+
+    All four methods must be bit-for-bit identical to the ``numpy``
+    provider (itself identical to the naive reference): the hash kernels
+    are exact ``uint64`` field arithmetic with the documented fold
+    schedule, and :meth:`scatter_add` must apply its float additions in
+    coordinate-major order (row ``i`` before row ``i+1``, and within a
+    row column ``r`` before ``r+1``) so repeated cells accumulate in the
+    same order as ``np.add.at`` over the raveled arrays.
+    """
+
+    #: Registry/CLI name of the provider (e.g. ``"numpy"``, ``"numba"``).
+    name: str = ""
+
+    @abc.abstractmethod
+    def stacked_hash_block(self, keys_mod: np.ndarray, coeffs: np.ndarray) -> np.ndarray:
+        """Evaluate one cache-resident block of a stacked hash family.
+
+        ``keys_mod`` is a ``(1, n)`` uint64 row of exact field residues
+        (``n <= HASH_BLOCK``) and ``coeffs`` a ``(num_hashes, k)`` uint64
+        matrix with ``k >= 2``; returns the ``(num_hashes, n)`` uint64
+        exact residues of every polynomial at every key.
+        """
+
+    @abc.abstractmethod
+    def gathered_hash_block(
+        self, keys_mod: np.ndarray, coeffs: np.ndarray, selector: np.ndarray
+    ) -> np.ndarray:
+        """Per-key-selected family evaluation of one block.
+
+        ``coeffs`` has shape ``(num_families, num_hashes, k)`` (``k >= 2``)
+        and ``selector`` (int64, shape ``(n,)``) picks key ``i``'s family;
+        returns ``(num_hashes, n)`` uint64 exact residues.
+        """
+
+    @abc.abstractmethod
+    def scatter_add(
+        self, out: np.ndarray, flat_keys: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """Accumulate ``weights`` into ``out`` at ``flat_keys``, in place.
+
+        ``out`` is a flat float64 table; ``flat_keys`` (int64) and
+        ``weights`` (float64) share a ``(count, depth)`` coordinate-major
+        shape.  Equivalent to
+        ``np.add.at(out, flat_keys.ravel(), weights.ravel())``.
+        """
+
+    @abc.abstractmethod
+    def domain_cache_range(
+        self,
+        bucket_coeffs: np.ndarray,
+        sign_coeffs: np.ndarray,
+        assign: np.ndarray,
+        start: int,
+        stop: int,
+        width: int,
+        flat_out: np.ndarray,
+        sign_out: np.ndarray,
+        block: int,
+    ) -> None:
+        """Fill rows ``[start, stop)`` of a batched domain cache in place.
+
+        Same contract as
+        :func:`repro.sketch.countsketch.build_domain_cache_range` (which
+        delegates here): ``assign`` is already sliced to the range,
+        ``bucket_coeffs``/``sign_coeffs`` are the uint64
+        ``(num_buckets, depth, 2)`` / ``(num_buckets, depth, 4)``
+        tensors, and outputs land in ``flat_out[start:stop]`` /
+        ``sign_out[start:stop]``.  ``block`` is a cache-residency hint;
+        providers whose loops are naturally cache-resident may ignore it.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_PROVIDERS: Dict[str, KernelProvider] = {}
+_UNAVAILABLE: Dict[str, str] = {}
+_ACTIVE: KernelProvider = None  # type: ignore[assignment]  # set at import
+
+
+def register_provider(provider: KernelProvider) -> None:
+    """Register ``provider`` under its ``name`` (latest registration wins)."""
+    if not provider.name:
+        raise ValueError("kernel providers must set a non-empty name")
+    _PROVIDERS[provider.name] = provider
+    _UNAVAILABLE.pop(provider.name, None)
+
+
+def available_providers() -> Tuple[str, ...]:
+    """Names accepted by :func:`set_kernel_provider`, sorted."""
+    return tuple(sorted(_PROVIDERS))
+
+
+def known_providers() -> Tuple[str, ...]:
+    """Every known provider name, available or not (for CLI choices/tests)."""
+    return tuple(sorted(set(_PROVIDERS) | set(_UNAVAILABLE)))
+
+
+def unavailable_reason(name: str) -> str:
+    """Why ``name`` is not available ('' when it is, or was never heard of)."""
+    return _UNAVAILABLE.get(str(name), "")
+
+
+def get_provider(name: str) -> KernelProvider:
+    """Look a provider up by name, raising ``ValueError`` with context."""
+    provider = _PROVIDERS.get(str(name))
+    if provider is None:
+        reason = _UNAVAILABLE.get(str(name))
+        if reason:
+            raise ValueError(f"kernel provider {name!r} is unavailable: {reason}")
+        raise ValueError(
+            f"unknown kernel provider {name!r}; available: "
+            + ", ".join(available_providers())
+        )
+    return provider
+
+
+def active_provider() -> KernelProvider:
+    """The active provider.  THE hot-path accessor: one module-global load."""
+    return _ACTIVE
+
+
+def active_provider_name() -> str:
+    """Name of the active provider (recorded in telemetry and bench JSON)."""
+    return _ACTIVE.name
+
+
+def set_kernel_provider(name: str) -> KernelProvider:
+    """Activate the named provider globally and return it.
+
+    Raises ``ValueError`` for unknown or unavailable names -- an explicit
+    selection must not silently fall back.  When a telemetry capture is
+    active, the ``kernel.provider`` gauge is updated in place.
+    """
+    global _ACTIVE
+    _ACTIVE = get_provider(name)
+    _record_provider_gauge()
+    return _ACTIVE
+
+
+@contextmanager
+def provider_override(name: str) -> Iterator[KernelProvider]:
+    """Context manager running the enclosed code on the named provider."""
+    previous = _ACTIVE
+    provider = set_kernel_provider(name)
+    try:
+        yield provider
+    finally:
+        set_kernel_provider(previous.name)
+
+
+def _record_provider_gauge() -> None:
+    """Mirror the active provider into the ``kernel.provider`` obs gauge."""
+    try:
+        from repro import obs
+
+        telemetry = obs.active()
+        if telemetry is not None:
+            telemetry.metrics.gauge("kernel.provider").set(_ACTIVE.name)
+    except Exception:  # pragma: no cover - obs must never break the engine
+        pass
+
+
+# --------------------------------------------------------------------------- #
+# import-time auto-detection
+# --------------------------------------------------------------------------- #
+_NUMBA_LOGGED = False
+
+
+def _detect_numba() -> bool:
+    """Try to register the numba provider; never print or raise.
+
+    A failed import (numba absent, or present but broken) records the
+    reason for :func:`unavailable_reason` and logs **once** through
+    :func:`repro.utils.logging.get_logger` -- the audited
+    ``configure_logging``-style contract: import of this package must
+    stay silent on stdout and must succeed regardless of numba's state.
+    """
+    global _NUMBA_LOGGED
+    try:
+        from repro.sketch.kernels.numba_provider import NumbaKernelProvider
+    except Exception as exc:  # ImportError, or a broken numba installation
+        _UNAVAILABLE["numba"] = f"{type(exc).__name__}: {exc}"
+        if not _NUMBA_LOGGED:
+            _NUMBA_LOGGED = True
+            _LOGGER.info(
+                "numba kernel provider unavailable (%s); falling back to the "
+                "numpy provider",
+                _UNAVAILABLE["numba"],
+            )
+        return False
+    register_provider(NumbaKernelProvider())
+    return True
+
+
+def _initial_provider() -> KernelProvider:
+    """Resolve the import-time default: env var if usable, else best available."""
+    requested = os.environ.get(ENV_VAR, "").strip()
+    if requested:
+        try:
+            return get_provider(requested)
+        except ValueError as exc:
+            _LOGGER.warning("%s=%s ignored: %s", ENV_VAR, requested, exc)
+    if "numba" in _PROVIDERS:
+        return _PROVIDERS["numba"]
+    return _PROVIDERS["numpy"]
+
+
+from repro.sketch.kernels.numpy_provider import NumpyKernelProvider  # noqa: E402
+
+register_provider(NumpyKernelProvider())
+_detect_numba()
+_ACTIVE = _initial_provider()

@@ -1,0 +1,198 @@
+"""The ``numba`` kernel provider: JIT-compiled loops over the same arithmetic.
+
+Importing this module requires :mod:`numba`; the registry imports it
+guarded and registers the provider only on success (see
+:func:`repro.sketch.kernels._detect_numba`).
+
+Bit-identity argument, kernel by kernel:
+
+* the hash kernels perform the **same sequence** of uint64 operations per
+  ``(hash, key)`` pair as the numpy blocks -- multiply-accumulate in the
+  power basis with a fold after every power step and after every third
+  pending monomial -- and integer arithmetic modulo 2^64 is exact, so the
+  outputs are identical by construction (the per-key loop merely changes
+  which pairs are computed *when*, never *how*);
+* :func:`scatter_add` applies its float additions in exactly the
+  coordinate-major order of ``np.add.at`` over the raveled arrays, so
+  repeated table cells accumulate in the same order and rounding is
+  reproduced bit-for-bit;
+* the domain-cache kernel evaluates the identical polynomials per
+  coordinate; its per-coordinate loop is naturally cache-resident, so the
+  numpy path's ``block`` parameter (which only exists to keep *vector*
+  intermediates in L2, per the PR 2 lesson) is accepted and ignored --
+  blocking is a performance partition, never a semantic one.
+
+The provider-parametrized equivalence suites assert all of the above
+against the naive reference whenever numba is installed.
+"""
+
+from __future__ import annotations
+
+import numba
+import numpy as np
+
+from repro.sketch.kernels import KernelProvider
+from repro.sketch.kernels.numpy_provider import MERSENNE_PRIME
+
+_PRIME = np.uint64(MERSENNE_PRIME)
+_SHIFT = np.uint64(31)
+_ONE = np.uint64(1)
+
+# All jitted kernels use nopython mode with caching (compile once per
+# machine) and no fastmath: float additions must round exactly as numpy's.
+_JIT = {"cache": True, "fastmath": False, "nogil": True}
+
+
+@numba.njit(**_JIT)
+def _fold(value):
+    """Scalar Mersenne fold: congruent mod p, bounded like the vector fold."""
+    folded = (value & _PRIME) + (value >> _SHIFT)
+    return (folded & _PRIME) + (folded >> _SHIFT)
+
+
+@numba.njit(**_JIT)
+def _exact(value):
+    """Map a folded value in [0, 2p) to the exact residue in [0, p)."""
+    if value >= _PRIME:
+        return value - _PRIME
+    return value
+
+
+@numba.njit(**_JIT)
+def _stacked_hash_block(keys, coeffs, out):
+    num_hashes, k = coeffs.shape
+    powers = np.empty(k, dtype=np.uint64)
+    for i in range(keys.shape[0]):
+        x = keys[i]
+        # Shared power basis, folded once per step -- the same values the
+        # vector kernel computes for this key.
+        power = x
+        powers[1] = x
+        for j in range(2, k):
+            power = _fold(power * x)
+            powers[j] = power
+        for h in range(num_hashes):
+            acc = coeffs[h, 0] + coeffs[h, 1] * x
+            pending = 1
+            for j in range(2, k):
+                if pending == 3:
+                    acc = _fold(acc)
+                    pending = 0
+                acc = acc + coeffs[h, j] * powers[j]
+                pending += 1
+            out[h, i] = _exact(_fold(acc))
+
+
+@numba.njit(**_JIT)
+def _gathered_hash_block(keys, coeffs, selector, out):
+    num_hashes, k = coeffs.shape[1], coeffs.shape[2]
+    powers = np.empty(k, dtype=np.uint64)
+    for i in range(keys.shape[0]):
+        x = keys[i]
+        family = selector[i]
+        power = x
+        powers[1] = x
+        for j in range(2, k):
+            power = _fold(power * x)
+            powers[j] = power
+        for h in range(num_hashes):
+            acc = coeffs[family, h, 0] + coeffs[family, h, 1] * x
+            pending = 1
+            for j in range(2, k):
+                if pending == 3:
+                    acc = _fold(acc)
+                    pending = 0
+                acc = acc + coeffs[family, h, j] * powers[j]
+                pending += 1
+            out[h, i] = _exact(_fold(acc))
+
+
+@numba.njit(**_JIT)
+def _scatter_add(out, flat_keys, weights):
+    count, depth = flat_keys.shape
+    for i in range(count):
+        for r in range(depth):
+            out[flat_keys[i, r]] += weights[i, r]
+
+
+@numba.njit(**_JIT)
+def _domain_cache_range(
+    bucket_coeffs, sign_coeffs, assign, start, stop, width, flat_out, sign_out
+):
+    depth = bucket_coeffs.shape[1]
+    w = np.uint64(width)
+    mask = np.uint64(width - 1)
+    power_of_two = width & (width - 1) == 0
+    for offset in range(stop - start):
+        coord = start + offset
+        bucket = assign[offset]
+        x = _exact(_fold(np.uint64(coord)))
+        x2 = _fold(x * x)
+        x3 = _fold(x2 * x)
+        for row in range(depth):
+            acc = bucket_coeffs[bucket, row, 0] + bucket_coeffs[bucket, row, 1] * x
+            value = _exact(_fold(acc))
+            if power_of_two:
+                cell = value & mask
+            else:
+                cell = value % w
+            flat_out[coord, row] = np.int64(np.uint64(row) * w + cell)
+            acc = sign_coeffs[bucket, row, 0] + sign_coeffs[bucket, row, 1] * x
+            acc = acc + sign_coeffs[bucket, row, 2] * x2
+            acc = acc + sign_coeffs[bucket, row, 3] * x3
+            bit = np.int64(_exact(_fold(acc)) & _ONE)
+            sign_out[coord, row] = np.int8(2 * bit - 1)
+
+
+class NumbaKernelProvider(KernelProvider):
+    """JIT-compiled kernels; registered only when numba imports."""
+
+    name = "numba"
+
+    @staticmethod
+    def stacked_hash_block(keys_mod: np.ndarray, coeffs: np.ndarray) -> np.ndarray:
+        keys = np.ascontiguousarray(keys_mod[0])
+        coeffs = np.ascontiguousarray(coeffs)
+        out = np.empty((coeffs.shape[0], keys.shape[0]), dtype=np.uint64)
+        _stacked_hash_block(keys, coeffs, out)
+        return out
+
+    @staticmethod
+    def gathered_hash_block(
+        keys_mod: np.ndarray, coeffs: np.ndarray, selector: np.ndarray
+    ) -> np.ndarray:
+        keys = np.ascontiguousarray(keys_mod[0])
+        coeffs = np.ascontiguousarray(coeffs)
+        selector = np.ascontiguousarray(selector)
+        out = np.empty((coeffs.shape[1], keys.shape[0]), dtype=np.uint64)
+        _gathered_hash_block(keys, coeffs, selector, out)
+        return out
+
+    @staticmethod
+    def scatter_add(out: np.ndarray, flat_keys: np.ndarray, weights: np.ndarray) -> None:
+        _scatter_add(out, np.ascontiguousarray(flat_keys), np.ascontiguousarray(weights))
+
+    @staticmethod
+    def domain_cache_range(
+        bucket_coeffs: np.ndarray,
+        sign_coeffs: np.ndarray,
+        assign: np.ndarray,
+        start: int,
+        stop: int,
+        width: int,
+        flat_out: np.ndarray,
+        sign_out: np.ndarray,
+        block: int,
+    ) -> None:
+        # ``block`` ignored: the per-coordinate loop never materializes
+        # vector intermediates, so there is nothing to keep cache-resident.
+        _domain_cache_range(
+            np.ascontiguousarray(bucket_coeffs),
+            np.ascontiguousarray(sign_coeffs),
+            np.ascontiguousarray(assign),
+            int(start),
+            int(stop),
+            int(width),
+            flat_out,
+            sign_out,
+        )

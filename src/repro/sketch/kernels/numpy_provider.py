@@ -1,0 +1,163 @@
+"""The ``numpy`` kernel provider: the always-available vectorized baseline.
+
+This module is a pure extraction of the vectorized kernels that
+previously lived inline in :mod:`repro.sketch.hashing` and
+:mod:`repro.sketch.countsketch` -- the code is unchanged, only moved, so
+the provider is bit-for-bit the pre-refactor engine.  It is also the
+canonical home of the Mersenne-field helpers (:func:`mersenne_fold`,
+:func:`mersenne_exact`, :func:`range_reduce`), which ``hashing`` re-exports
+under their historical names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.kernels import KernelProvider
+
+#: The Mersenne prime 2^31 - 1; larger than any coordinate index used in the
+#: experiments while keeping products of two residues inside uint64.
+MERSENNE_PRIME = (1 << 31) - 1
+
+
+def mersenne_fold(values: np.ndarray) -> np.ndarray:
+    """Partially reduce ``values`` (any uint64) modulo ``p = 2^31 - 1``.
+
+    Two shift-and-add folds exploit ``2^31 = 1 (mod p)``: the result is
+    congruent to ``values`` and bounded by ``p + 8`` (for inputs < 2^64;
+    inputs < 2^62 fold to at most ``p + 1``), small enough both for
+    :func:`mersenne_exact` (which accepts ``[0, 2p)``) and for the next
+    multiply-accumulate: callers may defer folding across at most three
+    ``< 2^62`` monomials plus one previously folded term before the uint64
+    accumulator could overflow.  This replaces the hardware division of
+    ``%`` with a handful of cheap vector ops.
+    """
+    prime = np.uint64(MERSENNE_PRIME)
+    folded = (values & prime) + (values >> np.uint64(31))
+    return (folded & prime) + (folded >> np.uint64(31))
+
+
+def mersenne_exact(values: np.ndarray) -> np.ndarray:
+    """Finish a folded reduction: map values in ``[0, 2p)`` to ``[0, p)``."""
+    prime = np.uint64(MERSENNE_PRIME)
+    return np.where(values >= prime, values - prime, values)
+
+
+def range_reduce(values: np.ndarray, range_size: int) -> np.ndarray:
+    """Map exact field residues into ``[0, range_size)``.
+
+    A power-of-two range uses a bitmask instead of hardware division;
+    identical to ``values % range_size`` in either case.
+    """
+    size = np.uint64(range_size)
+    if range_size & (range_size - 1) == 0:
+        return values & (size - np.uint64(1))
+    return values % size
+
+
+def stacked_hash_block(keys_mod: np.ndarray, coeffs: np.ndarray) -> np.ndarray:
+    """Power-basis family evaluation of one block (see stacked_polynomial_hash)."""
+    k = coeffs.shape[1]
+    # Defer reduction: up to three O(2^62) monomials fit in a uint64
+    # accumulator before a fold is needed, so evaluating a degree-3
+    # polynomial costs three multiply-adds and ONE reduction instead of a
+    # fold per Horner step.  The final canonical reduce makes the outputs
+    # bit-for-bit equal to the per-hash ``%``-Horner evaluation.
+    power = keys_mod
+    acc = coeffs[:, 0:1] + coeffs[:, 1:2] * power
+    pending = 1
+    for j in range(2, k):
+        power = mersenne_fold(power * keys_mod)
+        if pending == 3:
+            acc = mersenne_fold(acc)
+            pending = 0
+        acc = acc + coeffs[:, j : j + 1] * power
+        pending += 1
+    return mersenne_exact(mersenne_fold(acc))
+
+
+def gathered_hash_block(
+    keys_mod: np.ndarray, coeffs: np.ndarray, selector: np.ndarray
+) -> np.ndarray:
+    """Power-basis evaluation of one block with per-key coefficient gathers.
+
+    Each key uses its selected family's ``c_j``; the fold schedule is
+    identical to :func:`stacked_hash_block`.
+    """
+    k = coeffs.shape[2]
+    power = keys_mod
+    acc = coeffs[selector, :, 0].T + coeffs[selector, :, 1].T * power
+    pending = 1
+    for j in range(2, k):
+        power = mersenne_fold(power * keys_mod)
+        if pending == 3:
+            acc = mersenne_fold(acc)
+            pending = 0
+        acc = acc + coeffs[selector, :, j].T * power
+        pending += 1
+    return mersenne_exact(mersenne_fold(acc))
+
+
+def scatter_add(out: np.ndarray, flat_keys: np.ndarray, weights: np.ndarray) -> None:
+    """Coordinate-major scatter-add into a flat table (the exact naive order)."""
+    np.add.at(out, flat_keys.ravel(), weights.ravel())
+
+
+def domain_cache_range(
+    bucket_coeffs: np.ndarray,
+    sign_coeffs: np.ndarray,
+    assign: np.ndarray,
+    start: int,
+    stop: int,
+    width: int,
+    flat_out: np.ndarray,
+    sign_out: np.ndarray,
+    block: int,
+) -> None:
+    """The blocked tiny-table-gather domain-cache kernel (see countsketch).
+
+    Per cache-resident block of coordinates, each coordinate's *own*
+    member-sketch coefficients are fetched with one tiny-table gather per
+    (row, monomial) and the polynomials evaluated by Mersenne-fold
+    power-basis arithmetic.
+    """
+    depth = bucket_coeffs.shape[1]
+    bucket_tables = [
+        [np.ascontiguousarray(bucket_coeffs[:, r, j]) for r in range(depth)]
+        for j in range(2)
+    ]
+    sign_tables = [
+        [np.ascontiguousarray(sign_coeffs[:, r, j]) for r in range(depth)]
+        for j in range(4)
+    ]
+    one = np.uint64(1)
+    block = max(1, int(block))
+    for lo in range(start, stop, block):
+        hi = min(lo + block, stop)
+        selector = assign[lo - start : hi - start]
+        keys = np.arange(lo, hi, dtype=np.uint64)
+        x = mersenne_exact(mersenne_fold(keys))
+        x2 = mersenne_fold(x * x)
+        x3 = mersenne_fold(x2 * x)
+        for row in range(depth):
+            acc = bucket_tables[0][row][selector] + bucket_tables[1][row][selector] * x
+            flat_out[lo:hi, row] = np.uint64(row * width) + range_reduce(
+                mersenne_exact(mersenne_fold(acc)), width
+            )
+            acc = sign_tables[0][row][selector] + sign_tables[1][row][selector] * x
+            acc += sign_tables[2][row][selector] * x2
+            acc += sign_tables[3][row][selector] * x3
+            sign_out[lo:hi, row] = (
+                (mersenne_exact(mersenne_fold(acc)) & one).astype(np.int8) << 1
+            ) - 1
+
+
+class NumpyKernelProvider(KernelProvider):
+    """The default provider: today's vectorized numpy kernels, unchanged."""
+
+    name = "numpy"
+
+    stacked_hash_block = staticmethod(stacked_hash_block)
+    gathered_hash_block = staticmethod(gathered_hash_block)
+    scatter_add = staticmethod(scatter_add)
+    domain_cache_range = staticmethod(domain_cache_range)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.sketch import kernels
 from repro.sketch.hashing import (
     MERSENNE_PRIME,
     KWiseHash,
@@ -10,6 +11,23 @@ from repro.sketch.hashing import (
     SignHash,
     SubsampleHash,
 )
+
+
+@pytest.fixture(autouse=True, params=sorted(kernels.known_providers()))
+def kernel_provider(request):
+    """Run every hashing test under each registered kernel provider.
+
+    Unavailable providers (e.g. ``numba`` when the package is absent)
+    skip with the recorded import-failure reason rather than erroring.
+    """
+    name = request.param
+    if name not in kernels.available_providers():
+        pytest.skip(
+            f"kernel provider {name!r} unavailable: "
+            f"{kernels.unavailable_reason(name)}"
+        )
+    with kernels.provider_override(name):
+        yield name
 
 
 class TestKWiseHash:

@@ -1,0 +1,231 @@
+"""Tests for the compiled-kernel provider registry (repro.sketch.kernels).
+
+Provider *parity* (bit-identity of the kernels themselves) is asserted by
+the provider-parametrized suites in ``test_hashing.py`` and
+``test_vectorized_equivalence.py``; this file covers the registry
+machinery: lookup/selection semantics, precedence surfaces (env var, API,
+backend factory, CLI), the telemetry gauge, and the audited
+fail-quietly-once contract of numba auto-detection.
+"""
+
+import logging
+import sys
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.backend import create_backend
+from repro.sketch import engine, kernels
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in kernels.available_providers()
+        assert kernels.get_provider("numpy").name == "numpy"
+        assert kernels.unavailable_reason("numpy") == ""
+
+    def test_known_providers_include_numba_even_when_absent(self):
+        known = kernels.known_providers()
+        assert "numpy" in known and "numba" in known
+
+    def test_active_provider_is_available(self):
+        assert kernels.active_provider_name() in kernels.available_providers()
+        assert kernels.active_provider().name == kernels.active_provider_name()
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ValueError, match="unknown kernel provider"):
+            kernels.get_provider("cython")
+
+    def test_unavailable_name_raises_with_reason(self):
+        if "numba" in kernels.available_providers():
+            pytest.skip("numba installed: the unavailable path is not reachable")
+        reason = kernels.unavailable_reason("numba")
+        assert reason  # recorded at import-time detection
+        with pytest.raises(ValueError, match="unavailable"):
+            kernels.set_kernel_provider("numba")
+
+    def test_register_rejects_anonymous_provider(self):
+        class Anonymous(kernels.KernelProvider):
+            name = ""
+            stacked_hash_block = gathered_hash_block = None
+            scatter_add = domain_cache_range = None
+            __abstractmethods__ = frozenset()
+
+        with pytest.raises(ValueError, match="non-empty name"):
+            kernels.register_provider(Anonymous())
+
+    def test_set_and_override_restore(self):
+        before = kernels.active_provider_name()
+        with kernels.provider_override("numpy") as provider:
+            assert provider.name == "numpy"
+            assert kernels.active_provider_name() == "numpy"
+        assert kernels.active_provider_name() == before
+
+    def test_override_restores_on_error(self):
+        before = kernels.active_provider_name()
+        with pytest.raises(RuntimeError):
+            with kernels.provider_override("numpy"):
+                raise RuntimeError("boom")
+        assert kernels.active_provider_name() == before
+
+
+class TestSelectionSurfaces:
+    def test_engine_reexports(self):
+        assert engine.kernel_provider() == kernels.active_provider_name()
+        with engine.kernel_provider_override("numpy"):
+            assert engine.kernel_provider() == "numpy"
+        provider = engine.set_kernel_provider(kernels.active_provider_name())
+        assert provider.name == kernels.active_provider_name()
+
+    def test_engine_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            engine.set_kernel_provider("not-a-provider")
+
+    def test_create_backend_kernel_option(self):
+        before = kernels.active_provider_name()
+        try:
+            backend = create_backend("local", kernel="numpy")
+            assert kernels.active_provider_name() == "numpy"
+            assert backend is not None
+        finally:
+            kernels.set_kernel_provider(before)
+
+    def test_create_backend_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            create_backend("local", kernel="not-a-provider")
+
+    def test_env_var_initial_provider(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "numpy")
+        assert kernels._initial_provider().name == "numpy"
+
+    def test_env_var_fallback_logs_warning(self, monkeypatch, caplog):
+        monkeypatch.setenv(kernels.ENV_VAR, "not-a-provider")
+        with caplog.at_level(logging.WARNING, logger="repro.sketch.kernels"):
+            provider = kernels._initial_provider()
+        # Falls back to the best available provider instead of raising...
+        assert provider.name in kernels.available_providers()
+        # ...but says so: an env-var typo must not pass silently.
+        assert any(kernels.ENV_VAR in rec.message for rec in caplog.records)
+
+    def test_cli_kernel_flag_unknown_is_usage_error(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure1", "--kernel", "not-a-provider"])
+        assert excinfo.value.code == 2  # argparse usage error, not a traceback
+
+    def test_cli_kernel_flag_unavailable_is_usage_error(self, capsys):
+        if "numba" in kernels.available_providers():
+            pytest.skip("numba installed: the unavailable path is not reachable")
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure1", "--kernel", "numba"])
+        assert excinfo.value.code == 2
+        assert "unavailable" in capsys.readouterr().err
+
+
+class TestTelemetryGauge:
+    def test_capture_records_active_provider(self):
+        with obs.capture() as telemetry:
+            snapshot = telemetry.metrics.snapshot()
+        assert snapshot["gauges"]["kernel.provider"] == (
+            kernels.active_provider_name()
+        )
+
+    def test_gauge_follows_set_kernel_provider(self):
+        before = kernels.active_provider_name()
+        with obs.capture() as telemetry:
+            kernels.set_kernel_provider("numpy")
+            try:
+                assert telemetry.metrics.gauge("kernel.provider").value == "numpy"
+            finally:
+                kernels.set_kernel_provider(before)
+
+
+class TestNumbaDetection:
+    def test_detection_failure_logs_once_never_prints(
+        self, monkeypatch, caplog, capsys
+    ):
+        """A broken/absent numba logs one structured record, prints nothing,
+        raises nothing, and records the reason for ``unavailable_reason``."""
+        # Force the provider import to fail even when numba is installed,
+        # and keep the damage local: mutate copies of the registry state.
+        monkeypatch.setitem(sys.modules, "numba", None)
+        monkeypatch.delitem(
+            sys.modules, "repro.sketch.kernels.numba_provider", raising=False
+        )
+        monkeypatch.setattr(kernels, "_UNAVAILABLE", dict(kernels._UNAVAILABLE))
+        monkeypatch.setattr(kernels, "_PROVIDERS", dict(kernels._PROVIDERS))
+        monkeypatch.setattr(kernels, "_NUMBA_LOGGED", False)
+        with caplog.at_level(logging.INFO, logger="repro.sketch.kernels"):
+            assert kernels._detect_numba() is False
+            assert kernels._detect_numba() is False  # second call: no re-log
+        records = [
+            rec
+            for rec in caplog.records
+            if rec.name == "repro.sketch.kernels" and "numba" in rec.message
+        ]
+        assert len(records) == 1
+        assert "falling back" in records[0].message
+        assert kernels.unavailable_reason("numba")
+        out = capsys.readouterr()
+        assert out.out == "" and out.err == ""
+
+    def test_package_reimport_is_silent_on_stdout(self, capsys):
+        """Importing the package never prints, whatever numba's state."""
+        import importlib
+
+        importlib.import_module("repro.sketch.kernels")
+        out = capsys.readouterr()
+        assert out.out == "" and out.err == ""
+
+
+class TestProviderSmoke:
+    """One end-to-end draw per provider: selection really changes the engine
+    used, and results stay bit-identical (the full parity matrix lives in
+    the parametrized equivalence suites)."""
+
+    @pytest.mark.parametrize("name", sorted(kernels.known_providers()))
+    def test_sample_bit_identical_across_providers(self, name):
+        if name not in kernels.available_providers():
+            pytest.skip(
+                f"kernel provider {name!r} unavailable: "
+                f"{kernels.unavailable_reason(name)}"
+            )
+        from repro.backend.local import LocalSession
+        from repro.sketch.z_heavy_hitters import ZHeavyHittersParams
+        from repro.sketch.z_sampler import ZSamplerConfig
+
+        rng = np.random.default_rng(11)
+        dimension, components = 800, []
+        for _ in range(3):
+            idx = np.sort(rng.choice(dimension, size=120, replace=False)).astype(
+                np.int64
+            )
+            components.append((idx, rng.integers(-5, 6, size=120).astype(float)))
+        config = ZSamplerConfig(
+            hh_params=ZHeavyHittersParams(b=8, repetitions=1, num_buckets=8),
+            max_levels=5,
+        )
+
+        def run():
+            session = LocalSession(components, dimension)
+            try:
+                draws = session.sample(np.abs, 10, config=config, seed=13)
+                words = dict(session.network.snapshot().words_by_tag)
+            finally:
+                session.close()
+            return draws, words
+
+        with kernels.provider_override("numpy"):
+            ref_draws, ref_words = run()
+        with kernels.provider_override(name):
+            got_draws, got_words = run()
+        np.testing.assert_array_equal(got_draws.indices, ref_draws.indices)
+        np.testing.assert_array_equal(
+            got_draws.probabilities, ref_draws.probabilities
+        )
+        np.testing.assert_array_equal(got_draws.values, ref_draws.values)
+        assert got_words == ref_words

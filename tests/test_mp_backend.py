@@ -309,3 +309,130 @@ class TestSharedMemoryCaches:
             pool.close()
         assert results[0].size == 0
         np.testing.assert_array_equal(results[1], subsample(idx))
+
+
+class TestBatchedDispatch:
+    """Batched per-process dispatch: O(processes) round-trips, same bits.
+
+    ``SketchProcessPool.starmap_batched`` chunks all servers' payloads into
+    one submission per worker process instead of one per server.  These
+    tests pin the contract: results (and therefore draws and per-tag words)
+    are bit-identical to the per-server path, and the batched pool performs
+    strictly fewer IPC task submissions whenever servers > processes.
+    """
+
+    SERVERS = 8
+    DIMENSION = 900
+
+    def make_vector(self, seed=21):
+        rng = np.random.default_rng(seed)
+        components = []
+        for _ in range(self.SERVERS):
+            idx = np.sort(
+                rng.choice(self.DIMENSION, size=150, replace=False)
+            ).astype(np.int64)
+            components.append((idx, rng.normal(size=150)))
+        return DistributedVector(components, self.DIMENSION, Network(self.SERVERS))
+
+    def make_batched(self, num_buckets=4):
+        sketches = [
+            CountSketch(3, 32, self.DIMENSION, seed=930 + b)
+            for b in range(num_buckets)
+        ]
+        return BatchedCountSketch(sketches)
+
+    def run_both(self, op):
+        """``{batch_dispatch: (result, submissions)}`` for the same op."""
+        results = {}
+        for batch in (False, True):
+            pool = SketchProcessPool(processes=2, batch_dispatch=batch)
+            try:
+                results[batch] = (op(pool), pool.submissions)
+            finally:
+                pool.close()
+        return results
+
+    def test_batched_sketches_bit_identical_fewer_submissions(self):
+        vector = self.make_vector()
+        batched = self.make_batched()
+        rng = np.random.default_rng(22)
+        assignment = rng.integers(0, batched.num_buckets, size=vector.dimension)
+        out = self.run_both(
+            lambda pool: pool.batched_sketches(vector, batched, assignment)
+        )
+        (per_server, per_server_subs), (chunked, chunked_subs) = out[False], out[True]
+        assert len(chunked) == self.SERVERS
+        for got, want in zip(chunked, per_server):
+            np.testing.assert_array_equal(got, want)
+        assert chunked_subs < per_server_subs
+        # One submission per worker process, not per server.
+        assert chunked_subs == 2
+        assert per_server_subs == self.SERVERS
+
+    def test_subsample_values_bit_identical_fewer_submissions(self):
+        vector = self.make_vector(seed=23)
+        subsample = SubsampleHash(domain_scale=self.DIMENSION, seed=24)
+        out = self.run_both(lambda pool: pool.subsample_values(vector, subsample))
+        (per_server, per_server_subs), (chunked, chunked_subs) = out[False], out[True]
+        for got, want in zip(chunked, per_server):
+            np.testing.assert_array_equal(got, want)
+        assert chunked_subs < per_server_subs
+
+    def test_starmap_batched_preserves_payload_order(self):
+        pool = SketchProcessPool(processes=2, batch_dispatch=True)
+        keys = [np.arange(40 * (i + 1), dtype=np.int64) for i in range(7)]
+        hash_fn = KWiseHash(16, 997, seed=26)
+        payloads = [(k, hash_fn.coefficients, 997) for k in keys]
+        try:
+            results = pool.starmap_batched(polynomial_hash_values_task, payloads)
+        finally:
+            pool.close()
+        assert len(results) == len(payloads)
+        for got, k in zip(results, keys):
+            np.testing.assert_array_equal(got, hash_fn(k))
+
+    def test_single_payload_runs_inline_without_submission(self):
+        pool = SketchProcessPool(processes=2, batch_dispatch=True)
+        hash_fn = KWiseHash(16, 997, seed=27)
+        keys = np.arange(64, dtype=np.int64)
+        try:
+            results = pool.starmap_batched(
+                polynomial_hash_values_task, [(keys, hash_fn.coefficients, 997)]
+            )
+            assert pool.submissions == 0
+        finally:
+            pool.close()
+        np.testing.assert_array_equal(results[0], hash_fn(keys))
+
+    def test_session_draws_and_words_identical_across_dispatch_modes(self):
+        from repro.backend.local import LocalSession
+        from repro.sketch.z_heavy_hitters import ZHeavyHittersParams
+        from repro.sketch.z_sampler import ZSamplerConfig
+
+        rng = np.random.default_rng(25)
+        components = []
+        for _ in range(self.SERVERS):
+            idx = np.sort(
+                rng.choice(self.DIMENSION, size=150, replace=False)
+            ).astype(np.int64)
+            components.append((idx, rng.integers(-5, 6, size=150).astype(float)))
+        config = ZSamplerConfig(
+            hh_params=ZHeavyHittersParams(b=8, repetitions=1, num_buckets=8),
+            max_levels=5,
+        )
+        outputs = {}
+        for batch in (False, True):
+            pool = SketchProcessPool(processes=2, batch_dispatch=batch)
+            session = LocalSession(components, self.DIMENSION, pool=pool)
+            try:
+                draws = session.sample(np.abs, 12, config=config, seed=7)
+                words = dict(session.network.snapshot().words_by_tag)
+            finally:
+                session.close()
+            outputs[batch] = (draws, words, pool.submissions)
+        per_server, batched = outputs[False], outputs[True]
+        from test_runtime_transport import assert_same_draws
+
+        assert_same_draws(batched[0], per_server[0])
+        assert batched[1] == per_server[1]
+        assert batched[2] < per_server[2]

@@ -20,7 +20,7 @@ from repro.distributed.network import Network
 from repro.distributed.vector import DistributedVector
 from repro.core.samplers import GeneralizedZRowSampler
 from repro.functions import HuberPsi, Identity
-from repro.sketch import engine
+from repro.sketch import engine, kernels
 from repro.sketch.countsketch import (
     BatchedCountSketch,
     CountSketch,
@@ -32,6 +32,7 @@ from repro.sketch.heavy_hitters import (
     heavy_hitters_from_tables,
 )
 from repro.sketch.hashing import (
+    HASH_BLOCK,
     KWiseHash,
     SubsampleHash,
     _polynomial_hash,
@@ -61,6 +62,25 @@ def make_vector(dense, num_servers=3, seed=99):
     return DistributedVector(components, dense.size, Network(num_servers))
 
 
+@pytest.fixture(autouse=True, params=sorted(kernels.known_providers()))
+def kernel_provider(request):
+    """Run the whole equivalence suite under each registered kernel provider.
+
+    The compiled providers must be bit-identical to the naive reference on
+    every path, so the entire suite doubles as the provider-parity gate.
+    Unavailable providers (e.g. ``numba`` when the package is absent) skip
+    with the recorded import-failure reason.
+    """
+    name = request.param
+    if name not in kernels.available_providers():
+        pytest.skip(
+            f"kernel provider {name!r} unavailable: "
+            f"{kernels.unavailable_reason(name)}"
+        )
+    with kernels.provider_override(name):
+        yield name
+
+
 class TestHashEquivalence:
     def test_stacked_matches_reference_polynomial(self):
         rng = np.random.default_rng(0)
@@ -87,6 +107,40 @@ class TestHashEquivalence:
             np.testing.assert_array_equal(
                 gathered_polynomial_hash(keys, families, selector), reference
             )
+
+    @pytest.mark.parametrize(
+        "count", [0, HASH_BLOCK - 1, HASH_BLOCK, HASH_BLOCK + 1]
+    )
+    def test_stacked_block_boundaries(self, count):
+        """Key counts straddling HASH_BLOCK: the block loop must not drop,
+        duplicate or reorder keys at the seam (and empty input stays empty)."""
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 2**31 - 1, size=count, dtype=np.int64)
+        coeffs = rng.integers(0, 2**31 - 1, size=(4, 5), dtype=np.int64)
+        out = stacked_polynomial_hash(keys, coeffs)
+        assert out.shape == (4, count)
+        reference = np.stack([_polynomial_hash(keys, c) for c in coeffs])
+        np.testing.assert_array_equal(out, reference)
+
+    @pytest.mark.parametrize(
+        "count", [0, HASH_BLOCK - 1, HASH_BLOCK, HASH_BLOCK + 1]
+    )
+    def test_gathered_block_boundaries(self, count):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 2**31 - 1, size=count, dtype=np.int64)
+        families = rng.integers(0, 2**31 - 1, size=(4, 3, 5), dtype=np.int64)
+        selector = rng.integers(0, 4, size=count)
+        out = gathered_polynomial_hash(keys, families, selector)
+        assert out.shape == (3, count)
+        # Per-family masked reference: same math, no per-key Python loop.
+        reference = np.empty((3, count), dtype=np.uint64)
+        for family in range(4):
+            mask = selector == family
+            for h in range(3):
+                reference[h, mask] = _polynomial_hash(
+                    keys[mask], families[family, h]
+                )
+        np.testing.assert_array_equal(out, reference)
 
     def test_kwise_hash_engine_independent(self):
         keys = np.arange(10_000, dtype=np.int64)
